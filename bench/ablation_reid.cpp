@@ -1,0 +1,91 @@
+// Ablation: cross-camera re-identification quality with (a) homography
+// gating only and (b) homography + Mahalanobis color verification (§IV-C).
+// Reported: merge precision (fraction of merged pairs that are truly the
+// same person — the paper reports > 90%) and the object-count error of the
+// fused groups vs ground truth.
+#include "bench_common.hpp"
+
+#include <set>
+
+#include "features/color_feature.hpp"
+#include "reid/reid.hpp"
+
+using namespace eecs;
+using namespace eecs::bench;
+
+int main() {
+  Stopwatch watch;
+  const int dataset = 1;
+  video::SceneSimulator sim(video::dataset_by_id(dataset), 777);
+  reid::ReIdentifier with_color = core::make_reidentifier(sim);
+  with_color.set_color_gate(core::fit_color_gate(dataset, 999));
+  reid::ReIdParams no_color_params;
+  no_color_params.use_color_gate = false;
+  reid::ReIdentifier without_color = core::make_reidentifier(sim, no_color_params);
+
+  // Build "ideal detector" view detections straight from ground truth so the
+  // ablation isolates re-id quality from detection quality.
+  struct Variant {
+    const char* name;
+    const reid::ReIdentifier* reid;
+    long correct_pairs = 0, total_pairs = 0;
+    double group_count_error = 0.0;
+    int frames = 0;
+  };
+  Variant variants[] = {{"homography only", &without_color},
+                        {"homography + color gate", &with_color}};
+
+  sim.skip(1000);
+  for (int f = 0; f < 25; ++f) {
+    const video::MultiViewFrame frame = sim.next_frame();
+    std::vector<reid::ViewDetection> detections;
+    std::vector<int> person_of;  // Ground truth person for each detection.
+    std::set<int> persons;
+    for (std::size_t cam = 0; cam < frame.views.size(); ++cam) {
+      for (const auto& gt : frame.truth[cam]) {
+        if (gt.visibility < 0.6 || gt.in_image_fraction < 0.8) continue;
+        reid::ViewDetection vd;
+        vd.camera = static_cast<int>(cam);
+        vd.detection.box = gt.box;
+        vd.detection.probability = 0.9;
+        vd.color_feature = features::color_feature(frame.views[cam], gt.box);
+        detections.push_back(std::move(vd));
+        person_of.push_back(gt.person_id);
+        persons.insert(gt.person_id);
+      }
+    }
+    for (auto& variant : variants) {
+      const auto groups = variant.reid->group(detections);
+      for (const auto& g : groups) {
+        for (std::size_t i = 0; i < g.member_indices.size(); ++i) {
+          for (std::size_t j = i + 1; j < g.member_indices.size(); ++j) {
+            ++variant.total_pairs;
+            if (person_of[static_cast<std::size_t>(g.member_indices[i])] ==
+                person_of[static_cast<std::size_t>(g.member_indices[j])]) {
+              ++variant.correct_pairs;
+            }
+          }
+        }
+      }
+      variant.group_count_error +=
+          std::abs(static_cast<double>(groups.size()) - static_cast<double>(persons.size()));
+      ++variant.frames;
+    }
+    sim.skip(49);
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& v : variants) {
+    const double precision =
+        v.total_pairs > 0 ? static_cast<double>(v.correct_pairs) / v.total_pairs : 1.0;
+    rows.push_back({v.name, to_fixed(precision, 3), format("%ld", v.total_pairs),
+                    to_fixed(v.group_count_error / v.frames, 2)});
+  }
+  std::printf("Re-identification ablation (dataset #1, ground-truth boxes)\n%s\n",
+              render_table({"Variant", "Merge precision", "Merged pairs", "|groups - persons|"},
+                           rows)
+                  .c_str());
+  std::printf("paper: re-id precision > 90%% with homography + color verification.\n");
+  std::printf("total %.1fs\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Ablation: does the Grassmann-manifold geodesic flow kernel actually beat a
+// naive comparison? Matches test items to training items with (a) GFK
+// similarity (Eq. 1-5) and (b) plain L2 distance between mean frame
+// features, reporting exact-feed and same-dataset matching accuracy.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "domain/comparator.hpp"
+#include "features/frame_feature.hpp"
+
+using namespace eecs;
+using namespace eecs::bench;
+
+int main() {
+  Stopwatch watch;
+  struct Feed {
+    int dataset, camera;
+    linalg::Matrix train, test;
+  };
+  std::vector<Feed> feeds;
+  std::vector<imaging::Image> vocab_frames;
+  std::vector<std::pair<std::vector<imaging::Image>, std::vector<imaging::Image>>> raw;
+  for (int ds = 1; ds <= video::kNumDatasets; ++ds) {
+    for (int cam = 0; cam < video::kNumCamerasPerDataset; ++cam) {
+      raw.push_back({collect_segment(ds, cam, 0, 14, 2, 1000 + ds).frames,
+                     collect_segment(ds, cam, 1100, 14, 3, 1000 + ds).frames});
+      vocab_frames.push_back(raw.back().first.front());
+    }
+  }
+  Rng rng(kSeed);
+  const features::FrameFeatureExtractor extractor(vocab_frames, {}, rng);
+  auto to_matrix = [&](const std::vector<imaging::Image>& frames) {
+    linalg::Matrix m(static_cast<int>(frames.size()), extractor.dimension());
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      const auto f = extractor.extract(frames[i]);
+      for (int c = 0; c < m.cols(); ++c) m(static_cast<int>(i), c) = f[static_cast<std::size_t>(c)];
+    }
+    return m;
+  };
+  int idx = 0;
+  for (int ds = 1; ds <= video::kNumDatasets; ++ds) {
+    for (int cam = 0; cam < video::kNumCamerasPerDataset; ++cam) {
+      feeds.push_back({ds, cam, to_matrix(raw[static_cast<std::size_t>(idx)].first),
+                       to_matrix(raw[static_cast<std::size_t>(idx)].second)});
+      ++idx;
+    }
+  }
+
+  // GFK matcher.
+  domain::VideoComparator comparator({10, 1.0});
+  for (const auto& feed : feeds) comparator.add_training_item(feed.train);
+
+  // Naive matcher: L2 between mean features.
+  auto mean_feature = [](const linalg::Matrix& m) { return linalg::column_mean(m); };
+  std::vector<std::vector<double>> train_means;
+  for (const auto& feed : feeds) train_means.push_back(mean_feature(feed.train));
+
+  int gfk_exact = 0, gfk_dataset = 0, l2_exact = 0, l2_dataset = 0;
+  for (std::size_t j = 0; j < feeds.size(); ++j) {
+    const auto match = comparator.best_match(feeds[j].test);
+    gfk_exact += (match.best_index == static_cast<int>(j));
+    gfk_dataset += (feeds[static_cast<std::size_t>(match.best_index)].dataset == feeds[j].dataset);
+
+    const auto test_mean = mean_feature(feeds[j].test);
+    double best = 1e18;
+    std::size_t best_i = 0;
+    for (std::size_t i = 0; i < train_means.size(); ++i) {
+      double d2 = 0;
+      for (std::size_t k = 0; k < test_mean.size(); ++k) {
+        const double d = test_mean[k] - train_means[i][k];
+        d2 += d * d;
+      }
+      if (d2 < best) {
+        best = d2;
+        best_i = i;
+      }
+    }
+    l2_exact += (best_i == j);
+    l2_dataset += (feeds[best_i].dataset == feeds[j].dataset);
+  }
+
+  std::printf("Similarity ablation: matching 12 test feeds to 12 training items\n%s\n",
+              render_table({"Matcher", "Exact feed", "Same dataset"},
+                           {{"GFK (Eq. 1-5)", format("%d/12", gfk_exact), format("%d/12", gfk_dataset)},
+                            {"L2 on mean feature", format("%d/12", l2_exact),
+                             format("%d/12", l2_dataset)}})
+                  .c_str());
+  std::printf("Same-dataset matching is what drives EECS's algorithm choice; exact-feed\n"
+              "matching additionally validates the Table V diagonal.\n");
+  std::printf("total %.1fs\n", watch.seconds());
+  return 0;
+}

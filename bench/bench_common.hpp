@@ -1,0 +1,77 @@
+// Shared scaffolding for the paper-reproduction bench binaries: trained
+// detector bank, segment sampling, and table printing. Every bench prints the
+// paper's reported numbers next to the measured reproduction so the shape
+// comparison is visible in the output itself.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+#include "common/strings.hpp"
+#include "core/offline.hpp"
+#include "core/simulation.hpp"
+#include "video/scene.hpp"
+
+namespace eecs::bench {
+
+/// Deterministic seed shared by all benches.
+inline constexpr std::uint64_t kSeed = 1234;
+
+/// Sampled ground-truth frames of one (dataset, camera) segment.
+struct Segment {
+  std::vector<imaging::Image> frames;
+  std::vector<std::vector<video::GroundTruthBox>> truths;
+};
+
+/// Collect `count` ground-truth frames of camera `camera`, starting at
+/// `start_frame`, spaced `step` ground-truth strides apart.
+inline Segment collect_segment(int dataset, int camera, int start_frame, int count, int step = 1,
+                               std::uint64_t seed = 777) {
+  video::SceneSimulator sim(video::dataset_by_id(dataset), seed);
+  const int stride = sim.environment().ground_truth_stride * step;
+  sim.skip(start_frame);
+  Segment segment;
+  for (int i = 0; i < count; ++i) {
+    std::vector<video::GroundTruthBox> truth;
+    segment.frames.push_back(sim.next_frame_single(camera, &truth));
+    segment.truths.push_back(std::move(truth));
+    sim.skip(stride - 1);
+  }
+  return segment;
+}
+
+/// Print an accuracy table in the paper's Table II-IV format, with the
+/// paper's reference row below each measured row.
+struct PaperRow {
+  const char* algorithm;
+  double threshold, recall, precision, f_score, joules, seconds;
+};
+
+inline void print_accuracy_table(const std::string& title,
+                                 const std::vector<core::AlgorithmProfile>& measured,
+                                 const std::vector<PaperRow>& paper) {
+  std::printf("%s\n", title.c_str());
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& p : measured) {
+    rows.push_back({std::string(detect::to_string(p.id)) + " (measured)", to_fixed(p.threshold, 2),
+                    to_fixed(p.accuracy.recall, 3), to_fixed(p.accuracy.precision, 3),
+                    to_fixed(p.accuracy.f_score, 3), to_fixed(p.total_joules_per_frame(), 3),
+                    to_fixed(p.seconds_per_frame, 2)});
+    for (const auto& ref : paper) {
+      if (std::string(ref.algorithm) == detect::to_string(p.id)) {
+        rows.push_back({std::string(ref.algorithm) + " (paper)", to_fixed(ref.threshold, 2),
+                        to_fixed(ref.recall, 3), to_fixed(ref.precision, 3),
+                        to_fixed(ref.f_score, 3), to_fixed(ref.joules, 3),
+                        to_fixed(ref.seconds, 2)});
+      }
+    }
+  }
+  std::printf("%s\n", render_table({"Alg", "Threshold", "Recall", "Precision", "F-score",
+                                    "Energy J/frame", "Time s/frame"},
+                                   rows)
+                          .c_str());
+}
+
+}  // namespace eecs::bench

@@ -1,0 +1,82 @@
+// Fig. 3: the benefit of adaptively choosing the detection algorithm per
+// environment. Fixed-HOG and fixed-ACF process both dataset #1 and dataset
+// #2; the adaptive policy uses the best algorithm for each. The paper: a
+// single fixed algorithm caps the joint f-score at 0.70 (HOG), while
+// adapting (HOG on #1, ACF on #2) reaches 0.81 and improves recall AND
+// precision simultaneously.
+#include "bench_common.hpp"
+
+using namespace eecs;
+using namespace eecs::bench;
+
+namespace {
+
+struct Eval {
+  core::MatchCounts counts;
+};
+
+core::MatchCounts eval_algorithm(const core::DetectorBank& bank, const Segment& segment,
+                                 detect::AlgorithmId id, double* threshold_io) {
+  std::vector<core::FrameEvaluation> evals;
+  for (std::size_t i = 0; i < segment.frames.size(); ++i) {
+    core::FrameEvaluation fe;
+    for (const auto& d : bank) {
+      if (d->id() == id) fe.detections = d->detect(segment.frames[i]);
+    }
+    fe.truth = segment.truths[i];
+    evals.push_back(std::move(fe));
+  }
+  if (*threshold_io != *threshold_io) {  // NaN: sweep here (training use).
+    const auto sweep = core::sweep_threshold(evals);
+    *threshold_io = sweep.best_threshold;
+  }
+  return core::counts_at_threshold(evals, *threshold_io);
+}
+
+}  // namespace
+
+int main() {
+  Stopwatch watch;
+  const core::DetectorBank bank = detect::make_trained_detectors(kSeed);
+
+  // Train thresholds per (dataset, algorithm) on the training segments.
+  const Segment train1 = collect_segment(1, 0, 0, 12, 2);
+  const Segment train2 = collect_segment(2, 0, 0, 6, 10);
+  const Segment test1 = collect_segment(1, 0, 1001, 12, 4);
+  const Segment test2 = collect_segment(2, 0, 1001, 6, 20);
+
+  const double nan = std::nan("");
+  struct Policy {
+    std::string name;
+    detect::AlgorithmId ds1_alg, ds2_alg;
+  };
+  // Adaptive = the per-dataset f-score winner (HOG on #1, ACF on #2 in the
+  // paper and in this reproduction).
+  const std::vector<Policy> policies = {
+      {"HOG only", detect::AlgorithmId::Hog, detect::AlgorithmId::Hog},
+      {"ACF only", detect::AlgorithmId::Acf, detect::AlgorithmId::Acf},
+      {"Adaptive (best per dataset)", detect::AlgorithmId::Hog, detect::AlgorithmId::Acf},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& policy : policies) {
+    double thr1 = nan, thr2 = nan;
+    (void)eval_algorithm(bank, train1, policy.ds1_alg, &thr1);  // Sweeps.
+    (void)eval_algorithm(bank, train2, policy.ds2_alg, &thr2);
+    core::MatchCounts joint = eval_algorithm(bank, test1, policy.ds1_alg, &thr1);
+    joint += eval_algorithm(bank, test2, policy.ds2_alg, &thr2);
+    const auto pr = core::compute_pr(joint);
+    rows.push_back({policy.name, to_fixed(pr.recall, 3), to_fixed(pr.precision, 3),
+                    to_fixed(pr.f_score, 3)});
+  }
+  rows.push_back({"paper: HOG only", "0.71", "0.68", "0.70"});
+  rows.push_back({"paper: ACF only", "(low)", "(good)", "< 0.70"});
+  rows.push_back({"paper: Adaptive", "0.73", "0.91", "0.81"});
+
+  std::printf("Fig. 3: joint accuracy over datasets #1 + #2 (camera #1, test segments)\n");
+  std::printf("%s\n", render_table({"Policy", "Recall", "Precision", "F-score"}, rows).c_str());
+  std::printf("Expected shape: adaptive beats any fixed algorithm on f-score, improving\n"
+              "recall and precision simultaneously.\n");
+  std::printf("total %.1fs\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Google-benchmark microbenchmarks of the substrates: linear algebra, GFK,
+// features, detectors, re-id, and serialization. These are performance
+// regression guards, not paper reproductions.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/offline.hpp"
+#include "detect/detector.hpp"
+#include "domain/gfk.hpp"
+#include "features/frame_feature.hpp"
+#include "features/hog.hpp"
+#include "geometry/homography.hpp"
+#include "linalg/decomp.hpp"
+#include "linalg/kmeans.hpp"
+#include "net/messages.hpp"
+#include "video/scene.hpp"
+
+namespace {
+
+using namespace eecs;
+
+linalg::Matrix random_matrix(int rows, int cols, std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m(r, c) = rng.normal();
+  }
+  return m;
+}
+
+void BM_SvdDecompose(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const linalg::Matrix a = random_matrix(n, n, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(linalg::svd_decompose(a));
+}
+BENCHMARK(BM_SvdDecompose)->Arg(16)->Arg(64);
+
+void BM_QrDecompose(benchmark::State& state) {
+  const linalg::Matrix a = random_matrix(208, 10, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(linalg::qr_decompose(a));
+}
+BENCHMARK(BM_QrDecompose);
+
+void BM_Kmeans(benchmark::State& state) {
+  const linalg::Matrix data = random_matrix(500, 64, 3);
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(linalg::kmeans(data, 32, rng));
+  }
+}
+BENCHMARK(BM_Kmeans);
+
+void BM_GeodesicFlowKernel(benchmark::State& state) {
+  const domain::VideoSubspace a = domain::build_subspace(random_matrix(14, 224, 4), 10);
+  const domain::VideoSubspace b = domain::build_subspace(random_matrix(14, 224, 5), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(domain::geodesic_flow_kernel(a.basis, a.complement, b.basis));
+  }
+}
+BENCHMARK(BM_GeodesicFlowKernel);
+
+void BM_VideoSimilarity(benchmark::State& state) {
+  const domain::VideoSubspace a = domain::build_subspace(random_matrix(14, 224, 4), 10);
+  const domain::VideoSubspace b = domain::build_subspace(random_matrix(14, 224, 5), 10);
+  for (auto _ : state) benchmark::DoNotOptimize(domain::video_similarity(a, b));
+}
+BENCHMARK(BM_VideoSimilarity);
+
+const imaging::Image& dataset1_frame() {
+  static const imaging::Image frame = [] {
+    video::SceneSimulator sim(video::dataset1_lab(), 9);
+    return sim.next_frame_single(0);
+  }();
+  return frame;
+}
+
+void BM_SceneRenderDs1(benchmark::State& state) {
+  video::SceneSimulator sim(video::dataset1_lab(), 9);
+  for (auto _ : state) benchmark::DoNotOptimize(sim.next_frame_single(0));
+}
+BENCHMARK(BM_SceneRenderDs1);
+
+void BM_HogGrid(benchmark::State& state) {
+  const imaging::Image& frame = dataset1_frame();
+  for (auto _ : state) benchmark::DoNotOptimize(features::compute_hog_grid(frame));
+}
+BENCHMARK(BM_HogGrid);
+
+const core::DetectorBank& bank() {
+  static const core::DetectorBank detectors = detect::make_trained_detectors(1234);
+  return detectors;
+}
+
+void BM_Detector(benchmark::State& state) {
+  const auto& detector = *bank()[static_cast<std::size_t>(state.range(0))];
+  const imaging::Image& frame = dataset1_frame();
+  for (auto _ : state) benchmark::DoNotOptimize(detector.detect(frame));
+  state.SetLabel(detect::to_string(detector.id()));
+}
+BENCHMARK(BM_Detector)->DenseRange(0, 3);
+
+void BM_HomographyRansac(benchmark::State& state) {
+  Rng rng(11);
+  const geometry::Homography truth({{{1.1, 0.05, 3}, {0.02, 0.95, -2}, {1e-4, -2e-4, 1}}});
+  std::vector<geometry::PointPair> pairs;
+  for (int i = 0; i < 40; ++i) {
+    const geometry::Vec2 p{rng.uniform(0, 300), rng.uniform(0, 200)};
+    const auto q = truth.apply(p);
+    pairs.push_back({p, {q->x + rng.normal() * 0.3, q->y + rng.normal() * 0.3}});
+  }
+  for (auto _ : state) {
+    Rng local(13);
+    benchmark::DoNotOptimize(geometry::estimate_homography_ransac(pairs, local));
+  }
+}
+BENCHMARK(BM_HomographyRansac);
+
+void BM_MessageRoundTrip(benchmark::State& state) {
+  net::DetectionMetadataMsg msg;
+  msg.camera_id = 2;
+  msg.frame_index = 1000;
+  for (int i = 0; i < 6; ++i) {
+    net::ObjectMetadata obj;
+    obj.x = 10;
+    obj.y = 20;
+    obj.w = 30;
+    obj.h = 60;
+    obj.probability = 0.9f;
+    obj.color_feature.assign(40, 0.5f);
+    msg.objects.push_back(obj);
+  }
+  for (auto _ : state) {
+    const auto bytes = net::encode(msg);
+    benchmark::DoNotOptimize(net::decode_detection_metadata(bytes));
+  }
+}
+BENCHMARK(BM_MessageRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,27 @@
+// Table II: accuracy and energy of the four detection algorithms on the
+// training segment (frames 0-1000) of dataset #1, camera #1. Thresholds are
+// swept to maximize f-score, exactly as in §VI-A.
+#include "bench_common.hpp"
+
+using namespace eecs;
+using namespace eecs::bench;
+
+int main() {
+  Stopwatch watch;
+  const core::DetectorBank bank = detect::make_trained_detectors(kSeed);
+  const Segment segment = collect_segment(/*dataset=*/1, /*camera=*/0, /*start_frame=*/0,
+                                          /*count=*/16, /*step=*/2);
+  const core::OfflineOptions options;
+  const auto profiles = core::profile_segment(bank, segment.frames, segment.truths, options);
+
+  const std::vector<PaperRow> paper = {
+      {"HOG", 0.5, 0.48, 1.00, 0.66, 1.08, 1.5},
+      {"ACF", 2.0, 0.34, 0.95, 0.505, 0.07, 0.1},
+      {"C4", 0.0, 0.46, 1.00, 0.63, 4.92, 2.4},
+      {"LSVM", -1.2, 0.89, 0.90, 0.89, 3.31, 6.2},
+  };
+  print_accuracy_table(
+      "Table II: dataset #1, camera #1, frames 0->1000 (training item)", profiles, paper);
+  std::printf("total %.1fs\n", watch.seconds());
+  return 0;
+}

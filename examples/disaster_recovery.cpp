@@ -1,0 +1,66 @@
+// Scenario: a search-and-rescue deployment (the paper's §I motivation).
+// Battery-powered cameras are dropped around an outdoor area and must keep
+// detecting people for a 6-hour operation. This example uses the §VI budget
+// arithmetic to derive each camera's per-frame energy budget from the
+// desired operation time, runs the EECS loop, and reports projected battery
+// life with and without coordination.
+#include <cstdio>
+
+#include "core/simulation.hpp"
+
+int main() {
+  using namespace eecs;
+  using namespace eecs::core;
+
+  // Mission parameters: 6 hours of operation, one processed frame per 2 s,
+  // a 2000 J battery reserve per node (a fraction of a phone battery).
+  energy::BudgetPlan plan;
+  plan.operation_hours = 6.0;
+  plan.seconds_per_frame = 2.0;
+  const double battery_joules = 2000.0;
+  const double budget = plan.per_frame_budget(battery_joules);
+  std::printf("Mission: %.0f h, frame every %.0f s -> %ld frames to cover\n",
+              plan.operation_hours, plan.seconds_per_frame, plan.frames_remaining());
+  std::printf("Battery %.0f J -> per-frame budget B_j = %.3f J\n\n", battery_joules, budget);
+
+  std::printf("training detectors + offline profiles (outdoor terrace scene)...\n");
+  const DetectorBank bank = detect::make_trained_detectors(1);
+  OfflineOptions options;
+  options.algorithms = {detect::AlgorithmId::Hog, detect::AlgorithmId::Acf};
+  const OfflineKnowledge knowledge = run_offline_training(bank, {3}, 7, options);
+
+  for (const auto& item : knowledge.profiles()) {
+    const AlgorithmProfile* affordable = item.best_affordable(budget);
+    std::printf("%s: best affordable algorithm under B_j: %s\n", item.label.c_str(),
+                affordable != nullptr ? detect::to_string(affordable->id) : "(none!)");
+  }
+
+  // Run the adaptive loop on a slice of the mission.
+  EecsSimulationConfig config;
+  config.dataset = 3;
+  config.mode = SelectionMode::SubsetDowngrade;
+  config.budget_per_frame = budget;
+  config.controller.algorithms = options.algorithms;
+  config.models = options;
+  config.end_frame = 2200;
+  const SimulationResult eecs = run_eecs_simulation(bank, knowledge, config);
+
+  config.mode = SelectionMode::AllBest;
+  const SimulationResult baseline = run_eecs_simulation(bank, knowledge, config);
+
+  auto report = [&](const char* name, const SimulationResult& r) {
+    const double joules_per_frame = r.total_joules() / std::max(1, r.gt_frames_processed) / 4.0;
+    const double hours = battery_joules / std::max(1e-9, joules_per_frame) *
+                         plan.seconds_per_frame / 3600.0;
+    std::printf("%-28s %.1f J over %d frames | found %d/%d people | projected battery life"
+                " %.1f h\n",
+                name, r.total_joules(), r.gt_frames_processed, r.humans_detected,
+                r.humans_present, hours);
+  };
+  std::printf("\n");
+  report("all cameras, best algorithm:", baseline);
+  report("EECS coordination:", eecs);
+  std::printf("\nEECS stretches the same batteries over a longer mission while still\n"
+              "finding nearly all the people in the scene.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Scenario: a camera is redeployed into an unknown environment. The
+// controller compares a short feature upload against its training library
+// using the geodesic flow kernel (§III) and assigns the detection algorithm
+// of the closest match — the paper's "domain adaptation" step, isolated.
+#include <cstdio>
+
+#include "core/offline.hpp"
+
+int main() {
+  using namespace eecs;
+  using namespace eecs::core;
+
+  std::printf("training detectors and offline library over all three environments...\n");
+  const DetectorBank bank = detect::make_trained_detectors(1);
+  OfflineOptions options;
+  options.frames_per_item = 6;  // Keep this demo quick.
+  const OfflineKnowledge knowledge = run_offline_training(bank, {1, 2, 3}, 7, options);
+
+  std::printf("\ntraining library (most accurate algorithm per item):\n");
+  for (const auto& item : knowledge.profiles()) {
+    std::printf("  %-6s -> %-5s (f=%.2f)\n", item.label.c_str(),
+                detect::to_string(item.algorithms.front().id),
+                item.algorithms.front().accuracy.f_score);
+  }
+
+  // A "new" camera comes online in each environment: capture a short clip,
+  // extract features, and ask the controller what to run.
+  for (int dataset : {1, 2, 3}) {
+    video::SceneSimulator scene(video::dataset_by_id(dataset), /*seed=*/5555);
+    scene.skip(1500);  // Unseen part of the feed.
+    std::vector<imaging::Image> clip;
+    for (int i = 0; i < 12; ++i) {
+      clip.push_back(scene.next_frame_single(/*camera_index=*/1));
+      scene.skip(30);
+    }
+    linalg::Matrix features(static_cast<int>(clip.size()), knowledge.extractor().dimension());
+    for (std::size_t i = 0; i < clip.size(); ++i) {
+      const auto f = knowledge.extractor().extract(clip[i]);
+      for (int c = 0; c < features.cols(); ++c) {
+        features(static_cast<int>(i), c) = f[static_cast<std::size_t>(c)];
+      }
+    }
+    const auto match = knowledge.match(features);
+    const auto& item = knowledge.profile(match.best_index);
+    std::printf("\ncamera in environment #%d: closest training item %s (Sim=%.2f)\n", dataset,
+                item.label.c_str(), match.best_similarity);
+    std::printf("  -> assigned algorithm %s with threshold %.2f\n",
+                detect::to_string(item.algorithms.front().id), item.algorithms.front().threshold);
+  }
+  std::printf("\nThe same camera hardware runs HOG in one room and ACF in another, purely\n"
+              "from the manifold similarity of what it currently sees.\n");
+  return 0;
+}

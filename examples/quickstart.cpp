@@ -1,0 +1,51 @@
+// Quickstart: the smallest useful EECS program.
+//
+//   1. Simulate a 4-camera scene (stand-in for a real camera network).
+//   2. Train the four detection algorithms.
+//   3. Detect humans in one frame with each algorithm and compare their
+//      accuracy and energy — the trade-off EECS optimizes.
+#include <cstdio>
+
+#include "core/metrics.hpp"
+#include "detect/detector.hpp"
+#include "energy/model.hpp"
+#include "video/scene.hpp"
+
+int main() {
+  using namespace eecs;
+
+  // A 360x288 indoor scene with six walking people, observed by 4 cameras.
+  video::SceneSimulator scene(video::dataset1_lab(), /*seed=*/2024);
+
+  // The four pedestrian detectors (HOG, ACF, C4, LSVM), trained from scratch
+  // on synthetic data. Deterministic for a fixed seed; takes a few seconds.
+  std::printf("training detectors...\n");
+  const auto detectors = detect::make_trained_detectors(/*seed=*/1);
+
+  // Grab one annotated frame from camera 0.
+  std::vector<video::GroundTruthBox> truth;
+  const imaging::Image frame = scene.next_frame_single(/*camera_index=*/0, &truth);
+  std::printf("frame 0 of camera 0: %dx%d, %zu people annotated\n\n", frame.width(),
+              frame.height(), truth.size());
+
+  const energy::CpuEnergyModel energy_model;
+  for (const auto& detector : detectors) {
+    energy::CostCounter cost;
+    auto detections = detector->detect(frame, &cost);
+    // Keep confident candidates; production use sweeps this operating
+    // threshold per scene (see core::sweep_threshold).
+    std::erase_if(detections, [](const auto& d) { return d.probability < 0.5; });
+
+    // Score the result against the annotations (IoU >= 0.5 matching).
+    const core::MatchResult match = core::match_detections(detections, truth);
+    std::printf("%-5s %2zu detections | TP=%d FP=%d FN=%d | %.2f J, %.2f s (phone-equivalent)\n",
+                detect::to_string(detector->id()), detections.size(),
+                match.counts.true_positives, match.counts.false_positives,
+                match.counts.false_negatives, energy_model.joules(cost),
+                energy_model.seconds(cost));
+  }
+
+  std::printf("\nNote the spread: the cheapest algorithm costs a fraction of the most\n"
+              "accurate one. EECS picks per-camera algorithms to exploit exactly that.\n");
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include "common/contracts.hpp"
+
+#include <sstream>
+
+namespace eecs::detail {
+
+void contract_fail(const char* kind, const char* expr, const char* file, int line) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace eecs::detail

@@ -1,0 +1,31 @@
+// Lightweight contract checking in the spirit of the Core Guidelines'
+// Expects/Ensures (I.6, I.8). Violations throw ContractViolation so tests can
+// assert on misuse without terminating the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace eecs {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* expr, const char* file, int line);
+}  // namespace detail
+
+}  // namespace eecs
+
+#define EECS_EXPECTS(cond)                                                       \
+  do {                                                                           \
+    if (!(cond)) ::eecs::detail::contract_fail("Precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define EECS_ENSURES(cond)                                                       \
+  do {                                                                           \
+    if (!(cond)) ::eecs::detail::contract_fail("Postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)

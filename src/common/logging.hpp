@@ -1,0 +1,48 @@
+// Minimal leveled logger. Default level is Warn so tests and benches stay
+// quiet; simulations raise it to Info when narrating runs.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace eecs {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace eecs
+
+#define EECS_LOG(level) \
+  if (static_cast<int>(level) < static_cast<int>(::eecs::log_level())) {} else ::eecs::detail::LogLine(level)
+
+#define EECS_DEBUG EECS_LOG(::eecs::LogLevel::Debug)
+#define EECS_INFO EECS_LOG(::eecs::LogLevel::Info)
+#define EECS_WARN EECS_LOG(::eecs::LogLevel::Warn)
+#define EECS_ERROR EECS_LOG(::eecs::LogLevel::Error)

@@ -1,0 +1,24 @@
+// Wall-clock stopwatch used only for reporting bench runtimes (never for
+// energy accounting, which is counter-based — see src/energy).
+#pragma once
+
+#include <chrono>
+
+namespace eecs {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace eecs

@@ -1,0 +1,23 @@
+// String/formatting helpers used mainly by the bench harnesses to print
+// paper-style tables (libstdc++ 12 lacks std::format).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eecs {
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Fixed-point formatting with the given number of decimals.
+[[nodiscard]] std::string to_fixed(double v, int decimals);
+
+/// Pad/truncate to an exact column width (left-aligned).
+[[nodiscard]] std::string pad(const std::string& s, std::size_t width);
+
+/// Render a simple ASCII table: header row + data rows, columns sized to fit.
+[[nodiscard]] std::string render_table(const std::vector<std::string>& header,
+                                       const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace eecs

@@ -1,0 +1,131 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace eecs::core {
+
+MatchResult match_detections(const std::vector<detect::Detection>& detections,
+                             const std::vector<video::GroundTruthBox>& truth,
+                             const MatchOptions& options) {
+  std::vector<detect::Detection> sorted = detections;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.score > b.score; });
+
+  // Partition truth into countable targets and ignore regions.
+  std::vector<const video::GroundTruthBox*> targets, ignores;
+  for (const auto& gt : truth) {
+    const bool countable = gt.visibility >= options.min_visibility &&
+                           gt.in_image_fraction >= options.min_in_image;
+    (countable ? targets : ignores).push_back(&gt);
+  }
+
+  MatchResult result;
+  std::vector<bool> taken(targets.size(), false);
+  for (const auto& det : sorted) {
+    double best_iou = options.iou_threshold;
+    int best_idx = -1;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      if (taken[i]) continue;
+      const double overlap = imaging::iou(det.box, targets[i]->box);
+      if (overlap >= best_iou) {
+        best_iou = overlap;
+        best_idx = static_cast<int>(i);
+      }
+    }
+    if (best_idx >= 0) {
+      taken[static_cast<std::size_t>(best_idx)] = true;
+      ++result.counts.true_positives;
+      result.matched_person_ids.push_back(targets[static_cast<std::size_t>(best_idx)]->person_id);
+      result.matched_detections.push_back(det);
+      continue;
+    }
+    // Does it hit an ignore region? Then discard silently.
+    bool ignored = false;
+    for (const auto* ign : ignores) {
+      if (imaging::iou(det.box, ign->box) >= options.iou_threshold) {
+        ignored = true;
+        break;
+      }
+    }
+    if (!ignored) ++result.counts.false_positives;
+  }
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (!taken[i]) ++result.counts.false_negatives;
+  }
+  return result;
+}
+
+PrecisionRecall compute_pr(const MatchCounts& counts) {
+  PrecisionRecall pr;
+  const int detected = counts.true_positives + counts.false_positives;
+  const int actual = counts.true_positives + counts.false_negatives;
+  pr.precision = detected > 0 ? static_cast<double>(counts.true_positives) / detected : 0.0;
+  pr.recall = actual > 0 ? static_cast<double>(counts.true_positives) / actual : 0.0;
+  pr.f_score = (pr.precision + pr.recall) > 0.0
+                   ? 2.0 * pr.precision * pr.recall / (pr.precision + pr.recall)
+                   : 0.0;
+  return pr;
+}
+
+std::vector<detect::Detection> apply_threshold(const std::vector<detect::Detection>& detections,
+                                               double threshold) {
+  std::vector<detect::Detection> out;
+  for (const auto& d : detections) {
+    if (d.score >= threshold) out.push_back(d);
+  }
+  return out;
+}
+
+MatchCounts counts_at_threshold(const std::vector<FrameEvaluation>& frames, double threshold,
+                                const MatchOptions& options) {
+  MatchCounts total;
+  for (const auto& frame : frames) {
+    total += match_detections(apply_threshold(frame.detections, threshold), frame.truth, options)
+                 .counts;
+  }
+  return total;
+}
+
+ThresholdSweepResult sweep_threshold(const std::vector<FrameEvaluation>& frames,
+                                     const MatchOptions& options, int grid_size) {
+  // Candidate thresholds: quantiles of all observed scores, plus one below
+  // the minimum (keep everything).
+  std::vector<double> scores;
+  for (const auto& frame : frames) {
+    for (const auto& d : frame.detections) scores.push_back(d.score);
+  }
+  ThresholdSweepResult result;
+  if (scores.empty()) {
+    result.best_threshold = 0.0;
+    return result;
+  }
+  std::sort(scores.begin(), scores.end());
+  std::set<double> candidates;
+  candidates.insert(scores.front() - 1.0);
+  for (int g = 0; g < grid_size; ++g) {
+    const std::size_t idx = static_cast<std::size_t>(
+        static_cast<double>(g) / grid_size * static_cast<double>(scores.size() - 1));
+    candidates.insert(scores[idx]);
+  }
+  candidates.insert(scores.back());
+
+  bool first = true;
+  for (double threshold : candidates) {
+    const MatchCounts counts = counts_at_threshold(frames, threshold, options);
+    const PrecisionRecall pr = compute_pr(counts);
+    // Prefer strictly better f-score; on ties prefer the higher threshold
+    // (fewer detections to transmit).
+    if (first || pr.f_score > result.best.f_score ||
+        (pr.f_score == result.best.f_score && threshold > result.best_threshold)) {
+      result.best_threshold = threshold;
+      result.best = pr;
+      result.counts_at_best = counts;
+      first = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace eecs::core

@@ -1,0 +1,86 @@
+// Detection-quality metrics: greedy IoU matching against ground truth,
+// precision / recall / f-score (paper §IV-A), and the operating-threshold
+// sweep that maximizes f-score per (algorithm, video segment) (§VI-A).
+#pragma once
+
+#include <vector>
+
+#include "detect/detection.hpp"
+#include "video/scene.hpp"
+
+namespace eecs::core {
+
+struct MatchCounts {
+  int true_positives = 0;
+  int false_positives = 0;
+  int false_negatives = 0;
+
+  MatchCounts& operator+=(const MatchCounts& rhs) {
+    true_positives += rhs.true_positives;
+    false_positives += rhs.false_positives;
+    false_negatives += rhs.false_negatives;
+    return *this;
+  }
+};
+
+struct MatchOptions {
+  double iou_threshold = 0.5;
+  /// Ground truth below this visibility (or mostly out of frame) is an
+  /// "ignore region": matching detections are discarded rather than counted,
+  /// and missing it is not a false negative — standard practice for heavily
+  /// occluded annotations.
+  double min_visibility = 0.5;
+  double min_in_image = 0.65;
+};
+
+/// Match detections (any order) against ground truth, greedily by descending
+/// score. Also reports which detections matched which person ids.
+struct MatchResult {
+  MatchCounts counts;
+  /// person_id for each matched detection, aligned with `matched_boxes`.
+  std::vector<int> matched_person_ids;
+  std::vector<detect::Detection> matched_detections;
+};
+
+[[nodiscard]] MatchResult match_detections(const std::vector<detect::Detection>& detections,
+                                           const std::vector<video::GroundTruthBox>& truth,
+                                           const MatchOptions& options = {});
+
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_score = 0.0;
+};
+
+/// Precision/recall/f from aggregate counts (0 when undefined).
+[[nodiscard]] PrecisionRecall compute_pr(const MatchCounts& counts);
+
+/// One evaluated frame: the detector's raw candidates and the frame's truth.
+struct FrameEvaluation {
+  std::vector<detect::Detection> detections;  ///< Score-bearing, NMS'd, un-thresholded.
+  std::vector<video::GroundTruthBox> truth;
+};
+
+struct ThresholdSweepResult {
+  double best_threshold = 0.0;
+  PrecisionRecall best;
+  MatchCounts counts_at_best;
+};
+
+/// Sweep the detection-score threshold d_t over the evaluated frames and
+/// return the threshold maximizing f-score (ties: higher threshold). The
+/// candidate set is a quantile grid over all observed scores.
+[[nodiscard]] ThresholdSweepResult sweep_threshold(const std::vector<FrameEvaluation>& frames,
+                                                   const MatchOptions& options = {},
+                                                   int grid_size = 48);
+
+/// Counts for a fixed threshold across frames.
+[[nodiscard]] MatchCounts counts_at_threshold(const std::vector<FrameEvaluation>& frames,
+                                              double threshold,
+                                              const MatchOptions& options = {});
+
+/// Detections at or above the threshold.
+[[nodiscard]] std::vector<detect::Detection> apply_threshold(
+    const std::vector<detect::Detection>& detections, double threshold);
+
+}  // namespace eecs::core

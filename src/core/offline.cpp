@@ -1,0 +1,181 @@
+#include "core/offline.hpp"
+
+#include <algorithm>
+
+namespace eecs::core {
+
+const AlgorithmProfile* TrainingItemProfile::best_affordable(double budget_joules) const {
+  for (const auto& p : algorithms) {
+    if (p.total_joules_per_frame() <= budget_joules) return &p;
+  }
+  return nullptr;
+}
+
+const AlgorithmProfile* TrainingItemProfile::find(detect::AlgorithmId id) const {
+  for (const auto& p : algorithms) {
+    if (p.id == id) return &p;
+  }
+  return nullptr;
+}
+
+const TrainingItemProfile& OfflineKnowledge::profile(int index) const {
+  EECS_EXPECTS(index >= 0 && index < static_cast<int>(profiles_.size()));
+  return profiles_[static_cast<std::size_t>(index)];
+}
+
+namespace {
+
+AlgorithmProfile profile_one(const detect::Detector& detector,
+                             const std::vector<imaging::Image>& frames,
+                             const std::vector<std::vector<video::GroundTruthBox>>& truths,
+                             const OfflineOptions& options, const double* fixed_threshold) {
+  EECS_EXPECTS(frames.size() == truths.size());
+  EECS_EXPECTS(!frames.empty());
+
+  energy::CostCounter cpu_cost;
+  std::vector<FrameEvaluation> evals;
+  evals.reserve(frames.size());
+  std::size_t comm_bytes = 0;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    FrameEvaluation fe;
+    fe.detections = detector.detect(frames[i], &cpu_cost);
+    fe.truth = truths[i];
+    evals.push_back(std::move(fe));
+  }
+
+  AlgorithmProfile profile;
+  profile.id = detector.id();
+  if (fixed_threshold != nullptr) {
+    profile.threshold = *fixed_threshold;
+    profile.accuracy = compute_pr(counts_at_threshold(evals, profile.threshold));
+  } else {
+    const ThresholdSweepResult sweep = sweep_threshold(evals);
+    profile.threshold = sweep.best_threshold;
+    profile.accuracy = sweep.best;
+  }
+
+  // Communication cost per frame: metadata (172 B/object) plus the JPEG crop
+  // of each detection above threshold.
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    for (const auto& det : apply_threshold(evals[i].detections, profile.threshold)) {
+      comm_bytes += 172;
+      comm_bytes += options.jpeg_model.region_bytes(frames[i], det.box);
+    }
+  }
+
+  const double n = static_cast<double>(frames.size());
+  profile.cpu_joules_per_frame = options.cpu_model.joules(cpu_cost) / n;
+  profile.comm_joules_per_frame =
+      options.radio_model.tx_joules(comm_bytes / frames.size());
+  profile.seconds_per_frame = options.cpu_model.seconds(cpu_cost) / n;
+  return profile;
+}
+
+std::vector<AlgorithmProfile> profile_all(
+    const DetectorBank& detectors, const std::vector<imaging::Image>& frames,
+    const std::vector<std::vector<video::GroundTruthBox>>& truths, const OfflineOptions& options,
+    const std::vector<double>* fixed_thresholds) {
+  std::vector<AlgorithmProfile> profiles;
+  for (std::size_t a = 0; a < options.algorithms.size(); ++a) {
+    const detect::AlgorithmId id = options.algorithms[a];
+    const auto it = std::find_if(detectors.begin(), detectors.end(),
+                                 [&](const auto& d) { return d->id() == id; });
+    EECS_EXPECTS(it != detectors.end());
+    const double* fixed = fixed_thresholds != nullptr ? &(*fixed_thresholds)[a] : nullptr;
+    profiles.push_back(profile_one(**it, frames, truths, options, fixed));
+  }
+  std::sort(profiles.begin(), profiles.end(), [](const auto& x, const auto& y) {
+    return x.accuracy.f_score > y.accuracy.f_score;
+  });
+  return profiles;
+}
+
+}  // namespace
+
+std::vector<AlgorithmProfile> profile_segment(
+    const DetectorBank& detectors, const std::vector<imaging::Image>& frames,
+    const std::vector<std::vector<video::GroundTruthBox>>& truths, const OfflineOptions& options) {
+  return profile_all(detectors, frames, truths, options, nullptr);
+}
+
+std::vector<AlgorithmProfile> profile_segment_fixed_thresholds(
+    const DetectorBank& detectors, const std::vector<imaging::Image>& frames,
+    const std::vector<std::vector<video::GroundTruthBox>>& truths,
+    const std::vector<double>& thresholds, const OfflineOptions& options) {
+  EECS_EXPECTS(thresholds.size() == options.algorithms.size());
+  return profile_all(detectors, frames, truths, options, &thresholds);
+}
+
+OfflineKnowledge run_offline_training(const DetectorBank& detectors,
+                                      const std::vector<int>& dataset_ids, std::uint64_t seed,
+                                      const OfflineOptions& options) {
+  EECS_EXPECTS(!dataset_ids.empty());
+  Rng rng(seed);
+
+  // Pass 1: collect frames. Vocabulary frames come from every feed, as the
+  // paper builds its BoW vocabulary from images of the 12 training feeds.
+  struct ItemFrames {
+    int dataset, camera;
+    std::vector<imaging::Image> gt_frames;
+    std::vector<std::vector<video::GroundTruthBox>> truths;
+    std::vector<imaging::Image> feature_frames;
+  };
+  std::vector<ItemFrames> items;
+  std::vector<imaging::Image> vocab_frames;
+
+  for (int ds : dataset_ids) {
+    for (int cam = 0; cam < video::kNumCamerasPerDataset; ++cam) {
+      video::SceneSimulator sim(video::dataset_by_id(ds), seed * 131 + static_cast<std::uint64_t>(ds));
+      const int stride = sim.environment().ground_truth_stride;
+      ItemFrames item;
+      item.dataset = ds;
+      item.camera = cam;
+      // Interleave GT frames (for accuracy) and feature frames across the
+      // 1000-frame training segment.
+      const int total = std::max(options.frames_per_item, options.feature_frames_per_item);
+      const int hop = std::max(1, (video::kTrainFrames / stride) / total) * stride;
+      for (int i = 0; i < total; ++i) {
+        std::vector<video::GroundTruthBox> truth;
+        imaging::Image frame = sim.next_frame_single(cam, &truth);
+        if (static_cast<int>(item.gt_frames.size()) < options.frames_per_item) {
+          item.gt_frames.push_back(frame);
+          item.truths.push_back(std::move(truth));
+        }
+        if (static_cast<int>(item.feature_frames.size()) < options.feature_frames_per_item) {
+          item.feature_frames.push_back(std::move(frame));
+        }
+        sim.skip(hop - 1);
+      }
+      vocab_frames.push_back(item.feature_frames.front());
+      items.push_back(std::move(item));
+    }
+  }
+
+  auto extractor =
+      std::make_shared<const features::FrameFeatureExtractor>(vocab_frames, features::FrameFeatureParams{}, rng);
+
+  // Pass 2: profiles + comparator items.
+  domain::VideoComparator comparator(options.comparator);
+  std::vector<TrainingItemProfile> profiles;
+  for (const auto& item : items) {
+    TrainingItemProfile profile;
+    profile.dataset = item.dataset;
+    profile.camera = item.camera;
+    profile.label = "T" + std::to_string(item.dataset) + "." + std::to_string(item.camera + 1);
+    profile.algorithms = profile_segment(detectors, item.gt_frames, item.truths, options);
+    profiles.push_back(std::move(profile));
+
+    linalg::Matrix features(static_cast<int>(item.feature_frames.size()), extractor->dimension());
+    for (std::size_t i = 0; i < item.feature_frames.size(); ++i) {
+      const auto f = extractor->extract(item.feature_frames[i]);
+      for (int c = 0; c < features.cols(); ++c) {
+        features(static_cast<int>(i), c) = f[static_cast<std::size_t>(c)];
+      }
+    }
+    comparator.add_training_item(features, profiles.back().label);
+  }
+
+  return OfflineKnowledge(std::move(profiles), std::move(comparator), std::move(extractor));
+}
+
+}  // namespace eecs::core

@@ -1,0 +1,118 @@
+// Offline training at the controller (§IV-A): for every training video item
+// and every detection algorithm, measure accuracy (threshold swept to
+// maximize f-score), processing energy, and processing time; build the
+// GFK comparator over the training items' frame features.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "detect/detector.hpp"
+#include "domain/comparator.hpp"
+#include "energy/model.hpp"
+#include "features/frame_feature.hpp"
+#include "imaging/jpeg_model.hpp"
+#include "video/scene.hpp"
+
+namespace eecs::core {
+
+/// Measured profile of one algorithm on one training item.
+struct AlgorithmProfile {
+  detect::AlgorithmId id = detect::AlgorithmId::Hog;
+  double threshold = 0.0;       ///< d_t maximizing f-score on the item.
+  PrecisionRecall accuracy;     ///< At that threshold.
+  double cpu_joules_per_frame = 0.0;
+  double comm_joules_per_frame = 0.0;  ///< Algorithm-independent C_j estimate.
+  double seconds_per_frame = 0.0;
+
+  [[nodiscard]] double total_joules_per_frame() const {
+    return cpu_joules_per_frame + comm_joules_per_frame;
+  }
+  /// The downgrade rule's figure of merit (§IV-B.4).
+  [[nodiscard]] double f_per_joule() const {
+    return accuracy.f_score / std::max(1e-9, total_joules_per_frame());
+  }
+};
+
+/// Everything the controller knows about one training item T_i.
+struct TrainingItemProfile {
+  std::string label;
+  int dataset = 0;
+  int camera = 0;
+  std::vector<AlgorithmProfile> algorithms;  ///< Sorted by descending f-score.
+
+  /// Most accurate algorithm whose energy fits the per-frame budget; nullptr
+  /// if none fits.
+  [[nodiscard]] const AlgorithmProfile* best_affordable(double budget_joules) const;
+
+  /// Profile of a specific algorithm; nullptr if absent.
+  [[nodiscard]] const AlgorithmProfile* find(detect::AlgorithmId id) const;
+};
+
+struct OfflineOptions {
+  /// Ground-truth frames sampled per training item (the paper's items are
+  /// 1000-frame segments with annotations every 10-25 frames).
+  int frames_per_item = 10;
+  /// Frames contributing features to the GFK comparison per item.
+  int feature_frames_per_item = 12;
+  /// Algorithms installed on the cameras.
+  std::vector<detect::AlgorithmId> algorithms = detect::all_algorithms();
+  energy::CpuEnergyModel cpu_model;
+  energy::RadioModel radio_model;
+  imaging::JpegModel jpeg_model;
+  domain::ComparatorParams comparator;
+};
+
+/// Result of the offline phase: per-item profiles + the fitted comparator.
+class OfflineKnowledge {
+ public:
+  OfflineKnowledge(std::vector<TrainingItemProfile> profiles,
+                   domain::VideoComparator comparator,
+                   std::shared_ptr<const features::FrameFeatureExtractor> extractor)
+      : profiles_(std::move(profiles)),
+        comparator_(std::move(comparator)),
+        extractor_(std::move(extractor)) {}
+
+  [[nodiscard]] const std::vector<TrainingItemProfile>& profiles() const { return profiles_; }
+  [[nodiscard]] const TrainingItemProfile& profile(int index) const;
+  [[nodiscard]] const domain::VideoComparator& comparator() const { return comparator_; }
+  [[nodiscard]] const features::FrameFeatureExtractor& extractor() const { return *extractor_; }
+
+  /// T_i* for an incoming feature matrix (§IV-B.2).
+  [[nodiscard]] domain::VideoComparator::Match match(const linalg::Matrix& features) const {
+    return comparator_.best_match(features);
+  }
+
+ private:
+  std::vector<TrainingItemProfile> profiles_;
+  domain::VideoComparator comparator_;
+  std::shared_ptr<const features::FrameFeatureExtractor> extractor_;
+};
+
+/// Shared bank of trained detectors (the algorithms pre-installed on every
+/// camera, §IV).
+using DetectorBank = std::vector<std::unique_ptr<detect::Detector>>;
+
+/// Run the offline phase over the training segments (frames 0..999) of the
+/// given datasets x 4 cameras. Deterministic in `seed`.
+[[nodiscard]] OfflineKnowledge run_offline_training(const DetectorBank& detectors,
+                                                    const std::vector<int>& dataset_ids,
+                                                    std::uint64_t seed,
+                                                    const OfflineOptions& options = {});
+
+/// Profile the algorithms on one specific video segment (used by the table
+/// benches): sweeps thresholds on `eval_frames`.
+[[nodiscard]] std::vector<AlgorithmProfile> profile_segment(
+    const DetectorBank& detectors, const std::vector<imaging::Image>& frames,
+    const std::vector<std::vector<video::GroundTruthBox>>& truths, const OfflineOptions& options);
+
+/// Same, but with externally fixed thresholds (e.g. Table IV re-uses the
+/// thresholds learned on the training segment).
+[[nodiscard]] std::vector<AlgorithmProfile> profile_segment_fixed_thresholds(
+    const DetectorBank& detectors, const std::vector<imaging::Image>& frames,
+    const std::vector<std::vector<video::GroundTruthBox>>& truths,
+    const std::vector<double>& thresholds, const OfflineOptions& options);
+
+}  // namespace eecs::core

@@ -1,0 +1,307 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "features/color_feature.hpp"
+#include "net/messages.hpp"
+
+namespace eecs::core {
+
+namespace {
+
+const detect::Detector& detector_for(const DetectorBank& detectors, detect::AlgorithmId id) {
+  for (const auto& d : detectors) {
+    if (d->id() == id) return *d;
+  }
+  throw ContractViolation("detector_for: algorithm not in bank");
+}
+
+/// Training-item profile of a (dataset, camera) feed.
+const TrainingItemProfile* find_profile(const OfflineKnowledge& knowledge, int dataset,
+                                        int camera) {
+  for (const auto& p : knowledge.profiles()) {
+    if (p.dataset == dataset && p.camera == camera) return &p;
+  }
+  return nullptr;
+}
+
+/// One camera's processing of one frame during operation: detect, extract
+/// color features, upload metadata + JPEG crops, and account energy.
+struct FrameOutcome {
+  std::vector<reid::ViewDetection> detections;
+  double cpu_joules = 0.0;
+  std::size_t comm_bytes = 0;
+};
+
+FrameOutcome process_camera_frame(const detect::Detector& detector, double threshold, int camera,
+                                  const imaging::Image& frame, const OfflineOptions& models) {
+  FrameOutcome outcome;
+  energy::CostCounter cost;
+  const auto raw = detector.detect(frame, &cost);
+  for (const auto& det : raw) {
+    if (det.score < threshold) continue;
+    reid::ViewDetection vd;
+    vd.camera = camera;
+    vd.detection = det;
+    vd.color_feature = features::color_feature(frame, det.box, &cost);
+    outcome.comm_bytes += 172;  // §V-A metadata per object.
+    outcome.comm_bytes += models.jpeg_model.region_bytes(frame, det.box);
+    outcome.detections.push_back(std::move(vd));
+  }
+  outcome.cpu_joules = models.cpu_model.joules(cost);
+  return outcome;
+}
+
+/// Countable (per metrics defaults) ground truth person ids in one view.
+std::set<int> countable_ids(const std::vector<video::GroundTruthBox>& truth) {
+  const MatchOptions opts;
+  std::set<int> ids;
+  for (const auto& gt : truth) {
+    if (gt.visibility >= opts.min_visibility && gt.in_image_fraction >= opts.min_in_image) {
+      ids.insert(gt.person_id);
+    }
+  }
+  return ids;
+}
+
+std::vector<detect::Detection> to_detections(const std::vector<reid::ViewDetection>& views) {
+  std::vector<detect::Detection> out;
+  out.reserve(views.size());
+  for (const auto& v : views) out.push_back(v.detection);
+  return out;
+}
+
+}  // namespace
+
+reid::ColorGate fit_color_gate(int dataset, std::uint64_t seed, int calibration_frames) {
+  video::SceneSimulator sim(video::dataset_by_id(dataset), seed);
+  std::vector<std::vector<float>> features;
+  std::vector<int> labels;
+  for (int f = 0; f < calibration_frames; ++f) {
+    const video::MultiViewFrame frame = sim.next_frame();
+    for (std::size_t cam = 0; cam < frame.views.size(); ++cam) {
+      for (const auto& gt : frame.truth[cam]) {
+        if (gt.visibility < 0.7 || gt.in_image_fraction < 0.8) continue;
+        features.push_back(features::color_feature(frame.views[cam], gt.box));
+        // Distinct label per (frame, person): appearance pairs must come from
+        // simultaneous views, not the same person at different times.
+        labels.push_back(f * 1000 + gt.person_id);
+      }
+    }
+    sim.skip(sim.environment().ground_truth_stride - 1);
+  }
+  return reid::ColorGate(features, labels);
+}
+
+reid::ReIdentifier make_reidentifier(const video::SceneSimulator& sim,
+                                     const reid::ReIdParams& params) {
+  std::vector<geometry::Homography> image_to_ground;
+  image_to_ground.reserve(sim.cameras().size());
+  for (const auto& cam : sim.cameras()) {
+    image_to_ground.push_back(cam.ground_homography().inverse());
+  }
+  return reid::ReIdentifier(std::move(image_to_ground), params);
+}
+
+SimulationResult run_eecs_simulation(const DetectorBank& detectors,
+                                     const OfflineKnowledge& knowledge,
+                                     const EecsSimulationConfig& config) {
+  EECS_EXPECTS(config.start_frame < config.end_frame);
+  video::SceneSimulator sim(video::dataset_by_id(config.dataset), config.seed);
+  const int stride = sim.environment().ground_truth_stride * config.gt_frame_step;
+  const int num_cameras = static_cast<int>(sim.cameras().size());
+
+  // Network: node 0 is the controller; nodes 1..M the cameras.
+  net::Network network(config.models.radio_model, config.seed ^ 0xabcd);
+  (void)network.add_node({});
+  std::vector<int> net_node(static_cast<std::size_t>(num_cameras));
+  std::vector<energy::Battery> batteries;
+  for (int c = 0; c < num_cameras; ++c) {
+    net_node[static_cast<std::size_t>(c)] = network.add_node({});
+    batteries.emplace_back(1.0e5);
+  }
+
+  reid::ReIdentifier reidentifier = make_reidentifier(sim);
+  reidentifier.set_color_gate(fit_color_gate(config.dataset, config.seed + 17));
+  EecsController controller(knowledge, std::move(reidentifier), config.controller);
+
+  SimulationResult result;
+
+  // §IV-B.1: feature upload + registration. Uses early test-segment frames.
+  sim.skip(config.start_frame);
+  {
+    std::vector<std::vector<imaging::Image>> reg_frames(static_cast<std::size_t>(num_cameras));
+    for (int f = 0; f < config.upload_feature_frames; ++f) {
+      const video::MultiViewFrame frame = sim.next_frame();
+      for (int c = 0; c < num_cameras; ++c) {
+        reg_frames[static_cast<std::size_t>(c)].push_back(frame.views[static_cast<std::size_t>(c)]);
+      }
+      sim.skip(stride - 1);
+    }
+    for (int c = 0; c < num_cameras; ++c) {
+      energy::CostCounter cost;
+      const auto& frames = reg_frames[static_cast<std::size_t>(c)];
+      linalg::Matrix features(static_cast<int>(frames.size()), knowledge.extractor().dimension());
+      net::FeatureUploadMsg msg;
+      msg.camera_id = c;
+      msg.feature_dim = knowledge.extractor().dimension();
+      msg.energy_budget = config.budget_per_frame;
+      for (std::size_t i = 0; i < frames.size(); ++i) {
+        const auto f = knowledge.extractor().extract(frames[i], &cost);
+        for (int d = 0; d < features.cols(); ++d) {
+          features(static_cast<int>(i), d) = f[static_cast<std::size_t>(d)];
+          msg.features.push_back(f[static_cast<std::size_t>(d)]);
+        }
+      }
+      const auto tx = network.send(net_node[static_cast<std::size_t>(c)], 0, encode(msg));
+      result.cpu_joules += config.models.cpu_model.joules(cost);
+      result.radio_joules += tx.tx_joules;
+      batteries[static_cast<std::size_t>(c)].drain(config.models.cpu_model.joules(cost) +
+                                                   tx.tx_joules);
+      controller.register_camera(c, features, config.budget_per_frame);
+    }
+  }
+
+  // Recalibration rounds.
+  while (sim.frame_index() + stride * config.assessment_gt_frames < config.end_frame) {
+    // --- Assessment window: every camera runs every affordable algorithm on
+    // the next GT frames. (Bookkeeping cost only; the paper's Fig. 5 energy
+    // covers the operation phase — see EXPERIMENTS.md.)
+    AssessmentData assessment;
+    for (int f = 0; f < config.assessment_gt_frames; ++f) {
+      const video::MultiViewFrame frame = sim.next_frame();
+      for (int c = 0; c < num_cameras; ++c) {
+        for (detect::AlgorithmId alg : config.controller.algorithms) {
+          const AlgorithmProfile* profile = controller.entry(c, alg);
+          if (profile == nullptr) continue;  // Over budget or not ranked.
+          const FrameOutcome outcome =
+              process_camera_frame(detector_for(detectors, alg), profile->threshold, c,
+                                   frame.views[static_cast<std::size_t>(c)], config.models);
+          assessment[c][alg].frames.resize(static_cast<std::size_t>(config.assessment_gt_frames));
+          assessment[c][alg].frames[static_cast<std::size_t>(f)] = outcome.detections;
+        }
+      }
+      sim.skip(stride - 1);
+      if (sim.frame_index() >= config.end_frame) break;
+    }
+
+    const EecsController::Selection selection = controller.select(assessment, config.mode);
+    result.rounds.push_back({sim.frame_index(), selection.stats});
+
+    // Push assignments to the cameras over the network.
+    for (const auto& a : selection.assignments) {
+      net::AlgorithmAssignmentMsg msg;
+      msg.camera_id = a.camera;
+      msg.algorithm = static_cast<std::uint8_t>(a.algorithm);
+      msg.threshold = static_cast<float>(a.threshold);
+      msg.active = a.active ? 1 : 0;
+      (void)network.send(0, net_node[static_cast<std::size_t>(a.camera)], encode(msg));
+    }
+
+    // --- Operation window.
+    for (int f = 0; f < config.operation_gt_frames; ++f) {
+      if (sim.frame_index() >= config.end_frame) break;
+      const video::MultiViewFrame frame = sim.next_frame();
+      ++result.gt_frames_processed;
+
+      std::set<int> present;
+      for (int c = 0; c < num_cameras; ++c) {
+        for (int id : countable_ids(frame.truth[static_cast<std::size_t>(c)])) present.insert(id);
+      }
+      result.humans_present += static_cast<int>(present.size());
+
+      std::set<int> detected;
+      for (const auto& a : selection.assignments) {
+        if (!a.active) continue;
+        const FrameOutcome outcome = process_camera_frame(
+            detector_for(detectors, a.algorithm), a.threshold, a.camera,
+            frame.views[static_cast<std::size_t>(a.camera)], config.models);
+
+        net::DetectionMetadataMsg msg;
+        msg.camera_id = a.camera;
+        msg.frame_index = frame.index;
+        msg.algorithm = static_cast<std::uint8_t>(a.algorithm);
+        for (const auto& vd : outcome.detections) {
+          net::ObjectMetadata obj;
+          obj.x = static_cast<std::uint16_t>(std::clamp(vd.detection.box.x, 0.0, 65535.0));
+          obj.y = static_cast<std::uint16_t>(std::clamp(vd.detection.box.y, 0.0, 65535.0));
+          obj.w = static_cast<std::uint16_t>(std::clamp(vd.detection.box.w, 0.0, 65535.0));
+          obj.h = static_cast<std::uint16_t>(std::clamp(vd.detection.box.h, 0.0, 65535.0));
+          obj.probability = static_cast<float>(vd.detection.probability);
+          obj.color_feature = vd.color_feature;
+          msg.objects.push_back(std::move(obj));
+        }
+        const auto tx = network.send(net_node[static_cast<std::size_t>(a.camera)], 0, encode(msg));
+        // JPEG crops of the detected objects ride along (charged per byte).
+        const double crop_joules =
+            config.models.radio_model.joules_per_byte * static_cast<double>(outcome.comm_bytes);
+
+        result.cpu_joules += outcome.cpu_joules;
+        result.radio_joules += tx.tx_joules + crop_joules;
+        batteries[static_cast<std::size_t>(a.camera)].drain(outcome.cpu_joules + tx.tx_joules +
+                                                            crop_joules);
+
+        const MatchResult match = match_detections(
+            to_detections(outcome.detections), frame.truth[static_cast<std::size_t>(a.camera)]);
+        for (int id : match.matched_person_ids) detected.insert(id);
+      }
+      // Only persons actually present count (a matched ignore-region person
+      // cannot occur since matching skips them).
+      for (int id : detected) {
+        if (present.count(id) > 0) ++result.humans_detected;
+      }
+      sim.skip(stride - 1);
+    }
+    (void)network.advance_to(network.now() + 1.0);
+  }
+  return result;
+}
+
+SimulationResult run_fixed_combo(const DetectorBank& detectors, const OfflineKnowledge& knowledge,
+                                 const FixedCombo& combo, const FixedComboConfig& config) {
+  EECS_EXPECTS(!combo.active.empty());
+  video::SceneSimulator sim(video::dataset_by_id(config.dataset), config.seed);
+  const int stride = sim.environment().ground_truth_stride * config.gt_frame_step;
+  const int num_cameras = static_cast<int>(sim.cameras().size());
+
+  SimulationResult result;
+  sim.skip(config.start_frame);
+  while (sim.frame_index() < config.end_frame) {
+    const video::MultiViewFrame frame = sim.next_frame();
+    ++result.gt_frames_processed;
+
+    std::set<int> present;
+    for (int c = 0; c < num_cameras; ++c) {
+      for (int id : countable_ids(frame.truth[static_cast<std::size_t>(c)])) present.insert(id);
+    }
+    result.humans_present += static_cast<int>(present.size());
+
+    std::set<int> detected;
+    for (const auto& [camera, algorithm] : combo.active) {
+      EECS_EXPECTS(camera >= 0 && camera < num_cameras);
+      const TrainingItemProfile* item = find_profile(knowledge, config.dataset, camera);
+      EECS_EXPECTS(item != nullptr);
+      const AlgorithmProfile* profile = item->find(algorithm);
+      EECS_EXPECTS(profile != nullptr);
+
+      const FrameOutcome outcome =
+          process_camera_frame(detector_for(detectors, algorithm), profile->threshold, camera,
+                               frame.views[static_cast<std::size_t>(camera)], config.models);
+      result.cpu_joules += outcome.cpu_joules;
+      result.radio_joules +=
+          config.models.radio_model.tx_joules(outcome.comm_bytes);
+
+      const MatchResult match = match_detections(to_detections(outcome.detections),
+                                                 frame.truth[static_cast<std::size_t>(camera)]);
+      for (int id : match.matched_person_ids) detected.insert(id);
+    }
+    for (int id : detected) {
+      if (present.count(id) > 0) ++result.humans_detected;
+    }
+    sim.skip(stride - 1);
+  }
+  return result;
+}
+
+}  // namespace eecs::core

@@ -1,0 +1,90 @@
+// Closed-loop EECS simulation (§VI-E, Figs. 5 and 6) plus the fixed
+// camera/algorithm combination runner behind Figs. 3 and 4: camera nodes
+// render frames from the scene simulator, detect with their assigned
+// algorithm, upload metadata over the simulated network, and the controller
+// periodically re-selects cameras and algorithms from assessment metadata.
+#pragma once
+
+#include "core/controller.hpp"
+#include "net/network.hpp"
+
+namespace eecs::core {
+
+struct EecsSimulationConfig {
+  int dataset = 1;
+  std::uint64_t seed = 777;
+  SelectionMode mode = SelectionMode::SubsetDowngrade;
+  /// Per-frame energy budget B_j (identical cameras); algorithms that do not
+  /// fit are not even assessed (§IV).
+  double budget_per_frame = 1e9;
+  ControllerParams controller;
+  /// Test segment (paper: frames 1001..2950).
+  int start_frame = 1000;
+  int end_frame = 2950;
+  /// Ground-truth frames per assessment window (paper: 100 frames at GT
+  /// stride 25 -> 4) and per operation window (500 frames -> 20).
+  int assessment_gt_frames = 4;
+  int operation_gt_frames = 20;
+  /// Process every k-th ground-truth frame (runtime knob; 1 = all).
+  int gt_frame_step = 1;
+  /// Number of frames whose features form the §IV-B.1 upload.
+  int upload_feature_frames = 12;
+  OfflineOptions models;  ///< Energy/radio/JPEG models shared with offline.
+};
+
+struct RoundLog {
+  int start_frame = 0;
+  SelectionStats stats;
+};
+
+struct SimulationResult {
+  double cpu_joules = 0.0;
+  double radio_joules = 0.0;
+  int humans_detected = 0;  ///< Unique (frame, person) pairs detected.
+  int humans_present = 0;   ///< Countable (frame, person) pairs in the scene.
+  int gt_frames_processed = 0;
+  std::vector<RoundLog> rounds;
+
+  [[nodiscard]] double total_joules() const { return cpu_joules + radio_joules; }
+  [[nodiscard]] double detection_rate() const {
+    return humans_present > 0 ? static_cast<double>(humans_detected) / humans_present : 0.0;
+  }
+};
+
+/// Fit the controller's appearance gate from annotated training-segment
+/// frames (offline calibration, §IV-C).
+[[nodiscard]] reid::ColorGate fit_color_gate(int dataset, std::uint64_t seed,
+                                             int calibration_frames = 6);
+
+/// Build the re-identifier from the dataset's provided calibration (the
+/// analytic ground homographies of the simulator's cameras).
+[[nodiscard]] reid::ReIdentifier make_reidentifier(const video::SceneSimulator& sim,
+                                                   const reid::ReIdParams& params = {});
+
+/// Run the full adaptive loop.
+[[nodiscard]] SimulationResult run_eecs_simulation(const DetectorBank& detectors,
+                                                   const OfflineKnowledge& knowledge,
+                                                   const EecsSimulationConfig& config);
+
+/// A fixed (camera, algorithm) combination, e.g. Fig. 4's "2HOG+2ACF".
+struct FixedCombo {
+  std::vector<std::pair<int, detect::AlgorithmId>> active;
+};
+
+struct FixedComboConfig {
+  int dataset = 1;
+  std::uint64_t seed = 777;
+  int start_frame = 1000;
+  int end_frame = 2950;
+  int gt_frame_step = 1;
+  OfflineOptions models;
+};
+
+/// Run a fixed combination over the test segment; thresholds come from the
+/// offline profiles of the same (dataset, camera).
+[[nodiscard]] SimulationResult run_fixed_combo(const DetectorBank& detectors,
+                                               const OfflineKnowledge& knowledge,
+                                               const FixedCombo& combo,
+                                               const FixedComboConfig& config);
+
+}  // namespace eecs::core

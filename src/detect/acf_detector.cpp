@@ -1,0 +1,169 @@
+#include "detect/acf_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "detect/nms.hpp"
+#include "imaging/filter.hpp"
+
+namespace eecs::detect {
+
+ChannelMap compute_acf_channels(const imaging::Image& img, energy::CostCounter* cost) {
+  const int aw = img.width() / kAcfShrink;
+  const int ah = img.height() / kAcfShrink;
+  ChannelMap map;
+  map.width = aw;
+  map.height = ah;
+  map.data.assign(static_cast<std::size_t>(kAcfChannels) * static_cast<std::size_t>(aw) *
+                      static_cast<std::size_t>(ah),
+                  0.0f);
+  if (aw == 0 || ah == 0) return map;
+
+  auto plane = [&](int c) {
+    return map.data.data() + static_cast<std::size_t>(c) * static_cast<std::size_t>(aw) *
+                                 static_cast<std::size_t>(ah);
+  };
+
+  // Color channels: block-averaged RGB (grayscale images replicate).
+  for (int c = 0; c < 3; ++c) {
+    float* dst = plane(c);
+    const int src_c = img.channels() == 3 ? c : 0;
+    for (int y = 0; y < ah; ++y) {
+      for (int x = 0; x < aw; ++x) {
+        float s = 0.0f;
+        for (int dy = 0; dy < kAcfShrink; ++dy) {
+          for (int dx = 0; dx < kAcfShrink; ++dx) {
+            s += img.at_clamped(x * kAcfShrink + dx, y * kAcfShrink + dy, src_c);
+          }
+        }
+        dst[y * aw + x] = s / (kAcfShrink * kAcfShrink);
+      }
+    }
+  }
+
+  // Gradient magnitude + 6 orientation channels, aggregated.
+  const imaging::Gradients grads = imaging::compute_gradients(img);
+  constexpr int kOrientations = 6;
+  const float bin_width = std::numbers::pi_v<float> / kOrientations;
+  float* mag_plane = plane(3);
+  for (int y = 0; y < ah; ++y) {
+    for (int x = 0; x < aw; ++x) {
+      float mag_sum = 0.0f;
+      float orient_sum[kOrientations] = {};
+      for (int dy = 0; dy < kAcfShrink; ++dy) {
+        for (int dx = 0; dx < kAcfShrink; ++dx) {
+          const int px = std::min(x * kAcfShrink + dx, grads.magnitude.width() - 1);
+          const int py = std::min(y * kAcfShrink + dy, grads.magnitude.height() - 1);
+          const float m = grads.magnitude.at(px, py);
+          mag_sum += m;
+          const int bin = std::min(kOrientations - 1,
+                                   static_cast<int>(grads.orientation.at(px, py) / bin_width));
+          orient_sum[bin] += m;
+        }
+      }
+      mag_plane[y * aw + x] = mag_sum / (kAcfShrink * kAcfShrink);
+      for (int o = 0; o < kOrientations; ++o) {
+        plane(4 + o)[y * aw + x] = orient_sum[o] / (kAcfShrink * kAcfShrink);
+      }
+    }
+  }
+
+  if (cost != nullptr) {
+    // One gradient pass plus one aggregation pass over all pixels.
+    cost->add_pixels(2 * img.pixel_count());
+  }
+  return map;
+}
+
+std::vector<float> acf_window_features(const ChannelMap& channels, int x0, int y0) {
+  EECS_EXPECTS(x0 >= 0 && y0 >= 0);
+  EECS_EXPECTS(x0 + kAcfWindowX <= channels.width && y0 + kAcfWindowY <= channels.height);
+  std::vector<float> feat;
+  feat.reserve(static_cast<std::size_t>(kAcfChannels * kAcfWindowX * kAcfWindowY));
+  for (int c = 0; c < kAcfChannels; ++c) {
+    for (int y = 0; y < kAcfWindowY; ++y) {
+      for (int x = 0; x < kAcfWindowX; ++x) feat.push_back(channels.at(x0 + x, y0 + y, c));
+    }
+  }
+  return feat;
+}
+
+void AcfDetector::train(const TrainingSet& training_set, Rng& rng) {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (const auto& p : training_set.positives) {
+    x.push_back(acf_window_features(compute_acf_channels(p), 0, 0));
+    y.push_back(1);
+  }
+  for (const auto& n : training_set.negatives) {
+    x.push_back(acf_window_features(compute_acf_channels(n), 0, 0));
+    y.push_back(-1);
+  }
+  model_ = train_adaboost(x, y, rng, params_.boost);
+
+  std::vector<double> pos_scores, neg_scores;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    (y[i] == 1 ? pos_scores : neg_scores).push_back(model_.score(x[i]));
+  }
+  fit_score_calibration(pos_scores, neg_scores);
+}
+
+std::vector<Detection> AcfDetector::detect(const imaging::Image& frame,
+                                           energy::CostCounter* cost) const {
+  EECS_EXPECTS(trained());
+  std::vector<Detection> candidates;
+
+  for (double scale : pyramid_scales(params_.min_scale, params_.max_scale, params_.scale_factor)) {
+    const int sw = static_cast<int>(std::lround(frame.width() * scale));
+    const int sh = static_cast<int>(std::lround(frame.height() * scale));
+    if (sw < kWindowWidth || sh < kWindowHeight) continue;
+    const imaging::Image scaled =
+        scale == 1.0 ? frame : imaging::resize(frame, sw, sh);
+    if (scale != 1.0 && cost != nullptr) cost->add_pixels(scaled.pixel_count());
+
+    double total_alpha = 0.0;
+    for (const Stump& st : model_.stumps) total_alpha += std::abs(static_cast<double>(st.alpha));
+
+    const ChannelMap channels = compute_acf_channels(scaled, cost);
+    const int max_x = channels.width - kAcfWindowX;
+    const int max_y = channels.height - kAcfWindowY;
+    for (int y0 = 0; y0 <= max_y; ++y0) {
+      for (int x0 = 0; x0 <= max_x; ++x0) {
+        // Evaluate stumps directly against the channel map (no feature
+        // materialization), with soft-cascade early rejection: bail out as
+        // soon as the window provably cannot reach an interesting score.
+        double s = 0.0;
+        double remaining = total_alpha;
+        std::size_t evaluated = 0;
+        bool rejected = false;
+        for (const Stump& st : model_.stumps) {
+          const int c = st.feature / (kAcfWindowX * kAcfWindowY);
+          const int rem = st.feature % (kAcfWindowX * kAcfWindowY);
+          const int cy = rem / kAcfWindowX;
+          const int cx = rem % kAcfWindowX;
+          const float v = channels.at(x0 + cx, y0 + cy, c);
+          s += static_cast<double>(st.alpha) * ((v > st.threshold) ? st.polarity : -st.polarity);
+          remaining -= std::abs(static_cast<double>(st.alpha));
+          ++evaluated;
+          if (evaluated % static_cast<std::size_t>(params_.cascade_check_every) == 0 &&
+              s + remaining < static_cast<double>(params_.cascade_margin) * total_alpha) {
+            rejected = true;
+            break;
+          }
+        }
+        if (cost != nullptr) cost->add_classifier(2 * evaluated);
+        if (rejected || s <= params_.score_floor) continue;
+        Detection d;
+        d.box = window_to_person_box({x0 * kAcfShrink / scale, y0 * kAcfShrink / scale, kWindowWidth / scale,
+                 kWindowHeight / scale});
+        d.score = s;
+        d.probability = calibrated_probability(s);
+        candidates.push_back(d);
+      }
+    }
+  }
+  return non_max_suppression(std::move(candidates), params_.nms_iou);
+}
+
+}  // namespace eecs::detect

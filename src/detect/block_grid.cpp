@@ -1,0 +1,102 @@
+#include "detect/block_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eecs::detect {
+
+BlockGrid::BlockGrid(const imaging::Image& img, const features::HogParams& params,
+                     energy::CostCounter* cost)
+    : params_(params) {
+  const features::HogGrid grid = features::compute_hog_grid(img, params, cost);
+  const int bs = params.block_size;
+  blocks_x_ = std::max(0, grid.cells_x() - bs + 1);
+  blocks_y_ = std::max(0, grid.cells_y() - bs + 1);
+  block_dim_ = bs * bs * params.bins;
+  data_.assign(static_cast<std::size_t>(blocks_x_) * static_cast<std::size_t>(blocks_y_) *
+                   static_cast<std::size_t>(block_dim_),
+               0.0f);
+
+  std::vector<float> block(static_cast<std::size_t>(block_dim_));
+  for (int by = 0; by < blocks_y_; ++by) {
+    for (int bx = 0; bx < blocks_x_; ++bx) {
+      std::size_t k = 0;
+      for (int cy = 0; cy < bs; ++cy) {
+        for (int cx = 0; cx < bs; ++cx) {
+          const auto cell = grid.cell(bx + cx, by + cy);
+          for (float v : cell) block[k++] = v;
+        }
+      }
+      auto l2norm = [](std::span<const float> v) {
+        double s = 0.0;
+        for (float x : v) s += static_cast<double>(x) * static_cast<double>(x);
+        return static_cast<float>(std::sqrt(s) + 1e-6);
+      };
+      float n = l2norm(block);
+      for (auto& v : block) v = std::min(v / n, 0.2f);
+      n = l2norm(block);
+      float* dst = data_.data() + (static_cast<std::size_t>(by) * static_cast<std::size_t>(blocks_x_) +
+                                   static_cast<std::size_t>(bx)) *
+                                      static_cast<std::size_t>(block_dim_);
+      for (int i = 0; i < block_dim_; ++i) dst[i] = block[static_cast<std::size_t>(i)] / n;
+    }
+  }
+  if (cost != nullptr) {
+    cost->add_features(data_.size() * 3);  // Gather + two normalization passes.
+  }
+}
+
+std::span<const float> BlockGrid::block(int bx, int by) const {
+  EECS_EXPECTS(bx >= 0 && bx < blocks_x_ && by >= 0 && by < blocks_y_);
+  return {data_.data() + (static_cast<std::size_t>(by) * static_cast<std::size_t>(blocks_x_) +
+                          static_cast<std::size_t>(bx)) *
+                             static_cast<std::size_t>(block_dim_),
+          static_cast<std::size_t>(block_dim_)};
+}
+
+float BlockGrid::window_score(const LinearModel& model, int cell_x0, int cell_y0,
+                              int window_cells_x, int window_cells_y,
+                              energy::CostCounter* cost) const {
+  const int bs = params_.block_size;
+  const int wbx = window_cells_x - bs + 1;
+  const int wby = window_cells_y - bs + 1;
+  EECS_EXPECTS(cell_x0 >= 0 && cell_y0 >= 0);
+  EECS_EXPECTS(cell_x0 + wbx <= blocks_x_ && cell_y0 + wby <= blocks_y_);
+  EECS_EXPECTS(static_cast<int>(model.weights.size()) == wbx * wby * block_dim_);
+
+  double s = model.bias;
+  const float* w = model.weights.data();
+  for (int by = 0; by < wby; ++by) {
+    for (int bx = 0; bx < wbx; ++bx) {
+      const std::span<const float> blk = block(cell_x0 + bx, cell_y0 + by);
+      double partial = 0.0;
+      for (int i = 0; i < block_dim_; ++i) {
+        partial += static_cast<double>(w[i]) * static_cast<double>(blk[static_cast<std::size_t>(i)]);
+      }
+      s += partial;
+      w += block_dim_;
+    }
+  }
+  if (cost != nullptr) cost->add_classifier(static_cast<std::uint64_t>(wbx * wby * block_dim_));
+  return static_cast<float>(s);
+}
+
+std::vector<float> BlockGrid::window_descriptor(int cell_x0, int cell_y0, int window_cells_x,
+                                                int window_cells_y) const {
+  const int bs = params_.block_size;
+  const int wbx = window_cells_x - bs + 1;
+  const int wby = window_cells_y - bs + 1;
+  EECS_EXPECTS(cell_x0 >= 0 && cell_y0 >= 0);
+  EECS_EXPECTS(cell_x0 + wbx <= blocks_x_ && cell_y0 + wby <= blocks_y_);
+  std::vector<float> desc;
+  desc.reserve(static_cast<std::size_t>(wbx * wby * block_dim_));
+  for (int by = 0; by < wby; ++by) {
+    for (int bx = 0; bx < wbx; ++bx) {
+      const auto blk = block(cell_x0 + bx, cell_y0 + by);
+      desc.insert(desc.end(), blk.begin(), blk.end());
+    }
+  }
+  return desc;
+}
+
+}  // namespace eecs::detect

@@ -1,0 +1,49 @@
+// Precomputed block-normalized HOG features over a whole image, with an
+// allocation-free sliding-window scorer. Shared by the HOG and LSVM
+// detectors: computing block normalization once per scale instead of per
+// window is what makes dense scanning tractable.
+#pragma once
+
+#include <vector>
+
+#include "detect/linear_svm.hpp"
+#include "energy/cost.hpp"
+#include "features/hog.hpp"
+
+namespace eecs::detect {
+
+class BlockGrid {
+ public:
+  /// Compute all 2x2-cell L2-hys-normalized blocks of the image's HOG grid.
+  explicit BlockGrid(const imaging::Image& img, const features::HogParams& params = {},
+                     energy::CostCounter* cost = nullptr);
+
+  [[nodiscard]] int blocks_x() const { return blocks_x_; }
+  [[nodiscard]] int blocks_y() const { return blocks_y_; }
+  /// Floats per block (= block_size^2 * bins).
+  [[nodiscard]] int block_dim() const { return block_dim_; }
+  [[nodiscard]] const features::HogParams& params() const { return params_; }
+
+  [[nodiscard]] std::span<const float> block(int bx, int by) const;
+
+  /// Score of a window whose top-left cell is (cell_x0, cell_y0), spanning
+  /// window_cells_x x window_cells_y cells, against a linear model laid out
+  /// like features::window_descriptor. Charges classifier MACs to `cost`.
+  [[nodiscard]] float window_score(const LinearModel& model, int cell_x0, int cell_y0,
+                                   int window_cells_x, int window_cells_y,
+                                   energy::CostCounter* cost = nullptr) const;
+
+  /// Materialize the window descriptor (identical layout/values to
+  /// features::window_descriptor); used in training and tests.
+  [[nodiscard]] std::vector<float> window_descriptor(int cell_x0, int cell_y0, int window_cells_x,
+                                                     int window_cells_y) const;
+
+ private:
+  features::HogParams params_;
+  int blocks_x_ = 0;
+  int blocks_y_ = 0;
+  int block_dim_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace eecs::detect

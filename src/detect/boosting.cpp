@@ -1,0 +1,119 @@
+#include "detect/boosting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/contracts.hpp"
+
+namespace eecs::detect {
+
+float BoostedModel::score(std::span<const float> x) const {
+  double s = 0.0;
+  for (const Stump& st : stumps) {
+    const float v = x[static_cast<std::size_t>(st.feature)];
+    const float h = (v > st.threshold) ? st.polarity : -st.polarity;
+    s += static_cast<double>(st.alpha) * static_cast<double>(h);
+  }
+  return static_cast<float>(s);
+}
+
+namespace {
+
+struct BestSplit {
+  double error = 1.0;
+  float threshold = 0.0f;
+  float polarity = 1.0f;
+};
+
+/// Best threshold/polarity for one feature given a precomputed ascending
+/// sample order for that feature.
+BestSplit best_split_for_feature(const std::vector<std::vector<float>>& x,
+                                 const std::vector<int>& y, const std::vector<double>& w,
+                                 int feature, std::span<const int> order) {
+  const std::size_t n = x.size();
+  double total_pos = 0.0, total_neg = 0.0;
+  for (std::size_t i = 0; i < n; ++i) (y[i] == 1 ? total_pos : total_neg) += w[i];
+
+  BestSplit best;
+  // Sweep thresholds between consecutive distinct values. For "x > t ->
+  // positive" the error at a split is (positives below) + (negatives above).
+  double pos_below = 0.0, neg_below = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = static_cast<std::size_t>(order[i]);
+    (y[idx] == 1 ? pos_below : neg_below) += w[idx];
+    const float value = x[idx][static_cast<std::size_t>(feature)];
+    if (i + 1 < n &&
+        x[static_cast<std::size_t>(order[i + 1])][static_cast<std::size_t>(feature)] == value) {
+      continue;
+    }
+    const double err_pos_polarity = pos_below + (total_neg - neg_below);
+    const double err_neg_polarity = neg_below + (total_pos - pos_below);
+    if (err_pos_polarity < best.error) best = {err_pos_polarity, value, +1.0f};
+    if (err_neg_polarity < best.error) best = {err_neg_polarity, value, -1.0f};
+  }
+  return best;
+}
+
+}  // namespace
+
+BoostedModel train_adaboost(const std::vector<std::vector<float>>& x, const std::vector<int>& y,
+                            Rng& rng, const BoostOptions& options) {
+  EECS_EXPECTS(!x.empty());
+  EECS_EXPECTS(x.size() == y.size());
+  const int dim = static_cast<int>(x.front().size());
+  EECS_EXPECTS(options.rounds >= 1 && options.features_per_round >= 1);
+
+  const std::size_t n = x.size();
+
+  // Sample order per feature, sorted once and reused across rounds: turns the
+  // per-round work into a linear weighted-error sweep.
+  std::vector<int> sort_cache(static_cast<std::size_t>(dim) * n);
+  for (int f = 0; f < dim; ++f) {
+    int* order = sort_cache.data() + static_cast<std::size_t>(f) * n;
+    std::iota(order, order + n, 0);
+    std::sort(order, order + n, [&](int a, int b) {
+      return x[static_cast<std::size_t>(a)][static_cast<std::size_t>(f)] <
+             x[static_cast<std::size_t>(b)][static_cast<std::size_t>(f)];
+    });
+  }
+
+  std::vector<double> w(n, 1.0 / static_cast<double>(n));
+  BoostedModel model;
+
+  for (int round = 0; round < options.rounds; ++round) {
+    const int k = std::min(options.features_per_round, dim);
+    const std::vector<int> features = rng.sample_indices(dim, k);
+
+    BestSplit best;
+    int best_feature = features.front();
+    for (int f : features) {
+      const BestSplit split = best_split_for_feature(
+          x, y, w, f, {sort_cache.data() + static_cast<std::size_t>(f) * n, n});
+      if (split.error < best.error) {
+        best = split;
+        best_feature = f;
+      }
+    }
+
+    const double eps = std::clamp(best.error, 1e-10, 1.0 - 1e-10);
+    if (eps >= 0.5) continue;  // No better than chance on this subsample.
+    const double alpha = 0.5 * std::log((1.0 - eps) / eps);
+
+    Stump stump{best_feature, best.threshold, best.polarity, static_cast<float>(alpha)};
+    model.stumps.push_back(stump);
+
+    // Reweight.
+    double sum_w = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float v = x[i][static_cast<std::size_t>(stump.feature)];
+      const float h = (v > stump.threshold) ? stump.polarity : -stump.polarity;
+      w[i] *= std::exp(-alpha * static_cast<double>(y[i]) * static_cast<double>(h));
+      sum_w += w[i];
+    }
+    for (auto& wi : w) wi /= sum_w;
+  }
+  return model;
+}
+
+}  // namespace eecs::detect

@@ -1,0 +1,38 @@
+// Discrete AdaBoost over decision stumps — the classifier of the ACF
+// detector (the paper's [4] boosts shallow trees over aggregated channels).
+// Each round examines a random feature subsample, keeping training fast.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace eecs::detect {
+
+struct Stump {
+  int feature = 0;
+  float threshold = 0.0f;
+  float polarity = 1.0f;  ///< +1: predict positive when x[f] > threshold.
+  float alpha = 0.0f;     ///< Round weight.
+};
+
+struct BoostedModel {
+  std::vector<Stump> stumps;
+
+  /// Additive score in alpha units; sign is the hard decision.
+  [[nodiscard]] float score(std::span<const float> x) const;
+  [[nodiscard]] bool trained() const { return !stumps.empty(); }
+};
+
+struct BoostOptions {
+  int rounds = 512;
+  int features_per_round = 256;  ///< Random feature subsample per round.
+};
+
+/// Train on rows of `x` with labels +1/-1.
+[[nodiscard]] BoostedModel train_adaboost(const std::vector<std::vector<float>>& x,
+                                          const std::vector<int>& y, Rng& rng,
+                                          const BoostOptions& options = {});
+
+}  // namespace eecs::detect

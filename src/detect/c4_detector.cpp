@@ -1,0 +1,171 @@
+#include "detect/c4_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "detect/nms.hpp"
+#include "features/census.hpp"
+#include "imaging/filter.hpp"
+
+namespace eecs::detect {
+
+CensusCellGrid::CensusCellGrid(const imaging::Image& img, energy::CostCounter* cost) {
+  const std::vector<std::uint8_t> codes = features::census_transform(img, cost);
+  cells_x_ = img.width() / kCensusCell;
+  cells_y_ = img.height() / kCensusCell;
+  hist_.assign(static_cast<std::size_t>(cells_x_) * static_cast<std::size_t>(cells_y_) *
+                   static_cast<std::size_t>(kCensusBins),
+               0.0f);
+  sq_norm_.assign(static_cast<std::size_t>(cells_x_) * static_cast<std::size_t>(cells_y_), 0.0f);
+
+  for (int cy = 0; cy < cells_y_; ++cy) {
+    for (int cx = 0; cx < cells_x_; ++cx) {
+      float* hist = hist_.data() + (static_cast<std::size_t>(cy) * static_cast<std::size_t>(cells_x_) +
+                                    static_cast<std::size_t>(cx)) *
+                                       static_cast<std::size_t>(kCensusBins);
+      for (int dy = 0; dy < kCensusCell; ++dy) {
+        for (int dx = 0; dx < kCensusCell; ++dx) {
+          const int x = cx * kCensusCell + dx;
+          const int y = cy * kCensusCell + dy;
+          const std::uint8_t code =
+              codes[static_cast<std::size_t>(y) * static_cast<std::size_t>(img.width()) +
+                    static_cast<std::size_t>(x)];
+          hist[code >> 4] += 1.0f;
+        }
+      }
+      float sq = 0.0f;
+      for (int b = 0; b < kCensusBins; ++b) sq += hist[b] * hist[b];
+      sq_norm_[static_cast<std::size_t>(cy) * static_cast<std::size_t>(cells_x_) +
+               static_cast<std::size_t>(cx)] = sq;
+    }
+  }
+  if (cost != nullptr) cost->add_features(img.pixel_count());
+}
+
+std::span<const float> CensusCellGrid::cell(int cx, int cy) const {
+  EECS_EXPECTS(cx >= 0 && cx < cells_x_ && cy >= 0 && cy < cells_y_);
+  return {hist_.data() + (static_cast<std::size_t>(cy) * static_cast<std::size_t>(cells_x_) +
+                          static_cast<std::size_t>(cx)) *
+                             static_cast<std::size_t>(kCensusBins),
+          static_cast<std::size_t>(kCensusBins)};
+}
+
+float CensusCellGrid::cell_sq_norm(int cx, int cy) const {
+  EECS_EXPECTS(cx >= 0 && cx < cells_x_ && cy >= 0 && cy < cells_y_);
+  return sq_norm_[static_cast<std::size_t>(cy) * static_cast<std::size_t>(cells_x_) +
+                  static_cast<std::size_t>(cx)];
+}
+
+std::vector<float> CensusCellGrid::window_descriptor(int cell_x0, int cell_y0) const {
+  EECS_EXPECTS(cell_x0 + kCensusCellsX <= cells_x_ && cell_y0 + kCensusCellsY <= cells_y_);
+  std::vector<float> desc;
+  desc.reserve(static_cast<std::size_t>(kCensusCellsX * kCensusCellsY * kCensusBins));
+  double sq = 0.0;
+  for (int cy = 0; cy < kCensusCellsY; ++cy) {
+    for (int cx = 0; cx < kCensusCellsX; ++cx) {
+      const auto h = cell(cell_x0 + cx, cell_y0 + cy);
+      desc.insert(desc.end(), h.begin(), h.end());
+      sq += cell_sq_norm(cell_x0 + cx, cell_y0 + cy);
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(sq) + 1e-9);
+  for (auto& v : desc) v /= norm;
+  return desc;
+}
+
+float CensusCellGrid::window_score(const LinearModel& model, int cell_x0, int cell_y0,
+                                   energy::CostCounter* cost) const {
+  EECS_EXPECTS(cell_x0 >= 0 && cell_y0 >= 0);
+  EECS_EXPECTS(cell_x0 + kCensusCellsX <= cells_x_ && cell_y0 + kCensusCellsY <= cells_y_);
+  EECS_EXPECTS(static_cast<int>(model.weights.size()) ==
+               kCensusCellsX * kCensusCellsY * kCensusBins);
+
+  double raw = 0.0;
+  double sq = 0.0;
+  const float* w = model.weights.data();
+  for (int cy = 0; cy < kCensusCellsY; ++cy) {
+    for (int cx = 0; cx < kCensusCellsX; ++cx) {
+      const auto h = cell(cell_x0 + cx, cell_y0 + cy);
+      for (int b = 0; b < kCensusBins; ++b) {
+        raw += static_cast<double>(w[b]) * static_cast<double>(h[static_cast<std::size_t>(b)]);
+      }
+      sq += cell_sq_norm(cell_x0 + cx, cell_y0 + cy);
+      w += kCensusBins;
+    }
+  }
+  if (cost != nullptr) {
+    cost->add_classifier(static_cast<std::uint64_t>(kCensusCellsX * kCensusCellsY * kCensusBins));
+  }
+  const double norm = std::sqrt(sq) + 1e-9;
+  return static_cast<float>(raw / norm + model.bias);
+}
+
+void C4Detector::train(const TrainingSet& training_set, Rng& rng) {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (const auto& p : training_set.positives) {
+    x.push_back(CensusCellGrid(p).window_descriptor(0, 0));
+    y.push_back(1);
+  }
+  for (const auto& n : training_set.negatives) {
+    x.push_back(CensusCellGrid(n).window_descriptor(0, 0));
+    y.push_back(-1);
+  }
+  model_ = train_linear_svm(x, y, rng);
+
+  std::vector<double> pos_scores, neg_scores;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    (y[i] == 1 ? pos_scores : neg_scores).push_back(model_.score(x[i]));
+  }
+  fit_score_calibration(pos_scores, neg_scores);
+}
+
+std::vector<Detection> C4Detector::detect(const imaging::Image& frame,
+                                          energy::CostCounter* cost) const {
+  EECS_EXPECTS(trained());
+  std::vector<Detection> candidates;
+
+  for (double scale : pyramid_scales(params_.min_scale, params_.max_scale, params_.scale_factor)) {
+    const int sw = static_cast<int>(std::lround(frame.width() * scale));
+    const int sh = static_cast<int>(std::lround(frame.height() * scale));
+    if (sw < kWindowWidth || sh < kWindowHeight) continue;
+    const imaging::Image scaled = imaging::resize(frame, sw, sh);
+    if (cost != nullptr) cost->add_pixels(scaled.pixel_count());
+
+    // C4 scans densely: the 8-pixel cell grid is evaluated at 4 anchor
+    // offsets, giving an effective 4-pixel window stride (the original C4
+    // slides its contour windows far more densely than HOG does). This is
+    // the dominant share of its compute cost.
+    constexpr int kOffsets[4][2] = {{0, 0}, {4, 0}, {0, 4}, {4, 4}};
+    for (const auto& offset : kOffsets) {
+      const int ox = offset[0];
+      const int oy = offset[1];
+      if (scaled.width() - ox < kWindowWidth || scaled.height() - oy < kWindowHeight) continue;
+      const imaging::Image shifted =
+          (ox == 0 && oy == 0)
+              ? scaled
+              : scaled.crop(ox, oy, scaled.width() - ox, scaled.height() - oy);
+      if ((ox != 0 || oy != 0) && cost != nullptr) cost->add_pixels(shifted.pixel_count());
+
+      const CensusCellGrid grid(shifted, cost);
+      const int max_cx = grid.cells_x() - kCensusCellsX;
+      const int max_cy = grid.cells_y() - kCensusCellsY;
+      for (int cy = 0; cy <= max_cy; ++cy) {
+        for (int cx = 0; cx <= max_cx; ++cx) {
+          const float s = grid.window_score(model_, cx, cy, cost);
+          if (s <= params_.score_floor) continue;
+          Detection d;
+          d.box = window_to_person_box({(cx * kCensusCell + ox) / scale,
+                                        (cy * kCensusCell + oy) / scale, kWindowWidth / scale,
+                                        kWindowHeight / scale});
+          d.score = s;
+          d.probability = calibrated_probability(s);
+          candidates.push_back(d);
+        }
+      }
+    }
+  }
+  return non_max_suppression(std::move(candidates), params_.nms_iou);
+}
+
+}  // namespace eecs::detect

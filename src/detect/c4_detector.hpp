@@ -1,0 +1,65 @@
+// C4-style contour-cue detector (Wu et al. — the paper's [6]): census
+// transform (CENTRIST) cell histograms classified by a linear SVM. Scans a
+// dense scale pyramid (finer than HOG's), and the per-pixel census transform
+// makes it the most compute-hungry of the gradient-family detectors, mirroring
+// its high measured energy in the paper's tables.
+#pragma once
+
+#include "detect/detector.hpp"
+#include "detect/linear_svm.hpp"
+
+namespace eecs::detect {
+
+inline constexpr int kCensusCell = 8;
+inline constexpr int kCensusBins = 16;  ///< High-nibble histogram bins.
+inline constexpr int kCensusCellsX = kWindowWidth / kCensusCell;    // 6
+inline constexpr int kCensusCellsY = kWindowHeight / kCensusCell;   // 12
+
+struct C4DetectorParams {
+  double min_scale = 0.11;
+  double max_scale = 1.55;
+  double scale_factor = 1.13;  ///< Dense ladder: ~2x the scales of HOG.
+  float score_floor = -0.8f;
+  double nms_iou = 0.30;
+};
+
+/// Grid of per-cell census-code histograms plus per-cell squared norms.
+class CensusCellGrid {
+ public:
+  explicit CensusCellGrid(const imaging::Image& img, energy::CostCounter* cost = nullptr);
+
+  [[nodiscard]] int cells_x() const { return cells_x_; }
+  [[nodiscard]] int cells_y() const { return cells_y_; }
+  [[nodiscard]] std::span<const float> cell(int cx, int cy) const;
+  [[nodiscard]] float cell_sq_norm(int cx, int cy) const;
+
+  /// L2-normalized window descriptor (kCensusCellsX x kCensusCellsY cells).
+  [[nodiscard]] std::vector<float> window_descriptor(int cell_x0, int cell_y0) const;
+
+  /// w . (x/||x||) computed without materializing the descriptor.
+  [[nodiscard]] float window_score(const LinearModel& model, int cell_x0, int cell_y0,
+                                   energy::CostCounter* cost = nullptr) const;
+
+ private:
+  int cells_x_ = 0;
+  int cells_y_ = 0;
+  std::vector<float> hist_;
+  std::vector<float> sq_norm_;
+};
+
+class C4Detector final : public Detector {
+ public:
+  explicit C4Detector(const C4DetectorParams& params = {}) : params_(params) {}
+
+  [[nodiscard]] AlgorithmId id() const override { return AlgorithmId::C4; }
+  void train(const TrainingSet& training_set, Rng& rng) override;
+  [[nodiscard]] bool trained() const override { return model_.trained(); }
+  [[nodiscard]] std::vector<Detection> detect(const imaging::Image& frame,
+                                              energy::CostCounter* cost = nullptr) const override;
+
+ private:
+  C4DetectorParams params_;
+  LinearModel model_;
+};
+
+}  // namespace eecs::detect

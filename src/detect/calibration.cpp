@@ -1,0 +1,62 @@
+#include "detect/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace eecs::detect {
+
+double PlattScaling::probability(double score) const {
+  const double z = a * score + b;
+  // Numerically stable logistic.
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return e / (1.0 + e);
+  }
+  return 1.0 / (1.0 + std::exp(z));
+}
+
+PlattScaling fit_platt(const std::vector<double>& positive_scores,
+                       const std::vector<double>& negative_scores) {
+  EECS_EXPECTS(!positive_scores.empty() && !negative_scores.empty());
+
+  // Platt's smoothed targets.
+  const double np = static_cast<double>(positive_scores.size());
+  const double nn = static_cast<double>(negative_scores.size());
+  const double t_pos = (np + 1.0) / (np + 2.0);
+  const double t_neg = 1.0 / (nn + 2.0);
+
+  struct Sample {
+    double s, t;
+  };
+  std::vector<Sample> samples;
+  samples.reserve(positive_scores.size() + negative_scores.size());
+  for (double s : positive_scores) samples.push_back({s, t_pos});
+  for (double s : negative_scores) samples.push_back({s, t_neg});
+
+  PlattScaling out;
+  // Gradient descent with a mild learning-rate schedule; the 2-parameter
+  // problem is convex, so this converges reliably.
+  double a = -1.0, b = 0.0;
+  const int iterations = 400;
+  for (int it = 0; it < iterations; ++it) {
+    double ga = 0.0, gb = 0.0;
+    for (const Sample& smp : samples) {
+      const double z = a * smp.s + b;
+      const double p = z >= 0 ? std::exp(-z) / (1.0 + std::exp(-z)) : 1.0 / (1.0 + std::exp(z));
+      const double diff = p - smp.t;
+      // d p / d z = -p(1-p) for p = sigma(-z); chain rule gives:
+      ga += -diff * p * (1.0 - p) * smp.s;
+      gb += -diff * p * (1.0 - p);
+    }
+    const double lr = 4.0 / (1.0 + 0.05 * it) / static_cast<double>(samples.size());
+    a -= lr * ga;
+    b -= lr * gb;
+  }
+  out.a = a;
+  out.b = b;
+  return out;
+}
+
+}  // namespace eecs::detect

@@ -1,0 +1,24 @@
+// Platt scaling: maps raw detector scores to detection probabilities
+// P(object | score) = 1 / (1 + exp(a*score + b)). The paper converts
+// detection scores into probabilities "via an offline training process"
+// (§IV-C footnote 5); this is that process.
+#pragma once
+
+#include <vector>
+
+namespace eecs::detect {
+
+struct PlattScaling {
+  double a = -1.0;
+  double b = 0.0;
+
+  [[nodiscard]] double probability(double score) const;
+};
+
+/// Fit on positive-class and negative-class score samples by gradient descent
+/// on the cross-entropy (with Platt's label smoothing). Requires both vectors
+/// non-empty.
+[[nodiscard]] PlattScaling fit_platt(const std::vector<double>& positive_scores,
+                                     const std::vector<double>& negative_scores);
+
+}  // namespace eecs::detect

@@ -1,0 +1,21 @@
+#include "detect/detection.hpp"
+
+namespace eecs::detect {
+
+const char* to_string(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::Hog: return "HOG";
+    case AlgorithmId::Acf: return "ACF";
+    case AlgorithmId::C4: return "C4";
+    case AlgorithmId::Lsvm: return "LSVM";
+  }
+  return "?";
+}
+
+const std::vector<AlgorithmId>& all_algorithms() {
+  static const std::vector<AlgorithmId> kAll{AlgorithmId::Hog, AlgorithmId::Acf, AlgorithmId::C4,
+                                             AlgorithmId::Lsvm};
+  return kAll;
+}
+
+}  // namespace eecs::detect

@@ -1,0 +1,27 @@
+// Detection results and algorithm identifiers. The four algorithms mirror
+// the paper's testbed (§V-A): HOG [3], ACF [4], C4 [6], LSVM [5].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "imaging/rect.hpp"
+
+namespace eecs::detect {
+
+enum class AlgorithmId { Hog = 0, Acf = 1, C4 = 2, Lsvm = 3 };
+
+inline constexpr int kNumAlgorithms = 4;
+
+[[nodiscard]] const char* to_string(AlgorithmId id);
+
+/// All four algorithm ids, in table order.
+[[nodiscard]] const std::vector<AlgorithmId>& all_algorithms();
+
+struct Detection {
+  imaging::Rect box;
+  double score = 0.0;        ///< Raw classifier margin; thresholded by d_t.
+  double probability = 0.0;  ///< Calibrated P(object | detection), see §IV-C.
+};
+
+}  // namespace eecs::detect

@@ -1,0 +1,51 @@
+#include "detect/detector.hpp"
+
+#include "common/contracts.hpp"
+#include "detect/acf_detector.hpp"
+#include "detect/c4_detector.hpp"
+#include "detect/hog_detector.hpp"
+#include "detect/lsvm_detector.hpp"
+
+namespace eecs::detect {
+
+std::unique_ptr<Detector> make_detector(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::Hog: return std::make_unique<HogDetector>();
+    case AlgorithmId::Acf: return std::make_unique<AcfDetector>();
+    case AlgorithmId::C4: return std::make_unique<C4Detector>();
+    case AlgorithmId::Lsvm: return std::make_unique<LsvmDetector>();
+  }
+  EECS_EXPECTS(false);
+  return nullptr;
+}
+
+std::vector<std::unique_ptr<Detector>> make_trained_detectors(std::uint64_t seed) {
+  Rng rng(seed);
+  const TrainingSet training_set = generate_training_set(rng);
+  std::vector<std::unique_ptr<Detector>> detectors;
+  detectors.reserve(all_algorithms().size());
+  for (AlgorithmId id : all_algorithms()) {
+    auto detector = make_detector(id);
+    Rng train_rng = rng.fork();
+    detector->train(training_set, train_rng);
+    detectors.push_back(std::move(detector));
+  }
+  return detectors;
+}
+
+std::vector<double> pyramid_scales(double min_scale, double max_scale, double factor) {
+  EECS_EXPECTS(min_scale > 0.0 && max_scale >= min_scale && factor > 1.0);
+  std::vector<double> scales;
+  for (double s = max_scale; s >= min_scale * 0.999; s /= factor) scales.push_back(s);
+  return scales;
+}
+
+imaging::Rect window_to_person_box(const imaging::Rect& window) {
+  constexpr double kWidthFraction = 0.58;
+  constexpr double kHeightFraction = 0.88;
+  return {window.x + window.w * (1.0 - kWidthFraction) / 2.0,
+          window.y + window.h * 0.06, window.w * kWidthFraction,
+          window.h * kHeightFraction};
+}
+
+}  // namespace eecs::detect

@@ -1,0 +1,68 @@
+// Detector interface. Each detector is trained once on synthetic patches and
+// then scans frames with a sliding window over a scale pyramid, returning all
+// candidates above a permissive floor — the operating threshold d_t (paper
+// §VI-A) is applied by the caller, which also sweeps it to maximize f-score.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "detect/calibration.hpp"
+#include "detect/detection.hpp"
+#include "detect/training.hpp"
+#include "energy/cost.hpp"
+#include "imaging/image.hpp"
+
+namespace eecs::detect {
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  [[nodiscard]] virtual AlgorithmId id() const = 0;
+
+  /// Train the underlying classifier(s); also fits Platt score calibration.
+  virtual void train(const TrainingSet& training_set, Rng& rng) = 0;
+
+  [[nodiscard]] virtual bool trained() const = 0;
+
+  /// Detect objects in a frame. Charges compute costs to `cost` if provided.
+  /// Detections carry raw scores and calibrated probabilities and are already
+  /// NMS-filtered. Requires trained().
+  [[nodiscard]] virtual std::vector<Detection> detect(const imaging::Image& frame,
+                                                      energy::CostCounter* cost = nullptr) const = 0;
+
+ protected:
+  /// Fit Platt calibration from training-window scores.
+  void fit_score_calibration(const std::vector<double>& positive_scores,
+                             const std::vector<double>& negative_scores) {
+    platt_ = fit_platt(positive_scores, negative_scores);
+  }
+
+  [[nodiscard]] double calibrated_probability(double score) const {
+    return platt_.probability(score);
+  }
+
+ private:
+  PlattScaling platt_;
+};
+
+/// Construct an (untrained) detector for the given algorithm.
+[[nodiscard]] std::unique_ptr<Detector> make_detector(AlgorithmId id);
+
+/// Construct and train all four detectors with a shared training set;
+/// deterministic for a given seed. The standard way to set up a camera node.
+[[nodiscard]] std::vector<std::unique_ptr<Detector>> make_trained_detectors(std::uint64_t seed);
+
+/// Geometric scale ladder [max_scale, ..., >= min_scale], dividing by
+/// `factor` each step. Scales > 1 mean upsampling the frame.
+[[nodiscard]] std::vector<double> pyramid_scales(double min_scale, double max_scale, double factor);
+
+/// Convert a raw sliding-window rectangle into the person-extent box it
+/// implies: training patches place the person at ~88% of the window height
+/// and ~58% of its width, centered, so the reported detection must be shrunk
+/// accordingly or IoU against ground-truth person boxes is systematically low.
+[[nodiscard]] imaging::Rect window_to_person_box(const imaging::Rect& window);
+
+}  // namespace eecs::detect

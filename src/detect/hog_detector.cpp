@@ -1,0 +1,70 @@
+#include "detect/hog_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "detect/nms.hpp"
+#include "imaging/filter.hpp"
+
+namespace eecs::detect {
+
+std::vector<float> patch_hog_descriptor(const imaging::Image& patch) {
+  EECS_EXPECTS(patch.width() == kWindowWidth && patch.height() == kWindowHeight);
+  const BlockGrid grid(patch);
+  return grid.window_descriptor(0, 0, kWindowCellsX, kWindowCellsY);
+}
+
+void HogDetector::train(const TrainingSet& training_set, Rng& rng) {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  x.reserve(training_set.positives.size() + training_set.negatives.size());
+  for (const auto& p : training_set.positives) {
+    x.push_back(patch_hog_descriptor(p));
+    y.push_back(1);
+  }
+  for (const auto& n : training_set.negatives) {
+    x.push_back(patch_hog_descriptor(n));
+    y.push_back(-1);
+  }
+  model_ = train_linear_svm(x, y, rng);
+
+  std::vector<double> pos_scores, neg_scores;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    (y[i] == 1 ? pos_scores : neg_scores).push_back(model_.score(x[i]));
+  }
+  fit_score_calibration(pos_scores, neg_scores);
+}
+
+std::vector<Detection> HogDetector::detect(const imaging::Image& frame,
+                                           energy::CostCounter* cost) const {
+  EECS_EXPECTS(trained());
+  std::vector<Detection> candidates;
+  const features::HogParams hog_params;
+  const int cell = hog_params.cell_size;
+
+  for (double scale : pyramid_scales(params_.min_scale, params_.max_scale, params_.scale_factor)) {
+    const int sw = static_cast<int>(std::lround(frame.width() * scale));
+    const int sh = static_cast<int>(std::lround(frame.height() * scale));
+    if (sw < kWindowWidth || sh < kWindowHeight) continue;
+    const imaging::Image scaled = imaging::resize(frame, sw, sh);
+    if (cost != nullptr) cost->add_pixels(scaled.pixel_count());
+
+    const BlockGrid grid(scaled, hog_params, cost);
+    const int max_cx = grid.blocks_x() - (kWindowCellsX - hog_params.block_size + 1);
+    const int max_cy = grid.blocks_y() - (kWindowCellsY - hog_params.block_size + 1);
+    for (int cy = 0; cy <= max_cy; ++cy) {
+      for (int cx = 0; cx <= max_cx; ++cx) {
+        const float s = grid.window_score(model_, cx, cy, kWindowCellsX, kWindowCellsY, cost);
+        if (s <= params_.score_floor) continue;
+        Detection d;
+        d.box = window_to_person_box({cx * cell / scale, cy * cell / scale, kWindowWidth / scale, kWindowHeight / scale});
+        d.score = s;
+        d.probability = calibrated_probability(s);
+        candidates.push_back(d);
+      }
+    }
+  }
+  return non_max_suppression(std::move(candidates), params_.nms_iou);
+}
+
+}  // namespace eecs::detect

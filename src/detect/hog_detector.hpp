@@ -1,0 +1,43 @@
+// HOG + linear SVM pedestrian detector (Dalal & Triggs — the paper's [3]).
+// Dense multi-scale scan including upsampled octaves, so it can find people
+// smaller than the canonical window (unlike ACF).
+#pragma once
+
+#include "detect/block_grid.hpp"
+#include "detect/detector.hpp"
+
+namespace eecs::detect {
+
+struct HogDetectorParams {
+  double min_scale = 0.11;
+  double max_scale = 1.55;     ///< > 1 upsamples; finds people down to ~55 px.
+  double scale_factor = 1.26;
+  float score_floor = -0.8f;   ///< Candidates below this are discarded pre-NMS.
+  double nms_iou = 0.30;
+};
+
+class HogDetector final : public Detector {
+ public:
+  explicit HogDetector(const HogDetectorParams& params = {}) : params_(params) {}
+
+  [[nodiscard]] AlgorithmId id() const override { return AlgorithmId::Hog; }
+  void train(const TrainingSet& training_set, Rng& rng) override;
+  [[nodiscard]] bool trained() const override { return model_.trained(); }
+  [[nodiscard]] std::vector<Detection> detect(const imaging::Image& frame,
+                                              energy::CostCounter* cost = nullptr) const override;
+
+  [[nodiscard]] const LinearModel& model() const { return model_; }
+
+ private:
+  HogDetectorParams params_;
+  LinearModel model_;
+};
+
+/// Window geometry shared with LSVM: cells per window at the canonical size.
+inline constexpr int kWindowCellsX = kWindowWidth / 8;    // 6
+inline constexpr int kWindowCellsY = kWindowHeight / 8;   // 12
+
+/// Descriptor of a canonical training patch (48x96), via BlockGrid.
+[[nodiscard]] std::vector<float> patch_hog_descriptor(const imaging::Image& patch);
+
+}  // namespace eecs::detect

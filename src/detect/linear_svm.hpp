@@ -1,0 +1,31 @@
+// Linear SVM trained with Pegasos-style stochastic subgradient descent.
+// Backbone of the HOG, C4, and LSVM detectors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace eecs::detect {
+
+struct LinearModel {
+  std::vector<float> weights;
+  float bias = 0.0f;
+
+  [[nodiscard]] float score(std::span<const float> x) const;
+  [[nodiscard]] bool trained() const { return !weights.empty(); }
+};
+
+struct SvmOptions {
+  double lambda = 1e-4;  ///< L2 regularization strength.
+  int epochs = 30;
+};
+
+/// Train on samples (rows of `x`) with labels +1/-1. Requires at least one
+/// sample of each class and consistent dimensions.
+[[nodiscard]] LinearModel train_linear_svm(const std::vector<std::vector<float>>& x,
+                                           const std::vector<int>& y, Rng& rng,
+                                           const SvmOptions& options = {});
+
+}  // namespace eecs::detect

@@ -1,0 +1,133 @@
+#include "detect/lsvm_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "detect/hog_detector.hpp"
+#include "detect/nms.hpp"
+#include "imaging/filter.hpp"
+
+namespace eecs::detect {
+
+const std::array<PartSpec, kNumParts>& part_layout() {
+  // Anchors chosen so that the part plus +/-1 cell of movement stays inside
+  // the 6x12 window: x anchor in [1, 2], y anchor in [1, 8].
+  static const std::array<PartSpec, kNumParts> kLayout{{
+      {"head", 1, 1},
+      {"torso", 2, 4},
+      {"leg-left", 1, 8},
+      {"leg-right", 2, 8},
+  }};
+  return kLayout;
+}
+
+namespace {
+
+/// Part descriptor at cell offset (px, py) of a canonical 48x96 patch grid.
+std::vector<float> part_descriptor(const BlockGrid& grid, int px, int py) {
+  return grid.window_descriptor(px, py, kPartCells, kPartCells);
+}
+
+}  // namespace
+
+void LsvmDetector::train(const TrainingSet& training_set, Rng& rng) {
+  // Root filter: identical pipeline to the HOG detector.
+  std::vector<std::vector<float>> root_x;
+  std::vector<int> root_y;
+  std::vector<BlockGrid> pos_grids, neg_grids;
+  pos_grids.reserve(training_set.positives.size());
+  neg_grids.reserve(training_set.negatives.size());
+  for (const auto& p : training_set.positives) pos_grids.emplace_back(p);
+  for (const auto& n : training_set.negatives) neg_grids.emplace_back(n);
+
+  for (const auto& g : pos_grids) {
+    root_x.push_back(g.window_descriptor(0, 0, kWindowCellsX, kWindowCellsY));
+    root_y.push_back(1);
+  }
+  for (const auto& g : neg_grids) {
+    root_x.push_back(g.window_descriptor(0, 0, kWindowCellsX, kWindowCellsY));
+    root_y.push_back(-1);
+  }
+  root_ = train_linear_svm(root_x, root_y, rng);
+
+  // Part filters: positives at their anchors, negatives at the same offsets.
+  for (int p = 0; p < kNumParts; ++p) {
+    const PartSpec& spec = part_layout()[static_cast<std::size_t>(p)];
+    std::vector<std::vector<float>> x;
+    std::vector<int> y;
+    for (const auto& g : pos_grids) {
+      x.push_back(part_descriptor(g, spec.anchor_x, spec.anchor_y));
+      y.push_back(1);
+    }
+    for (const auto& g : neg_grids) {
+      x.push_back(part_descriptor(g, spec.anchor_x, spec.anchor_y));
+      y.push_back(-1);
+    }
+    parts_[static_cast<std::size_t>(p)] = train_linear_svm(x, y, rng);
+  }
+
+  // Calibrate on combined scores over the training patches.
+  std::vector<double> pos_scores, neg_scores;
+  for (const auto& g : pos_grids) pos_scores.push_back(window_score(g, 0, 0, nullptr));
+  for (const auto& g : neg_grids) neg_scores.push_back(window_score(g, 0, 0, nullptr));
+  fit_score_calibration(pos_scores, neg_scores);
+}
+
+float LsvmDetector::window_score(const BlockGrid& grid, int cx, int cy,
+                                 energy::CostCounter* cost) const {
+  double s = grid.window_score(root_, cx, cy, kWindowCellsX, kWindowCellsY, cost);
+  const int d = params_.displacement;
+  for (int p = 0; p < kNumParts; ++p) {
+    const PartSpec& spec = part_layout()[static_cast<std::size_t>(p)];
+    const LinearModel& part = parts_[static_cast<std::size_t>(p)];
+    double best = -1e30;
+    for (int dy = -d; dy <= d; ++dy) {
+      for (int dx = -d; dx <= d; ++dx) {
+        const int px = cx + spec.anchor_x + dx;
+        const int py = cy + spec.anchor_y + dy;
+        const int pbx = kPartCells - 1;  // Part spans pbx x pbx blocks (block_size 2).
+        if (px < 0 || py < 0 || px + pbx > grid.blocks_x() || py + pbx > grid.blocks_y()) continue;
+        const double score =
+            grid.window_score(part, px, py, kPartCells, kPartCells, cost) -
+            params_.deformation_cost * static_cast<double>(dx * dx + dy * dy);
+        best = std::max(best, score);
+      }
+    }
+    if (best > -1e29) s += params_.part_weight * best;
+  }
+  return static_cast<float>(s);
+}
+
+std::vector<Detection> LsvmDetector::detect(const imaging::Image& frame,
+                                            energy::CostCounter* cost) const {
+  EECS_EXPECTS(trained());
+  std::vector<Detection> candidates;
+  const features::HogParams hog_params;
+  const int cell = hog_params.cell_size;
+
+  for (double scale : pyramid_scales(params_.min_scale, params_.max_scale, params_.scale_factor)) {
+    const int sw = static_cast<int>(std::lround(frame.width() * scale));
+    const int sh = static_cast<int>(std::lround(frame.height() * scale));
+    if (sw < kWindowWidth || sh < kWindowHeight) continue;
+    const imaging::Image scaled = imaging::resize(frame, sw, sh);
+    if (cost != nullptr) cost->add_pixels(scaled.pixel_count());
+
+    const BlockGrid grid(scaled, hog_params, cost);
+    const int max_cx = grid.blocks_x() - (kWindowCellsX - hog_params.block_size + 1);
+    const int max_cy = grid.blocks_y() - (kWindowCellsY - hog_params.block_size + 1);
+    for (int cy = 0; cy <= max_cy; ++cy) {
+      for (int cx = 0; cx <= max_cx; ++cx) {
+        const float s = window_score(grid, cx, cy, cost);
+        if (s <= params_.score_floor) continue;
+        Detection d;
+        d.box = window_to_person_box({cx * cell / scale, cy * cell / scale, kWindowWidth / scale, kWindowHeight / scale});
+        d.score = s;
+        d.probability = calibrated_probability(s);
+        candidates.push_back(d);
+      }
+    }
+  }
+  return non_max_suppression(std::move(candidates), params_.nms_iou);
+}
+
+}  // namespace eecs::detect

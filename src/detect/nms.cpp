@@ -1,0 +1,25 @@
+#include "detect/nms.hpp"
+
+#include <algorithm>
+
+namespace eecs::detect {
+
+std::vector<Detection> non_max_suppression(std::vector<Detection> detections,
+                                           double iou_threshold) {
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) { return a.score > b.score; });
+  std::vector<Detection> kept;
+  for (const Detection& d : detections) {
+    bool suppressed = false;
+    for (const Detection& k : kept) {
+      if (imaging::iou(d.box, k.box) > iou_threshold) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(d);
+  }
+  return kept;
+}
+
+}  // namespace eecs::detect

@@ -1,0 +1,16 @@
+// Greedy non-maximum suppression.
+#pragma once
+
+#include <vector>
+
+#include "detect/detection.hpp"
+
+namespace eecs::detect {
+
+/// Keep the highest-scoring detection of each overlapping group; detections
+/// overlapping a kept one by IoU > `iou_threshold` are suppressed. Input
+/// order is irrelevant; output is sorted by descending score.
+[[nodiscard]] std::vector<Detection> non_max_suppression(std::vector<Detection> detections,
+                                                         double iou_threshold = 0.45);
+
+}  // namespace eecs::detect

@@ -1,0 +1,42 @@
+#include "domain/comparator.hpp"
+
+namespace eecs::domain {
+
+int VideoComparator::add_training_item(const linalg::Matrix& frame_features, std::string label) {
+  if (!items_.empty()) {
+    EECS_EXPECTS(frame_features.cols() == items_.front().features.cols());
+  }
+  items_.push_back(build_subspace(frame_features, params_.subspace_dim));
+  labels_.push_back(std::move(label));
+  return static_cast<int>(items_.size()) - 1;
+}
+
+const std::string& VideoComparator::label(int index) const {
+  EECS_EXPECTS(index >= 0 && index < item_count());
+  return labels_[static_cast<std::size_t>(index)];
+}
+
+double VideoComparator::similarity(int index, const linalg::Matrix& incoming_features) const {
+  EECS_EXPECTS(index >= 0 && index < item_count());
+  const VideoSubspace incoming = build_subspace(incoming_features, params_.subspace_dim);
+  return video_similarity(items_[static_cast<std::size_t>(index)], incoming,
+                          params_.distance_scale);
+}
+
+VideoComparator::Match VideoComparator::best_match(const linalg::Matrix& incoming_features) const {
+  EECS_EXPECTS(!items_.empty());
+  const VideoSubspace incoming = build_subspace(incoming_features, params_.subspace_dim);
+  Match match;
+  match.similarities.reserve(items_.size());
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    const double sim = video_similarity(items_[i], incoming, params_.distance_scale);
+    match.similarities.push_back(sim);
+    if (sim > match.best_similarity) {
+      match.best_similarity = sim;
+      match.best_index = static_cast<int>(i);
+    }
+  }
+  return match;
+}
+
+}  // namespace eecs::domain

@@ -1,0 +1,50 @@
+// Controller-side video comparison: holds the subspace summaries of the
+// training items and matches incoming feature uploads against them (§IV-B.2,
+// "Rank ordering the detection algorithms").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "domain/gfk.hpp"
+
+namespace eecs::domain {
+
+struct ComparatorParams {
+  int subspace_dim = 10;       ///< beta.
+  double distance_scale = 1.0; ///< See video_similarity.
+};
+
+class VideoComparator {
+ public:
+  explicit VideoComparator(const ComparatorParams& params = {}) : params_(params) {}
+
+  /// Register a training item from its k x alpha frame-feature matrix;
+  /// returns the item's index. All items must share alpha.
+  int add_training_item(const linalg::Matrix& frame_features, std::string label = {});
+
+  [[nodiscard]] int item_count() const { return static_cast<int>(items_.size()); }
+  [[nodiscard]] const std::string& label(int index) const;
+
+  /// Similarity between training item `index` and an incoming feature matrix.
+  [[nodiscard]] double similarity(int index, const linalg::Matrix& incoming_features) const;
+
+  struct Match {
+    int best_index = -1;
+    double best_similarity = 0.0;
+    std::vector<double> similarities;  ///< Per training item.
+  };
+
+  /// Similarities against every training item; best_index is T_i* (§IV-B.2).
+  /// Requires at least one registered item.
+  [[nodiscard]] Match best_match(const linalg::Matrix& incoming_features) const;
+
+  [[nodiscard]] const ComparatorParams& params() const { return params_; }
+
+ private:
+  ComparatorParams params_;
+  std::vector<VideoSubspace> items_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace eecs::domain

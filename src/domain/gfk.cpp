@@ -1,0 +1,170 @@
+#include "domain/gfk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/decomp.hpp"
+#include "linalg/pca.hpp"
+
+namespace eecs::domain {
+
+using linalg::Matrix;
+
+VideoSubspace build_subspace(const Matrix& frame_features, int subspace_dim) {
+  EECS_EXPECTS(frame_features.rows() >= 2);
+  EECS_EXPECTS(subspace_dim >= 1 && subspace_dim < frame_features.cols());
+  // The uncentered SVD yields at most min(k, alpha) directions.
+  EECS_EXPECTS(subspace_dim <= frame_features.rows());
+  // Uncentered SVD: the leading direction is (near) the mean frame feature,
+  // so each video's subspace captures where its features *live*, not only how
+  // they vary. This matters because the geodesic kernel weights directions
+  // outside both subspaces by zero — with centered PCA the mean offset
+  // between two different scenes would be invisible to the distance.
+  const linalg::SvdResult svd = linalg::svd_decompose(frame_features);
+  linalg::Matrix basis = svd.v.slice_cols(0, subspace_dim);
+  linalg::Matrix complement = linalg::orthogonal_complement(basis);
+  return {frame_features, std::move(basis), std::move(complement)};
+}
+
+namespace {
+
+/// Lambda integrals of the geodesic flow (Gong et al., closed form):
+///   l1 = 1 + sin(2t)/(2t), l2 = (cos(2t) - 1)/(2t), l3 = 1 - sin(2t)/(2t),
+/// with the t -> 0 limits (2, 0, 0) evaluated by series.
+struct Lambdas {
+  double l1, l2, l3;
+};
+
+Lambdas lambda_integrals(double theta) {
+  constexpr double kEps = 1e-7;
+  if (theta < kEps) {
+    // sin(2t)/(2t) ~ 1 - (2t)^2/6; (cos(2t)-1)/(2t) ~ -t.
+    return {2.0 - 2.0 * theta * theta / 3.0, -theta, 2.0 * theta * theta / 3.0};
+  }
+  const double s = std::sin(2.0 * theta) / (2.0 * theta);
+  const double c = (std::cos(2.0 * theta) - 1.0) / (2.0 * theta);
+  return {1.0 + s, c, 1.0 - s};
+}
+
+}  // namespace
+
+std::vector<double> principal_angles(const Matrix& basis_x, const Matrix& basis_z) {
+  EECS_EXPECTS(basis_x.rows() == basis_z.rows() && basis_x.cols() == basis_z.cols());
+  const linalg::SvdResult svd = linalg::svd_decompose(linalg::transpose_times(basis_x, basis_z));
+  std::vector<double> angles;
+  angles.reserve(svd.singular_values.size());
+  // Singular values are cosines, descending -> angles ascending.
+  for (double g : svd.singular_values) angles.push_back(std::acos(std::clamp(g, -1.0, 1.0)));
+  return angles;
+}
+
+Matrix geodesic_flow_kernel(const Matrix& basis_x, const Matrix& basis_z) {
+  // x~: orthogonal complement of the source basis (Table I).
+  return geodesic_flow_kernel(basis_x, linalg::orthogonal_complement(basis_x), basis_z);
+}
+
+Matrix geodesic_flow_kernel(const Matrix& basis_x, const Matrix& complement,
+                            const Matrix& basis_z) {
+  EECS_EXPECTS(basis_x.rows() == basis_z.rows() && basis_x.cols() == basis_z.cols());
+  EECS_EXPECTS(complement.rows() == basis_x.rows());
+  EECS_EXPECTS(complement.cols() == basis_x.rows() - basis_x.cols());
+  const int alpha = basis_x.rows();
+  const int beta = basis_x.cols();
+  EECS_EXPECTS(beta >= 1 && beta < alpha);
+
+  // Generalized SVD pieces: x^T z = U1 Gamma V^T, x~^T z = -U2 Sigma V^T
+  // (shared right factor V). U2 is recovered column-wise from B V / -sigma.
+  const Matrix a = linalg::transpose_times(basis_x, basis_z);       // beta x beta
+  const linalg::SvdResult svd = linalg::svd_decompose(a);
+  const Matrix& u1 = svd.u;
+  const Matrix& v = svd.v;
+
+  const Matrix b = linalg::transpose_times(complement, basis_z);  // (alpha-beta) x beta
+  const Matrix bv = b * v;
+
+  Matrix u2(complement.cols(), beta);
+  std::vector<double> thetas(static_cast<std::size_t>(beta));
+  for (int i = 0; i < beta; ++i) {
+    const double gamma = std::clamp(svd.singular_values[static_cast<std::size_t>(i)], 0.0, 1.0);
+    double sigma = 0.0;
+    for (int r = 0; r < bv.rows(); ++r) sigma += bv(r, i) * bv(r, i);
+    sigma = std::sqrt(sigma);
+    thetas[static_cast<std::size_t>(i)] = std::atan2(sigma, gamma);
+    if (sigma > 1e-10) {
+      for (int r = 0; r < bv.rows(); ++r) u2(r, i) = -bv(r, i) / sigma;
+    }
+    // sigma ~ 0: the angle is ~0 and lambda2/lambda3 vanish, so the zero
+    // column contributes nothing.
+  }
+
+  // G = [x U1, x~ U2] [L1 L2; L2 L3] [ (x U1)^T; (x~ U2)^T ].
+  const Matrix p1 = basis_x * u1;      // alpha x beta
+  const Matrix p2 = complement * u2;   // alpha x beta
+
+  Matrix g(alpha, alpha);
+  for (int i = 0; i < beta; ++i) {
+    const Lambdas lam = lambda_integrals(thetas[static_cast<std::size_t>(i)]);
+    for (int r = 0; r < alpha; ++r) {
+      const double p1r = p1(r, i);
+      const double p2r = p2(r, i);
+      const double row1 = lam.l1 * p1r + lam.l2 * p2r;
+      const double row2 = lam.l2 * p1r + lam.l3 * p2r;
+      if (row1 == 0.0 && row2 == 0.0) continue;
+      auto grow = g.row(r);
+      for (int c = 0; c < alpha; ++c) {
+        grow[static_cast<std::size_t>(c)] += row1 * p1(c, i) + row2 * p2(c, i);
+      }
+    }
+  }
+  return g;
+}
+
+Matrix kernel_distance_matrix(const Matrix& t_features, const Matrix& v_features,
+                              const Matrix& w) {
+  EECS_EXPECTS(t_features.cols() == w.rows() && v_features.cols() == w.rows());
+  EECS_EXPECTS(w.rows() == w.cols());
+  const int k1 = t_features.rows();
+  const int k2 = v_features.rows();
+
+  // Precompute W-weighted feature products.
+  const Matrix tw = t_features * w;  // k1 x alpha
+  const Matrix vw = v_features * w;  // k2 x alpha
+
+  std::vector<double> t_quad(static_cast<std::size_t>(k1));
+  for (int i = 0; i < k1; ++i) t_quad[static_cast<std::size_t>(i)] = linalg::dot(tw.row(i), t_features.row(i));
+  std::vector<double> v_quad(static_cast<std::size_t>(k2));
+  for (int j = 0; j < k2; ++j) v_quad[static_cast<std::size_t>(j)] = linalg::dot(vw.row(j), v_features.row(j));
+
+  Matrix k(k1, k2);
+  for (int i = 0; i < k1; ++i) {
+    for (int j = 0; j < k2; ++j) {
+      const double cross = linalg::dot(tw.row(i), v_features.row(j));
+      k(i, j) = t_quad[static_cast<std::size_t>(i)] + v_quad[static_cast<std::size_t>(j)] -
+                2.0 * cross;
+    }
+  }
+  return k;
+}
+
+double mean_manifold_distance(const Matrix& kernel_distances) {
+  EECS_EXPECTS(!kernel_distances.empty());
+  double sum = 0.0;
+  for (int i = 0; i < kernel_distances.rows(); ++i) {
+    for (int j = 0; j < kernel_distances.cols(); ++j) sum += kernel_distances(i, j);
+  }
+  return sum / (static_cast<double>(kernel_distances.rows()) *
+                static_cast<double>(kernel_distances.cols()));
+}
+
+double similarity_from_distance(double mean_distance) {
+  return std::exp(-std::max(0.0, mean_distance));
+}
+
+double video_similarity(const VideoSubspace& t, const VideoSubspace& v, double distance_scale) {
+  const Matrix w = t.complement.empty() ? geodesic_flow_kernel(t.basis, v.basis)
+                                        : geodesic_flow_kernel(t.basis, t.complement, v.basis);
+  const Matrix k = kernel_distance_matrix(t.features, v.features, w);
+  return similarity_from_distance(distance_scale * mean_manifold_distance(k));
+}
+
+}  // namespace eecs::domain

@@ -1,0 +1,58 @@
+// Geodesic flow kernel on the Grassmann manifold (Gong et al. CVPR'12 — the
+// paper's [2]), implementing §III equations (1)-(5): video feeds are reduced
+// to PCA subspaces, projected on Gr(beta, R^alpha), and compared through the
+// closed-form geodesic kernel W_ij.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace eecs::domain {
+
+/// PCA subspace summary of one video item: row-major frame features plus the
+/// orthonormal basis x_i (Table I) of their top-beta principal directions.
+struct VideoSubspace {
+  linalg::Matrix features;    ///< k x alpha frame features (t_i / v_j rows).
+  linalg::Matrix basis;       ///< alpha x beta orthonormal (x_i / z_j).
+  linalg::Matrix complement;  ///< alpha x (alpha-beta), x~ with x~^T x = 0 (cached).
+};
+
+/// Build the subspace of a video item from its per-frame features (rows).
+/// Requires at least 2 frames and 1 <= subspace_dim < alpha.
+[[nodiscard]] VideoSubspace build_subspace(const linalg::Matrix& frame_features,
+                                           int subspace_dim);
+
+/// The geodesic flow kernel W_ij (Eq. 2): an alpha x alpha PSD matrix such
+/// that t W v equals the integral (Eq. 1) of inner products along the
+/// geodesic between the two subspaces. Bases must have equal shapes.
+[[nodiscard]] linalg::Matrix geodesic_flow_kernel(const linalg::Matrix& basis_x,
+                                                  const linalg::Matrix& basis_z);
+
+/// Same, with a precomputed orthogonal complement of basis_x (avoids an
+/// alpha x alpha QR per comparison).
+[[nodiscard]] linalg::Matrix geodesic_flow_kernel(const linalg::Matrix& basis_x,
+                                                  const linalg::Matrix& complement_x,
+                                                  const linalg::Matrix& basis_z);
+
+/// Kernel distance matrix K(T_i, V_j) (Eq. 3): element (m1, m2) is the
+/// squared kernel distance between frame m1 of T and frame m2 of V under W.
+[[nodiscard]] linalg::Matrix kernel_distance_matrix(const linalg::Matrix& t_features,
+                                                    const linalg::Matrix& v_features,
+                                                    const linalg::Matrix& w);
+
+/// Mean manifold distance M_d (Eq. 4): mean of all entries of K.
+[[nodiscard]] double mean_manifold_distance(const linalg::Matrix& kernel_distances);
+
+/// Similarity Sim = exp(-M_d) (Eq. 5), in [0, 1] for M_d >= 0.
+[[nodiscard]] double similarity_from_distance(double mean_distance);
+
+/// Full pipeline: Sim(T, V) between two subspace summaries. `distance_scale`
+/// multiplies M_d before the exponential, setting the dynamic range of the
+/// similarity table (the paper's Table V sits in ~[0.34, 0.81]).
+[[nodiscard]] double video_similarity(const VideoSubspace& t, const VideoSubspace& v,
+                                      double distance_scale = 1.0);
+
+/// Principal angles between two equal-shape orthonormal bases, ascending.
+[[nodiscard]] std::vector<double> principal_angles(const linalg::Matrix& basis_x,
+                                                   const linalg::Matrix& basis_z);
+
+}  // namespace eecs::domain

@@ -1,0 +1,40 @@
+// Operation counting. Detectors and feature extractors never time
+// themselves; they report *what they computed* (pixels touched, feature
+// multiply-accumulates, classifier evaluations, bytes moved) and the energy
+// model converts counts to Joules. This is the repository's substitute for
+// the paper's PowerTutor measurements: the ratios between algorithms and
+// resolutions come out of real computation counts.
+#pragma once
+
+#include <cstdint>
+
+namespace eecs::energy {
+
+struct CostCounter {
+  std::uint64_t pixel_ops = 0;       ///< Per-pixel image passes (blur, resize, channels).
+  std::uint64_t feature_ops = 0;     ///< Feature multiply-accumulates (HOG bins, census bits...).
+  std::uint64_t classifier_ops = 0;  ///< Classifier MACs (SVM dots, tree node visits).
+  std::uint64_t bytes_tx = 0;        ///< Radio payload bytes.
+
+  void add_pixels(std::uint64_t n) { pixel_ops += n; }
+  void add_features(std::uint64_t n) { feature_ops += n; }
+  void add_classifier(std::uint64_t n) { classifier_ops += n; }
+  void add_bytes(std::uint64_t n) { bytes_tx += n; }
+
+  CostCounter& operator+=(const CostCounter& rhs) {
+    pixel_ops += rhs.pixel_ops;
+    feature_ops += rhs.feature_ops;
+    classifier_ops += rhs.classifier_ops;
+    bytes_tx += rhs.bytes_tx;
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t compute_ops() const {
+    return pixel_ops + feature_ops + classifier_ops;
+  }
+
+  friend CostCounter operator+(CostCounter lhs, const CostCounter& rhs) { return lhs += rhs; }
+  friend bool operator==(const CostCounter&, const CostCounter&) = default;
+};
+
+}  // namespace eecs::energy

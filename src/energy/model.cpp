@@ -1,0 +1,14 @@
+#include "energy/model.hpp"
+
+#include <algorithm>
+
+namespace eecs::energy {
+
+double Battery::drain(double joules) {
+  EECS_EXPECTS(joules >= 0.0);
+  const double drained = std::min(joules, residual_);
+  residual_ -= drained;
+  return drained;
+}
+
+}  // namespace eecs::energy

@@ -1,0 +1,49 @@
+#include "features/bow.hpp"
+
+#include "features/keypoints.hpp"
+#include "linalg/kmeans.hpp"
+
+namespace eecs::features {
+
+BowVocabulary::BowVocabulary(const std::vector<std::vector<float>>& descriptors, int words,
+                             Rng& rng) {
+  EECS_EXPECTS(words >= 1);
+  EECS_EXPECTS(static_cast<int>(descriptors.size()) >= words);
+  linalg::Matrix data(static_cast<int>(descriptors.size()),
+                      static_cast<int>(descriptors.front().size()));
+  for (int r = 0; r < data.rows(); ++r) {
+    const auto& d = descriptors[static_cast<std::size_t>(r)];
+    EECS_EXPECTS(static_cast<int>(d.size()) == data.cols());
+    for (int c = 0; c < data.cols(); ++c) data(r, c) = d[static_cast<std::size_t>(c)];
+  }
+  centroids_ = linalg::kmeans(data, words, rng).centroids;
+}
+
+std::vector<float> BowVocabulary::encode(const std::vector<std::vector<float>>& descriptors,
+                                         energy::CostCounter* cost) const {
+  EECS_EXPECTS(trained());
+  std::vector<float> hist(static_cast<std::size_t>(words()), 0.0f);
+  std::vector<double> buffer(static_cast<std::size_t>(centroids_.cols()));
+  for (const auto& d : descriptors) {
+    EECS_EXPECTS(static_cast<int>(d.size()) == centroids_.cols());
+    for (std::size_t i = 0; i < d.size(); ++i) buffer[i] = d[i];
+    const int w = linalg::nearest_centroid(centroids_, buffer);
+    hist[static_cast<std::size_t>(w)] += 1.0f;
+  }
+  const float total = static_cast<float>(descriptors.size());
+  if (total > 0.0f) {
+    for (auto& v : hist) v /= total;
+  }
+  if (cost != nullptr) {
+    cost->add_features(descriptors.size() * static_cast<std::uint64_t>(words()) *
+                       static_cast<std::uint64_t>(centroids_.cols()));
+  }
+  return hist;
+}
+
+std::vector<float> bow_frame_histogram(const imaging::Image& img, const BowVocabulary& vocabulary,
+                                       energy::CostCounter* cost) {
+  return vocabulary.encode(extract_descriptors(img, {}, cost), cost);
+}
+
+}  // namespace eecs::features

@@ -1,0 +1,41 @@
+// Bag-of-visual-words encoding (paper §V-A: a 400-word vocabulary built with
+// k-means over SURF descriptors; each frame becomes a word histogram). The
+// default vocabulary here is smaller (64 words) to keep the GFK kernel
+// tractable — see DESIGN.md substitutions.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "energy/cost.hpp"
+#include "imaging/image.hpp"
+#include "linalg/matrix.hpp"
+
+namespace eecs::features {
+
+class BowVocabulary {
+ public:
+  BowVocabulary() = default;
+
+  /// Build with k-means(++) over descriptor rows (one descriptor per row).
+  BowVocabulary(const std::vector<std::vector<float>>& descriptors, int words, Rng& rng);
+
+  [[nodiscard]] int words() const { return centroids_.rows(); }
+  [[nodiscard]] bool trained() const { return centroids_.rows() > 0; }
+  [[nodiscard]] const linalg::Matrix& centroids() const { return centroids_; }
+
+  /// Histogram over visual words, L1-normalized (sums to 1 unless there are
+  /// no descriptors, in which case it is all-zero).
+  [[nodiscard]] std::vector<float> encode(const std::vector<std::vector<float>>& descriptors,
+                                          energy::CostCounter* cost = nullptr) const;
+
+ private:
+  linalg::Matrix centroids_;
+};
+
+/// Full frame pipeline: keypoints -> descriptors -> BoW histogram.
+[[nodiscard]] std::vector<float> bow_frame_histogram(const imaging::Image& img,
+                                                     const BowVocabulary& vocabulary,
+                                                     energy::CostCounter* cost = nullptr);
+
+}  // namespace eecs::features

@@ -1,0 +1,36 @@
+// Census transform (CENTRIST-style) features used by the C4 detector
+// (paper's [6]: "real-time human detection using contour cues"). Each pixel
+// is encoded by an 8-bit signature comparing it to its 8 neighbors; windows
+// are described by histograms of these signatures, which capture local
+// contour structure.
+#pragma once
+
+#include <vector>
+
+#include "energy/cost.hpp"
+#include "imaging/image.hpp"
+
+namespace eecs::features {
+
+/// Per-pixel 8-bit census codes of the grayscale image (borders clamped).
+/// A bit is set only when the neighbor exceeds the center by `threshold`
+/// (modified census transform) so flat, noise-dominated regions collapse to
+/// a stable code instead of random bits.
+[[nodiscard]] std::vector<std::uint8_t> census_transform(const imaging::Image& img,
+                                                         energy::CostCounter* cost = nullptr,
+                                                         float threshold = 0.045f);
+
+/// Histogram descriptor of a window over a census-code map: the window is
+/// split into blocks_x x blocks_y blocks; each contributes a 16-bin histogram
+/// of code high-nibbles (coarse contour orientation). L2-normalized.
+[[nodiscard]] std::vector<float> census_window_descriptor(
+    const std::vector<std::uint8_t>& codes, int image_width, int image_height, int x0, int y0,
+    int window_w, int window_h, int blocks_x = 4, int blocks_y = 8,
+    energy::CostCounter* cost = nullptr);
+
+/// Descriptor length for the given block layout.
+[[nodiscard]] inline int census_descriptor_size(int blocks_x = 4, int blocks_y = 8) {
+  return blocks_x * blocks_y * 16;
+}
+
+}  // namespace eecs::features

@@ -1,0 +1,73 @@
+#include "features/color_feature.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eecs::features {
+
+std::vector<float> color_feature(const imaging::Image& img, const imaging::Rect& region,
+                                 energy::CostCounter* cost) {
+  std::vector<float> feat(kColorFeatureDim, 0.0f);
+  const int x0 = std::clamp(static_cast<int>(region.x), 0, img.width());
+  const int y0 = std::clamp(static_cast<int>(region.y), 0, img.height());
+  const int x1 = std::clamp(static_cast<int>(region.right()), x0, img.width());
+  const int y1 = std::clamp(static_cast<int>(region.bottom()), y0, img.height());
+  if (x1 <= x0 || y1 <= y0) return feat;
+
+  constexpr int kBands = 5;
+  constexpr int kHistBins = 10;
+
+  auto channel_value = [&](int x, int y, int c) {
+    return img.channels() == 3 ? img.at(x, y, c) : img.at(x, y, 0);
+  };
+
+  // Per-band mean and stddev of each channel.
+  for (int band = 0; band < kBands; ++band) {
+    const int by0 = y0 + (y1 - y0) * band / kBands;
+    const int by1 = y0 + (y1 - y0) * (band + 1) / kBands;
+    double sum[3] = {0, 0, 0}, sum_sq[3] = {0, 0, 0};
+    long n = 0;
+    for (int y = by0; y < by1; ++y) {
+      for (int x = x0; x < x1; ++x) {
+        for (int c = 0; c < 3; ++c) {
+          const double v = channel_value(x, y, c);
+          sum[c] += v;
+          sum_sq[c] += v * v;
+        }
+        ++n;
+      }
+    }
+    for (int c = 0; c < 3; ++c) {
+      const std::size_t base = static_cast<std::size_t>(band * 6);
+      if (n > 0) {
+        const double mean = sum[c] / static_cast<double>(n);
+        const double var = std::max(0.0, sum_sq[c] / static_cast<double>(n) - mean * mean);
+        feat[base + static_cast<std::size_t>(c)] = static_cast<float>(mean);
+        feat[base + 3 + static_cast<std::size_t>(c)] = static_cast<float>(std::sqrt(var));
+      }
+    }
+  }
+
+  // Grayscale histogram over the whole region (last 10 dims), L1-normalized.
+  long total = 0;
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      const float gray = img.channels() == 3
+                             ? 0.299f * img.at(x, y, 0) + 0.587f * img.at(x, y, 1) + 0.114f * img.at(x, y, 2)
+                             : img.at(x, y, 0);
+      const int bin = std::clamp(static_cast<int>(gray * kHistBins), 0, kHistBins - 1);
+      feat[static_cast<std::size_t>(30 + bin)] += 1.0f;
+      ++total;
+    }
+  }
+  if (total > 0) {
+    for (int b = 0; b < kHistBins; ++b) feat[static_cast<std::size_t>(30 + b)] /= static_cast<float>(total);
+  }
+
+  if (cost != nullptr) {
+    cost->add_features(static_cast<std::uint64_t>(x1 - x0) * static_cast<std::uint64_t>(y1 - y0) * 4);
+  }
+  return feat;
+}
+
+}  // namespace eecs::features

@@ -1,0 +1,23 @@
+// 40-dimensional mean-color region feature (paper §IV-C / §V-A: 160 bytes =
+// 40 floats per detected object) used for cross-camera re-identification:
+// 5 horizontal bands x (mean RGB + stddev RGB) = 30 dims, plus a 10-bin
+// grayscale histogram of the region.
+#pragma once
+
+#include <vector>
+
+#include "energy/cost.hpp"
+#include "imaging/image.hpp"
+#include "imaging/rect.hpp"
+
+namespace eecs::features {
+
+inline constexpr int kColorFeatureDim = 40;
+
+/// Extract the color feature of a region; the region is clamped to image
+/// bounds. Empty regions yield an all-zero feature.
+[[nodiscard]] std::vector<float> color_feature(const imaging::Image& img,
+                                               const imaging::Rect& region,
+                                               energy::CostCounter* cost = nullptr);
+
+}  // namespace eecs::features

@@ -1,0 +1,71 @@
+#include "features/frame_feature.hpp"
+
+#include "features/hog.hpp"
+#include "features/keypoints.hpp"
+#include "imaging/filter.hpp"
+
+namespace eecs::features {
+
+FrameFeatureExtractor::FrameFeatureExtractor(const std::vector<imaging::Image>& vocabulary_frames,
+                                             const FrameFeatureParams& params, Rng& rng)
+    : params_(params) {
+  EECS_EXPECTS(!vocabulary_frames.empty());
+  std::vector<std::vector<float>> all_descriptors;
+  for (const auto& frame : vocabulary_frames) {
+    auto descriptors = extract_descriptors(frame);
+    all_descriptors.insert(all_descriptors.end(), std::make_move_iterator(descriptors.begin()),
+                           std::make_move_iterator(descriptors.end()));
+  }
+  EECS_EXPECTS(static_cast<int>(all_descriptors.size()) >= params.bow_words);
+  vocabulary_ = BowVocabulary(all_descriptors, params.bow_words, rng);
+}
+
+int FrameFeatureExtractor::dimension() const {
+  return params_.hog_pool_x * params_.hog_pool_y * HogParams{}.bins + params_.bow_words +
+         params_.intensity_pool * params_.intensity_pool;
+}
+
+std::vector<float> FrameFeatureExtractor::extract(const imaging::Image& frame,
+                                                  energy::CostCounter* cost) const {
+  std::vector<float> feat =
+      global_descriptor(frame, params_.hog_pool_x, params_.hog_pool_y, {}, cost);
+  const std::vector<float> bow = bow_frame_histogram(frame, vocabulary_, cost);
+  feat.reserve(static_cast<std::size_t>(dimension()));
+  for (float v : bow) feat.push_back(params_.bow_weight * v);
+
+  // Intensity-layout block: block-mean luminance on a coarse grid.
+  const imaging::Image gray = imaging::to_gray(frame);
+  const int pool = params_.intensity_pool;
+  for (int py = 0; py < pool; ++py) {
+    for (int px = 0; px < pool; ++px) {
+      const int x0 = frame.width() * px / pool;
+      const int x1 = frame.width() * (px + 1) / pool;
+      const int y0 = frame.height() * py / pool;
+      const int y1 = frame.height() * (py + 1) / pool;
+      double s = 0.0;
+      long n = 0;
+      // Sample a sparse lattice: the block mean needs no full pass.
+      const int step = std::max(1, (x1 - x0) / 16);
+      for (int y = y0; y < y1; y += step) {
+        for (int x = x0; x < x1; x += step) {
+          s += gray.at(x, y);
+          ++n;
+        }
+      }
+      feat.push_back(params_.intensity_weight *
+                     static_cast<float>(n > 0 ? s / static_cast<double>(n) : 0.0));
+    }
+  }
+  if (cost != nullptr) cost->add_pixels(frame.pixel_count());
+  return feat;
+}
+
+std::vector<std::vector<float>> FrameFeatureExtractor::extract_all(
+    const std::vector<imaging::Image>& frames, energy::CostCounter* cost) const {
+  std::vector<std::vector<float>> out;
+  out.reserve(frames.size());
+  for (const auto& frame : frames) out.push_back(extract(frame, cost));
+  return out;
+}
+
+}  // namespace eecs::features

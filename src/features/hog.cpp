@@ -1,0 +1,148 @@
+#include "features/hog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "imaging/filter.hpp"
+
+namespace eecs::features {
+
+HogGrid::HogGrid(int cells_x, int cells_y, int bins)
+    : cells_x_(cells_x),
+      cells_y_(cells_y),
+      bins_(bins),
+      data_(static_cast<std::size_t>(cells_x) * static_cast<std::size_t>(cells_y) *
+                static_cast<std::size_t>(bins),
+            0.0f) {
+  EECS_EXPECTS(cells_x >= 0 && cells_y >= 0 && bins >= 1);
+}
+
+std::span<float> HogGrid::cell(int cx, int cy) {
+  EECS_EXPECTS(cx >= 0 && cx < cells_x_ && cy >= 0 && cy < cells_y_);
+  return {data_.data() +
+              (static_cast<std::size_t>(cy) * static_cast<std::size_t>(cells_x_) +
+               static_cast<std::size_t>(cx)) *
+                  static_cast<std::size_t>(bins_),
+          static_cast<std::size_t>(bins_)};
+}
+
+std::span<const float> HogGrid::cell(int cx, int cy) const {
+  EECS_EXPECTS(cx >= 0 && cx < cells_x_ && cy >= 0 && cy < cells_y_);
+  return {data_.data() +
+              (static_cast<std::size_t>(cy) * static_cast<std::size_t>(cells_x_) +
+               static_cast<std::size_t>(cx)) *
+                  static_cast<std::size_t>(bins_),
+          static_cast<std::size_t>(bins_)};
+}
+
+HogGrid compute_hog_grid(const imaging::Image& img, const HogParams& params,
+                         energy::CostCounter* cost) {
+  EECS_EXPECTS(params.cell_size >= 2 && params.bins >= 2);
+  const imaging::Gradients grads = imaging::compute_gradients(img);
+  const int cells_x = img.width() / params.cell_size;
+  const int cells_y = img.height() / params.cell_size;
+  HogGrid grid(cells_x, cells_y, params.bins);
+
+  const float bin_width = std::numbers::pi_v<float> / static_cast<float>(params.bins);
+  for (int cy = 0; cy < cells_y; ++cy) {
+    for (int cx = 0; cx < cells_x; ++cx) {
+      auto hist = grid.cell(cx, cy);
+      for (int dy = 0; dy < params.cell_size; ++dy) {
+        for (int dx = 0; dx < params.cell_size; ++dx) {
+          const int x = cx * params.cell_size + dx;
+          const int y = cy * params.cell_size + dy;
+          const float mag = grads.magnitude.at(x, y);
+          if (mag <= 0.0f) continue;
+          const float theta = grads.orientation.at(x, y);
+          // Soft assignment to the two nearest bins.
+          const float pos = theta / bin_width - 0.5f;
+          int b0 = static_cast<int>(std::floor(pos));
+          const float w1 = pos - static_cast<float>(b0);
+          int b1 = b0 + 1;
+          if (b0 < 0) b0 += params.bins;
+          if (b1 >= params.bins) b1 -= params.bins;
+          hist[static_cast<std::size_t>(b0)] += mag * (1.0f - w1);
+          hist[static_cast<std::size_t>(b1)] += mag * w1;
+        }
+      }
+    }
+  }
+  if (cost != nullptr) {
+    // Gradient pass + binning pass over every pixel.
+    cost->add_pixels(2 * img.pixel_count());
+    cost->add_features(static_cast<std::uint64_t>(cells_x) * static_cast<std::uint64_t>(cells_y) *
+                       static_cast<std::uint64_t>(params.cell_size * params.cell_size));
+  }
+  return grid;
+}
+
+int window_descriptor_size(int window_cells_x, int window_cells_y, const HogParams& params) {
+  const int blocks_x = window_cells_x - params.block_size + 1;
+  const int blocks_y = window_cells_y - params.block_size + 1;
+  return blocks_x * blocks_y * params.block_size * params.block_size * params.bins;
+}
+
+std::vector<float> window_descriptor(const HogGrid& grid, int cell_x0, int cell_y0,
+                                     int window_cells_x, int window_cells_y,
+                                     const HogParams& params, energy::CostCounter* cost) {
+  EECS_EXPECTS(cell_x0 >= 0 && cell_y0 >= 0);
+  EECS_EXPECTS(cell_x0 + window_cells_x <= grid.cells_x());
+  EECS_EXPECTS(cell_y0 + window_cells_y <= grid.cells_y());
+
+  std::vector<float> desc;
+  desc.reserve(static_cast<std::size_t>(window_descriptor_size(window_cells_x, window_cells_y, params)));
+
+  const int bs = params.block_size;
+  std::vector<float> block(static_cast<std::size_t>(bs * bs * params.bins));
+  for (int by = 0; by + bs <= window_cells_y; ++by) {
+    for (int bx = 0; bx + bs <= window_cells_x; ++bx) {
+      std::size_t k = 0;
+      for (int cy = 0; cy < bs; ++cy) {
+        for (int cx = 0; cx < bs; ++cx) {
+          const auto cell = grid.cell(cell_x0 + bx + cx, cell_y0 + by + cy);
+          for (float v : cell) block[k++] = v;
+        }
+      }
+      // L2-hys: normalize, clip at 0.2, renormalize.
+      auto l2norm = [](std::span<const float> v) {
+        double s = 0.0;
+        for (float x : v) s += static_cast<double>(x) * static_cast<double>(x);
+        return static_cast<float>(std::sqrt(s) + 1e-6);
+      };
+      float n = l2norm(block);
+      for (auto& v : block) v = std::min(v / n, 0.2f);
+      n = l2norm(block);
+      for (auto& v : block) v /= n;
+      desc.insert(desc.end(), block.begin(), block.end());
+    }
+  }
+  if (cost != nullptr) cost->add_features(desc.size() * 3);  // Gather + 2 normalization passes.
+  return desc;
+}
+
+std::vector<float> global_descriptor(const imaging::Image& img, int pool_x, int pool_y,
+                                     const HogParams& params, energy::CostCounter* cost) {
+  EECS_EXPECTS(pool_x >= 1 && pool_y >= 1);
+  const HogGrid grid = compute_hog_grid(img, params, cost);
+  EECS_EXPECTS(grid.cells_x() >= pool_x && grid.cells_y() >= pool_y);
+
+  std::vector<float> desc(static_cast<std::size_t>(pool_x * pool_y * params.bins), 0.0f);
+  for (int cy = 0; cy < grid.cells_y(); ++cy) {
+    const int py = std::min(cy * pool_y / grid.cells_y(), pool_y - 1);
+    for (int cx = 0; cx < grid.cells_x(); ++cx) {
+      const int px = std::min(cx * pool_x / grid.cells_x(), pool_x - 1);
+      const auto cell = grid.cell(cx, cy);
+      float* out = desc.data() + static_cast<std::size_t>((py * pool_x + px) * params.bins);
+      for (int b = 0; b < params.bins; ++b) out[b] += cell[static_cast<std::size_t>(b)];
+    }
+  }
+  double s = 0.0;
+  for (float v : desc) s += static_cast<double>(v) * static_cast<double>(v);
+  const float n = static_cast<float>(std::sqrt(s) + 1e-9);
+  for (auto& v : desc) v /= n;
+  if (cost != nullptr) cost->add_features(desc.size() * 2);
+  return desc;
+}
+
+}  // namespace eecs::features

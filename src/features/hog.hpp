@@ -1,0 +1,68 @@
+// Histogram-of-oriented-gradients features (Dalal & Triggs, the paper's [3]).
+// Two consumers: sliding-window detection (per-window block-normalized
+// descriptors) and video comparison (a pooled global frame descriptor).
+#pragma once
+
+#include <vector>
+
+#include "energy/cost.hpp"
+#include "imaging/image.hpp"
+
+namespace eecs::features {
+
+struct HogParams {
+  int cell_size = 8;   ///< Pixels per cell side.
+  int block_size = 2;  ///< Cells per block side (block normalization).
+  int bins = 9;        ///< Unsigned orientation bins over [0, pi).
+
+  friend bool operator==(const HogParams&, const HogParams&) = default;
+};
+
+/// Grid of per-cell orientation histograms.
+class HogGrid {
+ public:
+  HogGrid() = default;
+  HogGrid(int cells_x, int cells_y, int bins);
+
+  [[nodiscard]] int cells_x() const { return cells_x_; }
+  [[nodiscard]] int cells_y() const { return cells_y_; }
+  [[nodiscard]] int bins() const { return bins_; }
+
+  [[nodiscard]] std::span<float> cell(int cx, int cy);
+  [[nodiscard]] std::span<const float> cell(int cx, int cy) const;
+
+ private:
+  int cells_x_ = 0;
+  int cells_y_ = 0;
+  int bins_ = 0;
+  std::vector<float> data_;
+};
+
+/// Compute the cell histogram grid of an image (converted to grayscale).
+/// Gradient magnitude is soft-binned into the two nearest orientation bins.
+/// Costs are charged to `cost` if provided.
+[[nodiscard]] HogGrid compute_hog_grid(const imaging::Image& img, const HogParams& params = {},
+                                       energy::CostCounter* cost = nullptr);
+
+/// Block-normalized descriptor of a window of `window_cells_x` x
+/// `window_cells_y` cells anchored at (cell_x0, cell_y0). Layout matches
+/// Dalal-Triggs: blocks slide by one cell; each block is L2-hys normalized.
+/// Window must lie inside the grid. Descriptor size:
+/// (wcx-1)*(wcy-1)*block^2*bins for block_size 2.
+[[nodiscard]] std::vector<float> window_descriptor(const HogGrid& grid, int cell_x0, int cell_y0,
+                                                   int window_cells_x, int window_cells_y,
+                                                   const HogParams& params = {},
+                                                   energy::CostCounter* cost = nullptr);
+
+/// Descriptor length produced by window_descriptor for the given window.
+[[nodiscard]] int window_descriptor_size(int window_cells_x, int window_cells_y,
+                                         const HogParams& params = {});
+
+/// Pooled global descriptor for video comparison: the cell grid is average-
+/// pooled onto a pool_x x pool_y grid and L2-normalized. Dimension:
+/// pool_x * pool_y * bins.
+[[nodiscard]] std::vector<float> global_descriptor(const imaging::Image& img, int pool_x = 4,
+                                                   int pool_y = 4, const HogParams& params = {},
+                                                   energy::CostCounter* cost = nullptr);
+
+}  // namespace eecs::features

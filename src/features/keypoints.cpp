@@ -1,0 +1,168 @@
+#include "features/keypoints.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/integral.hpp"
+
+namespace eecs::features {
+
+namespace {
+
+/// Box-filter approximations of second derivatives at half-size s.
+struct HessianResponses {
+  double dxx, dyy, dxy;
+};
+
+HessianResponses hessian_at(const imaging::IntegralImage& ii, int x, int y, int s) {
+  // Dxx: [-1 2 -1] pattern of three vertical s x 2s boxes.
+  const double left = ii.rect_sum(x - 3 * s / 2, y - s, x - s / 2, y + s);
+  const double mid = ii.rect_sum(x - s / 2, y - s, x + s / 2, y + s);
+  const double right = ii.rect_sum(x + s / 2, y - s, x + 3 * s / 2, y + s);
+  const double dxx = mid * 2.0 - left - right;
+
+  const double top = ii.rect_sum(x - s, y - 3 * s / 2, x + s, y - s / 2);
+  const double vmid = ii.rect_sum(x - s, y - s / 2, x + s, y + s / 2);
+  const double bottom = ii.rect_sum(x - s, y + s / 2, x + s, y + 3 * s / 2);
+  const double dyy = vmid * 2.0 - top - bottom;
+
+  // Dxy: four diagonal quadrant boxes.
+  const double q1 = ii.rect_sum(x - s, y - s, x, y);
+  const double q2 = ii.rect_sum(x, y - s, x + s, y);
+  const double q3 = ii.rect_sum(x - s, y, x, y + s);
+  const double q4 = ii.rect_sum(x, y, x + s, y + s);
+  const double dxy = (q1 + q4) - (q2 + q3);
+
+  // Normalize by filter area so responses are scale-comparable.
+  const double area = static_cast<double>(s) * static_cast<double>(s);
+  return {dxx / area, dyy / area, dxy / area};
+}
+
+}  // namespace
+
+std::vector<Keypoint> detect_keypoints(const imaging::Image& img, const KeypointParams& params,
+                                       energy::CostCounter* cost) {
+  EECS_EXPECTS(!params.scales.empty());
+  const imaging::Image gray = imaging::to_gray(img);
+  const imaging::IntegralImage ii(gray);
+
+  // Response map per scale, sampled on a stride-2 lattice for speed.
+  constexpr int kStride = 2;
+  const int gw = gray.width() / kStride;
+  const int gh = gray.height() / kStride;
+
+  std::vector<std::vector<float>> responses(params.scales.size());
+  for (std::size_t si = 0; si < params.scales.size(); ++si) {
+    const int s = params.scales[si];
+    auto& map = responses[si];
+    map.assign(static_cast<std::size_t>(gw) * static_cast<std::size_t>(gh), 0.0f);
+    for (int gy = 0; gy < gh; ++gy) {
+      for (int gx = 0; gx < gw; ++gx) {
+        const int x = gx * kStride;
+        const int y = gy * kStride;
+        if (x < 2 * s || y < 2 * s || x >= gray.width() - 2 * s || y >= gray.height() - 2 * s) continue;
+        const HessianResponses h = hessian_at(ii, x, y, s);
+        const double det = h.dxx * h.dyy - 0.81 * h.dxy * h.dxy;
+        map[static_cast<std::size_t>(gy) * static_cast<std::size_t>(gw) + static_cast<std::size_t>(gx)] =
+            static_cast<float>(det);
+      }
+    }
+  }
+  if (cost != nullptr) {
+    cost->add_pixels(gray.pixel_count());  // Integral image pass.
+    cost->add_features(static_cast<std::uint64_t>(gw) * static_cast<std::uint64_t>(gh) *
+                       params.scales.size() * 8);  // 8 box sums per response.
+  }
+
+  // Local maxima (3x3 neighborhood on the lattice, per scale) above threshold.
+  std::vector<Keypoint> keypoints;
+  for (std::size_t si = 0; si < params.scales.size(); ++si) {
+    const auto& map = responses[si];
+    auto at = [&](int gx, int gy) {
+      return map[static_cast<std::size_t>(gy) * static_cast<std::size_t>(gw) + static_cast<std::size_t>(gx)];
+    };
+    for (int gy = 1; gy < gh - 1; ++gy) {
+      for (int gx = 1; gx < gw - 1; ++gx) {
+        const float v = at(gx, gy);
+        if (v < params.response_threshold) continue;
+        bool is_max = true;
+        for (int dy = -1; dy <= 1 && is_max; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0) continue;
+            if (at(gx + dx, gy + dy) > v) {
+              is_max = false;
+              break;
+            }
+          }
+        }
+        if (is_max) {
+          keypoints.push_back({static_cast<float>(gx * kStride), static_cast<float>(gy * kStride),
+                               static_cast<float>(params.scales[si]), v});
+        }
+      }
+    }
+  }
+
+  // Keep the strongest.
+  std::sort(keypoints.begin(), keypoints.end(),
+            [](const Keypoint& a, const Keypoint& b) { return a.response > b.response; });
+  if (static_cast<int>(keypoints.size()) > params.max_keypoints) {
+    keypoints.resize(static_cast<std::size_t>(params.max_keypoints));
+  }
+  return keypoints;
+}
+
+std::vector<float> describe_keypoint(const imaging::Image& img, const Keypoint& kp,
+                                     energy::CostCounter* cost) {
+  // Avoid a full-image copy when the caller already passes grayscale.
+  const imaging::Image gray_storage = img.channels() == 1 ? imaging::Image() : imaging::to_gray(img);
+  const imaging::Image& gray = img.channels() == 1 ? img : gray_storage;
+  const int half = std::max(5, static_cast<int>(5.0f * kp.scale));
+  const int x0 = static_cast<int>(kp.x) - half;
+  const int y0 = static_cast<int>(kp.y) - half;
+  const int side = 2 * half;
+  const int sub = side / 4;  // 4x4 subregions.
+
+  std::vector<float> desc(kDescriptorDim, 0.0f);
+  for (int sy = 0; sy < 4; ++sy) {
+    for (int sx = 0; sx < 4; ++sx) {
+      float sum_dx = 0, sum_dy = 0, sum_adx = 0, sum_ady = 0;
+      for (int dy = 0; dy < sub; ++dy) {
+        for (int dx = 0; dx < sub; ++dx) {
+          const int x = x0 + sx * sub + dx;
+          const int y = y0 + sy * sub + dy;
+          const float gx = gray.at_clamped(x + 1, y) - gray.at_clamped(x - 1, y);
+          const float gy = gray.at_clamped(x, y + 1) - gray.at_clamped(x, y - 1);
+          sum_dx += gx;
+          sum_dy += gy;
+          sum_adx += std::abs(gx);
+          sum_ady += std::abs(gy);
+        }
+      }
+      const std::size_t base = static_cast<std::size_t>((sy * 4 + sx) * 4);
+      desc[base] = sum_dx;
+      desc[base + 1] = sum_dy;
+      desc[base + 2] = sum_adx;
+      desc[base + 3] = sum_ady;
+    }
+  }
+  double s = 0.0;
+  for (float v : desc) s += static_cast<double>(v) * static_cast<double>(v);
+  const float n = static_cast<float>(std::sqrt(s) + 1e-9);
+  for (auto& v : desc) v /= n;
+  if (cost != nullptr) cost->add_features(static_cast<std::uint64_t>(side) * static_cast<std::uint64_t>(side) * 4);
+  return desc;
+}
+
+std::vector<std::vector<float>> extract_descriptors(const imaging::Image& img,
+                                                    const KeypointParams& params,
+                                                    energy::CostCounter* cost) {
+  const std::vector<Keypoint> kps = detect_keypoints(img, params, cost);
+  std::vector<std::vector<float>> descriptors;
+  descriptors.reserve(kps.size());
+  const imaging::Image gray = imaging::to_gray(img);
+  for (const Keypoint& kp : kps) descriptors.push_back(describe_keypoint(gray, kp, cost));
+  return descriptors;
+}
+
+}  // namespace eecs::features

@@ -1,0 +1,65 @@
+#include "geometry/camera.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace eecs::geometry {
+
+PinholeCamera::PinholeCamera(const Vec3& position, const Vec3& target,
+                             const CameraIntrinsics& intrinsics)
+    : position_(position), intrinsics_(intrinsics) {
+  const Vec3 view = target - position;
+  EECS_EXPECTS(view.norm() > 1e-9);
+  forward_ = view.normalized();
+  const Vec3 world_up{0, 0, 1};
+  const Vec3 r = cross(forward_, world_up);
+  EECS_EXPECTS(r.norm() > 1e-9);  // View direction must not be vertical.
+  right_ = r.normalized();
+  down_ = cross(forward_, right_);  // Unit by construction; points toward -z.
+}
+
+double PinholeCamera::depth(const Vec3& world) const {
+  return dot(forward_, world - position_);
+}
+
+std::optional<Vec2> PinholeCamera::project(const Vec3& world) const {
+  const Vec3 rel = world - position_;
+  const double z = dot(forward_, rel);
+  if (z <= 1e-9) return std::nullopt;
+  const double x = dot(right_, rel);
+  const double y = dot(down_, rel);
+  return Vec2{intrinsics_.focal_px * x / z + intrinsics_.cx(),
+              intrinsics_.focal_px * y / z + intrinsics_.cy()};
+}
+
+Homography PinholeCamera::ground_homography() const {
+  // For a ground point (X, Y, 0): camera coords = R * ((X, Y, 0) - C), so the
+  // homogeneous pixel is K [r1 r2 -R C] (X, Y, 1)^T where r1, r2 are the
+  // first two columns of R.
+  const double f = intrinsics_.focal_px;
+  const double cx = intrinsics_.cx();
+  const double cy = intrinsics_.cy();
+
+  // Columns of R are (right.x, down.x, forward.x) etc.; we need R's first two
+  // columns, i.e. the world x and y axes expressed in camera coordinates.
+  const Vec3 col_x{right_.x, down_.x, forward_.x};
+  const Vec3 col_y{right_.y, down_.y, forward_.y};
+  const Vec3 t{-dot(right_, position_), -dot(down_, position_), -dot(forward_, position_)};
+
+  std::array<std::array<double, 3>, 3> h{};
+  const Vec3 cols[3] = {col_x, col_y, t};
+  for (int j = 0; j < 3; ++j) {
+    const Vec3& c = cols[j];
+    h[0][static_cast<std::size_t>(j)] = f * c.x + cx * c.z;
+    h[1][static_cast<std::size_t>(j)] = f * c.y + cy * c.z;
+    h[2][static_cast<std::size_t>(j)] = c.z;
+  }
+  return Homography(h);
+}
+
+bool PinholeCamera::in_image(const Vec2& px) const {
+  return px.x >= 0 && px.x < intrinsics_.width && px.y >= 0 && px.y < intrinsics_.height;
+}
+
+}  // namespace eecs::geometry

@@ -1,0 +1,55 @@
+// Pinhole camera model. The synthetic scene renderer projects 3D world
+// points through it, and its analytic ground-plane homography plays the role
+// of the calibration data shipped with the paper's datasets.
+//
+// Conventions: world coordinates in meters, z up, ground plane z = 0.
+// Camera frame: x right, y down, z forward; pixels (u, v) with v downward.
+#pragma once
+
+#include <optional>
+
+#include "geometry/homography.hpp"
+#include "geometry/vec.hpp"
+
+namespace eecs::geometry {
+
+struct CameraIntrinsics {
+  double focal_px = 300.0;  ///< Focal length in pixels (fx == fy).
+  int width = 360;
+  int height = 288;
+
+  [[nodiscard]] double cx() const { return width / 2.0; }
+  [[nodiscard]] double cy() const { return height / 2.0; }
+};
+
+class PinholeCamera {
+ public:
+  /// Camera at `position` looking at `target` with the world z axis as up.
+  /// Requires position != target and a view direction not parallel to up.
+  PinholeCamera(const Vec3& position, const Vec3& target, const CameraIntrinsics& intrinsics);
+
+  [[nodiscard]] const CameraIntrinsics& intrinsics() const { return intrinsics_; }
+  [[nodiscard]] const Vec3& position() const { return position_; }
+
+  /// Project a world point to pixel coordinates; nullopt if the point is at
+  /// or behind the camera plane.
+  [[nodiscard]] std::optional<Vec2> project(const Vec3& world) const;
+
+  /// Depth (camera-frame z) of a world point; negative means behind.
+  [[nodiscard]] double depth(const Vec3& world) const;
+
+  /// Analytic homography mapping ground-plane world coordinates (X, Y) to
+  /// pixels. This is the "dataset-provided" calibration in the paper's
+  /// evaluation (§VI, Ground truth information).
+  [[nodiscard]] Homography ground_homography() const;
+
+  /// True if the pixel is inside the image bounds.
+  [[nodiscard]] bool in_image(const Vec2& px) const;
+
+ private:
+  Vec3 position_;
+  Vec3 right_, down_, forward_;  ///< Rows of the world->camera rotation.
+  CameraIntrinsics intrinsics_;
+};
+
+}  // namespace eecs::geometry

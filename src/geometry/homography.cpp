@@ -1,0 +1,179 @@
+#include "geometry/homography.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/decomp.hpp"
+#include "linalg/matrix.hpp"
+
+namespace eecs::geometry {
+
+namespace {
+constexpr double kDenomEps = 1e-12;
+}
+
+Homography::Homography() : m_{{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}} {}
+
+Homography::Homography(const std::array<std::array<double, 3>, 3>& h) : m_(h) { normalize(); }
+
+void Homography::normalize() {
+  // Scale so the largest-magnitude entry is 1; keeps numbers well-behaved and
+  // makes equality comparisons meaningful.
+  double max_abs = 0.0;
+  for (const auto& row : m_) {
+    for (double v : row) max_abs = std::max(max_abs, std::abs(v));
+  }
+  EECS_EXPECTS(max_abs > 0.0);
+  for (auto& row : m_) {
+    for (double& v : row) v /= max_abs;
+  }
+}
+
+std::optional<Vec2> Homography::apply(const Vec2& p) const {
+  const double w = m_[2][0] * p.x + m_[2][1] * p.y + m_[2][2];
+  if (std::abs(w) < kDenomEps) return std::nullopt;
+  return Vec2{(m_[0][0] * p.x + m_[0][1] * p.y + m_[0][2]) / w,
+              (m_[1][0] * p.x + m_[1][1] * p.y + m_[1][2]) / w};
+}
+
+Homography Homography::inverse() const {
+  // Adjugate of the 3x3 matrix.
+  const auto& m = m_;
+  std::array<std::array<double, 3>, 3> adj;
+  adj[0][0] = m[1][1] * m[2][2] - m[1][2] * m[2][1];
+  adj[0][1] = m[0][2] * m[2][1] - m[0][1] * m[2][2];
+  adj[0][2] = m[0][1] * m[1][2] - m[0][2] * m[1][1];
+  adj[1][0] = m[1][2] * m[2][0] - m[1][0] * m[2][2];
+  adj[1][1] = m[0][0] * m[2][2] - m[0][2] * m[2][0];
+  adj[1][2] = m[0][2] * m[1][0] - m[0][0] * m[1][2];
+  adj[2][0] = m[1][0] * m[2][1] - m[1][1] * m[2][0];
+  adj[2][1] = m[0][1] * m[2][0] - m[0][0] * m[2][1];
+  adj[2][2] = m[0][0] * m[1][1] - m[0][1] * m[1][0];
+  const double det = m[0][0] * adj[0][0] + m[0][1] * adj[1][0] + m[0][2] * adj[2][0];
+  if (std::abs(det) < kDenomEps) throw std::runtime_error("Homography::inverse: singular matrix");
+  return Homography(adj);
+}
+
+Homography operator*(const Homography& a, const Homography& b) {
+  std::array<std::array<double, 3>, 3> m{};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < 3; ++k) s += a.at(i, k) * b.at(k, j);
+      m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = s;
+    }
+  }
+  return Homography(m);
+}
+
+namespace {
+
+struct Normalization {
+  double cx, cy, scale;
+
+  [[nodiscard]] Vec2 apply(const Vec2& p) const { return {scale * (p.x - cx), scale * (p.y - cy)}; }
+
+  /// The 3x3 similarity transform as a Homography.
+  [[nodiscard]] Homography as_homography() const {
+    return Homography({{{scale, 0, -scale * cx}, {0, scale, -scale * cy}, {0, 0, 1}}});
+  }
+};
+
+Normalization compute_normalization(const std::vector<PointPair>& pairs, bool use_from) {
+  double cx = 0.0, cy = 0.0;
+  for (const auto& p : pairs) {
+    const Vec2& v = use_from ? p.from : p.to;
+    cx += v.x;
+    cy += v.y;
+  }
+  cx /= static_cast<double>(pairs.size());
+  cy /= static_cast<double>(pairs.size());
+  double mean_dist = 0.0;
+  for (const auto& p : pairs) {
+    const Vec2& v = use_from ? p.from : p.to;
+    mean_dist += std::hypot(v.x - cx, v.y - cy);
+  }
+  mean_dist /= static_cast<double>(pairs.size());
+  const double scale = mean_dist > kDenomEps ? std::sqrt(2.0) / mean_dist : 1.0;
+  return {cx, cy, scale};
+}
+
+}  // namespace
+
+Homography estimate_homography_dlt(const std::vector<PointPair>& pairs) {
+  if (pairs.size() < 4) throw std::runtime_error("estimate_homography_dlt: need >= 4 pairs");
+
+  const Normalization nf = compute_normalization(pairs, /*use_from=*/true);
+  const Normalization nt = compute_normalization(pairs, /*use_from=*/false);
+
+  linalg::Matrix a(static_cast<int>(2 * pairs.size()), 9);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const Vec2 p = nf.apply(pairs[i].from);
+    const Vec2 q = nt.apply(pairs[i].to);
+    const int r = static_cast<int>(2 * i);
+    // Row for x': [-x -y -1 0 0 0 x'x x'y x'].
+    a(r, 0) = -p.x; a(r, 1) = -p.y; a(r, 2) = -1;
+    a(r, 6) = q.x * p.x; a(r, 7) = q.x * p.y; a(r, 8) = q.x;
+    // Row for y'.
+    a(r + 1, 3) = -p.x; a(r + 1, 4) = -p.y; a(r + 1, 5) = -1;
+    a(r + 1, 6) = q.y * p.x; a(r + 1, 7) = q.y * p.y; a(r + 1, 8) = q.y;
+  }
+
+  // Null vector = eigenvector of A^T A for its smallest eigenvalue. Using the
+  // normal equations (rather than a thin SVD of A) guarantees the null-space
+  // direction is available even for the minimal 8x9 system.
+  const linalg::EigResult eig = linalg::eig_symmetric(linalg::transpose_times(a, a));
+  const int last = eig.eigenvectors.cols() - 1;
+  std::array<std::array<double, 3>, 3> h{};
+  double norm_h = 0.0;
+  for (int i = 0; i < 9; ++i) {
+    h[static_cast<std::size_t>(i / 3)][static_cast<std::size_t>(i % 3)] = eig.eigenvectors(i, last);
+    norm_h += eig.eigenvectors(i, last) * eig.eigenvectors(i, last);
+  }
+  if (norm_h < kDenomEps) throw std::runtime_error("estimate_homography_dlt: degenerate configuration");
+
+  // Denormalize: H = T_to^{-1} * Hn * T_from.
+  const Homography hn(h);
+  return nt.as_homography().inverse() * hn * nf.as_homography();
+}
+
+RansacResult estimate_homography_ransac(const std::vector<PointPair>& pairs, Rng& rng,
+                                        const RansacOptions& options) {
+  if (pairs.size() < 4) throw std::runtime_error("estimate_homography_ransac: need >= 4 pairs");
+
+  std::vector<int> best_inliers;
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const std::vector<int> sample = rng.sample_indices(static_cast<int>(pairs.size()), 4);
+    std::vector<PointPair> minimal;
+    minimal.reserve(4);
+    for (int idx : sample) minimal.push_back(pairs[static_cast<std::size_t>(idx)]);
+
+    Homography h;
+    try {
+      h = estimate_homography_dlt(minimal);
+    } catch (const std::runtime_error&) {
+      continue;  // Degenerate minimal sample; try another.
+    }
+
+    std::vector<int> inliers;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const auto mapped = h.apply(pairs[i].from);
+      if (mapped && distance(*mapped, pairs[i].to) <= options.inlier_threshold) {
+        inliers.push_back(static_cast<int>(i));
+      }
+    }
+    if (inliers.size() > best_inliers.size()) best_inliers = std::move(inliers);
+  }
+
+  if (static_cast<int>(best_inliers.size()) < options.min_inliers) {
+    throw std::runtime_error("estimate_homography_ransac: no consensus model found");
+  }
+
+  // Refit on all inliers for the final model.
+  std::vector<PointPair> inlier_pairs;
+  inlier_pairs.reserve(best_inliers.size());
+  for (int idx : best_inliers) inlier_pairs.push_back(pairs[static_cast<std::size_t>(idx)]);
+  return {estimate_homography_dlt(inlier_pairs), std::move(best_inliers)};
+}
+
+}  // namespace eecs::geometry

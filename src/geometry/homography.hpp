@@ -1,0 +1,68 @@
+// Plane-to-plane projective mapping. EECS uses ground-plane homographies
+// between camera views to re-identify objects across cameras (paper §IV-C).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/vec.hpp"
+
+namespace eecs::geometry {
+
+class Homography {
+ public:
+  /// Identity mapping.
+  Homography();
+
+  /// From a row-major 3x3 matrix. Throws ContractViolation if h[2][2]
+  /// normalization is impossible (all-zero matrix).
+  explicit Homography(const std::array<std::array<double, 3>, 3>& h);
+
+  /// Apply to a point. Returns nullopt when the point maps to infinity
+  /// (denominator ~ 0).
+  [[nodiscard]] std::optional<Vec2> apply(const Vec2& p) const;
+
+  /// Inverse mapping. Throws std::runtime_error for singular homographies.
+  [[nodiscard]] Homography inverse() const;
+
+  /// Composition: (a * b)(p) == a(b(p)).
+  friend Homography operator*(const Homography& a, const Homography& b);
+
+  [[nodiscard]] double at(int r, int c) const { return m_[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]; }
+
+ private:
+  std::array<std::array<double, 3>, 3> m_;
+  void normalize();
+};
+
+/// A landmark correspondence between two planes (e.g. ground point seen in
+/// two images, or world ground coordinates vs. image pixels).
+struct PointPair {
+  Vec2 from;
+  Vec2 to;
+};
+
+/// Direct linear transform with Hartley normalization. Requires >= 4
+/// non-degenerate correspondences; throws std::runtime_error on degeneracy.
+[[nodiscard]] Homography estimate_homography_dlt(const std::vector<PointPair>& pairs);
+
+struct RansacOptions {
+  int iterations = 500;
+  double inlier_threshold = 2.0;  ///< Max reprojection distance in pixels.
+  int min_inliers = 4;
+};
+
+struct RansacResult {
+  Homography homography;
+  std::vector<int> inlier_indices;
+};
+
+/// RANSAC-robust homography estimation (paper cites Vincent & Laganiere
+/// [25]); final model is re-fit on all inliers. Throws std::runtime_error if
+/// no model reaches min_inliers.
+[[nodiscard]] RansacResult estimate_homography_ransac(const std::vector<PointPair>& pairs,
+                                                      Rng& rng, const RansacOptions& options = {});
+
+}  // namespace eecs::geometry

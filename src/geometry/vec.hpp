@@ -1,0 +1,47 @@
+// Small fixed-size vector types for camera geometry.
+#pragma once
+
+#include <cmath>
+
+namespace eecs::geometry {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Vec2 operator+(const Vec2& a, const Vec2& b) { return {a.x + b.x, a.y + b.y}; }
+  friend Vec2 operator-(const Vec2& a, const Vec2& b) { return {a.x - b.x, a.y - b.y}; }
+  friend Vec2 operator*(double s, const Vec2& v) { return {s * v.x, s * v.y}; }
+  friend bool operator==(const Vec2&, const Vec2&) = default;
+
+  [[nodiscard]] double norm() const { return std::sqrt(x * x + y * y); }
+};
+
+[[nodiscard]] inline double distance(const Vec2& a, const Vec2& b) { return (a - b).norm(); }
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend Vec3 operator+(const Vec3& a, const Vec3& b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+  friend Vec3 operator-(const Vec3& a, const Vec3& b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+  friend Vec3 operator*(double s, const Vec3& v) { return {s * v.x, s * v.y, s * v.z}; }
+  friend bool operator==(const Vec3&, const Vec3&) = default;
+
+  [[nodiscard]] double norm() const { return std::sqrt(x * x + y * y + z * z); }
+  [[nodiscard]] Vec3 normalized() const {
+    const double n = norm();
+    return n > 0 ? Vec3{x / n, y / n, z / n} : Vec3{};
+  }
+};
+
+[[nodiscard]] inline double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+[[nodiscard]] inline Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+}  // namespace eecs::geometry

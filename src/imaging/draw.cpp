@@ -1,0 +1,101 @@
+#include "imaging/draw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eecs::imaging {
+
+namespace {
+
+struct PixelRange {
+  int x0, y0, x1, y1;
+};
+
+PixelRange clip_to_image(const Image& img, const Rect& r) {
+  return {std::clamp(static_cast<int>(std::floor(r.x)), 0, img.width()),
+          std::clamp(static_cast<int>(std::floor(r.y)), 0, img.height()),
+          std::clamp(static_cast<int>(std::ceil(r.right())), 0, img.width()),
+          std::clamp(static_cast<int>(std::ceil(r.bottom())), 0, img.height())};
+}
+
+void blend(Image& img, int x, int y, const Color& color, float alpha) {
+  for (int c = 0; c < img.channels(); ++c) {
+    const float src = img.channels() == 3 ? color[static_cast<std::size_t>(c)]
+                                          : (color[0] + color[1] + color[2]) / 3.0f;
+    float& dst = img.at(x, y, c);
+    dst = std::clamp((1.0f - alpha) * dst + alpha * src, 0.0f, 1.0f);
+  }
+}
+
+}  // namespace
+
+void fill_rect(Image& img, const Rect& r, const Color& color, float alpha) {
+  const PixelRange p = clip_to_image(img, r);
+  for (int y = p.y0; y < p.y1; ++y) {
+    for (int x = p.x0; x < p.x1; ++x) blend(img, x, y, color, alpha);
+  }
+}
+
+void fill_ellipse(Image& img, const Rect& r, const Color& color, float alpha) {
+  if (r.w <= 0 || r.h <= 0) return;
+  const PixelRange p = clip_to_image(img, r);
+  const double cx = r.center_x();
+  const double cy = r.center_y();
+  const double rx = r.w / 2.0;
+  const double ry = r.h / 2.0;
+  for (int y = p.y0; y < p.y1; ++y) {
+    for (int x = p.x0; x < p.x1; ++x) {
+      const double dx = (static_cast<double>(x) + 0.5 - cx) / rx;
+      const double dy = (static_cast<double>(y) + 0.5 - cy) / ry;
+      if (dx * dx + dy * dy <= 1.0) blend(img, x, y, color, alpha);
+    }
+  }
+}
+
+float hash_noise(int x, int y, unsigned seed) {
+  unsigned h = static_cast<unsigned>(x) * 374761393u + static_cast<unsigned>(y) * 668265263u + seed * 2246822519u;
+  h = (h ^ (h >> 13)) * 1274126177u;
+  h ^= h >> 16;
+  return static_cast<float>(h & 0xffffffu) / static_cast<float>(0xffffffu);
+}
+
+float fractal_noise(float x, float y, unsigned seed, int octaves) {
+  float total = 0.0f;
+  float amplitude = 1.0f;
+  float norm = 0.0f;
+  float fx = x, fy = y;
+  for (int o = 0; o < octaves; ++o) {
+    // Bilinear interpolation of lattice hash noise.
+    const int ix = static_cast<int>(std::floor(fx));
+    const int iy = static_cast<int>(std::floor(fy));
+    const float tx = fx - static_cast<float>(ix);
+    const float ty = fy - static_cast<float>(iy);
+    const float v00 = hash_noise(ix, iy, seed + static_cast<unsigned>(o));
+    const float v10 = hash_noise(ix + 1, iy, seed + static_cast<unsigned>(o));
+    const float v01 = hash_noise(ix, iy + 1, seed + static_cast<unsigned>(o));
+    const float v11 = hash_noise(ix + 1, iy + 1, seed + static_cast<unsigned>(o));
+    const float v = (1 - tx) * (1 - ty) * v00 + tx * (1 - ty) * v10 + (1 - tx) * ty * v01 + tx * ty * v11;
+    total += amplitude * v;
+    norm += amplitude;
+    amplitude *= 0.5f;
+    fx *= 2.0f;
+    fy *= 2.0f;
+  }
+  return total / norm;
+}
+
+void apply_texture(Image& img, const Rect& r, unsigned seed, float amplitude, float scale) {
+  const PixelRange p = clip_to_image(img, r);
+  for (int y = p.y0; y < p.y1; ++y) {
+    for (int x = p.x0; x < p.x1; ++x) {
+      const float n = fractal_noise(static_cast<float>(x) / scale, static_cast<float>(y) / scale, seed);
+      const float gain = 1.0f + amplitude * (n - 0.5f);
+      for (int c = 0; c < img.channels(); ++c) {
+        float& v = img.at(x, y, c);
+        v = std::clamp(v * gain, 0.0f, 1.0f);
+      }
+    }
+  }
+}
+
+}  // namespace eecs::imaging

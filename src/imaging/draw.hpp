@@ -1,0 +1,29 @@
+// Drawing primitives used by the synthetic scene renderer.
+#pragma once
+
+#include <array>
+
+#include "imaging/image.hpp"
+#include "imaging/rect.hpp"
+
+namespace eecs::imaging {
+
+using Color = std::array<float, 3>;  ///< RGB in [0, 1].
+
+/// Fill a rectangle, alpha-blending over the existing content.
+void fill_rect(Image& img, const Rect& r, const Color& color, float alpha = 1.0f);
+
+/// Fill an axis-aligned ellipse inscribed in `r`.
+void fill_ellipse(Image& img, const Rect& r, const Color& color, float alpha = 1.0f);
+
+/// Deterministic value noise in [0, 1] from integer coordinates and a seed;
+/// used for procedural background texture (no RNG state required).
+[[nodiscard]] float hash_noise(int x, int y, unsigned seed);
+
+/// Smooth multi-octave value noise in [0, 1].
+[[nodiscard]] float fractal_noise(float x, float y, unsigned seed, int octaves = 3);
+
+/// Overlay multiplicative texture on a region: pixel *= (1 + amplitude*(n-0.5)).
+void apply_texture(Image& img, const Rect& r, unsigned seed, float amplitude, float scale);
+
+}  // namespace eecs::imaging

@@ -1,0 +1,130 @@
+#include "imaging/filter.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace eecs::imaging {
+
+namespace {
+
+/// Horizontal then vertical pass with an arbitrary normalized kernel.
+Image separable_filter(const Image& img, std::span<const float> kernel) {
+  const int radius = static_cast<int>(kernel.size()) / 2;
+  Image tmp(img.width(), img.height(), img.channels());
+  Image out(img.width(), img.height(), img.channels());
+  for (int c = 0; c < img.channels(); ++c) {
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        float s = 0.0f;
+        for (int k = -radius; k <= radius; ++k) {
+          s += kernel[static_cast<std::size_t>(k + radius)] * img.at_clamped(x + k, y, c);
+        }
+        tmp.at(x, y, c) = s;
+      }
+    }
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        float s = 0.0f;
+        for (int k = -radius; k <= radius; ++k) {
+          s += kernel[static_cast<std::size_t>(k + radius)] * tmp.at_clamped(x, y + k, c);
+        }
+        out.at(x, y, c) = s;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Image box_blur(const Image& img, int radius) {
+  EECS_EXPECTS(radius >= 0);
+  if (radius == 0 || img.empty()) return img;
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1),
+                            1.0f / static_cast<float>(2 * radius + 1));
+  return separable_filter(img, kernel);
+}
+
+Image gaussian_blur(const Image& img, float sigma) {
+  EECS_EXPECTS(sigma >= 0.0f);
+  if (sigma <= 0.0f || img.empty()) return img;
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0f * sigma)));
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+  float sum = 0.0f;
+  for (int k = -radius; k <= radius; ++k) {
+    const float v = std::exp(-0.5f * static_cast<float>(k) * static_cast<float>(k) / (sigma * sigma));
+    kernel[static_cast<std::size_t>(k + radius)] = v;
+    sum += v;
+  }
+  for (auto& v : kernel) v /= sum;
+  return separable_filter(img, kernel);
+}
+
+Gradients compute_gradients(const Image& img) {
+  const Image gray = to_gray(img);
+  Gradients g{Image(gray.width(), gray.height(), 1), Image(gray.width(), gray.height(), 1)};
+  for (int y = 0; y < gray.height(); ++y) {
+    for (int x = 0; x < gray.width(); ++x) {
+      const float gx = gray.at_clamped(x + 1, y) - gray.at_clamped(x - 1, y);
+      const float gy = gray.at_clamped(x, y + 1) - gray.at_clamped(x, y - 1);
+      g.magnitude.at(x, y) = std::sqrt(gx * gx + gy * gy);
+      float theta = std::atan2(gy, gx);  // [-pi, pi]
+      if (theta < 0.0f) theta += std::numbers::pi_v<float>;
+      if (theta >= std::numbers::pi_v<float>) theta -= std::numbers::pi_v<float>;
+      g.orientation.at(x, y) = theta;
+    }
+  }
+  return g;
+}
+
+Image resize(const Image& img, int new_width, int new_height) {
+  EECS_EXPECTS(new_width >= 1 && new_height >= 1);
+  EECS_EXPECTS(!img.empty());
+  Image out(new_width, new_height, img.channels());
+  const float sx = static_cast<float>(img.width()) / static_cast<float>(new_width);
+  const float sy = static_cast<float>(img.height()) / static_cast<float>(new_height);
+  for (int c = 0; c < img.channels(); ++c) {
+    for (int y = 0; y < new_height; ++y) {
+      const float fy = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
+      const int y0 = static_cast<int>(std::floor(fy));
+      const float wy = fy - static_cast<float>(y0);
+      for (int x = 0; x < new_width; ++x) {
+        const float fx = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
+        const int x0 = static_cast<int>(std::floor(fx));
+        const float wx = fx - static_cast<float>(x0);
+        const float v00 = img.at_clamped(x0, y0, c);
+        const float v10 = img.at_clamped(x0 + 1, y0, c);
+        const float v01 = img.at_clamped(x0, y0 + 1, c);
+        const float v11 = img.at_clamped(x0 + 1, y0 + 1, c);
+        out.at(x, y, c) = (1 - wx) * (1 - wy) * v00 + wx * (1 - wy) * v10 +
+                          (1 - wx) * wy * v01 + wx * wy * v11;
+      }
+    }
+  }
+  return out;
+}
+
+Image block_downsample(const Image& img, int factor) {
+  EECS_EXPECTS(factor >= 1);
+  if (factor == 1) return img;
+  const int nw = std::max(1, img.width() / factor);
+  const int nh = std::max(1, img.height() / factor);
+  Image out(nw, nh, img.channels());
+  const float inv = 1.0f / static_cast<float>(factor * factor);
+  for (int c = 0; c < img.channels(); ++c) {
+    for (int y = 0; y < nh; ++y) {
+      for (int x = 0; x < nw; ++x) {
+        float s = 0.0f;
+        for (int dy = 0; dy < factor; ++dy) {
+          for (int dx = 0; dx < factor; ++dx) {
+            s += img.at_clamped(x * factor + dx, y * factor + dy, c);
+          }
+        }
+        out.at(x, y, c) = s * inv;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace eecs::imaging

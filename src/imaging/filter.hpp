@@ -1,0 +1,31 @@
+// Separable filters, gradients, and image pyramids.
+#pragma once
+
+#include "imaging/image.hpp"
+
+namespace eecs::imaging {
+
+/// Separable box blur with the given (odd) kernel radius per channel.
+[[nodiscard]] Image box_blur(const Image& img, int radius);
+
+/// Separable Gaussian blur; kernel radius derived from sigma (3*sigma).
+[[nodiscard]] Image gaussian_blur(const Image& img, float sigma);
+
+/// Additive zero-mean Gaussian pixel noise, clamped to [0, 1].
+class Rng;
+
+struct Gradients {
+  Image magnitude;    ///< Single channel.
+  Image orientation;  ///< Single channel, radians in [0, pi) (unsigned).
+};
+
+/// Central-difference gradients of a grayscale image (converts if needed).
+[[nodiscard]] Gradients compute_gradients(const Image& img);
+
+/// Bilinear resize to the exact target size.
+[[nodiscard]] Image resize(const Image& img, int new_width, int new_height);
+
+/// Downsample by an integer factor using block averaging (used by ACF).
+[[nodiscard]] Image block_downsample(const Image& img, int factor);
+
+}  // namespace eecs::imaging

@@ -1,0 +1,82 @@
+#include "imaging/image.hpp"
+
+#include <algorithm>
+
+namespace eecs::imaging {
+
+Image::Image(int width, int height, int channels)
+    : width_(width),
+      height_(height),
+      channels_(channels),
+      data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height) *
+                static_cast<std::size_t>(channels),
+            0.0f) {
+  EECS_EXPECTS(width >= 0 && height >= 0);
+  EECS_EXPECTS(channels == 1 || channels == 3);
+}
+
+float Image::at_clamped(int x, int y, int c) const {
+  const int cx = std::clamp(x, 0, width_ - 1);
+  const int cy = std::clamp(y, 0, height_ - 1);
+  return at(cx, cy, c);
+}
+
+std::span<float> Image::plane(int c) {
+  EECS_EXPECTS(c >= 0 && c < channels_);
+  return {data_.data() + static_cast<std::size_t>(c) * pixel_count(), pixel_count()};
+}
+
+std::span<const float> Image::plane(int c) const {
+  EECS_EXPECTS(c >= 0 && c < channels_);
+  return {data_.data() + static_cast<std::size_t>(c) * pixel_count(), pixel_count()};
+}
+
+void Image::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Image::fill_channel(int c, float value) {
+  auto p = plane(c);
+  std::fill(p.begin(), p.end(), value);
+}
+
+Image Image::crop(int x0, int y0, int w, int h) const {
+  const int cx0 = std::clamp(x0, 0, width_);
+  const int cy0 = std::clamp(y0, 0, height_);
+  const int cx1 = std::clamp(x0 + w, cx0, width_);
+  const int cy1 = std::clamp(y0 + h, cy0, height_);
+  Image out(cx1 - cx0, cy1 - cy0, channels_);
+  for (int c = 0; c < channels_; ++c) {
+    for (int y = cy0; y < cy1; ++y) {
+      for (int x = cx0; x < cx1; ++x) out.at(x - cx0, y - cy0, c) = at(x, y, c);
+    }
+  }
+  return out;
+}
+
+Image to_gray(const Image& img) {
+  if (img.channels() == 1) return img;
+  Image out(img.width(), img.height(), 1);
+  const auto r = img.plane(0);
+  const auto g = img.plane(1);
+  const auto b = img.plane(2);
+  auto o = out.plane(0);
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    o[i] = 0.299f * r[i] + 0.587f * g[i] + 0.114f * b[i];
+  }
+  return out;
+}
+
+Image adjust_brightness(const Image& img, float gain, float offset) {
+  Image out = img;
+  for (auto& v : out.data()) v = std::clamp(gain * v + offset, 0.0f, 1.0f);
+  return out;
+}
+
+float channel_mean(const Image& img, int c) {
+  EECS_EXPECTS(!img.empty());
+  const auto p = img.plane(c);
+  double s = 0.0;
+  for (float v : p) s += v;
+  return static_cast<float>(s / static_cast<double>(p.size()));
+}
+
+}  // namespace eecs::imaging

@@ -1,0 +1,74 @@
+// Planar float image (1 or 3 channels, values nominally in [0, 1]). Planar
+// storage keeps per-channel passes (gradients, channel pooling) cache-friendly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace eecs::imaging {
+
+class Image {
+ public:
+  Image() = default;
+
+  /// Black image of the given size. channels must be 1 or 3.
+  Image(int width, int height, int channels);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] int channels() const { return channels_; }
+  [[nodiscard]] bool empty() const { return width_ == 0 || height_ == 0; }
+  [[nodiscard]] std::size_t pixel_count() const {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  }
+
+  [[nodiscard]] float& at(int x, int y, int c = 0) {
+    EECS_EXPECTS(x >= 0 && x < width_ && y >= 0 && y < height_ && c >= 0 && c < channels_);
+    return data_[index(x, y, c)];
+  }
+  [[nodiscard]] float at(int x, int y, int c = 0) const {
+    EECS_EXPECTS(x >= 0 && x < width_ && y >= 0 && y < height_ && c >= 0 && c < channels_);
+    return data_[index(x, y, c)];
+  }
+
+  /// Clamped access: coordinates outside the image read the nearest edge.
+  [[nodiscard]] float at_clamped(int x, int y, int c = 0) const;
+
+  /// One full channel plane.
+  [[nodiscard]] std::span<float> plane(int c);
+  [[nodiscard]] std::span<const float> plane(int c) const;
+
+  void fill(float value);
+  void fill_channel(int c, float value);
+
+  /// Crop to the integer rectangle [x0, x0+w) x [y0, y0+h), clamped to bounds.
+  [[nodiscard]] Image crop(int x0, int y0, int w, int h) const;
+
+  [[nodiscard]] std::span<const float> data() const { return data_; }
+  [[nodiscard]] std::span<float> data() { return data_; }
+
+ private:
+  [[nodiscard]] std::size_t index(int x, int y, int c) const {
+    return static_cast<std::size_t>(c) * pixel_count() +
+           static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 0;
+  std::vector<float> data_;
+};
+
+/// Luma conversion (Rec. 601 weights); identity for single-channel input.
+[[nodiscard]] Image to_gray(const Image& img);
+
+/// Per-pixel gain/offset with clamping to [0, 1]: out = gain * in + offset.
+[[nodiscard]] Image adjust_brightness(const Image& img, float gain, float offset);
+
+/// Mean of all pixels in a channel.
+[[nodiscard]] float channel_mean(const Image& img, int c);
+
+}  // namespace eecs::imaging

@@ -1,0 +1,34 @@
+// Summed-area table over a single-channel image. Used by the keypoint
+// detector (box-filter Hessian) and by fast region statistics.
+#pragma once
+
+#include "imaging/image.hpp"
+
+namespace eecs::imaging {
+
+class IntegralImage {
+ public:
+  /// Builds from channel 0 of the given image.
+  explicit IntegralImage(const Image& img);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+  /// Sum of pixels in [x0, x1) x [y0, y1); coordinates are clamped.
+  [[nodiscard]] double rect_sum(int x0, int y0, int x1, int y1) const;
+
+  /// Mean over the same rectangle; 0 for empty rectangles.
+  [[nodiscard]] double rect_mean(int x0, int y0, int x1, int y1) const;
+
+ private:
+  [[nodiscard]] double table_at(int x, int y) const {
+    return table_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_ + 1) +
+                  static_cast<std::size_t>(x)];
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<double> table_;  ///< (w+1) x (h+1), row-major, leading zeros.
+};
+
+}  // namespace eecs::imaging

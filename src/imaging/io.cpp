@@ -1,0 +1,58 @@
+#include "imaging/io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace eecs::imaging {
+
+void write_image(const Image& img, const std::string& path) {
+  EECS_EXPECTS(!img.empty());
+  struct FileCloser {
+    void operator()(std::FILE* f) const { std::fclose(f); }
+  };
+  std::unique_ptr<std::FILE, FileCloser> file(std::fopen(path.c_str(), "wb"));
+  if (!file) throw std::runtime_error("write_image: cannot open " + path);
+
+  const bool color = img.channels() == 3;
+  std::fprintf(file.get(), "%s\n%d %d\n255\n", color ? "P6" : "P5", img.width(), img.height());
+  std::vector<unsigned char> row(static_cast<std::size_t>(img.width()) * (color ? 3 : 1));
+  for (int y = 0; y < img.height(); ++y) {
+    std::size_t k = 0;
+    for (int x = 0; x < img.width(); ++x) {
+      for (int c = 0; c < img.channels(); ++c) {
+        row[k++] = static_cast<unsigned char>(
+            std::lround(std::clamp(img.at(x, y, c), 0.0f, 1.0f) * 255.0f));
+      }
+    }
+    if (std::fwrite(row.data(), 1, row.size(), file.get()) != row.size()) {
+      throw std::runtime_error("write_image: short write to " + path);
+    }
+  }
+}
+
+void draw_box_outline(Image& img, const Rect& box, const std::array<float, 3>& color) {
+  auto put = [&](int x, int y) {
+    if (x < 0 || y < 0 || x >= img.width() || y >= img.height()) return;
+    for (int c = 0; c < img.channels(); ++c) {
+      img.at(x, y, c) = img.channels() == 3 ? color[static_cast<std::size_t>(c)]
+                                            : (color[0] + color[1] + color[2]) / 3.0f;
+    }
+  };
+  const int x0 = static_cast<int>(box.x);
+  const int y0 = static_cast<int>(box.y);
+  const int x1 = static_cast<int>(box.right());
+  const int y1 = static_cast<int>(box.bottom());
+  for (int x = x0; x <= x1; ++x) {
+    put(x, y0);
+    put(x, y1);
+  }
+  for (int y = y0; y <= y1; ++y) {
+    put(x0, y);
+    put(x1, y);
+  }
+}
+
+}  // namespace eecs::imaging

@@ -1,0 +1,19 @@
+// Minimal image writing (binary PPM/PGM): lets users dump simulator frames
+// and detection overlays for visual inspection without an image library.
+#pragma once
+
+#include <string>
+
+#include "imaging/image.hpp"
+#include "imaging/rect.hpp"
+
+namespace eecs::imaging {
+
+/// Write as binary PPM (3-channel) or PGM (1-channel). Values are clamped to
+/// [0, 1] and quantized to 8 bits. Throws std::runtime_error on I/O failure.
+void write_image(const Image& img, const std::string& path);
+
+/// Draw a 1-pixel rectangle outline (e.g. a detection box) clipped to bounds.
+void draw_box_outline(Image& img, const Rect& box, const std::array<float, 3>& color);
+
+}  // namespace eecs::imaging

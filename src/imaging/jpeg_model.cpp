@@ -1,0 +1,34 @@
+#include "imaging/jpeg_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/filter.hpp"
+
+namespace eecs::imaging {
+
+namespace {
+
+double mean_gradient(const Image& img) {
+  const Gradients g = compute_gradients(img);
+  double s = 0.0;
+  for (float v : g.magnitude.plane(0)) s += v;
+  return g.magnitude.pixel_count() > 0 ? s / static_cast<double>(g.magnitude.pixel_count()) : 0.0;
+}
+
+}  // namespace
+
+std::size_t JpegModel::frame_bytes(const Image& img) const {
+  if (img.empty()) return header_bytes;
+  const double bpp = base_bpp + activity_bpp * mean_gradient(img);
+  const double bits = bpp * static_cast<double>(img.pixel_count());
+  return header_bytes + static_cast<std::size_t>(std::llround(bits / 8.0));
+}
+
+std::size_t JpegModel::region_bytes(const Image& img, const Rect& region) const {
+  const Image crop = img.crop(static_cast<int>(region.x), static_cast<int>(region.y),
+                              static_cast<int>(region.w), static_cast<int>(region.h));
+  return frame_bytes(crop);
+}
+
+}  // namespace eecs::imaging

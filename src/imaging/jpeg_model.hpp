@@ -1,0 +1,31 @@
+// JPEG compressed-size model. The testbed transfers JPEG-compressed frames
+// over WiFi (paper §VI, "Computing energy costs and budget"); we do not need
+// the actual codec, only a faithful byte count, because the radio energy
+// model charges per byte. Compressed size is estimated from image activity
+// (mean gradient magnitude), which is what drives JPEG entropy in practice.
+#pragma once
+
+#include <cstddef>
+
+#include "imaging/image.hpp"
+#include "imaging/rect.hpp"
+
+namespace eecs::imaging {
+
+struct JpegModel {
+  /// Bits per pixel for a completely flat image at quality ~80.
+  double base_bpp = 0.18;
+  /// Additional bits per pixel per unit of mean gradient magnitude.
+  double activity_bpp = 7.0;
+  /// Fixed header/metadata bytes.
+  std::size_t header_bytes = 600;
+
+  /// Estimated compressed size of the whole frame in bytes.
+  [[nodiscard]] std::size_t frame_bytes(const Image& img) const;
+
+  /// Estimated compressed size of a cropped region (sensors upload only the
+  /// detected-object crops in EECS).
+  [[nodiscard]] std::size_t region_bytes(const Image& img, const Rect& region) const;
+};
+
+}  // namespace eecs::imaging

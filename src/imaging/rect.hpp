@@ -1,0 +1,48 @@
+// Axis-aligned rectangle in pixel coordinates. Used for detections, ground
+// truth boxes, and drawing.
+#pragma once
+
+#include <algorithm>
+
+namespace eecs::imaging {
+
+struct Rect {
+  double x = 0.0;  ///< Left edge.
+  double y = 0.0;  ///< Top edge.
+  double w = 0.0;
+  double h = 0.0;
+
+  [[nodiscard]] double right() const { return x + w; }
+  [[nodiscard]] double bottom() const { return y + h; }
+  [[nodiscard]] double area() const { return (w > 0 && h > 0) ? w * h : 0.0; }
+  [[nodiscard]] double center_x() const { return x + w / 2.0; }
+  [[nodiscard]] double center_y() const { return y + h / 2.0; }
+  /// Center of the bottom edge — the "foot point" assumed to lie on the
+  /// ground plane (paper §IV-C).
+  [[nodiscard]] double foot_x() const { return center_x(); }
+  [[nodiscard]] double foot_y() const { return bottom(); }
+
+  [[nodiscard]] bool contains(double px, double py) const {
+    return px >= x && px < right() && py >= y && py < bottom();
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+[[nodiscard]] inline Rect intersect(const Rect& a, const Rect& b) {
+  const double x0 = std::max(a.x, b.x);
+  const double y0 = std::max(a.y, b.y);
+  const double x1 = std::min(a.right(), b.right());
+  const double y1 = std::min(a.bottom(), b.bottom());
+  if (x1 <= x0 || y1 <= y0) return {};
+  return {x0, y0, x1 - x0, y1 - y0};
+}
+
+/// Intersection-over-union; 0 when either box is empty.
+[[nodiscard]] inline double iou(const Rect& a, const Rect& b) {
+  const double inter = intersect(a, b).area();
+  const double uni = a.area() + b.area() - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+}  // namespace eecs::imaging

@@ -1,0 +1,263 @@
+#include "linalg/decomp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace eecs::linalg {
+
+namespace {
+
+constexpr int kMaxJacobiSweeps = 60;
+constexpr double kJacobiEps = 1e-12;
+
+/// One-sided Jacobi SVD for m >= n. Rotates column pairs of `a` until all are
+/// mutually orthogonal, accumulating rotations into `v`.
+SvdResult svd_tall(Matrix a) {
+  const int m = a.rows();
+  const int n = a.cols();
+  Matrix v = Matrix::identity(n);
+
+  for (int sweep = 0; sweep < kMaxJacobiSweeps; ++sweep) {
+    bool rotated = false;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (int i = 0; i < m; ++i) {
+          const double ap = a(i, p), aq = a(i, q);
+          alpha += ap * ap;
+          beta += aq * aq;
+          gamma += ap * aq;
+        }
+        if (std::abs(gamma) <= kJacobiEps * std::sqrt(alpha * beta) || gamma == 0.0) continue;
+        rotated = true;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = std::copysign(1.0, zeta) / (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (int i = 0; i < m; ++i) {
+          const double ap = a(i, p), aq = a(i, q);
+          a(i, p) = c * ap - s * aq;
+          a(i, q) = s * ap + c * aq;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double vp = v(i, p), vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  // Column norms are the singular values.
+  std::vector<double> sv(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (int i = 0; i < m; ++i) s += a(i, j) * a(i, j);
+    sv[static_cast<std::size_t>(j)] = std::sqrt(s);
+  }
+
+  // Sort descending.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int i, int j) { return sv[static_cast<std::size_t>(i)] > sv[static_cast<std::size_t>(j)]; });
+
+  SvdResult out;
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  out.singular_values.resize(static_cast<std::size_t>(n));
+  for (int jj = 0; jj < n; ++jj) {
+    const int j = order[static_cast<std::size_t>(jj)];
+    const double s = sv[static_cast<std::size_t>(j)];
+    out.singular_values[static_cast<std::size_t>(jj)] = s;
+    if (s > 0.0) {
+      for (int i = 0; i < m; ++i) out.u(i, jj) = a(i, j) / s;
+    } else {
+      // Zero singular value: leave the U column zero; callers that need a
+      // full orthonormal basis use orthogonal_complement instead.
+      for (int i = 0; i < m; ++i) out.u(i, jj) = 0.0;
+    }
+    for (int i = 0; i < n; ++i) out.v(i, jj) = v(i, j);
+  }
+  return out;
+}
+
+}  // namespace
+
+QrResult qr_decompose(const Matrix& a) {
+  const int m = a.rows();
+  const int n = a.cols();
+  Matrix r = a;
+  Matrix q = Matrix::identity(m);
+
+  const int steps = std::min(m - 1, n);
+  for (int k = 0; k < steps; ++k) {
+    // Householder vector for column k, rows k..m-1.
+    double norm_x = 0.0;
+    for (int i = k; i < m; ++i) norm_x += r(i, k) * r(i, k);
+    norm_x = std::sqrt(norm_x);
+    if (norm_x == 0.0) continue;
+
+    std::vector<double> v(static_cast<std::size_t>(m - k));
+    const double alpha = r(k, k) >= 0 ? -norm_x : norm_x;
+    v[0] = r(k, k) - alpha;
+    for (int i = k + 1; i < m; ++i) v[static_cast<std::size_t>(i - k)] = r(i, k);
+    double vnorm2 = 0.0;
+    for (double x : v) vnorm2 += x * x;
+    if (vnorm2 == 0.0) continue;
+
+    // r = (I - 2 v v^T / v^T v) r, applied to rows k..m-1.
+    for (int j = k; j < n; ++j) {
+      double dot_vr = 0.0;
+      for (int i = k; i < m; ++i) dot_vr += v[static_cast<std::size_t>(i - k)] * r(i, j);
+      const double f = 2.0 * dot_vr / vnorm2;
+      for (int i = k; i < m; ++i) r(i, j) -= f * v[static_cast<std::size_t>(i - k)];
+    }
+    // q = q (I - 2 v v^T / v^T v), applied to columns k..m-1.
+    for (int i = 0; i < m; ++i) {
+      double dot_qv = 0.0;
+      for (int j = k; j < m; ++j) dot_qv += q(i, j) * v[static_cast<std::size_t>(j - k)];
+      const double f = 2.0 * dot_qv / vnorm2;
+      for (int j = k; j < m; ++j) q(i, j) -= f * v[static_cast<std::size_t>(j - k)];
+    }
+  }
+  // Zero out numerical noise below the diagonal.
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < std::min(i, n); ++j) r(i, j) = 0.0;
+  }
+  return {std::move(q), std::move(r)};
+}
+
+Matrix orthogonal_complement(const Matrix& basis) {
+  const int m = basis.rows();
+  const int k = basis.cols();
+  EECS_EXPECTS(k <= m);
+  if (k == m) return Matrix(m, 0);
+  // Full Q of the QR factorization of `basis`: its first k columns span the
+  // basis, the remaining m-k columns span the complement.
+  const QrResult qr = qr_decompose(basis);
+  return qr.q.slice_cols(k, m);
+}
+
+SvdResult svd_decompose(const Matrix& a) {
+  EECS_EXPECTS(!a.empty());
+  if (a.rows() >= a.cols()) return svd_tall(a);
+  SvdResult t = svd_tall(a.transposed());
+  return {std::move(t.v), std::move(t.singular_values), std::move(t.u)};
+}
+
+EigResult eig_symmetric(const Matrix& a) {
+  EECS_EXPECTS(a.rows() == a.cols());
+  const int n = a.rows();
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+
+  for (int sweep = 0; sweep < kMaxJacobiSweeps; ++sweep) {
+    double off = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) off += d(i, j) * d(i, j);
+    }
+    if (off < kJacobiEps * kJacobiEps) break;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        if (std::abs(d(p, q)) < kJacobiEps) continue;
+        const double theta = (d(q, q) - d(p, p)) / (2.0 * d(p, q));
+        const double t = std::copysign(1.0, theta) / (std::abs(theta) + std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (int i = 0; i < n; ++i) {
+          const double dip = d(i, p), diq = d(i, q);
+          d(i, p) = c * dip - s * diq;
+          d(i, q) = s * dip + c * diq;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double dpi = d(p, i), dqi = d(q, i);
+          d(p, i) = c * dpi - s * dqi;
+          d(q, i) = s * dpi + c * dqi;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double vip = v(i, p), viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int i, int j) { return d(i, i) > d(j, j); });
+
+  EigResult out;
+  out.eigenvalues.resize(static_cast<std::size_t>(n));
+  out.eigenvectors = Matrix(n, n);
+  for (int jj = 0; jj < n; ++jj) {
+    const int j = order[static_cast<std::size_t>(jj)];
+    out.eigenvalues[static_cast<std::size_t>(jj)] = d(j, j);
+    for (int i = 0; i < n; ++i) out.eigenvectors(i, jj) = v(i, j);
+  }
+  return out;
+}
+
+namespace {
+
+/// Lower-triangular Cholesky factor; throws if not SPD.
+Matrix cholesky(const Matrix& a) {
+  EECS_EXPECTS(a.rows() == a.cols());
+  const int n = a.rows();
+  Matrix l(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (int k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (s <= 0.0) throw std::runtime_error("cholesky: matrix is not positive definite");
+        l(i, j) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+}  // namespace
+
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b) {
+  EECS_EXPECTS(a.rows() == static_cast<int>(b.size()));
+  const Matrix l = cholesky(a);
+  const int n = a.rows();
+  // Forward substitution: l y = b.
+  std::vector<double> y(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double s = b[static_cast<std::size_t>(i)];
+    for (int k = 0; k < i; ++k) s -= l(i, k) * y[static_cast<std::size_t>(k)];
+    y[static_cast<std::size_t>(i)] = s / l(i, i);
+  }
+  // Back substitution: l^T x = y.
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (int i = n - 1; i >= 0; --i) {
+    double s = y[static_cast<std::size_t>(i)];
+    for (int k = i + 1; k < n; ++k) s -= l(k, i) * x[static_cast<std::size_t>(k)];
+    x[static_cast<std::size_t>(i)] = s / l(i, i);
+  }
+  return x;
+}
+
+Matrix invert_spd(const Matrix& a) {
+  const int n = a.rows();
+  Matrix inv(n, n);
+  std::vector<double> e(static_cast<std::size_t>(n), 0.0);
+  for (int j = 0; j < n; ++j) {
+    e[static_cast<std::size_t>(j)] = 1.0;
+    const std::vector<double> x = solve_spd(a, e);
+    for (int i = 0; i < n; ++i) inv(i, j) = x[static_cast<std::size_t>(i)];
+    e[static_cast<std::size_t>(j)] = 0.0;
+  }
+  return inv;
+}
+
+}  // namespace eecs::linalg

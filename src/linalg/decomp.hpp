@@ -1,0 +1,50 @@
+// Matrix decompositions needed by PCA, the geodesic flow kernel, and
+// Mahalanobis metric learning: Householder QR (with full Q, used for
+// orthogonal complements), one-sided Jacobi SVD, and a Jacobi eigensolver for
+// symmetric matrices. Sizes in this repository are a few hundred at most, so
+// O(n^3) with good constants is entirely adequate.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace eecs::linalg {
+
+struct QrResult {
+  Matrix q;  ///< m x m orthogonal.
+  Matrix r;  ///< m x n upper triangular (same shape as input).
+};
+
+/// Householder QR of an m x n matrix (m >= n not required).
+[[nodiscard]] QrResult qr_decompose(const Matrix& a);
+
+/// Orthonormal basis of the complement of span(basis): given an m x k matrix
+/// with orthonormal columns, returns m x (m-k) such that [basis | complement]
+/// is orthogonal. Used for the Grassmann geodesic (x~ in the paper, Table I).
+[[nodiscard]] Matrix orthogonal_complement(const Matrix& basis);
+
+struct SvdResult {
+  Matrix u;                           ///< m x r with orthonormal columns.
+  std::vector<double> singular_values;  ///< r values, descending, non-negative.
+  Matrix v;                           ///< n x r with orthonormal columns.
+};
+
+/// Thin SVD a = u * diag(s) * v^T via one-sided Jacobi, r = min(m, n).
+/// Singular values are sorted descending.
+[[nodiscard]] SvdResult svd_decompose(const Matrix& a);
+
+struct EigResult {
+  std::vector<double> eigenvalues;  ///< Descending.
+  Matrix eigenvectors;              ///< Columns correspond to eigenvalues.
+};
+
+/// Eigendecomposition of a symmetric matrix via cyclic Jacobi rotations.
+[[nodiscard]] EigResult eig_symmetric(const Matrix& a);
+
+/// Solve a * x = b for symmetric positive definite a (Cholesky). Throws
+/// std::runtime_error if a is not positive definite.
+[[nodiscard]] std::vector<double> solve_spd(const Matrix& a, std::span<const double> b);
+
+/// Inverse of a symmetric positive definite matrix via Cholesky.
+[[nodiscard]] Matrix invert_spd(const Matrix& a);
+
+}  // namespace eecs::linalg

@@ -1,0 +1,126 @@
+#include "linalg/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace eecs::linalg {
+
+namespace {
+
+double sq_dist(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+/// k-means++ seeding: first centroid uniform, the rest proportional to the
+/// squared distance to the nearest chosen centroid.
+Matrix seed_plus_plus(const Matrix& data, int k, Rng& rng) {
+  const int n = data.rows();
+  Matrix centroids(k, data.cols());
+  std::vector<double> min_d2(static_cast<std::size_t>(n), std::numeric_limits<double>::max());
+
+  int first = rng.uniform_int(0, n - 1);
+  for (int c = 0; c < data.cols(); ++c) centroids(0, c) = data(first, c);
+
+  for (int j = 1; j < k; ++j) {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double d2 = sq_dist(data.row(i), centroids.row(j - 1));
+      auto& m = min_d2[static_cast<std::size_t>(i)];
+      m = std::min(m, d2);
+      total += m;
+    }
+    int chosen = 0;
+    if (total > 0.0) {
+      double r = rng.uniform() * total;
+      for (int i = 0; i < n; ++i) {
+        r -= min_d2[static_cast<std::size_t>(i)];
+        if (r <= 0.0) {
+          chosen = i;
+          break;
+        }
+        chosen = i;
+      }
+    } else {
+      chosen = rng.uniform_int(0, n - 1);
+    }
+    for (int c = 0; c < data.cols(); ++c) centroids(j, c) = data(chosen, c);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KmeansResult kmeans(const Matrix& data, int k, Rng& rng, const KmeansOptions& options) {
+  EECS_EXPECTS(k >= 1 && k <= data.rows());
+  const int n = data.rows();
+
+  KmeansResult result;
+  result.centroids = seed_plus_plus(data, k, rng);
+  result.assignment.assign(static_cast<std::size_t>(n), 0);
+
+  double prev_inertia = std::numeric_limits<double>::max();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assign.
+    double inertia = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      int best_j = 0;
+      for (int j = 0; j < k; ++j) {
+        const double d2 = sq_dist(data.row(i), result.centroids.row(j));
+        if (d2 < best) {
+          best = d2;
+          best_j = j;
+        }
+      }
+      result.assignment[static_cast<std::size_t>(i)] = best_j;
+      inertia += best;
+    }
+    result.inertia = inertia;
+
+    // Update.
+    Matrix sums(k, data.cols());
+    std::vector<int> counts(static_cast<std::size_t>(k), 0);
+    for (int i = 0; i < n; ++i) {
+      const int j = result.assignment[static_cast<std::size_t>(i)];
+      ++counts[static_cast<std::size_t>(j)];
+      for (int c = 0; c < data.cols(); ++c) sums(j, c) += data(i, c);
+    }
+    for (int j = 0; j < k; ++j) {
+      const int cnt = counts[static_cast<std::size_t>(j)];
+      if (cnt == 0) {
+        // Re-seed an empty cluster at a random sample.
+        const int i = rng.uniform_int(0, n - 1);
+        for (int c = 0; c < data.cols(); ++c) result.centroids(j, c) = data(i, c);
+        continue;
+      }
+      for (int c = 0; c < data.cols(); ++c) result.centroids(j, c) = sums(j, c) / cnt;
+    }
+
+    if (prev_inertia - inertia <= options.tolerance * std::max(1.0, prev_inertia)) break;
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+int nearest_centroid(const Matrix& centroids, std::span<const double> x) {
+  EECS_EXPECTS(centroids.rows() >= 1);
+  EECS_EXPECTS(centroids.cols() == static_cast<int>(x.size()));
+  double best = std::numeric_limits<double>::max();
+  int best_j = 0;
+  for (int j = 0; j < centroids.rows(); ++j) {
+    const double d2 = sq_dist(centroids.row(j), x);
+    if (d2 < best) {
+      best = d2;
+      best_j = j;
+    }
+  }
+  return best_j;
+}
+
+}  // namespace eecs::linalg

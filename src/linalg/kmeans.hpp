@@ -1,0 +1,29 @@
+// Lloyd's k-means with k-means++ seeding. Used to build the bag-of-words
+// visual vocabulary from keypoint descriptors (paper §V-A).
+#pragma once
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace eecs::linalg {
+
+struct KmeansResult {
+  Matrix centroids;            ///< k x dim.
+  std::vector<int> assignment; ///< Per input row, index of nearest centroid.
+  double inertia = 0.0;        ///< Sum of squared distances to assigned centroids.
+  int iterations = 0;          ///< Lloyd iterations actually run.
+};
+
+struct KmeansOptions {
+  int max_iterations = 50;
+  double tolerance = 1e-6;  ///< Relative inertia improvement for convergence.
+};
+
+/// Cluster the rows of `data` into k groups. Requires 1 <= k <= data.rows().
+[[nodiscard]] KmeansResult kmeans(const Matrix& data, int k, Rng& rng,
+                                  const KmeansOptions& options = {});
+
+/// Index of the centroid (row of `centroids`) nearest to x in L2.
+[[nodiscard]] int nearest_centroid(const Matrix& centroids, std::span<const double> x);
+
+}  // namespace eecs::linalg

@@ -1,0 +1,175 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+namespace eecs::linalg {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0) {
+  EECS_EXPECTS(rows >= 0 && cols >= 0);
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = static_cast<int>(rows.size());
+  cols_ = rows_ > 0 ? static_cast<int>(rows.begin()->size()) : 0;
+  data_.reserve(static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_));
+  for (const auto& r : rows) {
+    EECS_EXPECTS(static_cast<int>(r.size()) == cols_);
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::column(std::span<const double> v) {
+  Matrix m(static_cast<int>(v.size()), 1);
+  for (int i = 0; i < m.rows(); ++i) m(i, 0) = v[static_cast<std::size_t>(i)];
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return {};
+  Matrix m(static_cast<int>(rows.size()), static_cast<int>(rows.front().size()));
+  for (int r = 0; r < m.rows(); ++r) {
+    EECS_EXPECTS(static_cast<int>(rows[static_cast<std::size_t>(r)].size()) == m.cols());
+    for (int c = 0; c < m.cols(); ++c) m(r, c) = rows[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+  }
+  return m;
+}
+
+std::span<double> Matrix::row(int r) {
+  EECS_EXPECTS(r >= 0 && r < rows_);
+  return {data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_),
+          static_cast<std::size_t>(cols_)};
+}
+
+std::span<const double> Matrix::row(int r) const {
+  EECS_EXPECTS(r >= 0 && r < rows_);
+  return {data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_),
+          static_cast<std::size_t>(cols_)};
+}
+
+std::vector<double> Matrix::col(int c) const {
+  EECS_EXPECTS(c >= 0 && c < cols_);
+  std::vector<double> out(static_cast<std::size_t>(rows_));
+  for (int r = 0; r < rows_; ++r) out[static_cast<std::size_t>(r)] = (*this)(r, c);
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  EECS_EXPECTS(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  EECS_EXPECTS(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::slice_cols(int c0, int c1) const {
+  EECS_EXPECTS(0 <= c0 && c0 <= c1 && c1 <= cols_);
+  Matrix out(rows_, c1 - c0);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = c0; c < c1; ++c) out(r, c - c0) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::slice_rows(int r0, int r1) const {
+  EECS_EXPECTS(0 <= r0 && r0 <= r1 && r1 <= rows_);
+  Matrix out(r1 - r0, cols_);
+  for (int r = r0; r < r1; ++r) {
+    for (int c = 0; c < cols_; ++c) out(r - r0, c) = (*this)(r, c);
+  }
+  return out;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  EECS_EXPECTS(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const auto brow = b.row(k);
+      auto orow = out.row(i);
+      for (int j = 0; j < b.cols(); ++j) orow[static_cast<std::size_t>(j)] += aik * brow[static_cast<std::size_t>(j)];
+    }
+  }
+  return out;
+}
+
+Matrix transpose_times(const Matrix& a, const Matrix& b) {
+  EECS_EXPECTS(a.rows() == b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    const auto arow = a.row(k);
+    const auto brow = b.row(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      const double aki = arow[static_cast<std::size_t>(i)];
+      if (aki == 0.0) continue;
+      auto orow = out.row(i);
+      for (int j = 0; j < b.cols(); ++j) orow[static_cast<std::size_t>(j)] += aki * brow[static_cast<std::size_t>(j)];
+    }
+  }
+  return out;
+}
+
+std::vector<double> operator*(const Matrix& a, std::span<const double> x) {
+  EECS_EXPECTS(a.cols() == static_cast<int>(x.size()));
+  std::vector<double> out(static_cast<std::size_t>(a.rows()), 0.0);
+  for (int i = 0; i < a.rows(); ++i) out[static_cast<std::size_t>(i)] = dot(a.row(i), x);
+  return out;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  EECS_EXPECTS(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm(std::span<const double> v) { return std::sqrt(dot(v, v)); }
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  EECS_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) m = std::max(m, std::abs(a(r, c) - b(r, c)));
+  }
+  return m;
+}
+
+}  // namespace eecs::linalg

@@ -1,0 +1,72 @@
+// Wire messages between camera sensors and the central controller (Fig. 2 of
+// the paper). Sizes follow §V-A: each detected object costs 172 bytes on the
+// wire (8 position + 4 probability + 160 color feature).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "detect/detection.hpp"
+
+namespace eecs::net {
+
+enum class MessageType : std::uint8_t {
+  FeatureUpload = 1,
+  DetectionMetadata = 2,
+  AlgorithmAssignment = 3,
+  EnergyReport = 4,
+};
+
+/// Camera -> controller: frame features for video comparison (§IV-B.1).
+struct FeatureUploadMsg {
+  std::int32_t camera_id = 0;
+  std::int32_t frame_index = 0;
+  std::int32_t feature_dim = 0;
+  std::vector<float> features;  ///< num_frames x feature_dim, row-major.
+  double energy_budget = 0.0;   ///< B_j, piggybacked on the upload.
+};
+
+/// One detected object's metadata (172 bytes payload on the wire).
+struct ObjectMetadata {
+  std::uint16_t x = 0, y = 0, w = 0, h = 0;  ///< Bounding box (8 bytes).
+  float probability = 0.0f;                  ///< Detection probability (4 bytes).
+  std::vector<float> color_feature;          ///< 40 floats (160 bytes).
+};
+
+/// Camera -> controller: per-frame detection results.
+struct DetectionMetadataMsg {
+  std::int32_t camera_id = 0;
+  std::int32_t frame_index = 0;
+  std::uint8_t algorithm = 0;  ///< detect::AlgorithmId.
+  std::vector<ObjectMetadata> objects;
+};
+
+/// Controller -> camera: the algorithm (and operating threshold) to use.
+struct AlgorithmAssignmentMsg {
+  std::int32_t camera_id = 0;
+  std::uint8_t algorithm = 0;
+  float threshold = 0.0f;
+  std::uint8_t active = 1;  ///< 0: camera not in the chosen subset.
+};
+
+/// Camera -> controller: residual battery energy.
+struct EnergyReportMsg {
+  std::int32_t camera_id = 0;
+  double residual_joules = 0.0;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const FeatureUploadMsg& msg);
+[[nodiscard]] std::vector<std::uint8_t> encode(const DetectionMetadataMsg& msg);
+[[nodiscard]] std::vector<std::uint8_t> encode(const AlgorithmAssignmentMsg& msg);
+[[nodiscard]] std::vector<std::uint8_t> encode(const EnergyReportMsg& msg);
+
+/// Type tag of an encoded message; throws ByteReader::DecodeError when empty.
+[[nodiscard]] MessageType peek_type(std::span<const std::uint8_t> bytes);
+
+[[nodiscard]] FeatureUploadMsg decode_feature_upload(std::span<const std::uint8_t> bytes);
+[[nodiscard]] DetectionMetadataMsg decode_detection_metadata(std::span<const std::uint8_t> bytes);
+[[nodiscard]] AlgorithmAssignmentMsg decode_algorithm_assignment(std::span<const std::uint8_t> bytes);
+[[nodiscard]] EnergyReportMsg decode_energy_report(std::span<const std::uint8_t> bytes);
+
+}  // namespace eecs::net

@@ -1,0 +1,59 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace eecs::net {
+
+int Network::add_node(const LinkQuality& link) {
+  links_.push_back(link);
+  node_radio_joules_.push_back(0.0);
+  node_bytes_.push_back(0);
+  return static_cast<int>(links_.size()) - 1;
+}
+
+TxResult Network::send(int from_node, int to_node, std::vector<std::uint8_t> payload) {
+  EECS_EXPECTS(from_node >= 0 && from_node < node_count());
+  EECS_EXPECTS(to_node >= 0 && to_node < node_count());
+  const LinkQuality& link = links_[static_cast<std::size_t>(from_node)];
+
+  TxResult result;
+  result.tx_seconds = static_cast<double>(payload.size()) / link.bandwidth_bytes_per_s;
+  result.tx_joules = radio_.tx_joules(payload.size());
+  node_radio_joules_[static_cast<std::size_t>(from_node)] += result.tx_joules;
+  node_bytes_[static_cast<std::size_t>(from_node)] += payload.size();
+
+  result.delivered = !rng_.bernoulli(link.loss_probability);
+  if (result.delivered) {
+    queue_.push({now_ + result.tx_seconds + link.latency_s, sequence_++, from_node, to_node,
+                 std::move(payload)});
+  }
+  return result;
+}
+
+std::vector<Network::Delivery> Network::advance_to(double until_time) {
+  EECS_EXPECTS(until_time >= now_);
+  std::vector<Delivery> out;
+  while (!queue_.empty() && queue_.top().time <= until_time) {
+    // priority_queue::top is const; copy is unavoidable without const_cast,
+    // and payloads here are small.
+    PendingDelivery pending = queue_.top();
+    queue_.pop();
+    out.push_back({pending.time, pending.from_node, pending.to_node, std::move(pending.payload)});
+  }
+  now_ = until_time;
+  return out;
+}
+
+double Network::radio_joules(int node) const {
+  EECS_EXPECTS(node >= 0 && node < node_count());
+  return node_radio_joules_[static_cast<std::size_t>(node)];
+}
+
+std::uint64_t Network::bytes_sent(int node) const {
+  EECS_EXPECTS(node >= 0 && node < node_count());
+  return node_bytes_[static_cast<std::size_t>(node)];
+}
+
+}  // namespace eecs::net

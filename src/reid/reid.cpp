@@ -1,0 +1,180 @@
+#include "reid/reid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/contracts.hpp"
+#include "linalg/decomp.hpp"
+
+namespace eecs::reid {
+
+ColorGate::ColorGate(const std::vector<std::vector<float>>& features,
+                     const std::vector<int>& labels, int pca_components) {
+  EECS_EXPECTS(features.size() == labels.size());
+  EECS_EXPECTS(features.size() >= 4);
+  const int dim = static_cast<int>(features.front().size());
+  EECS_EXPECTS(pca_components >= 1 && pca_components <= dim);
+
+  linalg::Matrix data(static_cast<int>(features.size()), dim);
+  for (int r = 0; r < data.rows(); ++r) {
+    EECS_EXPECTS(static_cast<int>(features[static_cast<std::size_t>(r)].size()) == dim);
+    for (int c = 0; c < dim; ++c) data(r, c) = features[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+  }
+  pca_ = linalg::Pca(data, pca_components);
+
+  // Differences of same-object pairs in PCA space -> covariance of the
+  // within-object appearance variation.
+  std::vector<std::vector<double>> diffs;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    for (std::size_t j = i + 1; j < features.size(); ++j) {
+      if (labels[i] != labels[j]) continue;
+      std::vector<double> fi(features[i].begin(), features[i].end());
+      std::vector<double> fj(features[j].begin(), features[j].end());
+      const auto pi = pca_.transform(fi);
+      const auto pj = pca_.transform(fj);
+      std::vector<double> d(pi.size());
+      for (std::size_t k = 0; k < pi.size(); ++k) d[k] = pi[k] - pj[k];
+      diffs.push_back(std::move(d));
+    }
+  }
+  EECS_EXPECTS(!diffs.empty());
+
+  linalg::Matrix diff_mat = linalg::Matrix::from_rows(diffs);
+  linalg::Matrix cov(pca_components, pca_components);
+  // Second moment about zero (differences of same-object pairs center at 0).
+  for (int r = 0; r < diff_mat.rows(); ++r) {
+    for (int i = 0; i < pca_components; ++i) {
+      for (int j = i; j < pca_components; ++j) {
+        cov(i, j) += diff_mat(r, i) * diff_mat(r, j);
+      }
+    }
+  }
+  for (int i = 0; i < pca_components; ++i) {
+    for (int j = i; j < pca_components; ++j) {
+      cov(i, j) /= static_cast<double>(diff_mat.rows());
+      cov(j, i) = cov(i, j);
+    }
+  }
+  // Regularize so inversion is well-posed even with few pairs.
+  double trace = 0.0;
+  for (int i = 0; i < pca_components; ++i) trace += cov(i, i);
+  const double ridge = std::max(1e-8, 1e-3 * trace / pca_components);
+  for (int i = 0; i < pca_components; ++i) cov(i, i) += ridge;
+  inv_cov_ = linalg::invert_spd(cov);
+
+  // Threshold at roughly the 95th percentile of same-object distances.
+  std::vector<double> dists;
+  dists.reserve(diffs.size());
+  for (const auto& d : diffs) {
+    const std::vector<double> md = inv_cov_ * std::span<const double>(d);
+    dists.push_back(std::sqrt(std::max(0.0, linalg::dot(d, md))));
+  }
+  std::sort(dists.begin(), dists.end());
+  threshold_ = dists[static_cast<std::size_t>(0.95 * (dists.size() - 1))] * 1.5;
+  fitted_ = true;
+}
+
+double ColorGate::distance(std::span<const float> a, std::span<const float> b) const {
+  EECS_EXPECTS(fitted_);
+  std::vector<double> da(a.begin(), a.end());
+  std::vector<double> db(b.begin(), b.end());
+  const auto pa = pca_.transform(da);
+  const auto pb = pca_.transform(db);
+  return linalg::mahalanobis(pa, pb, inv_cov_);
+}
+
+ReIdentifier::ReIdentifier(std::vector<geometry::Homography> image_to_ground,
+                           const ReIdParams& params)
+    : image_to_ground_(std::move(image_to_ground)), params_(params) {
+  EECS_EXPECTS(!image_to_ground_.empty());
+}
+
+std::optional<geometry::Vec2> ReIdentifier::ground_point(const ViewDetection& det) const {
+  EECS_EXPECTS(det.camera >= 0 && det.camera < static_cast<int>(image_to_ground_.size()));
+  return image_to_ground_[static_cast<std::size_t>(det.camera)].apply(
+      {det.detection.box.foot_x(), det.detection.box.foot_y()});
+}
+
+namespace {
+
+/// Disjoint-set forest over detection indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) { std::iota(parent_.begin(), parent_.end(), 0u); }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<ObjectGroup> ReIdentifier::group(const std::vector<ViewDetection>& detections) const {
+  std::vector<std::optional<geometry::Vec2>> grounds(detections.size());
+  for (std::size_t i = 0; i < detections.size(); ++i) grounds[i] = ground_point(detections[i]);
+
+  UnionFind uf(detections.size());
+  for (std::size_t i = 0; i < detections.size(); ++i) {
+    if (!grounds[i]) continue;
+    for (std::size_t j = i + 1; j < detections.size(); ++j) {
+      if (!grounds[j]) continue;
+      if (detections[i].camera == detections[j].camera) continue;
+      if (geometry::distance(*grounds[i], *grounds[j]) > params_.ground_gate_m) continue;
+      if (params_.use_color_gate && gate_.fitted() && !detections[i].color_feature.empty() &&
+          !detections[j].color_feature.empty()) {
+        if (gate_.distance(detections[i].color_feature, detections[j].color_feature) >
+            gate_.threshold()) {
+          continue;
+        }
+      }
+      uf.unite(i, j);
+    }
+  }
+
+  // Collect groups.
+  std::vector<ObjectGroup> groups;
+  std::vector<int> root_to_group(detections.size(), -1);
+  for (std::size_t i = 0; i < detections.size(); ++i) {
+    const std::size_t root = uf.find(i);
+    if (root_to_group[root] < 0) {
+      root_to_group[root] = static_cast<int>(groups.size());
+      groups.emplace_back();
+    }
+    groups[static_cast<std::size_t>(root_to_group[root])].member_indices.push_back(
+        static_cast<int>(i));
+  }
+
+  for (auto& g : groups) {
+    geometry::Vec2 mean{0, 0};
+    int n = 0;
+    std::vector<double> probabilities;
+    for (int idx : g.member_indices) {
+      probabilities.push_back(detections[static_cast<std::size_t>(idx)].detection.probability);
+      if (grounds[static_cast<std::size_t>(idx)]) {
+        mean = mean + *grounds[static_cast<std::size_t>(idx)];
+        ++n;
+      }
+    }
+    if (n > 0) g.ground = (1.0 / n) * mean;
+    g.fused_probability = fuse_probabilities(probabilities);
+  }
+  return groups;
+}
+
+double fuse_probabilities(const std::vector<double>& per_view) {
+  double miss = 1.0;
+  for (double p : per_view) miss *= (1.0 - std::clamp(p, 0.0, 1.0));
+  return 1.0 - miss;
+}
+
+}  // namespace eecs::reid

@@ -1,0 +1,95 @@
+// Cross-camera object re-identification (§IV-C): detections from different
+// views are grouped into physical objects by (1) projecting the bounding
+// box's foot point through each camera's ground homography into world
+// coordinates and gating on ground distance, and (2) verifying appearance
+// with a PCA-reduced mean-color feature under a Mahalanobis metric. Grouped
+// detections are fused into a single confidence by Eq. (6).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "detect/detection.hpp"
+#include "geometry/homography.hpp"
+#include "linalg/pca.hpp"
+
+namespace eecs::reid {
+
+/// A detection owned by one camera, with its uploaded color feature.
+struct ViewDetection {
+  int camera = 0;
+  detect::Detection detection;
+  std::vector<float> color_feature;  ///< 40-d (features::kColorFeatureDim).
+};
+
+/// Learned appearance gate: PCA reduction of color features plus a
+/// Mahalanobis metric over reduced differences of same-object pairs.
+class ColorGate {
+ public:
+  ColorGate() = default;
+
+  /// Fit from color features and their object labels (same label = same
+  /// physical object seen from different cameras). Requires >= 2 labels'
+  /// worth of data and at least one same-object pair.
+  ColorGate(const std::vector<std::vector<float>>& features, const std::vector<int>& labels,
+            int pca_components = 8);
+
+  [[nodiscard]] bool fitted() const { return fitted_; }
+
+  /// Mahalanobis distance between two color features in the reduced space.
+  [[nodiscard]] double distance(std::span<const float> a, std::span<const float> b) const;
+
+  /// Distance below which two features are considered the same object;
+  /// chosen at fit time from the same-object pair distribution.
+  [[nodiscard]] double threshold() const { return threshold_; }
+
+ private:
+  bool fitted_ = false;
+  linalg::Pca pca_;
+  linalg::Matrix inv_cov_;
+  double threshold_ = 0.0;
+};
+
+struct ReIdParams {
+  /// Max ground-plane distance (meters) between foot points of the same
+  /// object seen from two cameras.
+  double ground_gate_m = 1.2;
+  /// Use the color gate when fitted (ablation toggle).
+  bool use_color_gate = true;
+};
+
+/// A group of view-detections attributed to one physical object.
+struct ObjectGroup {
+  std::vector<int> member_indices;   ///< Indices into the input vector.
+  geometry::Vec2 ground;             ///< Mean projected ground position.
+  double fused_probability = 0.0;    ///< Eq. (6): 1 - prod(1 - P_ij).
+};
+
+class ReIdentifier {
+ public:
+  /// `image_to_ground[c]` maps camera c's pixels to world ground coordinates
+  /// (the inverse of the dataset-provided ground homography).
+  ReIdentifier(std::vector<geometry::Homography> image_to_ground, const ReIdParams& params = {});
+
+  void set_color_gate(ColorGate gate) { gate_ = std::move(gate); }
+  [[nodiscard]] const ReIdParams& params() const { return params_; }
+
+  /// Project a detection's foot point to the ground plane; nullopt if it
+  /// maps to infinity.
+  [[nodiscard]] std::optional<geometry::Vec2> ground_point(const ViewDetection& det) const;
+
+  /// Group detections (across cameras) into objects. Detections from the
+  /// same camera are never merged.
+  [[nodiscard]] std::vector<ObjectGroup> group(const std::vector<ViewDetection>& detections) const;
+
+ private:
+  std::vector<geometry::Homography> image_to_ground_;
+  ReIdParams params_;
+  ColorGate gate_;
+};
+
+/// Eq. (6): combined true-positive probability of one object from the
+/// per-view probabilities.
+[[nodiscard]] double fuse_probabilities(const std::vector<double>& per_view);
+
+}  // namespace eecs::reid

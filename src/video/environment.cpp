@@ -1,0 +1,82 @@
+#include "video/environment.hpp"
+
+#include "common/contracts.hpp"
+
+namespace eecs::video {
+
+Environment dataset1_lab() {
+  Environment env;
+  env.name = "dataset1-lab";
+  env.image_width = 360;
+  env.image_height = 288;
+  env.focal_px = 320.0;
+  env.room_w = 8.0;
+  env.room_h = 8.0;
+  env.num_people = 6;
+  env.num_clutter = 0;
+  env.background_brightness = 0.55f;
+  env.background_texture_amplitude = 0.10f;
+  env.background_texture_scale = 14.0f;
+  env.illumination_gain = 1.0f;
+  env.illumination_offset = 0.0f;
+  env.sensor_noise_sigma = 0.012f;
+  env.outdoor = false;
+  env.texture_seed = 11;
+  env.ground_truth_stride = 25;
+  return env;
+}
+
+Environment dataset2_chap() {
+  Environment env;
+  env.name = "dataset2-chap";
+  env.image_width = 1024;
+  env.image_height = 768;
+  env.focal_px = 900.0;
+  env.room_w = 7.0;
+  env.room_h = 7.0;
+  env.num_people = 5;
+  env.num_clutter = 7;
+  env.background_brightness = 0.50f;
+  env.background_texture_amplitude = 0.18f;
+  env.background_texture_scale = 26.0f;
+  env.illumination_gain = 0.92f;
+  env.illumination_offset = -0.02f;
+  env.sensor_noise_sigma = 0.010f;
+  env.outdoor = false;
+  env.texture_seed = 22;
+  env.ground_truth_stride = 10;
+  return env;
+}
+
+Environment dataset3_terrace() {
+  Environment env;
+  env.name = "dataset3-terrace";
+  env.image_width = 360;
+  env.image_height = 288;
+  env.focal_px = 320.0;
+  env.room_w = 10.0;
+  env.room_h = 10.0;
+  env.num_people = 8;
+  env.num_clutter = 0;
+  env.background_brightness = 0.68f;
+  env.background_texture_amplitude = 0.30f;
+  env.background_texture_scale = 7.0f;
+  env.illumination_gain = 1.12f;
+  env.illumination_offset = 0.04f;
+  env.sensor_noise_sigma = 0.016f;
+  env.outdoor = true;
+  env.texture_seed = 33;
+  env.ground_truth_stride = 25;
+  return env;
+}
+
+Environment dataset_by_id(int id) {
+  EECS_EXPECTS(id >= 1 && id <= kNumDatasets);
+  switch (id) {
+    case 1: return dataset1_lab();
+    case 2: return dataset2_chap();
+    default: return dataset3_terrace();
+  }
+}
+
+}  // namespace eecs::video

@@ -1,0 +1,70 @@
+// Environment presets modelling the paper's three evaluation datasets
+// (§VI): EPFL "lab" (indoor, empty, 360x288), Graz "chap" (indoor lab with
+// furniture, 1024x768), EPFL "terrace" (outdoor, 360x288). Each preset
+// controls resolution, scene extent, population, clutter, illumination,
+// background texture, and sensor noise — the knobs that make different
+// detection algorithms win in different environments.
+#pragma once
+
+#include <string>
+
+namespace eecs::video {
+
+struct Environment {
+  std::string name;
+
+  // Camera sensor.
+  int image_width = 360;
+  int image_height = 288;
+  double focal_px = 320.0;
+
+  // Ground plane extent in meters (room is [0, room_w] x [0, room_h]).
+  double room_w = 8.0;
+  double room_h = 8.0;
+  double camera_height = 2.3;  ///< Mount height in meters.
+
+  // Population.
+  int num_people = 6;
+  double person_speed = 1.0;  ///< Mean walking speed, m/s.
+
+  // Furniture-like distractors (vertical structures with person-like
+  // gradients but non-skin/clothing colors). Dataset #2's false-positive
+  // source (paper: "furniture items ... might cause false positives").
+  int num_clutter = 0;
+
+  // Appearance.
+  float background_brightness = 0.55f;
+  float background_texture_amplitude = 0.15f;  ///< Outdoor scenes are busier.
+  float background_texture_scale = 12.0f;
+  float illumination_gain = 1.0f;
+  float illumination_offset = 0.0f;
+  float sensor_noise_sigma = 0.012f;
+  bool outdoor = false;
+  unsigned texture_seed = 1;
+
+  // Ground-truth cadence, mirroring the datasets (every 25 frames for the
+  // EPFL sets, every 10 for Graz chap).
+  int ground_truth_stride = 25;
+};
+
+/// Dataset #1: EPFL "lab sequences" analog — indoor, empty room, 6 people,
+/// 360x288.
+[[nodiscard]] Environment dataset1_lab();
+
+/// Dataset #2: Graz "chap" analog — indoor lab, 4-6 people, furniture
+/// clutter, 1024x768.
+[[nodiscard]] Environment dataset2_chap();
+
+/// Dataset #3: EPFL "terrace sequences" analog — outdoor, 8 people, 360x288.
+[[nodiscard]] Environment dataset3_terrace();
+
+/// The preset for a 1-based dataset id (1..3). Throws ContractViolation
+/// otherwise.
+[[nodiscard]] Environment dataset_by_id(int id);
+
+inline constexpr int kNumCamerasPerDataset = 4;
+inline constexpr int kNumDatasets = 3;
+inline constexpr int kTrainFrames = 1000;   ///< Paper: first 1000 frames train.
+inline constexpr int kTotalFrames = 3000;   ///< Paper: ~3000 frames per feed.
+
+}  // namespace eecs::video

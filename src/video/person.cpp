@@ -1,0 +1,74 @@
+#include "video/person.hpp"
+
+namespace eecs::video {
+
+namespace {
+
+/// Clothing palette: saturated, distinct colors so mean-color re-id features
+/// carry signal, as they do for real clothing.
+imaging::Color random_clothing_color(Rng& rng) {
+  const float h = static_cast<float>(rng.uniform());  // Hue-ish selector.
+  const float v = static_cast<float>(rng.uniform(0.25, 0.85));
+  const float s = static_cast<float>(rng.uniform(0.4, 0.9));
+  // Cheap HSV-like conversion over 6 hue sectors.
+  const float c = v * s;
+  const float x = c * (1.0f - std::abs(std::fmod(h * 6.0f, 2.0f) - 1.0f));
+  const float m = v - c;
+  float r = 0, g = 0, b = 0;
+  switch (static_cast<int>(h * 6.0f) % 6) {
+    case 0: r = c; g = x; break;
+    case 1: r = x; g = c; break;
+    case 2: g = c; b = x; break;
+    case 3: g = x; b = c; break;
+    case 4: r = x; b = c; break;
+    default: r = c; b = x; break;
+  }
+  return {r + m, g + m, b + m};
+}
+
+}  // namespace
+
+PersonAppearance random_appearance(Rng& rng) {
+  PersonAppearance a;
+  a.shirt = random_clothing_color(rng);
+  a.pants = random_clothing_color(rng);
+  const float skin_tone = static_cast<float>(rng.uniform(0.45, 0.95));
+  a.skin = {skin_tone, skin_tone * 0.82f, skin_tone * 0.68f};
+  a.height_m = rng.uniform(1.60, 1.92);
+  a.width_m = rng.uniform(0.48, 0.62);
+  return a;
+}
+
+Person::Person(int id, const PersonAppearance& appearance, const geometry::Vec2& position,
+               Rng& rng, double room_w, double room_h, double speed)
+    : id_(id),
+      appearance_(appearance),
+      position_(position),
+      speed_(speed * rng.uniform(0.8, 1.2)),
+      room_w_(room_w),
+      room_h_(room_h) {
+  phase_ = rng.uniform(0.0, 6.28);
+  pick_waypoint(rng);
+}
+
+void Person::pick_waypoint(Rng& rng) {
+  // Keep a margin so sprites stay mostly inside every camera's view.
+  const double margin_w = 0.12 * room_w_;
+  const double margin_h = 0.12 * room_h_;
+  waypoint_ = {rng.uniform(margin_w, room_w_ - margin_w), rng.uniform(margin_h, room_h_ - margin_h)};
+}
+
+void Person::step(double dt, Rng& rng) {
+  const geometry::Vec2 to_target = waypoint_ - position_;
+  const double dist = to_target.norm();
+  if (dist < 0.2) {
+    pick_waypoint(rng);
+    return;
+  }
+  const double move = std::min(speed_ * dt, dist);
+  position_ = position_ + (move / dist) * to_target;
+  // Leg swing frequency ~ 1.8 strides/second at 1 m/s.
+  phase_ += 2.0 * 3.14159265358979 * 1.8 * (speed_ * dt);
+}
+
+}  // namespace eecs::video

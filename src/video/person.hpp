@@ -1,0 +1,49 @@
+// Articulated "person" sprite with random-waypoint ground-plane motion.
+#pragma once
+
+#include "common/rng.hpp"
+#include "geometry/vec.hpp"
+#include "imaging/draw.hpp"
+
+namespace eecs::video {
+
+/// Static visual attributes sampled once per person.
+struct PersonAppearance {
+  imaging::Color shirt{0.6f, 0.2f, 0.2f};
+  imaging::Color pants{0.2f, 0.2f, 0.5f};
+  imaging::Color skin{0.85f, 0.70f, 0.58f};
+  double height_m = 1.75;
+  double width_m = 0.55;  ///< Shoulder width.
+};
+
+/// Samples plausible clothing colors and body size.
+[[nodiscard]] PersonAppearance random_appearance(Rng& rng);
+
+class Person {
+ public:
+  Person(int id, const PersonAppearance& appearance, const geometry::Vec2& position, Rng& rng,
+         double room_w, double room_h, double speed);
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] const PersonAppearance& appearance() const { return appearance_; }
+  [[nodiscard]] const geometry::Vec2& position() const { return position_; }
+  /// Walk-cycle phase in radians; drives leg separation when rendering.
+  [[nodiscard]] double phase() const { return phase_; }
+
+  /// Advance dt seconds of random-waypoint motion.
+  void step(double dt, Rng& rng);
+
+ private:
+  void pick_waypoint(Rng& rng);
+
+  int id_;
+  PersonAppearance appearance_;
+  geometry::Vec2 position_;
+  geometry::Vec2 waypoint_;
+  double speed_;
+  double phase_ = 0.0;
+  double room_w_;
+  double room_h_;
+};
+
+}  // namespace eecs::video

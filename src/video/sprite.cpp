@@ -1,0 +1,66 @@
+#include "video/sprite.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/draw.hpp"
+
+namespace eecs::video {
+
+using imaging::Color;
+using imaging::Rect;
+
+namespace {
+
+Color scaled(const Color& c, float gain) {
+  return {std::clamp(c[0] * gain, 0.0f, 1.0f), std::clamp(c[1] * gain, 0.0f, 1.0f),
+          std::clamp(c[2] * gain, 0.0f, 1.0f)};
+}
+
+}  // namespace
+
+void draw_person_sprite(imaging::Image& img, const Rect& b, const PersonAppearance& ap,
+                        const SpriteOptions& options) {
+  if (b.w <= 0 || b.h <= 0) return;
+  const Color shirt = scaled(ap.shirt, options.lighting_gain);
+  const Color pants = scaled(ap.pants, options.lighting_gain);
+  const Color skin = scaled(ap.skin, options.lighting_gain);
+
+  if (options.ground_shadow) {
+    imaging::fill_ellipse(img, {b.x, b.bottom() - 0.04 * b.h, b.w, 0.07 * b.h},
+                          Color{0.1f, 0.1f, 0.1f}, 0.35f);
+  }
+
+  // Head (top 16%).
+  imaging::fill_ellipse(img, {b.center_x() - 0.28 * b.w, b.y, 0.56 * b.w, 0.16 * b.h}, skin);
+  // Torso (16%..56%).
+  imaging::fill_rect(img, {b.x + 0.08 * b.w, b.y + 0.16 * b.h, 0.84 * b.w, 0.40 * b.h}, shirt);
+  // Arms: thin strips along the torso sides.
+  imaging::fill_rect(img, {b.x, b.y + 0.18 * b.h, 0.10 * b.w, 0.34 * b.h}, scaled(shirt, 0.85f));
+  imaging::fill_rect(img, {b.right() - 0.10 * b.w, b.y + 0.18 * b.h, 0.10 * b.w, 0.34 * b.h},
+                     scaled(shirt, 0.85f));
+  // Legs (56%..100%) with walk-cycle swing.
+  const double swing = 0.10 * b.w * std::sin(options.walk_phase);
+  const double leg_w = 0.30 * b.w;
+  const double leg_y = b.y + 0.56 * b.h;
+  const double leg_h = 0.44 * b.h;
+  imaging::fill_rect(img, {b.center_x() - 0.05 * b.w - leg_w - swing, leg_y, leg_w, leg_h}, pants);
+  imaging::fill_rect(img, {b.center_x() + 0.05 * b.w + swing, leg_y, leg_w, leg_h}, pants);
+}
+
+void draw_clutter_sprite(imaging::Image& img, const Rect& b, const ClutterSprite& sprite) {
+  if (b.w <= 0 || b.h <= 0) return;
+  imaging::fill_rect(img, b, sprite.color);
+  // Darker outline (strong vertical edges, like a person's silhouette).
+  imaging::fill_rect(img, {b.x, b.y, 0.06 * b.w, b.h}, scaled(sprite.color, 0.55f));
+  imaging::fill_rect(img, {b.right() - 0.06 * b.w, b.y, 0.06 * b.w, b.h},
+                     scaled(sprite.color, 0.55f));
+  imaging::fill_rect(img, {b.x, b.y, b.w, 0.05 * b.h}, scaled(sprite.color, 0.6f));
+  for (int s = 1; s <= sprite.shelves; ++s) {
+    const double y = b.y + b.h * s / (sprite.shelves + 1);
+    imaging::fill_rect(img, {b.x + 0.05 * b.w, y, 0.9 * b.w, std::max(1.0, 0.015 * b.h)},
+                       scaled(sprite.color, 0.5f));
+  }
+}
+
+}  // namespace eecs::video

@@ -1,0 +1,31 @@
+// Sprite rendering shared by the scene simulator and the detector-training
+// patch generator: draws a person or a furniture distractor into a given
+// bounding box.
+#pragma once
+
+#include "imaging/image.hpp"
+#include "imaging/rect.hpp"
+#include "video/person.hpp"
+
+namespace eecs::video {
+
+struct SpriteOptions {
+  double walk_phase = 0.0;
+  float lighting_gain = 1.0f;   ///< Per-instance lighting variation.
+  bool ground_shadow = false;   ///< Outdoor soft shadow under the feet.
+};
+
+/// Draw a person filling `box` (head at top, feet at bottom).
+void draw_person_sprite(imaging::Image& img, const imaging::Rect& box,
+                        const PersonAppearance& appearance, const SpriteOptions& options = {});
+
+struct ClutterSprite {
+  imaging::Color color{0.45f, 0.36f, 0.27f};
+  int shelves = 3;
+};
+
+/// Draw a cabinet/locker-like distractor filling `box`.
+void draw_clutter_sprite(imaging::Image& img, const imaging::Rect& box,
+                         const ClutterSprite& sprite);
+
+}  // namespace eecs::video

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/acf_detector.hpp"
+#include "detect/boosting.hpp"
+#include "detect/c4_detector.hpp"
+#include "detect/calibration.hpp"
+#include "detect/detector.hpp"
+#include "detect/hog_detector.hpp"
+#include "detect/linear_svm.hpp"
+#include "detect/lsvm_detector.hpp"
+#include "detect/nms.hpp"
+#include "video/sprite.hpp"
+
+namespace eecs::detect {
+namespace {
+
+TEST(Nms, SuppressesOverlappingLowerScores) {
+  std::vector<Detection> dets{{{0, 0, 10, 20}, 1.0, 0}, {{1, 1, 10, 20}, 0.9, 0},
+                              {{100, 100, 10, 20}, 0.5, 0}};
+  const auto kept = non_max_suppression(dets, 0.45);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].score, 1.0);
+  EXPECT_EQ(kept[1].score, 0.5);
+}
+
+TEST(Nms, KeepsDisjointDetections) {
+  std::vector<Detection> dets{{{0, 0, 10, 10}, 1.0, 0}, {{50, 50, 10, 10}, 0.8, 0}};
+  EXPECT_EQ(non_max_suppression(dets).size(), 2u);
+}
+
+TEST(Nms, OutputSortedByScore) {
+  std::vector<Detection> dets{{{0, 0, 5, 5}, 0.2, 0}, {{20, 0, 5, 5}, 0.9, 0},
+                              {{40, 0, 5, 5}, 0.5, 0}};
+  const auto kept = non_max_suppression(dets);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_GE(kept[0].score, kept[1].score);
+  EXPECT_GE(kept[1].score, kept[2].score);
+}
+
+TEST(LinearSvm, SeparatesLinearlySeparableData) {
+  Rng rng(1);
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    const float cls = (i % 2 == 0) ? 1.0f : -1.0f;
+    x.push_back({cls * 2.0f + static_cast<float>(rng.normal()) * 0.3f,
+                 static_cast<float>(rng.normal())});
+    y.push_back(i % 2 == 0 ? 1 : -1);
+  }
+  const LinearModel model = train_linear_svm(x, y, rng);
+  int correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    correct += ((model.score(x[i]) > 0) == (y[i] > 0));
+  }
+  EXPECT_GT(correct, 190);
+}
+
+TEST(LinearSvm, RejectsSingleClassData) {
+  Rng rng(1);
+  std::vector<std::vector<float>> x{{1, 2}, {3, 4}};
+  std::vector<int> y{1, 1};
+  EXPECT_THROW((void)train_linear_svm(x, y, rng), ContractViolation);
+}
+
+TEST(LinearSvm, RejectsBadLabels) {
+  Rng rng(1);
+  std::vector<std::vector<float>> x{{1, 2}, {3, 4}};
+  std::vector<int> y{1, 0};
+  EXPECT_THROW((void)train_linear_svm(x, y, rng), ContractViolation);
+}
+
+TEST(Boosting, SeparatesThresholdStructuredData) {
+  Rng rng(2);
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<float> f(10);
+    for (auto& v : f) v = static_cast<float>(rng.normal());
+    const bool pos = i % 2 == 0;
+    // Positives: feature 3 high AND feature 7 low-ish.
+    if (pos) {
+      f[3] += 2.0f;
+      f[7] -= 1.5f;
+    }
+    x.push_back(f);
+    y.push_back(pos ? 1 : -1);
+  }
+  BoostOptions options;
+  options.rounds = 60;
+  options.features_per_round = 10;
+  const BoostedModel model = train_adaboost(x, y, rng, options);
+  int correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    correct += ((model.score(x[i]) > 0) == (y[i] > 0));
+  }
+  EXPECT_GT(correct, 280);
+}
+
+TEST(Boosting, AlphasArePositive) {
+  Rng rng(3);
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 60; ++i) {
+    x.push_back({static_cast<float>(i % 2) + static_cast<float>(rng.normal()) * 0.1f});
+    y.push_back(i % 2 == 0 ? -1 : 1);
+  }
+  const BoostedModel model = train_adaboost(x, y, rng, {20, 1});
+  ASSERT_FALSE(model.stumps.empty());
+  for (const auto& st : model.stumps) EXPECT_GT(st.alpha, 0.0f);
+}
+
+TEST(Platt, ProbabilityMonotonicInScore) {
+  const PlattScaling platt = fit_platt({2.0, 3.0, 2.5, 4.0}, {-2.0, -1.0, -3.0, -1.5});
+  EXPECT_LT(platt.probability(-2.0), platt.probability(0.0));
+  EXPECT_LT(platt.probability(0.0), platt.probability(3.0));
+  EXPECT_GT(platt.probability(3.0), 0.7);
+  EXPECT_LT(platt.probability(-2.0), 0.3);
+}
+
+TEST(Platt, OutputsAreProbabilities) {
+  const PlattScaling platt = fit_platt({1.0, 2.0}, {-1.0, -2.0});
+  for (double s : {-100.0, -1.0, 0.0, 1.0, 100.0}) {
+    const double p = platt.probability(s);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(Platt, RequiresBothClasses) {
+  EXPECT_THROW((void)fit_platt({}, {1.0}), ContractViolation);
+}
+
+TEST(Training, GeneratesRequestedCounts) {
+  Rng rng(4);
+  TrainingSetOptions options;
+  options.num_positives = 20;
+  options.num_negatives = 30;
+  const TrainingSet set = generate_training_set(rng, options);
+  EXPECT_EQ(set.positives.size(), 20u);
+  EXPECT_EQ(set.negatives.size(), 30u);
+  for (const auto& img : set.positives) {
+    EXPECT_EQ(img.width(), kWindowWidth);
+    EXPECT_EQ(img.height(), kWindowHeight);
+    EXPECT_EQ(img.channels(), 3);
+  }
+}
+
+TEST(Training, DeterministicForSameSeed) {
+  Rng a(5), b(5);
+  TrainingSetOptions options;
+  options.num_positives = 3;
+  options.num_negatives = 3;
+  const TrainingSet sa = generate_training_set(a, options);
+  const TrainingSet sb = generate_training_set(b, options);
+  EXPECT_EQ(sa.positives[0].at(10, 20, 1), sb.positives[0].at(10, 20, 1));
+}
+
+TEST(Detector, WindowToPersonBoxShrinks) {
+  const imaging::Rect person = window_to_person_box({0, 0, 48, 96});
+  EXPECT_GT(person.x, 0.0);
+  EXPECT_LT(person.w, 48.0);
+  EXPECT_LT(person.h, 96.0);
+  EXPECT_NEAR(person.center_x(), 24.0, 1e-9);
+}
+
+TEST(Detector, PyramidScalesAreGeometric) {
+  const auto scales = pyramid_scales(0.25, 1.0, 2.0);
+  ASSERT_EQ(scales.size(), 3u);
+  EXPECT_DOUBLE_EQ(scales[0], 1.0);
+  EXPECT_DOUBLE_EQ(scales[1], 0.5);
+  EXPECT_DOUBLE_EQ(scales[2], 0.25);
+}
+
+TEST(Detector, PyramidRejectsBadArguments) {
+  EXPECT_THROW((void)pyramid_scales(0.5, 0.25, 2.0), ContractViolation);
+  EXPECT_THROW((void)pyramid_scales(0.5, 1.0, 1.0), ContractViolation);
+}
+
+TEST(Detector, FactoryCoversAllAlgorithms) {
+  for (AlgorithmId id : all_algorithms()) {
+    const auto detector = make_detector(id);
+    ASSERT_NE(detector, nullptr);
+    EXPECT_EQ(detector->id(), id);
+    EXPECT_FALSE(detector->trained());
+  }
+}
+
+TEST(Detector, UntrainedDetectViolatesContract) {
+  const auto detector = make_detector(AlgorithmId::Hog);
+  EXPECT_THROW((void)detector->detect(imaging::Image(64, 96, 3)), ContractViolation);
+}
+
+// Shared trained bank for the (slow) end-to-end detector checks.
+class TrainedDetectors : public ::testing::TestWithParam<int> {
+ protected:
+  static const std::vector<std::unique_ptr<Detector>>& bank() {
+    static const auto detectors = make_trained_detectors(777);
+    return detectors;
+  }
+
+  /// A frame with one big, clearly visible person on a plain background.
+  static imaging::Image person_frame() {
+    imaging::Image img(160, 200, 3);
+    img.fill(0.55f);
+    video::PersonAppearance appearance;
+    appearance.shirt = {0.8f, 0.2f, 0.2f};
+    appearance.pants = {0.1f, 0.1f, 0.5f};
+    video::draw_person_sprite(img, {60, 40, 40, 120}, appearance, {});
+    return img;
+  }
+};
+
+TEST_P(TrainedDetectors, FindsAnObviousPerson) {
+  const auto& detector = *bank()[static_cast<std::size_t>(GetParam())];
+  ASSERT_TRUE(detector.trained());
+  energy::CostCounter cost;
+  const auto detections = detector.detect(person_frame(), &cost);
+  ASSERT_FALSE(detections.empty()) << detect::to_string(detector.id());
+  // The top detection overlaps the drawn person.
+  const imaging::Rect person{60, 40, 40, 120};
+  double best_iou = 0.0;
+  for (const auto& d : detections) best_iou = std::max(best_iou, imaging::iou(d.box, person));
+  EXPECT_GT(best_iou, 0.4) << detect::to_string(detector.id());
+  EXPECT_GT(cost.compute_ops(), 0u);
+}
+
+TEST_P(TrainedDetectors, ProbabilitiesAreCalibrated) {
+  const auto& detector = *bank()[static_cast<std::size_t>(GetParam())];
+  for (const auto& d : detector.detect(person_frame())) {
+    EXPECT_GE(d.probability, 0.0);
+    EXPECT_LE(d.probability, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, TrainedDetectors, ::testing::Range(0, 4),
+                         [](const auto& info) {
+                           return std::string(to_string(static_cast<AlgorithmId>(info.param)));
+                         });
+
+}  // namespace
+}  // namespace eecs::detect

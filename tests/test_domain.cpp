@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "domain/comparator.hpp"
+#include "domain/gfk.hpp"
+#include "linalg/decomp.hpp"
+
+namespace eecs::domain {
+namespace {
+
+using linalg::Matrix;
+
+/// Feature matrix of k samples drawn from a Gaussian around `center`.
+Matrix gaussian_features(int k, int dim, std::span<const double> center, double spread, Rng& rng) {
+  Matrix m(k, dim);
+  for (int r = 0; r < k; ++r) {
+    for (int c = 0; c < dim; ++c) {
+      m(r, c) = center[static_cast<std::size_t>(c)] + spread * rng.normal();
+    }
+  }
+  return m;
+}
+
+std::vector<double> unit_center(int dim, int axis, double scale = 1.0) {
+  std::vector<double> c(static_cast<std::size_t>(dim), 0.0);
+  c[static_cast<std::size_t>(axis)] = scale;
+  return c;
+}
+
+TEST(BuildSubspace, BasisIsOrthonormal) {
+  Rng rng(1);
+  const auto c = unit_center(20, 0);
+  const VideoSubspace s = build_subspace(gaussian_features(15, 20, c, 0.2, rng), 5);
+  const Matrix gram = linalg::transpose_times(s.basis, s.basis);
+  EXPECT_LT(linalg::max_abs_diff(gram, Matrix::identity(5)), 1e-8);
+  // Complement orthogonal to the basis.
+  EXPECT_LT(linalg::transpose_times(s.basis, s.complement).frobenius_norm(), 1e-8);
+}
+
+TEST(BuildSubspace, ContractsOnDimensions) {
+  Rng rng(1);
+  const auto c = unit_center(10, 0);
+  const Matrix feats = gaussian_features(6, 10, c, 0.1, rng);
+  EXPECT_THROW((void)build_subspace(feats, 0), ContractViolation);
+  EXPECT_THROW((void)build_subspace(feats, 10), ContractViolation);
+  EXPECT_THROW((void)build_subspace(feats, 7), ContractViolation);  // > rows.
+}
+
+TEST(Gfk, IdenticalSubspacesGiveDoubledProjector) {
+  // For theta = 0 everywhere, W = 2 * B B^T on the subspace (lambda1 = 2).
+  Rng rng(2);
+  const auto c = unit_center(16, 2, 2.0);
+  const VideoSubspace s = build_subspace(gaussian_features(12, 16, c, 0.3, rng), 4);
+  const Matrix w = geodesic_flow_kernel(s.basis, s.complement, s.basis);
+  const Matrix proj2 = 2.0 * (s.basis * s.basis.transposed());
+  EXPECT_LT(linalg::max_abs_diff(w, proj2), 1e-6);
+}
+
+TEST(Gfk, KernelIsSymmetric) {
+  Rng rng(3);
+  const auto c1 = unit_center(16, 0);
+  const auto c2 = unit_center(16, 5);
+  const VideoSubspace a = build_subspace(gaussian_features(12, 16, c1, 0.4, rng), 4);
+  const VideoSubspace b = build_subspace(gaussian_features(12, 16, c2, 0.4, rng), 4);
+  const Matrix w = geodesic_flow_kernel(a.basis, a.complement, b.basis);
+  EXPECT_LT(linalg::max_abs_diff(w, w.transposed()), 1e-8);
+}
+
+TEST(Gfk, KernelIsPositiveSemidefinite) {
+  Rng rng(4);
+  const auto c1 = unit_center(12, 0);
+  const auto c2 = unit_center(12, 3);
+  const VideoSubspace a = build_subspace(gaussian_features(10, 12, c1, 0.5, rng), 3);
+  const VideoSubspace b = build_subspace(gaussian_features(10, 12, c2, 0.5, rng), 3);
+  const Matrix w = geodesic_flow_kernel(a.basis, a.complement, b.basis);
+  const auto eig = linalg::eig_symmetric(w);
+  for (double lambda : eig.eigenvalues) EXPECT_GT(lambda, -1e-8);
+}
+
+TEST(Gfk, PrincipalAnglesIdenticalAndOrthogonal) {
+  const Matrix eye = Matrix::identity(6);
+  const Matrix a = eye.slice_cols(0, 2);
+  const Matrix b = eye.slice_cols(2, 4);
+  for (double theta : principal_angles(a, a)) EXPECT_NEAR(theta, 0.0, 1e-9);
+  for (double theta : principal_angles(a, b)) EXPECT_NEAR(theta, 1.5707963, 1e-6);
+}
+
+TEST(Gfk, KernelDistanceOfIdenticalFramesIsZero) {
+  Rng rng(5);
+  const auto c = unit_center(12, 1);
+  const VideoSubspace s = build_subspace(gaussian_features(8, 12, c, 0.3, rng), 3);
+  const Matrix w = geodesic_flow_kernel(s.basis, s.complement, s.basis);
+  const Matrix k = kernel_distance_matrix(s.features, s.features, w);
+  for (int i = 0; i < k.rows(); ++i) EXPECT_NEAR(k(i, i), 0.0, 1e-8);
+}
+
+TEST(Gfk, SimilarityRangeAndMonotonicity) {
+  EXPECT_NEAR(similarity_from_distance(0.0), 1.0, 1e-12);
+  EXPECT_GT(similarity_from_distance(0.5), similarity_from_distance(1.0));
+  EXPECT_LT(similarity_from_distance(4.0), 0.02);
+  // Negative distances clamp to similarity 1.
+  EXPECT_NEAR(similarity_from_distance(-1.0), 1.0, 1e-12);
+}
+
+TEST(Gfk, SelfSimilarityExceedsCrossSimilarity) {
+  Rng rng(6);
+  const int dim = 24;
+  const auto center_a = unit_center(dim, 0, 2.0);
+  const auto center_b = unit_center(dim, 10, 2.0);
+  const VideoSubspace train_a = build_subspace(gaussian_features(14, dim, center_a, 0.3, rng), 6);
+  const VideoSubspace train_b = build_subspace(gaussian_features(14, dim, center_b, 0.3, rng), 6);
+  const VideoSubspace test_a = build_subspace(gaussian_features(14, dim, center_a, 0.3, rng), 6);
+
+  const double self_sim = video_similarity(train_a, test_a);
+  const double cross_sim = video_similarity(train_b, test_a);
+  EXPECT_GT(self_sim, cross_sim);
+}
+
+TEST(Comparator, BestMatchPicksClosestDistribution) {
+  Rng rng(7);
+  const int dim = 24;
+  ComparatorParams params;
+  params.subspace_dim = 5;
+  VideoComparator comparator(params);
+  for (int axis : {0, 6, 12, 18}) {
+    const auto center = unit_center(dim, axis, 2.0);
+    comparator.add_training_item(gaussian_features(12, dim, center, 0.3, rng),
+                                 "axis" + std::to_string(axis));
+  }
+  const auto incoming_center = unit_center(dim, 12, 2.0);
+  const auto match = comparator.best_match(gaussian_features(12, dim, incoming_center, 0.3, rng));
+  EXPECT_EQ(match.best_index, 2);
+  EXPECT_EQ(comparator.label(match.best_index), "axis12");
+  EXPECT_EQ(match.similarities.size(), 4u);
+}
+
+TEST(Comparator, SimilaritiesAreInUnitInterval) {
+  Rng rng(8);
+  const int dim = 16;
+  ComparatorParams params;
+  params.subspace_dim = 4;
+  VideoComparator comparator(params);
+  comparator.add_training_item(gaussian_features(10, dim, unit_center(dim, 0), 0.5, rng));
+  const auto match = comparator.best_match(gaussian_features(10, dim, unit_center(dim, 3), 0.5, rng));
+  for (double s : match.similarities) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(Comparator, EmptyComparatorViolatesContract) {
+  Rng rng(9);
+  VideoComparator comparator({4, 1.0});
+  EXPECT_THROW((void)comparator.best_match(gaussian_features(10, 16, unit_center(16, 0), 0.5, rng)),
+               ContractViolation);
+}
+
+// Parameterized sweep: the GFK identity-subspace property holds across
+// subspace dimensions.
+class GfkDimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GfkDimTest, SelfKernelEqualsDoubleProjector) {
+  Rng rng(100 + static_cast<std::uint64_t>(GetParam()));
+  const int beta = GetParam();
+  const auto c = unit_center(20, 1, 1.5);
+  const VideoSubspace s = build_subspace(gaussian_features(16, 20, c, 0.4, rng), beta);
+  const Matrix w = geodesic_flow_kernel(s.basis, s.complement, s.basis);
+  const Matrix proj2 = 2.0 * (s.basis * s.basis.transposed());
+  EXPECT_LT(linalg::max_abs_diff(w, proj2), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, GfkDimTest, ::testing::Values(1, 2, 4, 8, 12));
+
+}  // namespace
+}  // namespace eecs::domain

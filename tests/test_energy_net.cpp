@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "energy/cost.hpp"
+#include "energy/model.hpp"
+#include "net/messages.hpp"
+#include "net/network.hpp"
+
+namespace eecs {
+namespace {
+
+TEST(CostCounter, AccumulatesAndAdds) {
+  energy::CostCounter a;
+  a.add_pixels(100);
+  a.add_features(50);
+  a.add_classifier(25);
+  a.add_bytes(10);
+  EXPECT_EQ(a.compute_ops(), 175u);
+
+  energy::CostCounter b;
+  b.add_pixels(1);
+  const energy::CostCounter c = a + b;
+  EXPECT_EQ(c.pixel_ops, 101u);
+  EXPECT_EQ(c.bytes_tx, 10u);
+}
+
+TEST(CpuEnergyModel, JoulesGrowWithWork) {
+  const energy::CpuEnergyModel model;
+  energy::CostCounter small, large;
+  small.add_features(1000);
+  large.add_features(1000000);
+  EXPECT_GT(model.joules(large), model.joules(small));
+  EXPECT_GE(model.joules({}), model.joules_fixed_per_frame);
+  EXPECT_GT(model.seconds(large), model.seconds(small));
+}
+
+TEST(RadioModel, PerByteAndPerMessageCosts) {
+  const energy::RadioModel radio;
+  const double one = radio.tx_joules(1);
+  const double big = radio.tx_joules(1000000);
+  EXPECT_GT(big, one);
+  EXPECT_GT(one, radio.joules_per_message * 0.99);
+  EXPECT_GT(radio.tx_seconds(1000000), radio.tx_seconds(1000));
+}
+
+TEST(Battery, DrainClampsAtEmpty) {
+  energy::Battery battery(10.0);
+  EXPECT_DOUBLE_EQ(battery.drain(4.0), 4.0);
+  EXPECT_DOUBLE_EQ(battery.residual(), 6.0);
+  EXPECT_DOUBLE_EQ(battery.drain(100.0), 6.0);
+  EXPECT_TRUE(battery.empty());
+  EXPECT_DOUBLE_EQ(battery.consumed(), 10.0);
+}
+
+TEST(Battery, RejectsNegativeDrainAndCapacity) {
+  energy::Battery battery(5.0);
+  EXPECT_THROW((void)battery.drain(-1.0), ContractViolation);
+  EXPECT_THROW(energy::Battery(0.0), ContractViolation);
+}
+
+TEST(BudgetPlan, PaperArithmetic) {
+  // 6 hours at one frame per 2 seconds -> 10800 frames.
+  energy::BudgetPlan plan;
+  plan.operation_hours = 6.0;
+  plan.seconds_per_frame = 2.0;
+  EXPECT_EQ(plan.frames_remaining(), 10800);
+  EXPECT_NEAR(plan.per_frame_budget(10800.0), 1.0, 1e-9);
+}
+
+TEST(Messages, FeatureUploadRoundTrip) {
+  net::FeatureUploadMsg msg;
+  msg.camera_id = 3;
+  msg.frame_index = 1200;
+  msg.feature_dim = 2;
+  msg.features = {1.0f, 2.0f, 3.0f, 4.0f};
+  msg.energy_budget = 1.5;
+  const auto bytes = encode(msg);
+  EXPECT_EQ(net::peek_type(bytes), net::MessageType::FeatureUpload);
+  const auto decoded = net::decode_feature_upload(bytes);
+  EXPECT_EQ(decoded.camera_id, 3);
+  EXPECT_EQ(decoded.features, msg.features);
+  EXPECT_DOUBLE_EQ(decoded.energy_budget, 1.5);
+}
+
+TEST(Messages, DetectionMetadataRoundTripAndWireSize) {
+  net::DetectionMetadataMsg msg;
+  msg.camera_id = 1;
+  msg.frame_index = 42;
+  msg.algorithm = 2;
+  net::ObjectMetadata obj;
+  obj.x = 10;
+  obj.y = 20;
+  obj.w = 30;
+  obj.h = 60;
+  obj.probability = 0.75f;
+  obj.color_feature.assign(40, 0.25f);
+  msg.objects.push_back(obj);
+  const auto bytes = encode(msg);
+  // Header (1 type + 4 cam + 4 frame + 1 alg + 4 count) + 172 per object.
+  EXPECT_EQ(bytes.size(), 14u + 172u);
+  const auto decoded = net::decode_detection_metadata(bytes);
+  ASSERT_EQ(decoded.objects.size(), 1u);
+  EXPECT_EQ(decoded.objects[0].h, 60);
+  EXPECT_FLOAT_EQ(decoded.objects[0].probability, 0.75f);
+  EXPECT_EQ(decoded.objects[0].color_feature, obj.color_feature);
+}
+
+TEST(Messages, AssignmentAndEnergyReportRoundTrip) {
+  net::AlgorithmAssignmentMsg assign;
+  assign.camera_id = 2;
+  assign.algorithm = 1;
+  assign.threshold = -0.5f;
+  assign.active = 0;
+  const auto a = net::decode_algorithm_assignment(encode(assign));
+  EXPECT_EQ(a.camera_id, 2);
+  EXPECT_EQ(a.active, 0);
+  EXPECT_FLOAT_EQ(a.threshold, -0.5f);
+
+  net::EnergyReportMsg report;
+  report.camera_id = 3;
+  report.residual_joules = 123.5;
+  const auto r = net::decode_energy_report(encode(report));
+  EXPECT_DOUBLE_EQ(r.residual_joules, 123.5);
+}
+
+TEST(Messages, WrongTypeThrows) {
+  const auto bytes = encode(net::EnergyReportMsg{1, 2.0});
+  EXPECT_THROW((void)net::decode_feature_upload(bytes), ByteReader::DecodeError);
+}
+
+TEST(Messages, ColorFeatureMustBe40d) {
+  net::DetectionMetadataMsg msg;
+  net::ObjectMetadata obj;
+  obj.color_feature.assign(39, 0.0f);
+  msg.objects.push_back(obj);
+  EXPECT_THROW((void)encode(msg), ContractViolation);
+}
+
+TEST(Network, DeliversInTimeOrder) {
+  net::Network network({}, 1);
+  const int controller = network.add_node({});
+  net::LinkQuality fast;
+  fast.latency_s = 0.001;
+  net::LinkQuality slow;
+  slow.latency_s = 0.5;
+  const int cam_fast = network.add_node(fast);
+  const int cam_slow = network.add_node(slow);
+
+  (void)network.send(cam_slow, controller, {1});
+  (void)network.send(cam_fast, controller, {2});
+  const auto deliveries = network.advance_to(1.0);
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0].payload[0], 2);  // Fast link first.
+  EXPECT_EQ(deliveries[1].payload[0], 1);
+}
+
+TEST(Network, UndeliveredUntilTimeAdvances) {
+  net::Network network({}, 1);
+  const int controller = network.add_node({});
+  net::LinkQuality link;
+  link.latency_s = 2.0;
+  const int camera = network.add_node(link);
+  (void)network.send(camera, controller, {7});
+  EXPECT_TRUE(network.advance_to(1.0).empty());
+  EXPECT_EQ(network.advance_to(3.0).size(), 1u);
+}
+
+TEST(Network, LossChargesEnergyButDropsPayload) {
+  net::Network network({}, 3);
+  const int controller = network.add_node({});
+  net::LinkQuality lossy;
+  lossy.loss_probability = 1.0;
+  const int camera = network.add_node(lossy);
+  const auto tx = network.send(camera, controller, std::vector<std::uint8_t>(100, 0));
+  EXPECT_FALSE(tx.delivered);
+  EXPECT_GT(tx.tx_joules, 0.0);
+  EXPECT_TRUE(network.advance_to(10.0).empty());
+  EXPECT_GT(network.radio_joules(camera), 0.0);
+  EXPECT_EQ(network.bytes_sent(camera), 100u);
+}
+
+TEST(Network, RadioEnergyScalesWithBytes) {
+  net::Network network({}, 4);
+  const int controller = network.add_node({});
+  const int camera = network.add_node({});
+  const auto small = network.send(camera, controller, std::vector<std::uint8_t>(10, 0));
+  const auto large = network.send(camera, controller, std::vector<std::uint8_t>(100000, 0));
+  EXPECT_GT(large.tx_joules, small.tx_joules);
+  EXPECT_GT(large.tx_seconds, small.tx_seconds);
+}
+
+}  // namespace
+}  // namespace eecs

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "geometry/camera.hpp"
+#include "geometry/homography.hpp"
+#include "geometry/vec.hpp"
+
+namespace eecs::geometry {
+namespace {
+
+TEST(Vec, BasicOps) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ((a + b), (Vec3{5, 7, 9}));
+  EXPECT_EQ((b - a), (Vec3{3, 3, 3}));
+  EXPECT_NEAR(dot(a, b), 32.0, 1e-12);
+  EXPECT_EQ(cross(Vec3{1, 0, 0}, Vec3{0, 1, 0}), (Vec3{0, 0, 1}));
+  EXPECT_NEAR((Vec3{3, 4, 0}).norm(), 5.0, 1e-12);
+  EXPECT_NEAR((Vec3{3, 4, 0}).normalized().norm(), 1.0, 1e-12);
+}
+
+TEST(Vec, Distance2d) {
+  EXPECT_NEAR(distance({0, 0}, {3, 4}), 5.0, 1e-12);
+}
+
+TEST(Homography, IdentityMapsPointsToThemselves) {
+  const Homography h;
+  const auto p = h.apply({3.5, -2.0});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->x, 3.5, 1e-12);
+  EXPECT_NEAR(p->y, -2.0, 1e-12);
+}
+
+TEST(Homography, TranslationAndScale) {
+  const Homography h({{{2, 0, 5}, {0, 2, -1}, {0, 0, 1}}});
+  const auto p = h.apply({1, 1});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->x, 7.0, 1e-12);
+  EXPECT_NEAR(p->y, 1.0, 1e-12);
+}
+
+TEST(Homography, InverseRoundTrips) {
+  const Homography h({{{1.2, 0.1, 3.0}, {-0.2, 0.9, 1.0}, {0.001, -0.002, 1.0}}});
+  const Homography inv = h.inverse();
+  for (const Vec2 p : {Vec2{0, 0}, Vec2{10, 5}, Vec2{-3, 7}}) {
+    const auto fwd = h.apply(p);
+    ASSERT_TRUE(fwd.has_value());
+    const auto back = inv.apply(*fwd);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_NEAR(back->x, p.x, 1e-9);
+    EXPECT_NEAR(back->y, p.y, 1e-9);
+  }
+}
+
+TEST(Homography, CompositionAppliesRightFirst) {
+  const Homography scale({{{2, 0, 0}, {0, 2, 0}, {0, 0, 1}}});
+  const Homography shift({{{1, 0, 1}, {0, 1, 0}, {0, 0, 1}}});
+  // (scale * shift)(p) = scale(shift(p)).
+  const auto p = (scale * shift).apply({1, 1});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->x, 4.0, 1e-12);
+  EXPECT_NEAR(p->y, 2.0, 1e-12);
+}
+
+TEST(Homography, PointAtInfinityReturnsNullopt) {
+  // Third row makes the denominator vanish at x = 1.
+  const Homography h({{{1, 0, 0}, {0, 1, 0}, {-1, 0, 1}}});
+  EXPECT_FALSE(h.apply({1.0, 0.0}).has_value());
+}
+
+TEST(Dlt, RecoversKnownHomography) {
+  const Homography truth({{{1.5, 0.2, 10}, {-0.1, 1.1, -5}, {0.0005, 0.0002, 1}}});
+  std::vector<PointPair> pairs;
+  for (double x : {0.0, 50.0, 120.0, 200.0, 33.0}) {
+    for (double y : {0.0, 40.0, 90.0, 180.0}) {
+      const auto q = truth.apply({x, y});
+      ASSERT_TRUE(q.has_value());
+      pairs.push_back({{x, y}, *q});
+    }
+  }
+  const Homography est = estimate_homography_dlt(pairs);
+  for (const Vec2 p : {Vec2{25, 60}, Vec2{140, 10}, Vec2{199, 175}}) {
+    const auto qt = truth.apply(p);
+    const auto qe = est.apply(p);
+    ASSERT_TRUE(qt && qe);
+    EXPECT_NEAR(qe->x, qt->x, 1e-6);
+    EXPECT_NEAR(qe->y, qt->y, 1e-6);
+  }
+}
+
+TEST(Dlt, RejectsTooFewPairs) {
+  std::vector<PointPair> pairs{{{0, 0}, {1, 1}}, {{1, 0}, {2, 1}}, {{0, 1}, {1, 2}}};
+  EXPECT_THROW((void)estimate_homography_dlt(pairs), std::runtime_error);
+}
+
+TEST(Ransac, RobustToOutliers) {
+  Rng rng(99);
+  const Homography truth({{{0.9, 0.05, 4}, {0.02, 1.05, -2}, {0.0002, -0.0001, 1}}});
+  std::vector<PointPair> pairs;
+  // 30 inliers with small noise.
+  for (int i = 0; i < 30; ++i) {
+    const Vec2 p{rng.uniform(0, 300), rng.uniform(0, 200)};
+    const auto q = truth.apply(p);
+    ASSERT_TRUE(q.has_value());
+    pairs.push_back({p, {q->x + rng.normal() * 0.3, q->y + rng.normal() * 0.3}});
+  }
+  // 15 gross outliers.
+  for (int i = 0; i < 15; ++i) {
+    pairs.push_back({{rng.uniform(0, 300), rng.uniform(0, 200)},
+                     {rng.uniform(0, 300), rng.uniform(0, 200)}});
+  }
+  const RansacResult result = estimate_homography_ransac(pairs, rng);
+  EXPECT_GE(result.inlier_indices.size(), 25u);
+  // Estimated model close to truth on fresh points.
+  for (const Vec2 p : {Vec2{50, 50}, Vec2{250, 150}}) {
+    const auto qt = truth.apply(p);
+    const auto qe = result.homography.apply(p);
+    ASSERT_TRUE(qt && qe);
+    EXPECT_NEAR(qe->x, qt->x, 1.0);
+    EXPECT_NEAR(qe->y, qt->y, 1.0);
+  }
+}
+
+TEST(Ransac, ThrowsWhenNoConsensus) {
+  Rng rng(5);
+  std::vector<PointPair> pairs;
+  for (int i = 0; i < 12; ++i) {
+    pairs.push_back({{rng.uniform(0, 100), rng.uniform(0, 100)},
+                     {rng.uniform(0, 100), rng.uniform(0, 100)}});
+  }
+  RansacOptions opts;
+  opts.iterations = 50;
+  opts.inlier_threshold = 0.01;
+  opts.min_inliers = 8;
+  EXPECT_THROW((void)estimate_homography_ransac(pairs, rng, opts), std::runtime_error);
+}
+
+TEST(Camera, ProjectsCenterTargetToImageCenter) {
+  CameraIntrinsics intr;
+  intr.focal_px = 300;
+  intr.width = 360;
+  intr.height = 288;
+  const PinholeCamera cam({0, 0, 2.0}, {5, 5, 1.0}, intr);
+  const auto px = cam.project({5, 5, 1.0});
+  ASSERT_TRUE(px.has_value());
+  EXPECT_NEAR(px->x, 180.0, 1e-9);
+  EXPECT_NEAR(px->y, 144.0, 1e-9);
+}
+
+TEST(Camera, PointsBehindCameraAreRejected) {
+  const PinholeCamera cam({0, 0, 2.0}, {5, 0, 2.0}, {});
+  EXPECT_FALSE(cam.project({-5, 0, 1.0}).has_value());
+  EXPECT_LT(cam.depth({-5, 0, 1.0}), 0.0);
+}
+
+TEST(Camera, HigherWorldPointsProjectHigherInImage) {
+  const PinholeCamera cam({0, 0, 2.0}, {6, 0, 1.0}, {});
+  const auto foot = cam.project({6, 0, 0.0});
+  const auto head = cam.project({6, 0, 1.8});
+  ASSERT_TRUE(foot && head);
+  EXPECT_LT(head->y, foot->y);  // Image y grows downward.
+}
+
+TEST(Camera, NearerObjectsAppearLarger) {
+  const PinholeCamera cam({0, 0, 2.0}, {8, 0, 1.0}, {});
+  const auto near_foot = cam.project({3, 0, 0.0});
+  const auto near_head = cam.project({3, 0, 1.8});
+  const auto far_foot = cam.project({7, 0, 0.0});
+  const auto far_head = cam.project({7, 0, 1.8});
+  ASSERT_TRUE(near_foot && near_head && far_foot && far_head);
+  EXPECT_GT(near_foot->y - near_head->y, far_foot->y - far_head->y);
+}
+
+TEST(Camera, GroundHomographyMatchesProjection) {
+  CameraIntrinsics intr;
+  intr.focal_px = 320;
+  intr.width = 360;
+  intr.height = 288;
+  const PinholeCamera cam({-1, -1, 2.3}, {4, 4, 0.9}, intr);
+  const Homography h = cam.ground_homography();
+  for (const Vec2 g : {Vec2{2, 3}, Vec2{5, 5}, Vec2{7, 1}, Vec2{0.5, 6.5}}) {
+    const auto direct = cam.project({g.x, g.y, 0.0});
+    const auto via_h = h.apply(g);
+    ASSERT_TRUE(direct && via_h);
+    EXPECT_NEAR(via_h->x, direct->x, 1e-6);
+    EXPECT_NEAR(via_h->y, direct->y, 1e-6);
+  }
+}
+
+TEST(Camera, CrossCameraGroundTransferIsConsistent) {
+  // A ground point seen in camera A maps to the correct pixel in camera B via
+  // H_B * H_A^{-1} — the re-identification mechanism of §IV-C.
+  CameraIntrinsics intr;
+  const PinholeCamera cam_a({-1, -1, 2.3}, {4, 4, 0.9}, intr);
+  const PinholeCamera cam_b({9, -1, 2.3}, {4, 4, 0.9}, intr);
+  const Homography transfer = cam_b.ground_homography() * cam_a.ground_homography().inverse();
+  const Vec2 ground{3.0, 4.0};
+  const auto px_a = cam_a.project({ground.x, ground.y, 0});
+  const auto px_b = cam_b.project({ground.x, ground.y, 0});
+  ASSERT_TRUE(px_a && px_b);
+  const auto mapped = transfer.apply(*px_a);
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_NEAR(mapped->x, px_b->x, 1e-6);
+  EXPECT_NEAR(mapped->y, px_b->y, 1e-6);
+}
+
+TEST(Camera, VerticalViewDirectionViolatesContract) {
+  EXPECT_THROW(PinholeCamera({0, 0, 5}, {0, 0, 0}, {}), ContractViolation);
+}
+
+TEST(Camera, InImageBounds) {
+  CameraIntrinsics intr;
+  intr.width = 100;
+  intr.height = 80;
+  const PinholeCamera cam({0, 0, 2}, {5, 0, 1}, intr);
+  EXPECT_TRUE(cam.in_image({0, 0}));
+  EXPECT_TRUE(cam.in_image({99.9, 79.9}));
+  EXPECT_FALSE(cam.in_image({100, 40}));
+  EXPECT_FALSE(cam.in_image({50, -0.1}));
+}
+
+// RANSAC estimation of the calibration homography from noisy landmarks, as
+// the paper's offline calibration step does (§IV-C).
+TEST(Ransac, RecoversCameraGroundHomographyFromLandmarks) {
+  Rng rng(7);
+  CameraIntrinsics intr;
+  intr.focal_px = 320;
+  const PinholeCamera cam({-1.2, -1.2, 2.3}, {4, 4, 0.9}, intr);
+  std::vector<PointPair> landmarks;
+  for (int i = 0; i < 25; ++i) {
+    const Vec2 g{rng.uniform(0.5, 7.5), rng.uniform(0.5, 7.5)};
+    const auto px = cam.project({g.x, g.y, 0});
+    if (!px) continue;
+    landmarks.push_back({g, {px->x + rng.normal() * 0.5, px->y + rng.normal() * 0.5}});
+  }
+  ASSERT_GE(landmarks.size(), 10u);
+  RansacOptions opts;
+  opts.inlier_threshold = 3.0;
+  const RansacResult result = estimate_homography_ransac(landmarks, rng, opts);
+  const auto truth_px = cam.project({4.2, 3.1, 0});
+  const auto est_px = result.homography.apply({4.2, 3.1});
+  ASSERT_TRUE(truth_px && est_px);
+  EXPECT_NEAR(est_px->x, truth_px->x, 2.0);
+  EXPECT_NEAR(est_px->y, truth_px->y, 2.0);
+}
+
+}  // namespace
+}  // namespace eecs::geometry

@@ -1,0 +1,158 @@
+// End-to-end integration: offline training -> camera registration via GFK ->
+// assessment -> greedy selection (+ downgrade) -> operation, on a short slice
+// of dataset #1. Uses reduced sampling so the whole file runs in ~a minute.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+namespace eecs::core {
+namespace {
+
+class EecsIntegration : public ::testing::Test {
+ protected:
+  static const DetectorBank& bank() {
+    static const DetectorBank detectors = detect::make_trained_detectors(1234);
+    return detectors;
+  }
+
+  static OfflineOptions options() {
+    OfflineOptions opts;
+    opts.algorithms = {detect::AlgorithmId::Hog, detect::AlgorithmId::Acf};
+    opts.frames_per_item = 4;
+    return opts;
+  }
+
+  static const OfflineKnowledge& knowledge() {
+    static const OfflineKnowledge k = run_offline_training(bank(), {1}, 42, options());
+    return k;
+  }
+
+  static EecsSimulationConfig config(SelectionMode mode) {
+    EecsSimulationConfig cfg;
+    cfg.dataset = 1;
+    cfg.mode = mode;
+    cfg.budget_per_frame = 3.0;
+    cfg.controller.algorithms = options().algorithms;
+    cfg.models = options();
+    cfg.end_frame = 1900;  // One recalibration round.
+    return cfg;
+  }
+};
+
+TEST_F(EecsIntegration, OfflineTrainingProfilesAllItemsAndAlgorithms) {
+  ASSERT_EQ(knowledge().profiles().size(), 4u);  // 1 dataset x 4 cameras.
+  for (const auto& item : knowledge().profiles()) {
+    ASSERT_EQ(item.algorithms.size(), 2u);
+    // Rank order: descending f-score.
+    EXPECT_GE(item.algorithms[0].accuracy.f_score, item.algorithms[1].accuracy.f_score);
+    for (const auto& p : item.algorithms) {
+      EXPECT_GT(p.cpu_joules_per_frame, 0.0);
+      EXPECT_GE(p.accuracy.f_score, 0.0);
+      EXPECT_LE(p.accuracy.f_score, 1.0);
+    }
+  }
+}
+
+TEST_F(EecsIntegration, Dataset1PrefersHogOverAcf) {
+  // The paper's Table II/IV property: on the low-resolution indoor set, HOG
+  // outranks ACF (which misses small people).
+  int hog_best = 0;
+  for (const auto& item : knowledge().profiles()) {
+    hog_best += (item.algorithms.front().id == detect::AlgorithmId::Hog);
+  }
+  EXPECT_GE(hog_best, 3);  // At least 3 of 4 cameras.
+}
+
+TEST_F(EecsIntegration, AcfIsCheaperThanHog) {
+  for (const auto& item : knowledge().profiles()) {
+    const auto* hog = item.find(detect::AlgorithmId::Hog);
+    const auto* acf = item.find(detect::AlgorithmId::Acf);
+    ASSERT_NE(hog, nullptr);
+    ASSERT_NE(acf, nullptr);
+    EXPECT_LT(acf->total_joules_per_frame(), hog->total_joules_per_frame());
+  }
+}
+
+TEST_F(EecsIntegration, AllBestRunsEveryCamera) {
+  const SimulationResult result = run_eecs_simulation(bank(), knowledge(), config(SelectionMode::AllBest));
+  ASSERT_FALSE(result.rounds.empty());
+  EXPECT_EQ(result.rounds.front().stats.cameras_active, 4);
+  EXPECT_GT(result.humans_present, 0);
+  EXPECT_GT(result.humans_detected, 0);
+  EXPECT_GT(result.total_joules(), 0.0);
+}
+
+TEST_F(EecsIntegration, SubsetSavesEnergyAtBoundedAccuracyLoss) {
+  const SimulationResult baseline =
+      run_eecs_simulation(bank(), knowledge(), config(SelectionMode::AllBest));
+  const SimulationResult subset =
+      run_eecs_simulation(bank(), knowledge(), config(SelectionMode::SubsetOnly));
+  const SimulationResult downgraded =
+      run_eecs_simulation(bank(), knowledge(), config(SelectionMode::SubsetDowngrade));
+
+  // Energy ordering: downgrade <= subset <= baseline (allowing equality when
+  // the selection cannot be reduced).
+  EXPECT_LE(subset.total_joules(), baseline.total_joules() * 1.001);
+  EXPECT_LE(downgraded.total_joules(), subset.total_joules() * 1.001);
+  // The paper's headline: large savings at a bounded accuracy hit.
+  EXPECT_LT(downgraded.total_joules(), baseline.total_joules() * 0.95);
+  EXPECT_GT(static_cast<double>(downgraded.humans_detected),
+            0.70 * static_cast<double>(baseline.humans_detected));
+
+  // Selection logs are populated and respect gamma constraints.
+  for (const auto& round : subset.rounds) {
+    EXPECT_GE(round.stats.n_est, 0.85 * round.stats.n_star - 1e-9);
+  }
+}
+
+TEST_F(EecsIntegration, RegistrationMatchesCamerasToOwnFeed) {
+  // The controller's GFK match should send every camera to a dataset-1 item.
+  video::SceneSimulator sim(video::dataset1_lab(), 777);
+  reid::ReIdentifier reid = make_reidentifier(sim);
+  EecsController controller(knowledge(), std::move(reid), {});
+  sim.skip(1200);
+  std::vector<imaging::Image> frames;
+  for (int i = 0; i < 12; ++i) {
+    frames.push_back(sim.next_frame_single(2));
+    sim.skip(24);
+  }
+  linalg::Matrix features(static_cast<int>(frames.size()), knowledge().extractor().dimension());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const auto f = knowledge().extractor().extract(frames[i]);
+    for (int c = 0; c < features.cols(); ++c) {
+      features(static_cast<int>(i), c) = f[static_cast<std::size_t>(c)];
+    }
+  }
+  controller.register_camera(2, features, 3.0);
+  const int matched = controller.matched_item(2);
+  ASSERT_GE(matched, 0);
+  EXPECT_EQ(knowledge().profile(matched).dataset, 1);
+  EXPECT_EQ(knowledge().profile(matched).camera, 2);  // Exact feed match.
+  ASSERT_NE(controller.best_entry(2), nullptr);
+}
+
+TEST_F(EecsIntegration, TightBudgetExcludesExpensiveAlgorithms) {
+  video::SceneSimulator sim(video::dataset1_lab(), 777);
+  EecsController controller(knowledge(), make_reidentifier(sim), {});
+  sim.skip(1200);
+  std::vector<imaging::Image> frames;
+  for (int i = 0; i < 12; ++i) {
+    frames.push_back(sim.next_frame_single(0));
+    sim.skip(24);
+  }
+  linalg::Matrix features(static_cast<int>(frames.size()), knowledge().extractor().dimension());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const auto f = knowledge().extractor().extract(frames[i]);
+    for (int c = 0; c < features.cols(); ++c) {
+      features(static_cast<int>(i), c) = f[static_cast<std::size_t>(c)];
+    }
+  }
+  // Budget below HOG's cost: only ACF affordable.
+  controller.register_camera(0, features, 0.8);
+  ASSERT_NE(controller.best_entry(0), nullptr);
+  EXPECT_EQ(controller.best_entry(0)->id, detect::AlgorithmId::Acf);
+  EXPECT_EQ(controller.entry(0, detect::AlgorithmId::Hog), nullptr);
+}
+
+}  // namespace
+}  // namespace eecs::core

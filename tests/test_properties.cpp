@@ -1,0 +1,177 @@
+// Cross-dataset property sweeps: invariants that must hold for every
+// environment preset and camera, exercised with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include "core/offline.hpp"
+#include "detect/detector.hpp"
+#include "energy/model.hpp"
+#include "features/frame_feature.hpp"
+#include "imaging/io.hpp"
+#include "video/scene.hpp"
+
+namespace eecs {
+namespace {
+
+// ---------------------------------------------------------------- scene sweep
+
+class ScenePropertyTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  int dataset() const { return std::get<0>(GetParam()); }
+  int camera() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(ScenePropertyTest, GroundTruthBoxesLieInsideTheFrame) {
+  video::SceneSimulator sim(video::dataset_by_id(dataset()), 4242);
+  sim.skip(200);
+  for (int f = 0; f < 5; ++f) {
+    for (const auto& gt : sim.ground_truth(camera())) {
+      EXPECT_GE(gt.box.x, -1e-9);
+      EXPECT_GE(gt.box.y, -1e-9);
+      EXPECT_LE(gt.box.right(), sim.environment().image_width + 1e-9);
+      EXPECT_LE(gt.box.bottom(), sim.environment().image_height + 1e-9);
+      EXPECT_GE(gt.visibility, 0.0);
+      EXPECT_LE(gt.visibility, 1.0);
+      EXPECT_GT(gt.in_image_fraction, 0.0);
+      EXPECT_LE(gt.in_image_fraction, 1.0 + 1e-9);
+    }
+    sim.skip(100);
+  }
+}
+
+TEST_P(ScenePropertyTest, PixelsAreInUnitRange) {
+  video::SceneSimulator sim(video::dataset_by_id(dataset()), 4242);
+  const imaging::Image frame = sim.next_frame_single(camera());
+  for (float v : frame.data()) {
+    ASSERT_GE(v, 0.0f);
+    ASSERT_LE(v, 1.0f);
+  }
+}
+
+TEST_P(ScenePropertyTest, GroundHomographyRoundTripsFootPoints) {
+  video::SceneSimulator sim(video::dataset_by_id(dataset()), 4242);
+  const auto& cam = sim.cameras()[static_cast<std::size_t>(camera())];
+  const geometry::Homography to_image = cam.ground_homography();
+  const geometry::Homography to_world = to_image.inverse();
+  for (double gx : {1.0, 3.5, 6.0}) {
+    for (double gy : {1.0, 4.0, 6.5}) {
+      const auto px = to_image.apply({gx, gy});
+      ASSERT_TRUE(px.has_value());
+      const auto back = to_world.apply(*px);
+      ASSERT_TRUE(back.has_value());
+      EXPECT_NEAR(back->x, gx, 1e-6);
+      EXPECT_NEAR(back->y, gy, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFeeds, ScenePropertyTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(0, 1, 2, 3)),
+                         [](const auto& info) {
+                           return "D" + std::to_string(std::get<0>(info.param)) + "C" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+// ------------------------------------------------------------- detector sweep
+
+class DetectorEnergyTest : public ::testing::TestWithParam<int> {
+ protected:
+  static const core::DetectorBank& bank() {
+    static const core::DetectorBank detectors = detect::make_trained_detectors(777);
+    return detectors;
+  }
+};
+
+TEST_P(DetectorEnergyTest, EnergyGrowsWithResolution) {
+  const auto& detector = *bank()[static_cast<std::size_t>(GetParam())];
+  const energy::CpuEnergyModel model;
+  video::SceneSimulator small(video::dataset1_lab(), 5);   // 360x288.
+  video::SceneSimulator large(video::dataset2_chap(), 5);  // 1024x768.
+  energy::CostCounter cost_small, cost_large;
+  (void)detector.detect(small.next_frame_single(0), &cost_small);
+  (void)detector.detect(large.next_frame_single(0), &cost_large);
+  EXPECT_GT(model.joules(cost_large), model.joules(cost_small))
+      << detect::to_string(detector.id());
+}
+
+TEST_P(DetectorEnergyTest, DetectionsCarryFiniteGeometry) {
+  const auto& detector = *bank()[static_cast<std::size_t>(GetParam())];
+  video::SceneSimulator sim(video::dataset1_lab(), 6);
+  for (const auto& d : detector.detect(sim.next_frame_single(1))) {
+    EXPECT_GT(d.box.w, 0.0);
+    EXPECT_GT(d.box.h, 0.0);
+    // Person-shaped: taller than wide.
+    EXPECT_GT(d.box.h, d.box.w);
+    EXPECT_TRUE(std::isfinite(d.score));
+  }
+}
+
+TEST_P(DetectorEnergyTest, DeterministicAcrossCalls) {
+  const auto& detector = *bank()[static_cast<std::size_t>(GetParam())];
+  video::SceneSimulator sim(video::dataset1_lab(), 7);
+  const imaging::Image frame = sim.next_frame_single(0);
+  const auto a = detector.detect(frame);
+  const auto b = detector.detect(frame);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].score, b[i].score);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, DetectorEnergyTest, ::testing::Range(0, 4),
+                         [](const auto& info) {
+                           return std::string(detect::to_string(
+                               static_cast<detect::AlgorithmId>(info.param)));
+                         });
+
+// ---------------------------------------------------------------- imaging I/O
+
+TEST(ImageIo, WritesPpmAndPgm) {
+  imaging::Image color(8, 4, 3);
+  color.fill(0.5f);
+  imaging::Image gray(8, 4, 1);
+  const std::string ppm = "/tmp/eecs_test_io.ppm";
+  const std::string pgm = "/tmp/eecs_test_io.pgm";
+  EXPECT_NO_THROW(imaging::write_image(color, ppm));
+  EXPECT_NO_THROW(imaging::write_image(gray, pgm));
+  // P6 header, 8x4, then 8*4*3 bytes.
+  std::FILE* f = std::fopen(ppm.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[3] = {};
+  ASSERT_EQ(std::fscanf(f, "%2s", magic), 1);
+  EXPECT_STREQ(magic, "P6");
+  std::fclose(f);
+}
+
+TEST(ImageIo, WriteToBadPathThrows) {
+  imaging::Image img(2, 2, 1);
+  EXPECT_THROW(imaging::write_image(img, "/nonexistent-dir/x.pgm"), std::runtime_error);
+}
+
+TEST(ImageIo, BoxOutlineStaysInBounds) {
+  imaging::Image img(10, 10, 3);
+  EXPECT_NO_THROW(imaging::draw_box_outline(img, {-5, -5, 30, 30}, {1, 0, 0}));
+  EXPECT_NO_THROW(imaging::draw_box_outline(img, {2, 2, 4, 4}, {0, 1, 0}));
+  EXPECT_EQ(img.at(2, 2, 1), 1.0f);  // Outline drawn.
+  EXPECT_EQ(img.at(4, 4, 1), 0.0f);  // Interior untouched.
+}
+
+// ------------------------------------------------------ frame-feature sweep
+
+TEST(FrameFeatureSweep, FeaturesAreFiniteAcrossDatasets) {
+  std::vector<imaging::Image> vocab;
+  for (int ds = 1; ds <= 3; ++ds) {
+    video::SceneSimulator sim(video::dataset_by_id(ds), 10 + static_cast<std::uint64_t>(ds));
+    vocab.push_back(sim.next_frame_single(0));
+  }
+  Rng rng(1);
+  features::FrameFeatureParams params;
+  params.bow_words = 16;
+  const features::FrameFeatureExtractor extractor(vocab, params, rng);
+  for (const auto& frame : vocab) {
+    const auto feat = extractor.extract(frame);
+    ASSERT_EQ(static_cast<int>(feat.size()), extractor.dimension());
+    for (float v : feat) ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+}  // namespace
+}  // namespace eecs

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "features/color_feature.hpp"
+#include "reid/reid.hpp"
+#include "video/scene.hpp"
+
+namespace eecs::reid {
+namespace {
+
+TEST(Fusion, MatchesEquationSix) {
+  // P = 1 - prod(1 - P_ij).
+  EXPECT_NEAR(fuse_probabilities({0.5, 0.5}), 0.75, 1e-12);
+  EXPECT_NEAR(fuse_probabilities({0.9}), 0.9, 1e-12);
+  EXPECT_NEAR(fuse_probabilities({}), 0.0, 1e-12);
+  EXPECT_NEAR(fuse_probabilities({1.0, 0.1}), 1.0, 1e-12);
+}
+
+TEST(Fusion, MoreViewsNeverDecreaseConfidence) {
+  const double one = fuse_probabilities({0.6});
+  const double two = fuse_probabilities({0.6, 0.3});
+  const double three = fuse_probabilities({0.6, 0.3, 0.2});
+  EXPECT_GE(two, one);
+  EXPECT_GE(three, two);
+}
+
+std::vector<float> color_vec(float r, float g, float b) {
+  std::vector<float> f(40, 0.0f);
+  for (int band = 0; band < 5; ++band) {
+    f[static_cast<std::size_t>(band * 6)] = r;
+    f[static_cast<std::size_t>(band * 6 + 1)] = g;
+    f[static_cast<std::size_t>(band * 6 + 2)] = b;
+  }
+  return f;
+}
+
+ColorGate make_gate(Rng& rng) {
+  // Two objects with distinct colors, several noisy observations each.
+  std::vector<std::vector<float>> feats;
+  std::vector<int> labels;
+  for (int i = 0; i < 12; ++i) {
+    auto a = color_vec(0.8f, 0.1f, 0.1f);
+    auto b = color_vec(0.1f, 0.1f, 0.8f);
+    for (auto& v : a) v += static_cast<float>(rng.normal()) * 0.02f;
+    for (auto& v : b) v += static_cast<float>(rng.normal()) * 0.02f;
+    feats.push_back(a);
+    labels.push_back(0);
+    feats.push_back(b);
+    labels.push_back(1);
+  }
+  return ColorGate(feats, labels);
+}
+
+TEST(ColorGate, SameObjectWithinThresholdDifferentBeyond) {
+  Rng rng(1);
+  const ColorGate gate = make_gate(rng);
+  ASSERT_TRUE(gate.fitted());
+  const auto red1 = color_vec(0.8f, 0.1f, 0.1f);
+  const auto red2 = color_vec(0.82f, 0.12f, 0.1f);
+  const auto blue = color_vec(0.1f, 0.1f, 0.8f);
+  EXPECT_LT(gate.distance(red1, red2), gate.threshold());
+  EXPECT_GT(gate.distance(red1, blue), gate.threshold());
+}
+
+TEST(ColorGate, RequiresSameObjectPairs) {
+  std::vector<std::vector<float>> feats{color_vec(1, 0, 0), color_vec(0, 1, 0),
+                                        color_vec(0, 0, 1), color_vec(1, 1, 0)};
+  std::vector<int> labels{0, 1, 2, 3};  // No same-label pair.
+  EXPECT_THROW(ColorGate(feats, labels), ContractViolation);
+}
+
+/// Two "cameras" whose image coordinates ARE ground coordinates (identity
+/// homographies): foot points can be placed directly.
+ReIdentifier identity_reid(const ReIdParams& params = {}) {
+  return ReIdentifier({geometry::Homography(), geometry::Homography()}, params);
+}
+
+ViewDetection make_det(int camera, double x, double foot_y, double prob) {
+  ViewDetection vd;
+  vd.camera = camera;
+  vd.detection.box = {x - 5, foot_y - 20, 10, 20};
+  vd.detection.probability = prob;
+  return vd;
+}
+
+TEST(ReIdentifier, MergesNearbyCrossCameraDetections) {
+  ReIdParams params;
+  params.use_color_gate = false;
+  const ReIdentifier reid = identity_reid(params);
+  const std::vector<ViewDetection> dets{make_det(0, 5.0, 5.0, 0.6), make_det(1, 5.3, 5.2, 0.7)};
+  const auto groups = reid.group(dets);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].member_indices.size(), 2u);
+  EXPECT_NEAR(groups[0].fused_probability, 1 - 0.4 * 0.3, 1e-9);
+}
+
+TEST(ReIdentifier, KeepsDistantDetectionsApart) {
+  ReIdParams params;
+  params.use_color_gate = false;
+  const ReIdentifier reid = identity_reid(params);
+  const std::vector<ViewDetection> dets{make_det(0, 0.0, 0.0, 0.5), make_det(1, 10.0, 10.0, 0.5)};
+  EXPECT_EQ(reid.group(dets).size(), 2u);
+}
+
+TEST(ReIdentifier, NeverMergesSameCameraDetections) {
+  ReIdParams params;
+  params.use_color_gate = false;
+  const ReIdentifier reid = identity_reid(params);
+  const std::vector<ViewDetection> dets{make_det(0, 5.0, 5.0, 0.5), make_det(0, 5.1, 5.1, 0.5)};
+  EXPECT_EQ(reid.group(dets).size(), 2u);
+}
+
+TEST(ReIdentifier, ColorGateBlocksMismatchedAppearance) {
+  Rng rng(2);
+  ReIdentifier reid = identity_reid();
+  reid.set_color_gate(make_gate(rng));
+  auto red = make_det(0, 5.0, 5.0, 0.5);
+  red.color_feature = color_vec(0.8f, 0.1f, 0.1f);
+  auto blue = make_det(1, 5.2, 5.1, 0.5);
+  blue.color_feature = color_vec(0.1f, 0.1f, 0.8f);
+  EXPECT_EQ(reid.group({red, blue}).size(), 2u);  // Same spot, different person.
+
+  auto red2 = make_det(1, 5.2, 5.1, 0.5);
+  red2.color_feature = color_vec(0.81f, 0.11f, 0.1f);
+  EXPECT_EQ(reid.group({red, red2}).size(), 1u);
+}
+
+TEST(ReIdentifier, GroundPointUsesFootOfBox) {
+  const ReIdentifier reid = identity_reid();
+  ViewDetection vd = make_det(0, 7.0, 9.0, 0.5);
+  const auto ground = reid.ground_point(vd);
+  ASSERT_TRUE(ground.has_value());
+  EXPECT_NEAR(ground->x, 7.0, 1e-9);
+  EXPECT_NEAR(ground->y, 9.0, 1e-9);
+}
+
+// Integration with the scene simulator: re-id of ground-truth boxes across
+// the four real cameras should recover roughly the true person count, and
+// merge precision should be high (paper: > 90%).
+TEST(ReIdentifier, SceneGroundTruthGroupsApproximatePersonCount) {
+  video::SceneSimulator sim(video::dataset1_lab(), 31);
+  reid::ReIdentifier reid = core::make_reidentifier(sim);
+  reid.set_color_gate(core::fit_color_gate(1, 32, 4));
+
+  sim.skip(500);
+  int total_groups = 0, total_persons = 0;
+  long correct_pairs = 0, total_pairs = 0;
+  for (int f = 0; f < 5; ++f) {
+    const video::MultiViewFrame frame = sim.next_frame();
+    std::vector<ViewDetection> dets;
+    std::vector<int> person_of;
+    std::set<int> persons;
+    for (std::size_t cam = 0; cam < frame.views.size(); ++cam) {
+      for (const auto& gt : frame.truth[cam]) {
+        if (gt.visibility < 0.7 || gt.in_image_fraction < 0.9) continue;
+        ViewDetection vd;
+        vd.camera = static_cast<int>(cam);
+        vd.detection.box = gt.box;
+        vd.detection.probability = 0.9;
+        vd.color_feature = features::color_feature(frame.views[cam], gt.box);
+        dets.push_back(std::move(vd));
+        person_of.push_back(gt.person_id);
+        persons.insert(gt.person_id);
+      }
+    }
+    const auto groups = reid.group(dets);
+    total_groups += static_cast<int>(groups.size());
+    total_persons += static_cast<int>(persons.size());
+    for (const auto& g : groups) {
+      for (std::size_t i = 0; i < g.member_indices.size(); ++i) {
+        for (std::size_t j = i + 1; j < g.member_indices.size(); ++j) {
+          ++total_pairs;
+          correct_pairs += (person_of[static_cast<std::size_t>(g.member_indices[i])] ==
+                            person_of[static_cast<std::size_t>(g.member_indices[j])]);
+        }
+      }
+    }
+    sim.skip(99);
+  }
+  // Group count within 60% of the true person count (over-splitting bounded).
+  EXPECT_LT(total_groups, static_cast<int>(1.6 * total_persons) + 1);
+  EXPECT_GE(total_groups, total_persons / 2);
+  if (total_pairs > 0) {
+    EXPECT_GT(static_cast<double>(correct_pairs) / static_cast<double>(total_pairs), 0.9);
+  }
+}
+
+}  // namespace
+}  // namespace eecs::reid

@@ -1,0 +1,56 @@
+// Scratch calibration harness: trains the four detectors and reports their
+// accuracy/energy on sampled ground-truth frames of each dataset.
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stopwatch.hpp"
+#include "core/metrics.hpp"
+#include "detect/detector.hpp"
+#include "energy/model.hpp"
+#include "video/scene.hpp"
+
+using namespace eecs;
+
+int main(int argc, char** argv) {
+  const int dataset = argc > 1 ? std::atoi(argv[1]) : 1;
+  const int frames_to_eval = argc > 2 ? std::atoi(argv[2]) : 12;
+
+  Stopwatch train_watch;
+  auto detectors = detect::make_trained_detectors(1234);
+  std::printf("training took %.1fs\n", train_watch.seconds());
+
+  video::SceneSimulator sim(video::dataset_by_id(dataset), 777);
+  const int stride = sim.environment().ground_truth_stride;
+
+  std::vector<imaging::Image> frames;
+  std::vector<std::vector<video::GroundTruthBox>> truths;
+  for (int i = 0; i < frames_to_eval; ++i) {
+    std::vector<video::GroundTruthBox> truth;
+    frames.push_back(sim.next_frame_single(0, &truth));
+    truths.push_back(truth);
+    sim.skip(stride - 1);
+  }
+  std::printf("dataset %d cam 0, %d GT frames\n", dataset, frames_to_eval);
+
+  energy::CpuEnergyModel cpu;
+  for (const auto& det : detectors) {
+    Stopwatch watch;
+    std::vector<core::FrameEvaluation> evals;
+    energy::CostCounter cost;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      core::FrameEvaluation fe;
+      fe.detections = det->detect(frames[i], &cost);
+      fe.truth = truths[i];
+      evals.push_back(std::move(fe));
+    }
+    const double wall = watch.seconds();
+    const auto sweep = core::sweep_threshold(evals);
+    const double j_per_frame = cpu.joules(cost) / frames.size();
+    std::printf(
+        "%-5s thr=%7.3f  rec=%.3f prec=%.3f f=%.3f   J/frame=%7.3f  model_s/frame=%6.2f  wall_s/frame=%5.2f\n",
+        detect::to_string(det->id()), sweep.best_threshold, sweep.best.recall,
+        sweep.best.precision, sweep.best.f_score, j_per_frame,
+        cpu.seconds(cost) / frames.size(), wall / frames.size());
+  }
+  return 0;
+}

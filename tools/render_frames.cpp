@@ -1,0 +1,41 @@
+// Dump simulator frames (with ground-truth and detection overlays) as PPM
+// images for visual inspection:
+//   render_frames <dataset 1-3> <camera 0-3> <num-frames> [out-prefix]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/strings.hpp"
+#include "detect/detector.hpp"
+#include "imaging/io.hpp"
+#include "video/scene.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eecs;
+  const int dataset = argc > 1 ? std::atoi(argv[1]) : 1;
+  const int camera = argc > 2 ? std::atoi(argv[2]) : 0;
+  const int count = argc > 3 ? std::atoi(argv[3]) : 3;
+  const std::string prefix = argc > 4 ? argv[4] : "frame";
+
+  std::printf("training detectors for overlay...\n");
+  const auto detectors = detect::make_trained_detectors(1234);
+  const auto& hog = *detectors.front();
+
+  video::SceneSimulator sim(video::dataset_by_id(dataset), 777);
+  for (int i = 0; i < count; ++i) {
+    std::vector<video::GroundTruthBox> truth;
+    imaging::Image frame = sim.next_frame_single(camera, &truth);
+    for (const auto& gt : truth) {
+      imaging::draw_box_outline(frame, gt.box, {0.0f, 1.0f, 0.0f});  // Green: truth.
+    }
+    for (const auto& det : hog.detect(frame)) {
+      if (det.probability < 0.5) continue;
+      imaging::draw_box_outline(frame, det.box, {1.0f, 0.0f, 0.0f});  // Red: HOG.
+    }
+    const std::string path = format("%s_d%d_c%d_%03d.ppm", prefix.c_str(), dataset, camera, i);
+    imaging::write_image(frame, path);
+    std::printf("wrote %s (%zu truth boxes)\n", path.c_str(), truth.size());
+    sim.skip(sim.environment().ground_truth_stride - 1);
+  }
+  return 0;
+}
