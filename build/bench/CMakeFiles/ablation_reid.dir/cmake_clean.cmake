@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reid.dir/ablation_reid.cpp.o"
+  "CMakeFiles/ablation_reid.dir/ablation_reid.cpp.o.d"
+  "ablation_reid"
+  "ablation_reid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

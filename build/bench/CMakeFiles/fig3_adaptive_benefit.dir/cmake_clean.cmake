@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_adaptive_benefit.dir/fig3_adaptive_benefit.cpp.o"
+  "CMakeFiles/fig3_adaptive_benefit.dir/fig3_adaptive_benefit.cpp.o.d"
+  "fig3_adaptive_benefit"
+  "fig3_adaptive_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_adaptive_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

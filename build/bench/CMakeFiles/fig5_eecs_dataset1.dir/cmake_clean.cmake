@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_eecs_dataset1.dir/fig5_eecs_dataset1.cpp.o"
+  "CMakeFiles/fig5_eecs_dataset1.dir/fig5_eecs_dataset1.cpp.o.d"
+  "fig5_eecs_dataset1"
+  "fig5_eecs_dataset1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_eecs_dataset1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

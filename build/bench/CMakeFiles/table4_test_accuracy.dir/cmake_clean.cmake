@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_test_accuracy.dir/table4_test_accuracy.cpp.o"
+  "CMakeFiles/table4_test_accuracy.dir/table4_test_accuracy.cpp.o.d"
+  "table4_test_accuracy"
+  "table4_test_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_test_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

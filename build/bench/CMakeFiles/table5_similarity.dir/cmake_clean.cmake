@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_similarity.dir/table5_similarity.cpp.o"
+  "CMakeFiles/table5_similarity.dir/table5_similarity.cpp.o.d"
+  "table5_similarity"
+  "table5_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disaster_recovery.dir/disaster_recovery.cpp.o"
+  "CMakeFiles/disaster_recovery.dir/disaster_recovery.cpp.o.d"
+  "disaster_recovery"
+  "disaster_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disaster_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/environment_matching.dir/environment_matching.cpp.o"
+  "CMakeFiles/environment_matching.dir/environment_matching.cpp.o.d"
+  "environment_matching"
+  "environment_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/environment_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

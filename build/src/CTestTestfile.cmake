@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("linalg")
+subdirs("imaging")
+subdirs("geometry")
+subdirs("video")
+subdirs("features")
+subdirs("detect")
+subdirs("domain")
+subdirs("energy")
+subdirs("net")
+subdirs("reid")
+subdirs("core")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eecs_common.dir/bytes.cpp.o"
+  "CMakeFiles/eecs_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/eecs_common.dir/contracts.cpp.o"
+  "CMakeFiles/eecs_common.dir/contracts.cpp.o.d"
+  "CMakeFiles/eecs_common.dir/logging.cpp.o"
+  "CMakeFiles/eecs_common.dir/logging.cpp.o.d"
+  "CMakeFiles/eecs_common.dir/rng.cpp.o"
+  "CMakeFiles/eecs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/eecs_common.dir/strings.cpp.o"
+  "CMakeFiles/eecs_common.dir/strings.cpp.o.d"
+  "libeecs_common.a"
+  "libeecs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eecs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eecs_core.dir/controller.cpp.o"
+  "CMakeFiles/eecs_core.dir/controller.cpp.o.d"
+  "CMakeFiles/eecs_core.dir/metrics.cpp.o"
+  "CMakeFiles/eecs_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/eecs_core.dir/offline.cpp.o"
+  "CMakeFiles/eecs_core.dir/offline.cpp.o.d"
+  "CMakeFiles/eecs_core.dir/simulation.cpp.o"
+  "CMakeFiles/eecs_core.dir/simulation.cpp.o.d"
+  "libeecs_core.a"
+  "libeecs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eecs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

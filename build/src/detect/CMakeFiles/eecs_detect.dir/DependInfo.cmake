@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/acf_detector.cpp" "src/detect/CMakeFiles/eecs_detect.dir/acf_detector.cpp.o" "gcc" "src/detect/CMakeFiles/eecs_detect.dir/acf_detector.cpp.o.d"
+  "/root/repo/src/detect/block_grid.cpp" "src/detect/CMakeFiles/eecs_detect.dir/block_grid.cpp.o" "gcc" "src/detect/CMakeFiles/eecs_detect.dir/block_grid.cpp.o.d"
+  "/root/repo/src/detect/boosting.cpp" "src/detect/CMakeFiles/eecs_detect.dir/boosting.cpp.o" "gcc" "src/detect/CMakeFiles/eecs_detect.dir/boosting.cpp.o.d"
+  "/root/repo/src/detect/c4_detector.cpp" "src/detect/CMakeFiles/eecs_detect.dir/c4_detector.cpp.o" "gcc" "src/detect/CMakeFiles/eecs_detect.dir/c4_detector.cpp.o.d"
+  "/root/repo/src/detect/calibration.cpp" "src/detect/CMakeFiles/eecs_detect.dir/calibration.cpp.o" "gcc" "src/detect/CMakeFiles/eecs_detect.dir/calibration.cpp.o.d"
+  "/root/repo/src/detect/detection.cpp" "src/detect/CMakeFiles/eecs_detect.dir/detection.cpp.o" "gcc" "src/detect/CMakeFiles/eecs_detect.dir/detection.cpp.o.d"
+  "/root/repo/src/detect/detector.cpp" "src/detect/CMakeFiles/eecs_detect.dir/detector.cpp.o" "gcc" "src/detect/CMakeFiles/eecs_detect.dir/detector.cpp.o.d"
+  "/root/repo/src/detect/hog_detector.cpp" "src/detect/CMakeFiles/eecs_detect.dir/hog_detector.cpp.o" "gcc" "src/detect/CMakeFiles/eecs_detect.dir/hog_detector.cpp.o.d"
+  "/root/repo/src/detect/linear_svm.cpp" "src/detect/CMakeFiles/eecs_detect.dir/linear_svm.cpp.o" "gcc" "src/detect/CMakeFiles/eecs_detect.dir/linear_svm.cpp.o.d"
+  "/root/repo/src/detect/lsvm_detector.cpp" "src/detect/CMakeFiles/eecs_detect.dir/lsvm_detector.cpp.o" "gcc" "src/detect/CMakeFiles/eecs_detect.dir/lsvm_detector.cpp.o.d"
+  "/root/repo/src/detect/nms.cpp" "src/detect/CMakeFiles/eecs_detect.dir/nms.cpp.o" "gcc" "src/detect/CMakeFiles/eecs_detect.dir/nms.cpp.o.d"
+  "/root/repo/src/detect/training.cpp" "src/detect/CMakeFiles/eecs_detect.dir/training.cpp.o" "gcc" "src/detect/CMakeFiles/eecs_detect.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eecs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/eecs_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/eecs_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eecs_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/eecs_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/eecs_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/eecs_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eecs_detect.dir/acf_detector.cpp.o"
+  "CMakeFiles/eecs_detect.dir/acf_detector.cpp.o.d"
+  "CMakeFiles/eecs_detect.dir/block_grid.cpp.o"
+  "CMakeFiles/eecs_detect.dir/block_grid.cpp.o.d"
+  "CMakeFiles/eecs_detect.dir/boosting.cpp.o"
+  "CMakeFiles/eecs_detect.dir/boosting.cpp.o.d"
+  "CMakeFiles/eecs_detect.dir/c4_detector.cpp.o"
+  "CMakeFiles/eecs_detect.dir/c4_detector.cpp.o.d"
+  "CMakeFiles/eecs_detect.dir/calibration.cpp.o"
+  "CMakeFiles/eecs_detect.dir/calibration.cpp.o.d"
+  "CMakeFiles/eecs_detect.dir/detection.cpp.o"
+  "CMakeFiles/eecs_detect.dir/detection.cpp.o.d"
+  "CMakeFiles/eecs_detect.dir/detector.cpp.o"
+  "CMakeFiles/eecs_detect.dir/detector.cpp.o.d"
+  "CMakeFiles/eecs_detect.dir/hog_detector.cpp.o"
+  "CMakeFiles/eecs_detect.dir/hog_detector.cpp.o.d"
+  "CMakeFiles/eecs_detect.dir/linear_svm.cpp.o"
+  "CMakeFiles/eecs_detect.dir/linear_svm.cpp.o.d"
+  "CMakeFiles/eecs_detect.dir/lsvm_detector.cpp.o"
+  "CMakeFiles/eecs_detect.dir/lsvm_detector.cpp.o.d"
+  "CMakeFiles/eecs_detect.dir/nms.cpp.o"
+  "CMakeFiles/eecs_detect.dir/nms.cpp.o.d"
+  "CMakeFiles/eecs_detect.dir/training.cpp.o"
+  "CMakeFiles/eecs_detect.dir/training.cpp.o.d"
+  "libeecs_detect.a"
+  "libeecs_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eecs_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

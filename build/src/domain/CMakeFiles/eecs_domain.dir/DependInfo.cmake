@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/domain/comparator.cpp" "src/domain/CMakeFiles/eecs_domain.dir/comparator.cpp.o" "gcc" "src/domain/CMakeFiles/eecs_domain.dir/comparator.cpp.o.d"
+  "/root/repo/src/domain/gfk.cpp" "src/domain/CMakeFiles/eecs_domain.dir/gfk.cpp.o" "gcc" "src/domain/CMakeFiles/eecs_domain.dir/gfk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eecs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/eecs_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eecs_domain.dir/comparator.cpp.o"
+  "CMakeFiles/eecs_domain.dir/comparator.cpp.o.d"
+  "CMakeFiles/eecs_domain.dir/gfk.cpp.o"
+  "CMakeFiles/eecs_domain.dir/gfk.cpp.o.d"
+  "libeecs_domain.a"
+  "libeecs_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eecs_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

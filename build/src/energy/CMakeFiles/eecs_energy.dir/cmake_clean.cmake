@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eecs_energy.dir/model.cpp.o"
+  "CMakeFiles/eecs_energy.dir/model.cpp.o.d"
+  "libeecs_energy.a"
+  "libeecs_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eecs_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/bow.cpp" "src/features/CMakeFiles/eecs_features.dir/bow.cpp.o" "gcc" "src/features/CMakeFiles/eecs_features.dir/bow.cpp.o.d"
+  "/root/repo/src/features/census.cpp" "src/features/CMakeFiles/eecs_features.dir/census.cpp.o" "gcc" "src/features/CMakeFiles/eecs_features.dir/census.cpp.o.d"
+  "/root/repo/src/features/color_feature.cpp" "src/features/CMakeFiles/eecs_features.dir/color_feature.cpp.o" "gcc" "src/features/CMakeFiles/eecs_features.dir/color_feature.cpp.o.d"
+  "/root/repo/src/features/frame_feature.cpp" "src/features/CMakeFiles/eecs_features.dir/frame_feature.cpp.o" "gcc" "src/features/CMakeFiles/eecs_features.dir/frame_feature.cpp.o.d"
+  "/root/repo/src/features/hog.cpp" "src/features/CMakeFiles/eecs_features.dir/hog.cpp.o" "gcc" "src/features/CMakeFiles/eecs_features.dir/hog.cpp.o.d"
+  "/root/repo/src/features/keypoints.cpp" "src/features/CMakeFiles/eecs_features.dir/keypoints.cpp.o" "gcc" "src/features/CMakeFiles/eecs_features.dir/keypoints.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eecs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/eecs_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/eecs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eecs_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

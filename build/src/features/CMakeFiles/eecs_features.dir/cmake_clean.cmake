@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eecs_features.dir/bow.cpp.o"
+  "CMakeFiles/eecs_features.dir/bow.cpp.o.d"
+  "CMakeFiles/eecs_features.dir/census.cpp.o"
+  "CMakeFiles/eecs_features.dir/census.cpp.o.d"
+  "CMakeFiles/eecs_features.dir/color_feature.cpp.o"
+  "CMakeFiles/eecs_features.dir/color_feature.cpp.o.d"
+  "CMakeFiles/eecs_features.dir/frame_feature.cpp.o"
+  "CMakeFiles/eecs_features.dir/frame_feature.cpp.o.d"
+  "CMakeFiles/eecs_features.dir/hog.cpp.o"
+  "CMakeFiles/eecs_features.dir/hog.cpp.o.d"
+  "CMakeFiles/eecs_features.dir/keypoints.cpp.o"
+  "CMakeFiles/eecs_features.dir/keypoints.cpp.o.d"
+  "libeecs_features.a"
+  "libeecs_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eecs_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eecs_geometry.dir/camera.cpp.o"
+  "CMakeFiles/eecs_geometry.dir/camera.cpp.o.d"
+  "CMakeFiles/eecs_geometry.dir/homography.cpp.o"
+  "CMakeFiles/eecs_geometry.dir/homography.cpp.o.d"
+  "libeecs_geometry.a"
+  "libeecs_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eecs_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

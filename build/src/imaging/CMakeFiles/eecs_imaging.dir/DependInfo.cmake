@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imaging/draw.cpp" "src/imaging/CMakeFiles/eecs_imaging.dir/draw.cpp.o" "gcc" "src/imaging/CMakeFiles/eecs_imaging.dir/draw.cpp.o.d"
+  "/root/repo/src/imaging/filter.cpp" "src/imaging/CMakeFiles/eecs_imaging.dir/filter.cpp.o" "gcc" "src/imaging/CMakeFiles/eecs_imaging.dir/filter.cpp.o.d"
+  "/root/repo/src/imaging/image.cpp" "src/imaging/CMakeFiles/eecs_imaging.dir/image.cpp.o" "gcc" "src/imaging/CMakeFiles/eecs_imaging.dir/image.cpp.o.d"
+  "/root/repo/src/imaging/integral.cpp" "src/imaging/CMakeFiles/eecs_imaging.dir/integral.cpp.o" "gcc" "src/imaging/CMakeFiles/eecs_imaging.dir/integral.cpp.o.d"
+  "/root/repo/src/imaging/io.cpp" "src/imaging/CMakeFiles/eecs_imaging.dir/io.cpp.o" "gcc" "src/imaging/CMakeFiles/eecs_imaging.dir/io.cpp.o.d"
+  "/root/repo/src/imaging/jpeg_model.cpp" "src/imaging/CMakeFiles/eecs_imaging.dir/jpeg_model.cpp.o" "gcc" "src/imaging/CMakeFiles/eecs_imaging.dir/jpeg_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eecs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

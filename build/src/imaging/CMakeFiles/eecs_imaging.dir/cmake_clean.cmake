@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eecs_imaging.dir/draw.cpp.o"
+  "CMakeFiles/eecs_imaging.dir/draw.cpp.o.d"
+  "CMakeFiles/eecs_imaging.dir/filter.cpp.o"
+  "CMakeFiles/eecs_imaging.dir/filter.cpp.o.d"
+  "CMakeFiles/eecs_imaging.dir/image.cpp.o"
+  "CMakeFiles/eecs_imaging.dir/image.cpp.o.d"
+  "CMakeFiles/eecs_imaging.dir/integral.cpp.o"
+  "CMakeFiles/eecs_imaging.dir/integral.cpp.o.d"
+  "CMakeFiles/eecs_imaging.dir/io.cpp.o"
+  "CMakeFiles/eecs_imaging.dir/io.cpp.o.d"
+  "CMakeFiles/eecs_imaging.dir/jpeg_model.cpp.o"
+  "CMakeFiles/eecs_imaging.dir/jpeg_model.cpp.o.d"
+  "libeecs_imaging.a"
+  "libeecs_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eecs_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeecs_imaging.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for eecs_imaging.
+# This may be replaced when dependencies are built.

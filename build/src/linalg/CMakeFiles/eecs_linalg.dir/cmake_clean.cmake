@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eecs_linalg.dir/decomp.cpp.o"
+  "CMakeFiles/eecs_linalg.dir/decomp.cpp.o.d"
+  "CMakeFiles/eecs_linalg.dir/kmeans.cpp.o"
+  "CMakeFiles/eecs_linalg.dir/kmeans.cpp.o.d"
+  "CMakeFiles/eecs_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/eecs_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/eecs_linalg.dir/pca.cpp.o"
+  "CMakeFiles/eecs_linalg.dir/pca.cpp.o.d"
+  "libeecs_linalg.a"
+  "libeecs_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eecs_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eecs_net.dir/messages.cpp.o"
+  "CMakeFiles/eecs_net.dir/messages.cpp.o.d"
+  "CMakeFiles/eecs_net.dir/network.cpp.o"
+  "CMakeFiles/eecs_net.dir/network.cpp.o.d"
+  "libeecs_net.a"
+  "libeecs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eecs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eecs_reid.dir/reid.cpp.o"
+  "CMakeFiles/eecs_reid.dir/reid.cpp.o.d"
+  "libeecs_reid.a"
+  "libeecs_reid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eecs_reid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/environment.cpp" "src/video/CMakeFiles/eecs_video.dir/environment.cpp.o" "gcc" "src/video/CMakeFiles/eecs_video.dir/environment.cpp.o.d"
+  "/root/repo/src/video/person.cpp" "src/video/CMakeFiles/eecs_video.dir/person.cpp.o" "gcc" "src/video/CMakeFiles/eecs_video.dir/person.cpp.o.d"
+  "/root/repo/src/video/scene.cpp" "src/video/CMakeFiles/eecs_video.dir/scene.cpp.o" "gcc" "src/video/CMakeFiles/eecs_video.dir/scene.cpp.o.d"
+  "/root/repo/src/video/sprite.cpp" "src/video/CMakeFiles/eecs_video.dir/sprite.cpp.o" "gcc" "src/video/CMakeFiles/eecs_video.dir/sprite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eecs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/eecs_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/eecs_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/eecs_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

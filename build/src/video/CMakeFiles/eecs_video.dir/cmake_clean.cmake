@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eecs_video.dir/environment.cpp.o"
+  "CMakeFiles/eecs_video.dir/environment.cpp.o.d"
+  "CMakeFiles/eecs_video.dir/person.cpp.o"
+  "CMakeFiles/eecs_video.dir/person.cpp.o.d"
+  "CMakeFiles/eecs_video.dir/scene.cpp.o"
+  "CMakeFiles/eecs_video.dir/scene.cpp.o.d"
+  "CMakeFiles/eecs_video.dir/sprite.cpp.o"
+  "CMakeFiles/eecs_video.dir/sprite.cpp.o.d"
+  "libeecs_video.a"
+  "libeecs_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eecs_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_net.dir/test_energy_net.cpp.o"
+  "CMakeFiles/test_energy_net.dir/test_energy_net.cpp.o.d"
+  "test_energy_net"
+  "test_energy_net.pdb"
+  "test_energy_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reid.dir/test_reid.cpp.o"
+  "CMakeFiles/test_reid.dir/test_reid.cpp.o.d"
+  "test_reid"
+  "test_reid.pdb"
+  "test_reid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_detectors.dir/calibrate_detectors.cpp.o"
+  "CMakeFiles/calibrate_detectors.dir/calibrate_detectors.cpp.o.d"
+  "calibrate_detectors"
+  "calibrate_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

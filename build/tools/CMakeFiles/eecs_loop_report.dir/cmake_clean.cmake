@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eecs_loop_report.dir/eecs_loop_report.cpp.o"
+  "CMakeFiles/eecs_loop_report.dir/eecs_loop_report.cpp.o.d"
+  "eecs_loop_report"
+  "eecs_loop_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eecs_loop_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

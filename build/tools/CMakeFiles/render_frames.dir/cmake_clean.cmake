@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_frames.dir/render_frames.cpp.o"
+  "CMakeFiles/render_frames.dir/render_frames.cpp.o.d"
+  "render_frames"
+  "render_frames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
