@@ -67,7 +67,9 @@ examples/CMakeFiles/disaster_recovery.dir/disaster_recovery.cpp.o: \
  /usr/include/c++/12/bits/invoke.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/range_access.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/string \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/string \
  /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
@@ -251,8 +253,8 @@ examples/CMakeFiles/disaster_recovery.dir/disaster_recovery.cpp.o: \
  /root/repo/src/features/frame_feature.hpp \
  /root/repo/src/features/bow.hpp /root/repo/src/imaging/jpeg_model.hpp \
  /root/repo/src/reid/reid.hpp /root/repo/src/linalg/pca.hpp \
- /root/repo/src/net/network.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/net/fault.hpp /root/repo/src/net/network.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/queue \

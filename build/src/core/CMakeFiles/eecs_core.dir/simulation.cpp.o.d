@@ -49,7 +49,9 @@ src/core/CMakeFiles/eecs_core.dir/simulation.cpp.o: \
  /usr/include/c++/12/bits/invoke.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/range_access.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/string \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/string \
  /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
@@ -251,15 +253,13 @@ src/core/CMakeFiles/eecs_core.dir/simulation.cpp.o: \
  /root/repo/src/features/frame_feature.hpp \
  /root/repo/src/features/bow.hpp /root/repo/src/imaging/jpeg_model.hpp \
  /root/repo/src/reid/reid.hpp /root/repo/src/linalg/pca.hpp \
- /root/repo/src/net/network.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/net/fault.hpp /root/repo/src/net/network.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/features/color_feature.hpp \
  /root/repo/src/net/messages.hpp /root/repo/src/common/bytes.hpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h

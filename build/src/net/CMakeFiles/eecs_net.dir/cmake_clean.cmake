@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/eecs_net.dir/fault.cpp.o"
+  "CMakeFiles/eecs_net.dir/fault.cpp.o.d"
   "CMakeFiles/eecs_net.dir/messages.cpp.o"
   "CMakeFiles/eecs_net.dir/messages.cpp.o.d"
   "CMakeFiles/eecs_net.dir/network.cpp.o"

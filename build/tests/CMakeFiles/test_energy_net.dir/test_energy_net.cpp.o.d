@@ -292,16 +292,15 @@ tests/CMakeFiles/test_energy_net.dir/test_energy_net.cpp.o: \
  /root/miniconda/include/gtest/gtest-test-part.h \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
- /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /root/miniconda/include/gtest/gtest_pred_impl.h /usr/include/c++/12/span \
+ /root/repo/src/common/rng.hpp /root/repo/src/common/contracts.hpp \
  /root/repo/src/energy/cost.hpp /root/repo/src/energy/model.hpp \
- /root/repo/src/common/contracts.hpp /root/repo/src/net/messages.hpp \
+ /root/repo/src/net/fault.hpp /root/repo/src/net/messages.hpp \
  /root/repo/src/common/bytes.hpp /usr/include/c++/12/cstring \
- /usr/include/c++/12/span /root/repo/src/detect/detection.hpp \
- /root/repo/src/imaging/rect.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/detect/detection.hpp /root/repo/src/imaging/rect.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/net/network.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/common/rng.hpp
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fault_tolerance.cpp" "tests/CMakeFiles/test_fault_tolerance.dir/test_fault_tolerance.cpp.o" "gcc" "tests/CMakeFiles/test_fault_tolerance.dir/test_fault_tolerance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eecs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/domain/CMakeFiles/eecs_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eecs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/reid/CMakeFiles/eecs_reid.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/eecs_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/eecs_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eecs_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/eecs_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/eecs_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/eecs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/eecs_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eecs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

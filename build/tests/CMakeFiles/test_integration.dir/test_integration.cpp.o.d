@@ -334,6 +334,7 @@ tests/CMakeFiles/test_integration.dir/test_integration.cpp.o: \
  /root/repo/src/features/frame_feature.hpp \
  /root/repo/src/features/bow.hpp /root/repo/src/imaging/jpeg_model.hpp \
  /root/repo/src/reid/reid.hpp /root/repo/src/linalg/pca.hpp \
- /root/repo/src/net/network.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h
+ /root/repo/src/net/fault.hpp /root/repo/src/net/network.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h

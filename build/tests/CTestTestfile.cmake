@@ -17,3 +17,4 @@ include("/root/repo/build/tests/test_reid[1]_include.cmake")
 include("/root/repo/build/tests/test_core[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")
 include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_tolerance[1]_include.cmake")

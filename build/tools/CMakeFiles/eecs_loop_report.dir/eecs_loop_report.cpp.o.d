@@ -168,7 +168,9 @@ tools/CMakeFiles/eecs_loop_report.dir/eecs_loop_report.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/offline.hpp \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/core/offline.hpp \
  /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -256,8 +258,8 @@ tools/CMakeFiles/eecs_loop_report.dir/eecs_loop_report.cpp.o: \
  /root/repo/src/features/frame_feature.hpp \
  /root/repo/src/features/bow.hpp /root/repo/src/imaging/jpeg_model.hpp \
  /root/repo/src/reid/reid.hpp /root/repo/src/linalg/pca.hpp \
- /root/repo/src/net/network.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/net/fault.hpp /root/repo/src/net/network.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/queue \

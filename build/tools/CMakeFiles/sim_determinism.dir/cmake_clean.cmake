@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_determinism.dir/sim_determinism.cpp.o"
+  "CMakeFiles/sim_determinism.dir/sim_determinism.cpp.o.d"
+  "sim_determinism"
+  "sim_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -86,6 +86,9 @@ std::string ByteReader::read_string() {
 
 std::vector<float> ByteReader::read_f32_vector() {
   const std::uint32_t n = read_u32();
+  // Validate the length prefix against the remaining bytes before allocating,
+  // so a corrupt prefix throws instead of attempting a multi-GiB allocation.
+  require(static_cast<std::size_t>(n) * 4);
   std::vector<float> v(n);
   for (auto& x : v) x = read_f32();
   return v;
@@ -93,6 +96,7 @@ std::vector<float> ByteReader::read_f32_vector() {
 
 std::vector<double> ByteReader::read_f64_vector() {
   const std::uint32_t n = read_u32();
+  require(static_cast<std::size_t>(n) * 8);
   std::vector<double> v(n);
   for (auto& x : v) x = read_f64();
   return v;

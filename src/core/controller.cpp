@@ -84,14 +84,20 @@ EecsController::Estimate EecsController::estimate_config(
 }
 
 EecsController::Selection EecsController::select(const AssessmentData& assessment,
-                                                 SelectionMode mode) const {
+                                                 SelectionMode mode,
+                                                 const std::set<int>* eligible) const {
   Selection selection;
+  const auto is_eligible = [&](int camera) {
+    return eligible == nullptr || eligible->count(camera) > 0;
+  };
 
-  // Baseline configuration: every registered camera with its best affordable
-  // algorithm (cameras with no affordable algorithm stay off).
+  // Baseline configuration: every eligible registered camera with its best
+  // affordable algorithm (cameras with no affordable algorithm stay off).
   std::map<int, detect::AlgorithmId> best_config;
   for (const auto& [camera, state] : cameras_) {
-    if (!state.affordable.empty()) best_config[camera] = state.affordable.front().id;
+    if (is_eligible(camera) && !state.affordable.empty()) {
+      best_config[camera] = state.affordable.front().id;
+    }
   }
   const Estimate star = estimate_config(assessment, best_config);
   selection.stats.n_star = star.objects;
@@ -104,7 +110,7 @@ EecsController::Selection EecsController::select(const AssessmentData& assessmen
   // (S_o in §IV-B.3).
   std::vector<int> order;
   for (const auto& [camera, state] : cameras_) {
-    if (!state.affordable.empty()) order.push_back(camera);
+    if (is_eligible(camera) && !state.affordable.empty()) order.push_back(camera);
   }
   std::sort(order.begin(), order.end(), [&](int a, int b) {
     return best_entry(a)->accuracy.f_score > best_entry(b)->accuracy.f_score;
@@ -161,6 +167,7 @@ EecsController::Selection EecsController::select(const AssessmentData& assessmen
 
   std::ostringstream summary;
   for (const auto& [camera, state] : cameras_) {
+    if (!is_eligible(camera)) continue;
     CameraAssignment assignment;
     assignment.camera = camera;
     const auto it = config.find(camera);

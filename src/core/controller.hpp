@@ -7,6 +7,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 
 #include "core/offline.hpp"
@@ -76,11 +77,15 @@ class EecsController {
   [[nodiscard]] const AlgorithmProfile* entry(int camera, detect::AlgorithmId id) const;
 
   /// §IV-B.3/4 + §IV-C: full selection from assessment-phase metadata.
+  /// `eligible`, when non-null, restricts the selection to that camera subset
+  /// (the liveness tracker's surviving cameras); nullptr considers every
+  /// registered camera.
   struct Selection {
     std::vector<CameraAssignment> assignments;
     SelectionStats stats;
   };
-  [[nodiscard]] Selection select(const AssessmentData& assessment, SelectionMode mode) const;
+  [[nodiscard]] Selection select(const AssessmentData& assessment, SelectionMode mode,
+                                 const std::set<int>* eligible = nullptr) const;
 
   [[nodiscard]] const ControllerParams& params() const { return params_; }
   [[nodiscard]] const reid::ReIdentifier& reidentifier() const { return reid_; }

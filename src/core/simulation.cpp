@@ -1,7 +1,9 @@
 #include "core/simulation.hpp"
 
 #include <algorithm>
+#include <map>
 #include <set>
+#include <tuple>
 
 #include "features/color_feature.hpp"
 #include "net/messages.hpp"
@@ -72,6 +74,46 @@ std::vector<detect::Detection> to_detections(const std::vector<reid::ViewDetecti
   return out;
 }
 
+net::DetectionMetadataMsg make_metadata_msg(int camera, int frame_index,
+                                            detect::AlgorithmId algorithm,
+                                            const std::vector<reid::ViewDetection>& detections) {
+  net::DetectionMetadataMsg msg;
+  msg.camera_id = camera;
+  msg.frame_index = frame_index;
+  msg.algorithm = static_cast<std::uint8_t>(algorithm);
+  for (const auto& vd : detections) {
+    net::ObjectMetadata obj;
+    obj.x = static_cast<std::uint16_t>(std::clamp(vd.detection.box.x, 0.0, 65535.0));
+    obj.y = static_cast<std::uint16_t>(std::clamp(vd.detection.box.y, 0.0, 65535.0));
+    obj.w = static_cast<std::uint16_t>(std::clamp(vd.detection.box.w, 0.0, 65535.0));
+    obj.h = static_cast<std::uint16_t>(std::clamp(vd.detection.box.h, 0.0, 65535.0));
+    obj.probability = static_cast<float>(vd.detection.probability);
+    obj.color_feature = vd.color_feature;
+    msg.objects.push_back(std::move(obj));
+  }
+  return msg;
+}
+
+/// What the camera device itself knows. Assignments are applied only when the
+/// controller's message is actually delivered; the last-known-good one
+/// survives lost updates and crash/reboot cycles (kept in flash).
+struct CameraNode {
+  energy::Battery battery;
+  bool has_assignment = false;
+  bool active = false;
+  detect::AlgorithmId algorithm = detect::AlgorithmId::Hog;
+  double threshold = 0.0;
+  std::uint32_t applied_sequence = 0;
+};
+
+/// Controller-side bookkeeping for an unacked AlgorithmAssignment.
+struct PendingAssignment {
+  std::vector<std::uint8_t> payload;
+  std::uint32_t sequence = 0;
+  int attempts = 0;
+  double next_retry = 0.0;
+};
+
 }  // namespace
 
 reid::ColorGate fit_color_gate(int dataset, std::uint64_t seed, int calibration_frames) {
@@ -112,15 +154,18 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
   const int stride = sim.environment().ground_truth_stride * config.gt_frame_step;
   const int num_cameras = static_cast<int>(sim.cameras().size());
 
-  // Network: node 0 is the controller; nodes 1..M the cameras.
+  // Network: node 0 is the controller; nodes 1..M the cameras. The network
+  // clock is driven with the video frame index (one frame = one clock unit).
   net::Network network(config.models.radio_model, config.seed ^ 0xabcd);
-  (void)network.add_node({});
+  network.set_fault_plan(config.faults);
+  (void)network.add_node(config.downlink);
   std::vector<int> net_node(static_cast<std::size_t>(num_cameras));
-  std::vector<energy::Battery> batteries;
+  std::vector<CameraNode> cameras;
   for (int c = 0; c < num_cameras; ++c) {
-    net_node[static_cast<std::size_t>(c)] = network.add_node({});
-    batteries.emplace_back(1.0e5);
+    net_node[static_cast<std::size_t>(c)] = network.add_node(config.uplink);
+    cameras.push_back({energy::Battery(config.battery_joules)});
   }
+  const auto node_camera = [&](int node) { return node - 1; };
 
   reid::ReIdentifier reidentifier = make_reidentifier(sim);
   reidentifier.set_color_gate(fit_color_gate(config.dataset, config.seed + 17));
@@ -128,7 +173,224 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
 
   SimulationResult result;
 
+  // ---- Controller-side protocol state.
+  std::vector<double> last_heard(static_cast<std::size_t>(num_cameras), 0.0);
+  std::vector<char> presumed_alive(static_cast<std::size_t>(num_cameras), 1);
+  std::set<int> controller_active;
+  std::map<int, PendingAssignment> pending;
+  std::uint32_t next_sequence = 0;
+  AssessmentData assessment;
+  // Assessment samples in flight: (camera, frame, algorithm) -> (window slot,
+  // full-fidelity detections). The wire carries the §V-A-sized payload for
+  // loss accounting; the simulator hands the lossless sample to the
+  // controller when (and only when) that payload is actually delivered.
+  struct InFlightSample {
+    int slot = 0;
+    std::vector<reid::ViewDetection> detections;
+  };
+  std::map<std::tuple<int, int, int>, InFlightSample> in_flight;
+
+  const auto mark_heard = [&](int camera, double time) {
+    if (camera < 0 || camera >= num_cameras) return;
+    last_heard[static_cast<std::size_t>(camera)] = time;
+    if (!presumed_alive[static_cast<std::size_t>(camera)]) {
+      presumed_alive[static_cast<std::size_t>(camera)] = 1;
+      ++result.faults.cameras_recovered;
+    }
+  };
+
+  const auto alive_set = [&]() {
+    std::set<int> alive;
+    for (int c = 0; c < num_cameras; ++c) {
+      if (presumed_alive[static_cast<std::size_t>(c)]) alive.insert(c);
+    }
+    return alive;
+  };
+
+  const auto handle_controller_delivery = [&](const net::Network::Delivery& d) {
+    switch (net::peek_type(d.payload)) {
+      case net::MessageType::FeatureUpload: {
+        const auto msg = net::decode_feature_upload(d.payload);
+        if (msg.camera_id < 0 || msg.camera_id >= num_cameras || msg.feature_dim <= 0 ||
+            msg.features.empty()) {
+          return;
+        }
+        const int rows = static_cast<int>(msg.features.size()) / msg.feature_dim;
+        linalg::Matrix features(rows, msg.feature_dim);
+        for (int r = 0; r < rows; ++r) {
+          for (int col = 0; col < msg.feature_dim; ++col) {
+            features(r, col) =
+                msg.features[static_cast<std::size_t>(r * msg.feature_dim + col)];
+          }
+        }
+        controller.register_camera(msg.camera_id, features, msg.energy_budget);
+        mark_heard(msg.camera_id, d.time);
+        return;
+      }
+      case net::MessageType::DetectionMetadata: {
+        const auto msg = net::decode_detection_metadata(d.payload);
+        if (msg.camera_id < 0 || msg.camera_id >= num_cameras) return;
+        mark_heard(msg.camera_id, d.time);
+        const auto it = in_flight.find(
+            {msg.camera_id, msg.frame_index, static_cast<int>(msg.algorithm)});
+        if (it != in_flight.end()) {
+          auto& sample =
+              assessment[msg.camera_id][static_cast<detect::AlgorithmId>(msg.algorithm)];
+          sample.frames.resize(static_cast<std::size_t>(config.assessment_gt_frames));
+          sample.frames[static_cast<std::size_t>(it->second.slot)] =
+              std::move(it->second.detections);
+          in_flight.erase(it);
+        }
+        return;
+      }
+      case net::MessageType::EnergyReport: {
+        const auto msg = net::decode_energy_report(d.payload);
+        mark_heard(msg.camera_id, d.time);
+        return;
+      }
+      case net::MessageType::AssignmentAck: {
+        const auto msg = net::decode_assignment_ack(d.payload);
+        mark_heard(msg.camera_id, d.time);
+        const auto it = pending.find(msg.camera_id);
+        if (it != pending.end() && it->second.sequence == msg.sequence) pending.erase(it);
+        return;
+      }
+      default:
+        return;  // An assignment addressed to the controller is a stray.
+    }
+  };
+
+  const auto handle_camera_delivery = [&](int camera, const net::Network::Delivery& d) {
+    if (camera < 0 || camera >= num_cameras) return;
+    CameraNode& cam = cameras[static_cast<std::size_t>(camera)];
+    if (cam.battery.empty()) return;  // Powered off: cannot receive.
+    if (net::peek_type(d.payload) != net::MessageType::AlgorithmAssignment) return;
+    const auto msg = net::decode_algorithm_assignment(d.payload);
+    if (msg.sequence > cam.applied_sequence || !cam.has_assignment) {
+      cam.has_assignment = true;
+      cam.applied_sequence = msg.sequence;
+      cam.active = msg.active != 0;
+      cam.algorithm = static_cast<detect::AlgorithmId>(msg.algorithm);
+      cam.threshold = msg.threshold;
+    }
+    // Always ack — also for stale duplicates, so retransmissions stop. The
+    // ack rides the link layer (no application radio energy).
+    net::AssignmentAckMsg ack;
+    ack.camera_id = camera;
+    ack.sequence = msg.sequence;
+    ++result.faults.messages_sent;
+    const auto tx = network.send(net_node[static_cast<std::size_t>(camera)], 0, encode(ack),
+                                 net::TxClass::Control);
+    if (!tx.delivered) ++result.faults.messages_lost;
+  };
+
+  // Drain the network up to `until` and route deliveries. Malformed payloads
+  // are rejected by the decoders (DecodeError) without killing the loop.
+  const auto pump_network = [&](double until) {
+    for (const auto& d : network.advance_to(until)) {
+      try {
+        if (d.to_node == 0) {
+          handle_controller_delivery(d);
+        } else {
+          handle_camera_delivery(node_camera(d.to_node), d);
+        }
+      } catch (const ByteReader::DecodeError&) {
+        ++result.faults.decode_errors;
+      }
+    }
+  };
+
+  const auto send_heartbeat = [&](int c) {
+    net::EnergyReportMsg msg;
+    msg.camera_id = c;
+    msg.residual_joules = cameras[static_cast<std::size_t>(c)].battery.residual();
+    ++result.faults.messages_sent;
+    const auto tx = network.send(net_node[static_cast<std::size_t>(c)], 0, encode(msg),
+                                 net::TxClass::Control);
+    if (!tx.delivered) ++result.faults.messages_lost;
+  };
+
+  const auto push_assignments = [&](const std::vector<CameraAssignment>& assignments) {
+    for (const auto& a : assignments) {
+      net::AlgorithmAssignmentMsg msg;
+      msg.camera_id = a.camera;
+      msg.sequence = ++next_sequence;
+      msg.algorithm = static_cast<std::uint8_t>(a.algorithm);
+      msg.threshold = a.threshold;
+      msg.active = a.active ? 1 : 0;
+      std::vector<std::uint8_t> payload = encode(msg);
+      ++result.faults.messages_sent;
+      const auto tx = network.send(0, net_node[static_cast<std::size_t>(a.camera)], payload);
+      if (!tx.delivered) ++result.faults.messages_lost;
+      pending[a.camera] =
+          {std::move(payload), msg.sequence, 1, network.now() + 2.5 * stride};
+    }
+  };
+
+  const auto apply_selection = [&](const EecsController::Selection& selection) {
+    controller_active.clear();
+    for (const auto& a : selection.assignments) {
+      if (a.active) controller_active.insert(a.camera);
+    }
+    push_assignments(selection.assignments);
+  };
+
+  const auto retry_assignments = [&]() {
+    for (auto it = pending.begin(); it != pending.end();) {
+      PendingAssignment& p = it->second;
+      if (network.now() < p.next_retry) {
+        ++it;
+        continue;
+      }
+      if (p.attempts > config.protocol.max_assignment_retries) {
+        // Retry budget exhausted: the camera keeps its last-known-good
+        // assignment until the next recalibration round reaches it.
+        ++result.faults.assignments_abandoned;
+        it = pending.erase(it);
+        continue;
+      }
+      ++result.faults.assignments_retried;
+      ++result.faults.messages_sent;
+      const auto tx = network.send(0, net_node[static_cast<std::size_t>(it->first)], p.payload);
+      if (!tx.delivered) ++result.faults.messages_lost;
+      ++p.attempts;
+      p.next_retry = network.now() + (2.5 + p.attempts) * stride;  // Linear backoff.
+      ++it;
+    }
+  };
+
+  const auto check_liveness = [&]() {
+    const double timeout = config.protocol.liveness_timeout_gt_frames * stride;
+    bool lost_active_camera = false;
+    for (int c = 0; c < num_cameras; ++c) {
+      if (!presumed_alive[static_cast<std::size_t>(c)]) continue;
+      if (network.now() - last_heard[static_cast<std::size_t>(c)] <= timeout) continue;
+      presumed_alive[static_cast<std::size_t>(c)] = 0;
+      ++result.faults.cameras_failed;
+      pending.erase(c);  // Stop retrying into the void.
+      if (controller_active.count(c) > 0) lost_active_camera = true;
+    }
+    if (lost_active_camera) {
+      // Mid-round recovery: re-select over the surviving cameras with this
+      // round's assessment data and push fresh assignments.
+      const std::set<int> alive = alive_set();
+      const EecsController::Selection selection =
+          controller.select(assessment, config.mode, &alive);
+      result.rounds.push_back({sim.frame_index(), selection.stats, true});
+      ++result.faults.midround_reselections;
+      apply_selection(selection);
+    }
+  };
+
+  const auto camera_down = [&](int c) {
+    return cameras[static_cast<std::size_t>(c)].battery.empty() ||
+           network.node_down(net_node[static_cast<std::size_t>(c)]);
+  };
+
   // §IV-B.1: feature upload + registration. Uses early test-segment frames.
+  // The upload is retried immediately on loss (the camera sees the missing
+  // link-layer ack); a camera whose upload never arrives stays unregistered
+  // and is simply never selected.
   sim.skip(config.start_frame);
   {
     std::vector<std::vector<imaging::Image>> reg_frames(static_cast<std::size_t>(num_cameras));
@@ -142,24 +404,33 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
     for (int c = 0; c < num_cameras; ++c) {
       energy::CostCounter cost;
       const auto& frames = reg_frames[static_cast<std::size_t>(c)];
-      linalg::Matrix features(static_cast<int>(frames.size()), knowledge.extractor().dimension());
       net::FeatureUploadMsg msg;
       msg.camera_id = c;
       msg.feature_dim = knowledge.extractor().dimension();
       msg.energy_budget = config.budget_per_frame;
       for (std::size_t i = 0; i < frames.size(); ++i) {
         const auto f = knowledge.extractor().extract(frames[i], &cost);
-        for (int d = 0; d < features.cols(); ++d) {
-          features(static_cast<int>(i), d) = f[static_cast<std::size_t>(d)];
+        for (int d = 0; d < msg.feature_dim; ++d) {
           msg.features.push_back(f[static_cast<std::size_t>(d)]);
         }
       }
-      const auto tx = network.send(net_node[static_cast<std::size_t>(c)], 0, encode(msg));
+      const std::vector<std::uint8_t> payload = encode(msg);
+      double tx_joules = 0.0;
+      net::TxResult tx;
+      int attempts = 0;
+      do {
+        ++attempts;
+        ++result.faults.messages_sent;
+        tx = network.send(net_node[static_cast<std::size_t>(c)], 0, payload);
+        tx_joules += tx.tx_joules;
+        if (!tx.delivered) ++result.faults.messages_lost;
+      } while (!tx.delivered && attempts <= config.protocol.registration_retries &&
+               !network.node_down(net_node[static_cast<std::size_t>(c)]));
+      if (!tx.delivered) ++result.faults.registrations_lost;
       result.cpu_joules += config.models.cpu_model.joules(cost);
-      result.radio_joules += tx.tx_joules;
-      batteries[static_cast<std::size_t>(c)].drain(config.models.cpu_model.joules(cost) +
-                                                   tx.tx_joules);
-      controller.register_camera(c, features, config.budget_per_frame);
+      result.radio_joules += tx_joules;
+      cameras[static_cast<std::size_t>(c)].battery.drain(config.models.cpu_model.joules(cost) +
+                                                         tx_joules);
     }
   }
 
@@ -167,41 +438,58 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
   while (sim.frame_index() + stride * config.assessment_gt_frames < config.end_frame) {
     // --- Assessment window: every camera runs every affordable algorithm on
     // the next GT frames. (Bookkeeping cost only; the paper's Fig. 5 energy
-    // covers the operation phase — see EXPERIMENTS.md.)
-    AssessmentData assessment;
+    // covers the operation phase — see EXPERIMENTS.md.) Each sample travels
+    // as a control message: a lost one leaves a hole and the controller
+    // estimates from the partial assessment data it actually received.
+    assessment.clear();
+    in_flight.clear();
     for (int f = 0; f < config.assessment_gt_frames; ++f) {
+      pump_network(sim.frame_index() + 0.5);
       const video::MultiViewFrame frame = sim.next_frame();
       for (int c = 0; c < num_cameras; ++c) {
+        if (camera_down(c)) continue;
+        send_heartbeat(c);
         for (detect::AlgorithmId alg : config.controller.algorithms) {
           const AlgorithmProfile* profile = controller.entry(c, alg);
           if (profile == nullptr) continue;  // Over budget or not ranked.
-          const FrameOutcome outcome =
+          FrameOutcome outcome =
               process_camera_frame(detector_for(detectors, alg), profile->threshold, c,
                                    frame.views[static_cast<std::size_t>(c)], config.models);
-          assessment[c][alg].frames.resize(static_cast<std::size_t>(config.assessment_gt_frames));
-          assessment[c][alg].frames[static_cast<std::size_t>(f)] = outcome.detections;
+          const net::DetectionMetadataMsg msg =
+              make_metadata_msg(c, frame.index, alg, outcome.detections);
+          ++result.faults.messages_sent;
+          const auto tx = network.send(net_node[static_cast<std::size_t>(c)], 0, encode(msg),
+                                       net::TxClass::Control);
+          if (tx.delivered) {
+            in_flight[{c, frame.index, static_cast<int>(alg)}] = {f,
+                                                                  std::move(outcome.detections)};
+          } else {
+            ++result.faults.messages_lost;
+          }
         }
       }
       sim.skip(stride - 1);
       if (sim.frame_index() >= config.end_frame) break;
     }
+    // Collect the window's remaining uploads before selecting (everything
+    // sent by frame t is delivered well before t + stride).
+    pump_network(sim.frame_index());
 
-    const EecsController::Selection selection = controller.select(assessment, config.mode);
-    result.rounds.push_back({sim.frame_index(), selection.stats});
+    const std::set<int> alive = alive_set();
+    const EecsController::Selection selection =
+        controller.select(assessment, config.mode, &alive);
+    result.rounds.push_back({sim.frame_index(), selection.stats, false});
 
-    // Push assignments to the cameras over the network.
-    for (const auto& a : selection.assignments) {
-      net::AlgorithmAssignmentMsg msg;
-      msg.camera_id = a.camera;
-      msg.algorithm = static_cast<std::uint8_t>(a.algorithm);
-      msg.threshold = static_cast<float>(a.threshold);
-      msg.active = a.active ? 1 : 0;
-      (void)network.send(0, net_node[static_cast<std::size_t>(a.camera)], encode(msg));
-    }
+    // Push assignments to the cameras over the network (sequence-numbered;
+    // acked on delivery, retried with backoff while unacked).
+    apply_selection(selection);
 
     // --- Operation window.
     for (int f = 0; f < config.operation_gt_frames; ++f) {
       if (sim.frame_index() >= config.end_frame) break;
+      pump_network(sim.frame_index() + 0.5);
+      retry_assignments();
+      check_liveness();
       const video::MultiViewFrame frame = sim.next_frame();
       ++result.gt_frames_processed;
 
@@ -212,39 +500,41 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       result.humans_present += static_cast<int>(present.size());
 
       std::set<int> detected;
-      for (const auto& a : selection.assignments) {
-        if (!a.active) continue;
-        const FrameOutcome outcome = process_camera_frame(
-            detector_for(detectors, a.algorithm), a.threshold, a.camera,
-            frame.views[static_cast<std::size_t>(a.camera)], config.models);
-
-        net::DetectionMetadataMsg msg;
-        msg.camera_id = a.camera;
-        msg.frame_index = frame.index;
-        msg.algorithm = static_cast<std::uint8_t>(a.algorithm);
-        for (const auto& vd : outcome.detections) {
-          net::ObjectMetadata obj;
-          obj.x = static_cast<std::uint16_t>(std::clamp(vd.detection.box.x, 0.0, 65535.0));
-          obj.y = static_cast<std::uint16_t>(std::clamp(vd.detection.box.y, 0.0, 65535.0));
-          obj.w = static_cast<std::uint16_t>(std::clamp(vd.detection.box.w, 0.0, 65535.0));
-          obj.h = static_cast<std::uint16_t>(std::clamp(vd.detection.box.h, 0.0, 65535.0));
-          obj.probability = static_cast<float>(vd.detection.probability);
-          obj.color_feature = vd.color_feature;
-          msg.objects.push_back(std::move(obj));
+      for (int c = 0; c < num_cameras; ++c) {
+        CameraNode& cam = cameras[static_cast<std::size_t>(c)];
+        if (cam.battery.empty()) {
+          // Exhausted: the node is dark — no detection, no transmission.
+          if (cam.has_assignment && cam.active) ++result.faults.frames_skipped_exhausted;
+          continue;
         }
-        const auto tx = network.send(net_node[static_cast<std::size_t>(a.camera)], 0, encode(msg));
+        if (network.node_down(net_node[static_cast<std::size_t>(c)])) continue;
+        send_heartbeat(c);
+        if (!cam.has_assignment || !cam.active) continue;
+
+        const FrameOutcome outcome = process_camera_frame(
+            detector_for(detectors, cam.algorithm), cam.threshold, c,
+            frame.views[static_cast<std::size_t>(c)], config.models);
+
+        const net::DetectionMetadataMsg msg =
+            make_metadata_msg(c, frame.index, cam.algorithm, outcome.detections);
+        ++result.faults.messages_sent;
+        const auto tx = network.send(net_node[static_cast<std::size_t>(c)], 0, encode(msg));
         // JPEG crops of the detected objects ride along (charged per byte).
         const double crop_joules =
             config.models.radio_model.joules_per_byte * static_cast<double>(outcome.comm_bytes);
 
         result.cpu_joules += outcome.cpu_joules;
         result.radio_joules += tx.tx_joules + crop_joules;
-        batteries[static_cast<std::size_t>(a.camera)].drain(outcome.cpu_joules + tx.tx_joules +
-                                                            crop_joules);
+        cam.battery.drain(outcome.cpu_joules + tx.tx_joules + crop_joules);
 
-        const MatchResult match = match_detections(
-            to_detections(outcome.detections), frame.truth[static_cast<std::size_t>(a.camera)]);
-        for (int id : match.matched_person_ids) detected.insert(id);
+        if (tx.delivered) {
+          const MatchResult match = match_detections(
+              to_detections(outcome.detections), frame.truth[static_cast<std::size_t>(c)]);
+          for (int id : match.matched_person_ids) detected.insert(id);
+        } else {
+          // The controller never sees these detections: they don't count.
+          ++result.faults.messages_lost;
+        }
       }
       // Only persons actually present count (a matched ignore-region person
       // cannot occur since matching skips them).
@@ -253,8 +543,11 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       }
       sim.skip(stride - 1);
     }
-    (void)network.advance_to(network.now() + 1.0);
   }
+
+  result.faults.messages_lost += static_cast<long>(network.rx_dropped());
+  result.battery_residual.reserve(static_cast<std::size_t>(num_cameras));
+  for (const auto& cam : cameras) result.battery_residual.push_back(cam.battery.residual());
   return result;
 }
 
@@ -264,6 +557,10 @@ SimulationResult run_fixed_combo(const DetectorBank& detectors, const OfflineKno
   video::SceneSimulator sim(video::dataset_by_id(config.dataset), config.seed);
   const int stride = sim.environment().ground_truth_stride * config.gt_frame_step;
   const int num_cameras = static_cast<int>(sim.cameras().size());
+
+  std::vector<energy::Battery> batteries;
+  batteries.reserve(static_cast<std::size_t>(num_cameras));
+  for (int c = 0; c < num_cameras; ++c) batteries.emplace_back(config.battery_joules);
 
   SimulationResult result;
   sim.skip(config.start_frame);
@@ -280,6 +577,12 @@ SimulationResult run_fixed_combo(const DetectorBank& detectors, const OfflineKno
     std::set<int> detected;
     for (const auto& [camera, algorithm] : combo.active) {
       EECS_EXPECTS(camera >= 0 && camera < num_cameras);
+      energy::Battery& battery = batteries[static_cast<std::size_t>(camera)];
+      if (battery.empty()) {
+        // Exhausted camera: contributes no detections and no radio energy.
+        ++result.faults.frames_skipped_exhausted;
+        continue;
+      }
       const TrainingItemProfile* item = find_profile(knowledge, config.dataset, camera);
       EECS_EXPECTS(item != nullptr);
       const AlgorithmProfile* profile = item->find(algorithm);
@@ -288,9 +591,10 @@ SimulationResult run_fixed_combo(const DetectorBank& detectors, const OfflineKno
       const FrameOutcome outcome =
           process_camera_frame(detector_for(detectors, algorithm), profile->threshold, camera,
                                frame.views[static_cast<std::size_t>(camera)], config.models);
+      const double radio_joules = config.models.radio_model.tx_joules(outcome.comm_bytes);
       result.cpu_joules += outcome.cpu_joules;
-      result.radio_joules +=
-          config.models.radio_model.tx_joules(outcome.comm_bytes);
+      result.radio_joules += radio_joules;
+      battery.drain(outcome.cpu_joules + radio_joules);
 
       const MatchResult match = match_detections(to_detections(outcome.detections),
                                                  frame.truth[static_cast<std::size_t>(camera)]);
@@ -301,6 +605,8 @@ SimulationResult run_fixed_combo(const DetectorBank& detectors, const OfflineKno
     }
     sim.skip(stride - 1);
   }
+  result.battery_residual.reserve(static_cast<std::size_t>(num_cameras));
+  for (const auto& b : batteries) result.battery_residual.push_back(b.residual());
   return result;
 }
 

@@ -3,12 +3,32 @@
 // render frames from the scene simulator, detect with their assigned
 // algorithm, upload metadata over the simulated network, and the controller
 // periodically re-selects cameras and algorithms from assessment metadata.
+//
+// The loop is message-driven and failure-aware: the controller consumes only
+// what the network actually delivers, assignments are sequence-numbered with
+// ack + bounded retry, silent cameras are declared dead by a liveness tracker
+// (triggering mid-round re-selection over the survivors), and an exhausted
+// battery stops a camera from detecting and transmitting. With a zero-loss
+// link and an empty FaultPlan the results are bit-identical to the original
+// fire-and-forget loop.
 #pragma once
 
 #include "core/controller.hpp"
+#include "net/fault.hpp"
 #include "net/network.hpp"
 
 namespace eecs::core {
+
+/// Reliable-delivery and liveness knobs of the controller<->camera protocol.
+struct ProtocolOptions {
+  /// Resends of an unacked AlgorithmAssignment after the initial attempt.
+  int max_assignment_retries = 3;
+  /// Immediate resends of a lost §IV-B.1 feature upload (the camera sees the
+  /// missing link-layer ack right away during registration).
+  int registration_retries = 3;
+  /// Ground-truth frames of silence before a camera is presumed dead.
+  double liveness_timeout_gt_frames = 2.5;
+};
 
 struct EecsSimulationConfig {
   int dataset = 1;
@@ -30,11 +50,40 @@ struct EecsSimulationConfig {
   /// Number of frames whose features form the §IV-B.1 upload.
   int upload_feature_frames = 12;
   OfflineOptions models;  ///< Energy/radio/JPEG models shared with offline.
+
+  /// Battery capacity per camera node.
+  double battery_joules = 1.0e5;
+  /// Camera -> controller link quality (applied to every camera uplink).
+  net::LinkQuality uplink;
+  /// Controller -> camera link quality.
+  net::LinkQuality downlink;
+  /// Fault-injection schedule. Times are video frame indices; camera c is
+  /// network node c + 1 (node 0 is the controller).
+  net::FaultPlan faults;
+  ProtocolOptions protocol;
 };
 
 struct RoundLog {
   int start_frame = 0;
   SelectionStats stats;
+  /// True when this entry is a mid-round re-selection around a dead camera
+  /// rather than a scheduled recalibration.
+  bool midround_recovery = false;
+};
+
+/// Robustness counters surfaced by the runners.
+struct FaultCounters {
+  long messages_sent = 0;      ///< Protocol messages offered to the network.
+  long messages_lost = 0;      ///< ... that the network failed to deliver.
+  long assignments_retried = 0;
+  long assignments_abandoned = 0;  ///< Retry budget exhausted; the camera
+                                   ///< keeps its last-known-good assignment.
+  long registrations_lost = 0;     ///< Feature uploads never delivered.
+  long decode_errors = 0;          ///< Malformed payloads rejected on receipt.
+  int cameras_failed = 0;          ///< Declared dead by the liveness tracker.
+  int cameras_recovered = 0;       ///< Heard from again after being presumed dead.
+  int midround_reselections = 0;
+  long frames_skipped_exhausted = 0;  ///< Camera-frames skipped on empty battery.
 };
 
 struct SimulationResult {
@@ -44,6 +93,8 @@ struct SimulationResult {
   int humans_present = 0;   ///< Countable (frame, person) pairs in the scene.
   int gt_frames_processed = 0;
   std::vector<RoundLog> rounds;
+  FaultCounters faults;
+  std::vector<double> battery_residual;  ///< Per camera, at simulation end.
 
   [[nodiscard]] double total_joules() const { return cpu_joules + radio_joules; }
   [[nodiscard]] double detection_rate() const {
@@ -78,6 +129,9 @@ struct FixedComboConfig {
   int end_frame = 2950;
   int gt_frame_step = 1;
   OfflineOptions models;
+  /// Battery capacity per camera node; an exhausted camera contributes no
+  /// detections and no radio energy. The default never empties in practice.
+  double battery_joules = 1.0e9;
 };
 
 /// Run a fixed combination over the test segment; thresholds come from the

@@ -1,0 +1,32 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+
+namespace eecs::net {
+
+bool FaultPlan::node_down(int node, double time) const {
+  return std::any_of(crashes.begin(), crashes.end(), [&](const CrashWindow& w) {
+    return w.node == node && time >= w.start && time < w.end;
+  });
+}
+
+double FaultPlan::loss_probability(int from_node, int to_node, double time,
+                                   double base_loss) const {
+  double survive = 1.0;
+  if (from_node != 0 && to_node == 0) {
+    survive *= 1.0 - uplink_loss;
+  } else if (from_node == 0) {
+    survive *= 1.0 - downlink_loss;
+  }
+  for (const auto& w : loss_windows) {
+    if ((w.node == -1 || w.node == from_node) && time >= w.start && time < w.end) {
+      survive *= 1.0 - w.loss_probability;
+    }
+  }
+  // No fault applies: hand back the base loss bit-exactly so fault-free runs
+  // draw the same Bernoulli stream as before the fault layer existed.
+  if (survive == 1.0) return base_loss;
+  return std::clamp(1.0 - survive * (1.0 - base_loss), 0.0, 1.0);
+}
+
+}  // namespace eecs::net

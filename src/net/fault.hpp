@@ -1,0 +1,63 @@
+// Deterministic fault-injection schedules for the simulated network (§I's
+// disaster-recovery settings: cameras die, links drop packets). A FaultPlan
+// describes extra per-direction loss, timed loss windows (blackouts), and
+// node crash/reboot windows. Times are in network-clock units; the closed
+// loop drives the clock with the video frame index, so a window of
+// [1500, 1700) covers video frames 1500..1699. All faults are schedules, not
+// random processes, so a faulted run is reproducible from (plan, seed).
+#pragma once
+
+#include <vector>
+
+namespace eecs::net {
+
+/// Extra loss on a link during [start, end). `node == -1` matches every
+/// sender; otherwise only messages sent *from* that node are affected.
+/// `loss_probability = 1` is a blackout.
+struct LossWindow {
+  double start = 0.0;
+  double end = 0.0;
+  double loss_probability = 1.0;
+  int node = -1;
+};
+
+/// A node is down — neither transmits nor receives — during [start, end).
+/// Reboot is modelled by the window ending; node state (e.g. a camera's
+/// last-known-good assignment, kept in flash) survives the crash.
+struct CrashWindow {
+  int node = 0;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct FaultPlan {
+  /// Extra loss applied to every camera -> controller send (node 0 is the
+  /// controller by convention) on top of the link's own loss_probability.
+  double uplink_loss = 0.0;
+  /// Extra loss applied to every controller -> camera send.
+  double downlink_loss = 0.0;
+  std::vector<LossWindow> loss_windows;
+  std::vector<CrashWindow> crashes;
+
+  [[nodiscard]] bool empty() const {
+    return uplink_loss == 0.0 && downlink_loss == 0.0 && loss_windows.empty() && crashes.empty();
+  }
+
+  /// True when `node` is inside one of its crash windows at `time`.
+  [[nodiscard]] bool node_down(int node, double time) const;
+
+  /// Effective loss probability of a send at `time`, combining the link's
+  /// base loss with the plan's direction loss and any matching windows as
+  /// independent loss sources. Returns `base_loss` unchanged (bit-exactly)
+  /// when no fault applies.
+  [[nodiscard]] double loss_probability(int from_node, int to_node, double time,
+                                        double base_loss) const;
+
+  /// Convenience: schedule a total blackout of every link during [start, end).
+  void add_blackout(double start, double end) { loss_windows.push_back({start, end, 1.0, -1}); }
+
+  /// Convenience: crash `node` at `start`, rebooting at `end`.
+  void add_crash(int node, double start, double end) { crashes.push_back({node, start, end}); }
+};
+
+}  // namespace eecs::net

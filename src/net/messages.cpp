@@ -46,8 +46,9 @@ std::vector<std::uint8_t> encode(const AlgorithmAssignmentMsg& msg) {
   ByteWriter w;
   w.write_u8(static_cast<std::uint8_t>(MessageType::AlgorithmAssignment));
   w.write_i32(msg.camera_id);
+  w.write_u32(msg.sequence);
   w.write_u8(msg.algorithm);
-  w.write_f32(msg.threshold);
+  w.write_f64(msg.threshold);
   w.write_u8(msg.active);
   return w.take();
 }
@@ -60,9 +61,22 @@ std::vector<std::uint8_t> encode(const EnergyReportMsg& msg) {
   return w.take();
 }
 
+std::vector<std::uint8_t> encode(const AssignmentAckMsg& msg) {
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(MessageType::AssignmentAck));
+  w.write_i32(msg.camera_id);
+  w.write_u32(msg.sequence);
+  return w.take();
+}
+
 MessageType peek_type(std::span<const std::uint8_t> bytes) {
   ByteReader reader(bytes);
-  return static_cast<MessageType>(reader.read_u8());
+  const std::uint8_t tag = reader.read_u8();
+  if (tag < static_cast<std::uint8_t>(MessageType::FeatureUpload) ||
+      tag > static_cast<std::uint8_t>(MessageType::AssignmentAck)) {
+    throw ByteReader::DecodeError("unknown message type");
+  }
+  return static_cast<MessageType>(tag);
 }
 
 FeatureUploadMsg decode_feature_upload(std::span<const std::uint8_t> bytes) {
@@ -74,6 +88,7 @@ FeatureUploadMsg decode_feature_upload(std::span<const std::uint8_t> bytes) {
   msg.feature_dim = r.read_i32();
   msg.energy_budget = r.read_f64();
   msg.features = r.read_f32_vector();
+  if (msg.feature_dim < 0) throw ByteReader::DecodeError("negative feature_dim");
   if (msg.feature_dim > 0 && msg.features.size() % static_cast<std::size_t>(msg.feature_dim) != 0) {
     throw ByteReader::DecodeError("feature payload not a multiple of feature_dim");
   }
@@ -88,6 +103,11 @@ DetectionMetadataMsg decode_detection_metadata(std::span<const std::uint8_t> byt
   msg.frame_index = r.read_i32();
   msg.algorithm = r.read_u8();
   const std::uint32_t count = r.read_u32();
+  // Each object is exactly 172 wire bytes; a count that cannot fit in the
+  // remaining payload is a corrupt length prefix, not a huge allocation.
+  if (static_cast<std::size_t>(count) * 172 > r.remaining()) {
+    throw ByteReader::DecodeError("object count exceeds payload");
+  }
   msg.objects.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     ObjectMetadata obj;
@@ -108,8 +128,9 @@ AlgorithmAssignmentMsg decode_algorithm_assignment(std::span<const std::uint8_t>
   check_type(r, MessageType::AlgorithmAssignment);
   AlgorithmAssignmentMsg msg;
   msg.camera_id = r.read_i32();
+  msg.sequence = r.read_u32();
   msg.algorithm = r.read_u8();
-  msg.threshold = r.read_f32();
+  msg.threshold = r.read_f64();
   msg.active = r.read_u8();
   return msg;
 }
@@ -120,6 +141,15 @@ EnergyReportMsg decode_energy_report(std::span<const std::uint8_t> bytes) {
   EnergyReportMsg msg;
   msg.camera_id = r.read_i32();
   msg.residual_joules = r.read_f64();
+  return msg;
+}
+
+AssignmentAckMsg decode_assignment_ack(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  check_type(r, MessageType::AssignmentAck);
+  AssignmentAckMsg msg;
+  msg.camera_id = r.read_i32();
+  msg.sequence = r.read_u32();
   return msg;
 }
 

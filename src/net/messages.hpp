@@ -16,6 +16,7 @@ enum class MessageType : std::uint8_t {
   DetectionMetadata = 2,
   AlgorithmAssignment = 3,
   EnergyReport = 4,
+  AssignmentAck = 5,
 };
 
 /// Camera -> controller: frame features for video comparison (§IV-B.1).
@@ -43,30 +44,46 @@ struct DetectionMetadataMsg {
 };
 
 /// Controller -> camera: the algorithm (and operating threshold) to use.
+/// Sequence-numbered so retransmissions and stale duplicates are idempotent;
+/// the camera acks the sequence and applies only monotonically newer ones.
 struct AlgorithmAssignmentMsg {
   std::int32_t camera_id = 0;
+  std::uint32_t sequence = 0;  ///< Monotonic per controller; acked by the camera.
   std::uint8_t algorithm = 0;
-  float threshold = 0.0f;
+  double threshold = 0.0;
   std::uint8_t active = 1;  ///< 0: camera not in the chosen subset.
 };
 
-/// Camera -> controller: residual battery energy.
+/// Camera -> controller: residual battery energy. Doubles as the liveness
+/// heartbeat — a camera silent past the liveness timeout is presumed dead.
 struct EnergyReportMsg {
   std::int32_t camera_id = 0;
   double residual_joules = 0.0;
+};
+
+/// Camera -> controller: confirms receipt of an AlgorithmAssignmentMsg.
+struct AssignmentAckMsg {
+  std::int32_t camera_id = 0;
+  std::uint32_t sequence = 0;
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode(const FeatureUploadMsg& msg);
 [[nodiscard]] std::vector<std::uint8_t> encode(const DetectionMetadataMsg& msg);
 [[nodiscard]] std::vector<std::uint8_t> encode(const AlgorithmAssignmentMsg& msg);
 [[nodiscard]] std::vector<std::uint8_t> encode(const EnergyReportMsg& msg);
+[[nodiscard]] std::vector<std::uint8_t> encode(const AssignmentAckMsg& msg);
 
-/// Type tag of an encoded message; throws ByteReader::DecodeError when empty.
+/// Type tag of an encoded message; throws ByteReader::DecodeError when empty
+/// or when the tag is not a known MessageType.
 [[nodiscard]] MessageType peek_type(std::span<const std::uint8_t> bytes);
 
+// Decoders are hardened against truncated/corrupt payloads: every one throws
+// ByteReader::DecodeError (never reads out of bounds or allocates from an
+// unvalidated length prefix) on malformed bytes.
 [[nodiscard]] FeatureUploadMsg decode_feature_upload(std::span<const std::uint8_t> bytes);
 [[nodiscard]] DetectionMetadataMsg decode_detection_metadata(std::span<const std::uint8_t> bytes);
 [[nodiscard]] AlgorithmAssignmentMsg decode_algorithm_assignment(std::span<const std::uint8_t> bytes);
 [[nodiscard]] EnergyReportMsg decode_energy_report(std::span<const std::uint8_t> bytes);
+[[nodiscard]] AssignmentAckMsg decode_assignment_ack(std::span<const std::uint8_t> bytes);
 
 }  // namespace eecs::net

@@ -13,18 +13,29 @@ int Network::add_node(const LinkQuality& link) {
   return static_cast<int>(links_.size()) - 1;
 }
 
-TxResult Network::send(int from_node, int to_node, std::vector<std::uint8_t> payload) {
+TxResult Network::send(int from_node, int to_node, std::vector<std::uint8_t> payload,
+                       TxClass tx_class) {
   EECS_EXPECTS(from_node >= 0 && from_node < node_count());
   EECS_EXPECTS(to_node >= 0 && to_node < node_count());
   const LinkQuality& link = links_[static_cast<std::size_t>(from_node)];
 
   TxResult result;
-  result.tx_seconds = static_cast<double>(payload.size()) / link.bandwidth_bytes_per_s;
-  result.tx_joules = radio_.tx_joules(payload.size());
-  node_radio_joules_[static_cast<std::size_t>(from_node)] += result.tx_joules;
-  node_bytes_[static_cast<std::size_t>(from_node)] += payload.size();
+  if (faults_.node_down(from_node, now_)) {
+    // The radio is off: nothing leaves the node and nothing is charged.
+    result.delivered = false;
+    return result;
+  }
 
-  result.delivered = !rng_.bernoulli(link.loss_probability);
+  result.tx_seconds = static_cast<double>(payload.size()) / link.bandwidth_bytes_per_s;
+  if (tx_class == TxClass::Data) {
+    result.tx_joules = radio_.tx_joules(payload.size());
+    node_radio_joules_[static_cast<std::size_t>(from_node)] += result.tx_joules;
+    node_bytes_[static_cast<std::size_t>(from_node)] += payload.size();
+  }
+
+  const double loss =
+      faults_.loss_probability(from_node, to_node, now_, link.loss_probability);
+  result.delivered = !rng_.bernoulli(loss);
   if (result.delivered) {
     queue_.push({now_ + result.tx_seconds + link.latency_s, sequence_++, from_node, to_node,
                  std::move(payload)});
@@ -40,6 +51,10 @@ std::vector<Network::Delivery> Network::advance_to(double until_time) {
     // and payloads here are small.
     PendingDelivery pending = queue_.top();
     queue_.pop();
+    if (faults_.node_down(pending.to_node, pending.time)) {
+      ++rx_dropped_;
+      continue;
+    }
     out.push_back({pending.time, pending.from_node, pending.to_node, std::move(pending.payload)});
   }
   now_ = until_time;

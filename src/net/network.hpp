@@ -1,7 +1,8 @@
 // Message-level wireless network simulator: per-link bandwidth/latency/loss,
 // radio energy accounting, and an event queue delivering messages in time
 // order. Camera uplinks charge the sender's radio energy; the controller is
-// mains-powered (§IV).
+// mains-powered (§IV). An optional FaultPlan injects deterministic link
+// degradation and node crashes on top of the base link quality.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "energy/model.hpp"
+#include "net/fault.hpp"
 
 namespace eecs::net {
 
@@ -18,6 +20,14 @@ struct LinkQuality {
   double bandwidth_bytes_per_s = 2.5e6;
   double latency_s = 0.004;
   double loss_probability = 0.0;
+};
+
+/// Traffic class of a transmission.
+enum class TxClass : std::uint8_t {
+  Data,     ///< Application payload: charged radio energy and byte counters.
+  Control,  ///< Piggybacked link-layer frame (acks, heartbeats, bookkeeping):
+            ///< subject to loss and latency, but charged no application
+            ///< radio energy.
 };
 
 /// Outcome of one transmission attempt.
@@ -36,13 +46,23 @@ class Network {
   /// uplink toward the controller (node 0 by convention).
   int add_node(const LinkQuality& link);
 
+  /// Install a fault-injection schedule. An empty plan (the default) leaves
+  /// behaviour bit-identical to a network without the fault layer.
+  void set_fault_plan(FaultPlan plan) { faults_ = std::move(plan); }
+  [[nodiscard]] const FaultPlan& fault_plan() const { return faults_; }
+
+  /// True when `node` is crashed at the current clock.
+  [[nodiscard]] bool node_down(int node) const { return faults_.node_down(node, now_); }
+
   [[nodiscard]] int node_count() const { return static_cast<int>(links_.size()); }
   [[nodiscard]] double now() const { return now_; }
 
   /// Send bytes from a node; energy is charged per the radio model and the
   /// message is queued for delivery after the serialization + latency delay.
-  /// Lost messages still cost the sender transmit energy.
-  TxResult send(int from_node, int to_node, std::vector<std::uint8_t> payload);
+  /// Lost messages still cost the sender transmit energy. A send from a
+  /// crashed node is silently dropped and costs nothing (the radio is off).
+  TxResult send(int from_node, int to_node, std::vector<std::uint8_t> payload,
+                TxClass tx_class = TxClass::Data);
 
   struct Delivery {
     double time = 0.0;
@@ -52,13 +72,17 @@ class Network {
   };
 
   /// Pop all messages deliverable up to (and including) `until_time`,
-  /// advancing the clock. Messages arrive in delivery-time order.
+  /// advancing the clock. Messages arrive in delivery-time order; ties are
+  /// broken FIFO by send order. Deliveries to a node that is crashed at the
+  /// delivery instant are dropped (counted in rx_dropped()).
   std::vector<Delivery> advance_to(double until_time);
 
   /// Total radio energy spent by a node so far.
   [[nodiscard]] double radio_joules(int node) const;
   /// Total payload bytes offered by a node (including lost messages).
   [[nodiscard]] std::uint64_t bytes_sent(int node) const;
+  /// Messages dropped at the receiver because it was crashed at delivery time.
+  [[nodiscard]] std::uint64_t rx_dropped() const { return rx_dropped_; }
 
  private:
   struct PendingDelivery {
@@ -76,12 +100,14 @@ class Network {
 
   energy::RadioModel radio_;
   Rng rng_;
+  FaultPlan faults_;
   std::vector<LinkQuality> links_;
   std::vector<double> node_radio_joules_;
   std::vector<std::uint64_t> node_bytes_;
   std::priority_queue<PendingDelivery, std::vector<PendingDelivery>, Later> queue_;
   double now_ = 0.0;
   std::uint64_t sequence_ = 0;
+  std::uint64_t rx_dropped_ = 0;
 };
 
 }  // namespace eecs::net

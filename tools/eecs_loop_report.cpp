@@ -35,9 +35,14 @@ int main(int argc, char** argv) {
                 r.humans_detected, r.humans_present, r.detection_rate(), r.gt_frames_processed,
                 r.rounds.size(), watch.seconds());
     for (const auto& round : r.rounds)
-      std::printf("   round@%d N*=%.1f P*=%.2f N=%.1f P=%.2f %s\n", round.start_frame,
-                  round.stats.n_star, round.stats.p_star, round.stats.n_est, round.stats.p_est,
+      std::printf("   round@%d%s N*=%.1f P*=%.2f N=%.1f P=%.2f %s\n", round.start_frame,
+                  round.midround_recovery ? " (recovery)" : "", round.stats.n_star,
+                  round.stats.p_star, round.stats.n_est, round.stats.p_est,
                   round.stats.summary.c_str());
+    std::printf("   protocol: sent=%ld lost=%ld retried=%ld abandoned=%ld dead=%d recovered=%d\n",
+                r.faults.messages_sent, r.faults.messages_lost, r.faults.assignments_retried,
+                r.faults.assignments_abandoned, r.faults.cameras_failed,
+                r.faults.cameras_recovered);
   }
   return 0;
 }

@@ -1,0 +1,48 @@
+// Prints full-precision SimulationResult numbers for fixed configs so that
+// refactors of the closed loop can be checked for bit-identical behaviour
+// (same seeds -> same energy/detection numbers) against a saved reference.
+#include <cstdio>
+
+#include "core/simulation.hpp"
+
+using namespace eecs;
+using namespace eecs::core;
+
+int main() {
+  DetectorBank bank = detect::make_trained_detectors(1234);
+  OfflineOptions opts;
+  opts.algorithms = {detect::AlgorithmId::Hog, detect::AlgorithmId::Acf};
+  opts.frames_per_item = 4;
+  const OfflineKnowledge knowledge = run_offline_training(bank, {1}, 42, opts);
+
+  for (auto mode :
+       {SelectionMode::AllBest, SelectionMode::SubsetOnly, SelectionMode::SubsetDowngrade}) {
+    EecsSimulationConfig cfg;
+    cfg.dataset = 1;
+    cfg.mode = mode;
+    cfg.budget_per_frame = 3.0;
+    cfg.controller.algorithms = opts.algorithms;
+    cfg.models = opts;
+    cfg.end_frame = 2200;
+    const SimulationResult r = run_eecs_simulation(bank, knowledge, cfg);
+    std::printf("mode=%d cpu=%.17g radio=%.17g detected=%d present=%d frames=%d rounds=%zu\n",
+                static_cast<int>(mode), r.cpu_joules, r.radio_joules, r.humans_detected,
+                r.humans_present, r.gt_frames_processed, r.rounds.size());
+    for (const auto& round : r.rounds) {
+      std::printf("  round@%d n*=%.17g p*=%.17g n=%.17g p=%.17g active=%d %s\n",
+                  round.start_frame, round.stats.n_star, round.stats.p_star, round.stats.n_est,
+                  round.stats.p_est, round.stats.cameras_active, round.stats.summary.c_str());
+    }
+  }
+
+  FixedCombo combo;
+  combo.active = {{0, detect::AlgorithmId::Hog}, {1, detect::AlgorithmId::Acf}};
+  FixedComboConfig fixed;
+  fixed.dataset = 1;
+  fixed.models = opts;
+  fixed.end_frame = 1400;
+  const SimulationResult r = run_fixed_combo(bank, knowledge, combo, fixed);
+  std::printf("fixed cpu=%.17g radio=%.17g detected=%d present=%d frames=%d\n", r.cpu_joules,
+              r.radio_joules, r.humans_detected, r.humans_present, r.gt_frames_processed);
+  return 0;
+}
