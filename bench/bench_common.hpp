@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,22 @@ inline void print_accuracy_table(const std::string& title,
                                     "Energy J/frame", "Time s/frame"},
                                    rows)
                           .c_str());
+}
+
+/// Serialize per-stage wall-clock timings for the BENCH_*.json files.
+inline std::string json_timings(const core::StageTimings& t) {
+  return format(
+      "{\"render_s\": %.6f, \"detect_s\": %.6f, \"features_s\": %.6f, "
+      "\"controller_s\": %.6f, \"net_s\": %.6f, \"total_s\": %.6f}",
+      t.render_s, t.detect_s, t.features_s, t.controller_s, t.net_s, t.total());
+}
+
+/// Write a machine-readable observability file next to the bench's stdout
+/// report (BENCH_<name>.json by convention, tracked for perf trajectory).
+inline void write_bench_json(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content << "\n";
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace eecs::bench

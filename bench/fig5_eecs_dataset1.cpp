@@ -5,14 +5,26 @@
 // (b) Budget between ACF's and HOG's cost: only ACF is affordable, so all
 // savings come from the camera subset (paper: ~68% energy at ~88%).
 #include "bench_common.hpp"
+#include "common/parallel.hpp"
 
 using namespace eecs;
 using namespace eecs::bench;
 
 namespace {
 
+/// One mode's outcome, kept for the BENCH_*.json observability file.
+struct RegimeEntry {
+  std::string regime;
+  std::string mode;
+  double budget = 0.0;
+  double total_joules = 0.0;
+  int humans_detected = 0;
+  core::StageTimings timings;
+};
+
 void run_regime(const core::DetectorBank& bank, const core::OfflineKnowledge& knowledge,
-                double budget, const char* title, const char* paper_note) {
+                double budget, const char* title, const char* paper_note,
+                std::vector<RegimeEntry>& entries) {
   std::printf("%s (per-frame budget %.2f J)\n", title, budget);
   core::SimulationResult baseline;
   std::vector<std::vector<std::string>> rows;
@@ -30,6 +42,8 @@ void run_regime(const core::DetectorBank& bank, const core::OfflineKnowledge& kn
     config.models = models;
     const auto result = core::run_eecs_simulation(bank, knowledge, config);
     if (mode == core::SelectionMode::AllBest) baseline = result;
+    entries.push_back({title, name, budget, result.total_joules(), result.humans_detected,
+                       result.timings});
     rows.push_back(
         {name, to_fixed(result.total_joules(), 1),
          baseline.total_joules() > 0
@@ -55,6 +69,41 @@ void run_regime(const core::DetectorBank& bank, const core::OfflineKnowledge& kn
   std::printf("%s\n\n", paper_note);
 }
 
+/// Speedup probe: one shortened adaptive run at threads=1 vs the hardware
+/// width, reporting per-stage wall-clock and the end-to-end speedup.
+std::string threading_probe(const core::DetectorBank& bank,
+                            const core::OfflineKnowledge& knowledge) {
+  // At least 4 even when hardware_concurrency reports 1 (containers often
+  // underreport); oversubscription is harmless for a probe.
+  const int wide = std::max(4, common::hardware_threads());
+  core::EecsSimulationConfig config;
+  config.dataset = 1;
+  config.mode = core::SelectionMode::SubsetDowngrade;
+  config.budget_per_frame = 3.0;
+  config.controller.algorithms = {detect::AlgorithmId::Hog, detect::AlgorithmId::Acf};
+  core::OfflineOptions models;
+  models.algorithms = config.controller.algorithms;
+  config.models = models;
+  config.end_frame = 1700;
+
+  config.threads = 1;
+  const auto serial = core::run_eecs_simulation(bank, knowledge, config);
+  config.threads = wide;
+  const auto parallel = core::run_eecs_simulation(bank, knowledge, config);
+  const double speedup = parallel.timings.total() > 0.0
+                             ? serial.timings.total() / parallel.timings.total()
+                             : 0.0;
+  std::printf("threading probe (frames %d..%d):\n", config.start_frame, config.end_frame);
+  std::printf("  threads=1: %s\n", json_timings(serial.timings).c_str());
+  std::printf("  threads=%d: %s\n", wide, json_timings(parallel.timings).c_str());
+  std::printf("  speedup: %.2fx\n\n", speedup);
+  return format(
+      "{\"threads_serial\": 1, \"threads_parallel\": %d, \"serial\": %s, "
+      "\"parallel\": %s, \"speedup\": %.3f}",
+      wide, json_timings(serial.timings).c_str(), json_timings(parallel.timings).c_str(),
+      speedup);
+}
+
 }  // namespace
 
 int main() {
@@ -65,14 +114,32 @@ int main() {
   const core::OfflineKnowledge knowledge = core::run_offline_training(bank, {1}, 42, options);
   std::printf("offline training done (%.0fs)\n\n", watch.seconds());
 
+  std::vector<RegimeEntry> entries;
   // Regime (a): budget admits HOG (our calibrated HOG ~1.1 J/frame + comm).
   run_regime(bank, knowledge, 3.0, "Fig. 5a: high budget (HOG affordable)",
              "paper Fig. 5a: baseline 333 J / 373 humans; subset ~75% energy at ~91% humans;\n"
-             "subset+downgrade ~59% energy at ~86% humans");
+             "subset+downgrade ~59% energy at ~86% humans",
+             entries);
   // Regime (b): budget below HOG's cost -> only ACF affordable.
   run_regime(bank, knowledge, 0.80, "Fig. 5b: low budget (only ACF affordable)",
              "paper Fig. 5b: baseline 22 J / 307 humans; EECS ~68% energy at ~88% humans\n"
-             "(no downgrade possible: ACF is already the cheapest algorithm)");
+             "(no downgrade possible: ACF is already the cheapest algorithm)",
+             entries);
+
+  const std::string probe = threading_probe(bank, knowledge);
+
+  std::string json = "{\n  \"bench\": \"fig5_eecs_dataset1\",\n  \"runs\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    json += format(
+        "%s\n    {\"regime\": \"%s\", \"mode\": \"%s\", \"budget_j\": %.2f, "
+        "\"total_joules\": %.6f, \"humans_detected\": %d, \"timings\": %s}",
+        i == 0 ? "" : ",", e.regime.c_str(), e.mode.c_str(), e.budget, e.total_joules,
+        e.humans_detected, json_timings(e.timings).c_str());
+  }
+  json += "\n  ],\n  \"threading_probe\": " + probe + "\n}";
+  write_bench_json("BENCH_fig5_eecs_dataset1.json", json);
+
   std::printf("total %.1fs\n", watch.seconds());
   return 0;
 }

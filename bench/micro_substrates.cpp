@@ -3,7 +3,13 @@
 // regression guards, not paper reproductions.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "imaging/filter.hpp"
 #include "core/offline.hpp"
 #include "detect/detector.hpp"
 #include "domain/gfk.hpp"
@@ -42,13 +48,24 @@ void BM_QrDecompose(benchmark::State& state) {
 BENCHMARK(BM_QrDecompose);
 
 void BM_Kmeans(benchmark::State& state) {
+  const common::ScopedThreads width(static_cast<int>(state.range(0)));
   const linalg::Matrix data = random_matrix(500, 64, 3);
   for (auto _ : state) {
     Rng rng(7);
     benchmark::DoNotOptimize(linalg::kmeans(data, 32, rng));
   }
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
 }
-BENCHMARK(BM_Kmeans);
+BENCHMARK(BM_Kmeans)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_MatrixMultiply(benchmark::State& state) {
+  const common::ScopedThreads width(static_cast<int>(state.range(0)));
+  const linalg::Matrix a = random_matrix(192, 224, 6);
+  const linalg::Matrix b = random_matrix(224, 192, 7);
+  for (auto _ : state) benchmark::DoNotOptimize(a * b);
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_GeodesicFlowKernel(benchmark::State& state) {
   const domain::VideoSubspace a = domain::build_subspace(random_matrix(14, 224, 4), 10);
@@ -81,10 +98,20 @@ void BM_SceneRenderDs1(benchmark::State& state) {
 BENCHMARK(BM_SceneRenderDs1);
 
 void BM_HogGrid(benchmark::State& state) {
+  const common::ScopedThreads width(static_cast<int>(state.range(0)));
   const imaging::Image& frame = dataset1_frame();
   for (auto _ : state) benchmark::DoNotOptimize(features::compute_hog_grid(frame));
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
 }
-BENCHMARK(BM_HogGrid);
+BENCHMARK(BM_HogGrid)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_GaussianBlur(benchmark::State& state) {
+  const common::ScopedThreads width(static_cast<int>(state.range(0)));
+  const imaging::Image& frame = dataset1_frame();
+  for (auto _ : state) benchmark::DoNotOptimize(imaging::gaussian_blur(frame, 1.5f));
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_GaussianBlur)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 const core::DetectorBank& bank() {
   static const core::DetectorBank detectors = detect::make_trained_detectors(1234);
@@ -138,4 +165,25 @@ BENCHMARK(BM_MessageRoundTrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with a default JSON report: unless the caller picked an
+// output file, results also land in BENCH_micro_substrates.json so perf is
+// diffable across commits.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  char out_flag[] = "--benchmark_out=BENCH_micro_substrates.json";
+  char fmt_flag[] = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,10 +1,13 @@
 #include "core/simulation.hpp"
 
 #include <algorithm>
+#include <array>
 #include <map>
 #include <set>
 #include <tuple>
 
+#include "common/parallel.hpp"
+#include "common/stopwatch.hpp"
 #include "features/color_feature.hpp"
 #include "net/messages.hpp"
 
@@ -12,12 +15,37 @@ namespace eecs::core {
 
 namespace {
 
-const detect::Detector& detector_for(const DetectorBank& detectors, detect::AlgorithmId id) {
-  for (const auto& d : detectors) {
-    if (d->id() == id) return *d;
+/// Accumulates a scope's wall-clock into a StageTimings field.
+class StageTimer {
+ public:
+  explicit StageTimer(double& acc) : acc_(acc) {}
+  ~StageTimer() { acc_ += watch_.seconds(); }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  double& acc_;
+  Stopwatch watch_;
+};
+
+/// O(1) algorithm -> detector resolution, hoisted out of the frame loops
+/// (the bank scan used to run once per (frame, camera, algorithm)).
+class DetectorLookup {
+ public:
+  explicit DetectorLookup(const DetectorBank& detectors) {
+    by_id_.fill(nullptr);
+    for (const auto& d : detectors) by_id_[static_cast<std::size_t>(d->id())] = d.get();
   }
-  throw ContractViolation("detector_for: algorithm not in bank");
-}
+
+  const detect::Detector& operator()(detect::AlgorithmId id) const {
+    const detect::Detector* d = by_id_[static_cast<std::size_t>(id)];
+    if (d == nullptr) throw ContractViolation("DetectorLookup: algorithm not in bank");
+    return *d;
+  }
+
+ private:
+  std::array<const detect::Detector*, detect::kNumAlgorithms> by_id_;
+};
 
 /// Training-item profile of a (dataset, camera) feed.
 const TrainingItemProfile* find_profile(const OfflineKnowledge& knowledge, int dataset,
@@ -29,30 +57,50 @@ const TrainingItemProfile* find_profile(const OfflineKnowledge& knowledge, int d
 }
 
 /// One camera's processing of one frame during operation: detect, extract
-/// color features, upload metadata + JPEG crops, and account energy.
+/// color features, upload metadata + JPEG crops, and account energy. Pure
+/// compute on const inputs — safe to fan out per camera. Detections and their
+/// color features stay in parallel arrays so detect::Detection is never
+/// copied through reid::ViewDetection and back (matching consumes
+/// `detections` directly; assessment moves both into ViewDetections once).
 struct FrameOutcome {
-  std::vector<reid::ViewDetection> detections;
+  std::vector<detect::Detection> detections;         ///< Thresholded, score order.
+  std::vector<std::vector<float>> color_features;    ///< Aligned with detections.
   double cpu_joules = 0.0;
   std::size_t comm_bytes = 0;
 };
 
 FrameOutcome process_camera_frame(const detect::Detector& detector, double threshold, int camera,
                                   const imaging::Image& frame, const OfflineOptions& models) {
+  (void)camera;
   FrameOutcome outcome;
   energy::CostCounter cost;
-  const auto raw = detector.detect(frame, &cost);
-  for (const auto& det : raw) {
+  auto raw = detector.detect(frame, &cost);
+  outcome.detections.reserve(raw.size());
+  outcome.color_features.reserve(raw.size());
+  for (auto& det : raw) {
     if (det.score < threshold) continue;
-    reid::ViewDetection vd;
-    vd.camera = camera;
-    vd.detection = det;
-    vd.color_feature = features::color_feature(frame, det.box, &cost);
+    outcome.color_features.push_back(features::color_feature(frame, det.box, &cost));
     outcome.comm_bytes += 172;  // §V-A metadata per object.
     outcome.comm_bytes += models.jpeg_model.region_bytes(frame, det.box);
-    outcome.detections.push_back(std::move(vd));
+    outcome.detections.push_back(det);
   }
   outcome.cpu_joules = models.cpu_model.joules(cost);
   return outcome;
+}
+
+/// Assemble the §IV-B assessment sample representation from an outcome,
+/// moving (not copying) detections and color features.
+std::vector<reid::ViewDetection> to_view_detections(int camera, FrameOutcome&& outcome) {
+  std::vector<reid::ViewDetection> views;
+  views.reserve(outcome.detections.size());
+  for (std::size_t i = 0; i < outcome.detections.size(); ++i) {
+    reid::ViewDetection vd;
+    vd.camera = camera;
+    vd.detection = outcome.detections[i];
+    vd.color_feature = std::move(outcome.color_features[i]);
+    views.push_back(std::move(vd));
+  }
+  return views;
 }
 
 /// Countable (per metrics defaults) ground truth person ids in one view.
@@ -67,28 +115,23 @@ std::set<int> countable_ids(const std::vector<video::GroundTruthBox>& truth) {
   return ids;
 }
 
-std::vector<detect::Detection> to_detections(const std::vector<reid::ViewDetection>& views) {
-  std::vector<detect::Detection> out;
-  out.reserve(views.size());
-  for (const auto& v : views) out.push_back(v.detection);
-  return out;
-}
-
 net::DetectionMetadataMsg make_metadata_msg(int camera, int frame_index,
                                             detect::AlgorithmId algorithm,
-                                            const std::vector<reid::ViewDetection>& detections) {
+                                            const FrameOutcome& outcome) {
   net::DetectionMetadataMsg msg;
   msg.camera_id = camera;
   msg.frame_index = frame_index;
   msg.algorithm = static_cast<std::uint8_t>(algorithm);
-  for (const auto& vd : detections) {
+  msg.objects.reserve(outcome.detections.size());
+  for (std::size_t i = 0; i < outcome.detections.size(); ++i) {
+    const detect::Detection& det = outcome.detections[i];
     net::ObjectMetadata obj;
-    obj.x = static_cast<std::uint16_t>(std::clamp(vd.detection.box.x, 0.0, 65535.0));
-    obj.y = static_cast<std::uint16_t>(std::clamp(vd.detection.box.y, 0.0, 65535.0));
-    obj.w = static_cast<std::uint16_t>(std::clamp(vd.detection.box.w, 0.0, 65535.0));
-    obj.h = static_cast<std::uint16_t>(std::clamp(vd.detection.box.h, 0.0, 65535.0));
-    obj.probability = static_cast<float>(vd.detection.probability);
-    obj.color_feature = vd.color_feature;
+    obj.x = static_cast<std::uint16_t>(std::clamp(det.box.x, 0.0, 65535.0));
+    obj.y = static_cast<std::uint16_t>(std::clamp(det.box.y, 0.0, 65535.0));
+    obj.w = static_cast<std::uint16_t>(std::clamp(det.box.w, 0.0, 65535.0));
+    obj.h = static_cast<std::uint16_t>(std::clamp(det.box.h, 0.0, 65535.0));
+    obj.probability = static_cast<float>(det.probability);
+    obj.color_feature = outcome.color_features[i];
     msg.objects.push_back(std::move(obj));
   }
   return msg;
@@ -150,6 +193,8 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
                                      const OfflineKnowledge& knowledge,
                                      const EecsSimulationConfig& config) {
   EECS_EXPECTS(config.start_frame < config.end_frame);
+  const common::ScopedThreads scoped_threads(config.threads);
+  const DetectorLookup detector_of(detectors);
   video::SceneSimulator sim(video::dataset_by_id(config.dataset), config.seed);
   const int stride = sim.environment().ground_truth_stride * config.gt_frame_step;
   const int num_cameras = static_cast<int>(sim.cameras().size());
@@ -167,11 +212,14 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
   }
   const auto node_camera = [&](int node) { return node - 1; };
 
-  reid::ReIdentifier reidentifier = make_reidentifier(sim);
-  reidentifier.set_color_gate(fit_color_gate(config.dataset, config.seed + 17));
-  EecsController controller(knowledge, std::move(reidentifier), config.controller);
-
   SimulationResult result;
+
+  reid::ReIdentifier reidentifier = make_reidentifier(sim);
+  {
+    const StageTimer timer(result.timings.features_s);
+    reidentifier.set_color_gate(fit_color_gate(config.dataset, config.seed + 17));
+  }
+  EecsController controller(knowledge, std::move(reidentifier), config.controller);
 
   // ---- Controller-side protocol state.
   std::vector<double> last_heard(static_cast<std::size_t>(num_cameras), 0.0);
@@ -287,6 +335,7 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
   // Drain the network up to `until` and route deliveries. Malformed payloads
   // are rejected by the decoders (DecodeError) without killing the loop.
   const auto pump_network = [&](double until) {
+    const StageTimer timer(result.timings.net_s);
     for (const auto& d : network.advance_to(until)) {
       try {
         if (d.to_node == 0) {
@@ -336,6 +385,7 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
   };
 
   const auto retry_assignments = [&]() {
+    const StageTimer timer(result.timings.net_s);
     for (auto it = pending.begin(); it != pending.end();) {
       PendingAssignment& p = it->second;
       if (network.now() < p.next_retry) {
@@ -374,8 +424,10 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       // Mid-round recovery: re-select over the surviving cameras with this
       // round's assessment data and push fresh assignments.
       const std::set<int> alive = alive_set();
-      const EecsController::Selection selection =
-          controller.select(assessment, config.mode, &alive);
+      const EecsController::Selection selection = [&] {
+        const StageTimer timer(result.timings.controller_s);
+        return controller.select(assessment, config.mode, &alive);
+      }();
       result.rounds.push_back({sim.frame_index(), selection.stats, true});
       ++result.faults.midround_reselections;
       apply_selection(selection);
@@ -387,6 +439,11 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
            network.node_down(net_node[static_cast<std::size_t>(c)]);
   };
 
+  const auto next_frame_timed = [&]() {
+    const StageTimer timer(result.timings.render_s);
+    return sim.next_frame();
+  };
+
   // §IV-B.1: feature upload + registration. Uses early test-segment frames.
   // The upload is retried immediately on loss (the camera sees the missing
   // link-layer ack); a camera whose upload never arrives stays unregistered
@@ -395,26 +452,46 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
   {
     std::vector<std::vector<imaging::Image>> reg_frames(static_cast<std::size_t>(num_cameras));
     for (int f = 0; f < config.upload_feature_frames; ++f) {
-      const video::MultiViewFrame frame = sim.next_frame();
+      const video::MultiViewFrame frame = next_frame_timed();
       for (int c = 0; c < num_cameras; ++c) {
         reg_frames[static_cast<std::size_t>(c)].push_back(frame.views[static_cast<std::size_t>(c)]);
       }
       sim.skip(stride - 1);
     }
-    for (int c = 0; c < num_cameras; ++c) {
-      energy::CostCounter cost;
-      const auto& frames = reg_frames[static_cast<std::size_t>(c)];
+    // Feature extraction fans out per camera (const extractor, disjoint
+    // outputs); the uploads below stay in camera order so the network's
+    // RNG/event sequence matches the serial path exactly.
+    struct Registration {
       net::FeatureUploadMsg msg;
-      msg.camera_id = c;
-      msg.feature_dim = knowledge.extractor().dimension();
-      msg.energy_budget = config.budget_per_frame;
-      for (std::size_t i = 0; i < frames.size(); ++i) {
-        const auto f = knowledge.extractor().extract(frames[i], &cost);
-        for (int d = 0; d < msg.feature_dim; ++d) {
-          msg.features.push_back(f[static_cast<std::size_t>(d)]);
-        }
-      }
-      const std::vector<std::uint8_t> payload = encode(msg);
+      double cpu_joules = 0.0;
+    };
+    std::vector<Registration> registrations;
+    {
+      const StageTimer timer(result.timings.features_s);
+      registrations = common::parallel_map<Registration>(
+          static_cast<std::size_t>(num_cameras), [&](std::size_t c) {
+            energy::CostCounter cost;
+            const auto& frames = reg_frames[c];
+            Registration reg;
+            reg.msg.camera_id = static_cast<int>(c);
+            reg.msg.feature_dim = knowledge.extractor().dimension();
+            reg.msg.energy_budget = config.budget_per_frame;
+            reg.msg.features.reserve(frames.size() *
+                                     static_cast<std::size_t>(reg.msg.feature_dim));
+            for (std::size_t i = 0; i < frames.size(); ++i) {
+              const auto f = knowledge.extractor().extract(frames[i], &cost);
+              for (int d = 0; d < reg.msg.feature_dim; ++d) {
+                reg.msg.features.push_back(f[static_cast<std::size_t>(d)]);
+              }
+            }
+            reg.cpu_joules = config.models.cpu_model.joules(cost);
+            return reg;
+          });
+    }
+    const StageTimer timer(result.timings.net_s);
+    for (int c = 0; c < num_cameras; ++c) {
+      const Registration& reg = registrations[static_cast<std::size_t>(c)];
+      const std::vector<std::uint8_t> payload = encode(reg.msg);
       double tx_joules = 0.0;
       net::TxResult tx;
       int attempts = 0;
@@ -427,10 +504,9 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       } while (!tx.delivered && attempts <= config.protocol.registration_retries &&
                !network.node_down(net_node[static_cast<std::size_t>(c)]));
       if (!tx.delivered) ++result.faults.registrations_lost;
-      result.cpu_joules += config.models.cpu_model.joules(cost);
+      result.cpu_joules += reg.cpu_joules;
       result.radio_joules += tx_joules;
-      cameras[static_cast<std::size_t>(c)].battery.drain(config.models.cpu_model.joules(cost) +
-                                                         tx_joules);
+      cameras[static_cast<std::size_t>(c)].battery.drain(reg.cpu_joules + tx_joules);
     }
   }
 
@@ -445,24 +521,54 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
     in_flight.clear();
     for (int f = 0; f < config.assessment_gt_frames; ++f) {
       pump_network(sim.frame_index() + 0.5);
-      const video::MultiViewFrame frame = sim.next_frame();
+      const video::MultiViewFrame frame = next_frame_timed();
+      // The (camera, algorithm) pairs are independent tasks: gating depends
+      // only on state fixed before any of this frame's transmissions
+      // (node_down is clock-driven, batteries are not drained here), so the
+      // task list is built up front and the detection work fans out.
+      struct AssessTask {
+        int camera = 0;
+        detect::AlgorithmId algorithm = detect::AlgorithmId::Hog;
+        double threshold = 0.0;
+      };
+      std::vector<AssessTask> tasks;
+      std::vector<char> camera_up(static_cast<std::size_t>(num_cameras), 0);
       for (int c = 0; c < num_cameras; ++c) {
         if (camera_down(c)) continue;
-        send_heartbeat(c);
+        camera_up[static_cast<std::size_t>(c)] = 1;
         for (detect::AlgorithmId alg : config.controller.algorithms) {
           const AlgorithmProfile* profile = controller.entry(c, alg);
           if (profile == nullptr) continue;  // Over budget or not ranked.
-          FrameOutcome outcome =
-              process_camera_frame(detector_for(detectors, alg), profile->threshold, c,
-                                   frame.views[static_cast<std::size_t>(c)], config.models);
+          tasks.push_back({c, alg, profile->threshold});
+        }
+      }
+      std::vector<FrameOutcome> outcomes;
+      {
+        const StageTimer timer(result.timings.detect_s);
+        outcomes = common::parallel_map<FrameOutcome>(tasks.size(), [&](std::size_t t) {
+          const AssessTask& task = tasks[t];
+          return process_camera_frame(detector_of(task.algorithm), task.threshold, task.camera,
+                                      frame.views[static_cast<std::size_t>(task.camera)],
+                                      config.models);
+        });
+      }
+      // Sequential transmission phase, in the exact serial-path order:
+      // heartbeat(c), then one metadata message per assessed algorithm.
+      const StageTimer timer(result.timings.net_s);
+      std::size_t t = 0;
+      for (int c = 0; c < num_cameras; ++c) {
+        if (!camera_up[static_cast<std::size_t>(c)]) continue;
+        send_heartbeat(c);
+        for (; t < tasks.size() && tasks[t].camera == c; ++t) {
+          FrameOutcome& outcome = outcomes[t];
           const net::DetectionMetadataMsg msg =
-              make_metadata_msg(c, frame.index, alg, outcome.detections);
+              make_metadata_msg(c, frame.index, tasks[t].algorithm, outcome);
           ++result.faults.messages_sent;
           const auto tx = network.send(net_node[static_cast<std::size_t>(c)], 0, encode(msg),
                                        net::TxClass::Control);
           if (tx.delivered) {
-            in_flight[{c, frame.index, static_cast<int>(alg)}] = {f,
-                                                                  std::move(outcome.detections)};
+            in_flight[{c, frame.index, static_cast<int>(tasks[t].algorithm)}] = {
+                f, to_view_detections(c, std::move(outcome))};
           } else {
             ++result.faults.messages_lost;
           }
@@ -476,8 +582,10 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
     pump_network(sim.frame_index());
 
     const std::set<int> alive = alive_set();
-    const EecsController::Selection selection =
-        controller.select(assessment, config.mode, &alive);
+    const EecsController::Selection selection = [&] {
+      const StageTimer timer(result.timings.controller_s);
+      return controller.select(assessment, config.mode, &alive);
+    }();
     result.rounds.push_back({sim.frame_index(), selection.stats, false});
 
     // Push assignments to the cameras over the network (sequence-numbered;
@@ -490,7 +598,7 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       pump_network(sim.frame_index() + 0.5);
       retry_assignments();
       check_liveness();
-      const video::MultiViewFrame frame = sim.next_frame();
+      const video::MultiViewFrame frame = next_frame_timed();
       ++result.gt_frames_processed;
 
       std::set<int> present;
@@ -499,7 +607,13 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       }
       result.humans_present += static_cast<int>(present.size());
 
-      std::set<int> detected;
+      // Gate each camera exactly as the serial loop would (a camera only
+      // drains its own battery, so camera c's gate never depends on c' < c),
+      // fan the frame processing out, then replay transmissions and energy
+      // accounting sequentially in camera order.
+      enum class Act : char { Silent, HeartbeatOnly, Process };
+      std::vector<Act> acts(static_cast<std::size_t>(num_cameras), Act::Silent);
+      std::vector<int> processing;
       for (int c = 0; c < num_cameras; ++c) {
         CameraNode& cam = cameras[static_cast<std::size_t>(c)];
         if (cam.battery.empty()) {
@@ -508,15 +622,36 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
           continue;
         }
         if (network.node_down(net_node[static_cast<std::size_t>(c)])) continue;
-        send_heartbeat(c);
-        if (!cam.has_assignment || !cam.active) continue;
+        if (cam.has_assignment && cam.active) {
+          acts[static_cast<std::size_t>(c)] = Act::Process;
+          processing.push_back(c);
+        } else {
+          acts[static_cast<std::size_t>(c)] = Act::HeartbeatOnly;
+        }
+      }
+      std::vector<FrameOutcome> outcomes;
+      {
+        const StageTimer timer(result.timings.detect_s);
+        outcomes = common::parallel_map<FrameOutcome>(processing.size(), [&](std::size_t i) {
+          const int c = processing[i];
+          const CameraNode& cam = cameras[static_cast<std::size_t>(c)];
+          return process_camera_frame(detector_of(cam.algorithm), cam.threshold, c,
+                                      frame.views[static_cast<std::size_t>(c)], config.models);
+        });
+      }
 
-        const FrameOutcome outcome = process_camera_frame(
-            detector_for(detectors, cam.algorithm), cam.threshold, c,
-            frame.views[static_cast<std::size_t>(c)], config.models);
+      std::set<int> detected;
+      const StageTimer timer(result.timings.net_s);
+      std::size_t next_outcome = 0;
+      for (int c = 0; c < num_cameras; ++c) {
+        if (acts[static_cast<std::size_t>(c)] == Act::Silent) continue;
+        send_heartbeat(c);
+        if (acts[static_cast<std::size_t>(c)] != Act::Process) continue;
+        CameraNode& cam = cameras[static_cast<std::size_t>(c)];
+        const FrameOutcome& outcome = outcomes[next_outcome++];
 
         const net::DetectionMetadataMsg msg =
-            make_metadata_msg(c, frame.index, cam.algorithm, outcome.detections);
+            make_metadata_msg(c, frame.index, cam.algorithm, outcome);
         ++result.faults.messages_sent;
         const auto tx = network.send(net_node[static_cast<std::size_t>(c)], 0, encode(msg));
         // JPEG crops of the detected objects ride along (charged per byte).
@@ -529,7 +664,7 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
 
         if (tx.delivered) {
           const MatchResult match = match_detections(
-              to_detections(outcome.detections), frame.truth[static_cast<std::size_t>(c)]);
+              outcome.detections, frame.truth[static_cast<std::size_t>(c)]);
           for (int id : match.matched_person_ids) detected.insert(id);
         } else {
           // The controller never sees these detections: they don't count.
@@ -554,6 +689,8 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
 SimulationResult run_fixed_combo(const DetectorBank& detectors, const OfflineKnowledge& knowledge,
                                  const FixedCombo& combo, const FixedComboConfig& config) {
   EECS_EXPECTS(!combo.active.empty());
+  const common::ScopedThreads scoped_threads(config.threads);
+  const DetectorLookup detector_of(detectors);
   video::SceneSimulator sim(video::dataset_by_id(config.dataset), config.seed);
   const int stride = sim.environment().ground_truth_stride * config.gt_frame_step;
   const int num_cameras = static_cast<int>(sim.cameras().size());
@@ -562,10 +699,31 @@ SimulationResult run_fixed_combo(const DetectorBank& detectors, const OfflineKno
   batteries.reserve(static_cast<std::size_t>(num_cameras));
   for (int c = 0; c < num_cameras; ++c) batteries.emplace_back(config.battery_joules);
 
+  // Per-entry profile resolution, hoisted out of the frame loop.
+  struct Entry {
+    int camera = 0;
+    detect::AlgorithmId algorithm = detect::AlgorithmId::Hog;
+    const detect::Detector* detector = nullptr;
+    double threshold = 0.0;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(combo.active.size());
+  for (const auto& [camera, algorithm] : combo.active) {
+    EECS_EXPECTS(camera >= 0 && camera < num_cameras);
+    const TrainingItemProfile* item = find_profile(knowledge, config.dataset, camera);
+    EECS_EXPECTS(item != nullptr);
+    const AlgorithmProfile* profile = item->find(algorithm);
+    EECS_EXPECTS(profile != nullptr);
+    entries.push_back({camera, algorithm, &detector_of(algorithm), profile->threshold});
+  }
+
   SimulationResult result;
   sim.skip(config.start_frame);
   while (sim.frame_index() < config.end_frame) {
-    const video::MultiViewFrame frame = sim.next_frame();
+    const video::MultiViewFrame frame = [&] {
+      const StageTimer timer(result.timings.render_s);
+      return sim.next_frame();
+    }();
     ++result.gt_frames_processed;
 
     std::set<int> present;
@@ -574,30 +732,43 @@ SimulationResult run_fixed_combo(const DetectorBank& detectors, const OfflineKno
     }
     result.humans_present += static_cast<int>(present.size());
 
+    // Fan out the entries whose battery holds charge at the top of the frame;
+    // the sequential replay below re-checks each battery at its legacy
+    // sequence point, so an entry drained dark mid-frame (a camera listed
+    // twice) discards its speculative outcome exactly like the serial path.
+    std::vector<char> compute(entries.size(), 0);
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+      compute[e] = batteries[static_cast<std::size_t>(entries[e].camera)].empty() ? 0 : 1;
+    }
+    std::vector<FrameOutcome> outcomes;
+    {
+      const StageTimer timer(result.timings.detect_s);
+      outcomes = common::parallel_map<FrameOutcome>(entries.size(), [&](std::size_t e) {
+        if (!compute[e]) return FrameOutcome{};
+        const Entry& entry = entries[e];
+        return process_camera_frame(*entry.detector, entry.threshold, entry.camera,
+                                    frame.views[static_cast<std::size_t>(entry.camera)],
+                                    config.models);
+      });
+    }
+
     std::set<int> detected;
-    for (const auto& [camera, algorithm] : combo.active) {
-      EECS_EXPECTS(camera >= 0 && camera < num_cameras);
-      energy::Battery& battery = batteries[static_cast<std::size_t>(camera)];
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+      const Entry& entry = entries[e];
+      energy::Battery& battery = batteries[static_cast<std::size_t>(entry.camera)];
       if (battery.empty()) {
         // Exhausted camera: contributes no detections and no radio energy.
         ++result.faults.frames_skipped_exhausted;
         continue;
       }
-      const TrainingItemProfile* item = find_profile(knowledge, config.dataset, camera);
-      EECS_EXPECTS(item != nullptr);
-      const AlgorithmProfile* profile = item->find(algorithm);
-      EECS_EXPECTS(profile != nullptr);
-
-      const FrameOutcome outcome =
-          process_camera_frame(detector_for(detectors, algorithm), profile->threshold, camera,
-                               frame.views[static_cast<std::size_t>(camera)], config.models);
+      const FrameOutcome& outcome = outcomes[e];
       const double radio_joules = config.models.radio_model.tx_joules(outcome.comm_bytes);
       result.cpu_joules += outcome.cpu_joules;
       result.radio_joules += radio_joules;
       battery.drain(outcome.cpu_joules + radio_joules);
 
-      const MatchResult match = match_detections(to_detections(outcome.detections),
-                                                 frame.truth[static_cast<std::size_t>(camera)]);
+      const MatchResult match = match_detections(
+          outcome.detections, frame.truth[static_cast<std::size_t>(entry.camera)]);
       for (int id : match.matched_person_ids) detected.insert(id);
     }
     for (int id : detected) {

@@ -33,6 +33,11 @@ struct ProtocolOptions {
 struct EecsSimulationConfig {
   int dataset = 1;
   std::uint64_t seed = 777;
+  /// Parallel width for the per-camera fan-out and the row-partitioned
+  /// kernels. 0 = global default (EECS_THREADS env, else hardware
+  /// concurrency); 1 = the exact serial legacy path. Results are
+  /// bit-identical at every setting (see DESIGN.md "Execution model").
+  int threads = 0;
   SelectionMode mode = SelectionMode::SubsetDowngrade;
   /// Per-frame energy budget B_j (identical cameras); algorithms that do not
   /// fit are not even assessed (§IV).
@@ -86,6 +91,21 @@ struct FaultCounters {
   long frames_skipped_exhausted = 0;  ///< Camera-frames skipped on empty battery.
 };
 
+/// Wall-clock seconds per pipeline stage, for bench observability only.
+/// Excluded from determinism comparisons: every other SimulationResult field
+/// is bit-identical across runs and thread counts, these are not.
+struct StageTimings {
+  double render_s = 0.0;      ///< Scene rendering (sim.next_frame and skips).
+  double detect_s = 0.0;      ///< Detection + color features (camera fan-out).
+  double features_s = 0.0;    ///< §IV-B.1 registration feature extraction.
+  double controller_s = 0.0;  ///< Selection / re-selection.
+  double net_s = 0.0;         ///< Network pump, sends, protocol bookkeeping.
+
+  [[nodiscard]] double total() const {
+    return render_s + detect_s + features_s + controller_s + net_s;
+  }
+};
+
 struct SimulationResult {
   double cpu_joules = 0.0;
   double radio_joules = 0.0;
@@ -95,6 +115,7 @@ struct SimulationResult {
   std::vector<RoundLog> rounds;
   FaultCounters faults;
   std::vector<double> battery_residual;  ///< Per camera, at simulation end.
+  StageTimings timings;                  ///< Observability only; see StageTimings.
 
   [[nodiscard]] double total_joules() const { return cpu_joules + radio_joules; }
   [[nodiscard]] double detection_rate() const {
@@ -125,6 +146,8 @@ struct FixedCombo {
 struct FixedComboConfig {
   int dataset = 1;
   std::uint64_t seed = 777;
+  /// Parallel width; see EecsSimulationConfig::threads.
+  int threads = 0;
   int start_frame = 1000;
   int end_frame = 2950;
   int gt_frame_step = 1;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/parallel.hpp"
 #include "imaging/filter.hpp"
 
 namespace eecs::features {
@@ -45,29 +46,33 @@ HogGrid compute_hog_grid(const imaging::Image& img, const HogParams& params,
   HogGrid grid(cells_x, cells_y, params.bins);
 
   const float bin_width = std::numbers::pi_v<float> / static_cast<float>(params.bins);
-  for (int cy = 0; cy < cells_y; ++cy) {
-    for (int cx = 0; cx < cells_x; ++cx) {
-      auto hist = grid.cell(cx, cy);
-      for (int dy = 0; dy < params.cell_size; ++dy) {
-        for (int dx = 0; dx < params.cell_size; ++dx) {
-          const int x = cx * params.cell_size + dx;
-          const int y = cy * params.cell_size + dy;
-          const float mag = grads.magnitude.at(x, y);
-          if (mag <= 0.0f) continue;
-          const float theta = grads.orientation.at(x, y);
-          // Soft assignment to the two nearest bins.
-          const float pos = theta / bin_width - 0.5f;
-          int b0 = static_cast<int>(std::floor(pos));
-          const float w1 = pos - static_cast<float>(b0);
-          int b1 = b0 + 1;
-          if (b0 < 0) b0 += params.bins;
-          if (b1 >= params.bins) b1 -= params.bins;
-          hist[static_cast<std::size_t>(b0)] += mag * (1.0f - w1);
-          hist[static_cast<std::size_t>(b1)] += mag * w1;
+  // Cell rows are independent (each cell bins only its own pixels into its
+  // own histogram), so they partition across the pool bit-identically.
+  common::parallel_for(static_cast<std::size_t>(cells_y), 8, [&](std::size_t cy0, std::size_t cy1) {
+    for (int cy = static_cast<int>(cy0); cy < static_cast<int>(cy1); ++cy) {
+      for (int cx = 0; cx < cells_x; ++cx) {
+        auto hist = grid.cell(cx, cy);
+        for (int dy = 0; dy < params.cell_size; ++dy) {
+          for (int dx = 0; dx < params.cell_size; ++dx) {
+            const int x = cx * params.cell_size + dx;
+            const int y = cy * params.cell_size + dy;
+            const float mag = grads.magnitude.at(x, y);
+            if (mag <= 0.0f) continue;
+            const float theta = grads.orientation.at(x, y);
+            // Soft assignment to the two nearest bins.
+            const float pos = theta / bin_width - 0.5f;
+            int b0 = static_cast<int>(std::floor(pos));
+            const float w1 = pos - static_cast<float>(b0);
+            int b1 = b0 + 1;
+            if (b0 < 0) b0 += params.bins;
+            if (b1 >= params.bins) b1 -= params.bins;
+            hist[static_cast<std::size_t>(b0)] += mag * (1.0f - w1);
+            hist[static_cast<std::size_t>(b1)] += mag * w1;
+          }
         }
       }
     }
-  }
+  });
   if (cost != nullptr) {
     // Gradient pass + binning pass over every pixel.
     cost->add_pixels(2 * img.pixel_count());

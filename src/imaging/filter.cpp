@@ -3,35 +3,52 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/parallel.hpp"
+
 namespace eecs::imaging {
 
 namespace {
+
+/// Row-partition grain: pixel rows are cheap, so only images tall enough to
+/// amortize task handoff are split. Each (channel, row) writes its own output
+/// row — bit-identical at any thread count.
+constexpr std::size_t kRowGrain = 48;
+
+/// Parallel loop over every (channel, row) pair of a `channels` x `height`
+/// plane set.
+void parallel_rows(int channels, int height, const std::function<void(int, int)>& body) {
+  common::parallel_for(static_cast<std::size_t>(channels) * static_cast<std::size_t>(height),
+                       kRowGrain, [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           body(static_cast<int>(i / static_cast<std::size_t>(height)),
+                                static_cast<int>(i % static_cast<std::size_t>(height)));
+                         }
+                       });
+}
 
 /// Horizontal then vertical pass with an arbitrary normalized kernel.
 Image separable_filter(const Image& img, std::span<const float> kernel) {
   const int radius = static_cast<int>(kernel.size()) / 2;
   Image tmp(img.width(), img.height(), img.channels());
   Image out(img.width(), img.height(), img.channels());
-  for (int c = 0; c < img.channels(); ++c) {
-    for (int y = 0; y < img.height(); ++y) {
-      for (int x = 0; x < img.width(); ++x) {
-        float s = 0.0f;
-        for (int k = -radius; k <= radius; ++k) {
-          s += kernel[static_cast<std::size_t>(k + radius)] * img.at_clamped(x + k, y, c);
-        }
-        tmp.at(x, y, c) = s;
+  parallel_rows(img.channels(), img.height(), [&](int c, int y) {
+    for (int x = 0; x < img.width(); ++x) {
+      float s = 0.0f;
+      for (int k = -radius; k <= radius; ++k) {
+        s += kernel[static_cast<std::size_t>(k + radius)] * img.at_clamped(x + k, y, c);
       }
+      tmp.at(x, y, c) = s;
     }
-    for (int y = 0; y < img.height(); ++y) {
-      for (int x = 0; x < img.width(); ++x) {
-        float s = 0.0f;
-        for (int k = -radius; k <= radius; ++k) {
-          s += kernel[static_cast<std::size_t>(k + radius)] * tmp.at_clamped(x, y + k, c);
-        }
-        out.at(x, y, c) = s;
+  });
+  parallel_rows(img.channels(), img.height(), [&](int c, int y) {
+    for (int x = 0; x < img.width(); ++x) {
+      float s = 0.0f;
+      for (int k = -radius; k <= radius; ++k) {
+        s += kernel[static_cast<std::size_t>(k + radius)] * tmp.at_clamped(x, y + k, c);
       }
+      out.at(x, y, c) = s;
     }
-  }
+  });
   return out;
 }
 
@@ -63,7 +80,7 @@ Image gaussian_blur(const Image& img, float sigma) {
 Gradients compute_gradients(const Image& img) {
   const Image gray = to_gray(img);
   Gradients g{Image(gray.width(), gray.height(), 1), Image(gray.width(), gray.height(), 1)};
-  for (int y = 0; y < gray.height(); ++y) {
+  parallel_rows(1, gray.height(), [&](int, int y) {
     for (int x = 0; x < gray.width(); ++x) {
       const float gx = gray.at_clamped(x + 1, y) - gray.at_clamped(x - 1, y);
       const float gy = gray.at_clamped(x, y + 1) - gray.at_clamped(x, y - 1);
@@ -73,7 +90,7 @@ Gradients compute_gradients(const Image& img) {
       if (theta >= std::numbers::pi_v<float>) theta -= std::numbers::pi_v<float>;
       g.orientation.at(x, y) = theta;
     }
-  }
+  });
   return g;
 }
 
@@ -83,24 +100,22 @@ Image resize(const Image& img, int new_width, int new_height) {
   Image out(new_width, new_height, img.channels());
   const float sx = static_cast<float>(img.width()) / static_cast<float>(new_width);
   const float sy = static_cast<float>(img.height()) / static_cast<float>(new_height);
-  for (int c = 0; c < img.channels(); ++c) {
-    for (int y = 0; y < new_height; ++y) {
-      const float fy = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
-      const int y0 = static_cast<int>(std::floor(fy));
-      const float wy = fy - static_cast<float>(y0);
-      for (int x = 0; x < new_width; ++x) {
-        const float fx = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
-        const int x0 = static_cast<int>(std::floor(fx));
-        const float wx = fx - static_cast<float>(x0);
-        const float v00 = img.at_clamped(x0, y0, c);
-        const float v10 = img.at_clamped(x0 + 1, y0, c);
-        const float v01 = img.at_clamped(x0, y0 + 1, c);
-        const float v11 = img.at_clamped(x0 + 1, y0 + 1, c);
-        out.at(x, y, c) = (1 - wx) * (1 - wy) * v00 + wx * (1 - wy) * v10 +
-                          (1 - wx) * wy * v01 + wx * wy * v11;
-      }
+  parallel_rows(img.channels(), new_height, [&](int c, int y) {
+    const float fy = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
+    const int y0 = static_cast<int>(std::floor(fy));
+    const float wy = fy - static_cast<float>(y0);
+    for (int x = 0; x < new_width; ++x) {
+      const float fx = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
+      const int x0 = static_cast<int>(std::floor(fx));
+      const float wx = fx - static_cast<float>(x0);
+      const float v00 = img.at_clamped(x0, y0, c);
+      const float v10 = img.at_clamped(x0 + 1, y0, c);
+      const float v01 = img.at_clamped(x0, y0 + 1, c);
+      const float v11 = img.at_clamped(x0 + 1, y0 + 1, c);
+      out.at(x, y, c) = (1 - wx) * (1 - wy) * v00 + wx * (1 - wy) * v10 +
+                        (1 - wx) * wy * v01 + wx * wy * v11;
     }
-  }
+  });
   return out;
 }
 
@@ -111,19 +126,17 @@ Image block_downsample(const Image& img, int factor) {
   const int nh = std::max(1, img.height() / factor);
   Image out(nw, nh, img.channels());
   const float inv = 1.0f / static_cast<float>(factor * factor);
-  for (int c = 0; c < img.channels(); ++c) {
-    for (int y = 0; y < nh; ++y) {
-      for (int x = 0; x < nw; ++x) {
-        float s = 0.0f;
-        for (int dy = 0; dy < factor; ++dy) {
-          for (int dx = 0; dx < factor; ++dx) {
-            s += img.at_clamped(x * factor + dx, y * factor + dy, c);
-          }
+  parallel_rows(img.channels(), nh, [&](int c, int y) {
+    for (int x = 0; x < nw; ++x) {
+      float s = 0.0f;
+      for (int dy = 0; dy < factor; ++dy) {
+        for (int dx = 0; dx < factor; ++dx) {
+          s += img.at_clamped(x * factor + dx, y * factor + dy, c);
         }
-        out.at(x, y, c) = s * inv;
       }
+      out.at(x, y, c) = s * inv;
     }
-  }
+  });
   return out;
 }
 

@@ -2,20 +2,37 @@
 
 #include <algorithm>
 
+#include "common/parallel.hpp"
+
 namespace eecs::imaging {
 
 IntegralImage::IntegralImage(const Image& img)
     : width_(img.width()),
       height_(img.height()),
       table_(static_cast<std::size_t>(width_ + 1) * static_cast<std::size_t>(height_ + 1), 0.0) {
-  for (int y = 0; y < height_; ++y) {
-    double row_sum = 0.0;
-    for (int x = 0; x < width_; ++x) {
-      row_sum += img.at(x, y, 0);
-      table_[static_cast<std::size_t>(y + 1) * static_cast<std::size_t>(width_ + 1) +
-             static_cast<std::size_t>(x + 1)] = table_at(x + 1, y) + row_sum;
+  // Two passes, each parallel over an independent partition, reproducing the
+  // serial recurrence table[y+1][x+1] = table[y][x+1] + row_sum bit for bit:
+  // the horizontal prefix sums accumulate in x order per row, and the
+  // vertical pass adds them in y order per column, so every table entry sees
+  // the identical sequence of double additions as the single-threaded loop.
+  const std::size_t w1 = static_cast<std::size_t>(width_ + 1);
+  common::parallel_for(static_cast<std::size_t>(height_), 64, [&](std::size_t y0, std::size_t y1) {
+    for (std::size_t y = y0; y < y1; ++y) {
+      double row_sum = 0.0;
+      for (int x = 0; x < width_; ++x) {
+        row_sum += img.at(x, static_cast<int>(y), 0);
+        table_[(y + 1) * w1 + static_cast<std::size_t>(x + 1)] = row_sum;
+      }
     }
-  }
+  });
+  common::parallel_for(static_cast<std::size_t>(width_), 64, [&](std::size_t x0, std::size_t x1) {
+    for (int y = 1; y < height_; ++y) {
+      for (std::size_t x = x0; x < x1; ++x) {
+        table_[static_cast<std::size_t>(y + 1) * w1 + (x + 1)] +=
+            table_[static_cast<std::size_t>(y) * w1 + (x + 1)];
+      }
+    }
+  });
 }
 
 double IntegralImage::rect_sum(int x0, int y0, int x1, int y1) const {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/parallel.hpp"
+
 namespace eecs::linalg {
 
 namespace {
@@ -66,21 +68,28 @@ KmeansResult kmeans(const Matrix& data, int k, Rng& rng, const KmeansOptions& op
   double prev_inertia = std::numeric_limits<double>::max();
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    // Assign.
-    double inertia = 0.0;
-    for (int i = 0; i < n; ++i) {
-      double best = std::numeric_limits<double>::max();
-      int best_j = 0;
-      for (int j = 0; j < k; ++j) {
-        const double d2 = sq_dist(data.row(i), result.centroids.row(j));
-        if (d2 < best) {
-          best = d2;
-          best_j = j;
+    // Assign: each sample's nearest centroid is independent, so the search
+    // partitions across the pool; the inertia reduction is then folded
+    // sequentially in sample order to keep the double sum bit-identical to
+    // the serial loop.
+    std::vector<double> best_d2(static_cast<std::size_t>(n));
+    common::parallel_for(static_cast<std::size_t>(n), 64, [&](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        double best = std::numeric_limits<double>::max();
+        int best_j = 0;
+        for (int j = 0; j < k; ++j) {
+          const double d2 = sq_dist(data.row(static_cast<int>(i)), result.centroids.row(j));
+          if (d2 < best) {
+            best = d2;
+            best_j = j;
+          }
         }
+        result.assignment[i] = best_j;
+        best_d2[i] = best;
       }
-      result.assignment[static_cast<std::size_t>(i)] = best_j;
-      inertia += best;
-    }
+    });
+    double inertia = 0.0;
+    for (int i = 0; i < n; ++i) inertia += best_d2[static_cast<std::size_t>(i)];
     result.inertia = inertia;
 
     // Update.

@@ -2,7 +2,18 @@
 
 #include <cmath>
 
+#include "common/parallel.hpp"
+
 namespace eecs::linalg {
+
+namespace {
+
+/// Products split over output rows: each task owns a disjoint row range and
+/// accumulates its entries in the same k order as the serial loop, so results
+/// are bit-identical at any thread count. Small products stay serial.
+constexpr std::size_t kRowGrain = 16;
+
+}  // namespace
 
 Matrix::Matrix(int rows, int cols)
     : rows_(rows),
@@ -119,38 +130,55 @@ Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
 Matrix operator*(const Matrix& a, const Matrix& b) {
   EECS_EXPECTS(a.cols() == b.rows());
   Matrix out(a.rows(), b.cols());
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const auto brow = b.row(k);
-      auto orow = out.row(i);
-      for (int j = 0; j < b.cols(); ++j) orow[static_cast<std::size_t>(j)] += aik * brow[static_cast<std::size_t>(j)];
-    }
-  }
+  common::parallel_for(static_cast<std::size_t>(a.rows()), kRowGrain,
+                       [&](std::size_t i0, std::size_t i1) {
+                         for (int i = static_cast<int>(i0); i < static_cast<int>(i1); ++i) {
+                           auto orow = out.row(i);
+                           for (int k = 0; k < a.cols(); ++k) {
+                             const double aik = a(i, k);
+                             if (aik == 0.0) continue;
+                             const auto brow = b.row(k);
+                             for (int j = 0; j < b.cols(); ++j) {
+                               orow[static_cast<std::size_t>(j)] += aik * brow[static_cast<std::size_t>(j)];
+                             }
+                           }
+                         }
+                       });
   return out;
 }
 
 Matrix transpose_times(const Matrix& a, const Matrix& b) {
   EECS_EXPECTS(a.rows() == b.rows());
   Matrix out(a.cols(), b.cols());
-  for (int k = 0; k < a.rows(); ++k) {
-    const auto arow = a.row(k);
-    const auto brow = b.row(k);
-    for (int i = 0; i < a.cols(); ++i) {
-      const double aki = arow[static_cast<std::size_t>(i)];
-      if (aki == 0.0) continue;
-      auto orow = out.row(i);
-      for (int j = 0; j < b.cols(); ++j) orow[static_cast<std::size_t>(j)] += aki * brow[static_cast<std::size_t>(j)];
-    }
-  }
+  // Output-row-major order (i outer, k inner) instead of the cache-friendlier
+  // k-outer walk, so each task owns its rows; per-entry accumulation still
+  // runs in increasing k, matching the serial result bit for bit.
+  common::parallel_for(static_cast<std::size_t>(a.cols()), kRowGrain,
+                       [&](std::size_t i0, std::size_t i1) {
+                         for (int i = static_cast<int>(i0); i < static_cast<int>(i1); ++i) {
+                           auto orow = out.row(i);
+                           for (int k = 0; k < a.rows(); ++k) {
+                             const double aki = a(k, i);
+                             if (aki == 0.0) continue;
+                             const auto brow = b.row(k);
+                             for (int j = 0; j < b.cols(); ++j) {
+                               orow[static_cast<std::size_t>(j)] += aki * brow[static_cast<std::size_t>(j)];
+                             }
+                           }
+                         }
+                       });
   return out;
 }
 
 std::vector<double> operator*(const Matrix& a, std::span<const double> x) {
   EECS_EXPECTS(a.cols() == static_cast<int>(x.size()));
   std::vector<double> out(static_cast<std::size_t>(a.rows()), 0.0);
-  for (int i = 0; i < a.rows(); ++i) out[static_cast<std::size_t>(i)] = dot(a.row(i), x);
+  common::parallel_for(static_cast<std::size_t>(a.rows()), 2 * kRowGrain,
+                       [&](std::size_t i0, std::size_t i1) {
+                         for (std::size_t i = i0; i < i1; ++i) {
+                           out[i] = dot(a.row(static_cast<int>(i)), x);
+                         }
+                       });
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.hpp"
 #include "imaging/draw.hpp"
 #include "video/sprite.hpp"
 
@@ -301,12 +302,15 @@ void SceneSimulator::advance() {
 MultiViewFrame SceneSimulator::next_frame() {
   MultiViewFrame frame;
   frame.index = frame_index_;
-  frame.views.reserve(cameras_.size());
-  frame.truth.reserve(cameras_.size());
-  for (std::size_t i = 0; i < cameras_.size(); ++i) {
-    frame.views.push_back(render(static_cast<int>(i)));
-    frame.truth.push_back(ground_truth(static_cast<int>(i)));
-  }
+  // Each view is rendered from const scene state (per-pixel hash noise, no
+  // shared RNG), so the cameras fan out as independent tasks; slots are
+  // index-ordered, keeping the frame bit-identical at any thread count.
+  frame.views.resize(cameras_.size());
+  frame.truth.resize(cameras_.size());
+  common::parallel_for_each(cameras_.size(), [&](std::size_t i) {
+    frame.views[i] = render(static_cast<int>(i));
+    frame.truth[i] = ground_truth(static_cast<int>(i));
+  });
   frame.world_positions.reserve(people_.size());
   for (const Person& p : people_) frame.world_positions.push_back(p.position());
   advance();

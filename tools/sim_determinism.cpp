@@ -1,12 +1,75 @@
 // Prints full-precision SimulationResult numbers for fixed configs so that
 // refactors of the closed loop can be checked for bit-identical behaviour
-// (same seeds -> same energy/detection numbers) against a saved reference.
+// (same seeds -> same energy/detection numbers) against a saved reference —
+// and proves thread-count invariance by running every config at threads=1
+// (the exact legacy serial path) and threads=N, diffing the reports, and
+// exiting nonzero on any mismatch.
+#include <cstdarg>
 #include <cstdio>
+#include <string>
 
+#include "common/parallel.hpp"
 #include "core/simulation.hpp"
 
 using namespace eecs;
 using namespace eecs::core;
+
+namespace {
+
+void append(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+/// Full %.17g report of every deterministic field (timings are wall-clock
+/// observability and deliberately excluded) for all fixed configs at the
+/// given parallel width.
+std::string report(const DetectorBank& bank, const OfflineKnowledge& knowledge, int threads) {
+  std::string out;
+  for (auto mode :
+       {SelectionMode::AllBest, SelectionMode::SubsetOnly, SelectionMode::SubsetDowngrade}) {
+    EecsSimulationConfig cfg;
+    cfg.dataset = 1;
+    cfg.threads = threads;
+    cfg.mode = mode;
+    cfg.budget_per_frame = 3.0;
+    cfg.controller.algorithms = {detect::AlgorithmId::Hog, detect::AlgorithmId::Acf};
+    cfg.models.algorithms = cfg.controller.algorithms;
+    cfg.models.frames_per_item = 4;
+    cfg.end_frame = 2200;
+    const SimulationResult r = run_eecs_simulation(bank, knowledge, cfg);
+    append(out, "mode=%d cpu=%.17g radio=%.17g detected=%d present=%d frames=%d rounds=%zu\n",
+           static_cast<int>(mode), r.cpu_joules, r.radio_joules, r.humans_detected,
+           r.humans_present, r.gt_frames_processed, r.rounds.size());
+    for (const auto& round : r.rounds) {
+      append(out, "  round@%d n*=%.17g p*=%.17g n=%.17g p=%.17g active=%d %s\n",
+             round.start_frame, round.stats.n_star, round.stats.p_star, round.stats.n_est,
+             round.stats.p_est, round.stats.cameras_active, round.stats.summary.c_str());
+    }
+    for (std::size_t c = 0; c < r.battery_residual.size(); ++c) {
+      append(out, "  battery[%zu]=%.17g\n", c, r.battery_residual[c]);
+    }
+  }
+
+  FixedCombo combo;
+  combo.active = {{0, detect::AlgorithmId::Hog}, {1, detect::AlgorithmId::Acf}};
+  FixedComboConfig fixed;
+  fixed.dataset = 1;
+  fixed.threads = threads;
+  fixed.models.algorithms = {detect::AlgorithmId::Hog, detect::AlgorithmId::Acf};
+  fixed.models.frames_per_item = 4;
+  fixed.end_frame = 1400;
+  const SimulationResult r = run_fixed_combo(bank, knowledge, combo, fixed);
+  append(out, "fixed cpu=%.17g radio=%.17g detected=%d present=%d frames=%d\n", r.cpu_joules,
+         r.radio_joules, r.humans_detected, r.humans_present, r.gt_frames_processed);
+  return out;
+}
+
+}  // namespace
 
 int main() {
   DetectorBank bank = detect::make_trained_detectors(1234);
@@ -15,34 +78,17 @@ int main() {
   opts.frames_per_item = 4;
   const OfflineKnowledge knowledge = run_offline_training(bank, {1}, 42, opts);
 
-  for (auto mode :
-       {SelectionMode::AllBest, SelectionMode::SubsetOnly, SelectionMode::SubsetDowngrade}) {
-    EecsSimulationConfig cfg;
-    cfg.dataset = 1;
-    cfg.mode = mode;
-    cfg.budget_per_frame = 3.0;
-    cfg.controller.algorithms = opts.algorithms;
-    cfg.models = opts;
-    cfg.end_frame = 2200;
-    const SimulationResult r = run_eecs_simulation(bank, knowledge, cfg);
-    std::printf("mode=%d cpu=%.17g radio=%.17g detected=%d present=%d frames=%d rounds=%zu\n",
-                static_cast<int>(mode), r.cpu_joules, r.radio_joules, r.humans_detected,
-                r.humans_present, r.gt_frames_processed, r.rounds.size());
-    for (const auto& round : r.rounds) {
-      std::printf("  round@%d n*=%.17g p*=%.17g n=%.17g p=%.17g active=%d %s\n",
-                  round.start_frame, round.stats.n_star, round.stats.p_star, round.stats.n_est,
-                  round.stats.p_est, round.stats.cameras_active, round.stats.summary.c_str());
-    }
-  }
+  const std::string serial = report(bank, knowledge, 1);
+  std::fputs(serial.c_str(), stdout);
 
-  FixedCombo combo;
-  combo.active = {{0, detect::AlgorithmId::Hog}, {1, detect::AlgorithmId::Acf}};
-  FixedComboConfig fixed;
-  fixed.dataset = 1;
-  fixed.models = opts;
-  fixed.end_frame = 1400;
-  const SimulationResult r = run_fixed_combo(bank, knowledge, combo, fixed);
-  std::printf("fixed cpu=%.17g radio=%.17g detected=%d present=%d frames=%d\n", r.cpu_joules,
-              r.radio_joules, r.humans_detected, r.humans_present, r.gt_frames_processed);
-  return 0;
+  const int wide = common::max_threads() > 1 ? common::max_threads() : 4;
+  const std::string parallel = report(bank, knowledge, wide);
+  if (parallel == serial) {
+    std::printf("PASS: threads=1 and threads=%d reports are bit-identical\n", wide);
+    return 0;
+  }
+  std::printf("FAIL: threads=%d diverges from threads=1\n", wide);
+  std::fputs("---- threads=N report ----\n", stdout);
+  std::fputs(parallel.c_str(), stdout);
+  return 1;
 }
