@@ -20,6 +20,33 @@ namespace eecs::bench {
 /// Deterministic seed shared by all benches.
 inline constexpr std::uint64_t kSeed = 1234;
 
+/// True when this binary was compiled without NDEBUG (assertions active):
+/// such timings are NOT comparable across commits and must not be committed
+/// as BENCH_*.json baselines.
+#ifdef NDEBUG
+inline constexpr bool kAssertsCompiledIn = false;
+#else
+inline constexpr bool kAssertsCompiledIn = true;
+#endif
+
+/// Loud stderr warning for perf benches run from a non-benchmark build.
+inline void warn_if_debug_build() {
+  if (kAssertsCompiledIn) {
+    std::fprintf(stderr,
+                 "============================================================\n"
+                 " WARNING: this bench was built WITHOUT NDEBUG (assertions\n"
+                 " are active). Timings are not comparable; rebuild with\n"
+                 "   cmake --preset bench && cmake --build --preset bench\n"
+                 "============================================================\n");
+  }
+}
+
+/// Build-flavor fragment every BENCH_*.json carries, so a debug-build run is
+/// visible in the committed artifact itself.
+inline std::string json_build_context() {
+  return format("\"ndebug\": %s", kAssertsCompiledIn ? "false" : "true");
+}
+
 /// Sampled ground-truth frames of one (dataset, camera) segment.
 struct Segment {
   std::vector<imaging::Image> frames;
@@ -85,7 +112,9 @@ inline std::string json_timings(const core::StageTimings& t) {
 
 /// Write a machine-readable observability file next to the bench's stdout
 /// report (BENCH_<name>.json by convention, tracked for perf trajectory).
+/// Re-warns on debug builds so the notice brackets the run's output.
 inline void write_bench_json(const std::string& path, const std::string& content) {
+  warn_if_debug_build();
   std::ofstream out(path);
   out << content << "\n";
   std::printf("wrote %s\n", path.c_str());

@@ -73,8 +73,12 @@ void run_regime(const core::DetectorBank& bank, const core::OfflineKnowledge& kn
 /// width, reporting per-stage wall-clock and the end-to-end speedup.
 std::string threading_probe(const core::DetectorBank& bank,
                             const core::OfflineKnowledge& knowledge) {
-  // At least 4 even when hardware_concurrency reports 1 (containers often
-  // underreport); oversubscription is harmless for a probe.
+  // A 1-vs-N wall-clock comparison on a single-core host measures only pool
+  // overhead and produces a misleading ~1x "speedup"; skip it outright.
+  if (common::hardware_threads() <= 1) {
+    std::printf("threading probe skipped: single core\n\n");
+    return std::string("{\"skipped\": \"single core\"}");
+  }
   const int wide = std::max(4, common::hardware_threads());
   core::EecsSimulationConfig config;
   config.dataset = 1;
@@ -107,6 +111,7 @@ std::string threading_probe(const core::DetectorBank& bank,
 }  // namespace
 
 int main() {
+  warn_if_debug_build();
   Stopwatch watch;
   const core::DetectorBank bank = detect::make_trained_detectors(kSeed);
   core::OfflineOptions options;
@@ -137,7 +142,7 @@ int main() {
         i == 0 ? "" : ",", e.regime.c_str(), e.mode.c_str(), e.budget, e.total_joules,
         e.humans_detected, json_timings(e.timings).c_str());
   }
-  json += "\n  ],\n  \"threading_probe\": " + probe + "\n}";
+  json += "\n  ],\n  \"context\": {" + json_build_context() + "},\n  \"threading_probe\": " + probe + "\n}";
   write_bench_json("BENCH_fig5_eecs_dataset1.json", json);
 
   std::printf("total %.1fs\n", watch.seconds());

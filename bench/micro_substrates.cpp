@@ -7,11 +7,13 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "imaging/filter.hpp"
 #include "core/offline.hpp"
 #include "detect/detector.hpp"
+#include "detect/frame_cache.hpp"
 #include "domain/gfk.hpp"
 #include "features/frame_feature.hpp"
 #include "features/hog.hpp"
@@ -126,6 +128,47 @@ void BM_Detector(benchmark::State& state) {
 }
 BENCHMARK(BM_Detector)->DenseRange(0, 3);
 
+// One detector through an explicit FramePrecompute, optimized (score maps +
+// memoized substrates) vs forced-naive (the pre-cache per-window path). Both
+// use a fresh cache per iteration, so this isolates the scoring-path win.
+void BM_DetectFrame(benchmark::State& state) {
+  const auto& detector = *bank()[static_cast<std::size_t>(state.range(0))];
+  const imaging::Image& frame = dataset1_frame();
+  const bool naive = state.range(1) != 0;
+  for (auto _ : state) {
+    detect::FramePrecompute pre(frame, naive);
+    benchmark::DoNotOptimize(detector.detect(pre));
+  }
+  state.SetLabel(std::string(detect::to_string(detector.id())) +
+                 (naive ? "/naive" : "/optimized"));
+}
+BENCHMARK(BM_DetectFrame)->ArgsProduct({{0, 1, 2, 3}, {0, 1}});
+
+// The assessment sweep: all four algorithms on one frame. shared = one
+// FramePrecompute across the sweep (what core/simulation.cpp does now);
+// cold = a fresh cache per algorithm (score maps, no cross-detector reuse);
+// naive = the pre-cache per-window path, the old baseline.
+void BM_AssessmentSweep(benchmark::State& state) {
+  const imaging::Image& frame = dataset1_frame();
+  // Touch the bank before timing starts: its first use trains all four
+  // detectors, which must not land in this benchmark's measurement.
+  const core::DetectorBank& detectors = bank();
+  const int mode = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    if (mode == 2) {
+      detect::FramePrecompute pre(frame);
+      for (const auto& detector : detectors) benchmark::DoNotOptimize(detector->detect(pre));
+    } else {
+      for (const auto& detector : detectors) {
+        detect::FramePrecompute pre(frame, /*force_naive=*/mode == 0);
+        benchmark::DoNotOptimize(detector->detect(pre));
+      }
+    }
+  }
+  state.SetLabel(mode == 0 ? "naive" : (mode == 1 ? "cold-cache" : "shared-cache"));
+}
+BENCHMARK(BM_AssessmentSweep)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_HomographyRansac(benchmark::State& state) {
   Rng rng(11);
   const geometry::Homography truth({{{1.1, 0.05, 3}, {0.02, 0.95, -2}, {1e-4, -2e-4, 1}}});
@@ -183,6 +226,8 @@ int main(int argc, char** argv) {
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  eecs::bench::warn_if_debug_build();
+  benchmark::AddCustomContext("eecs_ndebug", eecs::bench::kAssertsCompiledIn ? "false" : "true");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -8,6 +8,7 @@
 
 #include "common/parallel.hpp"
 #include "common/stopwatch.hpp"
+#include "detect/frame_cache.hpp"
 #include "features/color_feature.hpp"
 #include "net/messages.hpp"
 
@@ -70,11 +71,12 @@ struct FrameOutcome {
 };
 
 FrameOutcome process_camera_frame(const detect::Detector& detector, double threshold, int camera,
-                                  const imaging::Image& frame, const OfflineOptions& models) {
+                                  detect::FramePrecompute& pre, const OfflineOptions& models) {
   (void)camera;
   FrameOutcome outcome;
   energy::CostCounter cost;
-  auto raw = detector.detect(frame, &cost);
+  auto raw = detector.detect(pre, &cost);
+  const imaging::Image& frame = pre.frame();
   outcome.detections.reserve(raw.size());
   outcome.color_features.reserve(raw.size());
   for (auto& det : raw) {
@@ -86,6 +88,12 @@ FrameOutcome process_camera_frame(const detect::Detector& detector, double thres
   }
   outcome.cpu_joules = models.cpu_model.joules(cost);
   return outcome;
+}
+
+FrameOutcome process_camera_frame(const detect::Detector& detector, double threshold, int camera,
+                                  const imaging::Image& frame, const OfflineOptions& models) {
+  detect::FramePrecompute pre(frame);
+  return process_camera_frame(detector, threshold, camera, pre, models);
 }
 
 /// Assemble the §IV-B assessment sample representation from an outcome,
@@ -522,16 +530,17 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
     for (int f = 0; f < config.assessment_gt_frames; ++f) {
       pump_network(sim.frame_index() + 0.5);
       const video::MultiViewFrame frame = next_frame_timed();
-      // The (camera, algorithm) pairs are independent tasks: gating depends
-      // only on state fixed before any of this frame's transmissions
-      // (node_down is clock-driven, batteries are not drained here), so the
-      // task list is built up front and the detection work fans out.
+      // Gating depends only on state fixed before any of this frame's
+      // transmissions (node_down is clock-driven, batteries are not drained
+      // here), so the task lists are built up front. The fan-out is one task
+      // per camera: a camera's algorithms run sequentially over one shared
+      // FramePrecompute, so the 4-algorithm sweep computes common substrates
+      // (resizes, block grids, channels) once instead of once per algorithm.
       struct AssessTask {
-        int camera = 0;
         detect::AlgorithmId algorithm = detect::AlgorithmId::Hog;
         double threshold = 0.0;
       };
-      std::vector<AssessTask> tasks;
+      std::vector<std::vector<AssessTask>> tasks(static_cast<std::size_t>(num_cameras));
       std::vector<char> camera_up(static_cast<std::size_t>(num_cameras), 0);
       for (int c = 0; c < num_cameras; ++c) {
         if (camera_down(c)) continue;
@@ -539,35 +548,41 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
         for (detect::AlgorithmId alg : config.controller.algorithms) {
           const AlgorithmProfile* profile = controller.entry(c, alg);
           if (profile == nullptr) continue;  // Over budget or not ranked.
-          tasks.push_back({c, alg, profile->threshold});
+          tasks[static_cast<std::size_t>(c)].push_back({alg, profile->threshold});
         }
       }
-      std::vector<FrameOutcome> outcomes;
+      std::vector<std::vector<FrameOutcome>> outcomes;
       {
         const StageTimer timer(result.timings.detect_s);
-        outcomes = common::parallel_map<FrameOutcome>(tasks.size(), [&](std::size_t t) {
-          const AssessTask& task = tasks[t];
-          return process_camera_frame(detector_of(task.algorithm), task.threshold, task.camera,
-                                      frame.views[static_cast<std::size_t>(task.camera)],
-                                      config.models);
-        });
+        outcomes = common::parallel_map<std::vector<FrameOutcome>>(
+            static_cast<std::size_t>(num_cameras), [&](std::size_t c) {
+              std::vector<FrameOutcome> out;
+              if (tasks[c].empty()) return out;
+              detect::FramePrecompute pre(frame.views[c]);
+              out.reserve(tasks[c].size());
+              for (const AssessTask& task : tasks[c]) {
+                out.push_back(process_camera_frame(detector_of(task.algorithm), task.threshold,
+                                                   static_cast<int>(c), pre, config.models));
+              }
+              return out;
+            });
       }
       // Sequential transmission phase, in the exact serial-path order:
       // heartbeat(c), then one metadata message per assessed algorithm.
       const StageTimer timer(result.timings.net_s);
-      std::size_t t = 0;
       for (int c = 0; c < num_cameras; ++c) {
         if (!camera_up[static_cast<std::size_t>(c)]) continue;
         send_heartbeat(c);
-        for (; t < tasks.size() && tasks[t].camera == c; ++t) {
-          FrameOutcome& outcome = outcomes[t];
+        const auto& camera_tasks = tasks[static_cast<std::size_t>(c)];
+        for (std::size_t t = 0; t < camera_tasks.size(); ++t) {
+          FrameOutcome& outcome = outcomes[static_cast<std::size_t>(c)][t];
           const net::DetectionMetadataMsg msg =
-              make_metadata_msg(c, frame.index, tasks[t].algorithm, outcome);
+              make_metadata_msg(c, frame.index, camera_tasks[t].algorithm, outcome);
           ++result.faults.messages_sent;
           const auto tx = network.send(net_node[static_cast<std::size_t>(c)], 0, encode(msg),
                                        net::TxClass::Control);
           if (tx.delivered) {
-            in_flight[{c, frame.index, static_cast<int>(tasks[t].algorithm)}] = {
+            in_flight[{c, frame.index, static_cast<int>(camera_tasks[t].algorithm)}] = {
                 f, to_view_detections(c, std::move(outcome))};
           } else {
             ++result.faults.messages_lost;

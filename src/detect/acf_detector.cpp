@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "detect/frame_cache.hpp"
 #include "detect/nms.hpp"
 #include "imaging/filter.hpp"
 
@@ -25,17 +26,22 @@ ChannelMap compute_acf_channels(const imaging::Image& img, energy::CostCounter* 
                                  static_cast<std::size_t>(ah);
   };
 
-  // Color channels: block-averaged RGB (grayscale images replicate).
+  // Color channels: block-averaged RGB (grayscale images replicate). Every
+  // sample x*kAcfShrink+dx <= aw*kAcfShrink-1 <= width-1 is in bounds, so the
+  // aggregation indexes source rows directly; the (dy, dx) sum order matches
+  // the clamped-access form this replaces bit for bit.
+  const int iw = img.width();
   for (int c = 0; c < 3; ++c) {
     float* dst = plane(c);
-    const int src_c = img.channels() == 3 ? c : 0;
+    const float* src = img.plane(img.channels() == 3 ? c : 0).data();
     for (int y = 0; y < ah; ++y) {
       for (int x = 0; x < aw; ++x) {
         float s = 0.0f;
         for (int dy = 0; dy < kAcfShrink; ++dy) {
-          for (int dx = 0; dx < kAcfShrink; ++dx) {
-            s += img.at_clamped(x * kAcfShrink + dx, y * kAcfShrink + dy, src_c);
-          }
+          const float* row = src + static_cast<std::size_t>(y * kAcfShrink + dy) *
+                                       static_cast<std::size_t>(iw) +
+                             static_cast<std::size_t>(x * kAcfShrink);
+          for (int dx = 0; dx < kAcfShrink; ++dx) s += row[dx];
         }
         dst[y * aw + x] = s / (kAcfShrink * kAcfShrink);
       }
@@ -46,19 +52,22 @@ ChannelMap compute_acf_channels(const imaging::Image& img, energy::CostCounter* 
   const imaging::Gradients grads = imaging::compute_gradients(img);
   constexpr int kOrientations = 6;
   const float bin_width = std::numbers::pi_v<float> / kOrientations;
+  const float* mag_src = grads.magnitude.plane(0).data();
+  const float* ori_src = grads.orientation.plane(0).data();
   float* mag_plane = plane(3);
   for (int y = 0; y < ah; ++y) {
     for (int x = 0; x < aw; ++x) {
       float mag_sum = 0.0f;
       float orient_sum[kOrientations] = {};
       for (int dy = 0; dy < kAcfShrink; ++dy) {
+        const std::size_t base = static_cast<std::size_t>(y * kAcfShrink + dy) *
+                                     static_cast<std::size_t>(iw) +
+                                 static_cast<std::size_t>(x * kAcfShrink);
         for (int dx = 0; dx < kAcfShrink; ++dx) {
-          const int px = std::min(x * kAcfShrink + dx, grads.magnitude.width() - 1);
-          const int py = std::min(y * kAcfShrink + dy, grads.magnitude.height() - 1);
-          const float m = grads.magnitude.at(px, py);
+          const float m = mag_src[base + static_cast<std::size_t>(dx)];
           mag_sum += m;
           const int bin = std::min(kOrientations - 1,
-                                   static_cast<int>(grads.orientation.at(px, py) / bin_width));
+                                   static_cast<int>(ori_src[base + static_cast<std::size_t>(dx)] / bin_width));
           orient_sum[bin] += m;
         }
       }
@@ -101,6 +110,8 @@ void AcfDetector::train(const TrainingSet& training_set, Rng& rng) {
     y.push_back(-1);
   }
   model_ = train_adaboost(x, y, rng, params_.boost);
+  total_alpha_ = 0.0;
+  for (const Stump& st : model_.stumps) total_alpha_ += std::abs(static_cast<double>(st.alpha));
 
   std::vector<double> pos_scores, neg_scores;
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -109,47 +120,64 @@ void AcfDetector::train(const TrainingSet& training_set, Rng& rng) {
   fit_score_calibration(pos_scores, neg_scores);
 }
 
-std::vector<Detection> AcfDetector::detect(const imaging::Image& frame,
-                                           energy::CostCounter* cost) const {
+std::vector<Detection> AcfDetector::detect(FramePrecompute& pre, energy::CostCounter* cost) const {
   EECS_EXPECTS(trained());
   std::vector<Detection> candidates;
+  const imaging::Image& frame = pre.frame();
+  const double total_alpha = total_alpha_;
 
-  for (double scale : pyramid_scales(params_.min_scale, params_.max_scale, params_.scale_factor)) {
+  for (double scale : scales_) {
     const int sw = static_cast<int>(std::lround(frame.width() * scale));
     const int sh = static_cast<int>(std::lround(frame.height() * scale));
     if (sw < kWindowWidth || sh < kWindowHeight) continue;
-    const imaging::Image scaled =
-        scale == 1.0 ? frame : imaging::resize(frame, sw, sh);
+    // At scale 1.0 pre.scaled returns the frame itself, matching the old
+    // resize-free path; only resized levels are charged as pixel ops.
+    const imaging::Image& scaled = pre.scaled(sw, sh);
     if (scale != 1.0 && cost != nullptr) cost->add_pixels(scaled.pixel_count());
 
-    double total_alpha = 0.0;
-    for (const Stump& st : model_.stumps) total_alpha += std::abs(static_cast<double>(st.alpha));
-
-    const ChannelMap channels = compute_acf_channels(scaled, cost);
+    const ChannelMap& channels = pre.acf_channels(sw, sh, cost);
     const int max_x = channels.width - kAcfWindowX;
     const int max_y = channels.height - kAcfWindowY;
+    // Each stump's (channel, cell) coordinates are fixed by its feature
+    // index; resolve them to a flat offset into this scale's channel map once
+    // instead of div/mod per stump per window.
+    const std::size_t cw = static_cast<std::size_t>(channels.width);
+    std::vector<std::size_t> stump_off(model_.stumps.size());
+    for (std::size_t k = 0; k < model_.stumps.size(); ++k) {
+      const int feature = model_.stumps[k].feature;
+      const int c = feature / (kAcfWindowX * kAcfWindowY);
+      const int rem = feature % (kAcfWindowX * kAcfWindowY);
+      const int cy = rem / kAcfWindowX;
+      const int cx = rem % kAcfWindowX;
+      stump_off[k] = static_cast<std::size_t>(c) * cw * static_cast<std::size_t>(channels.height) +
+                     static_cast<std::size_t>(cy) * cw + static_cast<std::size_t>(cx);
+    }
+    const float* map_data = channels.data.data();
+    const std::size_t check_every = static_cast<std::size_t>(params_.cascade_check_every);
     for (int y0 = 0; y0 <= max_y; ++y0) {
       for (int x0 = 0; x0 <= max_x; ++x0) {
         // Evaluate stumps directly against the channel map (no feature
         // materialization), with soft-cascade early rejection: bail out as
         // soon as the window provably cannot reach an interesting score.
+        const std::size_t window_base =
+            static_cast<std::size_t>(y0) * cw + static_cast<std::size_t>(x0);
         double s = 0.0;
         double remaining = total_alpha;
         std::size_t evaluated = 0;
+        std::size_t until_check = check_every;
         bool rejected = false;
-        for (const Stump& st : model_.stumps) {
-          const int c = st.feature / (kAcfWindowX * kAcfWindowY);
-          const int rem = st.feature % (kAcfWindowX * kAcfWindowY);
-          const int cy = rem / kAcfWindowX;
-          const int cx = rem % kAcfWindowX;
-          const float v = channels.at(x0 + cx, y0 + cy, c);
+        for (std::size_t k = 0; k < model_.stumps.size(); ++k) {
+          const Stump& st = model_.stumps[k];
+          const float v = map_data[stump_off[k] + window_base];
           s += static_cast<double>(st.alpha) * ((v > st.threshold) ? st.polarity : -st.polarity);
           remaining -= std::abs(static_cast<double>(st.alpha));
           ++evaluated;
-          if (evaluated % static_cast<std::size_t>(params_.cascade_check_every) == 0 &&
-              s + remaining < static_cast<double>(params_.cascade_margin) * total_alpha) {
-            rejected = true;
-            break;
+          if (--until_check == 0) {
+            until_check = check_every;
+            if (s + remaining < static_cast<double>(params_.cascade_margin) * total_alpha) {
+              rejected = true;
+              break;
+            }
           }
         }
         if (cost != nullptr) cost->add_classifier(2 * evaluated);

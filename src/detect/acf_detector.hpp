@@ -57,18 +57,24 @@ struct ChannelMap {
 
 class AcfDetector final : public Detector {
  public:
-  explicit AcfDetector(const AcfDetectorParams& params = {}) : params_(params) {}
+  explicit AcfDetector(const AcfDetectorParams& params = {})
+      : params_(params),
+        scales_(pyramid_scales(params.min_scale, params.max_scale, params.scale_factor)) {}
+
+  using Detector::detect;
 
   [[nodiscard]] AlgorithmId id() const override { return AlgorithmId::Acf; }
   void train(const TrainingSet& training_set, Rng& rng) override;
   [[nodiscard]] bool trained() const override { return model_.trained(); }
-  [[nodiscard]] std::vector<Detection> detect(const imaging::Image& frame,
+  [[nodiscard]] std::vector<Detection> detect(FramePrecompute& pre,
                                               energy::CostCounter* cost = nullptr) const override;
 
   [[nodiscard]] const BoostedModel& model() const { return model_; }
 
  private:
   AcfDetectorParams params_;
+  std::vector<double> scales_;  ///< Hoisted: pyramid is a pure function of params.
+  double total_alpha_ = 0.0;    ///< Hoisted from the scale loop; fixed at train time.
   BoostedModel model_;
 };
 

@@ -81,6 +81,81 @@ float BlockGrid::window_score(const LinearModel& model, int cell_x0, int cell_y0
   return static_cast<float>(s);
 }
 
+ScoreMap BlockGrid::score_map(const LinearModel& model, int window_cells_x,
+                              int window_cells_y) const {
+  const int bs = params_.block_size;
+  const int wbx = window_cells_x - bs + 1;
+  const int wby = window_cells_y - bs + 1;
+  EECS_EXPECTS(static_cast<int>(model.weights.size()) == wbx * wby * block_dim_);
+
+  ScoreMap map;
+  map.width = blocks_x_ - wbx + 1;
+  map.height = blocks_y_ - wby + 1;
+  if (map.width <= 0 || map.height <= 0) {
+    map.width = 0;
+    map.height = 0;
+    return map;
+  }
+  map.scores.resize(static_cast<std::size_t>(map.width) * static_cast<std::size_t>(map.height));
+
+  const std::size_t bd = static_cast<std::size_t>(block_dim_);
+  // Per-anchor double accumulators for one row of anchors. Each anchor's sum
+  // is built in the same order as window_score — bias first, then one double
+  // partial per weight block in (by, bx) order — so the final float is
+  // bit-identical to the per-window path.
+  std::vector<double> acc(static_cast<std::size_t>(map.width));
+  for (int ay = 0; ay < map.height; ++ay) {
+    std::fill(acc.begin(), acc.end(), static_cast<double>(model.bias));
+    const float* w = model.weights.data();
+    for (int by = 0; by < wby; ++by) {
+      for (int bx = 0; bx < wbx; ++bx) {
+        // Blocks for consecutive anchors ax are contiguous in data_, so each
+        // weight block streams across the row; four independent accumulator
+        // chains per step keep the (non-reassociable) double adds off the
+        // critical path without changing any single chain's order.
+        const float* brow =
+            data_.data() + (static_cast<std::size_t>(ay + by) * static_cast<std::size_t>(blocks_x_) +
+                            static_cast<std::size_t>(bx)) *
+                               bd;
+        int ax = 0;
+        for (; ax + 4 <= map.width; ax += 4) {
+          const float* b0 = brow + static_cast<std::size_t>(ax) * bd;
+          const float* b1 = b0 + bd;
+          const float* b2 = b1 + bd;
+          const float* b3 = b2 + bd;
+          double p0 = 0.0;
+          double p1 = 0.0;
+          double p2 = 0.0;
+          double p3 = 0.0;
+          for (std::size_t i = 0; i < bd; ++i) {
+            const double wi = static_cast<double>(w[i]);
+            p0 += wi * static_cast<double>(b0[i]);
+            p1 += wi * static_cast<double>(b1[i]);
+            p2 += wi * static_cast<double>(b2[i]);
+            p3 += wi * static_cast<double>(b3[i]);
+          }
+          acc[static_cast<std::size_t>(ax)] += p0;
+          acc[static_cast<std::size_t>(ax) + 1] += p1;
+          acc[static_cast<std::size_t>(ax) + 2] += p2;
+          acc[static_cast<std::size_t>(ax) + 3] += p3;
+        }
+        for (; ax < map.width; ++ax) {
+          const float* b = brow + static_cast<std::size_t>(ax) * bd;
+          double partial = 0.0;
+          for (std::size_t i = 0; i < bd; ++i) {
+            partial += static_cast<double>(w[i]) * static_cast<double>(b[i]);
+          }
+          acc[static_cast<std::size_t>(ax)] += partial;
+        }
+        w += block_dim_;
+      }
+    }
+    float* out = map.scores.data() + static_cast<std::size_t>(ay) * static_cast<std::size_t>(map.width);
+    for (int ax = 0; ax < map.width; ++ax) out[ax] = static_cast<float>(acc[static_cast<std::size_t>(ax)]);
+  }
+  return map;
+}
+
 std::vector<float> BlockGrid::window_descriptor(int cell_x0, int cell_y0, int window_cells_x,
                                                 int window_cells_y) const {
   const int bs = params_.block_size;

@@ -12,6 +12,20 @@
 
 namespace eecs::detect {
 
+/// Dense per-anchor window scores of one linear model over a whole BlockGrid
+/// scale: at(x, y) equals window_score(model, x, y, wcx, wcy) bit-exactly.
+struct ScoreMap {
+  int width = 0;   ///< Valid anchors along x: blocks_x - window_blocks_x + 1.
+  int height = 0;  ///< Valid anchors along y.
+  std::vector<float> scores;  ///< Row-major by anchor.
+
+  [[nodiscard]] bool empty() const { return width <= 0 || height <= 0; }
+  [[nodiscard]] float at(int x, int y) const {
+    return scores[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                  static_cast<std::size_t>(x)];
+  }
+};
+
 class BlockGrid {
  public:
   /// Compute all 2x2-cell L2-hys-normalized blocks of the image's HOG grid.
@@ -32,6 +46,15 @@ class BlockGrid {
   [[nodiscard]] float window_score(const LinearModel& model, int cell_x0, int cell_y0,
                                    int window_cells_x, int window_cells_y,
                                    energy::CostCounter* cost = nullptr) const;
+
+  /// Score every valid window anchor of the model against the grid in one
+  /// pass. Each weight block is streamed across the grid once, so the work is
+  /// shared between overlapping windows; every anchor's accumulation order
+  /// matches window_score exactly, making at(x, y) bit-identical to it.
+  /// Charges nothing: callers charge per consumed window, preserving the
+  /// paper's standalone per-algorithm op model.
+  [[nodiscard]] ScoreMap score_map(const LinearModel& model, int window_cells_x,
+                                   int window_cells_y) const;
 
   /// Materialize the window descriptor (identical layout/values to
   /// features::window_descriptor); used in training and tests.

@@ -3,16 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "detect/frame_cache.hpp"
 #include "detect/nms.hpp"
 #include "features/census.hpp"
-#include "imaging/filter.hpp"
 
 namespace eecs::detect {
 
 CensusCellGrid::CensusCellGrid(const imaging::Image& img, energy::CostCounter* cost) {
   const std::vector<std::uint8_t> codes = features::census_transform(img, cost);
-  cells_x_ = img.width() / kCensusCell;
-  cells_y_ = img.height() / kCensusCell;
+  build(codes.data(), img.width(), img.height(), cost);
+}
+
+CensusCellGrid::CensusCellGrid(const std::vector<std::uint8_t>& codes, int width, int height,
+                               energy::CostCounter* cost) {
+  EECS_EXPECTS(static_cast<std::size_t>(width) * static_cast<std::size_t>(height) == codes.size());
+  build(codes.data(), width, height, cost);
+}
+
+void CensusCellGrid::build(const std::uint8_t* codes, int width, int height,
+                           energy::CostCounter* cost) {
+  cells_x_ = width / kCensusCell;
+  cells_y_ = height / kCensusCell;
   hist_.assign(static_cast<std::size_t>(cells_x_) * static_cast<std::size_t>(cells_y_) *
                    static_cast<std::size_t>(kCensusBins),
                0.0f);
@@ -24,13 +35,11 @@ CensusCellGrid::CensusCellGrid(const imaging::Image& img, energy::CostCounter* c
                                     static_cast<std::size_t>(cx)) *
                                        static_cast<std::size_t>(kCensusBins);
       for (int dy = 0; dy < kCensusCell; ++dy) {
+        const std::uint8_t* row = codes + static_cast<std::size_t>(cy * kCensusCell + dy) *
+                                              static_cast<std::size_t>(width) +
+                                  static_cast<std::size_t>(cx * kCensusCell);
         for (int dx = 0; dx < kCensusCell; ++dx) {
-          const int x = cx * kCensusCell + dx;
-          const int y = cy * kCensusCell + dy;
-          const std::uint8_t code =
-              codes[static_cast<std::size_t>(y) * static_cast<std::size_t>(img.width()) +
-                    static_cast<std::size_t>(x)];
-          hist[code >> 4] += 1.0f;
+          hist[row[dx] >> 4] += 1.0f;
         }
       }
       float sq = 0.0f;
@@ -39,7 +48,9 @@ CensusCellGrid::CensusCellGrid(const imaging::Image& img, energy::CostCounter* c
                static_cast<std::size_t>(cx)] = sq;
     }
   }
-  if (cost != nullptr) cost->add_features(img.pixel_count());
+  if (cost != nullptr) {
+    cost->add_features(static_cast<std::size_t>(width) * static_cast<std::size_t>(height));
+  }
 }
 
 std::span<const float> CensusCellGrid::cell(int cx, int cy) const {
@@ -83,21 +94,85 @@ float CensusCellGrid::window_score(const LinearModel& model, int cell_x0, int ce
   double raw = 0.0;
   double sq = 0.0;
   const float* w = model.weights.data();
+  // Cells along a row are contiguous in hist_ (and sq_norm_), so each grid
+  // row is one flat dot product / sum. `raw` and `sq` are independent
+  // accumulator chains and each keeps its original term order, so the result
+  // matches the per-cell form bit for bit.
+  constexpr std::size_t kRowLen =
+      static_cast<std::size_t>(kCensusCellsX) * static_cast<std::size_t>(kCensusBins);
   for (int cy = 0; cy < kCensusCellsY; ++cy) {
-    for (int cx = 0; cx < kCensusCellsX; ++cx) {
-      const auto h = cell(cell_x0 + cx, cell_y0 + cy);
-      for (int b = 0; b < kCensusBins; ++b) {
-        raw += static_cast<double>(w[b]) * static_cast<double>(h[static_cast<std::size_t>(b)]);
-      }
-      sq += cell_sq_norm(cell_x0 + cx, cell_y0 + cy);
-      w += kCensusBins;
+    const std::size_t cell0 = static_cast<std::size_t>(cell_y0 + cy) *
+                                  static_cast<std::size_t>(cells_x_) +
+                              static_cast<std::size_t>(cell_x0);
+    const float* h = hist_.data() + cell0 * static_cast<std::size_t>(kCensusBins);
+    for (std::size_t i = 0; i < kRowLen; ++i) {
+      raw += static_cast<double>(w[i]) * static_cast<double>(h[i]);
     }
+    const float* sn = sq_norm_.data() + cell0;
+    for (int cx = 0; cx < kCensusCellsX; ++cx) sq += sn[cx];
+    w += kRowLen;
   }
   if (cost != nullptr) {
     cost->add_classifier(static_cast<std::uint64_t>(kCensusCellsX * kCensusCellsY * kCensusBins));
   }
   const double norm = std::sqrt(sq) + 1e-9;
   return static_cast<float>(raw / norm + model.bias);
+}
+
+void CensusCellGrid::window_scores_row(const LinearModel& model, int cell_x0, int cell_y0,
+                                       int count, float* out, energy::CostCounter* cost) const {
+  EECS_EXPECTS(cell_x0 >= 0 && cell_y0 >= 0 && count >= 0);
+  EECS_EXPECTS(cell_x0 + count - 1 + kCensusCellsX <= cells_x_);
+  EECS_EXPECTS(cell_y0 + kCensusCellsY <= cells_y_);
+  EECS_EXPECTS(static_cast<int>(model.weights.size()) ==
+               kCensusCellsX * kCensusCellsY * kCensusBins);
+
+  constexpr std::size_t kRowLen =
+      static_cast<std::size_t>(kCensusCellsX) * static_cast<std::size_t>(kCensusBins);
+  int j = 0;
+  for (; j + 4 <= count; j += 4) {
+    double r0 = 0.0;
+    double r1 = 0.0;
+    double r2 = 0.0;
+    double r3 = 0.0;
+    double q0 = 0.0;
+    double q1 = 0.0;
+    double q2 = 0.0;
+    double q3 = 0.0;
+    const float* w = model.weights.data();
+    for (int cy = 0; cy < kCensusCellsY; ++cy) {
+      const std::size_t cell0 = static_cast<std::size_t>(cell_y0 + cy) *
+                                    static_cast<std::size_t>(cells_x_) +
+                                static_cast<std::size_t>(cell_x0 + j);
+      // Window j+1's histogram row is window j's shifted by one cell
+      // (kCensusBins floats), so the same weight stream feeds all four.
+      const float* h = hist_.data() + cell0 * static_cast<std::size_t>(kCensusBins);
+      for (std::size_t i = 0; i < kRowLen; ++i) {
+        const double wi = static_cast<double>(w[i]);
+        r0 += wi * static_cast<double>(h[i]);
+        r1 += wi * static_cast<double>(h[i + kCensusBins]);
+        r2 += wi * static_cast<double>(h[i + 2 * kCensusBins]);
+        r3 += wi * static_cast<double>(h[i + 3 * kCensusBins]);
+      }
+      const float* sn = sq_norm_.data() + cell0;
+      for (int cx = 0; cx < kCensusCellsX; ++cx) {
+        q0 += sn[cx];
+        q1 += sn[cx + 1];
+        q2 += sn[cx + 2];
+        q3 += sn[cx + 3];
+      }
+      w += kRowLen;
+    }
+    out[j] = static_cast<float>(r0 / (std::sqrt(q0) + 1e-9) + model.bias);
+    out[j + 1] = static_cast<float>(r1 / (std::sqrt(q1) + 1e-9) + model.bias);
+    out[j + 2] = static_cast<float>(r2 / (std::sqrt(q2) + 1e-9) + model.bias);
+    out[j + 3] = static_cast<float>(r3 / (std::sqrt(q3) + 1e-9) + model.bias);
+  }
+  for (; j < count; ++j) out[j] = window_score(model, cell_x0 + j, cell_y0, nullptr);
+  if (cost != nullptr && count > 0) {
+    cost->add_classifier(static_cast<std::uint64_t>(count) *
+                         static_cast<std::uint64_t>(kCensusCellsX * kCensusCellsY * kCensusBins));
+  }
 }
 
 void C4Detector::train(const TrainingSet& training_set, Rng& rng) {
@@ -120,16 +195,16 @@ void C4Detector::train(const TrainingSet& training_set, Rng& rng) {
   fit_score_calibration(pos_scores, neg_scores);
 }
 
-std::vector<Detection> C4Detector::detect(const imaging::Image& frame,
-                                          energy::CostCounter* cost) const {
+std::vector<Detection> C4Detector::detect(FramePrecompute& pre, energy::CostCounter* cost) const {
   EECS_EXPECTS(trained());
   std::vector<Detection> candidates;
+  const imaging::Image& frame = pre.frame();
 
-  for (double scale : pyramid_scales(params_.min_scale, params_.max_scale, params_.scale_factor)) {
+  for (double scale : scales_) {
     const int sw = static_cast<int>(std::lround(frame.width() * scale));
     const int sh = static_cast<int>(std::lround(frame.height() * scale));
     if (sw < kWindowWidth || sh < kWindowHeight) continue;
-    const imaging::Image scaled = imaging::resize(frame, sw, sh);
+    const imaging::Image& scaled = pre.scaled(sw, sh);
     if (cost != nullptr) cost->add_pixels(scaled.pixel_count());
 
     // C4 scans densely: the 8-pixel cell grid is evaluated at 4 anchor
@@ -141,18 +216,27 @@ std::vector<Detection> C4Detector::detect(const imaging::Image& frame,
       const int ox = offset[0];
       const int oy = offset[1];
       if (scaled.width() - ox < kWindowWidth || scaled.height() - oy < kWindowHeight) continue;
-      const imaging::Image shifted =
-          (ox == 0 && oy == 0)
-              ? scaled
-              : scaled.crop(ox, oy, scaled.width() - ox, scaled.height() - oy);
-      if ((ox != 0 || oy != 0) && cost != nullptr) cost->add_pixels(shifted.pixel_count());
+      if ((ox != 0 || oy != 0) && cost != nullptr) {
+        cost->add_pixels(static_cast<std::size_t>(scaled.width() - ox) *
+                         static_cast<std::size_t>(scaled.height() - oy));
+      }
 
-      const CensusCellGrid grid(shifted, cost);
+      const CensusCellGrid& grid = pre.census_grid(sw, sh, ox, oy, cost);
       const int max_cx = grid.cells_x() - kCensusCellsX;
       const int max_cy = grid.cells_y() - kCensusCellsY;
+      if (max_cx < 0 || max_cy < 0) continue;
+      std::vector<float> row(static_cast<std::size_t>(max_cx) + 1);
       for (int cy = 0; cy <= max_cy; ++cy) {
+        if (pre.force_naive()) {
+          // Legacy path: one strictly-ordered dot product per window.
+          for (int cx = 0; cx <= max_cx; ++cx) {
+            row[static_cast<std::size_t>(cx)] = grid.window_score(model_, cx, cy, cost);
+          }
+        } else {
+          grid.window_scores_row(model_, 0, cy, max_cx + 1, row.data(), cost);
+        }
         for (int cx = 0; cx <= max_cx; ++cx) {
-          const float s = grid.window_score(model_, cx, cy, cost);
+          const float s = row[static_cast<std::size_t>(cx)];
           if (s <= params_.score_floor) continue;
           Detection d;
           d.box = window_to_person_box({(cx * kCensusCell + ox) / scale,

@@ -28,6 +28,11 @@ class CensusCellGrid {
  public:
   explicit CensusCellGrid(const imaging::Image& img, energy::CostCounter* cost = nullptr);
 
+  /// Build from precomputed census codes of a width x height image. Charges
+  /// only the histogram pass; the caller accounts for the transform itself.
+  CensusCellGrid(const std::vector<std::uint8_t>& codes, int width, int height,
+                 energy::CostCounter* cost = nullptr);
+
   [[nodiscard]] int cells_x() const { return cells_x_; }
   [[nodiscard]] int cells_y() const { return cells_y_; }
   [[nodiscard]] std::span<const float> cell(int cx, int cy) const;
@@ -40,7 +45,18 @@ class CensusCellGrid {
   [[nodiscard]] float window_score(const LinearModel& model, int cell_x0, int cell_y0,
                                    energy::CostCounter* cost = nullptr) const;
 
+  /// Scores `count` horizontally consecutive windows anchored at
+  /// (cell_x0 + j, cell_y0) into out[j]. One pass over the model weights
+  /// serves four windows at a time on independent accumulator chains, so each
+  /// window's sum keeps window_score's exact term order (bit-identical
+  /// results) while the strictly-ordered double adds pipeline across windows.
+  /// Charges `cost` exactly `count` times what window_score would.
+  void window_scores_row(const LinearModel& model, int cell_x0, int cell_y0, int count,
+                         float* out, energy::CostCounter* cost = nullptr) const;
+
  private:
+  void build(const std::uint8_t* codes, int width, int height, energy::CostCounter* cost);
+
   int cells_x_ = 0;
   int cells_y_ = 0;
   std::vector<float> hist_;
@@ -49,16 +65,21 @@ class CensusCellGrid {
 
 class C4Detector final : public Detector {
  public:
-  explicit C4Detector(const C4DetectorParams& params = {}) : params_(params) {}
+  explicit C4Detector(const C4DetectorParams& params = {})
+      : params_(params),
+        scales_(pyramid_scales(params.min_scale, params.max_scale, params.scale_factor)) {}
+
+  using Detector::detect;
 
   [[nodiscard]] AlgorithmId id() const override { return AlgorithmId::C4; }
   void train(const TrainingSet& training_set, Rng& rng) override;
   [[nodiscard]] bool trained() const override { return model_.trained(); }
-  [[nodiscard]] std::vector<Detection> detect(const imaging::Image& frame,
+  [[nodiscard]] std::vector<Detection> detect(FramePrecompute& pre,
                                               energy::CostCounter* cost = nullptr) const override;
 
  private:
   C4DetectorParams params_;
+  std::vector<double> scales_;  ///< Hoisted: pyramid is a pure function of params.
   LinearModel model_;
 };
 

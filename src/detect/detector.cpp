@@ -3,10 +3,17 @@
 #include "common/contracts.hpp"
 #include "detect/acf_detector.hpp"
 #include "detect/c4_detector.hpp"
+#include "detect/frame_cache.hpp"
 #include "detect/hog_detector.hpp"
 #include "detect/lsvm_detector.hpp"
 
 namespace eecs::detect {
+
+std::vector<Detection> Detector::detect(const imaging::Image& frame,
+                                        energy::CostCounter* cost) const {
+  FramePrecompute local(frame);
+  return detect(local, cost);
+}
 
 std::unique_ptr<Detector> make_detector(AlgorithmId id) {
   switch (id) {

@@ -16,6 +16,8 @@
 
 namespace eecs::detect {
 
+class FramePrecompute;
+
 class Detector {
  public:
   virtual ~Detector() = default;
@@ -29,8 +31,17 @@ class Detector {
 
   /// Detect objects in a frame. Charges compute costs to `cost` if provided.
   /// Detections carry raw scores and calibrated probabilities and are already
-  /// NMS-filtered. Requires trained().
-  [[nodiscard]] virtual std::vector<Detection> detect(const imaging::Image& frame,
+  /// NMS-filtered. Requires trained(). Convenience wrapper: builds a local
+  /// per-frame cache and delegates to the FramePrecompute overload below.
+  [[nodiscard]] std::vector<Detection> detect(const imaging::Image& frame,
+                                              energy::CostCounter* cost = nullptr) const;
+
+  /// Detect through a shared per-frame cache: substrates common to several
+  /// detectors (resized pyramid levels, HOG block grids, ACF channels, census
+  /// grids) are computed once per frame and reused bit-exactly. `cost` is
+  /// charged exactly what a standalone detect() on a cold cache would charge —
+  /// the paper's per-algorithm op model is preserved regardless of hits.
+  [[nodiscard]] virtual std::vector<Detection> detect(FramePrecompute& pre,
                                                       energy::CostCounter* cost = nullptr) const = 0;
 
  protected:

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "detect/frame_cache.hpp"
 #include "detect/nms.hpp"
-#include "imaging/filter.hpp"
 
 namespace eecs::detect {
 
@@ -35,32 +35,51 @@ void HogDetector::train(const TrainingSet& training_set, Rng& rng) {
   fit_score_calibration(pos_scores, neg_scores);
 }
 
-std::vector<Detection> HogDetector::detect(const imaging::Image& frame,
-                                           energy::CostCounter* cost) const {
+std::vector<Detection> HogDetector::detect(FramePrecompute& pre, energy::CostCounter* cost) const {
   EECS_EXPECTS(trained());
   std::vector<Detection> candidates;
-  const features::HogParams hog_params;
-  const int cell = hog_params.cell_size;
+  const imaging::Image& frame = pre.frame();
+  const int cell = hog_params_.cell_size;
 
-  for (double scale : pyramid_scales(params_.min_scale, params_.max_scale, params_.scale_factor)) {
+  for (double scale : scales_) {
     const int sw = static_cast<int>(std::lround(frame.width() * scale));
     const int sh = static_cast<int>(std::lround(frame.height() * scale));
     if (sw < kWindowWidth || sh < kWindowHeight) continue;
-    const imaging::Image scaled = imaging::resize(frame, sw, sh);
+    const imaging::Image& scaled = pre.scaled(sw, sh);
     if (cost != nullptr) cost->add_pixels(scaled.pixel_count());
 
-    const BlockGrid grid(scaled, hog_params, cost);
-    const int max_cx = grid.blocks_x() - (kWindowCellsX - hog_params.block_size + 1);
-    const int max_cy = grid.blocks_y() - (kWindowCellsY - hog_params.block_size + 1);
-    for (int cy = 0; cy <= max_cy; ++cy) {
-      for (int cx = 0; cx <= max_cx; ++cx) {
-        const float s = grid.window_score(model_, cx, cy, kWindowCellsX, kWindowCellsY, cost);
-        if (s <= params_.score_floor) continue;
-        Detection d;
-        d.box = window_to_person_box({cx * cell / scale, cy * cell / scale, kWindowWidth / scale, kWindowHeight / scale});
-        d.score = s;
-        d.probability = calibrated_probability(s);
-        candidates.push_back(d);
+    const BlockGrid& grid = pre.block_grid(sw, sh, hog_params_, cost);
+    const int max_cx = grid.blocks_x() - (kWindowCellsX - hog_params_.block_size + 1);
+    const int max_cy = grid.blocks_y() - (kWindowCellsY - hog_params_.block_size + 1);
+
+    auto emit = [&](int cx, int cy, float s) {
+      if (s <= params_.score_floor) return;
+      Detection d;
+      d.box = window_to_person_box({cx * cell / scale, cy * cell / scale, kWindowWidth / scale, kWindowHeight / scale});
+      d.score = s;
+      d.probability = calibrated_probability(s);
+      candidates.push_back(d);
+    };
+
+    if (pre.force_naive()) {
+      for (int cy = 0; cy <= max_cy; ++cy) {
+        for (int cx = 0; cx <= max_cx; ++cx) {
+          emit(cx, cy, grid.window_score(model_, cx, cy, kWindowCellsX, kWindowCellsY, cost));
+        }
+      }
+    } else {
+      const ScoreMap map = grid.score_map(model_, kWindowCellsX, kWindowCellsY);
+      // Same per-window classifier charge as the naive scan (the map itself
+      // charges nothing); its anchor range equals the window-scan range.
+      const auto per_window = static_cast<std::uint64_t>(
+          (kWindowCellsX - hog_params_.block_size + 1) *
+          (kWindowCellsY - hog_params_.block_size + 1) * grid.block_dim());
+      if (cost != nullptr && !map.empty()) {
+        cost->add_classifier(per_window * static_cast<std::uint64_t>(map.width) *
+                             static_cast<std::uint64_t>(map.height));
+      }
+      for (int cy = 0; cy < map.height; ++cy) {
+        for (int cx = 0; cx < map.width; ++cx) emit(cx, cy, map.at(cx, cy));
       }
     }
   }

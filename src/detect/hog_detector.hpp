@@ -18,18 +18,24 @@ struct HogDetectorParams {
 
 class HogDetector final : public Detector {
  public:
-  explicit HogDetector(const HogDetectorParams& params = {}) : params_(params) {}
+  explicit HogDetector(const HogDetectorParams& params = {})
+      : params_(params),
+        scales_(pyramid_scales(params.min_scale, params.max_scale, params.scale_factor)) {}
+
+  using Detector::detect;
 
   [[nodiscard]] AlgorithmId id() const override { return AlgorithmId::Hog; }
   void train(const TrainingSet& training_set, Rng& rng) override;
   [[nodiscard]] bool trained() const override { return model_.trained(); }
-  [[nodiscard]] std::vector<Detection> detect(const imaging::Image& frame,
+  [[nodiscard]] std::vector<Detection> detect(FramePrecompute& pre,
                                               energy::CostCounter* cost = nullptr) const override;
 
   [[nodiscard]] const LinearModel& model() const { return model_; }
 
  private:
   HogDetectorParams params_;
+  features::HogParams hog_params_;        ///< Hoisted: identical for every call.
+  std::vector<double> scales_;            ///< Hoisted: pyramid is a pure function of params.
   LinearModel model_;
 };
 

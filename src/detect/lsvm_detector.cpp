@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "detect/frame_cache.hpp"
 #include "detect/hog_detector.hpp"
 #include "detect/nms.hpp"
-#include "imaging/filter.hpp"
 
 namespace eecs::detect {
 
@@ -98,32 +98,81 @@ float LsvmDetector::window_score(const BlockGrid& grid, int cx, int cy,
   return static_cast<float>(s);
 }
 
-std::vector<Detection> LsvmDetector::detect(const imaging::Image& frame,
-                                            energy::CostCounter* cost) const {
+std::vector<Detection> LsvmDetector::detect(FramePrecompute& pre, energy::CostCounter* cost) const {
   EECS_EXPECTS(trained());
   std::vector<Detection> candidates;
-  const features::HogParams hog_params;
-  const int cell = hog_params.cell_size;
+  const imaging::Image& frame = pre.frame();
+  const int cell = hog_params_.cell_size;
+  const int bs = hog_params_.block_size;
 
-  for (double scale : pyramid_scales(params_.min_scale, params_.max_scale, params_.scale_factor)) {
+  for (double scale : scales_) {
     const int sw = static_cast<int>(std::lround(frame.width() * scale));
     const int sh = static_cast<int>(std::lround(frame.height() * scale));
     if (sw < kWindowWidth || sh < kWindowHeight) continue;
-    const imaging::Image scaled = imaging::resize(frame, sw, sh);
+    const imaging::Image& scaled = pre.scaled(sw, sh);
     if (cost != nullptr) cost->add_pixels(scaled.pixel_count());
 
-    const BlockGrid grid(scaled, hog_params, cost);
-    const int max_cx = grid.blocks_x() - (kWindowCellsX - hog_params.block_size + 1);
-    const int max_cy = grid.blocks_y() - (kWindowCellsY - hog_params.block_size + 1);
+    const BlockGrid& grid = pre.block_grid(sw, sh, hog_params_, cost);
+    const int max_cx = grid.blocks_x() - (kWindowCellsX - bs + 1);
+    const int max_cy = grid.blocks_y() - (kWindowCellsY - bs + 1);
+
+    auto emit = [&](int cx, int cy, float s) {
+      if (s <= params_.score_floor) return;
+      Detection d;
+      d.box = window_to_person_box({cx * cell / scale, cy * cell / scale, kWindowWidth / scale, kWindowHeight / scale});
+      d.score = s;
+      d.probability = calibrated_probability(s);
+      candidates.push_back(d);
+    };
+
+    if (pre.force_naive()) {
+      for (int cy = 0; cy <= max_cy; ++cy) {
+        for (int cx = 0; cx <= max_cx; ++cx) emit(cx, cy, window_score(grid, cx, cy, cost));
+      }
+      continue;
+    }
+
+    // Score maps: the root filter once per anchor, and each part filter once
+    // per absolute part position — the +/-displacement search means up to
+    // (2d+1)^2 root windows share every part evaluation, which is where the
+    // bulk of the naive cost went.
+    const ScoreMap root_map = grid.score_map(root_, kWindowCellsX, kWindowCellsY);
+    std::array<ScoreMap, kNumParts> part_maps;
+    for (int p = 0; p < kNumParts; ++p) {
+      part_maps[static_cast<std::size_t>(p)] = grid.score_map(parts_[static_cast<std::size_t>(p)], kPartCells, kPartCells);
+    }
+    const auto root_ops = static_cast<std::uint64_t>(
+        (kWindowCellsX - bs + 1) * (kWindowCellsY - bs + 1) * grid.block_dim());
+    const auto part_ops = static_cast<std::uint64_t>(
+        (kPartCells - bs + 1) * (kPartCells - bs + 1) * grid.block_dim());
+
+    const int d = params_.displacement;
     for (int cy = 0; cy <= max_cy; ++cy) {
       for (int cx = 0; cx <= max_cx; ++cx) {
-        const float s = window_score(grid, cx, cy, cost);
-        if (s <= params_.score_floor) continue;
-        Detection d;
-        d.box = window_to_person_box({cx * cell / scale, cy * cell / scale, kWindowWidth / scale, kWindowHeight / scale});
-        d.score = s;
-        d.probability = calibrated_probability(s);
-        candidates.push_back(d);
+        // Mirrors window_score exactly: float root score widened to double,
+        // per-part best over in-bounds placements, same comparison order.
+        double s = root_map.at(cx, cy);
+        std::uint64_t ops = root_ops;
+        for (int p = 0; p < kNumParts; ++p) {
+          const PartSpec& spec = part_layout()[static_cast<std::size_t>(p)];
+          const ScoreMap& pm = part_maps[static_cast<std::size_t>(p)];
+          double best = -1e30;
+          for (int dy = -d; dy <= d; ++dy) {
+            for (int dx = -d; dx <= d; ++dx) {
+              const int px = cx + spec.anchor_x + dx;
+              const int py = cy + spec.anchor_y + dy;
+              const int pbx = kPartCells - 1;  // Part spans pbx x pbx blocks (block_size 2).
+              if (px < 0 || py < 0 || px + pbx > grid.blocks_x() || py + pbx > grid.blocks_y()) continue;
+              const double score =
+                  pm.at(px, py) - params_.deformation_cost * static_cast<double>(dx * dx + dy * dy);
+              best = std::max(best, score);
+              ops += part_ops;
+            }
+          }
+          if (best > -1e29) s += params_.part_weight * best;
+        }
+        if (cost != nullptr) cost->add_classifier(ops);
+        emit(cx, cy, static_cast<float>(s));
       }
     }
   }

@@ -37,12 +37,16 @@ struct LsvmDetectorParams {
 
 class LsvmDetector final : public Detector {
  public:
-  explicit LsvmDetector(const LsvmDetectorParams& params = {}) : params_(params) {}
+  explicit LsvmDetector(const LsvmDetectorParams& params = {})
+      : params_(params),
+        scales_(pyramid_scales(params.min_scale, params.max_scale, params.scale_factor)) {}
+
+  using Detector::detect;
 
   [[nodiscard]] AlgorithmId id() const override { return AlgorithmId::Lsvm; }
   void train(const TrainingSet& training_set, Rng& rng) override;
   [[nodiscard]] bool trained() const override { return root_.trained(); }
-  [[nodiscard]] std::vector<Detection> detect(const imaging::Image& frame,
+  [[nodiscard]] std::vector<Detection> detect(FramePrecompute& pre,
                                               energy::CostCounter* cost = nullptr) const override;
 
  private:
@@ -51,6 +55,8 @@ class LsvmDetector final : public Detector {
                                    energy::CostCounter* cost) const;
 
   LsvmDetectorParams params_;
+  features::HogParams hog_params_;  ///< Hoisted: identical for every call.
+  std::vector<double> scales_;      ///< Hoisted: pyramid is a pure function of params.
   LinearModel root_;
   std::array<LinearModel, kNumParts> parts_;
 };

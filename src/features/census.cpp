@@ -10,17 +10,29 @@ std::vector<std::uint8_t> census_transform(const imaging::Image& img, energy::Co
   std::vector<std::uint8_t> codes(gray.pixel_count(), 0);
   const int w = gray.width();
   const int h = gray.height();
-  // Neighbor offsets in fixed order (defines the bit layout).
-  constexpr int kDx[8] = {-1, 0, 1, -1, 1, -1, 0, 1};
-  constexpr int kDy[8] = {-1, -1, -1, 0, 0, 1, 1, 1};
+  // Neighbor bit layout, LSB first: (-1,-1) (0,-1) (1,-1) (-1,0) (1,0)
+  // (-1,1) (0,1) (1,1) — same fixed order as the offset-table form this
+  // replaces; each comparison is independent, with edge pixels clamped.
+  const float* src = gray.plane(0).data();
   for (int y = 0; y < h; ++y) {
+    const float* row = src + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+    const float* up = src + static_cast<std::size_t>(y > 0 ? y - 1 : 0) * static_cast<std::size_t>(w);
+    const float* dn =
+        src + static_cast<std::size_t>(y + 1 < h ? y + 1 : h - 1) * static_cast<std::size_t>(w);
+    std::uint8_t* out = codes.data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
     for (int x = 0; x < w; ++x) {
-      const float center = gray.at(x, y);
-      std::uint8_t code = 0;
-      for (int k = 0; k < 8; ++k) {
-        if (gray.at_clamped(x + kDx[k], y + kDy[k]) > center + threshold) code |= static_cast<std::uint8_t>(1u << k);
-      }
-      codes[static_cast<std::size_t>(y) * static_cast<std::size_t>(w) + static_cast<std::size_t>(x)] = code;
+      const int xl = x > 0 ? x - 1 : 0;
+      const int xr = x + 1 < w ? x + 1 : w - 1;
+      const float t = row[x] + threshold;
+      unsigned code = (up[xl] > t) ? 1u : 0u;
+      code |= (up[x] > t) ? 2u : 0u;
+      code |= (up[xr] > t) ? 4u : 0u;
+      code |= (row[xl] > t) ? 8u : 0u;
+      code |= (row[xr] > t) ? 16u : 0u;
+      code |= (dn[xl] > t) ? 32u : 0u;
+      code |= (dn[x] > t) ? 64u : 0u;
+      code |= (dn[xr] > t) ? 128u : 0u;
+      out[x] = static_cast<std::uint8_t>(code);
     }
   }
   if (cost != nullptr) cost->add_pixels(gray.pixel_count() * 8);

@@ -12,13 +12,16 @@
 
 namespace eecs::features {
 
+/// Default comparison margin of the modified census transform.
+inline constexpr float kCensusThreshold = 0.045f;
+
 /// Per-pixel 8-bit census codes of the grayscale image (borders clamped).
 /// A bit is set only when the neighbor exceeds the center by `threshold`
 /// (modified census transform) so flat, noise-dominated regions collapse to
 /// a stable code instead of random bits.
 [[nodiscard]] std::vector<std::uint8_t> census_transform(const imaging::Image& img,
                                                          energy::CostCounter* cost = nullptr,
-                                                         float threshold = 0.045f);
+                                                         float threshold = kCensusThreshold);
 
 /// Histogram descriptor of a window over a census-code map: the window is
 /// split into blocks_x x blocks_y blocks; each contributes a 16-bin histogram

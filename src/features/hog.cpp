@@ -46,6 +46,9 @@ HogGrid compute_hog_grid(const imaging::Image& img, const HogParams& params,
   HogGrid grid(cells_x, cells_y, params.bins);
 
   const float bin_width = std::numbers::pi_v<float> / static_cast<float>(params.bins);
+  const float* mag_src = grads.magnitude.plane(0).data();
+  const float* ori_src = grads.orientation.plane(0).data();
+  const int img_w = img.width();
   // Cell rows are independent (each cell bins only its own pixels into its
   // own histogram), so they partition across the pool bit-identically.
   common::parallel_for(static_cast<std::size_t>(cells_y), 8, [&](std::size_t cy0, std::size_t cy1) {
@@ -53,12 +56,13 @@ HogGrid compute_hog_grid(const imaging::Image& img, const HogParams& params,
       for (int cx = 0; cx < cells_x; ++cx) {
         auto hist = grid.cell(cx, cy);
         for (int dy = 0; dy < params.cell_size; ++dy) {
+          const std::size_t base =
+              static_cast<std::size_t>(cy * params.cell_size + dy) * static_cast<std::size_t>(img_w) +
+              static_cast<std::size_t>(cx * params.cell_size);
           for (int dx = 0; dx < params.cell_size; ++dx) {
-            const int x = cx * params.cell_size + dx;
-            const int y = cy * params.cell_size + dy;
-            const float mag = grads.magnitude.at(x, y);
+            const float mag = mag_src[base + static_cast<std::size_t>(dx)];
             if (mag <= 0.0f) continue;
-            const float theta = grads.orientation.at(x, y);
+            const float theta = ori_src[base + static_cast<std::size_t>(dx)];
             // Soft assignment to the two nearest bins.
             const float pos = theta / bin_width - 0.5f;
             int b0 = static_cast<int>(std::floor(pos));

@@ -80,15 +80,28 @@ Image gaussian_blur(const Image& img, float sigma) {
 Gradients compute_gradients(const Image& img) {
   const Image gray = to_gray(img);
   Gradients g{Image(gray.width(), gray.height(), 1), Image(gray.width(), gray.height(), 1)};
-  parallel_rows(1, gray.height(), [&](int, int y) {
-    for (int x = 0; x < gray.width(); ++x) {
-      const float gx = gray.at_clamped(x + 1, y) - gray.at_clamped(x - 1, y);
-      const float gy = gray.at_clamped(x, y + 1) - gray.at_clamped(x, y - 1);
-      g.magnitude.at(x, y) = std::sqrt(gx * gx + gy * gy);
+  const int w = gray.width();
+  const int h = gray.height();
+  const float* src = gray.plane(0).data();
+  float* mag = g.magnitude.plane(0).data();
+  float* ori = g.orientation.plane(0).data();
+  parallel_rows(1, h, [&](int, int y) {
+    const float* row = src + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+    const float* up = src + static_cast<std::size_t>(y > 0 ? y - 1 : 0) * static_cast<std::size_t>(w);
+    const float* dn =
+        src + static_cast<std::size_t>(y + 1 < h ? y + 1 : h - 1) * static_cast<std::size_t>(w);
+    float* mrow = mag + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+    float* orow = ori + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+    for (int x = 0; x < w; ++x) {
+      const int xl = x > 0 ? x - 1 : 0;
+      const int xr = x + 1 < w ? x + 1 : w - 1;
+      const float gx = row[xr] - row[xl];
+      const float gy = dn[x] - up[x];
+      mrow[x] = std::sqrt(gx * gx + gy * gy);
       float theta = std::atan2(gy, gx);  // [-pi, pi]
       if (theta < 0.0f) theta += std::numbers::pi_v<float>;
       if (theta >= std::numbers::pi_v<float>) theta -= std::numbers::pi_v<float>;
-      g.orientation.at(x, y) = theta;
+      orow[x] = theta;
     }
   });
   return g;
@@ -100,20 +113,43 @@ Image resize(const Image& img, int new_width, int new_height) {
   Image out(new_width, new_height, img.channels());
   const float sx = static_cast<float>(img.width()) / static_cast<float>(new_width);
   const float sy = static_cast<float>(img.height()) / static_cast<float>(new_height);
+  // The horizontal sample position is a pure function of the output column;
+  // compute each column's source indices and blend weight once (the same
+  // arithmetic the per-pixel form used, so the outputs are bit-identical)
+  // instead of per (channel, row, column).
+  std::vector<int> col0(static_cast<std::size_t>(new_width));
+  std::vector<int> col1(static_cast<std::size_t>(new_width));
+  std::vector<float> colw(static_cast<std::size_t>(new_width));
+  const int xlim = img.width() - 1;
+  for (int x = 0; x < new_width; ++x) {
+    const float fx = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
+    const int x0 = static_cast<int>(std::floor(fx));
+    colw[static_cast<std::size_t>(x)] = fx - static_cast<float>(x0);
+    col0[static_cast<std::size_t>(x)] = std::clamp(x0, 0, xlim);
+    col1[static_cast<std::size_t>(x)] = std::clamp(x0 + 1, 0, xlim);
+  }
+  const int ylim = img.height() - 1;
   parallel_rows(img.channels(), new_height, [&](int c, int y) {
     const float fy = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
     const int y0 = static_cast<int>(std::floor(fy));
     const float wy = fy - static_cast<float>(y0);
+    const float* src = img.plane(c).data();
+    const float* r0 = src + static_cast<std::size_t>(std::clamp(y0, 0, ylim)) *
+                                static_cast<std::size_t>(img.width());
+    const float* r1 = src + static_cast<std::size_t>(std::clamp(y0 + 1, 0, ylim)) *
+                                static_cast<std::size_t>(img.width());
+    float* dst = out.plane(c).data() +
+                 static_cast<std::size_t>(y) * static_cast<std::size_t>(new_width);
     for (int x = 0; x < new_width; ++x) {
-      const float fx = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
-      const int x0 = static_cast<int>(std::floor(fx));
-      const float wx = fx - static_cast<float>(x0);
-      const float v00 = img.at_clamped(x0, y0, c);
-      const float v10 = img.at_clamped(x0 + 1, y0, c);
-      const float v01 = img.at_clamped(x0, y0 + 1, c);
-      const float v11 = img.at_clamped(x0 + 1, y0 + 1, c);
-      out.at(x, y, c) = (1 - wx) * (1 - wy) * v00 + wx * (1 - wy) * v10 +
-                        (1 - wx) * wy * v01 + wx * wy * v11;
+      const float wx = colw[static_cast<std::size_t>(x)];
+      const std::size_t x0 = static_cast<std::size_t>(col0[static_cast<std::size_t>(x)]);
+      const std::size_t x1 = static_cast<std::size_t>(col1[static_cast<std::size_t>(x)]);
+      const float v00 = r0[x0];
+      const float v10 = r0[x1];
+      const float v01 = r1[x0];
+      const float v11 = r1[x1];
+      dst[x] = (1 - wx) * (1 - wy) * v00 + wx * (1 - wy) * v10 +
+               (1 - wx) * wy * v01 + wx * wy * v11;
     }
   });
   return out;

@@ -15,12 +15,6 @@ Image::Image(int width, int height, int channels)
   EECS_EXPECTS(channels == 1 || channels == 3);
 }
 
-float Image::at_clamped(int x, int y, int c) const {
-  const int cx = std::clamp(x, 0, width_ - 1);
-  const int cy = std::clamp(y, 0, height_ - 1);
-  return at(cx, cy, c);
-}
-
 std::span<float> Image::plane(int c) {
   EECS_EXPECTS(c >= 0 && c < channels_);
   return {data_.data() + static_cast<std::size_t>(c) * pixel_count(), pixel_count()};
@@ -44,9 +38,15 @@ Image Image::crop(int x0, int y0, int w, int h) const {
   const int cx1 = std::clamp(x0 + w, cx0, width_);
   const int cy1 = std::clamp(y0 + h, cy0, height_);
   Image out(cx1 - cx0, cy1 - cy0, channels_);
+  const int ow = cx1 - cx0;
   for (int c = 0; c < channels_; ++c) {
+    const float* src = plane(c).data();
+    float* dst = out.plane(c).data();
     for (int y = cy0; y < cy1; ++y) {
-      for (int x = cx0; x < cx1; ++x) out.at(x - cx0, y - cy0, c) = at(x, y, c);
+      const float* row = src + static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                         static_cast<std::size_t>(cx0);
+      std::copy(row, row + ow, dst);
+      dst += ow;
     }
   }
   return out;

@@ -34,7 +34,12 @@ class Image {
   }
 
   /// Clamped access: coordinates outside the image read the nearest edge.
-  [[nodiscard]] float at_clamped(int x, int y, int c = 0) const;
+  /// Inline: this sits on per-pixel hot paths (resize, gradients, census).
+  [[nodiscard]] float at_clamped(int x, int y, int c = 0) const {
+    const int cx = x < 0 ? 0 : (x >= width_ ? width_ - 1 : x);
+    const int cy = y < 0 ? 0 : (y >= height_ ? height_ - 1 : y);
+    return data_[index(cx, cy, c)];
+  }
 
   /// One full channel plane.
   [[nodiscard]] std::span<float> plane(int c);

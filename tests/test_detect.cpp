@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 
 #include "detect/acf_detector.hpp"
@@ -7,10 +8,12 @@
 #include "detect/c4_detector.hpp"
 #include "detect/calibration.hpp"
 #include "detect/detector.hpp"
+#include "detect/frame_cache.hpp"
 #include "detect/hog_detector.hpp"
 #include "detect/linear_svm.hpp"
 #include "detect/lsvm_detector.hpp"
 #include "detect/nms.hpp"
+#include "video/scene.hpp"
 #include "video/sprite.hpp"
 
 namespace eecs::detect {
@@ -193,12 +196,14 @@ TEST(Detector, UntrainedDetectViolatesContract) {
 }
 
 // Shared trained bank for the (slow) end-to-end detector checks.
+const std::vector<std::unique_ptr<Detector>>& trained_bank() {
+  static const auto detectors = make_trained_detectors(777);
+  return detectors;
+}
+
 class TrainedDetectors : public ::testing::TestWithParam<int> {
  protected:
-  static const std::vector<std::unique_ptr<Detector>>& bank() {
-    static const auto detectors = make_trained_detectors(777);
-    return detectors;
-  }
+  static const std::vector<std::unique_ptr<Detector>>& bank() { return trained_bank(); }
 
   /// A frame with one big, clearly visible person on a plain background.
   static imaging::Image person_frame() {
@@ -238,6 +243,75 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, TrainedDetectors, ::testing::Range(0, 4)
                          [](const auto& info) {
                            return std::string(to_string(static_cast<AlgorithmId>(info.param)));
                          });
+
+// --- Golden-detection regression: the optimized path (shared FramePrecompute
+// + score maps) must be bit-identical to the legacy per-window path and to
+// the captured goldens. Any perf PR that changes a single float fails here.
+
+struct GoldenDetection {
+  imaging::Rect box;
+  double score = 0.0;
+  double probability = 0.0;
+};
+
+/// [dataset-1][algorithm] golden lists, flattened dataset-major.
+const std::array<std::vector<GoldenDetection>, 8>& golden_lists() {
+  static const std::array<std::vector<GoldenDetection>, 8> lists = {{
+#include "golden_detections.inc"
+  }};
+  return lists;
+}
+
+/// Fixed-seed frame per environment; must stay in lockstep with
+/// tools/golden_detections (which regenerates the .inc lists).
+imaging::Image golden_frame(int dataset) {
+  video::SceneSimulator sim(video::dataset_by_id(dataset), 4242);
+  sim.skip(100);
+  imaging::Image frame = sim.next_frame_single(0);
+  if (dataset == 2) frame = frame.crop(320, 240, 384, 288);
+  return frame;
+}
+
+void expect_golden(int dataset) {
+  const auto& detectors = trained_bank();
+  const imaging::Image frame = golden_frame(dataset);
+  // One cache across all four detectors, exercising cross-detector reuse
+  // (HOG and LSVM share block grids at coinciding pyramid levels).
+  FramePrecompute shared(frame);
+  for (std::size_t a = 0; a < detectors.size(); ++a) {
+    SCOPED_TRACE(to_string(detectors[a]->id()));
+    energy::CostCounter cached_cost;
+    const auto got = detectors[a]->detect(shared, &cached_cost);
+
+    FramePrecompute naive(frame, /*force_naive=*/true);
+    energy::CostCounter naive_cost;
+    const auto ref = detectors[a]->detect(naive, &naive_cost);
+
+    // The per-algorithm op model must not notice the cache at all.
+    EXPECT_TRUE(cached_cost == naive_cost);
+
+    const auto& want = golden_lists()[static_cast<std::size_t>(dataset - 1) * 4 + a];
+    ASSERT_EQ(got.size(), want.size());
+    ASSERT_EQ(ref.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      SCOPED_TRACE("detection " + std::to_string(i));
+      EXPECT_EQ(got[i].box.x, want[i].box.x);
+      EXPECT_EQ(got[i].box.y, want[i].box.y);
+      EXPECT_EQ(got[i].box.w, want[i].box.w);
+      EXPECT_EQ(got[i].box.h, want[i].box.h);
+      EXPECT_EQ(got[i].score, want[i].score);
+      EXPECT_EQ(got[i].probability, want[i].probability);
+      EXPECT_EQ(ref[i].box.x, want[i].box.x);
+      EXPECT_EQ(ref[i].box.y, want[i].box.y);
+      EXPECT_EQ(ref[i].score, want[i].score);
+      EXPECT_EQ(ref[i].probability, want[i].probability);
+    }
+  }
+}
+
+TEST(GoldenDetections, Dataset1BitExact) { expect_golden(1); }
+
+TEST(GoldenDetections, Dataset2BitExact) { expect_golden(2); }
 
 }  // namespace
 }  // namespace eecs::detect
