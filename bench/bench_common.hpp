@@ -13,6 +13,7 @@
 #include "common/strings.hpp"
 #include "core/offline.hpp"
 #include "core/simulation.hpp"
+#include "obs/metrics.hpp"
 #include "video/scene.hpp"
 
 namespace eecs::bench {
@@ -41,10 +42,12 @@ inline void warn_if_debug_build() {
   }
 }
 
-/// Build-flavor fragment every BENCH_*.json carries, so a debug-build run is
-/// visible in the committed artifact itself.
+/// Build-flavor fragment every BENCH_*.json carries, so a debug-build run or
+/// an EECS_OBS_OFF (telemetry stripped) run is visible in the committed
+/// artifact itself.
 inline std::string json_build_context() {
-  return format("\"ndebug\": %s", kAssertsCompiledIn ? "false" : "true");
+  return format("\"ndebug\": %s, \"obs\": \"%s\"", kAssertsCompiledIn ? "false" : "true",
+                obs::kEnabled ? "on" : "off");
 }
 
 /// Sampled ground-truth frames of one (dataset, camera) segment.

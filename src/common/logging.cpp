@@ -2,11 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace eecs {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+std::mutex g_sink_mutex;
+LogSink g_sink;  // Guarded by g_sink_mutex.
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,8 +28,20 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  {
+    const std::lock_guard<std::mutex> lock(g_sink_mutex);
+    if (g_sink) {
+      g_sink(level, msg);
+      return;
+    }
+  }
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 

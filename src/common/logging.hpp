@@ -1,7 +1,10 @@
 // Minimal leveled logger. Default level is Warn so tests and benches stay
-// quiet; simulations raise it to Info when narrating runs.
+// quiet; simulations raise it to Info when narrating runs. The level is a
+// relaxed atomic, so concurrent set_log_level/log_message calls (pool workers
+// logging while a test adjusts verbosity) are race-free.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -9,9 +12,25 @@ namespace eecs {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
-/// Global log threshold; messages below it are discarded.
+/// Global log threshold; messages below it are discarded. Thread-safe.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
+
+/// Optional sink hook: when set, passing messages go to the sink instead of
+/// stderr (tests capture warnings this way instead of scraping stderr).
+/// Install/remove under a mutex shared with message dispatch, so swapping the
+/// sink while other threads log is safe. Pass nullptr to restore stderr.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+/// RAII sink installation for a test scope.
+class ScopedLogSink {
+ public:
+  explicit ScopedLogSink(LogSink sink) { set_log_sink(std::move(sink)); }
+  ~ScopedLogSink() { set_log_sink(nullptr); }
+  ScopedLogSink(const ScopedLogSink&) = delete;
+  ScopedLogSink& operator=(const ScopedLogSink&) = delete;
+};
 
 void log_message(LogLevel level, const std::string& msg);
 

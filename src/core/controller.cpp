@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/telemetry.hpp"
+
 namespace eecs::core {
 
 EecsController::EecsController(const OfflineKnowledge& knowledge, reid::ReIdentifier reidentifier,
@@ -158,6 +160,16 @@ EecsController::Selection EecsController::select(const AssessmentData& assessmen
         }
       }
       if (chosen == nullptr) break;
+      if constexpr (obs::kEnabled) {
+        obs::current().metrics().counter("controller.downgrades").inc();
+        obs::TraceEvent event;
+        event.cat = "round";
+        event.name = "controller.downgrade";
+        event.num_args = {{"camera", static_cast<double>(camera)},
+                          {"from", static_cast<double>(current->id)},
+                          {"to", static_cast<double>(chosen->id)}};
+        obs::current().tracer().record(std::move(event));
+      }
     }
   }
 

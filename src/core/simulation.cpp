@@ -7,26 +7,105 @@
 #include <tuple>
 
 #include "common/parallel.hpp"
-#include "common/stopwatch.hpp"
 #include "detect/frame_cache.hpp"
 #include "features/color_feature.hpp"
 #include "net/messages.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 
 namespace eecs::core {
 
 namespace {
 
-/// Accumulates a scope's wall-clock into a StageTimings field.
-class StageTimer {
- public:
-  explicit StageTimer(double& acc) : acc_(acc) {}
-  ~StageTimer() { acc_ += watch_.seconds(); }
-  StageTimer(const StageTimer&) = delete;
-  StageTimer& operator=(const StageTimer&) = delete;
+/// Record an instant ('i') trace event; compiled out under EECS_OBS_OFF.
+void trace_instant(const char* name, const char* cat, double sim_time,
+                   std::initializer_list<std::pair<const char*, double>> args = {}) {
+  if constexpr (obs::kEnabled) {
+    obs::TraceEvent event;
+    event.phase = 'i';
+    event.sim_time = sim_time;
+    event.cat = cat;
+    event.name = name;
+    event.num_args.reserve(args.size());
+    for (const auto& [key, value] : args) event.num_args.emplace_back(key, value);
+    obs::current().tracer().record(std::move(event));
+  }
+}
+
+/// Registry substrate of the SimulationResult façades. The loop's semantic
+/// counters and stage gauges live in the current obs session; FaultCounters
+/// and StageTimings are computed as registry deltas over the run at a single
+/// assignment point (finalize), so multiple runs sharing one session (the
+/// report/determinism tools) each see only their own activity. Functional
+/// under EECS_OBS_OFF too — the façades keep their semantics either way.
+struct SimTelemetry {
+  explicit SimTelemetry(obs::MetricsRegistry& metrics)
+      : messages_sent(metrics.counter("net.messages.sent")),
+        messages_lost(metrics.counter("net.messages.lost")),
+        assignments_retried(metrics.counter("protocol.assignments.retried")),
+        assignments_abandoned(metrics.counter("protocol.assignments.abandoned")),
+        registrations_lost(metrics.counter("protocol.registrations.lost")),
+        decode_errors(metrics.counter("protocol.decode_errors")),
+        cameras_failed(metrics.counter("liveness.cameras.failed")),
+        cameras_recovered(metrics.counter("liveness.cameras.recovered")),
+        midround_reselections(metrics.counter("liveness.midround_reselections")),
+        frames_skipped(metrics.counter("battery.frames_skipped")),
+        render_s(metrics.gauge("stage.render_s", obs::Determinism::WallClock)),
+        detect_s(metrics.gauge("stage.detect_s", obs::Determinism::WallClock)),
+        features_s(metrics.gauge("stage.features_s", obs::Determinism::WallClock)),
+        controller_s(metrics.gauge("stage.controller_s", obs::Determinism::WallClock)),
+        net_s(metrics.gauge("stage.net_s", obs::Determinism::WallClock)) {
+    base_counters_ = {messages_sent.value(),      messages_lost.value(),
+                      assignments_retried.value(), assignments_abandoned.value(),
+                      registrations_lost.value(),  decode_errors.value(),
+                      cameras_failed.value(),      cameras_recovered.value(),
+                      midround_reselections.value(), frames_skipped.value()};
+    base_gauges_ = {render_s.value(), detect_s.value(), features_s.value(),
+                    controller_s.value(), net_s.value()};
+  }
+
+  /// The single assignment point of the FaultCounters/StageTimings views.
+  void finalize(SimulationResult& result) const {
+    const auto d = [](const obs::Counter& c, std::uint64_t base) {
+      return static_cast<long>(c.value() - base);
+    };
+    result.faults.messages_sent = d(messages_sent, base_counters_[0]);
+    result.faults.messages_lost = d(messages_lost, base_counters_[1]);
+    result.faults.assignments_retried = d(assignments_retried, base_counters_[2]);
+    result.faults.assignments_abandoned = d(assignments_abandoned, base_counters_[3]);
+    result.faults.registrations_lost = d(registrations_lost, base_counters_[4]);
+    result.faults.decode_errors = d(decode_errors, base_counters_[5]);
+    result.faults.cameras_failed = static_cast<int>(d(cameras_failed, base_counters_[6]));
+    result.faults.cameras_recovered = static_cast<int>(d(cameras_recovered, base_counters_[7]));
+    result.faults.midround_reselections =
+        static_cast<int>(d(midround_reselections, base_counters_[8]));
+    result.faults.frames_skipped_exhausted = d(frames_skipped, base_counters_[9]);
+    result.timings.render_s = render_s.value() - base_gauges_[0];
+    result.timings.detect_s = detect_s.value() - base_gauges_[1];
+    result.timings.features_s = features_s.value() - base_gauges_[2];
+    result.timings.controller_s = controller_s.value() - base_gauges_[3];
+    result.timings.net_s = net_s.value() - base_gauges_[4];
+  }
+
+  obs::Counter& messages_sent;
+  obs::Counter& messages_lost;
+  obs::Counter& assignments_retried;
+  obs::Counter& assignments_abandoned;
+  obs::Counter& registrations_lost;
+  obs::Counter& decode_errors;
+  obs::Counter& cameras_failed;
+  obs::Counter& cameras_recovered;
+  obs::Counter& midround_reselections;
+  obs::Counter& frames_skipped;
+  obs::Gauge& render_s;
+  obs::Gauge& detect_s;
+  obs::Gauge& features_s;
+  obs::Gauge& controller_s;
+  obs::Gauge& net_s;
 
  private:
-  double& acc_;
-  Stopwatch watch_;
+  std::array<std::uint64_t, 10> base_counters_{};
+  std::array<double, 5> base_gauges_{};
 };
 
 /// O(1) algorithm -> detector resolution, hoisted out of the frame loops
@@ -221,10 +300,26 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
   const auto node_camera = [&](int node) { return node - 1; };
 
   SimulationResult result;
+  obs::Telemetry& telemetry = obs::current();
+  SimTelemetry st(telemetry.metrics());
+
+  // Per-camera energy gauges: battery residual mirrored on every drain, CPU
+  // joules accumulated at the serial replay points. Registered once here so
+  // the per-frame paths never format metric names.
+  std::vector<obs::Gauge*> cpu_gauges(static_cast<std::size_t>(num_cameras), nullptr);
+  if constexpr (obs::kEnabled) {
+    for (int c = 0; c < num_cameras; ++c) {
+      const std::string cam = "cam" + std::to_string(c);
+      cameras[static_cast<std::size_t>(c)].battery.bind_residual_gauge(
+          &telemetry.metrics().gauge("energy.battery.residual." + cam));
+      cpu_gauges[static_cast<std::size_t>(c)] =
+          &telemetry.metrics().gauge("energy.cpu_joules." + cam);
+    }
+  }
 
   reid::ReIdentifier reidentifier = make_reidentifier(sim);
   {
-    const StageTimer timer(result.timings.features_s);
+    const obs::ScopedSpan span("stage.features", "stage", st.features_s);
     reidentifier.set_color_gate(fit_color_gate(config.dataset, config.seed + 17));
   }
   EecsController controller(knowledge, std::move(reidentifier), config.controller);
@@ -251,7 +346,9 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
     last_heard[static_cast<std::size_t>(camera)] = time;
     if (!presumed_alive[static_cast<std::size_t>(camera)]) {
       presumed_alive[static_cast<std::size_t>(camera)] = 1;
-      ++result.faults.cameras_recovered;
+      st.cameras_recovered.inc();
+      trace_instant("camera.recovered", "liveness", time,
+                    {{"camera", static_cast<double>(camera)}});
     }
   };
 
@@ -334,16 +431,16 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
     net::AssignmentAckMsg ack;
     ack.camera_id = camera;
     ack.sequence = msg.sequence;
-    ++result.faults.messages_sent;
+    st.messages_sent.inc();
     const auto tx = network.send(net_node[static_cast<std::size_t>(camera)], 0, encode(ack),
                                  net::TxClass::Control);
-    if (!tx.delivered) ++result.faults.messages_lost;
+    if (!tx.delivered) st.messages_lost.inc();
   };
 
   // Drain the network up to `until` and route deliveries. Malformed payloads
   // are rejected by the decoders (DecodeError) without killing the loop.
   const auto pump_network = [&](double until) {
-    const StageTimer timer(result.timings.net_s);
+    const obs::ScopedSpan span("stage.net", "stage", st.net_s, until);
     for (const auto& d : network.advance_to(until)) {
       try {
         if (d.to_node == 0) {
@@ -352,7 +449,7 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
           handle_camera_delivery(node_camera(d.to_node), d);
         }
       } catch (const ByteReader::DecodeError&) {
-        ++result.faults.decode_errors;
+        st.decode_errors.inc();
       }
     }
   };
@@ -361,10 +458,10 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
     net::EnergyReportMsg msg;
     msg.camera_id = c;
     msg.residual_joules = cameras[static_cast<std::size_t>(c)].battery.residual();
-    ++result.faults.messages_sent;
+    st.messages_sent.inc();
     const auto tx = network.send(net_node[static_cast<std::size_t>(c)], 0, encode(msg),
                                  net::TxClass::Control);
-    if (!tx.delivered) ++result.faults.messages_lost;
+    if (!tx.delivered) st.messages_lost.inc();
   };
 
   const auto push_assignments = [&](const std::vector<CameraAssignment>& assignments) {
@@ -376,9 +473,13 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       msg.threshold = a.threshold;
       msg.active = a.active ? 1 : 0;
       std::vector<std::uint8_t> payload = encode(msg);
-      ++result.faults.messages_sent;
+      st.messages_sent.inc();
       const auto tx = network.send(0, net_node[static_cast<std::size_t>(a.camera)], payload);
-      if (!tx.delivered) ++result.faults.messages_lost;
+      if (!tx.delivered) st.messages_lost.inc();
+      trace_instant("camera.assign", "round", network.now(),
+                    {{"camera", static_cast<double>(a.camera)},
+                     {"algorithm", static_cast<double>(msg.algorithm)},
+                     {"active", a.active ? 1.0 : 0.0}});
       pending[a.camera] =
           {std::move(payload), msg.sequence, 1, network.now() + 2.5 * stride};
     }
@@ -393,7 +494,7 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
   };
 
   const auto retry_assignments = [&]() {
-    const StageTimer timer(result.timings.net_s);
+    const obs::ScopedSpan span("stage.net", "stage", st.net_s, network.now());
     for (auto it = pending.begin(); it != pending.end();) {
       PendingAssignment& p = it->second;
       if (network.now() < p.next_retry) {
@@ -403,14 +504,20 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       if (p.attempts > config.protocol.max_assignment_retries) {
         // Retry budget exhausted: the camera keeps its last-known-good
         // assignment until the next recalibration round reaches it.
-        ++result.faults.assignments_abandoned;
+        st.assignments_abandoned.inc();
+        trace_instant("assignment.abandoned", "protocol", network.now(),
+                      {{"camera", static_cast<double>(it->first)},
+                       {"attempts", static_cast<double>(p.attempts)}});
         it = pending.erase(it);
         continue;
       }
-      ++result.faults.assignments_retried;
-      ++result.faults.messages_sent;
+      st.assignments_retried.inc();
+      st.messages_sent.inc();
+      trace_instant("assignment.retry", "protocol", network.now(),
+                    {{"camera", static_cast<double>(it->first)},
+                     {"attempt", static_cast<double>(p.attempts + 1)}});
       const auto tx = network.send(0, net_node[static_cast<std::size_t>(it->first)], p.payload);
-      if (!tx.delivered) ++result.faults.messages_lost;
+      if (!tx.delivered) st.messages_lost.inc();
       ++p.attempts;
       p.next_retry = network.now() + (2.5 + p.attempts) * stride;  // Linear backoff.
       ++it;
@@ -424,7 +531,10 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       if (!presumed_alive[static_cast<std::size_t>(c)]) continue;
       if (network.now() - last_heard[static_cast<std::size_t>(c)] <= timeout) continue;
       presumed_alive[static_cast<std::size_t>(c)] = 0;
-      ++result.faults.cameras_failed;
+      st.cameras_failed.inc();
+      trace_instant("camera.dead", "liveness", network.now(),
+                    {{"camera", static_cast<double>(c)},
+                     {"last_heard", last_heard[static_cast<std::size_t>(c)]}});
       pending.erase(c);  // Stop retrying into the void.
       if (controller_active.count(c) > 0) lost_active_camera = true;
     }
@@ -433,11 +543,16 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       // round's assessment data and push fresh assignments.
       const std::set<int> alive = alive_set();
       const EecsController::Selection selection = [&] {
-        const StageTimer timer(result.timings.controller_s);
+        const obs::ScopedSpan span("stage.controller", "stage", st.controller_s, network.now());
         return controller.select(assessment, config.mode, &alive);
       }();
       result.rounds.push_back({sim.frame_index(), selection.stats, true});
-      ++result.faults.midround_reselections;
+      st.midround_reselections.inc();
+      trace_instant("round.select", "round", sim.frame_index(),
+                    {{"midround", 1.0},
+                     {"cameras_active", static_cast<double>(selection.stats.cameras_active)},
+                     {"n_est", selection.stats.n_est},
+                     {"p_est", selection.stats.p_est}});
       apply_selection(selection);
     }
   };
@@ -448,7 +563,7 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
   };
 
   const auto next_frame_timed = [&]() {
-    const StageTimer timer(result.timings.render_s);
+    const obs::ScopedSpan span("stage.render", "stage", st.render_s, sim.frame_index());
     return sim.next_frame();
   };
 
@@ -475,7 +590,7 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
     };
     std::vector<Registration> registrations;
     {
-      const StageTimer timer(result.timings.features_s);
+      const obs::ScopedSpan span("stage.features", "stage", st.features_s, sim.frame_index());
       registrations = common::parallel_map<Registration>(
           static_cast<std::size_t>(num_cameras), [&](std::size_t c) {
             energy::CostCounter cost;
@@ -496,7 +611,7 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
             return reg;
           });
     }
-    const StageTimer timer(result.timings.net_s);
+    const obs::ScopedSpan span("stage.net", "stage", st.net_s, sim.frame_index());
     for (int c = 0; c < num_cameras; ++c) {
       const Registration& reg = registrations[static_cast<std::size_t>(c)];
       const std::vector<std::uint8_t> payload = encode(reg.msg);
@@ -505,15 +620,18 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       int attempts = 0;
       do {
         ++attempts;
-        ++result.faults.messages_sent;
+        st.messages_sent.inc();
         tx = network.send(net_node[static_cast<std::size_t>(c)], 0, payload);
         tx_joules += tx.tx_joules;
-        if (!tx.delivered) ++result.faults.messages_lost;
+        if (!tx.delivered) st.messages_lost.inc();
       } while (!tx.delivered && attempts <= config.protocol.registration_retries &&
                !network.node_down(net_node[static_cast<std::size_t>(c)]));
-      if (!tx.delivered) ++result.faults.registrations_lost;
+      if (!tx.delivered) st.registrations_lost.inc();
       result.cpu_joules += reg.cpu_joules;
       result.radio_joules += tx_joules;
+      if (cpu_gauges[static_cast<std::size_t>(c)] != nullptr) {
+        cpu_gauges[static_cast<std::size_t>(c)]->add(reg.cpu_joules);
+      }
       cameras[static_cast<std::size_t>(c)].battery.drain(reg.cpu_joules + tx_joules);
     }
   }
@@ -553,7 +671,7 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       }
       std::vector<std::vector<FrameOutcome>> outcomes;
       {
-        const StageTimer timer(result.timings.detect_s);
+        const obs::ScopedSpan span("stage.detect", "stage", st.detect_s, frame.index);
         outcomes = common::parallel_map<std::vector<FrameOutcome>>(
             static_cast<std::size_t>(num_cameras), [&](std::size_t c) {
               std::vector<FrameOutcome> out;
@@ -567,9 +685,15 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
               return out;
             });
       }
+      if constexpr (obs::kEnabled) {
+        double assessed = 0.0;
+        for (const auto& camera_tasks : tasks) assessed += camera_tasks.empty() ? 0.0 : 1.0;
+        trace_instant("detect.batch", "detect", frame.index,
+                      {{"cameras", assessed}, {"assessment", 1.0}});
+      }
       // Sequential transmission phase, in the exact serial-path order:
       // heartbeat(c), then one metadata message per assessed algorithm.
-      const StageTimer timer(result.timings.net_s);
+      const obs::ScopedSpan span("stage.net", "stage", st.net_s, frame.index);
       for (int c = 0; c < num_cameras; ++c) {
         if (!camera_up[static_cast<std::size_t>(c)]) continue;
         send_heartbeat(c);
@@ -578,14 +702,14 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
           FrameOutcome& outcome = outcomes[static_cast<std::size_t>(c)][t];
           const net::DetectionMetadataMsg msg =
               make_metadata_msg(c, frame.index, camera_tasks[t].algorithm, outcome);
-          ++result.faults.messages_sent;
+          st.messages_sent.inc();
           const auto tx = network.send(net_node[static_cast<std::size_t>(c)], 0, encode(msg),
                                        net::TxClass::Control);
           if (tx.delivered) {
             in_flight[{c, frame.index, static_cast<int>(camera_tasks[t].algorithm)}] = {
                 f, to_view_detections(c, std::move(outcome))};
           } else {
-            ++result.faults.messages_lost;
+            st.messages_lost.inc();
           }
         }
       }
@@ -598,10 +722,15 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
 
     const std::set<int> alive = alive_set();
     const EecsController::Selection selection = [&] {
-      const StageTimer timer(result.timings.controller_s);
+      const obs::ScopedSpan span("stage.controller", "stage", st.controller_s, sim.frame_index());
       return controller.select(assessment, config.mode, &alive);
     }();
     result.rounds.push_back({sim.frame_index(), selection.stats, false});
+    trace_instant("round.select", "round", sim.frame_index(),
+                  {{"midround", 0.0},
+                   {"cameras_active", static_cast<double>(selection.stats.cameras_active)},
+                   {"n_est", selection.stats.n_est},
+                   {"p_est", selection.stats.p_est}});
 
     // Push assignments to the cameras over the network (sequence-numbered;
     // acked on delivery, retried with backoff while unacked).
@@ -633,7 +762,7 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
         CameraNode& cam = cameras[static_cast<std::size_t>(c)];
         if (cam.battery.empty()) {
           // Exhausted: the node is dark — no detection, no transmission.
-          if (cam.has_assignment && cam.active) ++result.faults.frames_skipped_exhausted;
+          if (cam.has_assignment && cam.active) st.frames_skipped.inc();
           continue;
         }
         if (network.node_down(net_node[static_cast<std::size_t>(c)])) continue;
@@ -646,7 +775,7 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       }
       std::vector<FrameOutcome> outcomes;
       {
-        const StageTimer timer(result.timings.detect_s);
+        const obs::ScopedSpan span("stage.detect", "stage", st.detect_s, frame.index);
         outcomes = common::parallel_map<FrameOutcome>(processing.size(), [&](std::size_t i) {
           const int c = processing[i];
           const CameraNode& cam = cameras[static_cast<std::size_t>(c)];
@@ -654,9 +783,11 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
                                       frame.views[static_cast<std::size_t>(c)], config.models);
         });
       }
+      trace_instant("detect.batch", "detect", frame.index,
+                    {{"cameras", static_cast<double>(processing.size())}, {"assessment", 0.0}});
 
       std::set<int> detected;
-      const StageTimer timer(result.timings.net_s);
+      const obs::ScopedSpan span("stage.net", "stage", st.net_s, frame.index);
       std::size_t next_outcome = 0;
       for (int c = 0; c < num_cameras; ++c) {
         if (acts[static_cast<std::size_t>(c)] == Act::Silent) continue;
@@ -667,7 +798,7 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
 
         const net::DetectionMetadataMsg msg =
             make_metadata_msg(c, frame.index, cam.algorithm, outcome);
-        ++result.faults.messages_sent;
+        st.messages_sent.inc();
         const auto tx = network.send(net_node[static_cast<std::size_t>(c)], 0, encode(msg));
         // JPEG crops of the detected objects ride along (charged per byte).
         const double crop_joules =
@@ -675,7 +806,14 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
 
         result.cpu_joules += outcome.cpu_joules;
         result.radio_joules += tx.tx_joules + crop_joules;
+        if (cpu_gauges[static_cast<std::size_t>(c)] != nullptr) {
+          cpu_gauges[static_cast<std::size_t>(c)]->add(outcome.cpu_joules);
+        }
         cam.battery.drain(outcome.cpu_joules + tx.tx_joules + crop_joules);
+        trace_instant("battery.debit", "energy", frame.index,
+                      {{"camera", static_cast<double>(c)},
+                       {"joules", outcome.cpu_joules + tx.tx_joules + crop_joules},
+                       {"residual", cam.battery.residual()}});
 
         if (tx.delivered) {
           const MatchResult match = match_detections(
@@ -683,7 +821,7 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
           for (int id : match.matched_person_ids) detected.insert(id);
         } else {
           // The controller never sees these detections: they don't count.
-          ++result.faults.messages_lost;
+          st.messages_lost.inc();
         }
       }
       // Only persons actually present count (a matched ignore-region person
@@ -695,7 +833,10 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
     }
   }
 
-  result.faults.messages_lost += static_cast<long>(network.rx_dropped());
+  // Receiver-side drops count as lost protocol messages, exactly like the
+  // legacy `faults.messages_lost += rx_dropped` accounting.
+  st.messages_lost.inc(network.rx_dropped());
+  st.finalize(result);
   result.battery_residual.reserve(static_cast<std::size_t>(num_cameras));
   for (const auto& cam : cameras) result.battery_residual.push_back(cam.battery.residual());
   return result;
@@ -733,10 +874,11 @@ SimulationResult run_fixed_combo(const DetectorBank& detectors, const OfflineKno
   }
 
   SimulationResult result;
+  SimTelemetry st(obs::current().metrics());
   sim.skip(config.start_frame);
   while (sim.frame_index() < config.end_frame) {
     const video::MultiViewFrame frame = [&] {
-      const StageTimer timer(result.timings.render_s);
+      const obs::ScopedSpan span("stage.render", "stage", st.render_s, sim.frame_index());
       return sim.next_frame();
     }();
     ++result.gt_frames_processed;
@@ -757,7 +899,7 @@ SimulationResult run_fixed_combo(const DetectorBank& detectors, const OfflineKno
     }
     std::vector<FrameOutcome> outcomes;
     {
-      const StageTimer timer(result.timings.detect_s);
+      const obs::ScopedSpan span("stage.detect", "stage", st.detect_s, frame.index);
       outcomes = common::parallel_map<FrameOutcome>(entries.size(), [&](std::size_t e) {
         if (!compute[e]) return FrameOutcome{};
         const Entry& entry = entries[e];
@@ -773,7 +915,7 @@ SimulationResult run_fixed_combo(const DetectorBank& detectors, const OfflineKno
       energy::Battery& battery = batteries[static_cast<std::size_t>(entry.camera)];
       if (battery.empty()) {
         // Exhausted camera: contributes no detections and no radio energy.
-        ++result.faults.frames_skipped_exhausted;
+        st.frames_skipped.inc();
         continue;
       }
       const FrameOutcome& outcome = outcomes[e];
@@ -791,6 +933,7 @@ SimulationResult run_fixed_combo(const DetectorBank& detectors, const OfflineKno
     }
     sim.skip(stride - 1);
   }
+  st.finalize(result);
   result.battery_residual.reserve(static_cast<std::size_t>(num_cameras));
   for (const auto& b : batteries) result.battery_residual.push_back(b.residual());
   return result;

@@ -76,7 +76,11 @@ struct RoundLog {
   bool midround_recovery = false;
 };
 
-/// Robustness counters surfaced by the runners.
+/// Robustness counters surfaced by the runners. A view over the obs metrics
+/// registry: the loop increments named counters (`net.messages.sent`,
+/// `liveness.cameras.failed`, ...) in the current telemetry session and this
+/// struct is assigned once, at the end of a run, from the registry deltas
+/// over that run. Semantics are identical to the legacy direct counting.
 struct FaultCounters {
   long messages_sent = 0;      ///< Protocol messages offered to the network.
   long messages_lost = 0;      ///< ... that the network failed to deliver.
@@ -93,7 +97,9 @@ struct FaultCounters {
 
 /// Wall-clock seconds per pipeline stage, for bench observability only.
 /// Excluded from determinism comparisons: every other SimulationResult field
-/// is bit-identical across runs and thread counts, these are not.
+/// is bit-identical across runs and thread counts, these are not. A view over
+/// the obs registry's `stage.*_s` wall-clock gauges (fed by ScopedSpan),
+/// assigned once per run from the gauge deltas.
 struct StageTimings {
   double render_s = 0.0;      ///< Scene rendering (sim.next_frame and skips).
   double detect_s = 0.0;      ///< Detection + color features (camera fan-out).

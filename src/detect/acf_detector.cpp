@@ -120,7 +120,7 @@ void AcfDetector::train(const TrainingSet& training_set, Rng& rng) {
   fit_score_calibration(pos_scores, neg_scores);
 }
 
-std::vector<Detection> AcfDetector::detect(FramePrecompute& pre, energy::CostCounter* cost) const {
+std::vector<Detection> AcfDetector::run(FramePrecompute& pre, energy::CostCounter* cost) const {
   EECS_EXPECTS(trained());
   std::vector<Detection> candidates;
   const imaging::Image& frame = pre.frame();

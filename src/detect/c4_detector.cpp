@@ -195,7 +195,7 @@ void C4Detector::train(const TrainingSet& training_set, Rng& rng) {
   fit_score_calibration(pos_scores, neg_scores);
 }
 
-std::vector<Detection> C4Detector::detect(FramePrecompute& pre, energy::CostCounter* cost) const {
+std::vector<Detection> C4Detector::run(FramePrecompute& pre, energy::CostCounter* cost) const {
   EECS_EXPECTS(trained());
   std::vector<Detection> candidates;
   const imaging::Image& frame = pre.frame();

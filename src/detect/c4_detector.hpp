@@ -74,8 +74,10 @@ class C4Detector final : public Detector {
   [[nodiscard]] AlgorithmId id() const override { return AlgorithmId::C4; }
   void train(const TrainingSet& training_set, Rng& rng) override;
   [[nodiscard]] bool trained() const override { return model_.trained(); }
-  [[nodiscard]] std::vector<Detection> detect(FramePrecompute& pre,
-                                              energy::CostCounter* cost = nullptr) const override;
+
+ protected:
+  [[nodiscard]] std::vector<Detection> run(FramePrecompute& pre,
+                                           energy::CostCounter* cost) const override;
 
  private:
   C4DetectorParams params_;

@@ -6,13 +6,42 @@
 #include "detect/frame_cache.hpp"
 #include "detect/hog_detector.hpp"
 #include "detect/lsvm_detector.hpp"
+#include "obs/telemetry.hpp"
 
 namespace eecs::detect {
+
+namespace {
+
+/// Static metric names so the hot path never formats strings.
+const char* invocation_metric(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::Hog: return "detect.invocations.hog";
+    case AlgorithmId::Acf: return "detect.invocations.acf";
+    case AlgorithmId::C4: return "detect.invocations.c4";
+    case AlgorithmId::Lsvm: return "detect.invocations.lsvm";
+  }
+  return "detect.invocations.unknown";
+}
+
+}  // namespace
 
 std::vector<Detection> Detector::detect(const imaging::Image& frame,
                                         energy::CostCounter* cost) const {
   FramePrecompute local(frame);
   return detect(local, cost);
+}
+
+std::vector<Detection> Detector::detect(FramePrecompute& pre, energy::CostCounter* cost) const {
+  auto detections = run(pre, cost);
+  if constexpr (obs::kEnabled) {
+    // Counts and integer-valued histogram sums are order-independent, so these
+    // stay bit-identical when detect() runs inside the parallel fan-out.
+    obs::MetricsRegistry& metrics = obs::current().metrics();
+    metrics.counter(invocation_metric(id())).inc();
+    metrics.histogram("detect.detections_per_invocation", {0, 1, 2, 4, 8, 16, 32})
+        .observe(static_cast<double>(detections.size()));
+  }
+  return detections;
 }
 
 std::unique_ptr<Detector> make_detector(AlgorithmId id) {

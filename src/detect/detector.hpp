@@ -41,10 +41,18 @@ class Detector {
   /// grids) are computed once per frame and reused bit-exactly. `cost` is
   /// charged exactly what a standalone detect() on a cold cache would charge —
   /// the paper's per-algorithm op model is preserved regardless of hits.
-  [[nodiscard]] virtual std::vector<Detection> detect(FramePrecompute& pre,
-                                                      energy::CostCounter* cost = nullptr) const = 0;
+  ///
+  /// Non-virtual telemetry shell: records the per-algorithm invocation count
+  /// and detections-returned histogram into the current obs session (compiled
+  /// out under EECS_OBS_OFF), then dispatches to the subclass's run().
+  [[nodiscard]] std::vector<Detection> detect(FramePrecompute& pre,
+                                              energy::CostCounter* cost = nullptr) const;
 
  protected:
+  /// The actual sliding-window scan; see detect(FramePrecompute&) above.
+  [[nodiscard]] virtual std::vector<Detection> run(FramePrecompute& pre,
+                                                   energy::CostCounter* cost) const = 0;
+
   /// Fit Platt calibration from training-window scores.
   void fit_score_calibration(const std::vector<double>& positive_scores,
                              const std::vector<double>& negative_scores) {

@@ -6,14 +6,41 @@
 #include "common/contracts.hpp"
 #include "features/census.hpp"
 #include "imaging/filter.hpp"
+#include "obs/telemetry.hpp"
 
 namespace eecs::detect {
+
+FramePrecompute::FramePrecompute(const imaging::Image& frame, bool force_naive)
+    : frame_(&frame), force_naive_(force_naive) {
+  if constexpr (obs::kEnabled) {
+    // Hoist the hit/miss counter handles once per frame; every access inside
+    // the sliding-window scan is then a relaxed atomic increment. Totals are
+    // order-independent, so they stay deterministic across thread widths.
+    obs::MetricsRegistry& metrics = obs::current().metrics();
+    static constexpr const char* kHit[kNumSubstrates] = {
+        "detect.cache.scaled.hit", "detect.cache.block_grid.hit",
+        "detect.cache.acf_channels.hit", "detect.cache.census.hit"};
+    static constexpr const char* kMiss[kNumSubstrates] = {
+        "detect.cache.scaled.miss", "detect.cache.block_grid.miss",
+        "detect.cache.acf_channels.miss", "detect.cache.census.miss"};
+    for (int s = 0; s < kNumSubstrates; ++s) {
+      cache_hit_[s] = &metrics.counter(kHit[s]);
+      cache_miss_[s] = &metrics.counter(kMiss[s]);
+    }
+  }
+}
+
+void FramePrecompute::count_access(Substrate substrate, bool hit) {
+  obs::Counter* c = hit ? cache_hit_[substrate] : cache_miss_[substrate];
+  if (c != nullptr) c->inc();
+}
 
 const imaging::Image& FramePrecompute::scaled(int width, int height) {
   EECS_EXPECTS(width > 0 && height > 0);
   if (width == frame_->width() && height == frame_->height()) return *frame_;
   const DimKey key{width, height};
   auto it = scaled_.find(key);
+  count_access(kScaled, it != scaled_.end());
   if (it == scaled_.end()) {
     it = scaled_.insert_or_assign(key, imaging::resize(*frame_, width, height)).first;
   }
@@ -25,6 +52,7 @@ const BlockGrid& FramePrecompute::block_grid(int width, int height,
                                              energy::CostCounter* cost) {
   const GridKey key{width, height, params.cell_size, params.block_size, params.bins};
   auto it = grids_.find(key);
+  count_access(kBlockGrid, it != grids_.end());
   if (it == grids_.end()) {
     energy::CostCounter charge;
     BlockGrid grid(scaled(width, height), params, &charge);
@@ -38,6 +66,7 @@ const ChannelMap& FramePrecompute::acf_channels(int width, int height,
                                                 energy::CostCounter* cost) {
   const DimKey key{width, height};
   auto it = channels_.find(key);
+  count_access(kAcfChannels, it != channels_.end());
   if (it == channels_.end()) {
     energy::CostCounter charge;
     ChannelMap channels = compute_acf_channels(scaled(width, height), &charge);
@@ -101,6 +130,7 @@ const CensusCellGrid& FramePrecompute::census_grid(int width, int height, int of
                                                    int offset_y, energy::CostCounter* cost) {
   const CensusKey key{width, height, offset_x, offset_y};
   auto it = census_.find(key);
+  count_access(kCensus, it != census_.end());
   if (it == census_.end()) {
     energy::CostCounter charge;
     // to_gray is positionwise (each output pixel depends only on the same

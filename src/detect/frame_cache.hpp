@@ -26,6 +26,10 @@
 #include "energy/cost.hpp"
 #include "imaging/image.hpp"
 
+namespace eecs::obs {
+class Counter;
+}
+
 namespace eecs::detect {
 
 class FramePrecompute {
@@ -37,8 +41,7 @@ class FramePrecompute {
   /// anyway — so a fresh FramePrecompute per call reproduces its work profile
   /// exactly (use one per detector for a faithful naive baseline or golden
   /// check).
-  explicit FramePrecompute(const imaging::Image& frame, bool force_naive = false)
-      : frame_(&frame), force_naive_(force_naive) {}
+  explicit FramePrecompute(const imaging::Image& frame, bool force_naive = false);
 
   FramePrecompute(const FramePrecompute&) = delete;
   FramePrecompute& operator=(const FramePrecompute&) = delete;
@@ -91,8 +94,15 @@ class FramePrecompute {
   /// neighbors differ and are recomputed per offset.
   [[nodiscard]] const std::vector<std::uint8_t>& census_codes(int width, int height);
 
+  /// Hit/miss counters of the current obs session, hoisted once per frame at
+  /// construction (null under EECS_OBS_OFF). Indexed by substrate.
+  enum Substrate { kScaled = 0, kBlockGrid, kAcfChannels, kCensus, kNumSubstrates };
+  void count_access(Substrate substrate, bool hit);
+
   const imaging::Image* frame_;
   bool force_naive_;
+  obs::Counter* cache_hit_[kNumSubstrates] = {};
+  obs::Counter* cache_miss_[kNumSubstrates] = {};
   // std::map: node-based, so references handed out stay valid across inserts.
   std::map<DimKey, imaging::Image> scaled_;
   std::map<DimKey, imaging::Image> gray_;

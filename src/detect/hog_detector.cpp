@@ -35,7 +35,7 @@ void HogDetector::train(const TrainingSet& training_set, Rng& rng) {
   fit_score_calibration(pos_scores, neg_scores);
 }
 
-std::vector<Detection> HogDetector::detect(FramePrecompute& pre, energy::CostCounter* cost) const {
+std::vector<Detection> HogDetector::run(FramePrecompute& pre, energy::CostCounter* cost) const {
   EECS_EXPECTS(trained());
   std::vector<Detection> candidates;
   const imaging::Image& frame = pre.frame();

@@ -27,8 +27,10 @@ class HogDetector final : public Detector {
   [[nodiscard]] AlgorithmId id() const override { return AlgorithmId::Hog; }
   void train(const TrainingSet& training_set, Rng& rng) override;
   [[nodiscard]] bool trained() const override { return model_.trained(); }
-  [[nodiscard]] std::vector<Detection> detect(FramePrecompute& pre,
-                                              energy::CostCounter* cost = nullptr) const override;
+
+ protected:
+  [[nodiscard]] std::vector<Detection> run(FramePrecompute& pre,
+                                           energy::CostCounter* cost) const override;
 
   [[nodiscard]] const LinearModel& model() const { return model_; }
 

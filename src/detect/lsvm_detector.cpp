@@ -98,7 +98,7 @@ float LsvmDetector::window_score(const BlockGrid& grid, int cx, int cy,
   return static_cast<float>(s);
 }
 
-std::vector<Detection> LsvmDetector::detect(FramePrecompute& pre, energy::CostCounter* cost) const {
+std::vector<Detection> LsvmDetector::run(FramePrecompute& pre, energy::CostCounter* cost) const {
   EECS_EXPECTS(trained());
   std::vector<Detection> candidates;
   const imaging::Image& frame = pre.frame();

@@ -46,8 +46,10 @@ class LsvmDetector final : public Detector {
   [[nodiscard]] AlgorithmId id() const override { return AlgorithmId::Lsvm; }
   void train(const TrainingSet& training_set, Rng& rng) override;
   [[nodiscard]] bool trained() const override { return root_.trained(); }
-  [[nodiscard]] std::vector<Detection> detect(FramePrecompute& pre,
-                                              energy::CostCounter* cost = nullptr) const override;
+
+ protected:
+  [[nodiscard]] std::vector<Detection> run(FramePrecompute& pre,
+                                           energy::CostCounter* cost) const override;
 
  private:
   /// Combined root + best-placement part score at a window position.

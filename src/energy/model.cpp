@@ -2,13 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace eecs::energy {
 
 double Battery::drain(double joules) {
   EECS_EXPECTS(joules >= 0.0);
   const double drained = std::min(joules, residual_);
   residual_ -= drained;
+  if (residual_gauge_ != nullptr) residual_gauge_->set(residual_);
   return drained;
+}
+
+void Battery::bind_residual_gauge(obs::Gauge* gauge) {
+  residual_gauge_ = gauge;
+  if (residual_gauge_ != nullptr) residual_gauge_->set(residual_);
 }
 
 }  // namespace eecs::energy

@@ -8,6 +8,10 @@
 #include "common/contracts.hpp"
 #include "energy/cost.hpp"
 
+namespace eecs::obs {
+class Gauge;
+}
+
 namespace eecs::energy {
 
 /// Converts operation counts to Joules. The default constants are calibrated
@@ -62,6 +66,11 @@ class Battery {
   /// Drain energy; clamps at empty and returns the amount actually drained.
   double drain(double joules);
 
+  /// Mirror the residual charge into a telemetry gauge: published immediately
+  /// and after every drain. Pass nullptr to unbind. The battery does not own
+  /// the gauge; the binder must keep its registry alive.
+  void bind_residual_gauge(obs::Gauge* gauge);
+
   [[nodiscard]] double residual() const { return residual_; }
   [[nodiscard]] double capacity() const { return capacity_; }
   [[nodiscard]] double consumed() const { return capacity_ - residual_; }
@@ -70,6 +79,7 @@ class Battery {
  private:
   double capacity_;
   double residual_;
+  obs::Gauge* residual_gauge_ = nullptr;
 };
 
 /// §VI budget arithmetic: an expected operation time and frame-processing

@@ -3,8 +3,42 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "obs/telemetry.hpp"
 
 namespace eecs::net {
+
+namespace {
+
+/// Counter slot for an encoded payload: its MessageType tag, or 0 for empty
+/// or unrecognized payloads (raw-byte tests, future types).
+int message_kind(const std::vector<std::uint8_t>& payload) {
+  if (payload.empty()) return 0;
+  const std::uint8_t tag = payload.front();
+  return tag >= 1 && tag <= 5 ? static_cast<int>(tag) : 0;
+}
+
+}  // namespace
+
+Network::Network(const energy::RadioModel& radio, std::uint64_t seed)
+    : radio_(radio), rng_(seed) {
+  if constexpr (obs::kEnabled) {
+    static constexpr const char* kSent[kNumMessageKinds] = {
+        "net.tx.other.sent",          "net.tx.feature_upload.sent",
+        "net.tx.detection_metadata.sent", "net.tx.algorithm_assignment.sent",
+        "net.tx.energy_report.sent",  "net.tx.assignment_ack.sent"};
+    static constexpr const char* kLost[kNumMessageKinds] = {
+        "net.tx.other.lost",          "net.tx.feature_upload.lost",
+        "net.tx.detection_metadata.lost", "net.tx.algorithm_assignment.lost",
+        "net.tx.energy_report.lost",  "net.tx.assignment_ack.lost"};
+    obs::MetricsRegistry& metrics = obs::current().metrics();
+    for (int k = 0; k < kNumMessageKinds; ++k) {
+      tx_sent_[k] = &metrics.counter(kSent[k]);
+      tx_lost_[k] = &metrics.counter(kLost[k]);
+    }
+    rx_delivered_metric_ = &metrics.counter("net.rx.delivered");
+    rx_dropped_metric_ = &metrics.counter("net.rx.dropped");
+  }
+}
 
 int Network::add_node(const LinkQuality& link) {
   links_.push_back(link);
@@ -18,13 +52,16 @@ TxResult Network::send(int from_node, int to_node, std::vector<std::uint8_t> pay
   EECS_EXPECTS(from_node >= 0 && from_node < node_count());
   EECS_EXPECTS(to_node >= 0 && to_node < node_count());
   const LinkQuality& link = links_[static_cast<std::size_t>(from_node)];
+  const int kind = message_kind(payload);
 
   TxResult result;
   if (faults_.node_down(from_node, now_)) {
     // The radio is off: nothing leaves the node and nothing is charged.
+    // Not counted as sent or lost — the message never reached the air.
     result.delivered = false;
     return result;
   }
+  if (tx_sent_[kind] != nullptr) tx_sent_[kind]->inc();
 
   result.tx_seconds = static_cast<double>(payload.size()) / link.bandwidth_bytes_per_s;
   if (tx_class == TxClass::Data) {
@@ -39,6 +76,8 @@ TxResult Network::send(int from_node, int to_node, std::vector<std::uint8_t> pay
   if (result.delivered) {
     queue_.push({now_ + result.tx_seconds + link.latency_s, sequence_++, from_node, to_node,
                  std::move(payload)});
+  } else if (tx_lost_[kind] != nullptr) {
+    tx_lost_[kind]->inc();
   }
   return result;
 }
@@ -53,8 +92,10 @@ std::vector<Network::Delivery> Network::advance_to(double until_time) {
     queue_.pop();
     if (faults_.node_down(pending.to_node, pending.time)) {
       ++rx_dropped_;
+      if (rx_dropped_metric_ != nullptr) rx_dropped_metric_->inc();
       continue;
     }
+    if (rx_delivered_metric_ != nullptr) rx_delivered_metric_->inc();
     out.push_back({pending.time, pending.from_node, pending.to_node, std::move(pending.payload)});
   }
   now_ = until_time;

@@ -14,6 +14,10 @@
 #include "energy/model.hpp"
 #include "net/fault.hpp"
 
+namespace eecs::obs {
+class Counter;
+}
+
 namespace eecs::net {
 
 struct LinkQuality {
@@ -39,8 +43,7 @@ struct TxResult {
 
 class Network {
  public:
-  explicit Network(const energy::RadioModel& radio, std::uint64_t seed)
-      : radio_(radio), rng_(seed) {}
+  explicit Network(const energy::RadioModel& radio, std::uint64_t seed);
 
   /// Register a node; returns its node id. Link quality applies to its
   /// uplink toward the controller (node 0 by convention).
@@ -97,6 +100,18 @@ class Network {
       return a.time != b.time ? a.time > b.time : a.sequence > b.sequence;
     }
   };
+
+  /// MessageType tags 1..5 plus slot 0 for empty/unknown payloads.
+  static constexpr int kNumMessageKinds = 6;
+
+  /// Per-message-type telemetry counters of the obs session current at
+  /// construction, hoisted once so send/advance_to never touch the registry
+  /// map (null under EECS_OBS_OFF). Keyed by the encoded type tag — the
+  /// network stays payload-agnostic and never decodes.
+  obs::Counter* tx_sent_[kNumMessageKinds] = {};
+  obs::Counter* tx_lost_[kNumMessageKinds] = {};
+  obs::Counter* rx_delivered_metric_ = nullptr;
+  obs::Counter* rx_dropped_metric_ = nullptr;
 
   energy::RadioModel radio_;
   Rng rng_;

@@ -1,0 +1,190 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/contracts.hpp"
+
+namespace eecs::obs {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  EECS_EXPECTS(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t slot = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[slot].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  EECS_EXPECTS(i <= bounds_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+MetricsRegistry::Metric& MetricsRegistry::get_or_create(std::string_view name, Kind kind,
+                                                        Determinism det,
+                                                        std::vector<double>* bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Metric metric{kind, det, nullptr, nullptr, nullptr};
+    switch (kind) {
+      case Kind::Counter: metric.counter = std::make_unique<Counter>(); break;
+      case Kind::Gauge: metric.gauge = std::make_unique<Gauge>(); break;
+      case Kind::Histogram:
+        metric.histogram = std::make_unique<Histogram>(std::move(*bounds));
+        break;
+    }
+    it = metrics_.emplace(std::string(name), std::move(metric)).first;
+  }
+  // Re-registration must agree on kind and determinism class.
+  EECS_EXPECTS(it->second.kind == kind && it->second.det == det);
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Determinism det) {
+  return *get_or_create(name, Kind::Counter, det, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Determinism det) {
+  return *get_or_create(name, Kind::Gauge, det, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> upper_bounds,
+                                      Determinism det) {
+  return *get_or_create(name, Kind::Histogram, det, &upper_bounds).histogram;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::deterministic_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, metric] : metrics_) {
+    if (metric.det != Determinism::Deterministic) continue;
+    switch (metric.kind) {
+      case Kind::Counter:
+        snap[name] = static_cast<double>(metric.counter->value());
+        break;
+      case Kind::Gauge:
+        snap[name] = metric.gauge->value();
+        break;
+      case Kind::Histogram: {
+        const Histogram& h = *metric.histogram;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          snap[name + ".le_" + format_double(h.bounds()[i])] =
+              static_cast<double>(h.bucket(i));
+        }
+        snap[name + ".overflow"] = static_cast<double>(h.bucket(h.bounds().size()));
+        snap[name + ".count"] = static_cast<double>(h.count());
+        snap[name + ".sum"] = h.sum();
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::diff_report(const Snapshot& before, const Snapshot& after) {
+  std::string out;
+  auto b = before.begin();
+  auto a = after.begin();
+  const auto emit = [&](const std::string& name, double delta) {
+    out += name;
+    out += '=';
+    out += format_double(delta);
+    out += '\n';
+  };
+  while (b != before.end() || a != after.end()) {
+    if (a == after.end() || (b != before.end() && b->first < a->first)) {
+      emit(b->first, -b->second);
+      ++b;
+    } else if (b == before.end() || a->first < b->first) {
+      emit(a->first, a->second);
+      ++a;
+    } else {
+      emit(a->first, a->second - b->second);
+      ++b;
+      ++a;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n";
+  bool first = true;
+  for (const auto& [name, metric] : metrics_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"" + json_escape(name) + "\": {";
+    out += std::string("\"determinism\": \"") +
+           (metric.det == Determinism::Deterministic ? "deterministic" : "wall_clock") + "\", ";
+    switch (metric.kind) {
+      case Kind::Counter:
+        out += "\"kind\": \"counter\", \"value\": " +
+               std::to_string(metric.counter->value());
+        break;
+      case Kind::Gauge:
+        out += "\"kind\": \"gauge\", \"value\": " + format_double(metric.gauge->value());
+        break;
+      case Kind::Histogram: {
+        const Histogram& h = *metric.histogram;
+        out += "\"kind\": \"histogram\", \"bounds\": [";
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          if (i > 0) out += ", ";
+          out += format_double(h.bounds()[i]);
+        }
+        out += "], \"buckets\": [";
+        for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+          if (i > 0) out += ", ";
+          out += std::to_string(h.bucket(i));
+        }
+        out += "], \"count\": " + std::to_string(h.count()) +
+               ", \"sum\": " + format_double(h.sum());
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  metrics_.clear();
+}
+
+}  // namespace eecs::obs

@@ -1,0 +1,146 @@
+// Unified metrics registry: named counters, gauges and fixed-bucket
+// histograms shared by every layer of the EECS loop. Values are cheap atomics
+// so hot paths (detector invocations, cache hits, per-message counters) can
+// record from inside the PR-2 thread pool; totals are order-independent sums,
+// so every metric registered as `Determinism::Deterministic` is bit-identical
+// across thread counts and scheduling orders. Wall-clock derived metrics must
+// be registered as `Determinism::WallClock` — they are excluded from the
+// determinism snapshot that `tools/sim_determinism` diffs between widths.
+//
+// Naming scheme (see DESIGN.md "Observability"): dot-separated lowercase
+// `layer.noun.qualifier`, e.g. `net.tx.detection_metadata.sent`,
+// `detect.cache.block_grid.hit`, `energy.battery.residual.cam2`. Wall-clock
+// metrics end in a unit suffix (`stage.detect_s`).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eecs::obs {
+
+/// Compile-time escape hatch: -DEECS_OBS_OFF strips tracing and the hot-path
+/// instrumentation (detector/cache/per-message counters). The registry itself
+/// and the loop's serial counters stay functional — SimulationResult's
+/// FaultCounters/StageTimings views keep their semantics either way.
+#ifdef EECS_OBS_OFF
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// Determinism contract of a metric (see DESIGN.md "Observability").
+enum class Determinism {
+  Deterministic,  ///< Derived from sim state only; identical at any width.
+  WallClock,      ///< Timing-derived; excluded from determinism comparisons.
+};
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written (set) or accumulated (add) double. `add` from concurrent
+/// threads is exact only for integer-valued increments; the repo's parallel
+/// regions never add to gauges (serial replay owns all energy accounting).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. A sample lands in the first bucket whose upper
+/// bound satisfies `value <= bound` (Prometheus `le` semantics); samples above
+/// every bound land in the implicit overflow bucket. Bucket counts are
+/// atomics, so totals are thread-order independent; `sum` stays exact under
+/// concurrency for integer-valued observations (the deterministic use case).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket `i` (i == bounds().size() is the overflow bucket).
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
+  [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  ///< bounds_.size() + 1 slots.
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Get-or-create registry of named metrics. Lookups take a mutex (hot paths
+/// hoist the returned reference); the returned references stay valid for the
+/// registry's lifetime. Re-registering a name with a different kind or
+/// determinism class is a contract violation.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name, Determinism det = Determinism::Deterministic);
+  Gauge& gauge(std::string_view name, Determinism det = Determinism::Deterministic);
+  Histogram& histogram(std::string_view name, std::vector<double> upper_bounds,
+                       Determinism det = Determinism::Deterministic);
+
+  /// Flat numeric view of every deterministic metric, name-sorted; histograms
+  /// expand to `<name>.le_<bound>`, `<name>.overflow`, `<name>.count` and
+  /// `<name>.sum`. The unit `tools/sim_determinism` snapshots before/after
+  /// each run and diffs across thread widths.
+  using Snapshot = std::map<std::string, double>;
+  [[nodiscard]] Snapshot deterministic_snapshot() const;
+
+  /// `%.17g` "name=value" lines of `after - before` over the union of keys
+  /// (a metric absent from one side reads 0). Identical strings across widths
+  /// == identical deterministic telemetry.
+  [[nodiscard]] static std::string diff_report(const Snapshot& before, const Snapshot& after);
+
+  /// Full registry as a pretty-printed JSON object (metrics.json): every
+  /// metric with kind, determinism class and value(s).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Drop every metric (registrations and values). Callers holding references
+  /// must not use them afterwards; prefer a fresh Telemetry session.
+  void reset();
+
+ private:
+  enum class Kind { Counter, Gauge, Histogram };
+  struct Metric {
+    Kind kind;
+    Determinism det;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Metric& get_or_create(std::string_view name, Kind kind, Determinism det,
+                        std::vector<double>* bounds);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+}  // namespace eecs::obs

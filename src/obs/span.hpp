@@ -1,0 +1,51 @@
+// RAII span profiling. A ScopedSpan times a scope, accumulates the elapsed
+// wall-clock seconds into a `Determinism::WallClock` gauge (the substrate of
+// the `StageTimings` façade in core/simulation), and emits a Chrome-style 'X'
+// complete event into the current tracer. Under EECS_OBS_OFF the gauge
+// accumulation remains (it is exactly the legacy StageTimer cost: one clock
+// read per scope) but no trace event is allocated.
+#pragma once
+
+#include "common/stopwatch.hpp"
+#include "obs/telemetry.hpp"
+
+namespace eecs::obs {
+
+class ScopedSpan {
+ public:
+  /// `name`/`cat` must outlive the span (string literals in practice).
+  ScopedSpan(const char* name, const char* cat, Gauge& wall_seconds_acc,
+             double sim_time = -1.0)
+      : name_(name), cat_(cat), acc_(wall_seconds_acc), sim_time_(sim_time) {
+    if constexpr (kEnabled) start_us_ = current().tracer().now_us();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    acc_.add(watch_.seconds());
+    if constexpr (kEnabled) {
+      Tracer& tracer = current().tracer();
+      const std::uint64_t end_us = tracer.now_us();
+      TraceEvent event;
+      event.phase = 'X';
+      event.wall_us = start_us_;
+      event.dur_us = end_us >= start_us_ ? end_us - start_us_ : 0;
+      event.sim_time = sim_time_;
+      event.cat = cat_;
+      event.name = name_;
+      tracer.record(std::move(event));
+    }
+  }
+
+ private:
+  const char* name_;
+  const char* cat_;
+  Gauge& acc_;
+  double sim_time_;
+  std::uint64_t start_us_ = 0;
+  Stopwatch watch_;
+};
+
+}  // namespace eecs::obs

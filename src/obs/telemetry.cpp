@@ -1,0 +1,27 @@
+#include "obs/telemetry.hpp"
+
+#include <atomic>
+
+namespace eecs::obs {
+
+namespace {
+
+Telemetry& default_session() {
+  static Telemetry session;
+  return session;
+}
+
+std::atomic<Telemetry*> g_current{nullptr};
+
+}  // namespace
+
+Telemetry& current() {
+  Telemetry* t = g_current.load(std::memory_order_acquire);
+  return t != nullptr ? *t : default_session();
+}
+
+Telemetry* set_current(Telemetry* session) {
+  return g_current.exchange(session, std::memory_order_acq_rel);
+}
+
+}  // namespace eecs::obs

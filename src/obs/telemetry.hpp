@@ -1,0 +1,61 @@
+// A telemetry session bundles one MetricsRegistry with one Tracer. A
+// process-global current session (`obs::current()`) is what the loop, the
+// network, the detectors and the energy model record into; tools and tests
+// that want an isolated view swap in their own with `ScopedTelemetry`.
+//
+// Swapping the current session is NOT thread-safe against in-flight parallel
+// regions — like `common::set_max_threads`, do it at the top of a run, never
+// mid-flight. Recording into the current session is fully thread-safe.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace eecs::obs {
+
+class Telemetry {
+ public:
+  Telemetry() = default;
+  explicit Telemetry(std::size_t trace_capacity) : tracer_(trace_capacity) {}
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+
+  /// Drop all metrics and trace events.
+  void reset() {
+    metrics_.reset();
+    tracer_.clear();
+  }
+
+ private:
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+/// The process-global session every instrumented layer records into.
+[[nodiscard]] Telemetry& current();
+
+/// Install `session` as current; returns the previous one. Pass nullptr to
+/// restore the process-global default.
+Telemetry* set_current(Telemetry* session);
+
+/// RAII: a fresh isolated session for a scope (tools and tests).
+class ScopedTelemetry {
+ public:
+  ScopedTelemetry() : prev_(set_current(&mine_)) {}
+  explicit ScopedTelemetry(std::size_t trace_capacity)
+      : mine_(trace_capacity), prev_(set_current(&mine_)) {}
+  ~ScopedTelemetry() { set_current(prev_); }
+  ScopedTelemetry(const ScopedTelemetry&) = delete;
+  ScopedTelemetry& operator=(const ScopedTelemetry&) = delete;
+
+  [[nodiscard]] Telemetry& session() { return mine_; }
+
+ private:
+  Telemetry mine_;
+  Telemetry* prev_;
+};
+
+}  // namespace eecs::obs

@@ -1,0 +1,78 @@
+// Structured round tracing: the closed loop emits typed per-round events
+// (round selection, camera assignment/death, assignment retries, detection
+// batches, battery debits) into a fixed-capacity in-memory ring buffer. Two
+// exporters serialize the buffer: JSONL (one event object per line, for
+// grep/jq pipelines) and the Chrome `trace_event` JSON array format, loadable
+// in chrome://tracing and Perfetto (`tools/eecs_trace` writes both).
+//
+// Events carry two clocks: `wall_us` (microseconds since tracer creation,
+// from an injectable clock so tests can pin golden outputs) and `sim_time`
+// (the network/frame clock, deterministic). Trace buffers are never part of
+// determinism comparisons — the deterministic view of a run is the metrics
+// registry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eecs::obs {
+
+/// One trace event. `phase` follows the Chrome trace_event convention:
+/// 'i' = instant event, 'X' = complete event (has `dur_us`).
+struct TraceEvent {
+  std::uint64_t wall_us = 0;  ///< Stamped by the tracer at record() time.
+  double sim_time = -1.0;     ///< Network/frame clock; -1 when not applicable.
+  std::uint64_t dur_us = 0;   ///< Duration ('X' events only).
+  char phase = 'i';
+  std::string cat;   ///< Coarse subsystem: "round", "camera", "net", "stage"...
+  std::string name;  ///< Event type, e.g. "round.select", "battery.debit".
+  std::vector<std::pair<std::string, double>> num_args;
+  std::vector<std::pair<std::string, std::string>> str_args;
+};
+
+/// Thread-safe fixed-capacity ring buffer of trace events. Overflow policy:
+/// the oldest event is overwritten and `dropped()` is incremented — a long
+/// run keeps its most recent window instead of failing or reallocating.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1 << 16);
+
+  /// Replace the wall clock (microseconds, monotonic). Tests inject a
+  /// deterministic counter to pin exporter golden outputs. The default clock
+  /// is steady_clock microseconds since tracer construction.
+  void set_clock(std::function<std::uint64_t()> clock);
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  /// Stamp `wall_us` (unless the caller pre-set a nonzero stamp, as spans do
+  /// with their start time) and append, overwriting the oldest on overflow.
+  void record(TraceEvent event);
+
+  /// Events in record order (oldest surviving first).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::uint64_t recorded() const;  ///< Total offered, incl. dropped.
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void clear();
+
+  /// One JSON object per line:
+  /// {"wall_us":..,"sim_time":..,"ph":"i","cat":..,"name":..,"args":{..}}.
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}); `ts` is wall_us,
+  /// sim_time rides in args. Load via chrome://tracing or ui.perfetto.dev.
+  [[nodiscard]] std::string to_chrome_trace() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;          ///< Insertion slot once the ring is full.
+  std::uint64_t recorded_ = 0;
+  std::function<std::uint64_t()> clock_;
+};
+
+}  // namespace eecs::obs

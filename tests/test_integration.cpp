@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/simulation.hpp"
+#include "obs/telemetry.hpp"
 
 namespace eecs::core {
 namespace {
@@ -152,6 +153,59 @@ TEST_F(EecsIntegration, TightBudgetExcludesExpensiveAlgorithms) {
   ASSERT_NE(controller.best_entry(0), nullptr);
   EXPECT_EQ(controller.best_entry(0)->id, detect::AlgorithmId::Acf);
   EXPECT_EQ(controller.entry(0, detect::AlgorithmId::Hog), nullptr);
+}
+
+TEST_F(EecsIntegration, FaultAndTimingViewsMatchRegistry) {
+  // FaultCounters/StageTimings are views assigned once from the obs registry;
+  // in a fresh session the run's deltas equal the absolute metric values.
+  obs::ScopedTelemetry telemetry;
+  const SimulationResult result =
+      run_eecs_simulation(bank(), knowledge(), config(SelectionMode::SubsetDowngrade));
+  auto& metrics = telemetry.session().metrics();
+  const auto count = [&](const char* name) {
+    return static_cast<long>(metrics.counter(name).value());
+  };
+  EXPECT_EQ(result.faults.messages_sent, count("net.messages.sent"));
+  EXPECT_EQ(result.faults.messages_lost, count("net.messages.lost"));
+  EXPECT_EQ(result.faults.assignments_retried, count("protocol.assignments.retried"));
+  EXPECT_EQ(result.faults.assignments_abandoned, count("protocol.assignments.abandoned"));
+  EXPECT_EQ(result.faults.registrations_lost, count("protocol.registrations.lost"));
+  EXPECT_EQ(result.faults.decode_errors, count("protocol.decode_errors"));
+  EXPECT_EQ(result.faults.cameras_failed, static_cast<int>(count("liveness.cameras.failed")));
+  EXPECT_EQ(result.faults.cameras_recovered,
+            static_cast<int>(count("liveness.cameras.recovered")));
+  EXPECT_EQ(result.faults.midround_reselections,
+            static_cast<int>(count("liveness.midround_reselections")));
+  EXPECT_EQ(result.faults.frames_skipped_exhausted, count("battery.frames_skipped"));
+  const auto gauge = [&](const char* name) {
+    return metrics.gauge(name, obs::Determinism::WallClock).value();
+  };
+  EXPECT_DOUBLE_EQ(result.timings.render_s, gauge("stage.render_s"));
+  EXPECT_DOUBLE_EQ(result.timings.detect_s, gauge("stage.detect_s"));
+  EXPECT_DOUBLE_EQ(result.timings.features_s, gauge("stage.features_s"));
+  EXPECT_DOUBLE_EQ(result.timings.controller_s, gauge("stage.controller_s"));
+  EXPECT_DOUBLE_EQ(result.timings.net_s, gauge("stage.net_s"));
+  EXPECT_GT(result.faults.messages_sent, 0);  // The run actually exercised the net.
+}
+
+TEST_F(EecsIntegration, DeterministicMetricsInvariantAcrossThreadWidths) {
+  // Force the lazily-trained fixtures now, so neither scoped session below
+  // absorbs the offline-training detector invocations.
+  const DetectorBank& detectors = bank();
+  const OfflineKnowledge& trained = knowledge();
+  const auto snapshot_at = [&](int threads) {
+    obs::ScopedTelemetry telemetry;
+    EecsSimulationConfig cfg = config(SelectionMode::SubsetDowngrade);
+    cfg.threads = threads;
+    (void)run_eecs_simulation(detectors, trained, cfg);
+    return telemetry.session().metrics().deterministic_snapshot();
+  };
+  const auto serial = snapshot_at(1);
+  const auto wide = snapshot_at(4);
+  EXPECT_FALSE(serial.empty());
+  // Render both through the %.17g reporter: equal strings == bit-identical.
+  EXPECT_EQ(obs::MetricsRegistry::diff_report({}, serial),
+            obs::MetricsRegistry::diff_report({}, wide));
 }
 
 }  // namespace

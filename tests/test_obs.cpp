@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace eecs::obs {
+namespace {
+
+TEST(Metrics, CounterGaugeBasics) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("a.count");
+  c.inc();
+  c.inc(3);
+  EXPECT_EQ(c.value(), 4u);
+  // Same name returns the same metric.
+  EXPECT_EQ(&registry.counter("a.count"), &c);
+
+  Gauge& g = registry.gauge("a.gauge");
+  g.set(2.5);
+  g.add(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+}
+
+TEST(Metrics, ReRegistrationKindMismatchViolatesContract) {
+  MetricsRegistry registry;
+  (void)registry.counter("same.name");
+  EXPECT_THROW((void)registry.gauge("same.name"), ContractViolation);
+  EXPECT_THROW((void)registry.counter("same.name", Determinism::WallClock), ContractViolation);
+}
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h", {0, 1, 4});
+  h.observe(0.0);   // le_0: boundary value lands in its own bucket (le).
+  h.observe(-2.0);  // le_0.
+  h.observe(1.0);   // le_1: equality at bound.
+  h.observe(0.5);   // le_1.
+  h.observe(4.0);   // le_4.
+  h.observe(4.5);   // overflow.
+  h.observe(100.0); // overflow.
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 2u);  // Overflow bucket.
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0 - 2.0 + 1.0 + 0.5 + 4.0 + 4.5 + 100.0);
+}
+
+TEST(Metrics, ConcurrentIncrementsSumExactly) {
+  const common::ScopedThreads threads(4);
+  MetricsRegistry registry;
+  Counter& c = registry.counter("par.count");
+  Histogram& h = registry.histogram("par.hist", {10, 100});
+  constexpr std::size_t kN = 10000;
+  common::parallel_for_each(kN, [&](std::size_t i) {
+    c.inc();
+    h.observe(static_cast<double>(i % 7));  // Integer-valued: sum stays exact.
+  });
+  EXPECT_EQ(c.value(), kN);
+  EXPECT_EQ(h.count(), kN);
+  EXPECT_EQ(h.bucket(0), kN);
+  double expected_sum = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) expected_sum += static_cast<double>(i % 7);
+  EXPECT_DOUBLE_EQ(h.sum(), expected_sum);
+}
+
+TEST(Metrics, DeterministicSnapshotExcludesWallClock) {
+  MetricsRegistry registry;
+  registry.counter("det.count").inc(2);
+  registry.gauge("wall.s", Determinism::WallClock).set(1.25);
+  registry.histogram("det.hist", {1}).observe(1.0);
+  const auto snap = registry.deterministic_snapshot();
+  EXPECT_EQ(snap.count("wall.s"), 0u);
+  EXPECT_DOUBLE_EQ(snap.at("det.count"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.at("det.hist.le_1"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.at("det.hist.overflow"), 0.0);
+  EXPECT_DOUBLE_EQ(snap.at("det.hist.count"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.at("det.hist.sum"), 1.0);
+}
+
+TEST(Metrics, DiffReportCoversKeyUnion) {
+  MetricsRegistry::Snapshot before{{"only.before", 2.0}, {"both", 5.0}};
+  MetricsRegistry::Snapshot after{{"both", 7.5}, {"only.after", 3.0}};
+  EXPECT_EQ(MetricsRegistry::diff_report(before, after),
+            "both=2.5\nonly.after=3\nonly.before=-2\n");
+}
+
+TEST(Tracer, RingOverflowKeepsNewestAndCountsDropped) {
+  Tracer tracer(4);
+  for (int i = 0; i < 6; ++i) {
+    TraceEvent e;
+    e.name = "e" + std::to_string(i);
+    tracer.record(std::move(e));
+  }
+  EXPECT_EQ(tracer.recorded(), 6u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().name, "e2");  // Oldest surviving.
+  EXPECT_EQ(events.back().name, "e5");
+}
+
+TEST(Tracer, JsonlGoldenWithInjectedClock) {
+  Tracer tracer(8);
+  std::uint64_t fake_now = 100;
+  tracer.set_clock([&] { return fake_now; });
+
+  TraceEvent instant;
+  instant.cat = "round";
+  instant.name = "round.select";
+  instant.sim_time = 1200;
+  instant.num_args = {{"cameras_active", 3}};
+  tracer.record(std::move(instant));
+
+  fake_now = 250;
+  TraceEvent span;
+  span.phase = 'X';
+  span.wall_us = 100;  // Pre-stamped start, as ScopedSpan does.
+  span.dur_us = 150;
+  span.cat = "stage";
+  span.name = "stage.detect";
+  tracer.record(std::move(span));
+
+  EXPECT_EQ(tracer.to_jsonl(),
+            "{\"wall_us\": 100, \"ph\": \"i\", \"cat\": \"round\", \"name\": \"round.select\", "
+            "\"args\": {\"sim_time\": 1200, \"cameras_active\": 3}}\n"
+            "{\"wall_us\": 100, \"dur_us\": 150, \"ph\": \"X\", \"cat\": \"stage\", "
+            "\"name\": \"stage.detect\", \"args\": {\"sim_time\": -1}}\n");
+}
+
+TEST(Tracer, ChromeTraceGoldenWithInjectedClock) {
+  Tracer tracer(8);
+  tracer.set_clock([] { return std::uint64_t{42}; });
+  TraceEvent e;
+  e.cat = "camera";
+  e.name = "camera.dead";
+  e.sim_time = 1500;
+  e.num_args = {{"camera", 2}};
+  tracer.record(std::move(e));
+
+  EXPECT_EQ(tracer.to_chrome_trace(),
+            "{\"traceEvents\": [\n"
+            "  {\"name\": \"camera.dead\", \"cat\": \"camera\", \"ph\": \"i\", \"ts\": 42, "
+            "\"s\": \"g\", \"pid\": 1, \"tid\": 1, "
+            "\"args\": {\"sim_time\": 1500, \"camera\": 2}}\n"
+            "]}\n");
+}
+
+TEST(Span, AccumulatesIntoGaugeAndEmitsCompleteEvent) {
+  ScopedTelemetry telemetry;
+  std::uint64_t fake_now = 100;
+  telemetry.session().tracer().set_clock([&] { return fake_now; });
+  Gauge& acc = telemetry.session().metrics().gauge("stage.test_s", Determinism::WallClock);
+  {
+    const ScopedSpan span("stage.test", "stage", acc, 7.0);
+    fake_now = 1000;
+  }
+  EXPECT_GE(acc.value(), 0.0);  // Wall clock: only sign is portable.
+  if constexpr (kEnabled) {
+    const auto events = telemetry.session().tracer().events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].phase, 'X');
+    EXPECT_EQ(events[0].name, "stage.test");
+    EXPECT_EQ(events[0].wall_us, 100u);
+    EXPECT_EQ(events[0].dur_us, 900u);
+    EXPECT_DOUBLE_EQ(events[0].sim_time, 7.0);
+  }
+}
+
+TEST(Telemetry, ScopedSessionSwapsCurrentAndRestores) {
+  Telemetry& original = current();
+  {
+    ScopedTelemetry scoped;
+    EXPECT_EQ(&current(), &scoped.session());
+    current().metrics().counter("scoped.count").inc();
+    EXPECT_EQ(scoped.session().metrics().counter("scoped.count").value(), 1u);
+  }
+  EXPECT_EQ(&current(), &original);
+}
+
+}  // namespace
+}  // namespace eecs::obs

@@ -2,8 +2,39 @@
 #include <cstdio>
 #include "common/stopwatch.hpp"
 #include "core/simulation.hpp"
+#include "obs/telemetry.hpp"
 using namespace eecs;
 using namespace eecs::core;
+
+namespace {
+
+/// Compact per-mode telemetry summary from the run's isolated obs session.
+void print_metrics_summary(obs::Telemetry& session, const StageTimings& timings) {
+  const auto snap = session.metrics().deterministic_snapshot();
+  const auto get = [&](const char* name) {
+    const auto it = snap.find(name);
+    return it == snap.end() ? 0.0 : it->second;
+  };
+  std::printf("   detect: hog=%.0f acf=%.0f c4=%.0f lsvm=%.0f detections=%.0f downgrades=%.0f\n",
+              get("detect.invocations.hog"), get("detect.invocations.acf"),
+              get("detect.invocations.c4"), get("detect.invocations.lsvm"),
+              get("detect.detections_per_invocation.sum"), get("controller.downgrades"));
+  std::printf("   cache hit/miss: scaled=%.0f/%.0f grid=%.0f/%.0f acf=%.0f/%.0f census=%.0f/%.0f\n",
+              get("detect.cache.scaled.hit"), get("detect.cache.scaled.miss"),
+              get("detect.cache.block_grid.hit"), get("detect.cache.block_grid.miss"),
+              get("detect.cache.acf_channels.hit"), get("detect.cache.acf_channels.miss"),
+              get("detect.cache.census.hit"), get("detect.cache.census.miss"));
+  std::printf("   net: rx delivered=%.0f dropped=%.0f | metadata sent=%.0f lost=%.0f"
+              " | assignments sent=%.0f lost=%.0f\n",
+              get("net.rx.delivered"), get("net.rx.dropped"),
+              get("net.tx.detection_metadata.sent"), get("net.tx.detection_metadata.lost"),
+              get("net.tx.algorithm_assignment.sent"), get("net.tx.algorithm_assignment.lost"));
+  std::printf("   stage: render=%.1fs detect=%.1fs features=%.1fs controller=%.2fs net=%.2fs\n",
+              timings.render_s, timings.detect_s, timings.features_s, timings.controller_s,
+              timings.net_s);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const int ds = argc > 1 ? std::atoi(argv[1]) : 1;
@@ -29,6 +60,7 @@ int main(int argc, char** argv) {
     cfg.end_frame = 2000;  // short smoke run
     cfg.models = opts;
     watch.reset();
+    obs::ScopedTelemetry telemetry;  // Per-mode metrics; see summary below.
     const SimulationResult r = run_eecs_simulation(bank, knowledge, cfg);
     std::printf("mode %d: J=%.1f (cpu %.1f radio %.1f) humans %d/%d rate=%.2f frames=%d rounds=%zu [%.0fs]\n",
                 static_cast<int>(mode), r.total_joules(), r.cpu_joules, r.radio_joules,
@@ -43,6 +75,7 @@ int main(int argc, char** argv) {
                 r.faults.messages_sent, r.faults.messages_lost, r.faults.assignments_retried,
                 r.faults.assignments_abandoned, r.faults.cameras_failed,
                 r.faults.cameras_recovered);
+    print_metrics_summary(telemetry.session(), r.timings);
   }
   return 0;
 }

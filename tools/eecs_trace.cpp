@@ -1,0 +1,95 @@
+// Telemetry dump of one EECS closed-loop run. Runs offline training plus the
+// adaptive loop inside an isolated obs session and writes three artifacts:
+//
+//   <out_dir>/metrics.json  - full metrics registry (counters/gauges/histograms)
+//   <out_dir>/trace.json    - Chrome trace_event JSON; load in chrome://tracing
+//                             or https://ui.perfetto.dev
+//   <out_dir>/trace.jsonl   - one event object per line, for grep/jq pipelines
+//
+// Usage: eecs_trace [dataset] [out_dir] [--fast]
+//   dataset  1 or 2 (default 1)
+//   out_dir  output directory, created if missing (default obs_out)
+//   --fast   small offline models + short test segment; the CI smoke config.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "obs/telemetry.hpp"
+
+using namespace eecs;
+using namespace eecs::core;
+
+namespace {
+
+void write_file(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  if (!out) {
+    std::fprintf(stderr, "eecs_trace: cannot write %s\n", path.string().c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s (%zu bytes)\n", path.string().c_str(), content.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int dataset = 1;
+  std::filesystem::path out_dir = "obs_out";
+  bool fast = false;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      fast = true;
+      continue;
+    }
+    if (positional == 0) {
+      dataset = std::atoi(argv[i]);
+    } else if (positional == 1) {
+      out_dir = argv[i];
+    }
+    ++positional;
+  }
+
+  // Isolated session: the artifacts describe exactly this process's run, even
+  // if a host process already accumulated telemetry in the default session.
+  obs::ScopedTelemetry telemetry;
+
+  DetectorBank bank = detect::make_trained_detectors(1234);
+  OfflineOptions opts;
+  opts.algorithms = {detect::AlgorithmId::Hog, detect::AlgorithmId::Acf};
+  if (fast) opts.frames_per_item = 4;
+  const OfflineKnowledge knowledge = run_offline_training(bank, {dataset}, 42, opts);
+
+  // Drop the offline-phase telemetry so the artifacts cover the closed loop
+  // only (the interesting part: rounds, assignments, batches, debits).
+  telemetry.session().reset();
+
+  EecsSimulationConfig cfg;
+  cfg.dataset = dataset;
+  cfg.mode = SelectionMode::SubsetDowngrade;
+  cfg.budget_per_frame = 3.0;
+  cfg.controller.algorithms = opts.algorithms;
+  cfg.models = opts;
+  cfg.end_frame = fast ? 1700 : 2000;
+  const SimulationResult r = run_eecs_simulation(bank, knowledge, cfg);
+
+  std::printf("dataset %d: J=%.1f humans %d/%d frames=%d rounds=%zu\n", dataset,
+              r.total_joules(), r.humans_detected, r.humans_present, r.gt_frames_processed,
+              r.rounds.size());
+
+  std::filesystem::create_directories(out_dir);
+  obs::Telemetry& session = telemetry.session();
+  write_file(out_dir / "metrics.json", session.metrics().to_json());
+  write_file(out_dir / "trace.json", session.tracer().to_chrome_trace());
+  write_file(out_dir / "trace.jsonl", session.tracer().to_jsonl());
+  std::printf("trace events: %llu recorded, %llu dropped (capacity %zu)\n",
+              static_cast<unsigned long long>(session.tracer().recorded()),
+              static_cast<unsigned long long>(session.tracer().dropped()),
+              session.tracer().capacity());
+  return 0;
+}

@@ -3,13 +3,17 @@
 // (same seeds -> same energy/detection numbers) against a saved reference —
 // and proves thread-count invariance by running every config at threads=1
 // (the exact legacy serial path) and threads=N, diffing the reports, and
-// exiting nonzero on any mismatch.
+// exiting nonzero on any mismatch. Each run executes in a fresh obs session
+// and appends its deterministic metric snapshot (counters, cache hit/miss,
+// per-camera energy gauges — everything but wall-clock), so a metric that
+// diverges between widths fails the same string comparison.
 #include <cstdarg>
 #include <cstdio>
 #include <string>
 
 #include "common/parallel.hpp"
 #include "core/simulation.hpp"
+#include "obs/telemetry.hpp"
 
 using namespace eecs;
 using namespace eecs::core;
@@ -23,6 +27,12 @@ void append(std::string& out, const char* fmt, ...) {
   std::vsnprintf(buf, sizeof(buf), fmt, args);
   va_end(args);
   out += buf;
+}
+
+/// Absolute %.17g "name=value" lines of the current deterministic snapshot
+/// (diff against an empty baseline == the values themselves).
+std::string metric_lines(obs::Telemetry& session) {
+  return obs::MetricsRegistry::diff_report({}, session.metrics().deterministic_snapshot());
 }
 
 /// Full %.17g report of every deterministic field (timings are wall-clock
@@ -41,6 +51,7 @@ std::string report(const DetectorBank& bank, const OfflineKnowledge& knowledge, 
     cfg.models.algorithms = cfg.controller.algorithms;
     cfg.models.frames_per_item = 4;
     cfg.end_frame = 2200;
+    obs::ScopedTelemetry telemetry;
     const SimulationResult r = run_eecs_simulation(bank, knowledge, cfg);
     append(out, "mode=%d cpu=%.17g radio=%.17g detected=%d present=%d frames=%d rounds=%zu\n",
            static_cast<int>(mode), r.cpu_joules, r.radio_joules, r.humans_detected,
@@ -53,6 +64,7 @@ std::string report(const DetectorBank& bank, const OfflineKnowledge& knowledge, 
     for (std::size_t c = 0; c < r.battery_residual.size(); ++c) {
       append(out, "  battery[%zu]=%.17g\n", c, r.battery_residual[c]);
     }
+    out += metric_lines(telemetry.session());
   }
 
   FixedCombo combo;
@@ -63,9 +75,11 @@ std::string report(const DetectorBank& bank, const OfflineKnowledge& knowledge, 
   fixed.models.algorithms = {detect::AlgorithmId::Hog, detect::AlgorithmId::Acf};
   fixed.models.frames_per_item = 4;
   fixed.end_frame = 1400;
+  obs::ScopedTelemetry telemetry;
   const SimulationResult r = run_fixed_combo(bank, knowledge, combo, fixed);
   append(out, "fixed cpu=%.17g radio=%.17g detected=%d present=%d frames=%d\n", r.cpu_joules,
          r.radio_joules, r.humans_detected, r.humans_present, r.gt_frames_processed);
+  out += metric_lines(telemetry.session());
   return out;
 }
 
