@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "common/stopwatch.hpp"
 #include "common/strings.hpp"
 #include "core/offline.hpp"
@@ -42,12 +43,14 @@ inline void warn_if_debug_build() {
   }
 }
 
-/// Build-flavor fragment every BENCH_*.json carries, so a debug-build run or
-/// an EECS_OBS_OFF (telemetry stripped) run is visible in the committed
-/// artifact itself.
+/// Build-flavor fragment every BENCH_*.json carries, so a debug-build run, an
+/// EECS_OBS_OFF (telemetry stripped) run, or a scalar-dispatch (SIMD off) run
+/// is visible in the committed artifact itself. eecs_simd records the active
+/// dispatch backend ("sse2"/"neon") or "scalar".
 inline std::string json_build_context() {
-  return format("\"ndebug\": %s, \"obs\": \"%s\"", kAssertsCompiledIn ? "false" : "true",
-                obs::kEnabled ? "on" : "off");
+  return format("\"ndebug\": %s, \"obs\": \"%s\", \"eecs_simd\": \"%s\"",
+                kAssertsCompiledIn ? "false" : "true", obs::kEnabled ? "on" : "off",
+                simd::dispatch_name());
 }
 
 /// Sampled ground-truth frames of one (dataset, camera) segment.

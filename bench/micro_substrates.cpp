@@ -10,11 +10,14 @@
 #include "bench_common.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "imaging/filter.hpp"
 #include "core/offline.hpp"
+#include "detect/block_grid.hpp"
 #include "detect/detector.hpp"
 #include "detect/frame_cache.hpp"
 #include "domain/gfk.hpp"
+#include "features/census.hpp"
 #include "features/frame_feature.hpp"
 #include "features/hog.hpp"
 #include "geometry/homography.hpp"
@@ -169,6 +172,71 @@ void BM_AssessmentSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_AssessmentSweep)->Arg(0)->Arg(1)->Arg(2);
 
+// Scalar-vs-SIMD A/B of kernels ported onto the fixed-width lane layer in
+// common/simd.hpp. Outputs are bit-identical across modes by contract (see
+// tools/sim_determinism); these quantify the speed side of the trade. Single
+// threaded so the dispatch mode is the only variable.
+void BM_SimdKernelsCensus(benchmark::State& state) {
+  const common::ScopedThreads width(1);
+  const simd::ScopedSimd mode(static_cast<int>(state.range(0)));
+  const imaging::Image& frame = dataset1_frame();
+  for (auto _ : state) benchmark::DoNotOptimize(features::census_transform(frame));
+  state.SetLabel(state.range(0) != 0 ? "simd" : "scalar");
+}
+BENCHMARK(BM_SimdKernelsCensus)->Arg(0)->Arg(1);
+
+void BM_SimdKernelsResize(benchmark::State& state) {
+  const common::ScopedThreads width(1);
+  const simd::ScopedSimd mode(static_cast<int>(state.range(0)));
+  const imaging::Image& frame = dataset1_frame();
+  // 0.6x, the kind of pyramid step the ACF octave sweep takes.
+  const int nw = frame.width() * 3 / 5;
+  const int nh = frame.height() * 3 / 5;
+  for (auto _ : state) benchmark::DoNotOptimize(imaging::resize(frame, nw, nh));
+  state.SetLabel(state.range(0) != 0 ? "simd" : "scalar");
+}
+BENCHMARK(BM_SimdKernelsResize)->Arg(0)->Arg(1);
+
+// Gradients = magnitude (sqrt chain) + orientation (the vendored fdlibm
+// atan2f of common/atan2.hpp, the kernel the detect-stage speedup rides on).
+void BM_SimdKernelsGradients(benchmark::State& state) {
+  const common::ScopedThreads width(1);
+  const simd::ScopedSimd mode(static_cast<int>(state.range(0)));
+  const imaging::Image& frame = dataset1_frame();
+  for (auto _ : state) benchmark::DoNotOptimize(imaging::compute_gradients(frame));
+  state.SetLabel(state.range(0) != 0 ? "simd" : "scalar");
+}
+BENCHMARK(BM_SimdKernelsGradients)->Arg(0)->Arg(1);
+
+void BM_SimdKernelsScoreMap(benchmark::State& state) {
+  const common::ScopedThreads width(1);
+  const simd::ScopedSimd mode(static_cast<int>(state.range(0)));
+  const imaging::Image& frame = dataset1_frame();
+  const detect::BlockGrid grid(frame);
+  constexpr int kWindowCells = 6;
+  detect::LinearModel model;
+  Rng rng(21);
+  const int window_blocks = kWindowCells - 1;
+  model.weights.resize(static_cast<std::size_t>(window_blocks) * window_blocks *
+                       static_cast<std::size_t>(grid.block_dim()));
+  for (auto& w : model.weights) w = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.score_map(model, kWindowCells, kWindowCells));
+  }
+  state.SetLabel(state.range(0) != 0 ? "simd" : "scalar");
+}
+BENCHMARK(BM_SimdKernelsScoreMap)->Arg(0)->Arg(1);
+
+void BM_SimdKernelsMatmul(benchmark::State& state) {
+  const common::ScopedThreads width(1);
+  const simd::ScopedSimd mode(static_cast<int>(state.range(0)));
+  const linalg::Matrix a = random_matrix(192, 224, 6);
+  const linalg::Matrix b = random_matrix(224, 192, 7);
+  for (auto _ : state) benchmark::DoNotOptimize(a * b);
+  state.SetLabel(state.range(0) != 0 ? "simd" : "scalar");
+}
+BENCHMARK(BM_SimdKernelsMatmul)->Arg(0)->Arg(1);
+
 void BM_HomographyRansac(benchmark::State& state) {
   Rng rng(11);
   const geometry::Homography truth({{{1.1, 0.05, 3}, {0.02, 0.95, -2}, {1e-4, -2e-4, 1}}});
@@ -228,6 +296,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   eecs::bench::warn_if_debug_build();
   benchmark::AddCustomContext("eecs_ndebug", eecs::bench::kAssertsCompiledIn ? "false" : "true");
+  benchmark::AddCustomContext("eecs_simd", eecs::simd::dispatch_name());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

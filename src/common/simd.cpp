@@ -1,0 +1,53 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace eecs::simd {
+
+namespace {
+
+/// Runtime override tri-state: -1 none, 0 forced off, 1 forced on.
+std::atomic<int>& mode_override() {
+  static std::atomic<int> mode{-1};
+  return mode;
+}
+
+/// EECS_SIMD environment default, resolved once: 0/1 when set, else the
+/// compiled default (on iff a native backend exists).
+bool env_default() {
+  static const bool value = [] {
+    const char* env = std::getenv("EECS_SIMD");
+    if (env != nullptr && (env[0] == '0' || env[0] == '1') && env[1] == '\0') {
+      return env[0] == '1';
+    }
+    return kNativeBackend;
+  }();
+  return value;
+}
+
+}  // namespace
+
+const char* isa_name() {
+#if defined(EECS_SIMD_SSE2)
+  return "sse2";
+#elif defined(EECS_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+const char* dispatch_name() { return enabled() && kNativeBackend ? isa_name() : "scalar"; }
+
+bool enabled() {
+  const int mode = mode_override().load(std::memory_order_relaxed);
+  return mode >= 0 ? mode != 0 : env_default();
+}
+
+int set_enabled(int mode) {
+  return mode_override().exchange(mode >= 0 ? (mode != 0 ? 1 : 0) : -1,
+                                  std::memory_order_relaxed);
+}
+
+}  // namespace eecs::simd

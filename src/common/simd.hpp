@@ -1,0 +1,504 @@
+// Bit-exact portable SIMD layer: fixed-virtual-width 128-bit packs.
+//
+// Every pack type exists in two interchangeable implementations with an
+// identical API: a native one (SSE2 on x86, NEON on AArch64) and a scalar
+// emulation (`*Emul`) that executes the very same lane-blocked order with
+// plain scalar IEEE arithmetic. Kernels are written once, templated over the
+// pack type, and dispatched at runtime on `simd::enabled()`:
+//
+//   template <class F4> void kernel_impl(...);           // lane-blocked body
+//   if (simd::enabled()) kernel_impl<simd::F32x4>(...);  // native packs
+//   else                 kernel_impl<simd::F32x4Emul>(...);
+//
+// The bit-exactness contract (same as the thread-pool layer, DESIGN.md "SIMD
+// & portability"): a kernel may vectorize only ACROSS independent output
+// chains — one output element (or one accumulator) per lane — and must never
+// reassociate a single float/double reduction chain. Every pack operation is
+// a deterministic per-lane IEEE-754 operation (add/sub/mul/div/min/max,
+// correctly-rounded sqrt, exact floor), so the native and emulated builds,
+// and every ISA, produce bit-identical results by construction. No FMA is
+// ever emitted through this API (mul and add round separately, like the
+// scalar code they replace).
+//
+// Runtime control mirrors the threads knob: `config.simd` (runners, via
+// ScopedSimd) > `EECS_SIMD` env (0 = off, 1 = on) > compiled default (on when
+// a native backend was compiled in). `EECS_SIMD_DISABLE` (CMake option
+// EECS_SIMD_OFF) removes the native backend at compile time: F32x4 becomes
+// the scalar emulation and the compiled default flips to off.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#if !defined(EECS_SIMD_DISABLE)
+#if defined(__SSE2__) || (defined(_M_X64) && !defined(_M_ARM64EC))
+#define EECS_SIMD_SSE2 1
+#include <emmintrin.h>
+#if defined(__SSE4_1__)
+#include <smmintrin.h>
+#endif
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define EECS_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif  // !EECS_SIMD_DISABLE
+
+namespace eecs::simd {
+
+/// Virtual vector width in bits; every backend packs 4 floats / 2 doubles.
+inline constexpr int kF32Lanes = 4;
+inline constexpr int kF64Lanes = 2;
+
+/// True when a native (SSE2/NEON) backend was compiled in.
+#if defined(EECS_SIMD_SSE2) || defined(EECS_SIMD_NEON)
+inline constexpr bool kNativeBackend = true;
+#else
+inline constexpr bool kNativeBackend = false;
+#endif
+
+/// Compiled backend name: "sse2", "neon", or "scalar".
+[[nodiscard]] const char* isa_name();
+
+/// Active dispatch mode: `isa_name()` when enabled() and a native backend
+/// exists, else "scalar".
+[[nodiscard]] const char* dispatch_name();
+
+/// Current runtime switch: the last set_enabled(0/1) override, else the
+/// EECS_SIMD environment variable (0/1), else on iff a native backend was
+/// compiled in. When no native backend exists this only selects which
+/// identical-result code path runs.
+[[nodiscard]] bool enabled();
+
+/// Override the runtime switch; mode 1 = native packs, 0 = scalar emulation,
+/// < 0 resets to the environment/compiled default. Returns the previous
+/// override tri-state (-1 when none was active). Not thread-safe against
+/// in-flight kernels — set it from the top of a run, like set_max_threads.
+int set_enabled(int mode);
+
+/// RAII switch override for a scope; the runners apply their `simd` config
+/// field with this. mode < 0 leaves the global switch untouched.
+class ScopedSimd {
+ public:
+  explicit ScopedSimd(int mode) : active_(mode >= 0), prev_(active_ ? set_enabled(mode) : 0) {}
+  ~ScopedSimd() {
+    if (active_) set_enabled(prev_);
+  }
+  ScopedSimd(const ScopedSimd&) = delete;
+  ScopedSimd& operator=(const ScopedSimd&) = delete;
+
+ private:
+  bool active_;
+  int prev_;
+};
+
+// ---------------------------------------------------------------------------
+// Scalar emulation packs. These ARE the reference semantics: the native packs
+// below implement exactly these per-lane operations.
+// ---------------------------------------------------------------------------
+
+struct U32x4Emul {
+  std::uint32_t lane[4];
+
+  static U32x4Emul broadcast(std::uint32_t x) { return {{x, x, x, x}}; }
+  [[nodiscard]] std::uint32_t extract(int i) const { return lane[i]; }
+
+  friend U32x4Emul operator&(U32x4Emul a, U32x4Emul b) {
+    return {{a.lane[0] & b.lane[0], a.lane[1] & b.lane[1], a.lane[2] & b.lane[2],
+             a.lane[3] & b.lane[3]}};
+  }
+  friend U32x4Emul operator|(U32x4Emul a, U32x4Emul b) {
+    return {{a.lane[0] | b.lane[0], a.lane[1] | b.lane[1], a.lane[2] | b.lane[2],
+             a.lane[3] | b.lane[3]}};
+  }
+  friend U32x4Emul operator^(U32x4Emul a, U32x4Emul b) {
+    return {{a.lane[0] ^ b.lane[0], a.lane[1] ^ b.lane[1], a.lane[2] ^ b.lane[2],
+             a.lane[3] ^ b.lane[3]}};
+  }
+  /// Wrapping 32-bit subtraction per lane (two's complement, like psubd).
+  friend U32x4Emul operator-(U32x4Emul a, U32x4Emul b) {
+    return {{a.lane[0] - b.lane[0], a.lane[1] - b.lane[1], a.lane[2] - b.lane[2],
+             a.lane[3] - b.lane[3]}};
+  }
+  /// All-ones mask per lane where a == b.
+  [[nodiscard]] static U32x4Emul cmpeq(U32x4Emul a, U32x4Emul b) {
+    return {{a.lane[0] == b.lane[0] ? 0xFFFFFFFFu : 0u, a.lane[1] == b.lane[1] ? 0xFFFFFFFFu : 0u,
+             a.lane[2] == b.lane[2] ? 0xFFFFFFFFu : 0u, a.lane[3] == b.lane[3] ? 0xFFFFFFFFu : 0u}};
+  }
+  /// All-ones mask per lane where a > b as SIGNED 32-bit ints (like pcmpgtd).
+  [[nodiscard]] static U32x4Emul cmpgt_signed(U32x4Emul a, U32x4Emul b) {
+    const auto s = [](std::uint32_t u) { return static_cast<std::int32_t>(u); };
+    return {{s(a.lane[0]) > s(b.lane[0]) ? 0xFFFFFFFFu : 0u,
+             s(a.lane[1]) > s(b.lane[1]) ? 0xFFFFFFFFu : 0u,
+             s(a.lane[2]) > s(b.lane[2]) ? 0xFFFFFFFFu : 0u,
+             s(a.lane[3]) > s(b.lane[3]) ? 0xFFFFFFFFu : 0u}};
+  }
+  /// True when any lane is nonzero (mask "is any lane set").
+  [[nodiscard]] static bool any(U32x4Emul a) {
+    return (a.lane[0] | a.lane[1] | a.lane[2] | a.lane[3]) != 0u;
+  }
+};
+
+struct F32x4Emul {
+  using Mask = U32x4Emul;
+  float lane[4];
+
+  static F32x4Emul load(const float* p) { return {{p[0], p[1], p[2], p[3]}}; }
+  static F32x4Emul broadcast(float x) { return {{x, x, x, x}}; }
+  static F32x4Emul set(float a, float b, float c, float d) { return {{a, b, c, d}}; }
+  void store(float* p) const {
+    p[0] = lane[0];
+    p[1] = lane[1];
+    p[2] = lane[2];
+    p[3] = lane[3];
+  }
+  [[nodiscard]] float extract(int i) const { return lane[i]; }
+
+  friend F32x4Emul operator+(F32x4Emul a, F32x4Emul b) {
+    return {{a.lane[0] + b.lane[0], a.lane[1] + b.lane[1], a.lane[2] + b.lane[2],
+             a.lane[3] + b.lane[3]}};
+  }
+  friend F32x4Emul operator-(F32x4Emul a, F32x4Emul b) {
+    return {{a.lane[0] - b.lane[0], a.lane[1] - b.lane[1], a.lane[2] - b.lane[2],
+             a.lane[3] - b.lane[3]}};
+  }
+  friend F32x4Emul operator*(F32x4Emul a, F32x4Emul b) {
+    return {{a.lane[0] * b.lane[0], a.lane[1] * b.lane[1], a.lane[2] * b.lane[2],
+             a.lane[3] * b.lane[3]}};
+  }
+  friend F32x4Emul operator/(F32x4Emul a, F32x4Emul b) {
+    return {{a.lane[0] / b.lane[0], a.lane[1] / b.lane[1], a.lane[2] / b.lane[2],
+             a.lane[3] / b.lane[3]}};
+  }
+
+  /// Correctly-rounded per-lane square root (IEEE-754, matches std::sqrt).
+  [[nodiscard]] static F32x4Emul sqrt(F32x4Emul a) {
+    return {{std::sqrt(a.lane[0]), std::sqrt(a.lane[1]), std::sqrt(a.lane[2]),
+             std::sqrt(a.lane[3])}};
+  }
+  /// Exact per-lane floor; callers keep |x| < 2^31 (the SSE2 emulation goes
+  /// through a 32-bit truncating convert).
+  [[nodiscard]] static F32x4Emul floor(F32x4Emul a) {
+    return {{std::floor(a.lane[0]), std::floor(a.lane[1]), std::floor(a.lane[2]),
+             std::floor(a.lane[3])}};
+  }
+  /// min/max use the SSE tie rule — return b unless a is strictly
+  /// less/greater — so ties (incl. ±0.0) and unordered operands are bit-exact
+  /// in every backend (NEON implements them as compare + select).
+  [[nodiscard]] static F32x4Emul min(F32x4Emul a, F32x4Emul b) {
+    return {{a.lane[0] < b.lane[0] ? a.lane[0] : b.lane[0],
+             a.lane[1] < b.lane[1] ? a.lane[1] : b.lane[1],
+             a.lane[2] < b.lane[2] ? a.lane[2] : b.lane[2],
+             a.lane[3] < b.lane[3] ? a.lane[3] : b.lane[3]}};
+  }
+  [[nodiscard]] static F32x4Emul max(F32x4Emul a, F32x4Emul b) {
+    return {{a.lane[0] > b.lane[0] ? a.lane[0] : b.lane[0],
+             a.lane[1] > b.lane[1] ? a.lane[1] : b.lane[1],
+             a.lane[2] > b.lane[2] ? a.lane[2] : b.lane[2],
+             a.lane[3] > b.lane[3] ? a.lane[3] : b.lane[3]}};
+  }
+  /// All-ones mask per lane where a > b (ordered, like the scalar >).
+  [[nodiscard]] static Mask gt(F32x4Emul a, F32x4Emul b) {
+    return {{a.lane[0] > b.lane[0] ? 0xFFFFFFFFu : 0u, a.lane[1] > b.lane[1] ? 0xFFFFFFFFu : 0u,
+             a.lane[2] > b.lane[2] ? 0xFFFFFFFFu : 0u, a.lane[3] > b.lane[3] ? 0xFFFFFFFFu : 0u}};
+  }
+  /// All-ones mask per lane where a < b (ordered).
+  [[nodiscard]] static Mask lt(F32x4Emul a, F32x4Emul b) {
+    return {{a.lane[0] < b.lane[0] ? 0xFFFFFFFFu : 0u, a.lane[1] < b.lane[1] ? 0xFFFFFFFFu : 0u,
+             a.lane[2] < b.lane[2] ? 0xFFFFFFFFu : 0u, a.lane[3] < b.lane[3] ? 0xFFFFFFFFu : 0u}};
+  }
+  /// All-ones mask per lane where a >= b (ordered).
+  [[nodiscard]] static Mask ge(F32x4Emul a, F32x4Emul b) {
+    return {{a.lane[0] >= b.lane[0] ? 0xFFFFFFFFu : 0u, a.lane[1] >= b.lane[1] ? 0xFFFFFFFFu : 0u,
+             a.lane[2] >= b.lane[2] ? 0xFFFFFFFFu : 0u, a.lane[3] >= b.lane[3] ? 0xFFFFFFFFu : 0u}};
+  }
+  /// Per-lane |x|: clears the sign bit (bitwise, so NaN payloads pass through).
+  [[nodiscard]] static F32x4Emul abs(F32x4Emul a) {
+    const auto m = [](float f) {
+      return std::bit_cast<float>(std::bit_cast<std::uint32_t>(f) & 0x7FFFFFFFu);
+    };
+    return {{m(a.lane[0]), m(a.lane[1]), m(a.lane[2]), m(a.lane[3])}};
+  }
+  /// Bitwise blend: lanes of a where the mask bits are set, b elsewhere
+  /// ((m & a) | (~m & b) on the raw bits, like SSE and/andnot/or or NEON bsl).
+  [[nodiscard]] static F32x4Emul select(Mask m, F32x4Emul a, F32x4Emul b) {
+    const auto blend = [](std::uint32_t mm, float fa, float fb) {
+      return std::bit_cast<float>((mm & std::bit_cast<std::uint32_t>(fa)) |
+                                  (~mm & std::bit_cast<std::uint32_t>(fb)));
+    };
+    return {{blend(m.lane[0], a.lane[0], b.lane[0]), blend(m.lane[1], a.lane[1], b.lane[1]),
+             blend(m.lane[2], a.lane[2], b.lane[2]), blend(m.lane[3], a.lane[3], b.lane[3])}};
+  }
+  /// Raw IEEE-754 bit pattern per lane, and its inverse.
+  [[nodiscard]] static U32x4Emul to_bits(F32x4Emul a) {
+    return {{std::bit_cast<std::uint32_t>(a.lane[0]), std::bit_cast<std::uint32_t>(a.lane[1]),
+             std::bit_cast<std::uint32_t>(a.lane[2]), std::bit_cast<std::uint32_t>(a.lane[3])}};
+  }
+  [[nodiscard]] static F32x4Emul from_bits(U32x4Emul a) {
+    return {{std::bit_cast<float>(a.lane[0]), std::bit_cast<float>(a.lane[1]),
+             std::bit_cast<float>(a.lane[2]), std::bit_cast<float>(a.lane[3])}};
+  }
+};
+
+/// In-place 4x4 transpose: rows (a,b,c,d) become columns. Used to turn 4
+/// contiguous loads into per-lane "one output each" layouts (ACF block sums).
+inline void transpose4(F32x4Emul& a, F32x4Emul& b, F32x4Emul& c, F32x4Emul& d) {
+  const F32x4Emul ta = {{a.lane[0], b.lane[0], c.lane[0], d.lane[0]}};
+  const F32x4Emul tb = {{a.lane[1], b.lane[1], c.lane[1], d.lane[1]}};
+  const F32x4Emul tc = {{a.lane[2], b.lane[2], c.lane[2], d.lane[2]}};
+  const F32x4Emul td = {{a.lane[3], b.lane[3], c.lane[3], d.lane[3]}};
+  a = ta;
+  b = tb;
+  c = tc;
+  d = td;
+}
+
+struct F64x2Emul {
+  double lane[2];
+
+  static F64x2Emul load(const double* p) { return {{p[0], p[1]}}; }
+  static F64x2Emul broadcast(double x) { return {{x, x}}; }
+  static F64x2Emul set(double lo, double hi) { return {{lo, hi}}; }
+  /// Two strided float loads widened to double: {double(p[0]),
+  /// double(p[stride])}. The score-map kernels gather adjacent windows with
+  /// this (their descriptors sit `stride` floats apart).
+  static F64x2Emul gather2f(const float* p, std::size_t stride) {
+    return {{static_cast<double>(p[0]), static_cast<double>(p[stride])}};
+  }
+  void store(double* p) const {
+    p[0] = lane[0];
+    p[1] = lane[1];
+  }
+  [[nodiscard]] double extract(int i) const { return lane[i]; }
+
+  friend F64x2Emul operator+(F64x2Emul a, F64x2Emul b) {
+    return {{a.lane[0] + b.lane[0], a.lane[1] + b.lane[1]}};
+  }
+  friend F64x2Emul operator-(F64x2Emul a, F64x2Emul b) {
+    return {{a.lane[0] - b.lane[0], a.lane[1] - b.lane[1]}};
+  }
+  friend F64x2Emul operator*(F64x2Emul a, F64x2Emul b) {
+    return {{a.lane[0] * b.lane[0], a.lane[1] * b.lane[1]}};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Native backends. Each implements the exact per-lane semantics above.
+// ---------------------------------------------------------------------------
+
+#if defined(EECS_SIMD_SSE2)
+
+struct U32x4 {
+  __m128i v;
+
+  static U32x4 broadcast(std::uint32_t x) { return {_mm_set1_epi32(static_cast<int>(x))}; }
+  [[nodiscard]] std::uint32_t extract(int i) const {
+    alignas(16) std::uint32_t tmp[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp), v);
+    return tmp[i];
+  }
+
+  friend U32x4 operator&(U32x4 a, U32x4 b) { return {_mm_and_si128(a.v, b.v)}; }
+  friend U32x4 operator|(U32x4 a, U32x4 b) { return {_mm_or_si128(a.v, b.v)}; }
+  friend U32x4 operator^(U32x4 a, U32x4 b) { return {_mm_xor_si128(a.v, b.v)}; }
+  friend U32x4 operator-(U32x4 a, U32x4 b) { return {_mm_sub_epi32(a.v, b.v)}; }
+  [[nodiscard]] static U32x4 cmpeq(U32x4 a, U32x4 b) { return {_mm_cmpeq_epi32(a.v, b.v)}; }
+  [[nodiscard]] static U32x4 cmpgt_signed(U32x4 a, U32x4 b) { return {_mm_cmpgt_epi32(a.v, b.v)}; }
+  [[nodiscard]] static bool any(U32x4 a) {
+    return _mm_movemask_epi8(_mm_cmpeq_epi32(a.v, _mm_setzero_si128())) != 0xFFFF;
+  }
+};
+
+struct F32x4 {
+  using Mask = U32x4;
+  __m128 v;
+
+  static F32x4 load(const float* p) { return {_mm_loadu_ps(p)}; }
+  static F32x4 broadcast(float x) { return {_mm_set1_ps(x)}; }
+  static F32x4 set(float a, float b, float c, float d) { return {_mm_setr_ps(a, b, c, d)}; }
+  void store(float* p) const { _mm_storeu_ps(p, v); }
+  [[nodiscard]] float extract(int i) const {
+    alignas(16) float tmp[4];
+    _mm_store_ps(tmp, v);
+    return tmp[i];
+  }
+
+  friend F32x4 operator+(F32x4 a, F32x4 b) { return {_mm_add_ps(a.v, b.v)}; }
+  friend F32x4 operator-(F32x4 a, F32x4 b) { return {_mm_sub_ps(a.v, b.v)}; }
+  friend F32x4 operator*(F32x4 a, F32x4 b) { return {_mm_mul_ps(a.v, b.v)}; }
+  friend F32x4 operator/(F32x4 a, F32x4 b) { return {_mm_div_ps(a.v, b.v)}; }
+
+  [[nodiscard]] static F32x4 sqrt(F32x4 a) { return {_mm_sqrt_ps(a.v)}; }
+  [[nodiscard]] static F32x4 floor(F32x4 a) {
+#if defined(__SSE4_1__)
+    return {_mm_floor_ps(a.v)};
+#else
+    // trunc(x), then subtract 1 where trunc rounded towards zero past the
+    // floor (negative non-integers), then restore the sign bit so
+    // floor(-0.0) == -0.0 (a no-op on every other input: the result already
+    // carries x's sign when nonzero). Exact for |x| < 2^31.
+    const __m128 t = _mm_cvtepi32_ps(_mm_cvttps_epi32(a.v));
+    const __m128 one = _mm_set1_ps(1.0f);
+    const __m128 f = _mm_sub_ps(t, _mm_and_ps(_mm_cmpgt_ps(t, a.v), one));
+    const __m128 sign = _mm_set1_ps(-0.0f);
+    return {_mm_or_ps(f, _mm_and_ps(a.v, sign))};
+#endif
+  }
+  [[nodiscard]] static F32x4 min(F32x4 a, F32x4 b) { return {_mm_min_ps(a.v, b.v)}; }
+  [[nodiscard]] static F32x4 max(F32x4 a, F32x4 b) { return {_mm_max_ps(a.v, b.v)}; }
+  [[nodiscard]] static Mask gt(F32x4 a, F32x4 b) {
+    return {_mm_castps_si128(_mm_cmpgt_ps(a.v, b.v))};
+  }
+  [[nodiscard]] static Mask lt(F32x4 a, F32x4 b) {
+    return {_mm_castps_si128(_mm_cmplt_ps(a.v, b.v))};
+  }
+  [[nodiscard]] static Mask ge(F32x4 a, F32x4 b) {
+    return {_mm_castps_si128(_mm_cmpge_ps(a.v, b.v))};
+  }
+  [[nodiscard]] static F32x4 abs(F32x4 a) {
+    return {_mm_and_ps(a.v, _mm_castsi128_ps(_mm_set1_epi32(0x7FFFFFFF)))};
+  }
+  [[nodiscard]] static F32x4 select(Mask m, F32x4 a, F32x4 b) {
+    const __m128 mm = _mm_castsi128_ps(m.v);
+    return {_mm_or_ps(_mm_and_ps(mm, a.v), _mm_andnot_ps(mm, b.v))};
+  }
+  [[nodiscard]] static U32x4 to_bits(F32x4 a) { return {_mm_castps_si128(a.v)}; }
+  [[nodiscard]] static F32x4 from_bits(U32x4 a) { return {_mm_castsi128_ps(a.v)}; }
+};
+
+inline void transpose4(F32x4& a, F32x4& b, F32x4& c, F32x4& d) {
+  _MM_TRANSPOSE4_PS(a.v, b.v, c.v, d.v);
+}
+
+struct F64x2 {
+  __m128d v;
+
+  static F64x2 load(const double* p) { return {_mm_loadu_pd(p)}; }
+  static F64x2 broadcast(double x) { return {_mm_set1_pd(x)}; }
+  static F64x2 set(double lo, double hi) { return {_mm_setr_pd(lo, hi)}; }
+  static F64x2 gather2f(const float* p, std::size_t stride) {
+    return {_mm_setr_pd(static_cast<double>(p[0]), static_cast<double>(p[stride]))};
+  }
+  void store(double* p) const { _mm_storeu_pd(p, v); }
+  [[nodiscard]] double extract(int i) const {
+    return i == 0 ? _mm_cvtsd_f64(v) : _mm_cvtsd_f64(_mm_unpackhi_pd(v, v));
+  }
+
+  friend F64x2 operator+(F64x2 a, F64x2 b) { return {_mm_add_pd(a.v, b.v)}; }
+  friend F64x2 operator-(F64x2 a, F64x2 b) { return {_mm_sub_pd(a.v, b.v)}; }
+  friend F64x2 operator*(F64x2 a, F64x2 b) { return {_mm_mul_pd(a.v, b.v)}; }
+};
+
+#elif defined(EECS_SIMD_NEON)
+
+struct U32x4 {
+  uint32x4_t v;
+
+  static U32x4 broadcast(std::uint32_t x) { return {vdupq_n_u32(x)}; }
+  [[nodiscard]] std::uint32_t extract(int i) const {
+    std::uint32_t tmp[4];
+    vst1q_u32(tmp, v);
+    return tmp[i];
+  }
+
+  friend U32x4 operator&(U32x4 a, U32x4 b) { return {vandq_u32(a.v, b.v)}; }
+  friend U32x4 operator|(U32x4 a, U32x4 b) { return {vorrq_u32(a.v, b.v)}; }
+  friend U32x4 operator^(U32x4 a, U32x4 b) { return {veorq_u32(a.v, b.v)}; }
+  friend U32x4 operator-(U32x4 a, U32x4 b) { return {vsubq_u32(a.v, b.v)}; }
+  [[nodiscard]] static U32x4 cmpeq(U32x4 a, U32x4 b) { return {vceqq_u32(a.v, b.v)}; }
+  [[nodiscard]] static U32x4 cmpgt_signed(U32x4 a, U32x4 b) {
+    return {vcgtq_s32(vreinterpretq_s32_u32(a.v), vreinterpretq_s32_u32(b.v))};
+  }
+  [[nodiscard]] static bool any(U32x4 a) { return vmaxvq_u32(a.v) != 0u; }
+};
+
+struct F32x4 {
+  using Mask = U32x4;
+  float32x4_t v;
+
+  static F32x4 load(const float* p) { return {vld1q_f32(p)}; }
+  static F32x4 broadcast(float x) { return {vdupq_n_f32(x)}; }
+  static F32x4 set(float a, float b, float c, float d) {
+    const float tmp[4] = {a, b, c, d};
+    return {vld1q_f32(tmp)};
+  }
+  void store(float* p) const { vst1q_f32(p, v); }
+  [[nodiscard]] float extract(int i) const {
+    float tmp[4];
+    vst1q_f32(tmp, v);
+    return tmp[i];
+  }
+
+  friend F32x4 operator+(F32x4 a, F32x4 b) { return {vaddq_f32(a.v, b.v)}; }
+  friend F32x4 operator-(F32x4 a, F32x4 b) { return {vsubq_f32(a.v, b.v)}; }
+  friend F32x4 operator*(F32x4 a, F32x4 b) { return {vmulq_f32(a.v, b.v)}; }
+  friend F32x4 operator/(F32x4 a, F32x4 b) { return {vdivq_f32(a.v, b.v)}; }
+
+  [[nodiscard]] static F32x4 sqrt(F32x4 a) { return {vsqrtq_f32(a.v)}; }
+  [[nodiscard]] static F32x4 floor(F32x4 a) { return {vrndmq_f32(a.v)}; }
+  // Compare + select, not vminq/vmaxq: NEON's native min/max disagree with
+  // the SSE tie rule on ±0.0 and NaN, and the contract is bit-exactness.
+  [[nodiscard]] static F32x4 min(F32x4 a, F32x4 b) {
+    return {vbslq_f32(vcltq_f32(a.v, b.v), a.v, b.v)};
+  }
+  [[nodiscard]] static F32x4 max(F32x4 a, F32x4 b) {
+    return {vbslq_f32(vcgtq_f32(a.v, b.v), a.v, b.v)};
+  }
+  [[nodiscard]] static Mask gt(F32x4 a, F32x4 b) { return {vcgtq_f32(a.v, b.v)}; }
+  [[nodiscard]] static Mask lt(F32x4 a, F32x4 b) { return {vcltq_f32(a.v, b.v)}; }
+  [[nodiscard]] static Mask ge(F32x4 a, F32x4 b) { return {vcgeq_f32(a.v, b.v)}; }
+  // Bitwise sign clear (NOT vabsq_f32: that is also bitwise, but spell the
+  // contract out) so NaN payloads pass through unchanged.
+  [[nodiscard]] static F32x4 abs(F32x4 a) {
+    return {vreinterpretq_f32_u32(vandq_u32(vreinterpretq_u32_f32(a.v), vdupq_n_u32(0x7FFFFFFFu)))};
+  }
+  [[nodiscard]] static F32x4 select(Mask m, F32x4 a, F32x4 b) {
+    return {vbslq_f32(m.v, a.v, b.v)};
+  }
+  [[nodiscard]] static U32x4 to_bits(F32x4 a) { return {vreinterpretq_u32_f32(a.v)}; }
+  [[nodiscard]] static F32x4 from_bits(U32x4 a) { return {vreinterpretq_f32_u32(a.v)}; }
+};
+
+inline void transpose4(F32x4& a, F32x4& b, F32x4& c, F32x4& d) {
+  const float32x4x2_t ab = vtrnq_f32(a.v, b.v);
+  const float32x4x2_t cd = vtrnq_f32(c.v, d.v);
+  a.v = vcombine_f32(vget_low_f32(ab.val[0]), vget_low_f32(cd.val[0]));
+  b.v = vcombine_f32(vget_low_f32(ab.val[1]), vget_low_f32(cd.val[1]));
+  c.v = vcombine_f32(vget_high_f32(ab.val[0]), vget_high_f32(cd.val[0]));
+  d.v = vcombine_f32(vget_high_f32(ab.val[1]), vget_high_f32(cd.val[1]));
+}
+
+struct F64x2 {
+  float64x2_t v;
+
+  static F64x2 load(const double* p) { return {vld1q_f64(p)}; }
+  static F64x2 broadcast(double x) { return {vdupq_n_f64(x)}; }
+  static F64x2 set(double lo, double hi) {
+    const double tmp[2] = {lo, hi};
+    return {vld1q_f64(tmp)};
+  }
+  static F64x2 gather2f(const float* p, std::size_t stride) {
+    return set(static_cast<double>(p[0]), static_cast<double>(p[stride]));
+  }
+  void store(double* p) const { vst1q_f64(p, v); }
+  [[nodiscard]] double extract(int i) const {
+    double tmp[2];
+    vst1q_f64(tmp, v);
+    return tmp[i];
+  }
+
+  friend F64x2 operator+(F64x2 a, F64x2 b) { return {vaddq_f64(a.v, b.v)}; }
+  friend F64x2 operator-(F64x2 a, F64x2 b) { return {vsubq_f64(a.v, b.v)}; }
+  friend F64x2 operator*(F64x2 a, F64x2 b) { return {vmulq_f64(a.v, b.v)}; }
+};
+
+#else  // scalar-only build: the native names alias the emulation.
+
+using U32x4 = U32x4Emul;
+using F32x4 = F32x4Emul;
+using F64x2 = F64x2Emul;
+
+#endif
+
+}  // namespace eecs::simd

@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "detect/frame_cache.hpp"
 #include "features/color_feature.hpp"
 #include "net/messages.hpp"
@@ -281,6 +282,13 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
                                      const EecsSimulationConfig& config) {
   EECS_EXPECTS(config.start_frame < config.end_frame);
   const common::ScopedThreads scoped_threads(config.threads);
+  const simd::ScopedSimd scoped_simd(config.simd);
+  // Dispatch mode is a build/run-environment fact, not a run result: WallClock
+  // so determinism snapshots (which diff SIMD-on vs SIMD-off runs) skip it.
+  obs::current()
+      .metrics()
+      .gauge("simd.dispatch.native", obs::Determinism::WallClock)
+      .set(simd::enabled() && simd::kNativeBackend ? 1.0 : 0.0);
   const DetectorLookup detector_of(detectors);
   video::SceneSimulator sim(video::dataset_by_id(config.dataset), config.seed);
   const int stride = sim.environment().ground_truth_stride * config.gt_frame_step;
@@ -846,6 +854,11 @@ SimulationResult run_fixed_combo(const DetectorBank& detectors, const OfflineKno
                                  const FixedCombo& combo, const FixedComboConfig& config) {
   EECS_EXPECTS(!combo.active.empty());
   const common::ScopedThreads scoped_threads(config.threads);
+  const simd::ScopedSimd scoped_simd(config.simd);
+  obs::current()
+      .metrics()
+      .gauge("simd.dispatch.native", obs::Determinism::WallClock)
+      .set(simd::enabled() && simd::kNativeBackend ? 1.0 : 0.0);
   const DetectorLookup detector_of(detectors);
   video::SceneSimulator sim(video::dataset_by_id(config.dataset), config.seed);
   const int stride = sim.environment().ground_truth_stride * config.gt_frame_step;

@@ -38,6 +38,11 @@ struct EecsSimulationConfig {
   /// concurrency); 1 = the exact serial legacy path. Results are
   /// bit-identical at every setting (see DESIGN.md "Execution model").
   int threads = 0;
+  /// SIMD kernel dispatch. -1 = global default (EECS_SIMD env, else on when a
+  /// native backend was compiled in); 0 = scalar packs; 1 = native packs.
+  /// Results are bit-identical either way (see DESIGN.md "SIMD &
+  /// portability").
+  int simd = -1;
   SelectionMode mode = SelectionMode::SubsetDowngrade;
   /// Per-frame energy budget B_j (identical cameras); algorithms that do not
   /// fit are not even assessed (§IV).
@@ -154,6 +159,8 @@ struct FixedComboConfig {
   std::uint64_t seed = 777;
   /// Parallel width; see EecsSimulationConfig::threads.
   int threads = 0;
+  /// SIMD dispatch; see EecsSimulationConfig::simd.
+  int simd = -1;
   int start_frame = 1000;
   int end_frame = 2950;
   int gt_frame_step = 1;

@@ -4,11 +4,127 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/simd.hpp"
 #include "detect/frame_cache.hpp"
 #include "detect/nms.hpp"
 #include "imaging/filter.hpp"
 
 namespace eecs::detect {
+
+namespace {
+
+/// One output row of 4x4 block-averaged color aggregation. kAcfShrink == 4,
+/// so the 16 consecutive source floats of one (dy) row feed exactly 4 output
+/// blocks; a 4x4 transpose turns the four loads into per-lane "one output
+/// each" columns, and the add sequence acc + t0 + t1 + t2 + t3 reproduces the
+/// scalar dx accumulation order per lane. Tail outputs run the scalar chain.
+template <class F4>
+void acf_color_row(const float* src, int iw, int y, int aw, float* dst) {
+  static_assert(kAcfShrink == 4, "lane blocking assumes 4x4 aggregation blocks");
+  const F4 area = F4::broadcast(static_cast<float>(kAcfShrink * kAcfShrink));
+  int x = 0;
+  for (; x + simd::kF32Lanes <= aw; x += simd::kF32Lanes) {
+    F4 acc = F4::broadcast(0.0f);
+    for (int dy = 0; dy < kAcfShrink; ++dy) {
+      const float* row = src + static_cast<std::size_t>(y * kAcfShrink + dy) *
+                                   static_cast<std::size_t>(iw) +
+                         static_cast<std::size_t>(x * kAcfShrink);
+      F4 t0 = F4::load(row);
+      F4 t1 = F4::load(row + 4);
+      F4 t2 = F4::load(row + 8);
+      F4 t3 = F4::load(row + 12);
+      transpose4(t0, t1, t2, t3);
+      acc = acc + t0 + t1 + t2 + t3;
+    }
+    (acc / area).store(dst + y * aw + x);
+  }
+  for (; x < aw; ++x) {
+    float s = 0.0f;
+    for (int dy = 0; dy < kAcfShrink; ++dy) {
+      const float* row = src + static_cast<std::size_t>(y * kAcfShrink + dy) *
+                                   static_cast<std::size_t>(iw) +
+                         static_cast<std::size_t>(x * kAcfShrink);
+      for (int dx = 0; dx < kAcfShrink; ++dx) s += row[dx];
+    }
+    dst[y * aw + x] = s / (kAcfShrink * kAcfShrink);
+  }
+}
+
+/// One output row of gradient-magnitude + orientation-channel aggregation.
+/// Magnitude sums use the same transpose blocking as the color rows; the
+/// orientation bin of every source pixel is computed lane-blocked (floor +
+/// min are exact), then scattered scalar in (dy, dx) order into each output's
+/// private 6-bin accumulator — the same float order as the scalar loop.
+template <class F4>
+void acf_gradient_row(const float* mag_src, const float* ori_src, int iw, int y, int aw, int ah,
+                      float bin_width, int orientations, float* planes, std::ptrdiff_t plane_stride,
+                      float* mag_plane) {
+  static_assert(kAcfShrink == 4, "lane blocking assumes 4x4 aggregation blocks");
+  const F4 area = F4::broadcast(static_cast<float>(kAcfShrink * kAcfShrink));
+  const F4 bw = F4::broadcast(bin_width);
+  const F4 top_bin = F4::broadcast(static_cast<float>(orientations - 1));
+  (void)ah;
+  int x = 0;
+  for (; x + simd::kF32Lanes <= aw; x += simd::kF32Lanes) {
+    F4 macc = F4::broadcast(0.0f);
+    float orient_sum[simd::kF32Lanes][8] = {};
+    for (int dy = 0; dy < kAcfShrink; ++dy) {
+      const std::size_t base = static_cast<std::size_t>(y * kAcfShrink + dy) *
+                                   static_cast<std::size_t>(iw) +
+                               static_cast<std::size_t>(x * kAcfShrink);
+      // Load k covers output x+k's four dx samples (pre-transpose), so bins
+      // and magnitudes extract straight into that output's scatter loop.
+      F4 m[simd::kF32Lanes];
+      F4 bins[simd::kF32Lanes];
+      for (int k = 0; k < simd::kF32Lanes; ++k) {
+        m[k] = F4::load(mag_src + base + static_cast<std::size_t>(4 * k));
+        const F4 o = F4::load(ori_src + base + static_cast<std::size_t>(4 * k));
+        bins[k] = F4::min(top_bin, F4::floor(o / bw));
+      }
+      for (int k = 0; k < simd::kF32Lanes; ++k) {
+        for (int j = 0; j < simd::kF32Lanes; ++j) {
+          orient_sum[k][static_cast<int>(bins[k].extract(j))] += m[k].extract(j);
+        }
+      }
+      F4 t0 = m[0];
+      F4 t1 = m[1];
+      F4 t2 = m[2];
+      F4 t3 = m[3];
+      transpose4(t0, t1, t2, t3);
+      macc = macc + t0 + t1 + t2 + t3;
+    }
+    (macc / area).store(mag_plane + y * aw + x);
+    for (int k = 0; k < simd::kF32Lanes; ++k) {
+      for (int o = 0; o < orientations; ++o) {
+        planes[static_cast<std::ptrdiff_t>(o) * plane_stride + y * aw + x + k] =
+            orient_sum[k][o] / (kAcfShrink * kAcfShrink);
+      }
+    }
+  }
+  for (; x < aw; ++x) {
+    float mag_sum = 0.0f;
+    float orient_sum[8] = {};
+    for (int dy = 0; dy < kAcfShrink; ++dy) {
+      const std::size_t base = static_cast<std::size_t>(y * kAcfShrink + dy) *
+                                   static_cast<std::size_t>(iw) +
+                               static_cast<std::size_t>(x * kAcfShrink);
+      for (int dx = 0; dx < kAcfShrink; ++dx) {
+        const float mv = mag_src[base + static_cast<std::size_t>(dx)];
+        mag_sum += mv;
+        const int bin = std::min(orientations - 1,
+                                 static_cast<int>(ori_src[base + static_cast<std::size_t>(dx)] / bin_width));
+        orient_sum[bin] += mv;
+      }
+    }
+    mag_plane[y * aw + x] = mag_sum / (kAcfShrink * kAcfShrink);
+    for (int o = 0; o < orientations; ++o) {
+      planes[static_cast<std::ptrdiff_t>(o) * plane_stride + y * aw + x] =
+          orient_sum[o] / (kAcfShrink * kAcfShrink);
+    }
+  }
+}
+
+}  // namespace
 
 ChannelMap compute_acf_channels(const imaging::Image& img, energy::CostCounter* cost) {
   const int aw = img.width() / kAcfShrink;
@@ -31,19 +147,15 @@ ChannelMap compute_acf_channels(const imaging::Image& img, energy::CostCounter* 
   // aggregation indexes source rows directly; the (dy, dx) sum order matches
   // the clamped-access form this replaces bit for bit.
   const int iw = img.width();
+  const bool vec = simd::enabled();
   for (int c = 0; c < 3; ++c) {
     float* dst = plane(c);
     const float* src = img.plane(img.channels() == 3 ? c : 0).data();
     for (int y = 0; y < ah; ++y) {
-      for (int x = 0; x < aw; ++x) {
-        float s = 0.0f;
-        for (int dy = 0; dy < kAcfShrink; ++dy) {
-          const float* row = src + static_cast<std::size_t>(y * kAcfShrink + dy) *
-                                       static_cast<std::size_t>(iw) +
-                             static_cast<std::size_t>(x * kAcfShrink);
-          for (int dx = 0; dx < kAcfShrink; ++dx) s += row[dx];
-        }
-        dst[y * aw + x] = s / (kAcfShrink * kAcfShrink);
+      if (vec) {
+        acf_color_row<simd::F32x4>(src, iw, y, aw, dst);
+      } else {
+        acf_color_row<simd::F32x4Emul>(src, iw, y, aw, dst);
       }
     }
   }
@@ -54,27 +166,15 @@ ChannelMap compute_acf_channels(const imaging::Image& img, energy::CostCounter* 
   const float bin_width = std::numbers::pi_v<float> / kOrientations;
   const float* mag_src = grads.magnitude.plane(0).data();
   const float* ori_src = grads.orientation.plane(0).data();
-  float* mag_plane = plane(3);
+  const std::ptrdiff_t plane_stride =
+      static_cast<std::ptrdiff_t>(aw) * static_cast<std::ptrdiff_t>(ah);
   for (int y = 0; y < ah; ++y) {
-    for (int x = 0; x < aw; ++x) {
-      float mag_sum = 0.0f;
-      float orient_sum[kOrientations] = {};
-      for (int dy = 0; dy < kAcfShrink; ++dy) {
-        const std::size_t base = static_cast<std::size_t>(y * kAcfShrink + dy) *
-                                     static_cast<std::size_t>(iw) +
-                                 static_cast<std::size_t>(x * kAcfShrink);
-        for (int dx = 0; dx < kAcfShrink; ++dx) {
-          const float m = mag_src[base + static_cast<std::size_t>(dx)];
-          mag_sum += m;
-          const int bin = std::min(kOrientations - 1,
-                                   static_cast<int>(ori_src[base + static_cast<std::size_t>(dx)] / bin_width));
-          orient_sum[bin] += m;
-        }
-      }
-      mag_plane[y * aw + x] = mag_sum / (kAcfShrink * kAcfShrink);
-      for (int o = 0; o < kOrientations; ++o) {
-        plane(4 + o)[y * aw + x] = orient_sum[o] / (kAcfShrink * kAcfShrink);
-      }
+    if (vec) {
+      acf_gradient_row<simd::F32x4>(mag_src, ori_src, iw, y, aw, ah, bin_width, kOrientations,
+                                    plane(4), plane_stride, plane(3));
+    } else {
+      acf_gradient_row<simd::F32x4Emul>(mag_src, ori_src, iw, y, aw, ah, bin_width, kOrientations,
+                                        plane(4), plane_stride, plane(3));
     }
   }
 

@@ -3,7 +3,47 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/simd.hpp"
+
 namespace eecs::detect {
+
+namespace {
+
+/// Accumulates one weight block's partial dot products into a row of anchor
+/// accumulators. Lanes run across anchors (independent chains): per weight
+/// index the four anchor samples sit at stride `bd`, gathered two per f64x2.
+/// Each anchor's partial is the same serial sum_i w[i]*b[i] chain as
+/// window_score, so any anchor blocking width is bit-identical.
+template <class D2>
+void accumulate_block_row(const float* w, const float* brow, std::size_t bd, int width,
+                          double* acc) {
+  int ax = 0;
+  for (; ax + 4 <= width; ax += 4) {
+    const float* b0 = brow + static_cast<std::size_t>(ax) * bd;
+    const float* b2 = b0 + 2 * bd;
+    D2 p01 = D2::broadcast(0.0);
+    D2 p23 = D2::broadcast(0.0);
+    for (std::size_t i = 0; i < bd; ++i) {
+      const D2 wd = D2::broadcast(static_cast<double>(w[i]));
+      p01 = p01 + wd * D2::gather2f(b0 + i, bd);
+      p23 = p23 + wd * D2::gather2f(b2 + i, bd);
+    }
+    acc[ax] += p01.extract(0);
+    acc[ax + 1] += p01.extract(1);
+    acc[ax + 2] += p23.extract(0);
+    acc[ax + 3] += p23.extract(1);
+  }
+  for (; ax < width; ++ax) {
+    const float* b = brow + static_cast<std::size_t>(ax) * bd;
+    double partial = 0.0;
+    for (std::size_t i = 0; i < bd; ++i) {
+      partial += static_cast<double>(w[i]) * static_cast<double>(b[i]);
+    }
+    acc[ax] += partial;
+  }
+}
+
+}  // namespace
 
 BlockGrid::BlockGrid(const imaging::Image& img, const features::HogParams& params,
                      energy::CostCounter* cost)
@@ -104,48 +144,25 @@ ScoreMap BlockGrid::score_map(const LinearModel& model, int window_cells_x,
   // partial per weight block in (by, bx) order — so the final float is
   // bit-identical to the per-window path.
   std::vector<double> acc(static_cast<std::size_t>(map.width));
+  const bool vec = simd::enabled();
   for (int ay = 0; ay < map.height; ++ay) {
     std::fill(acc.begin(), acc.end(), static_cast<double>(model.bias));
     const float* w = model.weights.data();
     for (int by = 0; by < wby; ++by) {
       for (int bx = 0; bx < wbx; ++bx) {
         // Blocks for consecutive anchors ax are contiguous in data_, so each
-        // weight block streams across the row; four independent accumulator
-        // chains per step keep the (non-reassociable) double adds off the
-        // critical path without changing any single chain's order.
+        // weight block streams across the row; independent accumulator chains
+        // per step (lane-blocked across anchors) keep the (non-reassociable)
+        // double adds off the critical path without changing any single
+        // chain's order.
         const float* brow =
             data_.data() + (static_cast<std::size_t>(ay + by) * static_cast<std::size_t>(blocks_x_) +
                             static_cast<std::size_t>(bx)) *
                                bd;
-        int ax = 0;
-        for (; ax + 4 <= map.width; ax += 4) {
-          const float* b0 = brow + static_cast<std::size_t>(ax) * bd;
-          const float* b1 = b0 + bd;
-          const float* b2 = b1 + bd;
-          const float* b3 = b2 + bd;
-          double p0 = 0.0;
-          double p1 = 0.0;
-          double p2 = 0.0;
-          double p3 = 0.0;
-          for (std::size_t i = 0; i < bd; ++i) {
-            const double wi = static_cast<double>(w[i]);
-            p0 += wi * static_cast<double>(b0[i]);
-            p1 += wi * static_cast<double>(b1[i]);
-            p2 += wi * static_cast<double>(b2[i]);
-            p3 += wi * static_cast<double>(b3[i]);
-          }
-          acc[static_cast<std::size_t>(ax)] += p0;
-          acc[static_cast<std::size_t>(ax) + 1] += p1;
-          acc[static_cast<std::size_t>(ax) + 2] += p2;
-          acc[static_cast<std::size_t>(ax) + 3] += p3;
-        }
-        for (; ax < map.width; ++ax) {
-          const float* b = brow + static_cast<std::size_t>(ax) * bd;
-          double partial = 0.0;
-          for (std::size_t i = 0; i < bd; ++i) {
-            partial += static_cast<double>(w[i]) * static_cast<double>(b[i]);
-          }
-          acc[static_cast<std::size_t>(ax)] += partial;
+        if (vec) {
+          accumulate_block_row<simd::F64x2>(w, brow, bd, map.width, acc.data());
+        } else {
+          accumulate_block_row<simd::F64x2Emul>(w, brow, bd, map.width, acc.data());
         }
         w += block_dim_;
       }

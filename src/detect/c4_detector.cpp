@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/simd.hpp"
 #include "detect/frame_cache.hpp"
 #include "detect/nms.hpp"
 #include "features/census.hpp"
@@ -129,44 +130,48 @@ void CensusCellGrid::window_scores_row(const LinearModel& model, int cell_x0, in
 
   constexpr std::size_t kRowLen =
       static_cast<std::size_t>(kCensusCellsX) * static_cast<std::size_t>(kCensusBins);
-  int j = 0;
-  for (; j + 4 <= count; j += 4) {
-    double r0 = 0.0;
-    double r1 = 0.0;
-    double r2 = 0.0;
-    double r3 = 0.0;
-    double q0 = 0.0;
-    double q1 = 0.0;
-    double q2 = 0.0;
-    double q3 = 0.0;
+  // Lanes run across adjacent windows (independent accumulator chains).
+  // Window j+1's histogram row is window j's shifted by one cell (kCensusBins
+  // floats), so the same weight stream feeds all four windows; each window's
+  // raw/sq chain keeps the exact per-window term order of window_score.
+  const auto scores4 = [&]<class D2>(int j, D2*) {
+    D2 r01 = D2::broadcast(0.0);
+    D2 r23 = D2::broadcast(0.0);
+    D2 q01 = D2::broadcast(0.0);
+    D2 q23 = D2::broadcast(0.0);
     const float* w = model.weights.data();
     for (int cy = 0; cy < kCensusCellsY; ++cy) {
       const std::size_t cell0 = static_cast<std::size_t>(cell_y0 + cy) *
                                     static_cast<std::size_t>(cells_x_) +
                                 static_cast<std::size_t>(cell_x0 + j);
-      // Window j+1's histogram row is window j's shifted by one cell
-      // (kCensusBins floats), so the same weight stream feeds all four.
       const float* h = hist_.data() + cell0 * static_cast<std::size_t>(kCensusBins);
+      constexpr std::size_t kBins = static_cast<std::size_t>(kCensusBins);
       for (std::size_t i = 0; i < kRowLen; ++i) {
-        const double wi = static_cast<double>(w[i]);
-        r0 += wi * static_cast<double>(h[i]);
-        r1 += wi * static_cast<double>(h[i + kCensusBins]);
-        r2 += wi * static_cast<double>(h[i + 2 * kCensusBins]);
-        r3 += wi * static_cast<double>(h[i + 3 * kCensusBins]);
+        const D2 wi = D2::broadcast(static_cast<double>(w[i]));
+        r01 = r01 + wi * D2::gather2f(h + i, kBins);
+        r23 = r23 + wi * D2::gather2f(h + i + 2 * kBins, kBins);
       }
       const float* sn = sq_norm_.data() + cell0;
       for (int cx = 0; cx < kCensusCellsX; ++cx) {
-        q0 += sn[cx];
-        q1 += sn[cx + 1];
-        q2 += sn[cx + 2];
-        q3 += sn[cx + 3];
+        q01 = q01 + D2::gather2f(sn + cx, 1);
+        q23 = q23 + D2::gather2f(sn + cx + 2, 1);
       }
       w += kRowLen;
     }
-    out[j] = static_cast<float>(r0 / (std::sqrt(q0) + 1e-9) + model.bias);
-    out[j + 1] = static_cast<float>(r1 / (std::sqrt(q1) + 1e-9) + model.bias);
-    out[j + 2] = static_cast<float>(r2 / (std::sqrt(q2) + 1e-9) + model.bias);
-    out[j + 3] = static_cast<float>(r3 / (std::sqrt(q3) + 1e-9) + model.bias);
+    const double bias = model.bias;
+    out[j] = static_cast<float>(r01.extract(0) / (std::sqrt(q01.extract(0)) + 1e-9) + bias);
+    out[j + 1] = static_cast<float>(r01.extract(1) / (std::sqrt(q01.extract(1)) + 1e-9) + bias);
+    out[j + 2] = static_cast<float>(r23.extract(0) / (std::sqrt(q23.extract(0)) + 1e-9) + bias);
+    out[j + 3] = static_cast<float>(r23.extract(1) / (std::sqrt(q23.extract(1)) + 1e-9) + bias);
+  };
+  const bool vec = simd::enabled();
+  int j = 0;
+  for (; j + 4 <= count; j += 4) {
+    if (vec) {
+      scores4(j, static_cast<simd::F64x2*>(nullptr));
+    } else {
+      scores4(j, static_cast<simd::F64x2Emul*>(nullptr));
+    }
   }
   for (; j < count; ++j) out[j] = window_score(model, cell_x0 + j, cell_y0, nullptr);
   if (cost != nullptr && count > 0) {

@@ -4,8 +4,36 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "common/simd.hpp"
 
 namespace eecs::detect {
+
+namespace {
+
+/// Elementwise Pegasos step: w *= decay, then (inside the margin) w += step*x.
+/// Both loops are pure elementwise float ops — lane-blocked with no
+/// reassociation, so scalar and SIMD agree bit for bit. The margin dot product
+/// stays scalar in the caller: it is a single serial double chain.
+template <class F4>
+void pegasos_step(float* w, const float* x, std::size_t dim, float decay, bool update,
+                  float step) {
+  const F4 dv = F4::broadcast(decay);
+  const F4 sv = F4::broadcast(step);
+  std::size_t d = 0;
+  if (update) {
+    for (; d + simd::kF32Lanes <= dim; d += simd::kF32Lanes) {
+      (F4::load(w + d) * dv + sv * F4::load(x + d)).store(w + d);
+    }
+    for (; d < dim; ++d) w[d] = w[d] * decay + step * x[d];
+  } else {
+    for (; d + simd::kF32Lanes <= dim; d += simd::kF32Lanes) {
+      (F4::load(w + d) * dv).store(w + d);
+    }
+    for (; d < dim; ++d) w[d] *= decay;
+  }
+}
+
+}  // namespace
 
 float LinearModel::score(std::span<const float> x) const {
   EECS_EXPECTS(x.size() == weights.size());
@@ -32,6 +60,7 @@ LinearModel train_linear_svm(const std::vector<std::vector<float>>& x, const std
   model.weights.assign(dim, 0.0f);
 
   long t = 1;
+  const bool vec = simd::enabled();
   std::vector<int> order(x.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
 
@@ -49,12 +78,15 @@ LinearModel train_linear_svm(const std::vector<std::vector<float>>& x, const std
         margin += static_cast<double>(model.weights[d]) * static_cast<double>(xi[d]);
       }
       margin *= yi;
-      // Weight decay (the lambda/2 ||w||^2 term).
+      // Weight decay (the lambda/2 ||w||^2 term), fused with the margin
+      // update when it fires — identical float ops to the two separate loops.
       const float decay = static_cast<float>(std::max(0.0, 1.0 - eta * options.lambda));
-      for (auto& w : model.weights) w *= decay;
-      if (margin < 1.0) {
-        const float step = static_cast<float>(eta * yi);
-        for (std::size_t d = 0; d < dim; ++d) model.weights[d] += step * xi[d];
+      const bool update = margin < 1.0;
+      const float step = update ? static_cast<float>(eta * yi) : 0.0f;
+      if (vec) {
+        pegasos_step<simd::F32x4>(model.weights.data(), xi.data(), dim, decay, update, step);
+      } else {
+        pegasos_step<simd::F32x4Emul>(model.weights.data(), xi.data(), dim, decay, update, step);
       }
       ++t;
     }

@@ -5,9 +5,50 @@
 #include <numbers>
 
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "imaging/filter.hpp"
 
 namespace eecs::features {
+
+namespace {
+
+/// Soft-assignment binning of one cell row (`n` contiguous pixels) into
+/// `hist`. The per-pixel bin position arithmetic (divide, floor, fractional
+/// weight) is elementwise, so it runs lane-blocked 4 pixels at a time; the
+/// histogram scatter itself stays scalar IN PIXEL ORDER (lanes drained
+/// left-to-right), so the accumulation order into each bin — and therefore
+/// every float sum — matches the all-scalar loop bit for bit.
+template <class F4>
+void bin_cell_row(const float* mag, const float* theta, int n, float bin_width, int bins,
+                  std::span<float> hist) {
+  const auto scatter = [&](float m, float pos, float fl) {
+    if (m <= 0.0f) return;
+    int b0 = static_cast<int>(fl);
+    const float w1 = pos - fl;
+    int b1 = b0 + 1;
+    if (b0 < 0) b0 += bins;
+    if (b1 >= bins) b1 -= bins;
+    hist[static_cast<std::size_t>(b0)] += m * (1.0f - w1);
+    hist[static_cast<std::size_t>(b1)] += m * w1;
+  };
+  const F4 inv_offset = F4::broadcast(0.5f);
+  const F4 bw = F4::broadcast(bin_width);
+  int dx = 0;
+  for (; dx + simd::kF32Lanes <= n; dx += simd::kF32Lanes) {
+    const F4 m = F4::load(mag + dx);
+    const F4 pos = F4::load(theta + dx) / bw - inv_offset;
+    const F4 fl = F4::floor(pos);
+    for (int j = 0; j < simd::kF32Lanes; ++j) {
+      scatter(m.extract(j), pos.extract(j), fl.extract(j));
+    }
+  }
+  for (; dx < n; ++dx) {
+    const float pos = theta[dx] / bin_width - 0.5f;
+    scatter(mag[dx], pos, std::floor(pos));
+  }
+}
+
+}  // namespace
 
 HogGrid::HogGrid(int cells_x, int cells_y, int bins)
     : cells_x_(cells_x),
@@ -50,7 +91,9 @@ HogGrid compute_hog_grid(const imaging::Image& img, const HogParams& params,
   const float* ori_src = grads.orientation.plane(0).data();
   const int img_w = img.width();
   // Cell rows are independent (each cell bins only its own pixels into its
-  // own histogram), so they partition across the pool bit-identically.
+  // own histogram), so they partition across the pool bit-identically. Within
+  // a cell the soft-assignment arithmetic is lane-blocked (see bin_cell_row).
+  const bool vec = simd::enabled();
   common::parallel_for(static_cast<std::size_t>(cells_y), 8, [&](std::size_t cy0, std::size_t cy1) {
     for (int cy = static_cast<int>(cy0); cy < static_cast<int>(cy1); ++cy) {
       for (int cx = 0; cx < cells_x; ++cx) {
@@ -59,19 +102,12 @@ HogGrid compute_hog_grid(const imaging::Image& img, const HogParams& params,
           const std::size_t base =
               static_cast<std::size_t>(cy * params.cell_size + dy) * static_cast<std::size_t>(img_w) +
               static_cast<std::size_t>(cx * params.cell_size);
-          for (int dx = 0; dx < params.cell_size; ++dx) {
-            const float mag = mag_src[base + static_cast<std::size_t>(dx)];
-            if (mag <= 0.0f) continue;
-            const float theta = ori_src[base + static_cast<std::size_t>(dx)];
-            // Soft assignment to the two nearest bins.
-            const float pos = theta / bin_width - 0.5f;
-            int b0 = static_cast<int>(std::floor(pos));
-            const float w1 = pos - static_cast<float>(b0);
-            int b1 = b0 + 1;
-            if (b0 < 0) b0 += params.bins;
-            if (b1 >= params.bins) b1 -= params.bins;
-            hist[static_cast<std::size_t>(b0)] += mag * (1.0f - w1);
-            hist[static_cast<std::size_t>(b1)] += mag * w1;
+          if (vec) {
+            bin_cell_row<simd::F32x4>(mag_src + base, ori_src + base, params.cell_size, bin_width,
+                                      params.bins, hist);
+          } else {
+            bin_cell_row<simd::F32x4Emul>(mag_src + base, ori_src + base, params.cell_size,
+                                          bin_width, params.bins, hist);
           }
         }
       }

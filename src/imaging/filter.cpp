@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <numbers>
+#include <vector>
 
+#include "common/atan2.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 
 namespace eecs::imaging {
 
@@ -26,30 +29,196 @@ void parallel_rows(int channels, int height, const std::function<void(int, int)>
                        });
 }
 
+// The filter/resize/gradient kernels below are lane-blocked over OUTPUT
+// pixels: each lane owns one output element and accumulates its own chain in
+// the same term order as the scalar loop, so the native and emulated pack
+// instantiations (and the scalar edge/tail code) are bit-identical by
+// construction. See common/simd.hpp and DESIGN.md "SIMD & portability".
+
+/// Horizontal tap pass of one row: dst[x] = sum_k kernel[k] * row[clamp(x+k)].
+template <class F4>
+void filter_row_horizontal(const float* row, int w, std::span<const float> kernel, int radius,
+                           float* dst) {
+  const int taps = static_cast<int>(kernel.size());
+  const auto clamped = [&](int x) { return row[x < 0 ? 0 : (x >= w ? w - 1 : x)]; };
+  const int lo = std::min(radius, w);
+  const int hi = std::max(lo, w - radius);
+  int x = 0;
+  for (; x < lo; ++x) {
+    float s = 0.0f;
+    for (int k = 0; k < taps; ++k) s += kernel[static_cast<std::size_t>(k)] * clamped(x + k - radius);
+    dst[x] = s;
+  }
+  for (; x + simd::kF32Lanes <= hi; x += simd::kF32Lanes) {
+    F4 acc = F4::broadcast(0.0f);
+    const float* base = row + x - radius;
+    for (int k = 0; k < taps; ++k) {
+      acc = acc + F4::broadcast(kernel[static_cast<std::size_t>(k)]) * F4::load(base + k);
+    }
+    acc.store(dst + x);
+  }
+  for (; x < w; ++x) {
+    float s = 0.0f;
+    for (int k = 0; k < taps; ++k) s += kernel[static_cast<std::size_t>(k)] * clamped(x + k - radius);
+    dst[x] = s;
+  }
+}
+
+/// Vertical tap pass of one output row: dst[x] = sum_k kernel[k] * rows[k][x],
+/// where rows[k] is the clamped source row y + k - radius.
+template <class F4>
+void filter_row_vertical(const float* const* rows, int w, std::span<const float> kernel,
+                         float* dst) {
+  const int taps = static_cast<int>(kernel.size());
+  int x = 0;
+  for (; x + simd::kF32Lanes <= w; x += simd::kF32Lanes) {
+    F4 acc = F4::broadcast(0.0f);
+    for (int k = 0; k < taps; ++k) {
+      acc = acc + F4::broadcast(kernel[static_cast<std::size_t>(k)]) * F4::load(rows[k] + x);
+    }
+    acc.store(dst + x);
+  }
+  for (; x < w; ++x) {
+    float s = 0.0f;
+    for (int k = 0; k < taps; ++k) s += kernel[static_cast<std::size_t>(k)] * rows[k][x];
+    dst[x] = s;
+  }
+}
+
 /// Horizontal then vertical pass with an arbitrary normalized kernel.
 Image separable_filter(const Image& img, std::span<const float> kernel) {
   const int radius = static_cast<int>(kernel.size()) / 2;
-  Image tmp(img.width(), img.height(), img.channels());
-  Image out(img.width(), img.height(), img.channels());
-  parallel_rows(img.channels(), img.height(), [&](int c, int y) {
-    for (int x = 0; x < img.width(); ++x) {
-      float s = 0.0f;
-      for (int k = -radius; k <= radius; ++k) {
-        s += kernel[static_cast<std::size_t>(k + radius)] * img.at_clamped(x + k, y, c);
-      }
-      tmp.at(x, y, c) = s;
+  const int w = img.width();
+  const int h = img.height();
+  Image tmp(w, h, img.channels());
+  Image out(w, h, img.channels());
+  const bool vec = simd::enabled();
+  parallel_rows(img.channels(), h, [&](int c, int y) {
+    const float* row = img.plane(c).data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+    float* dst = tmp.plane(c).data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+    if (vec) {
+      filter_row_horizontal<simd::F32x4>(row, w, kernel, radius, dst);
+    } else {
+      filter_row_horizontal<simd::F32x4Emul>(row, w, kernel, radius, dst);
     }
   });
-  parallel_rows(img.channels(), img.height(), [&](int c, int y) {
-    for (int x = 0; x < img.width(); ++x) {
-      float s = 0.0f;
-      for (int k = -radius; k <= radius; ++k) {
-        s += kernel[static_cast<std::size_t>(k + radius)] * tmp.at_clamped(x, y + k, c);
-      }
-      out.at(x, y, c) = s;
+  parallel_rows(img.channels(), h, [&](int c, int y) {
+    const float* src = tmp.plane(c).data();
+    std::vector<const float*> rows(kernel.size());
+    for (int k = 0; k < static_cast<int>(kernel.size()); ++k) {
+      const int yy = std::clamp(y + k - radius, 0, h - 1);
+      rows[static_cast<std::size_t>(k)] =
+          src + static_cast<std::size_t>(yy) * static_cast<std::size_t>(w);
+    }
+    float* dst = out.plane(c).data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+    if (vec) {
+      filter_row_vertical<simd::F32x4>(rows.data(), w, kernel, dst);
+    } else {
+      filter_row_vertical<simd::F32x4Emul>(rows.data(), w, kernel, dst);
     }
   });
   return out;
+}
+
+/// Gradient orientation of one row: the vendored fdlibm atan2f (bit-exact
+/// with the libm values the goldens were recorded against, see
+/// common/atan2.hpp) folded into [0, pi) with mask blends. gx/gy recompute
+/// the identical subtractions the magnitude pass uses.
+template <class F4>
+void gradient_orientation_row(const float* row, const float* up, const float* dn, int w,
+                              float* orow) {
+  constexpr float kPi = std::numbers::pi_v<float>;
+  const auto scalar_ori = [&](int x) {
+    const int xl = x > 0 ? x - 1 : 0;
+    const int xr = x + 1 < w ? x + 1 : w - 1;
+    const float gx = row[xr] - row[xl];
+    const float gy = dn[x] - up[x];
+    float theta = simd::atan2f_portable(gy, gx);  // [-pi, pi]
+    if (theta < 0.0f) theta += kPi;
+    if (theta >= kPi) theta -= kPi;
+    orow[x] = theta;
+  };
+  if (w == 0) return;
+  scalar_ori(0);
+  const F4 pi = F4::broadcast(kPi);
+  const F4 zero = F4::broadcast(0.0f);
+  int x = 1;
+  for (; x + simd::kF32Lanes <= w - 1; x += simd::kF32Lanes) {
+    const F4 gx = F4::load(row + x + 1) - F4::load(row + x - 1);
+    const F4 gy = F4::load(dn + x) - F4::load(up + x);
+    const F4 theta = simd::atan2f_pack<F4>(gy, gx);
+    const F4 shifted = F4::select(F4::lt(theta, zero), theta + pi, theta);
+    const F4 wrapped = F4::select(F4::ge(shifted, pi), shifted - pi, shifted);
+    wrapped.store(orow + x);
+  }
+  for (; x < w; ++x) scalar_ori(x);
+}
+
+/// Gradient magnitude of one row (the sqrt chain per pixel).
+template <class F4>
+void gradient_magnitude_row(const float* row, const float* up, const float* dn, int w,
+                            float* mrow) {
+  // x = 0 and x = w-1 clamp horizontally; the interior is lane-blocked.
+  const auto scalar_mag = [&](int x) {
+    const int xl = x > 0 ? x - 1 : 0;
+    const int xr = x + 1 < w ? x + 1 : w - 1;
+    const float gx = row[xr] - row[xl];
+    const float gy = dn[x] - up[x];
+    mrow[x] = std::sqrt(gx * gx + gy * gy);
+  };
+  if (w == 0) return;
+  scalar_mag(0);
+  int x = 1;
+  for (; x + simd::kF32Lanes <= w - 1; x += simd::kF32Lanes) {
+    const F4 gx = F4::load(row + x + 1) - F4::load(row + x - 1);
+    const F4 gy = F4::load(dn + x) - F4::load(up + x);
+    const F4 mag = F4::sqrt(gx * gx + gy * gy);
+    mag.store(mrow + x);
+  }
+  for (; x < w; ++x) scalar_mag(x);
+}
+
+/// One output row of the bilinear resize: lanes gather their own four source
+/// corners (per-column indices precomputed by the caller) and evaluate the
+/// identical ((t00 + t10) + t01) + t11 chain as the scalar tail.
+template <class F4>
+void resize_row(const float* r0, const float* r1, const int* col0, const int* col1,
+                const float* colw, int new_width, float wy, float* dst) {
+  const float one_m_wy = 1.0f - wy;
+  const F4 wyv = F4::broadcast(wy);
+  const F4 one_m_wyv = F4::broadcast(one_m_wy);
+  const F4 onev = F4::broadcast(1.0f);
+  int x = 0;
+  for (; x + simd::kF32Lanes <= new_width; x += simd::kF32Lanes) {
+    const int c00 = col0[x];
+    const int c01 = col0[x + 1];
+    const int c02 = col0[x + 2];
+    const int c03 = col0[x + 3];
+    const int c10 = col1[x];
+    const int c11 = col1[x + 1];
+    const int c12 = col1[x + 2];
+    const int c13 = col1[x + 3];
+    const F4 v00 = F4::set(r0[c00], r0[c01], r0[c02], r0[c03]);
+    const F4 v10 = F4::set(r0[c10], r0[c11], r0[c12], r0[c13]);
+    const F4 v01 = F4::set(r1[c00], r1[c01], r1[c02], r1[c03]);
+    const F4 v11 = F4::set(r1[c10], r1[c11], r1[c12], r1[c13]);
+    const F4 wx = F4::load(colw + x);
+    const F4 one_m_wx = onev - wx;
+    const F4 s = (one_m_wx * one_m_wyv) * v00 + (wx * one_m_wyv) * v10 + (one_m_wx * wyv) * v01 +
+                 (wx * wyv) * v11;
+    s.store(dst + x);
+  }
+  for (; x < new_width; ++x) {
+    const float wx = colw[x];
+    const std::size_t x0 = static_cast<std::size_t>(col0[x]);
+    const std::size_t x1 = static_cast<std::size_t>(col1[x]);
+    const float v00 = r0[x0];
+    const float v10 = r0[x1];
+    const float v01 = r1[x0];
+    const float v11 = r1[x1];
+    dst[x] = (1 - wx) * (1 - wy) * v00 + wx * (1 - wy) * v10 +
+             (1 - wx) * wy * v01 + wx * wy * v11;
+  }
 }
 
 }  // namespace
@@ -85,6 +254,7 @@ Gradients compute_gradients(const Image& img) {
   const float* src = gray.plane(0).data();
   float* mag = g.magnitude.plane(0).data();
   float* ori = g.orientation.plane(0).data();
+  const bool vec = simd::enabled();
   parallel_rows(1, h, [&](int, int y) {
     const float* row = src + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
     const float* up = src + static_cast<std::size_t>(y > 0 ? y - 1 : 0) * static_cast<std::size_t>(w);
@@ -92,16 +262,12 @@ Gradients compute_gradients(const Image& img) {
         src + static_cast<std::size_t>(y + 1 < h ? y + 1 : h - 1) * static_cast<std::size_t>(w);
     float* mrow = mag + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
     float* orow = ori + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
-    for (int x = 0; x < w; ++x) {
-      const int xl = x > 0 ? x - 1 : 0;
-      const int xr = x + 1 < w ? x + 1 : w - 1;
-      const float gx = row[xr] - row[xl];
-      const float gy = dn[x] - up[x];
-      mrow[x] = std::sqrt(gx * gx + gy * gy);
-      float theta = std::atan2(gy, gx);  // [-pi, pi]
-      if (theta < 0.0f) theta += std::numbers::pi_v<float>;
-      if (theta >= std::numbers::pi_v<float>) theta -= std::numbers::pi_v<float>;
-      orow[x] = theta;
+    if (vec) {
+      gradient_magnitude_row<simd::F32x4>(row, up, dn, w, mrow);
+      gradient_orientation_row<simd::F32x4>(row, up, dn, w, orow);
+    } else {
+      gradient_magnitude_row<simd::F32x4Emul>(row, up, dn, w, mrow);
+      gradient_orientation_row<simd::F32x4Emul>(row, up, dn, w, orow);
     }
   });
   return g;
@@ -129,6 +295,7 @@ Image resize(const Image& img, int new_width, int new_height) {
     col1[static_cast<std::size_t>(x)] = std::clamp(x0 + 1, 0, xlim);
   }
   const int ylim = img.height() - 1;
+  const bool vec = simd::enabled();
   parallel_rows(img.channels(), new_height, [&](int c, int y) {
     const float fy = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
     const int y0 = static_cast<int>(std::floor(fy));
@@ -140,16 +307,11 @@ Image resize(const Image& img, int new_width, int new_height) {
                                 static_cast<std::size_t>(img.width());
     float* dst = out.plane(c).data() +
                  static_cast<std::size_t>(y) * static_cast<std::size_t>(new_width);
-    for (int x = 0; x < new_width; ++x) {
-      const float wx = colw[static_cast<std::size_t>(x)];
-      const std::size_t x0 = static_cast<std::size_t>(col0[static_cast<std::size_t>(x)]);
-      const std::size_t x1 = static_cast<std::size_t>(col1[static_cast<std::size_t>(x)]);
-      const float v00 = r0[x0];
-      const float v10 = r0[x1];
-      const float v01 = r1[x0];
-      const float v11 = r1[x1];
-      dst[x] = (1 - wx) * (1 - wy) * v00 + wx * (1 - wy) * v10 +
-               (1 - wx) * wy * v01 + wx * wy * v11;
+    if (vec) {
+      resize_row<simd::F32x4>(r0, r1, col0.data(), col1.data(), colw.data(), new_width, wy, dst);
+    } else {
+      resize_row<simd::F32x4Emul>(r0, r1, col0.data(), col1.data(), colw.data(), new_width, wy,
+                                  dst);
     }
   });
   return out;

@@ -3,8 +3,61 @@
 #include <algorithm>
 
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 
 namespace eecs::imaging {
+
+namespace {
+
+/// Horizontal prefix pass over rows [y0, y1): each table row y+1 gets its
+/// row's running double sum. A prefix sum is one serial chain per row, so the
+/// lanes run across ROWS — each lane owns one row's accumulator and the
+/// per-row order is untouched (bit-identical to the serial loop at any lane
+/// or thread blocking).
+template <class D2>
+void prefix_rows(const float* src, int width, std::size_t w1, double* table, std::size_t y0,
+                 std::size_t y1) {
+  std::size_t y = y0;
+  for (; y + simd::kF64Lanes <= y1; y += simd::kF64Lanes) {
+    D2 row_sum = D2::broadcast(0.0);
+    const float* in = src + y * static_cast<std::size_t>(width);
+    double* out0 = table + (y + 1) * w1 + 1;
+    double* out1 = table + (y + 2) * w1 + 1;
+    for (int x = 0; x < width; ++x) {
+      row_sum = row_sum + D2::gather2f(in + x, static_cast<std::size_t>(width));
+      out0[x] = row_sum.extract(0);
+      out1[x] = row_sum.extract(1);
+    }
+  }
+  for (; y < y1; ++y) {
+    double row_sum = 0.0;
+    const float* in = src + y * static_cast<std::size_t>(width);
+    double* out = table + (y + 1) * w1 + 1;
+    for (int x = 0; x < width; ++x) {
+      row_sum += in[x];
+      out[x] = row_sum;
+    }
+  }
+}
+
+/// Vertical accumulation over columns [x0, x1): table[y+1][x+1] +=
+/// table[y][x+1] in increasing y. Columns are independent chains, so the
+/// lanes run across columns (contiguous double loads/stores).
+template <class D2>
+void accumulate_columns(double* table, int height, std::size_t w1, std::size_t x0,
+                        std::size_t x1) {
+  for (int y = 1; y < height; ++y) {
+    double* cur = table + static_cast<std::size_t>(y + 1) * w1 + 1;
+    const double* prev = table + static_cast<std::size_t>(y) * w1 + 1;
+    std::size_t x = x0;
+    for (; x + simd::kF64Lanes <= x1; x += simd::kF64Lanes) {
+      (D2::load(cur + x) + D2::load(prev + x)).store(cur + x);
+    }
+    for (; x < x1; ++x) cur[x] += prev[x];
+  }
+}
+
+}  // namespace
 
 IntegralImage::IntegralImage(const Image& img)
     : width_(img.width()),
@@ -16,21 +69,20 @@ IntegralImage::IntegralImage(const Image& img)
   // vertical pass adds them in y order per column, so every table entry sees
   // the identical sequence of double additions as the single-threaded loop.
   const std::size_t w1 = static_cast<std::size_t>(width_ + 1);
+  const float* src = img.plane(0).data();
+  const bool vec = simd::enabled();
   common::parallel_for(static_cast<std::size_t>(height_), 64, [&](std::size_t y0, std::size_t y1) {
-    for (std::size_t y = y0; y < y1; ++y) {
-      double row_sum = 0.0;
-      for (int x = 0; x < width_; ++x) {
-        row_sum += img.at(x, static_cast<int>(y), 0);
-        table_[(y + 1) * w1 + static_cast<std::size_t>(x + 1)] = row_sum;
-      }
+    if (vec) {
+      prefix_rows<simd::F64x2>(src, width_, w1, table_.data(), y0, y1);
+    } else {
+      prefix_rows<simd::F64x2Emul>(src, width_, w1, table_.data(), y0, y1);
     }
   });
   common::parallel_for(static_cast<std::size_t>(width_), 64, [&](std::size_t x0, std::size_t x1) {
-    for (int y = 1; y < height_; ++y) {
-      for (std::size_t x = x0; x < x1; ++x) {
-        table_[static_cast<std::size_t>(y + 1) * w1 + (x + 1)] +=
-            table_[static_cast<std::size_t>(y) * w1 + (x + 1)];
-      }
+    if (vec) {
+      accumulate_columns<simd::F64x2>(table_.data(), height_, w1, x0, x1);
+    } else {
+      accumulate_columns<simd::F64x2Emul>(table_.data(), height_, w1, x0, x1);
     }
   });
 }

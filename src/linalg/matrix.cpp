@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 
 namespace eecs::linalg {
 
@@ -12,6 +13,20 @@ namespace {
 /// accumulates its entries in the same k order as the serial loop, so results
 /// are bit-identical at any thread count. Small products stay serial.
 constexpr std::size_t kRowGrain = 16;
+
+/// y[j] += a * x[j]: the matmul microkernel. Every output element is its own
+/// accumulation chain (ordered by the caller's k loop), so the lanes run
+/// across j and any blocking is bit-identical. No FMA — the pack API emits a
+/// separate multiply and add, same rounding as the scalar expression.
+template <class D2>
+void axpy_row(double a, const double* x, double* y, std::size_t n) {
+  const D2 av = D2::broadcast(a);
+  std::size_t j = 0;
+  for (; j + simd::kF64Lanes <= n; j += simd::kF64Lanes) {
+    (D2::load(y + j) + av * D2::load(x + j)).store(y + j);
+  }
+  for (; j < n; ++j) y[j] += a * x[j];
+}
 
 }  // namespace
 
@@ -130,16 +145,20 @@ Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
 Matrix operator*(const Matrix& a, const Matrix& b) {
   EECS_EXPECTS(a.cols() == b.rows());
   Matrix out(a.rows(), b.cols());
+  const std::size_t n = static_cast<std::size_t>(b.cols());
+  const bool vec = simd::enabled();
   common::parallel_for(static_cast<std::size_t>(a.rows()), kRowGrain,
                        [&](std::size_t i0, std::size_t i1) {
                          for (int i = static_cast<int>(i0); i < static_cast<int>(i1); ++i) {
-                           auto orow = out.row(i);
+                           double* orow = out.row(i).data();
                            for (int k = 0; k < a.cols(); ++k) {
                              const double aik = a(i, k);
                              if (aik == 0.0) continue;
-                             const auto brow = b.row(k);
-                             for (int j = 0; j < b.cols(); ++j) {
-                               orow[static_cast<std::size_t>(j)] += aik * brow[static_cast<std::size_t>(j)];
+                             const double* brow = b.row(k).data();
+                             if (vec) {
+                               axpy_row<simd::F64x2>(aik, brow, orow, n);
+                             } else {
+                               axpy_row<simd::F64x2Emul>(aik, brow, orow, n);
                              }
                            }
                          }
@@ -153,16 +172,20 @@ Matrix transpose_times(const Matrix& a, const Matrix& b) {
   // Output-row-major order (i outer, k inner) instead of the cache-friendlier
   // k-outer walk, so each task owns its rows; per-entry accumulation still
   // runs in increasing k, matching the serial result bit for bit.
+  const std::size_t n = static_cast<std::size_t>(b.cols());
+  const bool vec = simd::enabled();
   common::parallel_for(static_cast<std::size_t>(a.cols()), kRowGrain,
                        [&](std::size_t i0, std::size_t i1) {
                          for (int i = static_cast<int>(i0); i < static_cast<int>(i1); ++i) {
-                           auto orow = out.row(i);
+                           double* orow = out.row(i).data();
                            for (int k = 0; k < a.rows(); ++k) {
                              const double aki = a(k, i);
                              if (aki == 0.0) continue;
-                             const auto brow = b.row(k);
-                             for (int j = 0; j < b.cols(); ++j) {
-                               orow[static_cast<std::size_t>(j)] += aki * brow[static_cast<std::size_t>(j)];
+                             const double* brow = b.row(k).data();
+                             if (vec) {
+                               axpy_row<simd::F64x2>(aki, brow, orow, n);
+                             } else {
+                               axpy_row<simd::F64x2Emul>(aki, brow, orow, n);
                              }
                            }
                          }

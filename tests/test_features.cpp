@@ -9,6 +9,7 @@
 #include "features/hog.hpp"
 #include "features/keypoints.hpp"
 #include "imaging/draw.hpp"
+#include "imaging/filter.hpp"
 
 namespace eecs::features {
 namespace {
@@ -168,6 +169,55 @@ TEST(Census, EdgeProducesStructuredCodes) {
   bool any_nonzero = false;
   for (auto c : codes) any_nonzero |= (c != 0);
   EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Census, OnePixelAndOddWidthImages) {
+  // Edge clamping must hold for widths that leave 0..3 tail columns after the
+  // 4-lane interior, including the degenerate 1x1 image (all neighbors clamp
+  // to the center pixel, so every comparison fails and the code is 0).
+  for (int w : {1, 2, 3, 5, 6, 7, 9}) {
+    Image img(w, 3, 1);
+    img.fill(0.25f);
+    const auto flat = census_transform(img);
+    ASSERT_EQ(flat.size(), static_cast<std::size_t>(w) * 3);
+    for (auto c : flat) EXPECT_EQ(c, 0);
+
+    // A bright last column: its left neighbors see a brighter pixel to the
+    // right, so the (1,0) bit (value 16) must be set in column w-2.
+    if (w >= 2) {
+      Image edge(w, 3, 1);
+      edge.fill(0.25f);
+      for (int y = 0; y < 3; ++y) edge.at(w - 1, y) = 1.0f;
+      const auto codes = census_transform(edge);
+      EXPECT_NE(codes[static_cast<std::size_t>(w) + static_cast<std::size_t>(w - 2)] & 16u, 0u);
+    }
+  }
+}
+
+TEST(Hog, OddCellSizeBinsAllPixels) {
+  // cell_size 5 exercises the 1-pixel lane tail in the cell-row binning; the
+  // histogram mass of each cell equals the sum of its pixel magnitudes.
+  HogParams params;
+  params.cell_size = 5;
+  const Image img = edge_image(15, 10);
+  const auto grads = imaging::compute_gradients(img);
+  const HogGrid grid = compute_hog_grid(img, params);
+  ASSERT_EQ(grid.cells_x(), 3);
+  ASSERT_EQ(grid.cells_y(), 2);
+  for (int cy = 0; cy < grid.cells_y(); ++cy) {
+    for (int cx = 0; cx < grid.cells_x(); ++cx) {
+      double mass = 0.0;
+      for (float v : grid.cell(cx, cy)) mass += v;
+      double mag = 0.0;
+      for (int dy = 0; dy < 5; ++dy) {
+        for (int dx = 0; dx < 5; ++dx) {
+          const float m = grads.magnitude.at(cx * 5 + dx, cy * 5 + dy);
+          if (m > 0.0f) mag += m;
+        }
+      }
+      EXPECT_NEAR(mass, mag, 1e-4) << cx << "," << cy;
+    }
+  }
 }
 
 TEST(Census, WindowDescriptorNormalizedAndSized) {

@@ -166,6 +166,48 @@ TEST(Filter, BlockDownsampleAverages) {
   EXPECT_NEAR(d.at(1, 1), 0.0f, 1e-6);
 }
 
+TEST(Filter, ResizeOnePixelImageBroadcasts) {
+  Image img(1, 1, 3);
+  img.at(0, 0, 0) = 0.2f;
+  img.at(0, 0, 1) = 0.4f;
+  img.at(0, 0, 2) = 0.9f;
+  const Image r = resize(img, 7, 5);
+  for (int c = 0; c < 3; ++c) {
+    for (int y = 0; y < 5; ++y) {
+      // All four bilinear corners are the same pixel; the weighted sum can
+      // round in the last ulp, so near-equality is the contract here.
+      for (int x = 0; x < 7; ++x) EXPECT_NEAR(r.at(x, y, c), img.at(0, 0, c), 1e-6f);
+    }
+  }
+}
+
+TEST(Filter, ResizeOddWidthsInterpolateWithinRange) {
+  // Tail-lane geometries: output widths around the 4-lane boundary must stay
+  // within the convex hull of the source values (bilinear property).
+  Image img(9, 3, 1);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 9; ++x) img.at(x, y) = static_cast<float>(x) / 8.0f;
+  }
+  for (int nw : {1, 2, 3, 5, 6, 7}) {
+    const Image r = resize(img, nw, 3);
+    for (int y = 0; y < 3; ++y) {
+      for (int x = 0; x < nw; ++x) {
+        EXPECT_GE(r.at(x, y), 0.0f);
+        EXPECT_LE(r.at(x, y), 1.0f);
+      }
+    }
+    // Monotone source rows stay monotone under bilinear resampling.
+    for (int x = 1; x < nw; ++x) EXPECT_LE(r.at(x - 1, 0), r.at(x, 0));
+  }
+}
+
+TEST(Filter, GradientsOfOnePixelImageAreZero) {
+  Image img(1, 1, 1);
+  img.at(0, 0) = 0.6f;
+  const Gradients g = compute_gradients(img);
+  EXPECT_EQ(g.magnitude.at(0, 0), 0.0f);
+}
+
 TEST(Integral, RectSumMatchesBruteForce) {
   Image img(7, 5, 1);
   for (int y = 0; y < 5; ++y) {
@@ -200,6 +242,25 @@ TEST(Integral, RectMean) {
   img.fill(0.5f);
   const IntegralImage ii(img);
   EXPECT_NEAR(ii.rect_mean(0, 0, 4, 2), 0.5, 1e-9);
+}
+
+TEST(Integral, OddAndDegenerateGeometries) {
+  // Widths/heights around the 2-row lane blocking, including 1-pixel images.
+  for (int w : {1, 2, 3, 5, 17}) {
+    for (int h : {1, 2, 3, 5, 17}) {
+      Image img(w, h, 1);
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) img.at(x, y) = static_cast<float>(1 + x + y * w);
+      }
+      const IntegralImage ii(img);
+      double brute = 0.0;
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) brute += img.at(x, y);
+      }
+      EXPECT_NEAR(ii.rect_sum(0, 0, w, h), brute, 1e-9) << w << "x" << h;
+      EXPECT_NEAR(ii.rect_sum(0, 0, 1, 1), img.at(0, 0), 1e-12);
+    }
+  }
 }
 
 TEST(Draw, FillRectCoversExactPixels) {

@@ -1,17 +1,19 @@
 // Prints full-precision SimulationResult numbers for fixed configs so that
 // refactors of the closed loop can be checked for bit-identical behaviour
 // (same seeds -> same energy/detection numbers) against a saved reference —
-// and proves thread-count invariance by running every config at threads=1
-// (the exact legacy serial path) and threads=N, diffing the reports, and
-// exiting nonzero on any mismatch. Each run executes in a fresh obs session
-// and appends its deterministic metric snapshot (counters, cache hit/miss,
-// per-camera energy gauges — everything but wall-clock), so a metric that
-// diverges between widths fails the same string comparison.
+// and proves two runtime invariances by diffing %.17g reports: thread-count
+// (threads=1, the exact legacy serial path, vs threads=N) and SIMD dispatch
+// (native packs vs scalar emulation), exiting nonzero on any mismatch. Each
+// run executes in a fresh obs session and appends its deterministic metric
+// snapshot (counters, cache hit/miss, per-camera energy gauges — everything
+// but wall-clock), so a metric that diverges between modes fails the same
+// string comparison.
 #include <cstdarg>
 #include <cstdio>
 #include <string>
 
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "core/simulation.hpp"
 #include "obs/telemetry.hpp"
 
@@ -37,14 +39,17 @@ std::string metric_lines(obs::Telemetry& session) {
 
 /// Full %.17g report of every deterministic field (timings are wall-clock
 /// observability and deliberately excluded) for all fixed configs at the
-/// given parallel width.
-std::string report(const DetectorBank& bank, const OfflineKnowledge& knowledge, int threads) {
+/// given parallel width and SIMD dispatch mode (1 = native packs, 0 = scalar
+/// emulation).
+std::string report(const DetectorBank& bank, const OfflineKnowledge& knowledge, int threads,
+                   int simd) {
   std::string out;
   for (auto mode :
        {SelectionMode::AllBest, SelectionMode::SubsetOnly, SelectionMode::SubsetDowngrade}) {
     EecsSimulationConfig cfg;
     cfg.dataset = 1;
     cfg.threads = threads;
+    cfg.simd = simd;
     cfg.mode = mode;
     cfg.budget_per_frame = 3.0;
     cfg.controller.algorithms = {detect::AlgorithmId::Hog, detect::AlgorithmId::Acf};
@@ -72,6 +77,7 @@ std::string report(const DetectorBank& bank, const OfflineKnowledge& knowledge, 
   FixedComboConfig fixed;
   fixed.dataset = 1;
   fixed.threads = threads;
+  fixed.simd = simd;
   fixed.models.algorithms = {detect::AlgorithmId::Hog, detect::AlgorithmId::Acf};
   fixed.models.frames_per_item = 4;
   fixed.end_frame = 1400;
@@ -92,17 +98,30 @@ int main() {
   opts.frames_per_item = 4;
   const OfflineKnowledge knowledge = run_offline_training(bank, {1}, 42, opts);
 
-  const std::string serial = report(bank, knowledge, 1);
+  const std::string serial = report(bank, knowledge, 1, 1);
   std::fputs(serial.c_str(), stdout);
 
+  int rc = 0;
   const int wide = common::max_threads() > 1 ? common::max_threads() : 4;
-  const std::string parallel = report(bank, knowledge, wide);
+  const std::string parallel = report(bank, knowledge, wide, 1);
   if (parallel == serial) {
     std::printf("PASS: threads=1 and threads=%d reports are bit-identical\n", wide);
-    return 0;
+  } else {
+    std::printf("FAIL: threads=%d diverges from threads=1\n", wide);
+    std::fputs("---- threads=N report ----\n", stdout);
+    std::fputs(parallel.c_str(), stdout);
+    rc = 1;
   }
-  std::printf("FAIL: threads=%d diverges from threads=1\n", wide);
-  std::fputs("---- threads=N report ----\n", stdout);
-  std::fputs(parallel.c_str(), stdout);
-  return 1;
+
+  const std::string scalar = report(bank, knowledge, 1, 0);
+  if (scalar == serial) {
+    std::printf("PASS: SIMD %s and scalar-emulation reports are bit-identical\n",
+                simd::isa_name());
+  } else {
+    std::printf("FAIL: simd=0 diverges from simd=1 (backend %s)\n", simd::isa_name());
+    std::fputs("---- simd=0 report ----\n", stdout);
+    std::fputs(scalar.c_str(), stdout);
+    rc = 1;
+  }
+  return rc;
 }
