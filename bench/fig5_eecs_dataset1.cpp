@@ -108,6 +108,91 @@ std::string threading_probe(const core::DetectorBank& bank,
       speedup);
 }
 
+/// Durable-runtime probe: the Fig. 5a baseline run three ways — plain,
+/// with the full durable layer armed but fault-free (the result must stay
+/// bit-identical and the wall-clock overhead < 2%), and under a chaos fault
+/// plan (crash/reboot + blackout + ambient loss) with the degradation ladder
+/// and deadline watchdog absorbing the damage.
+std::string durability_probe(const core::DetectorBank& bank,
+                             const core::OfflineKnowledge& knowledge,
+                             std::vector<RegimeEntry>& entries) {
+  const auto base_config = [] {
+    core::EecsSimulationConfig config;
+    config.dataset = 1;
+    config.mode = core::SelectionMode::AllBest;
+    config.budget_per_frame = 3.0;
+    config.controller.algorithms = {detect::AlgorithmId::Hog, detect::AlgorithmId::Acf};
+    core::OfflineOptions models;
+    models.algorithms = config.controller.algorithms;
+    config.models = models;
+    return config;
+  };
+
+  // Chaos-off, durable layer dormant: the exact legacy configuration.
+  const auto plain = core::run_eecs_simulation(bank, knowledge, base_config());
+
+  // Chaos-off, durable layer armed: checkpoint every round, deadline
+  // watchdog on, degradation ladder enabled. Fault-free, none of it may
+  // change the result — only the snapshot writes cost anything.
+  auto durable_config = base_config();
+  durable_config.runtime.checkpoint_every_rounds = 1;
+  durable_config.runtime.checkpoint_path = "fig5_durability_probe.snap";
+  durable_config.runtime.round_deadline_gt_frames = 3.0;
+  durable_config.runtime.degradation.enabled = true;
+  const auto durable = core::run_eecs_simulation(bank, knowledge, durable_config);
+
+  // Chaos-on: camera 2 crashes and reboots mid-run, a network blackout hits
+  // an operation window, and an ambient 15% loss floor covers the test
+  // segment. Retries + liveness + the ladder keep the loop running.
+  auto chaos_config = durable_config;
+  chaos_config.faults.add_crash(2, 1600.0, 1900.0);
+  chaos_config.faults.add_blackout(2200.0, 2260.0);
+  chaos_config.faults.loss_windows.push_back({1100.0, 2950.0, 0.15, -1});
+  chaos_config.protocol.retry_jitter_fraction = 0.25;
+  const auto chaos = core::run_eecs_simulation(bank, knowledge, chaos_config);
+  std::remove(durable_config.runtime.checkpoint_path.c_str());
+
+  const bool identical = plain.total_joules() == durable.total_joules() &&
+                         plain.humans_detected == durable.humans_detected;
+  const double overhead = plain.timings.total() > 0.0
+                              ? durable.timings.total() / plain.timings.total() - 1.0
+                              : 0.0;
+  const char* regime = "Durable runtime (AllBest, budget 3.0)";
+  entries.push_back({regime, "chaos-off, runtime dormant", 3.0, plain.total_joules(),
+                     plain.humans_detected, plain.timings});
+  entries.push_back({regime, "chaos-off, checkpoint+watchdog+ladder", 3.0,
+                     durable.total_joules(), durable.humans_detected, durable.timings});
+  entries.push_back({regime, "chaos-on, crash+blackout+15% loss", 3.0, chaos.total_joules(),
+                     chaos.humans_detected, chaos.timings});
+
+  std::printf("durable-runtime probe (Fig. 5a baseline config):\n");
+  std::printf("%s\n",
+              render_table(
+                  {"Configuration", "Energy J", "Humans", "Lost msgs", "Abandoned"},
+                  {{"chaos-off, runtime dormant", to_fixed(plain.total_joules(), 1),
+                    format("%d", plain.humans_detected), format("%ld", plain.faults.messages_lost),
+                    format("%ld", plain.faults.assignments_abandoned)},
+                   {"chaos-off, durable layer armed", to_fixed(durable.total_joules(), 1),
+                    format("%d", durable.humans_detected),
+                    format("%ld", durable.faults.messages_lost),
+                    format("%ld", durable.faults.assignments_abandoned)},
+                   {"chaos-on, crash+blackout+loss", to_fixed(chaos.total_joules(), 1),
+                    format("%d", chaos.humans_detected), format("%ld", chaos.faults.messages_lost),
+                    format("%ld", chaos.faults.assignments_abandoned)}})
+                  .c_str());
+  std::printf("  fault-free result bit-identical: %s\n", identical ? "yes" : "NO");
+  std::printf("  fault-free wall-clock overhead: %.2f%%\n\n", 100.0 * overhead);
+
+  return format(
+      "{\"fault_free_bit_identical\": %s, \"fault_free_overhead_fraction\": %.4f, "
+      "\"chaos_total_joules\": %.6f, \"chaos_humans_detected\": %d, "
+      "\"chaos_messages_lost\": %ld, \"chaos_assignments_abandoned\": %ld, "
+      "\"chaos_cameras_failed\": %d, \"chaos_cameras_recovered\": %d}",
+      identical ? "true" : "false", overhead, chaos.total_joules(), chaos.humans_detected,
+      chaos.faults.messages_lost, chaos.faults.assignments_abandoned, chaos.faults.cameras_failed,
+      chaos.faults.cameras_recovered);
+}
+
 }  // namespace
 
 int main() {
@@ -132,6 +217,7 @@ int main() {
              entries);
 
   const std::string probe = threading_probe(bank, knowledge);
+  const std::string durability = durability_probe(bank, knowledge, entries);
 
   std::string json = "{\n  \"bench\": \"fig5_eecs_dataset1\",\n  \"runs\": [";
   for (std::size_t i = 0; i < entries.size(); ++i) {
@@ -142,7 +228,8 @@ int main() {
         i == 0 ? "" : ",", e.regime.c_str(), e.mode.c_str(), e.budget, e.total_joules,
         e.humans_detected, json_timings(e.timings).c_str());
   }
-  json += "\n  ],\n  \"context\": {" + json_build_context() + "},\n  \"threading_probe\": " + probe + "\n}";
+  json += "\n  ],\n  \"context\": {" + json_build_context() + "},\n  \"threading_probe\": " + probe +
+          ",\n  \"durability_probe\": " + durability + "\n}";
   write_bench_json("BENCH_fig5_eecs_dataset1.json", json);
 
   std::printf("total %.1fs\n", watch.seconds());

@@ -86,4 +86,18 @@ std::vector<int> Rng::sample_indices(int n, int k) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+Rng::State Rng::state() const {
+  State s;
+  for (std::size_t i = 0; i < 4; ++i) s.words[i] = state_[i];
+  s.have_cached_normal = have_cached_normal_;
+  s.cached_normal = cached_normal_;
+  return s;
+}
+
+void Rng::restore(const State& s) {
+  for (std::size_t i = 0; i < 4; ++i) state_[i] = s.words[i];
+  have_cached_normal_ = s.have_cached_normal;
+  cached_normal_ = s.cached_normal;
+}
+
 }  // namespace eecs

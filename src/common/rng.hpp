@@ -3,6 +3,7 @@
 // an explicit Rng so experiments are reproducible bit-for-bit across runs.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -55,6 +56,18 @@ class Rng {
   /// Derive an independent child generator; used to give each subsystem its
   /// own stream without correlation.
   Rng fork();
+
+  /// Full generator state, exposed so checkpoint/restore can serialize a
+  /// stream mid-flight (xoshiro words plus the Box-Muller spare).
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    bool have_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  [[nodiscard]] State state() const;
+  /// Resume the stream exactly where `state()` captured it: the next draw
+  /// after restore() is bit-identical to the next draw after state().
+  void restore(const State& s);
 
  private:
   std::uint64_t state_[4];

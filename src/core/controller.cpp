@@ -14,12 +14,16 @@ EecsController::EecsController(const OfflineKnowledge& knowledge, reid::ReIdenti
 void EecsController::register_camera(int camera, const linalg::Matrix& features,
                                      double budget_joules) {
   const auto match = knowledge_.match(features);
+  restore_camera(camera, match.best_index, budget_joules);
+}
+
+void EecsController::restore_camera(int camera, int matched_item, double budget_joules) {
   CameraState state;
-  state.matched_item = match.best_index;
+  state.matched_item = matched_item;
   state.budget = budget_joules;
   // Rank-ordered algorithms of the matched item, filtered to the configured
   // set and the camera's budget constraint c(A) + C_j <= B_j.
-  for (const auto& profile : knowledge_.profile(match.best_index).algorithms) {
+  for (const auto& profile : knowledge_.profile(matched_item).algorithms) {
     const bool allowed = std::find(params_.algorithms.begin(), params_.algorithms.end(),
                                    profile.id) != params_.algorithms.end();
     if (allowed && profile.total_joules_per_frame() <= budget_joules) {
@@ -27,6 +31,15 @@ void EecsController::register_camera(int camera, const linalg::Matrix& features,
     }
   }
   cameras_[camera] = std::move(state);
+}
+
+std::vector<EecsController::Registration> EecsController::registrations() const {
+  std::vector<Registration> out;
+  out.reserve(cameras_.size());
+  for (const auto& [camera, state] : cameras_) {
+    out.push_back({camera, state.matched_item, state.budget});
+  }
+  return out;
 }
 
 int EecsController::matched_item(int camera) const {
@@ -47,6 +60,16 @@ const AlgorithmProfile* EecsController::entry(int camera, detect::AlgorithmId id
     if (p.id == id) return &p;
   }
   return nullptr;
+}
+
+const AlgorithmProfile* EecsController::cheapest_entry(int camera) const {
+  const auto it = cameras_.find(camera);
+  if (it == cameras_.end() || it->second.affordable.empty()) return nullptr;
+  const AlgorithmProfile* cheapest = &it->second.affordable.front();
+  for (const auto& p : it->second.affordable) {
+    if (p.total_joules_per_frame() < cheapest->total_joules_per_frame()) cheapest = &p;
+  }
+  return cheapest;
 }
 
 EecsController::Estimate EecsController::estimate_config(

@@ -66,6 +66,21 @@ class EecsController {
   /// affordable algorithm list.
   void register_camera(int camera, const linalg::Matrix& features, double budget_joules);
 
+  /// Checkpoint restore: re-admit a camera from its saved (matched item,
+  /// budget) pair without re-running the GFK match. The affordable list is a
+  /// pure function of (knowledge, matched_item, budget, params), so this
+  /// reproduces register_camera()'s state bit-exactly.
+  void restore_camera(int camera, int matched_item, double budget_joules);
+
+  /// Checkpoint view of the registration state: one (camera, matched item,
+  /// budget) triple per registered camera, in camera order.
+  struct Registration {
+    int camera = 0;
+    int matched_item = -1;
+    double budget = 0.0;
+  };
+  [[nodiscard]] std::vector<Registration> registrations() const;
+
   /// Matched training item index for a camera (-1 if not registered).
   [[nodiscard]] int matched_item(int camera) const;
 
@@ -75,6 +90,11 @@ class EecsController {
 
   /// Affordable profile entry for a specific algorithm (nullptr otherwise).
   [[nodiscard]] const AlgorithmProfile* entry(int camera, detect::AlgorithmId id) const;
+
+  /// The cheapest affordable algorithm entry for a camera (lowest
+  /// c(A) + C_j); nullptr if nothing fits its budget. The degradation
+  /// ladder's CheapAlgorithm rung runs this instead of the assignment.
+  [[nodiscard]] const AlgorithmProfile* cheapest_entry(int camera) const;
 
   /// §IV-B.3/4 + §IV-C: full selection from assessment-phase metadata.
   /// `eligible`, when non-null, restricts the selection to that camera subset

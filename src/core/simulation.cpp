@@ -13,6 +13,10 @@
 #include "net/messages.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/deadline.hpp"
+#include "runtime/protocol.hpp"
+#include "runtime/snapshot.hpp"
 
 namespace eecs::core {
 
@@ -51,36 +55,69 @@ struct SimTelemetry {
         cameras_recovered(metrics.counter("liveness.cameras.recovered")),
         midround_reselections(metrics.counter("liveness.midround_reselections")),
         frames_skipped(metrics.counter("battery.frames_skipped")),
+        assignments_pushed(metrics.counter("protocol.assignments.pushed")),
+        assignments_acked(metrics.counter("protocol.assignments.acked")),
+        acks_late(metrics.counter("protocol.acks.late")),
+        assignments_dropped(metrics.counter("protocol.assignments.dropped")),
+        assignments_replaced(metrics.counter("protocol.assignments.replaced")),
+        assignments_pending(metrics.counter("protocol.assignments.pending_at_exit")),
+        deadline_misses(metrics.counter("runtime.deadline.misses")),
+        degradation_stepdowns(metrics.counter("runtime.degradation.stepdowns")),
+        degradation_stepups(metrics.counter("runtime.degradation.stepups")),
+        frames_parked(metrics.counter("battery.frames_parked")),
         render_s(metrics.gauge("stage.render_s", obs::Determinism::WallClock)),
         detect_s(metrics.gauge("stage.detect_s", obs::Determinism::WallClock)),
         features_s(metrics.gauge("stage.features_s", obs::Determinism::WallClock)),
         controller_s(metrics.gauge("stage.controller_s", obs::Determinism::WallClock)),
         net_s(metrics.gauge("stage.net_s", obs::Determinism::WallClock)) {
-    base_counters_ = {messages_sent.value(),      messages_lost.value(),
+    base_counters_ = {messages_sent.value(),       messages_lost.value(),
                       assignments_retried.value(), assignments_abandoned.value(),
                       registrations_lost.value(),  decode_errors.value(),
                       cameras_failed.value(),      cameras_recovered.value(),
-                      midround_reselections.value(), frames_skipped.value()};
+                      midround_reselections.value(), frames_skipped.value(),
+                      assignments_pushed.value(),  assignments_acked.value(),
+                      acks_late.value(),           assignments_dropped.value(),
+                      assignments_replaced.value(), assignments_pending.value(),
+                      deadline_misses.value(),     degradation_stepdowns.value(),
+                      degradation_stepups.value(), frames_parked.value()};
     base_gauges_ = {render_s.value(), detect_s.value(), features_s.value(),
                     controller_s.value(), net_s.value()};
   }
 
-  /// The single assignment point of the FaultCounters/StageTimings views.
-  void finalize(SimulationResult& result) const {
+  /// Registry deltas over this run so far; used by finalize() and by the
+  /// checkpoint capture (a snapshot stores the deltas at the checkpoint
+  /// instant, and a resumed run adds them back after its own finalize()).
+  [[nodiscard]] FaultCounters fault_deltas() const {
     const auto d = [](const obs::Counter& c, std::uint64_t base) {
       return static_cast<long>(c.value() - base);
     };
-    result.faults.messages_sent = d(messages_sent, base_counters_[0]);
-    result.faults.messages_lost = d(messages_lost, base_counters_[1]);
-    result.faults.assignments_retried = d(assignments_retried, base_counters_[2]);
-    result.faults.assignments_abandoned = d(assignments_abandoned, base_counters_[3]);
-    result.faults.registrations_lost = d(registrations_lost, base_counters_[4]);
-    result.faults.decode_errors = d(decode_errors, base_counters_[5]);
-    result.faults.cameras_failed = static_cast<int>(d(cameras_failed, base_counters_[6]));
-    result.faults.cameras_recovered = static_cast<int>(d(cameras_recovered, base_counters_[7]));
-    result.faults.midround_reselections =
-        static_cast<int>(d(midround_reselections, base_counters_[8]));
-    result.faults.frames_skipped_exhausted = d(frames_skipped, base_counters_[9]);
+    FaultCounters f;
+    f.messages_sent = d(messages_sent, base_counters_[0]);
+    f.messages_lost = d(messages_lost, base_counters_[1]);
+    f.assignments_retried = d(assignments_retried, base_counters_[2]);
+    f.assignments_abandoned = d(assignments_abandoned, base_counters_[3]);
+    f.registrations_lost = d(registrations_lost, base_counters_[4]);
+    f.decode_errors = d(decode_errors, base_counters_[5]);
+    f.cameras_failed = static_cast<int>(d(cameras_failed, base_counters_[6]));
+    f.cameras_recovered = static_cast<int>(d(cameras_recovered, base_counters_[7]));
+    f.midround_reselections = static_cast<int>(d(midround_reselections, base_counters_[8]));
+    f.frames_skipped_exhausted = d(frames_skipped, base_counters_[9]);
+    f.assignments_pushed = d(assignments_pushed, base_counters_[10]);
+    f.assignments_acked = d(assignments_acked, base_counters_[11]);
+    f.acks_late = d(acks_late, base_counters_[12]);
+    f.assignments_dropped = d(assignments_dropped, base_counters_[13]);
+    f.assignments_replaced = d(assignments_replaced, base_counters_[14]);
+    f.assignments_pending_at_exit = d(assignments_pending, base_counters_[15]);
+    f.deadline_misses = d(deadline_misses, base_counters_[16]);
+    f.degradation_stepdowns = d(degradation_stepdowns, base_counters_[17]);
+    f.degradation_stepups = d(degradation_stepups, base_counters_[18]);
+    f.frames_parked = d(frames_parked, base_counters_[19]);
+    return f;
+  }
+
+  /// The single assignment point of the FaultCounters/StageTimings views.
+  void finalize(SimulationResult& result) const {
+    result.faults = fault_deltas();
     result.timings.render_s = render_s.value() - base_gauges_[0];
     result.timings.detect_s = detect_s.value() - base_gauges_[1];
     result.timings.features_s = features_s.value() - base_gauges_[2];
@@ -98,6 +135,16 @@ struct SimTelemetry {
   obs::Counter& cameras_recovered;
   obs::Counter& midround_reselections;
   obs::Counter& frames_skipped;
+  obs::Counter& assignments_pushed;
+  obs::Counter& assignments_acked;
+  obs::Counter& acks_late;
+  obs::Counter& assignments_dropped;
+  obs::Counter& assignments_replaced;
+  obs::Counter& assignments_pending;
+  obs::Counter& deadline_misses;
+  obs::Counter& degradation_stepdowns;
+  obs::Counter& degradation_stepups;
+  obs::Counter& frames_parked;
   obs::Gauge& render_s;
   obs::Gauge& detect_s;
   obs::Gauge& features_s;
@@ -105,9 +152,86 @@ struct SimTelemetry {
   obs::Gauge& net_s;
 
  private:
-  std::array<std::uint64_t, 10> base_counters_{};
+  std::array<std::uint64_t, 20> base_counters_{};
   std::array<double, 5> base_gauges_{};
 };
+
+/// Fixed serialization order of the FaultCounters fields inside a snapshot's
+/// "counters" section. Append-only: new fields go at the end so snapshots
+/// from older builds (shorter vectors) still resume.
+std::vector<std::int64_t> pack_fault_counters(const FaultCounters& f) {
+  return {f.messages_sent,
+          f.messages_lost,
+          f.assignments_retried,
+          f.assignments_abandoned,
+          f.registrations_lost,
+          f.decode_errors,
+          f.cameras_failed,
+          f.cameras_recovered,
+          f.midround_reselections,
+          f.frames_skipped_exhausted,
+          f.assignments_pushed,
+          f.assignments_acked,
+          f.acks_late,
+          f.assignments_dropped,
+          f.assignments_replaced,
+          f.assignments_pending_at_exit,
+          f.deadline_misses,
+          f.degradation_stepdowns,
+          f.degradation_stepups,
+          f.frames_parked};
+}
+
+FaultCounters unpack_fault_counters(const std::vector<std::int64_t>& v) {
+  FaultCounters f;
+  const auto get = [&](std::size_t i) -> long {
+    return i < v.size() ? static_cast<long>(v[i]) : 0;
+  };
+  f.messages_sent = get(0);
+  f.messages_lost = get(1);
+  f.assignments_retried = get(2);
+  f.assignments_abandoned = get(3);
+  f.registrations_lost = get(4);
+  f.decode_errors = get(5);
+  f.cameras_failed = static_cast<int>(get(6));
+  f.cameras_recovered = static_cast<int>(get(7));
+  f.midround_reselections = static_cast<int>(get(8));
+  f.frames_skipped_exhausted = get(9);
+  f.assignments_pushed = get(10);
+  f.assignments_acked = get(11);
+  f.acks_late = get(12);
+  f.assignments_dropped = get(13);
+  f.assignments_replaced = get(14);
+  f.assignments_pending_at_exit = get(15);
+  f.deadline_misses = get(16);
+  f.degradation_stepdowns = get(17);
+  f.degradation_stepups = get(18);
+  f.frames_parked = get(19);
+  return f;
+}
+
+void add_fault_counters(FaultCounters& dst, const FaultCounters& src) {
+  dst.messages_sent += src.messages_sent;
+  dst.messages_lost += src.messages_lost;
+  dst.assignments_retried += src.assignments_retried;
+  dst.assignments_abandoned += src.assignments_abandoned;
+  dst.registrations_lost += src.registrations_lost;
+  dst.decode_errors += src.decode_errors;
+  dst.cameras_failed += src.cameras_failed;
+  dst.cameras_recovered += src.cameras_recovered;
+  dst.midround_reselections += src.midround_reselections;
+  dst.frames_skipped_exhausted += src.frames_skipped_exhausted;
+  dst.assignments_pushed += src.assignments_pushed;
+  dst.assignments_acked += src.assignments_acked;
+  dst.acks_late += src.acks_late;
+  dst.assignments_dropped += src.assignments_dropped;
+  dst.assignments_replaced += src.assignments_replaced;
+  dst.assignments_pending_at_exit += src.assignments_pending_at_exit;
+  dst.deadline_misses += src.deadline_misses;
+  dst.degradation_stepdowns += src.degradation_stepdowns;
+  dst.degradation_stepups += src.degradation_stepups;
+  dst.frames_parked += src.frames_parked;
+}
 
 /// O(1) algorithm -> detector resolution, hoisted out of the frame loops
 /// (the bank scan used to run once per (frame, camera, algorithm)).
@@ -237,14 +361,6 @@ struct CameraNode {
   std::uint32_t applied_sequence = 0;
 };
 
-/// Controller-side bookkeeping for an unacked AlgorithmAssignment.
-struct PendingAssignment {
-  std::vector<std::uint8_t> payload;
-  std::uint32_t sequence = 0;
-  int attempts = 0;
-  double next_retry = 0.0;
-};
-
 }  // namespace
 
 reid::ColorGate fit_color_gate(int dataset, std::uint64_t seed, int calibration_frames) {
@@ -305,6 +421,9 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
     net_node[static_cast<std::size_t>(c)] = network.add_node(config.uplink);
     cameras.push_back({energy::Battery(config.battery_joules)});
   }
+  // Full validation now that the node count is known (set_fault_plan could
+  // only do the node-count-free checks).
+  config.faults.validate(network.node_count());
   const auto node_camera = [&](int node) { return node - 1; };
 
   SimulationResult result;
@@ -332,13 +451,53 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
   }
   EecsController controller(knowledge, std::move(reidentifier), config.controller);
 
-  // ---- Controller-side protocol state.
-  std::vector<double> last_heard(static_cast<std::size_t>(num_cameras), 0.0);
-  std::vector<char> presumed_alive(static_cast<std::size_t>(num_cameras), 1);
+  // ---- Controller-side protocol state (runtime layer).
+  runtime::LivenessTracker liveness(num_cameras,
+                                    config.protocol.liveness_timeout_gt_frames * stride);
+  runtime::RetryPolicy retry_policy;
+  retry_policy.max_retries = config.protocol.max_assignment_retries;
+  retry_policy.jitter_fraction = config.protocol.retry_jitter_fraction;
+  retry_policy.jitter_seed = config.seed;
+  runtime::AssignmentRetryQueue retry_queue(retry_policy);
+  runtime::RoundWatchdog watchdog({config.runtime.round_deadline_gt_frames,
+                                   config.runtime.deadline_strikes_to_fail},
+                                  num_cameras);
+  runtime::DegradationLadder ladder(config.runtime.degradation, num_cameras);
   std::set<int> controller_active;
-  std::map<int, PendingAssignment> pending;
   std::uint32_t next_sequence = 0;
+  long rounds_completed = 0;
   AssessmentData assessment;
+
+  // Camera-flash fallback table for the ladder's CheapAlgorithm/SkipFrames
+  // rungs: the cheapest allowed in-budget profile of the camera's own feed
+  // (the profile data ships with the camera firmware, so no wire traffic is
+  // needed to degrade). Computed only when the ladder can engage.
+  struct FallbackEntry {
+    bool valid = false;
+    detect::AlgorithmId algorithm = detect::AlgorithmId::Hog;
+    double threshold = 0.0;
+  };
+  std::vector<FallbackEntry> fallback(static_cast<std::size_t>(num_cameras));
+  if (ladder.enabled()) {
+    for (int c = 0; c < num_cameras; ++c) {
+      const TrainingItemProfile* item = find_profile(knowledge, config.dataset, c);
+      if (item == nullptr) continue;
+      const AlgorithmProfile* cheapest = nullptr;
+      for (const auto& profile : item->algorithms) {
+        const bool allowed =
+            std::find(config.controller.algorithms.begin(), config.controller.algorithms.end(),
+                      profile.id) != config.controller.algorithms.end();
+        if (!allowed || profile.total_joules_per_frame() > config.budget_per_frame) continue;
+        if (cheapest == nullptr ||
+            profile.total_joules_per_frame() < cheapest->total_joules_per_frame()) {
+          cheapest = &profile;
+        }
+      }
+      if (cheapest != nullptr) {
+        fallback[static_cast<std::size_t>(c)] = {true, cheapest->id, cheapest->threshold};
+      }
+    }
+  }
   // Assessment samples in flight: (camera, frame, algorithm) -> (window slot,
   // full-fidelity detections). The wire carries the §V-A-sized payload for
   // loss accounting; the simulator hands the lossless sample to the
@@ -351,21 +510,25 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
 
   const auto mark_heard = [&](int camera, double time) {
     if (camera < 0 || camera >= num_cameras) return;
-    last_heard[static_cast<std::size_t>(camera)] = time;
-    if (!presumed_alive[static_cast<std::size_t>(camera)]) {
-      presumed_alive[static_cast<std::size_t>(camera)] = 1;
+    if (liveness.mark_heard(camera, time)) {
       st.cameras_recovered.inc();
       trace_instant("camera.recovered", "liveness", time,
                     {{"camera", static_cast<double>(camera)}});
     }
   };
 
-  const auto alive_set = [&]() {
-    std::set<int> alive;
-    for (int c = 0; c < num_cameras; ++c) {
-      if (presumed_alive[static_cast<std::size_t>(c)]) alive.insert(c);
+  // Selection eligibility: alive cameras minus those failed by the round
+  // watchdog and those degraded past useful detection. With the watchdog and
+  // ladder disabled (the defaults) this is exactly the legacy alive set.
+  const auto eligible_set = [&]() {
+    std::set<int> eligible = liveness.alive_set();
+    for (int camera : watchdog.failed_set()) eligible.erase(camera);
+    if (ladder.enabled()) {
+      for (int c = 0; c < num_cameras; ++c) {
+        if (ladder.rung(c) >= runtime::DegradationRung::MetadataOnly) eligible.erase(c);
+      }
     }
-    return alive;
+    return eligible;
   };
 
   const auto handle_controller_delivery = [&](const net::Network::Delivery& d) {
@@ -392,6 +555,7 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
         const auto msg = net::decode_detection_metadata(d.payload);
         if (msg.camera_id < 0 || msg.camera_id >= num_cameras) return;
         mark_heard(msg.camera_id, d.time);
+        watchdog.report(msg.camera_id, d.time);
         const auto it = in_flight.find(
             {msg.camera_id, msg.frame_index, static_cast<int>(msg.algorithm)});
         if (it != in_flight.end()) {
@@ -412,8 +576,18 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       case net::MessageType::AssignmentAck: {
         const auto msg = net::decode_assignment_ack(d.payload);
         mark_heard(msg.camera_id, d.time);
-        const auto it = pending.find(msg.camera_id);
-        if (it != pending.end() && it->second.sequence == msg.sequence) pending.erase(it);
+        switch (retry_queue.ack(msg.camera_id, msg.sequence)) {
+          case runtime::AssignmentRetryQueue::AckOutcome::Acked:
+            st.assignments_acked.inc();
+            break;
+          case runtime::AssignmentRetryQueue::AckOutcome::Late:
+            // The assignment was already closed (acked, abandoned, or
+            // dropped): count the straggler, apply nothing.
+            st.acks_late.inc();
+            break;
+          case runtime::AssignmentRetryQueue::AckOutcome::Stale:
+            break;  // Ack for a superseded sequence; the newer push retries on.
+        }
         return;
       }
       default:
@@ -488,8 +662,10 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
                     {{"camera", static_cast<double>(a.camera)},
                      {"algorithm", static_cast<double>(msg.algorithm)},
                      {"active", a.active ? 1.0 : 0.0}});
-      pending[a.camera] =
-          {std::move(payload), msg.sequence, 1, network.now() + 2.5 * stride};
+      st.assignments_pushed.inc();
+      if (retry_queue.push(a.camera, std::move(payload), msg.sequence, network.now(), stride)) {
+        st.assignments_replaced.inc();
+      }
     }
   };
 
@@ -503,53 +679,42 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
 
   const auto retry_assignments = [&]() {
     const obs::ScopedSpan span("stage.net", "stage", st.net_s, network.now());
-    for (auto it = pending.begin(); it != pending.end();) {
-      PendingAssignment& p = it->second;
-      if (network.now() < p.next_retry) {
-        ++it;
-        continue;
-      }
-      if (p.attempts > config.protocol.max_assignment_retries) {
-        // Retry budget exhausted: the camera keeps its last-known-good
-        // assignment until the next recalibration round reaches it.
-        st.assignments_abandoned.inc();
-        trace_instant("assignment.abandoned", "protocol", network.now(),
-                      {{"camera", static_cast<double>(it->first)},
-                       {"attempts", static_cast<double>(p.attempts)}});
-        it = pending.erase(it);
-        continue;
-      }
-      st.assignments_retried.inc();
-      st.messages_sent.inc();
-      trace_instant("assignment.retry", "protocol", network.now(),
-                    {{"camera", static_cast<double>(it->first)},
-                     {"attempt", static_cast<double>(p.attempts + 1)}});
-      const auto tx = network.send(0, net_node[static_cast<std::size_t>(it->first)], p.payload);
-      if (!tx.delivered) st.messages_lost.inc();
-      ++p.attempts;
-      p.next_retry = network.now() + (2.5 + p.attempts) * stride;  // Linear backoff.
-      ++it;
-    }
+    retry_queue.process_due(
+        network.now(), stride,
+        [&](int camera, const runtime::AssignmentRetryQueue::Entry& entry) {
+          st.assignments_retried.inc();
+          st.messages_sent.inc();
+          trace_instant("assignment.retry", "protocol", network.now(),
+                        {{"camera", static_cast<double>(camera)},
+                         {"attempt", static_cast<double>(entry.attempts + 1)}});
+          const auto tx =
+              network.send(0, net_node[static_cast<std::size_t>(camera)], entry.payload);
+          if (!tx.delivered) st.messages_lost.inc();
+        },
+        [&](int camera, const runtime::AssignmentRetryQueue::Entry& entry) {
+          // Retry budget exhausted: the camera keeps its last-known-good
+          // assignment until the next recalibration round reaches it.
+          st.assignments_abandoned.inc();
+          trace_instant("assignment.abandoned", "protocol", network.now(),
+                        {{"camera", static_cast<double>(camera)},
+                         {"attempts", static_cast<double>(entry.attempts)}});
+        });
   };
 
   const auto check_liveness = [&]() {
-    const double timeout = config.protocol.liveness_timeout_gt_frames * stride;
     bool lost_active_camera = false;
-    for (int c = 0; c < num_cameras; ++c) {
-      if (!presumed_alive[static_cast<std::size_t>(c)]) continue;
-      if (network.now() - last_heard[static_cast<std::size_t>(c)] <= timeout) continue;
-      presumed_alive[static_cast<std::size_t>(c)] = 0;
+    for (int c : liveness.sweep(network.now())) {
       st.cameras_failed.inc();
       trace_instant("camera.dead", "liveness", network.now(),
                     {{"camera", static_cast<double>(c)},
-                     {"last_heard", last_heard[static_cast<std::size_t>(c)]}});
-      pending.erase(c);  // Stop retrying into the void.
+                     {"last_heard", liveness.last_heard(c)}});
+      if (retry_queue.drop(c)) st.assignments_dropped.inc();  // Stop retrying into the void.
       if (controller_active.count(c) > 0) lost_active_camera = true;
     }
     if (lost_active_camera) {
       // Mid-round recovery: re-select over the surviving cameras with this
       // round's assessment data and push fresh assignments.
-      const std::set<int> alive = alive_set();
+      const std::set<int> alive = eligible_set();
       const EecsController::Selection selection = [&] {
         const obs::ScopedSpan span("stage.controller", "stage", st.controller_s, network.now());
         return controller.select(assessment, config.mode, &alive);
@@ -575,10 +740,145 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
     return sim.next_frame();
   };
 
+  // ---- Checkpoint capture: a full snapshot of the loop state, taken at a
+  // round boundary (assessment data and in-flight samples are empty there).
+  const auto config_guard = [&]() {
+    runtime::SimulationCheckpoint::ConfigGuard guard;
+    guard.dataset = config.dataset;
+    guard.seed = config.seed;
+    guard.mode = static_cast<std::int32_t>(config.mode);
+    guard.start_frame = config.start_frame;
+    guard.end_frame = config.end_frame;
+    guard.assessment_gt_frames = config.assessment_gt_frames;
+    guard.operation_gt_frames = config.operation_gt_frames;
+    guard.gt_frame_step = config.gt_frame_step;
+    guard.num_cameras = num_cameras;
+    guard.budget_per_frame = config.budget_per_frame;
+    guard.battery_joules = config.battery_joules;
+    return guard;
+  };
+
+  const auto capture_checkpoint = [&]() {
+    runtime::SimulationCheckpoint ck;
+    ck.guard = config_guard();
+    ck.frame_index = sim.frame_index();
+    ck.rounds_completed = rounds_completed;
+    ck.cpu_joules = result.cpu_joules;
+    ck.radio_joules = result.radio_joules;
+    ck.humans_detected = result.humans_detected;
+    ck.humans_present = result.humans_present;
+    ck.gt_frames_processed = result.gt_frames_processed;
+    ck.rounds.reserve(result.rounds.size());
+    for (const RoundLog& round : result.rounds) {
+      runtime::SimulationCheckpoint::RoundLogState entry;
+      entry.start_frame = round.start_frame;
+      entry.n_star = round.stats.n_star;
+      entry.p_star = round.stats.p_star;
+      entry.n_est = round.stats.n_est;
+      entry.p_est = round.stats.p_est;
+      entry.cameras_active = round.stats.cameras_active;
+      entry.summary = round.stats.summary;
+      entry.midround_recovery = round.midround_recovery ? 1 : 0;
+      ck.rounds.push_back(std::move(entry));
+    }
+    ck.fault_counters = pack_fault_counters(st.fault_deltas());
+    ck.cameras.reserve(cameras.size());
+    for (int c = 0; c < num_cameras; ++c) {
+      const CameraNode& cam = cameras[static_cast<std::size_t>(c)];
+      runtime::SimulationCheckpoint::CameraState state;
+      state.battery_residual = cam.battery.residual();
+      state.has_assignment = cam.has_assignment ? 1 : 0;
+      state.active = cam.active ? 1 : 0;
+      state.algorithm = static_cast<std::int32_t>(cam.algorithm);
+      state.threshold = cam.threshold;
+      state.applied_sequence = cam.applied_sequence;
+      state.deadline_strikes = watchdog.strikes(c);
+      state.ladder = ladder.state()[static_cast<std::size_t>(c)];
+      ck.cameras.push_back(state);
+    }
+    for (const auto& reg : controller.registrations()) {
+      ck.registrations.push_back({reg.camera, reg.matched_item, reg.budget});
+    }
+    ck.liveness = liveness.state();
+    ck.controller_active.assign(controller_active.begin(), controller_active.end());
+    for (const auto& [camera, entry] : retry_queue.entries()) {
+      ck.pending.push_back({camera, entry});
+    }
+    ck.next_sequence = next_sequence;
+    ck.network = network.export_state();
+    return ck;
+  };
+
+  FaultCounters resumed_faults{};
+  bool resumed = false;
+  if (!config.runtime.resume_from.empty()) {
+    const runtime::SimulationCheckpoint ck =
+        runtime::SimulationCheckpoint::load(config.runtime.resume_from);
+    if (!(ck.guard == config_guard())) {
+      throw runtime::SnapshotError(
+          "resume: snapshot was taken under a different simulation configuration");
+    }
+    // The scene is a pure function of (environment, seed, #advances):
+    // replaying the advances restores its RNG stream exactly.
+    sim.skip(ck.frame_index);
+    network.import_state(ck.network);
+    for (const auto& reg : ck.registrations) {
+      controller.restore_camera(reg.camera, reg.matched_item, reg.budget);
+    }
+    std::vector<int> strikes(static_cast<std::size_t>(num_cameras), 0);
+    std::vector<runtime::DegradationLadder::CameraState> ladder_state(
+        static_cast<std::size_t>(num_cameras));
+    for (int c = 0; c < num_cameras; ++c) {
+      const auto& state = ck.cameras[static_cast<std::size_t>(c)];
+      CameraNode& cam = cameras[static_cast<std::size_t>(c)];
+      cam.battery.restore_residual(state.battery_residual);
+      cam.has_assignment = state.has_assignment != 0;
+      cam.active = state.active != 0;
+      cam.algorithm = static_cast<detect::AlgorithmId>(state.algorithm);
+      cam.threshold = state.threshold;
+      cam.applied_sequence = state.applied_sequence;
+      strikes[static_cast<std::size_t>(c)] = state.deadline_strikes;
+      ladder_state[static_cast<std::size_t>(c)] = state.ladder;
+    }
+    watchdog.restore(strikes);
+    ladder.restore(ladder_state);
+    liveness.restore(ck.liveness);
+    controller_active =
+        std::set<int>(ck.controller_active.begin(), ck.controller_active.end());
+    std::map<int, runtime::AssignmentRetryQueue::Entry> pending_entries;
+    for (const auto& p : ck.pending) pending_entries[p.camera] = p.entry;
+    retry_queue.restore(std::move(pending_entries));
+    next_sequence = ck.next_sequence;
+    result.cpu_joules = ck.cpu_joules;
+    result.radio_joules = ck.radio_joules;
+    result.humans_detected = ck.humans_detected;
+    result.humans_present = ck.humans_present;
+    result.gt_frames_processed = ck.gt_frames_processed;
+    for (const auto& entry : ck.rounds) {
+      RoundLog round;
+      round.start_frame = entry.start_frame;
+      round.stats.n_star = entry.n_star;
+      round.stats.p_star = entry.p_star;
+      round.stats.n_est = entry.n_est;
+      round.stats.p_est = entry.p_est;
+      round.stats.cameras_active = entry.cameras_active;
+      round.stats.summary = entry.summary;
+      round.midround_recovery = entry.midround_recovery != 0;
+      result.rounds.push_back(std::move(round));
+    }
+    resumed_faults = unpack_fault_counters(ck.fault_counters);
+    rounds_completed = ck.rounds_completed;
+    resumed = true;
+    trace_instant("runtime.resume", "runtime", sim.frame_index(),
+                  {{"rounds_completed", static_cast<double>(rounds_completed)}});
+  }
+
   // §IV-B.1: feature upload + registration. Uses early test-segment frames.
   // The upload is retried immediately on loss (the camera sees the missing
   // link-layer ack); a camera whose upload never arrives stays unregistered
-  // and is simply never selected.
+  // and is simply never selected. A resumed run restores the registration
+  // state from the snapshot instead of re-running the upload phase.
+  if (!resumed) {
   sim.skip(config.start_frame);
   {
     std::vector<std::vector<imaging::Image>> reg_frames(static_cast<std::size_t>(num_cameras));
@@ -643,8 +943,10 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       cameras[static_cast<std::size_t>(c)].battery.drain(reg.cpu_joules + tx_joules);
     }
   }
+  }
 
   // Recalibration rounds.
+  bool stopped_early = false;
   while (sim.frame_index() + stride * config.assessment_gt_frames < config.end_frame) {
     // --- Assessment window: every camera runs every affordable algorithm on
     // the next GT frames. (Bookkeeping cost only; the paper's Fig. 5 energy
@@ -653,6 +955,18 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
     // estimates from the partial assessment data it actually received.
     assessment.clear();
     in_flight.clear();
+    // Per-round message tallies for fault-storm detection, and the round
+    // deadline: cameras owing assessment metadata must land it before
+    // `deadline_gt_frames` ground-truth frames elapse.
+    const std::uint64_t round_sent_base = st.messages_sent.value();
+    const std::uint64_t round_lost_base = st.messages_lost.value();
+    if (watchdog.enabled()) {
+      std::set<int> expected;
+      for (int c : eligible_set()) {
+        if (controller.best_entry(c) != nullptr) expected.insert(c);
+      }
+      watchdog.arm(sim.frame_index(), stride, expected);
+    }
     for (int f = 0; f < config.assessment_gt_frames; ++f) {
       pump_network(sim.frame_index() + 0.5);
       const video::MultiViewFrame frame = next_frame_timed();
@@ -670,7 +984,12 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       std::vector<char> camera_up(static_cast<std::size_t>(num_cameras), 0);
       for (int c = 0; c < num_cameras; ++c) {
         if (camera_down(c)) continue;
+        const runtime::DegradationRung rung = ladder.rung(c);
+        if (rung == runtime::DegradationRung::Parked) continue;  // Radio dark.
         camera_up[static_cast<std::size_t>(c)] = 1;
+        // MetadataOnly and deeper: heartbeats keep liveness, but the camera
+        // spends nothing on assessment detection.
+        if (rung >= runtime::DegradationRung::MetadataOnly) continue;
         for (detect::AlgorithmId alg : config.controller.algorithms) {
           const AlgorithmProfile* profile = controller.entry(c, alg);
           if (profile == nullptr) continue;  // Over budget or not ranked.
@@ -728,7 +1047,51 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
     // sent by frame t is delivered well before t + stride).
     pump_network(sim.frame_index());
 
-    const std::set<int> alive = alive_set();
+    // Close the round at the watchdog: cameras whose assessment metadata
+    // never landed inside the deadline take a strike; enough strikes fail
+    // them out of the selection below and the round closes with the
+    // surviving coverage.
+    std::set<int> missed_this_round;
+    for (const runtime::RoundWatchdog::Miss& miss : watchdog.close()) {
+      missed_this_round.insert(miss.camera);
+      st.deadline_misses.inc();
+      trace_instant("deadline.miss", "runtime", sim.frame_index(),
+                    {{"camera", static_cast<double>(miss.camera)},
+                     {"strikes", static_cast<double>(miss.strikes)},
+                     {"failed", miss.failed ? 1.0 : 0.0}});
+    }
+    if (ladder.enabled()) {
+      // Fault storm: a large fraction of this round's offered messages were
+      // lost (both tallies are deterministic, so the flag is too).
+      const auto& policy = config.runtime.degradation;
+      const long round_sent =
+          static_cast<long>(st.messages_sent.value()) - static_cast<long>(round_sent_base);
+      const long round_lost =
+          static_cast<long>(st.messages_lost.value()) - static_cast<long>(round_lost_base);
+      const bool storm = round_sent >= policy.storm_min_messages &&
+                         static_cast<double>(round_lost) >=
+                             policy.storm_loss_ratio * static_cast<double>(round_sent);
+      for (int c = 0; c < num_cameras; ++c) {
+        const energy::Battery& battery = cameras[static_cast<std::size_t>(c)].battery;
+        const double fraction =
+            battery.capacity() > 0.0 ? battery.residual() / battery.capacity() : 0.0;
+        for (const runtime::DegradationLadder::Transition& t :
+             ladder.on_round(c, fraction, missed_this_round.count(c) > 0, storm)) {
+          if (t.to > t.from) {
+            st.degradation_stepdowns.inc();
+          } else {
+            st.degradation_stepups.inc();
+          }
+          trace_instant("degradation.step", "runtime", sim.frame_index(),
+                        {{"camera", static_cast<double>(c)},
+                         {"from", static_cast<double>(t.from)},
+                         {"to", static_cast<double>(t.to)},
+                         {"trigger", static_cast<double>(t.trigger)}});
+        }
+      }
+    }
+
+    const std::set<int> alive = eligible_set();
     const EecsController::Selection selection = [&] {
       const obs::ScopedSpan span("stage.controller", "stage", st.controller_s, sim.frame_index());
       return controller.select(assessment, config.mode, &alive);
@@ -765,6 +1128,14 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       // accounting sequentially in camera order.
       enum class Act : char { Silent, HeartbeatOnly, Process };
       std::vector<Act> acts(static_cast<std::size_t>(num_cameras), Act::Silent);
+      // The detector/threshold a processing camera actually runs this frame:
+      // its controller assignment, or the camera-local fallback entry when the
+      // ladder has pushed it to CheapAlgorithm or deeper.
+      struct Effective {
+        detect::AlgorithmId algorithm = detect::AlgorithmId::Hog;
+        double threshold = 0.0;
+      };
+      std::vector<Effective> effective(static_cast<std::size_t>(num_cameras));
       std::vector<int> processing;
       for (int c = 0; c < num_cameras; ++c) {
         CameraNode& cam = cameras[static_cast<std::size_t>(c)];
@@ -774,7 +1145,23 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
           continue;
         }
         if (network.node_down(net_node[static_cast<std::size_t>(c)])) continue;
-        if (cam.has_assignment && cam.active) {
+        const runtime::DegradationRung rung = ladder.rung(c);
+        if (rung == runtime::DegradationRung::Parked) {
+          // Deepest rung: radio and detector both off until recovery.
+          st.frames_parked.inc();
+          continue;
+        }
+        effective[static_cast<std::size_t>(c)] = {cam.algorithm, cam.threshold};
+        if (rung >= runtime::DegradationRung::CheapAlgorithm &&
+            fallback[static_cast<std::size_t>(c)].valid) {
+          effective[static_cast<std::size_t>(c)] = {fallback[static_cast<std::size_t>(c)].algorithm,
+                                                    fallback[static_cast<std::size_t>(c)].threshold};
+        }
+        // SkipFrames halves the duty cycle: odd GT slots become heartbeats.
+        const bool skip_slot = rung == runtime::DegradationRung::SkipFrames &&
+                               ((frame.index / stride) & 1) != 0;
+        if (cam.has_assignment && cam.active &&
+            rung < runtime::DegradationRung::MetadataOnly && !skip_slot) {
           acts[static_cast<std::size_t>(c)] = Act::Process;
           processing.push_back(c);
         } else {
@@ -786,8 +1173,8 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
         const obs::ScopedSpan span("stage.detect", "stage", st.detect_s, frame.index);
         outcomes = common::parallel_map<FrameOutcome>(processing.size(), [&](std::size_t i) {
           const int c = processing[i];
-          const CameraNode& cam = cameras[static_cast<std::size_t>(c)];
-          return process_camera_frame(detector_of(cam.algorithm), cam.threshold, c,
+          const Effective& eff = effective[static_cast<std::size_t>(c)];
+          return process_camera_frame(detector_of(eff.algorithm), eff.threshold, c,
                                       frame.views[static_cast<std::size_t>(c)], config.models);
         });
       }
@@ -804,8 +1191,8 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
         CameraNode& cam = cameras[static_cast<std::size_t>(c)];
         const FrameOutcome& outcome = outcomes[next_outcome++];
 
-        const net::DetectionMetadataMsg msg =
-            make_metadata_msg(c, frame.index, cam.algorithm, outcome);
+        const net::DetectionMetadataMsg msg = make_metadata_msg(
+            c, frame.index, effective[static_cast<std::size_t>(c)].algorithm, outcome);
         st.messages_sent.inc();
         const auto tx = network.send(net_node[static_cast<std::size_t>(c)], 0, encode(msg));
         // JPEG crops of the detected objects ride along (charged per byte).
@@ -839,12 +1226,40 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       }
       sim.skip(stride - 1);
     }
+    ++rounds_completed;
+    // Round boundary: snapshot every K completed rounds, then honour a
+    // simulated-crash stop. Nothing runs between here and the top of the
+    // next iteration, so a resumed run re-enters the loop at exactly this
+    // program point.
+    if (config.runtime.checkpoint_every_rounds > 0 &&
+        rounds_completed % config.runtime.checkpoint_every_rounds == 0 &&
+        !config.runtime.checkpoint_path.empty()) {
+      capture_checkpoint().save(config.runtime.checkpoint_path);
+      trace_instant("runtime.checkpoint", "runtime", sim.frame_index(),
+                    {{"rounds_completed", static_cast<double>(rounds_completed)}});
+    }
+    if (config.runtime.stop_after_rounds > 0 &&
+        rounds_completed >= config.runtime.stop_after_rounds) {
+      stopped_early = true;
+      break;
+    }
   }
 
+  if (stopped_early) {
+    trace_instant("runtime.stop", "runtime", sim.frame_index(),
+                  {{"rounds_completed", static_cast<double>(rounds_completed)}});
+  }
+  // Assignments still awaiting an ack close the accounting identity:
+  // pushed == acked + abandoned + dropped + replaced + pending_at_exit.
+  st.assignments_pending.inc(static_cast<std::uint64_t>(retry_queue.size()));
   // Receiver-side drops count as lost protocol messages, exactly like the
-  // legacy `faults.messages_lost += rx_dropped` accounting.
+  // legacy `faults.messages_lost += rx_dropped` accounting. On a resumed run
+  // the restored network state carries the full rx_dropped tally, so this
+  // single end-of-run increment never double counts (checkpoint counter
+  // deltas exclude it by construction).
   st.messages_lost.inc(network.rx_dropped());
   st.finalize(result);
+  if (resumed) add_fault_counters(result.faults, resumed_faults);
   result.battery_residual.reserve(static_cast<std::size_t>(num_cameras));
   for (const auto& cam : cameras) result.battery_residual.push_back(cam.battery.residual());
   return result;

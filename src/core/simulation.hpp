@@ -13,9 +13,12 @@
 // fire-and-forget loop.
 #pragma once
 
+#include <string>
+
 #include "core/controller.hpp"
 #include "net/fault.hpp"
 #include "net/network.hpp"
+#include "runtime/degradation.hpp"
 
 namespace eecs::core {
 
@@ -28,6 +31,34 @@ struct ProtocolOptions {
   int registration_retries = 3;
   /// Ground-truth frames of silence before a camera is presumed dead.
   double liveness_timeout_gt_frames = 2.5;
+  /// Deterministic jitter on the assignment retry backoff (see
+  /// runtime::RetryPolicy); 0 keeps the exact legacy schedule.
+  double retry_jitter_fraction = 0.0;
+};
+
+/// Durable-runtime knobs: round deadlines, graceful degradation, and
+/// checkpoint/resume. Every default is "off" and leaves the simulation
+/// bit-identical to a build without the runtime layer.
+struct RuntimeOptions {
+  /// Virtual-time budget per recalibration round, in ground-truth frames;
+  /// cameras whose assessment metadata misses it take a strike and enough
+  /// strikes fail them out of selection (like a heartbeat loss). 0 disables.
+  double round_deadline_gt_frames = 0.0;
+  int deadline_strikes_to_fail = 2;
+  /// Graceful-degradation ladder (disabled by default).
+  runtime::DegradationPolicy degradation;
+  /// Write a snapshot to `checkpoint_path` every K completed rounds
+  /// (captured at the round boundary, before the assessment window). 0
+  /// disables checkpointing.
+  int checkpoint_every_rounds = 0;
+  std::string checkpoint_path;
+  /// Resume from a snapshot written by a previous run with an identical
+  /// configuration; the registration phase is skipped and the result is
+  /// bit-identical to the uninterrupted run. Empty = start fresh.
+  std::string resume_from;
+  /// Stop (simulated crash) once this many rounds completed; 0 = run to the
+  /// end. The partial result covers only the rounds actually run.
+  long stop_after_rounds = 0;
 };
 
 struct EecsSimulationConfig {
@@ -71,6 +102,7 @@ struct EecsSimulationConfig {
   /// network node c + 1 (node 0 is the controller).
   net::FaultPlan faults;
   ProtocolOptions protocol;
+  RuntimeOptions runtime;
 };
 
 struct RoundLog {
@@ -98,6 +130,22 @@ struct FaultCounters {
   int cameras_recovered = 0;       ///< Heard from again after being presumed dead.
   int midround_reselections = 0;
   long frames_skipped_exhausted = 0;  ///< Camera-frames skipped on empty battery.
+
+  // Durable-runtime accounting. Every pushed assignment ends in exactly one
+  // of {acked, abandoned, dropped, replaced} or is still pending at exit:
+  //   pushed == acked + abandoned + dropped + replaced + pending_at_exit
+  // (the chaos harness asserts this "no lost-forever assignments" identity).
+  long assignments_pushed = 0;
+  long assignments_acked = 0;
+  long acks_late = 0;             ///< Ack arrived after the entry was closed;
+                                  ///< counted here, never re-applied.
+  long assignments_dropped = 0;   ///< Camera presumed dead; retries stopped.
+  long assignments_replaced = 0;  ///< Superseded by a newer push while unacked.
+  long assignments_pending_at_exit = 0;
+  long deadline_misses = 0;          ///< Round-watchdog misses (per camera-round).
+  long degradation_stepdowns = 0;    ///< Ladder transitions to a deeper rung.
+  long degradation_stepups = 0;      ///< Recovery transitions back up.
+  long frames_parked = 0;            ///< Camera-frames spent at the Parked rung.
 };
 
 /// Wall-clock seconds per pipeline stage, for bench observability only.

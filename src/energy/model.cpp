@@ -14,6 +14,11 @@ double Battery::drain(double joules) {
   return drained;
 }
 
+void Battery::restore_residual(double joules) {
+  residual_ = std::clamp(joules, 0.0, capacity_);
+  if (residual_gauge_ != nullptr) residual_gauge_->set(residual_);
+}
+
 void Battery::bind_residual_gauge(obs::Gauge* gauge) {
   residual_gauge_ = gauge;
   if (residual_gauge_ != nullptr) residual_gauge_->set(residual_);

@@ -66,6 +66,10 @@ class Battery {
   /// Drain energy; clamps at empty and returns the amount actually drained.
   double drain(double joules);
 
+  /// Checkpoint restore: set the residual charge directly (clamped to
+  /// [0, capacity]) and republish any bound gauge.
+  void restore_residual(double joules);
+
   /// Mirror the residual charge into a telemetry gauge: published immediately
   /// and after every drain. Pass nullptr to unbind. The battery does not own
   /// the gauge; the binder must keep its registry alive.

@@ -1,8 +1,58 @@
 #include "net/fault.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 namespace eecs::net {
+
+namespace {
+
+void reject(const std::string& what) { throw FaultPlan::ValidationError("FaultPlan: " + what); }
+
+void check_window(double start, double end, const char* kind) {
+  if (!(std::isfinite(start) && std::isfinite(end))) {
+    reject(std::string(kind) + " window bounds must be finite");
+  }
+  if (start < 0.0) reject(std::string(kind) + " window starts at a negative time");
+  if (end <= start) reject(std::string(kind) + " window is empty or inverted (end <= start)");
+}
+
+}  // namespace
+
+void FaultPlan::validate(int node_count) const {
+  const auto check_node = [&](int node, int min_id, const char* kind) {
+    if (node < min_id) reject(std::string(kind) + " references node id below " + std::to_string(min_id));
+    if (node_count >= 0 && node >= node_count) {
+      reject(std::string(kind) + " references node " + std::to_string(node) + " but only " +
+             std::to_string(node_count) + " nodes exist");
+    }
+  };
+  if (!(uplink_loss >= 0.0 && uplink_loss <= 1.0)) reject("uplink_loss outside [0, 1]");
+  if (!(downlink_loss >= 0.0 && downlink_loss <= 1.0)) reject("downlink_loss outside [0, 1]");
+  for (const auto& w : loss_windows) {
+    check_window(w.start, w.end, "loss");
+    if (!(w.loss_probability >= 0.0 && w.loss_probability <= 1.0)) {
+      reject("loss window probability outside [0, 1]");
+    }
+    check_node(w.node, -1, "loss window");
+  }
+  for (const auto& w : crashes) {
+    check_window(w.start, w.end, "crash");
+    check_node(w.node, 0, "crash window");
+  }
+  // Two crash windows of one node must not overlap: [s1, e1) and [s2, e2)
+  // with s1 <= s2 < e1 leave the reboot instant ambiguous.
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    for (std::size_t j = i + 1; j < crashes.size(); ++j) {
+      const CrashWindow& a = crashes[i];
+      const CrashWindow& b = crashes[j];
+      if (a.node == b.node && a.start < b.end && b.start < a.end) {
+        reject("overlapping crash windows for node " + std::to_string(a.node));
+      }
+    }
+  }
+}
 
 bool FaultPlan::node_down(int node, double time) const {
   return std::any_of(crashes.begin(), crashes.end(), [&](const CrashWindow& w) {

@@ -7,6 +7,7 @@
 // random processes, so a faulted run is reproducible from (plan, seed).
 #pragma once
 
+#include <stdexcept>
 #include <vector>
 
 namespace eecs::net {
@@ -31,6 +32,16 @@ struct CrashWindow {
 };
 
 struct FaultPlan {
+  /// Typed rejection of a malformed plan (negative/inverted windows, loss
+  /// probabilities outside [0, 1], out-of-range node ids, overlapping crash
+  /// windows for one node). Thrown by validate(); Network::set_fault_plan
+  /// validates what it can before installing a plan, so a bad schedule fails
+  /// loudly at construction instead of silently misbehaving mid-run.
+  class ValidationError : public std::runtime_error {
+   public:
+    using std::runtime_error::runtime_error;
+  };
+
   /// Extra loss applied to every camera -> controller send (node 0 is the
   /// controller by convention) on top of the link's own loss_probability.
   double uplink_loss = 0.0;
@@ -58,6 +69,15 @@ struct FaultPlan {
 
   /// Convenience: crash `node` at `start`, rebooting at `end`.
   void add_crash(int node, double start, double end) { crashes.push_back({node, start, end}); }
+
+  /// Throws ValidationError unless the plan is well-formed: direction losses
+  /// and window probabilities in [0, 1], every window with 0 <= start < end,
+  /// node ids >= -1 (loss) / >= 0 (crash), and no two crash windows of the
+  /// same node overlapping (a doubly-crashed node has no defined reboot
+  /// instant). Overlapping *loss* windows stay legal — they compose as
+  /// independent loss sources (see loss_probability()). When `node_count`
+  /// is >= 0 it also bounds every referenced node id.
+  void validate(int node_count = -1) const;
 };
 
 }  // namespace eecs::net

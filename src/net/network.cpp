@@ -112,4 +112,39 @@ std::uint64_t Network::bytes_sent(int node) const {
   return node_bytes_[static_cast<std::size_t>(node)];
 }
 
+Network::State Network::export_state() const {
+  State state;
+  state.now = now_;
+  state.sequence = sequence_;
+  state.rx_dropped = rx_dropped_;
+  state.rng = rng_.state();
+  state.node_radio_joules = node_radio_joules_;
+  state.node_bytes = node_bytes_;
+  // priority_queue has no iteration; drain a copy. Entries come out in
+  // delivery order, which import_state re-heapifies identically.
+  auto queue_copy = queue_;
+  state.queue.reserve(queue_copy.size());
+  while (!queue_copy.empty()) {
+    const PendingDelivery& p = queue_copy.top();
+    state.queue.push_back({p.time, p.sequence, p.from_node, p.to_node, p.payload});
+    queue_copy.pop();
+  }
+  return state;
+}
+
+void Network::import_state(State state) {
+  EECS_EXPECTS(state.node_radio_joules.size() == node_radio_joules_.size());
+  EECS_EXPECTS(state.node_bytes.size() == node_bytes_.size());
+  now_ = state.now;
+  sequence_ = state.sequence;
+  rx_dropped_ = state.rx_dropped;
+  rng_.restore(state.rng);
+  node_radio_joules_ = std::move(state.node_radio_joules);
+  node_bytes_ = std::move(state.node_bytes);
+  queue_ = {};
+  for (QueuedMessage& m : state.queue) {
+    queue_.push({m.time, m.sequence, m.from_node, m.to_node, std::move(m.payload)});
+  }
+}
+
 }  // namespace eecs::net

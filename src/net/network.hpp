@@ -50,8 +50,14 @@ class Network {
   int add_node(const LinkQuality& link);
 
   /// Install a fault-injection schedule. An empty plan (the default) leaves
-  /// behaviour bit-identical to a network without the fault layer.
-  void set_fault_plan(FaultPlan plan) { faults_ = std::move(plan); }
+  /// behaviour bit-identical to a network without the fault layer. The plan
+  /// is validated on installation (FaultPlan::ValidationError on a malformed
+  /// schedule); node ids are range-checked lazily because nodes may be added
+  /// after the plan — call fault_plan().validate(node_count()) for that.
+  void set_fault_plan(FaultPlan plan) {
+    plan.validate();
+    faults_ = std::move(plan);
+  }
   [[nodiscard]] const FaultPlan& fault_plan() const { return faults_; }
 
   /// True when `node` is crashed at the current clock.
@@ -86,6 +92,35 @@ class Network {
   [[nodiscard]] std::uint64_t bytes_sent(int node) const;
   /// Messages dropped at the receiver because it was crashed at delivery time.
   [[nodiscard]] std::uint64_t rx_dropped() const { return rx_dropped_; }
+
+  /// A message accepted for delivery but not yet delivered (checkpoint view
+  /// of the event queue).
+  struct QueuedMessage {
+    double time = 0.0;
+    std::uint64_t sequence = 0;
+    int from_node = 0;
+    int to_node = 0;
+    std::vector<std::uint8_t> payload;
+  };
+
+  /// Full dynamic state for checkpoint/restore: clock, send sequence, RNG
+  /// stream, per-node energy/byte tallies, receiver-drop count, and the
+  /// undelivered event queue. Links and the fault plan are configuration,
+  /// not state — a restored network must be built with the same ones.
+  struct State {
+    double now = 0.0;
+    std::uint64_t sequence = 0;
+    std::uint64_t rx_dropped = 0;
+    Rng::State rng;
+    std::vector<double> node_radio_joules;
+    std::vector<std::uint64_t> node_bytes;
+    std::vector<QueuedMessage> queue;
+  };
+  [[nodiscard]] State export_state() const;
+  /// Restores export_state()'s capture; requires the same node topology
+  /// (node counts must match). Subsequent sends/deliveries are bit-identical
+  /// to a network that never went through the save/restore cycle.
+  void import_state(State state);
 
  private:
   struct PendingDelivery {

@@ -1,0 +1,51 @@
+#include "runtime/chaos.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace eecs::runtime {
+
+ChaosScenario make_chaos_scenario(std::uint64_t seed, int scene, int num_cameras,
+                                  double fault_start, double fault_end, long total_rounds,
+                                  const ChaosProfile& profile) {
+  EECS_EXPECTS(num_cameras > 0 && fault_end > fault_start);
+  Rng rng(seed ^ (0x6368616F73ULL * (static_cast<std::uint64_t>(scene) + 1)));  // "chaos"
+  ChaosScenario scenario;
+
+  scenario.faults.uplink_loss = rng.uniform(0.0, profile.max_uplink_loss);
+  scenario.faults.downlink_loss = rng.uniform(0.0, profile.max_downlink_loss);
+
+  // Crash windows are placed one per disjoint time slot, so windows of the
+  // same node can never overlap (FaultPlan::validate rejects that).
+  if (profile.crashes > 0) {
+    const double slot = (fault_end - fault_start) / static_cast<double>(profile.crashes);
+    for (int i = 0; i < profile.crashes; ++i) {
+      const double slot_start = fault_start + slot * static_cast<double>(i);
+      const double length = std::min(
+          rng.uniform(profile.crash_min_frames, profile.crash_max_frames), slot - 1.0);
+      if (length <= 0.0) continue;
+      const double start = rng.uniform(slot_start, slot_start + slot - length);
+      const int camera = rng.uniform_int(0, num_cameras - 1);
+      scenario.faults.add_crash(camera + 1, start, start + length);  // Node c+1.
+    }
+  }
+
+  for (int i = 0; i < profile.blackouts; ++i) {
+    const double length =
+        rng.uniform(profile.blackout_min_frames, profile.blackout_max_frames);
+    const double start = rng.uniform(fault_start, std::max(fault_start + 1.0, fault_end - length));
+    scenario.faults.add_blackout(start, start + length);
+  }
+
+  scenario.round_deadline_gt_frames =
+      rng.uniform(profile.deadline_min_gt_frames, profile.deadline_max_gt_frames);
+  scenario.kill_after_rounds =
+      std::max<long>(1, rng.uniform_int(1, static_cast<int>(std::max<long>(1, total_rounds))));
+
+  scenario.faults.validate(num_cameras + 1);
+  return scenario;
+}
+
+}  // namespace eecs::runtime

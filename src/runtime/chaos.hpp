@@ -1,0 +1,46 @@
+// Seeded chaos-scenario generation for the soak harness. A scenario is an
+// ordinary FaultPlan (crash windows, blackout storms, direction loss) plus
+// durable-runtime pressure knobs (tight round deadlines, a crash/resume
+// round), all derived deterministically from a single seed so any soak
+// failure reproduces from its (seed, scene) pair alone.
+#pragma once
+
+#include <cstdint>
+
+#include "net/fault.hpp"
+
+namespace eecs::runtime {
+
+/// Fault-intensity envelope for one generated scenario. Times are video
+/// frame indices (the network clock), matching FaultPlan conventions.
+struct ChaosProfile {
+  int crashes = 2;                    ///< Camera crash/reboot cycles.
+  double crash_min_frames = 60.0;
+  double crash_max_frames = 240.0;
+  int blackouts = 1;                  ///< Total-loss windows over all links.
+  double blackout_min_frames = 20.0;
+  double blackout_max_frames = 80.0;
+  double max_uplink_loss = 0.15;      ///< Steady camera->controller loss.
+  double max_downlink_loss = 0.10;    ///< Steady controller->camera loss.
+  double deadline_min_gt_frames = 3.0;  ///< Round-deadline pressure range.
+  double deadline_max_gt_frames = 6.0;
+};
+
+/// One generated scenario.
+struct ChaosScenario {
+  net::FaultPlan faults;
+  double round_deadline_gt_frames = 0.0;
+  /// Round boundary at which the soak kills the run (checkpoint + stop) and
+  /// resumes from the snapshot; at least 1.
+  long kill_after_rounds = 1;
+};
+
+/// Deterministically derive a scenario from (seed, scene index). The faulted
+/// span [fault_start, fault_end) bounds every generated window; the plan is
+/// validated before it is returned.
+[[nodiscard]] ChaosScenario make_chaos_scenario(std::uint64_t seed, int scene, int num_cameras,
+                                                double fault_start, double fault_end,
+                                                long total_rounds,
+                                                const ChaosProfile& profile = {});
+
+}  // namespace eecs::runtime

@@ -1,0 +1,299 @@
+#include "runtime/checkpoint.hpp"
+
+#include "runtime/snapshot.hpp"
+
+namespace eecs::runtime {
+
+namespace {
+
+void write_payload(ByteWriter& w, const std::vector<std::uint8_t>& payload) {
+  w.write_u32(static_cast<std::uint32_t>(payload.size()));
+  w.write_bytes(payload);
+}
+
+std::vector<std::uint8_t> read_payload(ByteReader& r) {
+  const std::uint32_t n = r.read_u32();
+  if (n > r.remaining()) throw SnapshotError("checkpoint: payload length exceeds section");
+  std::vector<std::uint8_t> payload(n);
+  for (std::uint32_t i = 0; i < n; ++i) payload[i] = r.read_u8();
+  return payload;
+}
+
+/// Bounded element count for a variable-length array: each element needs at
+/// least `min_bytes`, so a corrupt count cannot force a huge allocation.
+std::uint32_t read_count(ByteReader& r, std::size_t min_bytes) {
+  const std::uint32_t n = r.read_u32();
+  if (min_bytes > 0 && static_cast<std::size_t>(n) * min_bytes > r.remaining()) {
+    throw SnapshotError("checkpoint: element count exceeds section size");
+  }
+  return n;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SimulationCheckpoint::encode() const {
+  SnapshotWriter snapshot;
+
+  ByteWriter& cfg = snapshot.section("config");
+  cfg.write_i32(guard.dataset);
+  cfg.write_u64(guard.seed);
+  cfg.write_i32(guard.mode);
+  cfg.write_i32(guard.start_frame);
+  cfg.write_i32(guard.end_frame);
+  cfg.write_i32(guard.assessment_gt_frames);
+  cfg.write_i32(guard.operation_gt_frames);
+  cfg.write_i32(guard.gt_frame_step);
+  cfg.write_i32(guard.num_cameras);
+  cfg.write_f64(guard.budget_per_frame);
+  cfg.write_f64(guard.battery_joules);
+
+  ByteWriter& progress = snapshot.section("progress");
+  progress.write_i32(frame_index);
+  progress.write_u64(static_cast<std::uint64_t>(rounds_completed));
+  progress.write_f64(cpu_joules);
+  progress.write_f64(radio_joules);
+  progress.write_i32(humans_detected);
+  progress.write_i32(humans_present);
+  progress.write_i32(gt_frames_processed);
+
+  ByteWriter& rounds_w = snapshot.section("rounds");
+  rounds_w.write_u32(static_cast<std::uint32_t>(rounds.size()));
+  for (const RoundLogState& round : rounds) {
+    rounds_w.write_i32(round.start_frame);
+    rounds_w.write_f64(round.n_star);
+    rounds_w.write_f64(round.p_star);
+    rounds_w.write_f64(round.n_est);
+    rounds_w.write_f64(round.p_est);
+    rounds_w.write_i32(round.cameras_active);
+    rounds_w.write_string(round.summary);
+    rounds_w.write_u8(round.midround_recovery);
+  }
+
+  ByteWriter& counters = snapshot.section("counters");
+  counters.write_u32(static_cast<std::uint32_t>(fault_counters.size()));
+  for (std::int64_t v : fault_counters) counters.write_u64(static_cast<std::uint64_t>(v));
+
+  ByteWriter& cams = snapshot.section("cameras");
+  cams.write_u32(static_cast<std::uint32_t>(cameras.size()));
+  for (const CameraState& cam : cameras) {
+    cams.write_f64(cam.battery_residual);
+    cams.write_u8(cam.has_assignment);
+    cams.write_u8(cam.active);
+    cams.write_i32(cam.algorithm);
+    cams.write_f64(cam.threshold);
+    cams.write_u32(cam.applied_sequence);
+    cams.write_i32(cam.deadline_strikes);
+    cams.write_i32(cam.ladder.battery_floor);
+    cams.write_i32(cam.ladder.stress_rung);
+    cams.write_i32(cam.ladder.clean_rounds);
+  }
+
+  ByteWriter& regs = snapshot.section("registrations");
+  regs.write_u32(static_cast<std::uint32_t>(registrations.size()));
+  for (const Registration& reg : registrations) {
+    regs.write_i32(reg.camera);
+    regs.write_i32(reg.matched_item);
+    regs.write_f64(reg.budget);
+  }
+
+  ByteWriter& live = snapshot.section("liveness");
+  live.write_f64_vector(liveness.last_heard);
+  live.write_u32(static_cast<std::uint32_t>(liveness.presumed_alive.size()));
+  for (std::uint8_t alive : liveness.presumed_alive) live.write_u8(alive);
+  live.write_u32(static_cast<std::uint32_t>(controller_active.size()));
+  for (std::int32_t camera : controller_active) live.write_i32(camera);
+
+  ByteWriter& pend = snapshot.section("pending");
+  pend.write_u32(next_sequence);
+  pend.write_u32(static_cast<std::uint32_t>(pending.size()));
+  for (const PendingEntry& p : pending) {
+    pend.write_i32(p.camera);
+    pend.write_u32(p.entry.sequence);
+    pend.write_i32(p.entry.attempts);
+    pend.write_f64(p.entry.next_retry);
+    write_payload(pend, p.entry.payload);
+  }
+
+  ByteWriter& net_w = snapshot.section("network");
+  net_w.write_f64(network.now);
+  net_w.write_u64(network.sequence);
+  net_w.write_u64(network.rx_dropped);
+  for (std::uint64_t word : network.rng.words) net_w.write_u64(word);
+  net_w.write_u8(network.rng.have_cached_normal ? 1 : 0);
+  net_w.write_f64(network.rng.cached_normal);
+  net_w.write_f64_vector(network.node_radio_joules);
+  net_w.write_u32(static_cast<std::uint32_t>(network.node_bytes.size()));
+  for (std::uint64_t bytes : network.node_bytes) net_w.write_u64(bytes);
+  net_w.write_u32(static_cast<std::uint32_t>(network.queue.size()));
+  for (const net::Network::QueuedMessage& msg : network.queue) {
+    net_w.write_f64(msg.time);
+    net_w.write_u64(msg.sequence);
+    net_w.write_i32(msg.from_node);
+    net_w.write_i32(msg.to_node);
+    write_payload(net_w, msg.payload);
+  }
+
+  return snapshot.finish();
+}
+
+SimulationCheckpoint SimulationCheckpoint::decode(std::span<const std::uint8_t> bytes) {
+  try {
+    const SnapshotReader snapshot(bytes);
+    SimulationCheckpoint ck;
+
+    ByteReader cfg = snapshot.open("config");
+    ck.guard.dataset = cfg.read_i32();
+    ck.guard.seed = cfg.read_u64();
+    ck.guard.mode = cfg.read_i32();
+    ck.guard.start_frame = cfg.read_i32();
+    ck.guard.end_frame = cfg.read_i32();
+    ck.guard.assessment_gt_frames = cfg.read_i32();
+    ck.guard.operation_gt_frames = cfg.read_i32();
+    ck.guard.gt_frame_step = cfg.read_i32();
+    ck.guard.num_cameras = cfg.read_i32();
+    ck.guard.budget_per_frame = cfg.read_f64();
+    ck.guard.battery_joules = cfg.read_f64();
+    if (ck.guard.num_cameras < 0 || ck.guard.num_cameras > 4096) {
+      throw SnapshotError("checkpoint: implausible camera count");
+    }
+
+    ByteReader progress = snapshot.open("progress");
+    ck.frame_index = progress.read_i32();
+    ck.rounds_completed = static_cast<std::int64_t>(progress.read_u64());
+    ck.cpu_joules = progress.read_f64();
+    ck.radio_joules = progress.read_f64();
+    ck.humans_detected = progress.read_i32();
+    ck.humans_present = progress.read_i32();
+    ck.gt_frames_processed = progress.read_i32();
+
+    ByteReader rounds_r = snapshot.open("rounds");
+    const std::uint32_t num_rounds = read_count(rounds_r, 41);
+    ck.rounds.reserve(num_rounds);
+    for (std::uint32_t i = 0; i < num_rounds; ++i) {
+      RoundLogState round;
+      round.start_frame = rounds_r.read_i32();
+      round.n_star = rounds_r.read_f64();
+      round.p_star = rounds_r.read_f64();
+      round.n_est = rounds_r.read_f64();
+      round.p_est = rounds_r.read_f64();
+      round.cameras_active = rounds_r.read_i32();
+      round.summary = rounds_r.read_string();
+      round.midround_recovery = rounds_r.read_u8();
+      ck.rounds.push_back(std::move(round));
+    }
+
+    ByteReader counters = snapshot.open("counters");
+    const std::uint32_t num_counters = read_count(counters, 8);
+    ck.fault_counters.reserve(num_counters);
+    for (std::uint32_t i = 0; i < num_counters; ++i) {
+      ck.fault_counters.push_back(static_cast<std::int64_t>(counters.read_u64()));
+    }
+
+    ByteReader cams = snapshot.open("cameras");
+    const std::uint32_t num_cameras = read_count(cams, 42);
+    for (std::uint32_t i = 0; i < num_cameras; ++i) {
+      CameraState cam;
+      cam.battery_residual = cams.read_f64();
+      cam.has_assignment = cams.read_u8();
+      cam.active = cams.read_u8();
+      cam.algorithm = cams.read_i32();
+      cam.threshold = cams.read_f64();
+      cam.applied_sequence = cams.read_u32();
+      cam.deadline_strikes = cams.read_i32();
+      cam.ladder.battery_floor = cams.read_i32();
+      cam.ladder.stress_rung = cams.read_i32();
+      cam.ladder.clean_rounds = cams.read_i32();
+      ck.cameras.push_back(cam);
+    }
+    if (ck.cameras.size() != static_cast<std::size_t>(ck.guard.num_cameras)) {
+      throw SnapshotError("checkpoint: camera state count disagrees with config guard");
+    }
+
+    ByteReader regs = snapshot.open("registrations");
+    const std::uint32_t num_regs = read_count(regs, 16);
+    for (std::uint32_t i = 0; i < num_regs; ++i) {
+      Registration reg;
+      reg.camera = regs.read_i32();
+      reg.matched_item = regs.read_i32();
+      reg.budget = regs.read_f64();
+      if (reg.camera < 0 || reg.camera >= ck.guard.num_cameras) {
+        throw SnapshotError("checkpoint: registration references unknown camera");
+      }
+      ck.registrations.push_back(reg);
+    }
+
+    ByteReader live = snapshot.open("liveness");
+    ck.liveness.last_heard = live.read_f64_vector();
+    const std::uint32_t num_alive = read_count(live, 1);
+    for (std::uint32_t i = 0; i < num_alive; ++i) {
+      ck.liveness.presumed_alive.push_back(live.read_u8());
+    }
+    const std::uint32_t num_active = read_count(live, 4);
+    for (std::uint32_t i = 0; i < num_active; ++i) {
+      ck.controller_active.push_back(live.read_i32());
+    }
+    if (ck.liveness.last_heard.size() != ck.cameras.size() ||
+        ck.liveness.presumed_alive.size() != ck.cameras.size()) {
+      throw SnapshotError("checkpoint: liveness arrays disagree with camera count");
+    }
+
+    ByteReader pend = snapshot.open("pending");
+    ck.next_sequence = pend.read_u32();
+    const std::uint32_t num_pending = read_count(pend, 20);
+    for (std::uint32_t i = 0; i < num_pending; ++i) {
+      PendingEntry p;
+      p.camera = pend.read_i32();
+      p.entry.sequence = pend.read_u32();
+      p.entry.attempts = pend.read_i32();
+      p.entry.next_retry = pend.read_f64();
+      p.entry.payload = read_payload(pend);
+      if (p.camera < 0 || p.camera >= ck.guard.num_cameras) {
+        throw SnapshotError("checkpoint: pending assignment references unknown camera");
+      }
+      ck.pending.push_back(std::move(p));
+    }
+
+    ByteReader net_r = snapshot.open("network");
+    ck.network.now = net_r.read_f64();
+    ck.network.sequence = net_r.read_u64();
+    ck.network.rx_dropped = net_r.read_u64();
+    for (std::uint64_t& word : ck.network.rng.words) word = net_r.read_u64();
+    ck.network.rng.have_cached_normal = net_r.read_u8() != 0;
+    ck.network.rng.cached_normal = net_r.read_f64();
+    ck.network.node_radio_joules = net_r.read_f64_vector();
+    const std::uint32_t num_bytes = read_count(net_r, 8);
+    for (std::uint32_t i = 0; i < num_bytes; ++i) {
+      ck.network.node_bytes.push_back(net_r.read_u64());
+    }
+    const std::uint32_t num_queued = read_count(net_r, 28);
+    for (std::uint32_t i = 0; i < num_queued; ++i) {
+      net::Network::QueuedMessage msg;
+      msg.time = net_r.read_f64();
+      msg.sequence = net_r.read_u64();
+      msg.from_node = net_r.read_i32();
+      msg.to_node = net_r.read_i32();
+      msg.payload = read_payload(net_r);
+      ck.network.queue.push_back(std::move(msg));
+    }
+    // Node 0 is the controller; cameras are nodes 1..num_cameras.
+    const std::size_t num_nodes = static_cast<std::size_t>(ck.guard.num_cameras) + 1;
+    if (ck.network.node_radio_joules.size() != num_nodes ||
+        ck.network.node_bytes.size() != num_nodes) {
+      throw SnapshotError("checkpoint: network node arrays disagree with camera count");
+    }
+
+    return ck;
+  } catch (const ByteReader::DecodeError& e) {
+    throw SnapshotError(std::string("checkpoint: malformed section: ") + e.what());
+  }
+}
+
+void SimulationCheckpoint::save(const std::string& path) const {
+  write_snapshot_file(path, encode());
+}
+
+SimulationCheckpoint SimulationCheckpoint::load(const std::string& path) {
+  return decode(read_snapshot_file(path));
+}
+
+}  // namespace eecs::runtime

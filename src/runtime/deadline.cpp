@@ -1,0 +1,46 @@
+#include "runtime/deadline.hpp"
+
+namespace eecs::runtime {
+
+void RoundWatchdog::arm(double now, double stride, const std::set<int>& expected) {
+  if (!enabled()) return;
+  armed_ = true;
+  deadline_ = now + options_.deadline_gt_frames * stride;
+  expected_ = expected;
+  reported_.clear();
+}
+
+void RoundWatchdog::report(int camera, double time) {
+  if (!armed_ || time > deadline_) return;
+  if (camera < 0 || camera >= static_cast<int>(strikes_.size())) return;
+  reported_.insert(camera);
+}
+
+std::vector<RoundWatchdog::Miss> RoundWatchdog::close() {
+  std::vector<Miss> misses;
+  if (!armed_) return misses;
+  armed_ = false;
+  for (int camera : expected_) {
+    auto& strikes = strikes_[static_cast<std::size_t>(camera)];
+    if (reported_.count(camera) > 0) {
+      strikes = 0;
+      continue;
+    }
+    ++strikes;
+    misses.push_back({camera, strikes, strikes >= options_.strikes_to_fail});
+  }
+  expected_.clear();
+  reported_.clear();
+  return misses;
+}
+
+std::set<int> RoundWatchdog::failed_set() const {
+  std::set<int> failed;
+  if (!enabled()) return failed;
+  for (std::size_t c = 0; c < strikes_.size(); ++c) {
+    if (strikes_[c] >= options_.strikes_to_fail) failed.insert(static_cast<int>(c));
+  }
+  return failed;
+}
+
+}  // namespace eecs::runtime

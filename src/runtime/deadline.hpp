@@ -1,0 +1,69 @@
+// Per-round deadline watchdog. Each recalibration round gets a virtual-time
+// budget; a camera that fails to land any detection metadata at the
+// controller before the budget expires takes a strike, and enough
+// consecutive strikes exclude it from selection — the controller closes the
+// round with surviving coverage, exactly like a heartbeat loss. Everything
+// is deterministic: the deadline is computed from the network clock and the
+// GT-frame stride, never from wall time.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace eecs::runtime {
+
+class RoundWatchdog {
+ public:
+  struct Options {
+    /// Virtual-time round budget in ground-truth frames; 0 disables the
+    /// watchdog entirely (no state, no behaviour change).
+    double deadline_gt_frames = 0.0;
+    /// Consecutive missed rounds before a camera is failed out of selection.
+    int strikes_to_fail = 2;
+  };
+
+  RoundWatchdog(const Options& options, int num_cameras)
+      : options_(options), strikes_(static_cast<std::size_t>(num_cameras), 0) {}
+
+  [[nodiscard]] bool enabled() const { return options_.deadline_gt_frames > 0.0; }
+
+  /// Open a round: the deadline is `now + deadline_gt_frames * stride` and
+  /// `expected` is the set of cameras that owe the controller metadata.
+  void arm(double now, double stride, const std::set<int>& expected);
+
+  /// A camera's metadata reached the controller at `time`; counts only while
+  /// a round is armed and the deadline has not passed.
+  void report(int camera, double time);
+
+  struct Miss {
+    int camera = 0;
+    int strikes = 0;     ///< Consecutive misses including this one.
+    bool failed = false; ///< strikes >= strikes_to_fail: exclude from selection.
+  };
+
+  /// Close the round: cameras that owed metadata and never reported in time,
+  /// ascending camera order. Reporting cameras get their strikes cleared.
+  [[nodiscard]] std::vector<Miss> close();
+
+  /// Cameras currently failed out of selection (strikes at or past the
+  /// threshold). Empty when disabled.
+  [[nodiscard]] std::set<int> failed_set() const;
+
+  [[nodiscard]] int strikes(int camera) const {
+    return strikes_[static_cast<std::size_t>(camera)];
+  }
+
+  [[nodiscard]] const std::vector<int>& state() const { return strikes_; }
+  void restore(const std::vector<int>& strikes) { strikes_ = strikes; }
+
+ private:
+  Options options_;
+  std::vector<int> strikes_;
+  bool armed_ = false;
+  double deadline_ = 0.0;
+  std::set<int> expected_;
+  std::set<int> reported_;
+};
+
+}  // namespace eecs::runtime

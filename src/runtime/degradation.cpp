@@ -1,0 +1,90 @@
+#include "runtime/degradation.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace eecs::runtime {
+
+const char* to_string(DegradationRung rung) {
+  switch (rung) {
+    case DegradationRung::Full:
+      return "full";
+    case DegradationRung::CheapAlgorithm:
+      return "cheap_algorithm";
+    case DegradationRung::SkipFrames:
+      return "skip_frames";
+    case DegradationRung::MetadataOnly:
+      return "metadata_only";
+    case DegradationRung::Parked:
+      return "parked";
+  }
+  return "unknown";
+}
+
+DegradationLadder::DegradationLadder(const DegradationPolicy& policy, int num_cameras)
+    : policy_(policy), cameras_(static_cast<std::size_t>(num_cameras)) {}
+
+DegradationRung DegradationLadder::rung(int camera) const {
+  if (!policy_.enabled) return DegradationRung::Full;
+  const CameraState& cam = cameras_[static_cast<std::size_t>(camera)];
+  return static_cast<DegradationRung>(std::max(cam.battery_floor, cam.stress_rung));
+}
+
+DegradationRung DegradationLadder::battery_rung(double battery_fraction) const {
+  if (battery_fraction < policy_.battery_park) return DegradationRung::Parked;
+  if (battery_fraction < policy_.battery_severe) return DegradationRung::MetadataOnly;
+  if (battery_fraction < policy_.battery_critical) return DegradationRung::SkipFrames;
+  if (battery_fraction < policy_.battery_low) return DegradationRung::CheapAlgorithm;
+  return DegradationRung::Full;
+}
+
+std::vector<DegradationLadder::Transition> DegradationLadder::on_round(int camera,
+                                                                       double battery_fraction,
+                                                                       bool deadline_miss,
+                                                                       bool fault_storm) {
+  std::vector<Transition> transitions;
+  if (!policy_.enabled) return transitions;
+  CameraState& cam = cameras_[static_cast<std::size_t>(camera)];
+
+  const auto effective = [&] { return std::max(cam.battery_floor, cam.stress_rung); };
+  const auto apply = [&](Trigger trigger, auto&& mutate) {
+    const int before = effective();
+    mutate();
+    const int after = effective();
+    if (after != before) {
+      transitions.push_back({camera, static_cast<DegradationRung>(before),
+                             static_cast<DegradationRung>(after), trigger});
+    }
+  };
+
+  // Battery floor: monotone by construction — the floor only ratchets down
+  // the ladder, so a battery transition can never step a camera back up.
+  const int battery_now = static_cast<int>(battery_rung(battery_fraction));
+  const int floor_before = cam.battery_floor;
+  apply(Trigger::Battery, [&] { cam.battery_floor = std::max(cam.battery_floor, battery_now); });
+  EECS_EXPECTS(cam.battery_floor >= floor_before);
+
+  if (deadline_miss) {
+    apply(Trigger::Deadline, [&] {
+      cam.stress_rung = std::min(cam.stress_rung + 1, kNumDegradationRungs - 1);
+    });
+  }
+  if (fault_storm) {
+    apply(Trigger::FaultStorm, [&] {
+      cam.stress_rung = std::min(cam.stress_rung + 1, kNumDegradationRungs - 1);
+    });
+  }
+  if (deadline_miss || fault_storm) {
+    cam.clean_rounds = 0;
+  } else {
+    ++cam.clean_rounds;
+    if (cam.clean_rounds >= policy_.recovery_rounds && cam.stress_rung > 0) {
+      apply(Trigger::Recovery, [&] { --cam.stress_rung; });
+      cam.clean_rounds = 0;
+    }
+  }
+  return transitions;
+}
+
+}  // namespace eecs::runtime

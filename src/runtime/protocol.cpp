@@ -1,0 +1,84 @@
+#include "runtime/protocol.hpp"
+
+#include <algorithm>
+
+namespace eecs::runtime {
+
+double jitter_hash01(std::uint64_t seed, int camera, int attempts) {
+  std::uint64_t x = seed;
+  x ^= 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(camera) + 1);
+  x ^= 0xBF58476D1CE4E5B9ull * (static_cast<std::uint64_t>(attempts) + 1);
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+double RetryPolicy::backoff(int camera, int attempts, double stride) const {
+  const double frames =
+      std::min(base_gt_frames + static_cast<double>(attempts), max_backoff_gt_frames);
+  double delay = frames * stride;
+  if (jitter_fraction != 0.0) {
+    delay *= 1.0 + jitter_fraction * jitter_hash01(jitter_seed, camera, attempts);
+  }
+  return delay;
+}
+
+bool AssignmentRetryQueue::push(int camera, std::vector<std::uint8_t> payload,
+                                std::uint32_t sequence, double now, double stride) {
+  const bool replaced = entries_.count(camera) > 0;
+  entries_[camera] = {std::move(payload), sequence, 1, now + policy_.backoff(camera, 0, stride)};
+  return replaced;
+}
+
+AssignmentRetryQueue::AckOutcome AssignmentRetryQueue::ack(int camera, std::uint32_t sequence) {
+  const auto it = entries_.find(camera);
+  if (it == entries_.end()) return AckOutcome::Late;
+  if (it->second.sequence != sequence) return AckOutcome::Stale;
+  entries_.erase(it);
+  return AckOutcome::Acked;
+}
+
+bool AssignmentRetryQueue::drop(int camera) { return entries_.erase(camera) > 0; }
+
+bool LivenessTracker::mark_heard(int camera, double time) {
+  if (camera < 0 || camera >= static_cast<int>(last_heard_.size())) return false;
+  last_heard_[static_cast<std::size_t>(camera)] = time;
+  if (presumed_alive_[static_cast<std::size_t>(camera)] != 0) return false;
+  presumed_alive_[static_cast<std::size_t>(camera)] = 1;
+  return true;
+}
+
+std::vector<int> LivenessTracker::sweep(double now) {
+  std::vector<int> newly_dead;
+  for (std::size_t c = 0; c < last_heard_.size(); ++c) {
+    if (presumed_alive_[c] == 0) continue;
+    if (now - last_heard_[c] <= timeout_) continue;
+    presumed_alive_[c] = 0;
+    newly_dead.push_back(static_cast<int>(c));
+  }
+  return newly_dead;
+}
+
+std::set<int> LivenessTracker::alive_set() const {
+  std::set<int> alive;
+  for (std::size_t c = 0; c < presumed_alive_.size(); ++c) {
+    if (presumed_alive_[c] != 0) alive.insert(static_cast<int>(c));
+  }
+  return alive;
+}
+
+LivenessTracker::State LivenessTracker::state() const {
+  State state;
+  state.last_heard = last_heard_;
+  state.presumed_alive.assign(presumed_alive_.begin(), presumed_alive_.end());
+  return state;
+}
+
+void LivenessTracker::restore(const State& state) {
+  last_heard_ = state.last_heard;
+  presumed_alive_.assign(state.presumed_alive.begin(), state.presumed_alive.end());
+}
+
+}  // namespace eecs::runtime

@@ -1,0 +1,561 @@
+// Durable-runtime layer: snapshot container integrity, checkpoint
+// encode/decode hardening (truncation + corruption fuzz), deterministic
+// retry backoff with jitter, ack semantics (late acks counted, never
+// re-applied), liveness, the round watchdog, the graceful-degradation
+// ladder, FaultPlan validation, and end-to-end checkpoint/resume
+// bit-exactness of the closed loop.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/simulation.hpp"
+#include "net/fault.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/deadline.hpp"
+#include "runtime/degradation.hpp"
+#include "runtime/protocol.hpp"
+#include "runtime/snapshot.hpp"
+
+namespace eecs {
+namespace {
+
+using runtime::AssignmentRetryQueue;
+using runtime::DegradationLadder;
+using runtime::DegradationPolicy;
+using runtime::DegradationRung;
+using runtime::LivenessTracker;
+using runtime::RetryPolicy;
+using runtime::RoundWatchdog;
+using runtime::SimulationCheckpoint;
+using runtime::SnapshotError;
+
+// ---------------------------------------------------------------- Snapshot
+
+TEST(Snapshot, SectionRoundtripPreservesPayloads) {
+  runtime::SnapshotWriter w;
+  w.section("alpha").write_u32(0xdeadbeef);
+  ByteWriter& beta = w.section("beta");
+  beta.write_f64(3.25);
+  beta.write_string("hello");
+  const std::vector<std::uint8_t> bytes = w.finish();
+
+  const runtime::SnapshotReader r(bytes);
+  EXPECT_EQ(r.version(), runtime::kSnapshotVersion);
+  EXPECT_TRUE(r.has("alpha"));
+  EXPECT_TRUE(r.has("beta"));
+  EXPECT_FALSE(r.has("gamma"));
+  ByteReader alpha = r.open("alpha");
+  EXPECT_EQ(alpha.read_u32(), 0xdeadbeefu);
+  ByteReader b = r.open("beta");
+  EXPECT_EQ(b.read_f64(), 3.25);
+  EXPECT_EQ(b.read_string(), "hello");
+  EXPECT_THROW((void)r.open("gamma"), SnapshotError);
+}
+
+TEST(Snapshot, UnknownSectionsAreSkippedForForwardCompatibility) {
+  runtime::SnapshotWriter w;
+  w.section("known").write_i32(7);
+  w.section("from_the_future").write_u64(0x123456789abcdef0ull);
+  const std::vector<std::uint8_t> bytes = w.finish();
+  const runtime::SnapshotReader r(bytes);
+  EXPECT_EQ(r.open("known").read_i32(), 7);
+}
+
+TEST(Snapshot, BadMagicAndFutureVersionAreRejected) {
+  runtime::SnapshotWriter w;
+  w.section("s").write_u8(1);
+  std::vector<std::uint8_t> bytes = w.finish();
+
+  std::vector<std::uint8_t> bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(runtime::SnapshotReader{bad_magic}, SnapshotError);
+
+  std::vector<std::uint8_t> future = bytes;
+  future[4] = static_cast<std::uint8_t>(runtime::kSnapshotVersion + 1);
+  EXPECT_THROW(runtime::SnapshotReader{future}, SnapshotError);
+}
+
+TEST(Snapshot, PayloadCorruptionFailsTheSectionCrc) {
+  runtime::SnapshotWriter w;
+  ByteWriter& s = w.section("data");
+  for (int i = 0; i < 64; ++i) s.write_u8(static_cast<std::uint8_t>(i));
+  std::vector<std::uint8_t> bytes = w.finish();
+  bytes.back() ^= 0x01;  // Last payload byte.
+  EXPECT_THROW(runtime::SnapshotReader{bytes}, SnapshotError);
+}
+
+TEST(Snapshot, MissingFileThrowsSnapshotError) {
+  EXPECT_THROW((void)runtime::read_snapshot_file("does_not_exist.snap"), SnapshotError);
+}
+
+// -------------------------------------------------------------- Checkpoint
+
+SimulationCheckpoint sample_checkpoint() {
+  SimulationCheckpoint ck;
+  ck.guard = {1, 777, 0, 1000, 2950, 4, 20, 1, 2, 3.0, 1.0e5};
+  ck.frame_index = 1600;
+  ck.rounds_completed = 1;
+  ck.cpu_joules = 12.5;
+  ck.radio_joules = 0.75;
+  ck.humans_detected = 42;
+  ck.humans_present = 50;
+  ck.gt_frames_processed = 24;
+  ck.rounds.push_back({1400, 10.5, 0.9, 10.0, 0.88, 2, "cam0:HOG cam1:ACF", 0});
+  ck.fault_counters = {10, 2, 1, 0, 0, 0, 0, 0, 0, 0, 4, 3, 0, 0, 1, 0, 0, 0, 0, 0};
+  ck.cameras.push_back({55.0, 1, 1, 0, -1.25, 3, 0, {0, 0, 0}});
+  ck.cameras.push_back({44.0, 1, 0, 1, 0.5, 4, 1, {1, 2, 0}});
+  ck.registrations.push_back({0, 0, 3.0});
+  ck.registrations.push_back({1, 1, 3.0});
+  ck.liveness.last_heard = {1599.5, 1580.5};
+  ck.liveness.presumed_alive = {1, 1};
+  ck.controller_active = {0, 1};
+  SimulationCheckpoint::PendingEntry pending;
+  pending.camera = 1;
+  pending.entry.payload = {1, 2, 3, 4};
+  pending.entry.sequence = 4;
+  pending.entry.attempts = 2;
+  pending.entry.next_retry = 1712.5;
+  ck.pending.push_back(pending);
+  ck.next_sequence = 5;
+  ck.network.now = 1600.0;
+  ck.network.sequence = 99;
+  ck.network.rx_dropped = 3;
+  ck.network.rng = {{1, 2, 3, 4}, false, 0.0};
+  ck.network.node_radio_joules = {0.0, 0.5, 0.25};
+  ck.network.node_bytes = {0, 1024, 512};
+  ck.network.queue.push_back({1600.25, 98, 1, 0, {9, 8, 7}});
+  return ck;
+}
+
+TEST(Checkpoint, EncodeDecodeRoundtripIsLossless) {
+  const SimulationCheckpoint ck = sample_checkpoint();
+  const std::vector<std::uint8_t> bytes = ck.encode();
+  const SimulationCheckpoint back = SimulationCheckpoint::decode(bytes);
+
+  EXPECT_TRUE(back.guard == ck.guard);
+  EXPECT_EQ(back.frame_index, ck.frame_index);
+  EXPECT_EQ(back.rounds_completed, ck.rounds_completed);
+  EXPECT_EQ(back.cpu_joules, ck.cpu_joules);
+  EXPECT_EQ(back.radio_joules, ck.radio_joules);
+  ASSERT_EQ(back.rounds.size(), 1u);
+  EXPECT_EQ(back.rounds[0].summary, "cam0:HOG cam1:ACF");
+  EXPECT_EQ(back.fault_counters, ck.fault_counters);
+  ASSERT_EQ(back.cameras.size(), 2u);
+  EXPECT_EQ(back.cameras[1].threshold, 0.5);
+  EXPECT_EQ(back.cameras[1].ladder.stress_rung, 2);
+  ASSERT_EQ(back.pending.size(), 1u);
+  EXPECT_EQ(back.pending[0].entry.payload, ck.pending[0].entry.payload);
+  EXPECT_EQ(back.network.rng.words, ck.network.rng.words);
+  ASSERT_EQ(back.network.queue.size(), 1u);
+  EXPECT_EQ(back.network.queue[0].payload, ck.network.queue[0].payload);
+
+  // The decoded checkpoint must re-encode to the exact same bytes (resume
+  // sees everything the writer saved).
+  EXPECT_EQ(back.encode(), bytes);
+}
+
+TEST(Checkpoint, EveryTruncationThrowsSnapshotError) {
+  const std::vector<std::uint8_t> bytes = sample_checkpoint().encode();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), len);
+    EXPECT_THROW((void)SimulationCheckpoint::decode(prefix), SnapshotError) << "len=" << len;
+  }
+}
+
+TEST(Checkpoint, RandomCorruptionNeverEscapesSnapshotError) {
+  const std::vector<std::uint8_t> bytes = sample_checkpoint().encode();
+  Rng rng(20260809);
+  for (int trial = 0; trial < 600; ++trial) {
+    std::vector<std::uint8_t> corrupt = bytes;
+    const int flips = rng.uniform_int(1, 4);
+    for (int i = 0; i < flips; ++i) {
+      const auto pos =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(corrupt.size()) - 1));
+      corrupt[pos] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    try {
+      (void)SimulationCheckpoint::decode(corrupt);  // Unflipped flip: fine.
+    } catch (const SnapshotError&) {
+      // Rejected cleanly: acceptable. Anything else fails the test.
+    }
+  }
+}
+
+TEST(Checkpoint, CameraCountMismatchIsRejected) {
+  SimulationCheckpoint ck = sample_checkpoint();
+  ck.guard.num_cameras = 3;  // But only 2 camera states.
+  EXPECT_THROW((void)SimulationCheckpoint::decode(ck.encode()), SnapshotError);
+}
+
+// ------------------------------------------------------------ Retry policy
+
+TEST(RetryPolicyTest, DefaultsReproduceTheLegacySchedule) {
+  const RetryPolicy policy;
+  const double stride = 25.0;
+  // Initial push timeout (attempts = 0), then base + attempts capped at 6.5.
+  // The loop's resend path passes attempts = 2, 3, 4 -> 4.5, 5.5, 6.5.
+  EXPECT_EQ(policy.backoff(0, 0, stride), 2.5 * stride);
+  EXPECT_EQ(policy.backoff(0, 1, stride), 3.5 * stride);
+  EXPECT_EQ(policy.backoff(0, 2, stride), 4.5 * stride);
+  EXPECT_EQ(policy.backoff(0, 3, stride), 5.5 * stride);
+  EXPECT_EQ(policy.backoff(0, 4, stride), 6.5 * stride);
+  EXPECT_EQ(policy.backoff(0, 40, stride), 6.5 * stride);  // Capped.
+  // No jitter: identical across cameras.
+  EXPECT_EQ(policy.backoff(0, 2, stride), policy.backoff(7, 2, stride));
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicBoundedAndPerCamera) {
+  RetryPolicy policy;
+  policy.jitter_fraction = 0.25;
+  policy.jitter_seed = 1234;
+  const double stride = 25.0;
+
+  RetryPolicy same = policy;
+  bool any_differs_across_cameras = false;
+  for (int camera = 0; camera < 8; ++camera) {
+    for (int attempts = 0; attempts <= 5; ++attempts) {
+      const double base = RetryPolicy{}.backoff(camera, attempts, stride);
+      const double jittered = policy.backoff(camera, attempts, stride);
+      // Reproducible from the seed.
+      EXPECT_EQ(jittered, same.backoff(camera, attempts, stride));
+      // Bounded: [base, base * (1 + fraction)).
+      EXPECT_GE(jittered, base);
+      EXPECT_LT(jittered, base * (1.0 + policy.jitter_fraction));
+      if (camera > 0 && jittered != policy.backoff(0, attempts, stride)) {
+        any_differs_across_cameras = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_differs_across_cameras);
+
+  RetryPolicy other_seed = policy;
+  other_seed.jitter_seed = 4321;
+  EXPECT_NE(policy.backoff(1, 1, stride), other_seed.backoff(1, 1, stride));
+}
+
+// ------------------------------------------------------- Retry queue + acks
+
+TEST(RetryQueue, AckedStaleAndLateOutcomes) {
+  AssignmentRetryQueue queue{RetryPolicy{}};
+  EXPECT_FALSE(queue.push(3, {1, 2, 3}, 10, 1000.0, 25.0));
+  EXPECT_EQ(queue.ack(3, 10), AssignmentRetryQueue::AckOutcome::Acked);
+  EXPECT_TRUE(queue.empty());
+
+  // Ack after the entry is gone: Late — counted by the caller, the queue is
+  // untouched, the assignment is never re-applied.
+  EXPECT_EQ(queue.ack(3, 10), AssignmentRetryQueue::AckOutcome::Late);
+  EXPECT_TRUE(queue.empty());
+
+  // A newer push supersedes an unacked older one; the old ack goes Stale.
+  EXPECT_FALSE(queue.push(5, {1}, 20, 1000.0, 25.0));
+  EXPECT_TRUE(queue.push(5, {2}, 21, 1010.0, 25.0));  // Replaced.
+  EXPECT_EQ(queue.ack(5, 20), AssignmentRetryQueue::AckOutcome::Stale);
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.ack(5, 21), AssignmentRetryQueue::AckOutcome::Acked);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(RetryQueue, LegacyResendScheduleAndAbandon) {
+  AssignmentRetryQueue queue{RetryPolicy{}};
+  const double stride = 25.0;
+  queue.push(0, {7}, 1, 0.0, stride);
+
+  std::vector<double> resend_times;
+  std::vector<double> abandon_times;
+  for (double now = 0.0; now <= 600.0; now += 12.5) {
+    queue.process_due(
+        now, stride, [&](int, const AssignmentRetryQueue::Entry&) { resend_times.push_back(now); },
+        [&](int, const AssignmentRetryQueue::Entry&) { abandon_times.push_back(now); });
+  }
+  // Push at t=0 with initial timeout 2.5 GT frames: max_retries = 3 resends
+  // at +2.5, then +4.5, then +5.5 GT frames; the +6.5 wait ends in abandon.
+  const std::vector<double> expected = {62.5, 62.5 + 112.5, 62.5 + 112.5 + 137.5};
+  EXPECT_EQ(resend_times, expected);
+  ASSERT_EQ(abandon_times.size(), 1u);
+  EXPECT_EQ(abandon_times[0], 62.5 + 112.5 + 137.5 + 162.5);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(RetryQueue, DropStopsRetryingIntoTheVoid) {
+  AssignmentRetryQueue queue{RetryPolicy{}};
+  queue.push(2, {1}, 1, 0.0, 25.0);
+  EXPECT_TRUE(queue.drop(2));
+  EXPECT_FALSE(queue.drop(2));
+  int resends = 0;
+  queue.process_due(
+      1.0e9, 25.0, [&](int, const AssignmentRetryQueue::Entry&) { ++resends; },
+      [&](int, const AssignmentRetryQueue::Entry&) { ++resends; });
+  EXPECT_EQ(resends, 0);
+}
+
+// ---------------------------------------------------------------- Liveness
+
+TEST(Liveness, SilenceKillsAndMessagesRecover) {
+  LivenessTracker tracker(3, 50.0);
+  tracker.mark_heard(0, 100.0);
+  tracker.mark_heard(1, 100.0);
+  tracker.mark_heard(2, 130.0);
+
+  EXPECT_TRUE(tracker.sweep(140.0).empty());
+  const std::vector<int> dead = tracker.sweep(160.0);
+  EXPECT_EQ(dead, (std::vector<int>{0, 1}));
+  EXPECT_FALSE(tracker.alive(0));
+  EXPECT_TRUE(tracker.alive(2));
+  EXPECT_EQ(tracker.alive_set(), (std::set<int>{2}));
+  // Already dead: not reported again.
+  EXPECT_TRUE(tracker.sweep(170.0).empty());
+
+  EXPECT_TRUE(tracker.mark_heard(0, 180.0));   // Recovered.
+  EXPECT_FALSE(tracker.mark_heard(0, 181.0));  // Just alive.
+  EXPECT_TRUE(tracker.alive(0));
+}
+
+// ---------------------------------------------------------------- Watchdog
+
+TEST(Watchdog, DisabledWatchdogNeverMissesOrFails) {
+  RoundWatchdog watchdog({0.0, 2}, 4);
+  watchdog.arm(0.0, 25.0, {0, 1, 2, 3});
+  EXPECT_TRUE(watchdog.close().empty());
+  EXPECT_TRUE(watchdog.failed_set().empty());
+}
+
+TEST(Watchdog, StrikesAccumulateAndClearOnReport) {
+  RoundWatchdog watchdog({3.0, 2}, 3);  // Deadline 3 GT frames, fail at 2.
+
+  // Round 1: camera 1 reports in time, camera 2 reports late, camera 0 never.
+  watchdog.arm(1000.0, 25.0, {0, 1, 2});
+  watchdog.report(1, 1050.0);
+  watchdog.report(2, 1100.0);  // After 1000 + 3*25.
+  std::vector<RoundWatchdog::Miss> misses = watchdog.close();
+  ASSERT_EQ(misses.size(), 2u);
+  EXPECT_EQ(misses[0].camera, 0);
+  EXPECT_EQ(misses[0].strikes, 1);
+  EXPECT_FALSE(misses[0].failed);
+  EXPECT_EQ(misses[1].camera, 2);
+  EXPECT_TRUE(watchdog.failed_set().empty());
+
+  // Round 2: camera 0 misses again and fails out; camera 2 reports in time
+  // and its strike clears.
+  watchdog.arm(1600.0, 25.0, {0, 1, 2});
+  watchdog.report(1, 1610.0);
+  watchdog.report(2, 1620.0);
+  misses = watchdog.close();
+  ASSERT_EQ(misses.size(), 1u);
+  EXPECT_EQ(misses[0].camera, 0);
+  EXPECT_EQ(misses[0].strikes, 2);
+  EXPECT_TRUE(misses[0].failed);
+  EXPECT_EQ(watchdog.failed_set(), (std::set<int>{0}));
+  EXPECT_EQ(watchdog.strikes(2), 0);
+
+  // Reports outside an armed round are ignored.
+  watchdog.report(0, 1700.0);
+  EXPECT_EQ(watchdog.strikes(0), 2);
+}
+
+// ------------------------------------------------------------------ Ladder
+
+TEST(Ladder, DisabledLadderIsAlwaysFull) {
+  DegradationLadder ladder(DegradationPolicy{}, 2);
+  EXPECT_FALSE(ladder.enabled());
+  EXPECT_TRUE(ladder.on_round(0, 0.001, true, true).empty());
+  EXPECT_EQ(ladder.rung(0), DegradationRung::Full);
+}
+
+DegradationPolicy enabled_policy() {
+  DegradationPolicy policy;
+  policy.enabled = true;
+  return policy;
+}
+
+TEST(Ladder, BatteryFloorIsMonotoneEvenIfTheReadingImproves) {
+  DegradationLadder ladder(enabled_policy(), 1);
+  EXPECT_EQ(ladder.battery_rung(0.5), DegradationRung::Full);
+  EXPECT_EQ(ladder.battery_rung(0.2), DegradationRung::CheapAlgorithm);
+  EXPECT_EQ(ladder.battery_rung(0.08), DegradationRung::SkipFrames);
+  EXPECT_EQ(ladder.battery_rung(0.03), DegradationRung::MetadataOnly);
+  EXPECT_EQ(ladder.battery_rung(0.01), DegradationRung::Parked);
+
+  auto transitions = ladder.on_round(0, 0.08, false, false);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].to, DegradationRung::SkipFrames);
+  EXPECT_EQ(transitions[0].trigger, DegradationLadder::Trigger::Battery);
+
+  // A (hypothetically) improved reading never raises the floor back up.
+  EXPECT_TRUE(ladder.on_round(0, 0.9, false, false).empty());
+  EXPECT_EQ(ladder.rung(0), DegradationRung::SkipFrames);
+}
+
+TEST(Ladder, StressStepsDownPerTriggerAndRecoversAfterCleanRounds) {
+  DegradationLadder ladder(enabled_policy(), 1);
+
+  // Deadline miss and fault storm in one round: two steps down.
+  auto transitions = ladder.on_round(0, 1.0, true, true);
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0].to, DegradationRung::CheapAlgorithm);
+  EXPECT_EQ(transitions[0].trigger, DegradationLadder::Trigger::Deadline);
+  EXPECT_EQ(transitions[1].to, DegradationRung::SkipFrames);
+  EXPECT_EQ(transitions[1].trigger, DegradationLadder::Trigger::FaultStorm);
+  EXPECT_EQ(ladder.rung(0), DegradationRung::SkipFrames);
+
+  // Default recovery_rounds = 2: first clean round holds, second steps up.
+  EXPECT_TRUE(ladder.on_round(0, 1.0, false, false).empty());
+  transitions = ladder.on_round(0, 1.0, false, false);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].from, DegradationRung::SkipFrames);
+  EXPECT_EQ(transitions[0].to, DegradationRung::CheapAlgorithm);
+  EXPECT_EQ(transitions[0].trigger, DegradationLadder::Trigger::Recovery);
+
+  // Two more clean rounds: back to Full; further clean rounds are no-ops.
+  EXPECT_TRUE(ladder.on_round(0, 1.0, false, false).empty());
+  transitions = ladder.on_round(0, 1.0, false, false);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].to, DegradationRung::Full);
+  EXPECT_TRUE(ladder.on_round(0, 1.0, false, false).empty());
+  EXPECT_TRUE(ladder.on_round(0, 1.0, false, false).empty());
+  EXPECT_EQ(ladder.rung(0), DegradationRung::Full);
+}
+
+// --------------------------------------------------------- FaultPlan checks
+
+TEST(FaultPlanValidation, AcceptsAWellFormedPlan) {
+  net::FaultPlan plan;
+  plan.uplink_loss = 0.1;
+  plan.downlink_loss = 0.05;
+  plan.loss_windows.push_back({100.0, 200.0, 1.0, -1});
+  plan.add_crash(1, 300.0, 400.0);
+  plan.add_crash(1, 500.0, 600.0);  // Same node, disjoint: fine.
+  plan.add_crash(2, 350.0, 450.0);  // Overlaps node 1's window: fine.
+  EXPECT_NO_THROW(plan.validate());
+  EXPECT_NO_THROW(plan.validate(3));
+}
+
+TEST(FaultPlanValidation, RejectsMalformedPlans) {
+  {
+    net::FaultPlan plan;
+    plan.uplink_loss = 1.5;
+    EXPECT_THROW(plan.validate(), net::FaultPlan::ValidationError);
+  }
+  {
+    net::FaultPlan plan;
+    plan.loss_windows.push_back({200.0, 100.0, 0.5, -1});  // Inverted window.
+    EXPECT_THROW(plan.validate(), net::FaultPlan::ValidationError);
+  }
+  {
+    net::FaultPlan plan;
+    plan.loss_windows.push_back({100.0, 200.0, -0.25, -1});  // Negative probability.
+    EXPECT_THROW(plan.validate(), net::FaultPlan::ValidationError);
+  }
+  {
+    net::FaultPlan plan;
+    plan.add_crash(-1, 100.0, 200.0);  // Crashes need a concrete node.
+    EXPECT_THROW(plan.validate(), net::FaultPlan::ValidationError);
+  }
+  {
+    net::FaultPlan plan;
+    plan.add_crash(5, 100.0, 200.0);
+    EXPECT_NO_THROW(plan.validate());  // Node count unknown: allowed.
+    EXPECT_THROW(plan.validate(5), net::FaultPlan::ValidationError);
+  }
+  {
+    net::FaultPlan plan;
+    plan.add_crash(1, 100.0, 300.0);
+    plan.add_crash(1, 200.0, 400.0);  // Same-node overlap.
+    EXPECT_THROW(plan.validate(), net::FaultPlan::ValidationError);
+  }
+}
+
+// ----------------------------------------------- Closed-loop resume exactness
+
+class RuntimeResume : public ::testing::Test {
+ protected:
+  static const core::DetectorBank& bank() {
+    static const core::DetectorBank detectors = detect::make_trained_detectors(1234);
+    return detectors;
+  }
+
+  static core::OfflineOptions options() {
+    core::OfflineOptions opts;
+    opts.algorithms = {detect::AlgorithmId::Hog, detect::AlgorithmId::Acf};
+    opts.frames_per_item = 4;
+    return opts;
+  }
+
+  static const core::OfflineKnowledge& knowledge() {
+    static const core::OfflineKnowledge k = core::run_offline_training(bank(), {1}, 42, options());
+    return k;
+  }
+
+  static core::EecsSimulationConfig config() {
+    core::EecsSimulationConfig cfg;
+    cfg.dataset = 1;
+    cfg.mode = core::SelectionMode::AllBest;
+    cfg.budget_per_frame = 3.0;
+    cfg.controller.algorithms = options().algorithms;
+    cfg.models = options();
+    cfg.end_frame = 2500;  // Two recalibration rounds after registration.
+    // Non-trivial runtime state in the snapshot: lossy links, jittered
+    // retries, a round deadline.
+    cfg.uplink.loss_probability = 0.1;
+    cfg.downlink.loss_probability = 0.2;
+    cfg.protocol.retry_jitter_fraction = 0.25;
+    cfg.runtime.round_deadline_gt_frames = 3.0;
+    return cfg;
+  }
+};
+
+TEST_F(RuntimeResume, CheckpointThenResumeIsBitIdenticalToUninterrupted) {
+  const core::SimulationResult uninterrupted = run_eecs_simulation(bank(), knowledge(), config());
+
+  const char* path = "test_runtime_resume.snap";
+  core::EecsSimulationConfig crash = config();
+  crash.runtime.checkpoint_every_rounds = 1;
+  crash.runtime.checkpoint_path = path;
+  crash.runtime.stop_after_rounds = 1;
+  const core::SimulationResult partial = run_eecs_simulation(bank(), knowledge(), crash);
+  EXPECT_LT(partial.gt_frames_processed, uninterrupted.gt_frames_processed);
+
+  core::EecsSimulationConfig resume = config();
+  resume.runtime.resume_from = path;
+  const core::SimulationResult resumed = run_eecs_simulation(bank(), knowledge(), resume);
+
+  EXPECT_EQ(resumed.cpu_joules, uninterrupted.cpu_joules);
+  EXPECT_EQ(resumed.radio_joules, uninterrupted.radio_joules);
+  EXPECT_EQ(resumed.humans_detected, uninterrupted.humans_detected);
+  EXPECT_EQ(resumed.humans_present, uninterrupted.humans_present);
+  EXPECT_EQ(resumed.gt_frames_processed, uninterrupted.gt_frames_processed);
+  ASSERT_EQ(resumed.rounds.size(), uninterrupted.rounds.size());
+  for (std::size_t i = 0; i < resumed.rounds.size(); ++i) {
+    EXPECT_EQ(resumed.rounds[i].start_frame, uninterrupted.rounds[i].start_frame);
+    EXPECT_EQ(resumed.rounds[i].stats.n_est, uninterrupted.rounds[i].stats.n_est);
+    EXPECT_EQ(resumed.rounds[i].stats.summary, uninterrupted.rounds[i].stats.summary);
+  }
+  ASSERT_EQ(resumed.battery_residual.size(), uninterrupted.battery_residual.size());
+  for (std::size_t c = 0; c < resumed.battery_residual.size(); ++c) {
+    EXPECT_EQ(resumed.battery_residual[c], uninterrupted.battery_residual[c]);
+  }
+  EXPECT_EQ(resumed.faults.messages_sent, uninterrupted.faults.messages_sent);
+  EXPECT_EQ(resumed.faults.messages_lost, uninterrupted.faults.messages_lost);
+  EXPECT_EQ(resumed.faults.assignments_retried, uninterrupted.faults.assignments_retried);
+  EXPECT_EQ(resumed.faults.assignments_pushed, uninterrupted.faults.assignments_pushed);
+  EXPECT_EQ(resumed.faults.assignments_acked, uninterrupted.faults.assignments_acked);
+  EXPECT_EQ(resumed.faults.deadline_misses, uninterrupted.faults.deadline_misses);
+
+  // Both ways, every pushed assignment is accounted for.
+  for (const core::SimulationResult* r : {&uninterrupted, &resumed}) {
+    EXPECT_EQ(r->faults.assignments_pushed,
+              r->faults.assignments_acked + r->faults.assignments_abandoned +
+                  r->faults.assignments_dropped + r->faults.assignments_replaced +
+                  r->faults.assignments_pending_at_exit);
+  }
+
+  // Resuming under a mismatched configuration is refused.
+  core::EecsSimulationConfig wrong = config();
+  wrong.runtime.resume_from = path;
+  wrong.seed = 778;
+  EXPECT_THROW((void)run_eecs_simulation(bank(), knowledge(), wrong), SnapshotError);
+}
+
+}  // namespace
+}  // namespace eecs

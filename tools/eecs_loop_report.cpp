@@ -1,5 +1,15 @@
 // Smoke test of the full EECS closed loop (Fig. 5 prototype).
+//
+//   eecs_loop_report [dataset] [--checkpoint-every K] [--checkpoint PATH]
+//                    [--resume PATH] [--stop-after-rounds N]
+//
+// The runtime flags drive the durable-runtime layer: write a snapshot to
+// PATH every K completed rounds, stop early to simulate a crash, and resume
+// a later invocation from the snapshot (bit-identical to the uninterrupted
+// run; see DESIGN.md "Durable runtime").
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include "common/stopwatch.hpp"
 #include "core/simulation.hpp"
 #include "obs/telemetry.hpp"
@@ -37,7 +47,22 @@ void print_metrics_summary(obs::Telemetry& session, const StageTimings& timings)
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int ds = argc > 1 ? std::atoi(argv[1]) : 1;
+  int ds = 1;
+  RuntimeOptions runtime;
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+      runtime.checkpoint_every_rounds = std::atoi(value());
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+      runtime.checkpoint_path = value();
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      runtime.resume_from = value();
+    } else if (std::strcmp(argv[i], "--stop-after-rounds") == 0) {
+      runtime.stop_after_rounds = std::atol(value());
+    } else {
+      ds = std::atoi(argv[i]);
+    }
+  }
   Stopwatch watch;
   DetectorBank bank = detect::make_trained_detectors(1234);
   OfflineOptions opts;
@@ -51,7 +76,16 @@ int main(int argc, char** argv) {
                   a.threshold, a.total_joules_per_frame());
     std::printf("\n");
   }
-  for (auto mode : {SelectionMode::AllBest, SelectionMode::SubsetOnly, SelectionMode::SubsetDowngrade}) {
+  // A snapshot binds to one exact configuration (the decoder cross-checks a
+  // config guard), so the checkpoint/resume flags run the single AllBest mode
+  // instead of the three-mode sweep.
+  const bool durable = runtime.checkpoint_every_rounds > 0 || !runtime.resume_from.empty() ||
+                       runtime.stop_after_rounds > 0;
+  const std::vector<SelectionMode> modes =
+      durable ? std::vector<SelectionMode>{SelectionMode::AllBest}
+              : std::vector<SelectionMode>{SelectionMode::AllBest, SelectionMode::SubsetOnly,
+                                           SelectionMode::SubsetDowngrade};
+  for (auto mode : modes) {
     EecsSimulationConfig cfg;
     cfg.dataset = ds;
     cfg.mode = mode;
@@ -59,6 +93,7 @@ int main(int argc, char** argv) {
     cfg.controller.algorithms = {detect::AlgorithmId::Hog, detect::AlgorithmId::Acf};
     cfg.end_frame = 2000;  // short smoke run
     cfg.models = opts;
+    cfg.runtime = runtime;
     watch.reset();
     obs::ScopedTelemetry telemetry;  // Per-mode metrics; see summary below.
     const SimulationResult r = run_eecs_simulation(bank, knowledge, cfg);

@@ -89,6 +89,92 @@ std::string report(const DetectorBank& bank, const OfflineKnowledge& knowledge, 
   return out;
 }
 
+/// %.17g report of every deterministic SimulationResult field, including the
+/// durable-runtime fault counters (metric lines are omitted: a resumed run's
+/// obs session only covers the resumed segment).
+std::string result_report(const SimulationResult& r) {
+  std::string out;
+  append(out, "cpu=%.17g radio=%.17g detected=%d present=%d frames=%d rounds=%zu\n", r.cpu_joules,
+         r.radio_joules, r.humans_detected, r.humans_present, r.gt_frames_processed,
+         r.rounds.size());
+  for (const auto& round : r.rounds) {
+    append(out, "  round@%d n*=%.17g p*=%.17g n=%.17g p=%.17g active=%d %s\n", round.start_frame,
+           round.stats.n_star, round.stats.p_star, round.stats.n_est, round.stats.p_est,
+           round.stats.cameras_active, round.stats.summary.c_str());
+  }
+  for (std::size_t c = 0; c < r.battery_residual.size(); ++c) {
+    append(out, "  battery[%zu]=%.17g\n", c, r.battery_residual[c]);
+  }
+  const FaultCounters& f = r.faults;
+  append(out,
+         "  faults sent=%ld lost=%ld retried=%ld abandoned=%ld pushed=%ld acked=%ld late=%ld "
+         "dropped=%ld replaced=%ld pending=%ld misses=%ld down=%ld up=%ld parked=%ld\n",
+         f.messages_sent, f.messages_lost, f.assignments_retried, f.assignments_abandoned,
+         f.assignments_pushed, f.assignments_acked, f.acks_late, f.assignments_dropped,
+         f.assignments_replaced, f.assignments_pending_at_exit, f.deadline_misses,
+         f.degradation_stepdowns, f.degradation_stepups, f.frames_parked);
+  return out;
+}
+
+/// Shared config of the checkpoint/resume invariance check: short adaptive
+/// run with lossy links, retry jitter, and a round deadline so the snapshot
+/// has to carry non-trivial protocol and watchdog state.
+EecsSimulationConfig resume_config() {
+  EecsSimulationConfig cfg;
+  cfg.dataset = 1;
+  cfg.threads = 1;
+  cfg.mode = SelectionMode::AllBest;
+  cfg.budget_per_frame = 3.0;
+  cfg.controller.algorithms = {detect::AlgorithmId::Hog, detect::AlgorithmId::Acf};
+  cfg.models.algorithms = cfg.controller.algorithms;
+  cfg.models.frames_per_item = 4;
+  cfg.end_frame = 2200;
+  cfg.uplink.loss_probability = 0.1;
+  cfg.downlink.loss_probability = 0.2;
+  cfg.protocol.retry_jitter_fraction = 0.25;
+  cfg.runtime.round_deadline_gt_frames = 3.0;
+  return cfg;
+}
+
+/// Proves checkpoint-at-round-k + resume is bit-identical to an
+/// uninterrupted run: run once end-to-end, run again but stop ("crash")
+/// right after the round-1 snapshot, then resume from the snapshot and diff
+/// the %.17g reports.
+int check_resume(const DetectorBank& bank, const OfflineKnowledge& knowledge,
+                 const std::string& snapshot_path) {
+  const std::string uninterrupted = [&] {
+    obs::ScopedTelemetry telemetry;
+    return result_report(run_eecs_simulation(bank, knowledge, resume_config()));
+  }();
+
+  {
+    EecsSimulationConfig cfg = resume_config();
+    cfg.runtime.checkpoint_every_rounds = 1;
+    cfg.runtime.checkpoint_path = snapshot_path;
+    cfg.runtime.stop_after_rounds = 1;
+    obs::ScopedTelemetry telemetry;
+    (void)run_eecs_simulation(bank, knowledge, cfg);
+  }
+
+  const std::string resumed = [&] {
+    EecsSimulationConfig cfg = resume_config();
+    cfg.runtime.resume_from = snapshot_path;
+    obs::ScopedTelemetry telemetry;
+    return result_report(run_eecs_simulation(bank, knowledge, cfg));
+  }();
+
+  if (resumed == uninterrupted) {
+    std::printf("PASS: checkpoint@round1 + resume is bit-identical to an uninterrupted run\n");
+    return 0;
+  }
+  std::printf("FAIL: resumed run diverges from the uninterrupted run\n");
+  std::fputs("---- uninterrupted ----\n", stdout);
+  std::fputs(uninterrupted.c_str(), stdout);
+  std::fputs("---- resumed ----\n", stdout);
+  std::fputs(resumed.c_str(), stdout);
+  return 1;
+}
+
 }  // namespace
 
 int main() {
@@ -123,5 +209,7 @@ int main() {
     std::fputs(scalar.c_str(), stdout);
     rc = 1;
   }
+
+  rc |= check_resume(bank, knowledge, "sim_determinism_resume.snap");
   return rc;
 }
