@@ -13,6 +13,7 @@
 #include "common/simd.hpp"
 #include "imaging/filter.hpp"
 #include "core/offline.hpp"
+#include "detect/batch_precompute.hpp"
 #include "detect/block_grid.hpp"
 #include "detect/detector.hpp"
 #include "detect/frame_cache.hpp"
@@ -172,18 +173,57 @@ void BM_AssessmentSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_AssessmentSweep)->Arg(0)->Arg(1)->Arg(2);
 
-// Scalar-vs-SIMD A/B of kernels ported onto the fixed-width lane layer in
-// common/simd.hpp. Outputs are bit-identical across modes by contract (see
-// tools/sim_determinism); these quantify the speed side of the trade. Single
-// threaded so the dispatch mode is the only variable.
+// The multi-camera round fan-out: all four algorithms on every camera view.
+// per-camera = each camera's FramePrecompute resizes its pyramid on demand
+// inside detect() (the pre-batching behaviour, config.batch_precompute =
+// false); batched = BatchPrecompute gathers every (camera, scale) target and
+// runs one shared-ResizePlan pass per dimension before detection (the
+// default). Detections and energy are bit-identical either way — the batch
+// layer only re-orders the resize work — so this isolates the amortization
+// win. Single threaded so the submission strategy is the only variable.
+void BM_BatchedSweep(benchmark::State& state) {
+  const common::ScopedThreads width(1);
+  const core::DetectorBank& detectors = bank();
+  static const std::vector<imaging::Image> frames = [] {
+    video::SceneSimulator sim(video::dataset1_lab(), 9);
+    std::vector<imaging::Image> views;
+    for (int c = 0; c < 4; ++c) views.push_back(sim.next_frame_single(c));
+    return views;
+  }();
+  const bool batched = state.range(0) != 0;
+  for (auto _ : state) {
+    detect::BatchPrecompute batch(frames.size());
+    for (std::size_t c = 0; c < frames.size(); ++c) {
+      for (const auto& detector : detectors) batch.plan(c, frames[c], *detector);
+    }
+    if (batched) batch.prewarm();
+    for (std::size_t c = 0; c < frames.size(); ++c) {
+      for (const auto& detector : detectors) {
+        benchmark::DoNotOptimize(detector->detect(batch.at(c)));
+      }
+    }
+  }
+  state.SetLabel(batched ? "batched" : "per-camera");
+}
+BENCHMARK(BM_BatchedSweep)->Arg(0)->Arg(1);
+
+// Width sweep of kernels ported onto the virtual-width lane layer in
+// common/simd.hpp: scalar baseline (0), native tiers at 128/256/512 bits
+// (falling back to same-width emulation where this build/CPU lacks them),
+// and the forced-emulation twins (-256/-512). Outputs are bit-identical
+// across every mode by contract (see tools/sim_determinism); these quantify
+// the speed side of the trade. Labels carry the resolved dispatch backend
+// ("sse2", "avx2", "emul512", ...) so JSON rows from baseline and -march
+// builds stay distinguishable. Single threaded so the dispatch mode is the
+// only variable.
 void BM_SimdKernelsCensus(benchmark::State& state) {
   const common::ScopedThreads width(1);
   const simd::ScopedSimd mode(static_cast<int>(state.range(0)));
   const imaging::Image& frame = dataset1_frame();
   for (auto _ : state) benchmark::DoNotOptimize(features::census_transform(frame));
-  state.SetLabel(state.range(0) != 0 ? "simd" : "scalar");
+  state.SetLabel(simd::dispatch_name());
 }
-BENCHMARK(BM_SimdKernelsCensus)->Arg(0)->Arg(1);
+BENCHMARK(BM_SimdKernelsCensus)->Arg(0)->Arg(128)->Arg(256)->Arg(512)->Arg(-256)->Arg(-512);
 
 void BM_SimdKernelsResize(benchmark::State& state) {
   const common::ScopedThreads width(1);
@@ -193,9 +233,9 @@ void BM_SimdKernelsResize(benchmark::State& state) {
   const int nw = frame.width() * 3 / 5;
   const int nh = frame.height() * 3 / 5;
   for (auto _ : state) benchmark::DoNotOptimize(imaging::resize(frame, nw, nh));
-  state.SetLabel(state.range(0) != 0 ? "simd" : "scalar");
+  state.SetLabel(simd::dispatch_name());
 }
-BENCHMARK(BM_SimdKernelsResize)->Arg(0)->Arg(1);
+BENCHMARK(BM_SimdKernelsResize)->Arg(0)->Arg(128)->Arg(256)->Arg(512)->Arg(-256)->Arg(-512);
 
 // Gradients = magnitude (sqrt chain) + orientation (the vendored fdlibm
 // atan2f of common/atan2.hpp, the kernel the detect-stage speedup rides on).
@@ -204,9 +244,9 @@ void BM_SimdKernelsGradients(benchmark::State& state) {
   const simd::ScopedSimd mode(static_cast<int>(state.range(0)));
   const imaging::Image& frame = dataset1_frame();
   for (auto _ : state) benchmark::DoNotOptimize(imaging::compute_gradients(frame));
-  state.SetLabel(state.range(0) != 0 ? "simd" : "scalar");
+  state.SetLabel(simd::dispatch_name());
 }
-BENCHMARK(BM_SimdKernelsGradients)->Arg(0)->Arg(1);
+BENCHMARK(BM_SimdKernelsGradients)->Arg(0)->Arg(128)->Arg(256)->Arg(512)->Arg(-256)->Arg(-512);
 
 void BM_SimdKernelsScoreMap(benchmark::State& state) {
   const common::ScopedThreads width(1);
@@ -223,9 +263,9 @@ void BM_SimdKernelsScoreMap(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(grid.score_map(model, kWindowCells, kWindowCells));
   }
-  state.SetLabel(state.range(0) != 0 ? "simd" : "scalar");
+  state.SetLabel(simd::dispatch_name());
 }
-BENCHMARK(BM_SimdKernelsScoreMap)->Arg(0)->Arg(1);
+BENCHMARK(BM_SimdKernelsScoreMap)->Arg(0)->Arg(128)->Arg(256)->Arg(512)->Arg(-256)->Arg(-512);
 
 void BM_SimdKernelsMatmul(benchmark::State& state) {
   const common::ScopedThreads width(1);
@@ -233,9 +273,9 @@ void BM_SimdKernelsMatmul(benchmark::State& state) {
   const linalg::Matrix a = random_matrix(192, 224, 6);
   const linalg::Matrix b = random_matrix(224, 192, 7);
   for (auto _ : state) benchmark::DoNotOptimize(a * b);
-  state.SetLabel(state.range(0) != 0 ? "simd" : "scalar");
+  state.SetLabel(simd::dispatch_name());
 }
-BENCHMARK(BM_SimdKernelsMatmul)->Arg(0)->Arg(1);
+BENCHMARK(BM_SimdKernelsMatmul)->Arg(0)->Arg(128)->Arg(256)->Arg(512)->Arg(-256)->Arg(-512);
 
 void BM_HomographyRansac(benchmark::State& state) {
   Rng rng(11);
@@ -297,6 +337,8 @@ int main(int argc, char** argv) {
   eecs::bench::warn_if_debug_build();
   benchmark::AddCustomContext("eecs_ndebug", eecs::bench::kAssertsCompiledIn ? "false" : "true");
   benchmark::AddCustomContext("eecs_simd", eecs::simd::dispatch_name());
+  benchmark::AddCustomContext("eecs_simd_width",
+                              std::to_string(eecs::simd::dispatch_width()));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -211,17 +211,21 @@ F4 atan2f_pack(F4 y, F4 x) {
   const U ux = F4::to_bits(x);
   const U iy = uy & abs_mask;
   const U ix = ux & abs_mask;
-  // Special lanes: y or x is +-0, infinite, or NaN. (All the remaining bit
-  // patterns are positive as signed ints, so cmpgt_signed is an unsigned
-  // compare here.)
+  // Special lanes needing the scalar reference: infinities and NaNs only.
+  // Zero operands — common in the gradient kernels, where flat image regions
+  // make gx or gy exactly 0 — are handled with blends below, so they no
+  // longer force the per-lane fallback. (All the remaining bit patterns are
+  // positive as signed ints, so cmpgt_signed is an unsigned compare here.)
   const U zero_bits = U::broadcast(0u);
   const U max_finite = U::broadcast(0x7F7FFFFFu);
-  const U special = U::cmpeq(iy, zero_bits) | U::cmpeq(ix, zero_bits) |
-                    U::cmpgt_signed(iy, max_finite) | U::cmpgt_signed(ix, max_finite);
+  const U special =
+      U::cmpgt_signed(iy, max_finite) | U::cmpgt_signed(ix, max_finite);
+  const U y_zero = U::cmpeq(iy, zero_bits);
+  const U x_zero = U::cmpeq(ix, zero_bits);
 
   const F4 one = F4::broadcast(1.0f);
-  // Keep the (discarded) special lanes division-safe.
-  const F4 x_safe = F4::select(special, one, x);
+  // Keep the (discarded) special and zero-operand lanes division-safe.
+  const F4 x_safe = F4::select(special | y_zero | x_zero, one, x);
   const F4 q = F4::abs(y / x_safe);  // fabsf(y/x), the atanf argument
 
   // atanf interval classification on q >= 0 — float compares are exactly the
@@ -295,14 +299,29 @@ F4 atan2f_pack(F4 y, F4 x) {
   const F4 when_x_pos = F4::select(y_neg, neg_z, z);
   F4 result = F4::select(x_neg, when_x_neg, when_x_pos);
 
+  // Zero-operand cases, the exact fdlibm results (e_atan2f's iy==0 / ix==0
+  // branches). Sign tests use the raw bits so -0.0 counts as negative, as
+  // fdlibm's hx>>31 does; -kPi - kTiny == -(kPi + kTiny) exactly, so one
+  // blended constant per sign suffices. Lanes that are also infinite/NaN get
+  // overwritten by the scalar fallback right after.
+  const U x_sign = U::cmpgt_signed(zero_bits, ux);
+  const U y_sign = U::cmpgt_signed(zero_bits, uy);
+  const U y_nonzero = U::cmpgt_signed(iy, zero_bits);
+  const F4 half_signed = F4::select(y_sign, F4::broadcast(-kPiO2 - kTiny),
+                                    F4::broadcast(kPiO2 + kTiny));
+  result = F4::select(x_zero & y_nonzero, half_signed, result);
+  const F4 pi_signed =
+      F4::select(y_sign, F4::broadcast(-kPi - kTiny), F4::broadcast(kPi + kTiny));
+  result = F4::select(y_zero, F4::select(x_sign, pi_signed, y), result);
+
   if (U::any(special)) {
-    float ys[kF32Lanes];
-    float xs[kF32Lanes];
-    float rs[kF32Lanes];
+    float ys[F4::kLanes];
+    float xs[F4::kLanes];
+    float rs[F4::kLanes];
     y.store(ys);
     x.store(xs);
     result.store(rs);
-    for (int i = 0; i < kF32Lanes; ++i) {
+    for (int i = 0; i < F4::kLanes; ++i) {
       if (special.extract(i) != 0u) rs[i] = atan2f_portable(ys[i], xs[i]);
     }
     result = F4::load(rs);

@@ -1,14 +1,18 @@
-// Bit-exact portable SIMD layer: fixed-virtual-width 128-bit packs.
+// Bit-exact portable SIMD layer: virtual-width packs (128/256/512 bits).
 //
-// Every pack type exists in two interchangeable implementations with an
-// identical API: a native one (SSE2 on x86, NEON on AArch64) and a scalar
-// emulation (`*Emul`) that executes the very same lane-blocked order with
-// plain scalar IEEE arithmetic. Kernels are written once, templated over the
-// pack type, and dispatched at runtime on `simd::enabled()`:
+// Every pack type exists at three virtual widths (4/8/16 float lanes, 2/4/8
+// double lanes) and in two interchangeable implementations per width with an
+// identical API: a native one (SSE2/AVX2/AVX-512 on x86, NEON on AArch64) and
+// a scalar emulation twin (`F32xEmul<W>` etc.) that executes the very same
+// lane-blocked order with plain scalar IEEE arithmetic. Kernels are written
+// once, templated over the pack type, and dispatched at runtime through an
+// ISA tag:
 //
-//   template <class F4> void kernel_impl(...);           // lane-blocked body
-//   if (simd::enabled()) kernel_impl<simd::F32x4>(...);  // native packs
-//   else                 kernel_impl<simd::F32x4Emul>(...);
+//   template <class F4> void kernel_impl(...);   // lane-blocked body
+//   simd::dispatch([&](auto isa) {
+//     using F4 = typename decltype(isa)::F32;
+//     kernel_impl<F4>(...);
+//   });
 //
 // The bit-exactness contract (same as the thread-pool layer, DESIGN.md "SIMD
 // & portability"): a kernel may vectorize only ACROSS independent output
@@ -16,15 +20,23 @@
 // reassociate a single float/double reduction chain. Every pack operation is
 // a deterministic per-lane IEEE-754 operation (add/sub/mul/div/min/max,
 // correctly-rounded sqrt, exact floor), so the native and emulated builds,
-// and every ISA, produce bit-identical results by construction. No FMA is
-// ever emitted through this API (mul and add round separately, like the
-// scalar code they replace).
+// every ISA, and every WIDTH produce bit-identical results by construction.
+// No FMA is ever emitted through this API (mul and add round separately,
+// like the scalar code they replace); arch-enabled builds must compile with
+// -ffp-contract=off so the compiler cannot fuse them behind our back.
 //
 // Runtime control mirrors the threads knob: `config.simd` (runners, via
-// ScopedSimd) > `EECS_SIMD` env (0 = off, 1 = on) > compiled default (on when
-// a native backend was compiled in). `EECS_SIMD_DISABLE` (CMake option
-// EECS_SIMD_OFF) removes the native backend at compile time: F32x4 becomes
-// the scalar emulation and the compiled default flips to off.
+// ScopedSimd) > `EECS_SIMD` env > compiled default. Modes:
+//     0            scalar emulation at the baseline width (4 lanes)
+//     1 / "auto"   widest native backend compiled in AND supported by the CPU
+//     128/256/512  native packs of that width when compiled in and CPU-
+//                  supported, else the bit-identical emulation twin of the
+//                  SAME width (so wide code paths run everywhere)
+//     -128/-256/-512  forced emulation twin of that width (A/B harnesses)
+//     any other negative  reset to the environment/compiled default
+// `EECS_SIMD_DISABLE` (CMake option EECS_SIMD_OFF) removes every native
+// backend at compile time: the fixed-width names alias the emulation and the
+// compiled default flips to off.
 #pragma once
 
 #include <bit>
@@ -39,6 +51,14 @@
 #if defined(__SSE4_1__)
 #include <smmintrin.h>
 #endif
+#if defined(__AVX2__)
+#define EECS_SIMD_AVX2 1
+#include <immintrin.h>
+#endif
+#if defined(__AVX512F__)
+#define EECS_SIMD_AVX512 1
+#include <immintrin.h>
+#endif
 #elif defined(__aarch64__) && defined(__ARM_NEON)
 #define EECS_SIMD_NEON 1
 #include <arm_neon.h>
@@ -47,41 +67,59 @@
 
 namespace eecs::simd {
 
-/// Virtual vector width in bits; every backend packs 4 floats / 2 doubles.
+/// Baseline virtual width: the 128-bit packs carry 4 floats / 2 doubles.
+/// Width-generic kernels should use F4::kLanes / D2::kLanes instead.
 inline constexpr int kF32Lanes = 4;
 inline constexpr int kF64Lanes = 2;
 
-/// True when a native (SSE2/NEON) backend was compiled in.
+/// True when at least one native backend was compiled in.
 #if defined(EECS_SIMD_SSE2) || defined(EECS_SIMD_NEON)
 inline constexpr bool kNativeBackend = true;
 #else
 inline constexpr bool kNativeBackend = false;
 #endif
 
-/// Compiled backend name: "sse2", "neon", or "scalar".
+/// Widest native backend compiled in: "avx512", "avx2", "sse2", "neon", or
+/// "scalar".
 [[nodiscard]] const char* isa_name();
 
-/// Active dispatch mode: `isa_name()` when enabled() and a native backend
-/// exists, else "scalar".
+/// Active dispatch backend: "avx512"/"avx2"/"sse2"/"neon" when a native
+/// width is selected, "scalar" for baseline emulation, "emul256"/"emul512"
+/// for the forced wide emulation twins.
 [[nodiscard]] const char* dispatch_name();
 
-/// Current runtime switch: the last set_enabled(0/1) override, else the
-/// EECS_SIMD environment variable (0/1), else on iff a native backend was
-/// compiled in. When no native backend exists this only selects which
-/// identical-result code path runs.
+/// Virtual width (in bits: 128/256/512) of the active dispatch.
+[[nodiscard]] int dispatch_width();
+
+/// True when the active dispatch runs native packs (any width).
 [[nodiscard]] bool enabled();
 
-/// Override the runtime switch; mode 1 = native packs, 0 = scalar emulation,
-/// < 0 resets to the environment/compiled default. Returns the previous
-/// override tri-state (-1 when none was active). Not thread-safe against
-/// in-flight kernels — set it from the top of a run, like set_max_threads.
+/// Override the runtime switch with one of the mode values documented at the
+/// top of this header. Returns the previous override (-1 when none was
+/// active) for restore. Not thread-safe against in-flight kernels — set it
+/// from the top of a run, like set_max_threads.
 int set_enabled(int mode);
 
+/// Resolved dispatch target; `dispatch()` below maps it to an ISA tag.
+enum class Dispatch : int {
+  kEmul128 = 0,
+  kEmul256,
+  kEmul512,
+  kNative128,
+  kNative256,
+  kNative512,
+};
+[[nodiscard]] Dispatch current_dispatch();
+
 /// RAII switch override for a scope; the runners apply their `simd` config
-/// field with this. mode < 0 leaves the global switch untouched.
+/// field with this. Negative modes other than the forced-emulation widths
+/// (-128/-256/-512) leave the global switch untouched.
 class ScopedSimd {
  public:
-  explicit ScopedSimd(int mode) : active_(mode >= 0), prev_(active_ ? set_enabled(mode) : 0) {}
+  static constexpr bool is_override(int mode) {
+    return mode >= 0 || mode == -128 || mode == -256 || mode == -512;
+  }
+  explicit ScopedSimd(int mode) : active_(is_override(mode)), prev_(active_ ? set_enabled(mode) : 0) {}
   ~ScopedSimd() {
     if (active_) set_enabled(prev_);
   }
@@ -94,155 +132,282 @@ class ScopedSimd {
 };
 
 // ---------------------------------------------------------------------------
-// Scalar emulation packs. These ARE the reference semantics: the native packs
-// below implement exactly these per-lane operations.
+// Scalar emulation packs, templated over the lane count. These ARE the
+// reference semantics: the native packs below implement exactly these
+// per-lane operations, and every width runs the identical per-lane math.
 // ---------------------------------------------------------------------------
 
-struct U32x4Emul {
-  std::uint32_t lane[4];
+template <int W>
+struct U32xEmul {
+  static constexpr int kLanes = W;
+  std::uint32_t lane[W];
 
-  static U32x4Emul broadcast(std::uint32_t x) { return {{x, x, x, x}}; }
+  static U32xEmul broadcast(std::uint32_t x) {
+    U32xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = x;
+    return r;
+  }
   [[nodiscard]] std::uint32_t extract(int i) const { return lane[i]; }
 
-  friend U32x4Emul operator&(U32x4Emul a, U32x4Emul b) {
-    return {{a.lane[0] & b.lane[0], a.lane[1] & b.lane[1], a.lane[2] & b.lane[2],
-             a.lane[3] & b.lane[3]}};
+  friend U32xEmul operator&(U32xEmul a, U32xEmul b) {
+    U32xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] & b.lane[i];
+    return r;
   }
-  friend U32x4Emul operator|(U32x4Emul a, U32x4Emul b) {
-    return {{a.lane[0] | b.lane[0], a.lane[1] | b.lane[1], a.lane[2] | b.lane[2],
-             a.lane[3] | b.lane[3]}};
+  friend U32xEmul operator|(U32xEmul a, U32xEmul b) {
+    U32xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] | b.lane[i];
+    return r;
   }
-  friend U32x4Emul operator^(U32x4Emul a, U32x4Emul b) {
-    return {{a.lane[0] ^ b.lane[0], a.lane[1] ^ b.lane[1], a.lane[2] ^ b.lane[2],
-             a.lane[3] ^ b.lane[3]}};
+  friend U32xEmul operator^(U32xEmul a, U32xEmul b) {
+    U32xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] ^ b.lane[i];
+    return r;
   }
   /// Wrapping 32-bit subtraction per lane (two's complement, like psubd).
-  friend U32x4Emul operator-(U32x4Emul a, U32x4Emul b) {
-    return {{a.lane[0] - b.lane[0], a.lane[1] - b.lane[1], a.lane[2] - b.lane[2],
-             a.lane[3] - b.lane[3]}};
+  friend U32xEmul operator-(U32xEmul a, U32xEmul b) {
+    U32xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] - b.lane[i];
+    return r;
   }
   /// All-ones mask per lane where a == b.
-  [[nodiscard]] static U32x4Emul cmpeq(U32x4Emul a, U32x4Emul b) {
-    return {{a.lane[0] == b.lane[0] ? 0xFFFFFFFFu : 0u, a.lane[1] == b.lane[1] ? 0xFFFFFFFFu : 0u,
-             a.lane[2] == b.lane[2] ? 0xFFFFFFFFu : 0u, a.lane[3] == b.lane[3] ? 0xFFFFFFFFu : 0u}};
+  [[nodiscard]] static U32xEmul cmpeq(U32xEmul a, U32xEmul b) {
+    U32xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] == b.lane[i] ? 0xFFFFFFFFu : 0u;
+    return r;
   }
   /// All-ones mask per lane where a > b as SIGNED 32-bit ints (like pcmpgtd).
-  [[nodiscard]] static U32x4Emul cmpgt_signed(U32x4Emul a, U32x4Emul b) {
-    const auto s = [](std::uint32_t u) { return static_cast<std::int32_t>(u); };
-    return {{s(a.lane[0]) > s(b.lane[0]) ? 0xFFFFFFFFu : 0u,
-             s(a.lane[1]) > s(b.lane[1]) ? 0xFFFFFFFFu : 0u,
-             s(a.lane[2]) > s(b.lane[2]) ? 0xFFFFFFFFu : 0u,
-             s(a.lane[3]) > s(b.lane[3]) ? 0xFFFFFFFFu : 0u}};
+  [[nodiscard]] static U32xEmul cmpgt_signed(U32xEmul a, U32xEmul b) {
+    U32xEmul r{};
+    for (int i = 0; i < W; ++i) {
+      r.lane[i] = static_cast<std::int32_t>(a.lane[i]) > static_cast<std::int32_t>(b.lane[i])
+                      ? 0xFFFFFFFFu
+                      : 0u;
+    }
+    return r;
   }
   /// True when any lane is nonzero (mask "is any lane set").
-  [[nodiscard]] static bool any(U32x4Emul a) {
-    return (a.lane[0] | a.lane[1] | a.lane[2] | a.lane[3]) != 0u;
+  [[nodiscard]] static bool any(U32xEmul a) {
+    std::uint32_t acc = 0;
+    for (int i = 0; i < W; ++i) acc |= a.lane[i];
+    return acc != 0u;
   }
 };
 
-struct F32x4Emul {
-  using Mask = U32x4Emul;
-  float lane[4];
+template <int W>
+struct F32xEmul {
+  static constexpr int kLanes = W;
+  using Mask = U32xEmul<W>;
+  float lane[W];
 
-  static F32x4Emul load(const float* p) { return {{p[0], p[1], p[2], p[3]}}; }
-  static F32x4Emul broadcast(float x) { return {{x, x, x, x}}; }
-  static F32x4Emul set(float a, float b, float c, float d) { return {{a, b, c, d}}; }
+  static F32xEmul load(const float* p) {
+    F32xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = p[i];
+    return r;
+  }
+  static F32xEmul broadcast(float x) {
+    F32xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = x;
+    return r;
+  }
+  template <class... T>
+  static F32xEmul set(T... v) {
+    static_assert(sizeof...(T) == W, "set() takes exactly kLanes values");
+    return {{static_cast<float>(v)...}};
+  }
+  /// Indexed gather: lane i = p[idx[i]] (the resize kernels' column taps).
+  static F32xEmul gather(const float* p, const int* idx) {
+    F32xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = p[idx[i]];
+    return r;
+  }
+  /// Strided gather: lane i = p[i * stride] (the ACF block-sum taps).
+  static F32xEmul gather_stride(const float* p, std::size_t stride) {
+    F32xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = p[static_cast<std::size_t>(i) * stride];
+    return r;
+  }
   void store(float* p) const {
-    p[0] = lane[0];
-    p[1] = lane[1];
-    p[2] = lane[2];
-    p[3] = lane[3];
+    for (int i = 0; i < W; ++i) p[i] = lane[i];
   }
   [[nodiscard]] float extract(int i) const { return lane[i]; }
 
-  friend F32x4Emul operator+(F32x4Emul a, F32x4Emul b) {
-    return {{a.lane[0] + b.lane[0], a.lane[1] + b.lane[1], a.lane[2] + b.lane[2],
-             a.lane[3] + b.lane[3]}};
+  friend F32xEmul operator+(F32xEmul a, F32xEmul b) {
+    F32xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] + b.lane[i];
+    return r;
   }
-  friend F32x4Emul operator-(F32x4Emul a, F32x4Emul b) {
-    return {{a.lane[0] - b.lane[0], a.lane[1] - b.lane[1], a.lane[2] - b.lane[2],
-             a.lane[3] - b.lane[3]}};
+  friend F32xEmul operator-(F32xEmul a, F32xEmul b) {
+    F32xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] - b.lane[i];
+    return r;
   }
-  friend F32x4Emul operator*(F32x4Emul a, F32x4Emul b) {
-    return {{a.lane[0] * b.lane[0], a.lane[1] * b.lane[1], a.lane[2] * b.lane[2],
-             a.lane[3] * b.lane[3]}};
+  friend F32xEmul operator*(F32xEmul a, F32xEmul b) {
+    F32xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] * b.lane[i];
+    return r;
   }
-  friend F32x4Emul operator/(F32x4Emul a, F32x4Emul b) {
-    return {{a.lane[0] / b.lane[0], a.lane[1] / b.lane[1], a.lane[2] / b.lane[2],
-             a.lane[3] / b.lane[3]}};
+  friend F32xEmul operator/(F32xEmul a, F32xEmul b) {
+    F32xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] / b.lane[i];
+    return r;
   }
 
   /// Correctly-rounded per-lane square root (IEEE-754, matches std::sqrt).
-  [[nodiscard]] static F32x4Emul sqrt(F32x4Emul a) {
-    return {{std::sqrt(a.lane[0]), std::sqrt(a.lane[1]), std::sqrt(a.lane[2]),
-             std::sqrt(a.lane[3])}};
+  [[nodiscard]] static F32xEmul sqrt(F32xEmul a) {
+    F32xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = std::sqrt(a.lane[i]);
+    return r;
   }
   /// Exact per-lane floor; callers keep |x| < 2^31 (the SSE2 emulation goes
   /// through a 32-bit truncating convert).
-  [[nodiscard]] static F32x4Emul floor(F32x4Emul a) {
-    return {{std::floor(a.lane[0]), std::floor(a.lane[1]), std::floor(a.lane[2]),
-             std::floor(a.lane[3])}};
+  [[nodiscard]] static F32xEmul floor(F32xEmul a) {
+    F32xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = std::floor(a.lane[i]);
+    return r;
   }
   /// min/max use the SSE tie rule — return b unless a is strictly
   /// less/greater — so ties (incl. ±0.0) and unordered operands are bit-exact
   /// in every backend (NEON implements them as compare + select).
-  [[nodiscard]] static F32x4Emul min(F32x4Emul a, F32x4Emul b) {
-    return {{a.lane[0] < b.lane[0] ? a.lane[0] : b.lane[0],
-             a.lane[1] < b.lane[1] ? a.lane[1] : b.lane[1],
-             a.lane[2] < b.lane[2] ? a.lane[2] : b.lane[2],
-             a.lane[3] < b.lane[3] ? a.lane[3] : b.lane[3]}};
+  [[nodiscard]] static F32xEmul min(F32xEmul a, F32xEmul b) {
+    F32xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] < b.lane[i] ? a.lane[i] : b.lane[i];
+    return r;
   }
-  [[nodiscard]] static F32x4Emul max(F32x4Emul a, F32x4Emul b) {
-    return {{a.lane[0] > b.lane[0] ? a.lane[0] : b.lane[0],
-             a.lane[1] > b.lane[1] ? a.lane[1] : b.lane[1],
-             a.lane[2] > b.lane[2] ? a.lane[2] : b.lane[2],
-             a.lane[3] > b.lane[3] ? a.lane[3] : b.lane[3]}};
+  [[nodiscard]] static F32xEmul max(F32xEmul a, F32xEmul b) {
+    F32xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] > b.lane[i] ? a.lane[i] : b.lane[i];
+    return r;
   }
   /// All-ones mask per lane where a > b (ordered, like the scalar >).
-  [[nodiscard]] static Mask gt(F32x4Emul a, F32x4Emul b) {
-    return {{a.lane[0] > b.lane[0] ? 0xFFFFFFFFu : 0u, a.lane[1] > b.lane[1] ? 0xFFFFFFFFu : 0u,
-             a.lane[2] > b.lane[2] ? 0xFFFFFFFFu : 0u, a.lane[3] > b.lane[3] ? 0xFFFFFFFFu : 0u}};
+  [[nodiscard]] static Mask gt(F32xEmul a, F32xEmul b) {
+    Mask r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] > b.lane[i] ? 0xFFFFFFFFu : 0u;
+    return r;
   }
   /// All-ones mask per lane where a < b (ordered).
-  [[nodiscard]] static Mask lt(F32x4Emul a, F32x4Emul b) {
-    return {{a.lane[0] < b.lane[0] ? 0xFFFFFFFFu : 0u, a.lane[1] < b.lane[1] ? 0xFFFFFFFFu : 0u,
-             a.lane[2] < b.lane[2] ? 0xFFFFFFFFu : 0u, a.lane[3] < b.lane[3] ? 0xFFFFFFFFu : 0u}};
+  [[nodiscard]] static Mask lt(F32xEmul a, F32xEmul b) {
+    Mask r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] < b.lane[i] ? 0xFFFFFFFFu : 0u;
+    return r;
   }
   /// All-ones mask per lane where a >= b (ordered).
-  [[nodiscard]] static Mask ge(F32x4Emul a, F32x4Emul b) {
-    return {{a.lane[0] >= b.lane[0] ? 0xFFFFFFFFu : 0u, a.lane[1] >= b.lane[1] ? 0xFFFFFFFFu : 0u,
-             a.lane[2] >= b.lane[2] ? 0xFFFFFFFFu : 0u, a.lane[3] >= b.lane[3] ? 0xFFFFFFFFu : 0u}};
+  [[nodiscard]] static Mask ge(F32xEmul a, F32xEmul b) {
+    Mask r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] >= b.lane[i] ? 0xFFFFFFFFu : 0u;
+    return r;
   }
   /// Per-lane |x|: clears the sign bit (bitwise, so NaN payloads pass through).
-  [[nodiscard]] static F32x4Emul abs(F32x4Emul a) {
-    const auto m = [](float f) {
-      return std::bit_cast<float>(std::bit_cast<std::uint32_t>(f) & 0x7FFFFFFFu);
-    };
-    return {{m(a.lane[0]), m(a.lane[1]), m(a.lane[2]), m(a.lane[3])}};
+  [[nodiscard]] static F32xEmul abs(F32xEmul a) {
+    F32xEmul r{};
+    for (int i = 0; i < W; ++i) {
+      r.lane[i] = std::bit_cast<float>(std::bit_cast<std::uint32_t>(a.lane[i]) & 0x7FFFFFFFu);
+    }
+    return r;
   }
   /// Bitwise blend: lanes of a where the mask bits are set, b elsewhere
   /// ((m & a) | (~m & b) on the raw bits, like SSE and/andnot/or or NEON bsl).
-  [[nodiscard]] static F32x4Emul select(Mask m, F32x4Emul a, F32x4Emul b) {
-    const auto blend = [](std::uint32_t mm, float fa, float fb) {
-      return std::bit_cast<float>((mm & std::bit_cast<std::uint32_t>(fa)) |
-                                  (~mm & std::bit_cast<std::uint32_t>(fb)));
-    };
-    return {{blend(m.lane[0], a.lane[0], b.lane[0]), blend(m.lane[1], a.lane[1], b.lane[1]),
-             blend(m.lane[2], a.lane[2], b.lane[2]), blend(m.lane[3], a.lane[3], b.lane[3])}};
+  [[nodiscard]] static F32xEmul select(Mask m, F32xEmul a, F32xEmul b) {
+    F32xEmul r{};
+    for (int i = 0; i < W; ++i) {
+      r.lane[i] = std::bit_cast<float>((m.lane[i] & std::bit_cast<std::uint32_t>(a.lane[i])) |
+                                       (~m.lane[i] & std::bit_cast<std::uint32_t>(b.lane[i])));
+    }
+    return r;
   }
   /// Raw IEEE-754 bit pattern per lane, and its inverse.
-  [[nodiscard]] static U32x4Emul to_bits(F32x4Emul a) {
-    return {{std::bit_cast<std::uint32_t>(a.lane[0]), std::bit_cast<std::uint32_t>(a.lane[1]),
-             std::bit_cast<std::uint32_t>(a.lane[2]), std::bit_cast<std::uint32_t>(a.lane[3])}};
+  [[nodiscard]] static Mask to_bits(F32xEmul a) {
+    Mask r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = std::bit_cast<std::uint32_t>(a.lane[i]);
+    return r;
   }
-  [[nodiscard]] static F32x4Emul from_bits(U32x4Emul a) {
-    return {{std::bit_cast<float>(a.lane[0]), std::bit_cast<float>(a.lane[1]),
-             std::bit_cast<float>(a.lane[2]), std::bit_cast<float>(a.lane[3])}};
+  [[nodiscard]] static F32xEmul from_bits(Mask a) {
+    F32xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = std::bit_cast<float>(a.lane[i]);
+    return r;
   }
 };
 
-/// In-place 4x4 transpose: rows (a,b,c,d) become columns. Used to turn 4
-/// contiguous loads into per-lane "one output each" layouts (ACF block sums).
+template <int W>
+struct F64xEmul {
+  static constexpr int kLanes = W;
+  double lane[W];
+
+  static F64xEmul load(const double* p) {
+    F64xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = p[i];
+    return r;
+  }
+  static F64xEmul broadcast(double x) {
+    F64xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = x;
+    return r;
+  }
+  template <class... T>
+  static F64xEmul set(T... v) {
+    static_assert(sizeof...(T) == W, "set() takes exactly kLanes values");
+    return {{static_cast<double>(v)...}};
+  }
+  /// Strided float loads widened to double: lane i = double(p[i * stride]).
+  /// The score-map kernels gather adjacent windows with this (their
+  /// descriptors sit `stride` floats apart). The name is historical from the
+  /// 2-lane pack; it gathers kLanes values at every width.
+  static F64xEmul gather2f(const float* p, std::size_t stride) {
+    F64xEmul r{};
+    for (int i = 0; i < W; ++i) {
+      r.lane[i] = static_cast<double>(p[static_cast<std::size_t>(i) * stride]);
+    }
+    return r;
+  }
+  /// Contiguous float loads widened to double: lane i = double(p[i]).
+  /// Equivalent to gather2f(p, 1) — float->double is exact, so the transposed
+  /// score-map layout can swap gathers for these without changing any bit.
+  static F64xEmul load2f(const float* p) {
+    F64xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = static_cast<double>(p[i]);
+    return r;
+  }
+  /// Lanewise (v > t) ? x : y, false on NaN — the cascade's stump predicate.
+  [[nodiscard]] static F64xEmul select_gt(F64xEmul v, F64xEmul t, F64xEmul x, F64xEmul y) {
+    F64xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = v.lane[i] > t.lane[i] ? x.lane[i] : y.lane[i];
+    return r;
+  }
+  void store(double* p) const {
+    for (int i = 0; i < W; ++i) p[i] = lane[i];
+  }
+  [[nodiscard]] double extract(int i) const { return lane[i]; }
+
+  friend F64xEmul operator+(F64xEmul a, F64xEmul b) {
+    F64xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] + b.lane[i];
+    return r;
+  }
+  friend F64xEmul operator-(F64xEmul a, F64xEmul b) {
+    F64xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] - b.lane[i];
+    return r;
+  }
+  friend F64xEmul operator*(F64xEmul a, F64xEmul b) {
+    F64xEmul r{};
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] * b.lane[i];
+    return r;
+  }
+};
+
+using U32x4Emul = U32xEmul<4>;
+using F32x4Emul = F32xEmul<4>;
+using F64x2Emul = F64xEmul<2>;
+using U32x8Emul = U32xEmul<8>;
+using F32x8Emul = F32xEmul<8>;
+using F64x4Emul = F64xEmul<4>;
+using U32x16Emul = U32xEmul<16>;
+using F32x16Emul = F32xEmul<16>;
+using F64x8Emul = F64xEmul<8>;
+
+/// In-place 4x4 transpose: rows (a,b,c,d) become columns. Only defined for
+/// the 4-lane packs (legacy layout helper; the width-generic kernels use
+/// gather_stride instead).
 inline void transpose4(F32x4Emul& a, F32x4Emul& b, F32x4Emul& c, F32x4Emul& d) {
   const F32x4Emul ta = {{a.lane[0], b.lane[0], c.lane[0], d.lane[0]}};
   const F32x4Emul tb = {{a.lane[1], b.lane[1], c.lane[1], d.lane[1]}};
@@ -254,42 +419,17 @@ inline void transpose4(F32x4Emul& a, F32x4Emul& b, F32x4Emul& c, F32x4Emul& d) {
   d = td;
 }
 
-struct F64x2Emul {
-  double lane[2];
-
-  static F64x2Emul load(const double* p) { return {{p[0], p[1]}}; }
-  static F64x2Emul broadcast(double x) { return {{x, x}}; }
-  static F64x2Emul set(double lo, double hi) { return {{lo, hi}}; }
-  /// Two strided float loads widened to double: {double(p[0]),
-  /// double(p[stride])}. The score-map kernels gather adjacent windows with
-  /// this (their descriptors sit `stride` floats apart).
-  static F64x2Emul gather2f(const float* p, std::size_t stride) {
-    return {{static_cast<double>(p[0]), static_cast<double>(p[stride])}};
-  }
-  void store(double* p) const {
-    p[0] = lane[0];
-    p[1] = lane[1];
-  }
-  [[nodiscard]] double extract(int i) const { return lane[i]; }
-
-  friend F64x2Emul operator+(F64x2Emul a, F64x2Emul b) {
-    return {{a.lane[0] + b.lane[0], a.lane[1] + b.lane[1]}};
-  }
-  friend F64x2Emul operator-(F64x2Emul a, F64x2Emul b) {
-    return {{a.lane[0] - b.lane[0], a.lane[1] - b.lane[1]}};
-  }
-  friend F64x2Emul operator*(F64x2Emul a, F64x2Emul b) {
-    return {{a.lane[0] * b.lane[0], a.lane[1] * b.lane[1]}};
-  }
-};
-
 // ---------------------------------------------------------------------------
-// Native backends. Each implements the exact per-lane semantics above.
+// Native backends. Each implements the exact per-lane semantics above at its
+// width. Wider x86 tiers are only compiled under -march flags that enable
+// them (CMake option EECS_ARCH); the dispatcher additionally checks CPU
+// support at runtime before selecting them.
 // ---------------------------------------------------------------------------
 
 #if defined(EECS_SIMD_SSE2)
 
 struct U32x4 {
+  static constexpr int kLanes = 4;
   __m128i v;
 
   static U32x4 broadcast(std::uint32_t x) { return {_mm_set1_epi32(static_cast<int>(x))}; }
@@ -311,12 +451,19 @@ struct U32x4 {
 };
 
 struct F32x4 {
+  static constexpr int kLanes = 4;
   using Mask = U32x4;
   __m128 v;
 
   static F32x4 load(const float* p) { return {_mm_loadu_ps(p)}; }
   static F32x4 broadcast(float x) { return {_mm_set1_ps(x)}; }
   static F32x4 set(float a, float b, float c, float d) { return {_mm_setr_ps(a, b, c, d)}; }
+  static F32x4 gather(const float* p, const int* idx) {
+    return {_mm_setr_ps(p[idx[0]], p[idx[1]], p[idx[2]], p[idx[3]])};
+  }
+  static F32x4 gather_stride(const float* p, std::size_t stride) {
+    return {_mm_setr_ps(p[0], p[stride], p[2 * stride], p[3 * stride])};
+  }
   void store(float* p) const { _mm_storeu_ps(p, v); }
   [[nodiscard]] float extract(int i) const {
     alignas(16) float tmp[4];
@@ -372,6 +519,7 @@ inline void transpose4(F32x4& a, F32x4& b, F32x4& c, F32x4& d) {
 }
 
 struct F64x2 {
+  static constexpr int kLanes = 2;
   __m128d v;
 
   static F64x2 load(const double* p) { return {_mm_loadu_pd(p)}; }
@@ -379,6 +527,14 @@ struct F64x2 {
   static F64x2 set(double lo, double hi) { return {_mm_setr_pd(lo, hi)}; }
   static F64x2 gather2f(const float* p, std::size_t stride) {
     return {_mm_setr_pd(static_cast<double>(p[0]), static_cast<double>(p[stride]))};
+  }
+  static F64x2 load2f(const float* p) {
+    return {_mm_cvtps_pd(_mm_castsi128_ps(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p))))};
+  }
+  [[nodiscard]] static F64x2 select_gt(F64x2 v, F64x2 t, F64x2 x, F64x2 y) {
+    const __m128d m = _mm_cmpgt_pd(v.v, t.v);
+    return {_mm_or_pd(_mm_and_pd(m, x.v), _mm_andnot_pd(m, y.v))};
   }
   void store(double* p) const { _mm_storeu_pd(p, v); }
   [[nodiscard]] double extract(int i) const {
@@ -393,6 +549,7 @@ struct F64x2 {
 #elif defined(EECS_SIMD_NEON)
 
 struct U32x4 {
+  static constexpr int kLanes = 4;
   uint32x4_t v;
 
   static U32x4 broadcast(std::uint32_t x) { return {vdupq_n_u32(x)}; }
@@ -414,6 +571,7 @@ struct U32x4 {
 };
 
 struct F32x4 {
+  static constexpr int kLanes = 4;
   using Mask = U32x4;
   float32x4_t v;
 
@@ -422,6 +580,12 @@ struct F32x4 {
   static F32x4 set(float a, float b, float c, float d) {
     const float tmp[4] = {a, b, c, d};
     return {vld1q_f32(tmp)};
+  }
+  static F32x4 gather(const float* p, const int* idx) {
+    return set(p[idx[0]], p[idx[1]], p[idx[2]], p[idx[3]]);
+  }
+  static F32x4 gather_stride(const float* p, std::size_t stride) {
+    return set(p[0], p[stride], p[2 * stride], p[3 * stride]);
   }
   void store(float* p) const { vst1q_f32(p, v); }
   [[nodiscard]] float extract(int i) const {
@@ -470,6 +634,7 @@ inline void transpose4(F32x4& a, F32x4& b, F32x4& c, F32x4& d) {
 }
 
 struct F64x2 {
+  static constexpr int kLanes = 2;
   float64x2_t v;
 
   static F64x2 load(const double* p) { return {vld1q_f64(p)}; }
@@ -480,6 +645,10 @@ struct F64x2 {
   }
   static F64x2 gather2f(const float* p, std::size_t stride) {
     return set(static_cast<double>(p[0]), static_cast<double>(p[stride]));
+  }
+  static F64x2 load2f(const float* p) { return {vcvt_f64_f32(vld1_f32(p))}; }
+  [[nodiscard]] static F64x2 select_gt(F64x2 v, F64x2 t, F64x2 x, F64x2 y) {
+    return {vbslq_f64(vcgtq_f64(v.v, t.v), x.v, y.v)};
   }
   void store(double* p) const { vst1q_f64(p, v); }
   [[nodiscard]] double extract(int i) const {
@@ -500,5 +669,345 @@ using F32x4 = F32x4Emul;
 using F64x2 = F64x2Emul;
 
 #endif
+
+#if defined(EECS_SIMD_AVX2)
+
+struct U32x8 {
+  static constexpr int kLanes = 8;
+  __m256i v;
+
+  static U32x8 broadcast(std::uint32_t x) { return {_mm256_set1_epi32(static_cast<int>(x))}; }
+  [[nodiscard]] std::uint32_t extract(int i) const {
+    alignas(32) std::uint32_t tmp[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), v);
+    return tmp[i];
+  }
+
+  friend U32x8 operator&(U32x8 a, U32x8 b) { return {_mm256_and_si256(a.v, b.v)}; }
+  friend U32x8 operator|(U32x8 a, U32x8 b) { return {_mm256_or_si256(a.v, b.v)}; }
+  friend U32x8 operator^(U32x8 a, U32x8 b) { return {_mm256_xor_si256(a.v, b.v)}; }
+  friend U32x8 operator-(U32x8 a, U32x8 b) { return {_mm256_sub_epi32(a.v, b.v)}; }
+  [[nodiscard]] static U32x8 cmpeq(U32x8 a, U32x8 b) { return {_mm256_cmpeq_epi32(a.v, b.v)}; }
+  [[nodiscard]] static U32x8 cmpgt_signed(U32x8 a, U32x8 b) {
+    return {_mm256_cmpgt_epi32(a.v, b.v)};
+  }
+  [[nodiscard]] static bool any(U32x8 a) { return _mm256_testz_si256(a.v, a.v) == 0; }
+};
+
+struct F32x8 {
+  static constexpr int kLanes = 8;
+  using Mask = U32x8;
+  __m256 v;
+
+  static F32x8 load(const float* p) { return {_mm256_loadu_ps(p)}; }
+  static F32x8 broadcast(float x) { return {_mm256_set1_ps(x)}; }
+  static F32x8 set(float a, float b, float c, float d, float e, float f, float g, float h) {
+    return {_mm256_setr_ps(a, b, c, d, e, f, g, h)};
+  }
+  static F32x8 gather(const float* p, const int* idx) {
+    return {_mm256_i32gather_ps(p, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx)), 4)};
+  }
+  static F32x8 gather_stride(const float* p, std::size_t stride) {
+    return {_mm256_setr_ps(p[0], p[stride], p[2 * stride], p[3 * stride], p[4 * stride],
+                           p[5 * stride], p[6 * stride], p[7 * stride])};
+  }
+  void store(float* p) const { _mm256_storeu_ps(p, v); }
+  [[nodiscard]] float extract(int i) const {
+    alignas(32) float tmp[8];
+    _mm256_store_ps(tmp, v);
+    return tmp[i];
+  }
+
+  friend F32x8 operator+(F32x8 a, F32x8 b) { return {_mm256_add_ps(a.v, b.v)}; }
+  friend F32x8 operator-(F32x8 a, F32x8 b) { return {_mm256_sub_ps(a.v, b.v)}; }
+  friend F32x8 operator*(F32x8 a, F32x8 b) { return {_mm256_mul_ps(a.v, b.v)}; }
+  friend F32x8 operator/(F32x8 a, F32x8 b) { return {_mm256_div_ps(a.v, b.v)}; }
+
+  [[nodiscard]] static F32x8 sqrt(F32x8 a) { return {_mm256_sqrt_ps(a.v)}; }
+  [[nodiscard]] static F32x8 floor(F32x8 a) { return {_mm256_floor_ps(a.v)}; }
+  // AVX vminps/vmaxps keep the SSE tie rule (return b on ties/NaN).
+  [[nodiscard]] static F32x8 min(F32x8 a, F32x8 b) { return {_mm256_min_ps(a.v, b.v)}; }
+  [[nodiscard]] static F32x8 max(F32x8 a, F32x8 b) { return {_mm256_max_ps(a.v, b.v)}; }
+  // _CMP_*_OQ returns the same mask values as the SSE cmpgt/cmplt/cmpge
+  // (signaling-ness only affects FP exception flags, never results).
+  [[nodiscard]] static Mask gt(F32x8 a, F32x8 b) {
+    return {_mm256_castps_si256(_mm256_cmp_ps(a.v, b.v, _CMP_GT_OQ))};
+  }
+  [[nodiscard]] static Mask lt(F32x8 a, F32x8 b) {
+    return {_mm256_castps_si256(_mm256_cmp_ps(a.v, b.v, _CMP_LT_OQ))};
+  }
+  [[nodiscard]] static Mask ge(F32x8 a, F32x8 b) {
+    return {_mm256_castps_si256(_mm256_cmp_ps(a.v, b.v, _CMP_GE_OQ))};
+  }
+  [[nodiscard]] static F32x8 abs(F32x8 a) {
+    return {_mm256_and_ps(a.v, _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF)))};
+  }
+  [[nodiscard]] static F32x8 select(Mask m, F32x8 a, F32x8 b) {
+    const __m256 mm = _mm256_castsi256_ps(m.v);
+    return {_mm256_or_ps(_mm256_and_ps(mm, a.v), _mm256_andnot_ps(mm, b.v))};
+  }
+  [[nodiscard]] static U32x8 to_bits(F32x8 a) { return {_mm256_castps_si256(a.v)}; }
+  [[nodiscard]] static F32x8 from_bits(U32x8 a) { return {_mm256_castsi256_ps(a.v)}; }
+};
+
+struct F64x4 {
+  static constexpr int kLanes = 4;
+  __m256d v;
+
+  static F64x4 load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  static F64x4 broadcast(double x) { return {_mm256_set1_pd(x)}; }
+  static F64x4 set(double a, double b, double c, double d) {
+    return {_mm256_setr_pd(a, b, c, d)};
+  }
+  static F64x4 gather2f(const float* p, std::size_t stride) {
+    return {_mm256_setr_pd(static_cast<double>(p[0]), static_cast<double>(p[stride]),
+                           static_cast<double>(p[2 * stride]),
+                           static_cast<double>(p[3 * stride]))};
+  }
+  static F64x4 load2f(const float* p) { return {_mm256_cvtps_pd(_mm_loadu_ps(p))}; }
+  [[nodiscard]] static F64x4 select_gt(F64x4 v, F64x4 t, F64x4 x, F64x4 y) {
+    return {_mm256_blendv_pd(y.v, x.v, _mm256_cmp_pd(v.v, t.v, _CMP_GT_OQ))};
+  }
+  void store(double* p) const { _mm256_storeu_pd(p, v); }
+  [[nodiscard]] double extract(int i) const {
+    alignas(32) double tmp[4];
+    _mm256_store_pd(tmp, v);
+    return tmp[i];
+  }
+
+  friend F64x4 operator+(F64x4 a, F64x4 b) { return {_mm256_add_pd(a.v, b.v)}; }
+  friend F64x4 operator-(F64x4 a, F64x4 b) { return {_mm256_sub_pd(a.v, b.v)}; }
+  friend F64x4 operator*(F64x4 a, F64x4 b) { return {_mm256_mul_pd(a.v, b.v)}; }
+};
+
+#endif  // EECS_SIMD_AVX2
+
+#if defined(EECS_SIMD_AVX512)
+
+struct U32x16 {
+  static constexpr int kLanes = 16;
+  __m512i v;
+
+  static U32x16 broadcast(std::uint32_t x) { return {_mm512_set1_epi32(static_cast<int>(x))}; }
+  [[nodiscard]] std::uint32_t extract(int i) const {
+    alignas(64) std::uint32_t tmp[16];
+    _mm512_store_si512(tmp, v);
+    return tmp[i];
+  }
+
+  friend U32x16 operator&(U32x16 a, U32x16 b) { return {_mm512_and_si512(a.v, b.v)}; }
+  friend U32x16 operator|(U32x16 a, U32x16 b) { return {_mm512_or_si512(a.v, b.v)}; }
+  friend U32x16 operator^(U32x16 a, U32x16 b) { return {_mm512_xor_si512(a.v, b.v)}; }
+  friend U32x16 operator-(U32x16 a, U32x16 b) { return {_mm512_sub_epi32(a.v, b.v)}; }
+  // AVX-512 compares produce k-masks; expand back to the full-width all-ones
+  // vector masks of the narrower ISAs (masks double as DATA in the census
+  // and atan2 kernels, so the representation is part of the contract).
+  [[nodiscard]] static U32x16 cmpeq(U32x16 a, U32x16 b) {
+    return {_mm512_maskz_set1_epi32(_mm512_cmpeq_epi32_mask(a.v, b.v), -1)};
+  }
+  [[nodiscard]] static U32x16 cmpgt_signed(U32x16 a, U32x16 b) {
+    return {_mm512_maskz_set1_epi32(_mm512_cmpgt_epi32_mask(a.v, b.v), -1)};
+  }
+  [[nodiscard]] static bool any(U32x16 a) { return _mm512_test_epi32_mask(a.v, a.v) != 0; }
+};
+
+struct F32x16 {
+  static constexpr int kLanes = 16;
+  using Mask = U32x16;
+  __m512 v;
+
+  static F32x16 load(const float* p) { return {_mm512_loadu_ps(p)}; }
+  static F32x16 broadcast(float x) { return {_mm512_set1_ps(x)}; }
+  static F32x16 set(float a, float b, float c, float d, float e, float f, float g, float h,
+                    float i, float j, float k, float l, float m, float n, float o, float q) {
+    return {_mm512_setr_ps(a, b, c, d, e, f, g, h, i, j, k, l, m, n, o, q)};
+  }
+  static F32x16 gather(const float* p, const int* idx) {
+    return {_mm512_i32gather_ps(_mm512_loadu_si512(idx), p, 4)};
+  }
+  static F32x16 gather_stride(const float* p, std::size_t stride) {
+    alignas(64) float tmp[16];
+    for (int i = 0; i < 16; ++i) tmp[i] = p[static_cast<std::size_t>(i) * stride];
+    return {_mm512_load_ps(tmp)};
+  }
+  void store(float* p) const { _mm512_storeu_ps(p, v); }
+  [[nodiscard]] float extract(int i) const {
+    alignas(64) float tmp[16];
+    _mm512_store_ps(tmp, v);
+    return tmp[i];
+  }
+
+  friend F32x16 operator+(F32x16 a, F32x16 b) { return {_mm512_add_ps(a.v, b.v)}; }
+  friend F32x16 operator-(F32x16 a, F32x16 b) { return {_mm512_sub_ps(a.v, b.v)}; }
+  friend F32x16 operator*(F32x16 a, F32x16 b) { return {_mm512_mul_ps(a.v, b.v)}; }
+  friend F32x16 operator/(F32x16 a, F32x16 b) { return {_mm512_div_ps(a.v, b.v)}; }
+
+  [[nodiscard]] static F32x16 sqrt(F32x16 a) { return {_mm512_sqrt_ps(a.v)}; }
+  [[nodiscard]] static F32x16 floor(F32x16 a) {
+    return {_mm512_roundscale_ps(a.v, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC)};
+  }
+  // AVX-512 vminps/vmaxps keep the SSE tie rule (return b on ties/NaN).
+  [[nodiscard]] static F32x16 min(F32x16 a, F32x16 b) { return {_mm512_min_ps(a.v, b.v)}; }
+  [[nodiscard]] static F32x16 max(F32x16 a, F32x16 b) { return {_mm512_max_ps(a.v, b.v)}; }
+  [[nodiscard]] static Mask gt(F32x16 a, F32x16 b) {
+    return {_mm512_maskz_set1_epi32(_mm512_cmp_ps_mask(a.v, b.v, _CMP_GT_OQ), -1)};
+  }
+  [[nodiscard]] static Mask lt(F32x16 a, F32x16 b) {
+    return {_mm512_maskz_set1_epi32(_mm512_cmp_ps_mask(a.v, b.v, _CMP_LT_OQ), -1)};
+  }
+  [[nodiscard]] static Mask ge(F32x16 a, F32x16 b) {
+    return {_mm512_maskz_set1_epi32(_mm512_cmp_ps_mask(a.v, b.v, _CMP_GE_OQ), -1)};
+  }
+  [[nodiscard]] static F32x16 abs(F32x16 a) {
+    return {_mm512_castsi512_ps(
+        _mm512_and_si512(_mm512_castps_si512(a.v), _mm512_set1_epi32(0x7FFFFFFF)))};
+  }
+  // (m & a) | (~m & b) in one ternlog: imm 0xCA selects B where A else C.
+  [[nodiscard]] static F32x16 select(Mask m, F32x16 a, F32x16 b) {
+    return {_mm512_castsi512_ps(_mm512_ternarylogic_epi32(
+        m.v, _mm512_castps_si512(a.v), _mm512_castps_si512(b.v), 0xCA))};
+  }
+  [[nodiscard]] static U32x16 to_bits(F32x16 a) { return {_mm512_castps_si512(a.v)}; }
+  [[nodiscard]] static F32x16 from_bits(U32x16 a) { return {_mm512_castsi512_ps(a.v)}; }
+};
+
+struct F64x8 {
+  static constexpr int kLanes = 8;
+  __m512d v;
+
+  static F64x8 load(const double* p) { return {_mm512_loadu_pd(p)}; }
+  static F64x8 broadcast(double x) { return {_mm512_set1_pd(x)}; }
+  static F64x8 set(double a, double b, double c, double d, double e, double f, double g,
+                   double h) {
+    return {_mm512_setr_pd(a, b, c, d, e, f, g, h)};
+  }
+  static F64x8 gather2f(const float* p, std::size_t stride) {
+    alignas(64) double tmp[8];
+    for (int i = 0; i < 8; ++i) {
+      tmp[i] = static_cast<double>(p[static_cast<std::size_t>(i) * stride]);
+    }
+    return {_mm512_load_pd(tmp)};
+  }
+  static F64x8 load2f(const float* p) { return {_mm512_cvtps_pd(_mm256_loadu_ps(p))}; }
+  [[nodiscard]] static F64x8 select_gt(F64x8 v, F64x8 t, F64x8 x, F64x8 y) {
+    return {_mm512_mask_blend_pd(_mm512_cmp_pd_mask(v.v, t.v, _CMP_GT_OQ), y.v, x.v)};
+  }
+  void store(double* p) const { _mm512_storeu_pd(p, v); }
+  [[nodiscard]] double extract(int i) const {
+    alignas(64) double tmp[8];
+    _mm512_store_pd(tmp, v);
+    return tmp[i];
+  }
+
+  friend F64x8 operator+(F64x8 a, F64x8 b) { return {_mm512_add_pd(a.v, b.v)}; }
+  friend F64x8 operator-(F64x8 a, F64x8 b) { return {_mm512_sub_pd(a.v, b.v)}; }
+  friend F64x8 operator*(F64x8 a, F64x8 b) { return {_mm512_mul_pd(a.v, b.v)}; }
+};
+
+#endif  // EECS_SIMD_AVX512
+
+// ---------------------------------------------------------------------------
+// ISA tags and the runtime dispatcher. A tag bundles the pack types of one
+// (width, native-or-emulated) combination; `dispatch(fn)` invokes fn with the
+// tag matching the current runtime mode. All tags produce bit-identical
+// results — the dispatcher only selects how fast they are computed.
+// ---------------------------------------------------------------------------
+
+struct IsaEmul128 {
+  using F32 = F32xEmul<4>;
+  using U32 = U32xEmul<4>;
+  using F64 = F64xEmul<2>;
+  static constexpr int kWidthBits = 128;
+  static constexpr bool kIsNative = false;
+};
+struct IsaEmul256 {
+  using F32 = F32xEmul<8>;
+  using U32 = U32xEmul<8>;
+  using F64 = F64xEmul<4>;
+  static constexpr int kWidthBits = 256;
+  static constexpr bool kIsNative = false;
+};
+struct IsaEmul512 {
+  using F32 = F32xEmul<16>;
+  using U32 = U32xEmul<16>;
+  using F64 = F64xEmul<8>;
+  static constexpr int kWidthBits = 512;
+  static constexpr bool kIsNative = false;
+};
+
+#if defined(EECS_SIMD_SSE2) || defined(EECS_SIMD_NEON)
+struct IsaNative128 {
+  using F32 = F32x4;
+  using U32 = U32x4;
+  using F64 = F64x2;
+  static constexpr int kWidthBits = 128;
+  static constexpr bool kIsNative = true;
+};
+#endif
+#if defined(EECS_SIMD_AVX2)
+struct IsaNative256 {
+  using F32 = F32x8;
+  using U32 = U32x8;
+  using F64 = F64x4;
+  static constexpr int kWidthBits = 256;
+  static constexpr bool kIsNative = true;
+};
+#endif
+#if defined(EECS_SIMD_AVX512)
+struct IsaNative512 {
+  using F32 = F32x16;
+  using U32 = U32x16;
+  using F64 = F64x8;
+  static constexpr int kWidthBits = 512;
+  static constexpr bool kIsNative = true;
+};
+#endif
+
+/// Invoke fn with the ISA tag of the current runtime mode. Native cases not
+/// compiled into this binary are unreachable (current_dispatch() never
+/// returns them); the default keeps the switch total.
+template <class Fn>
+decltype(auto) dispatch(Fn&& fn) {
+  switch (current_dispatch()) {
+#if defined(EECS_SIMD_AVX512)
+    case Dispatch::kNative512:
+      return fn(IsaNative512{});
+#endif
+#if defined(EECS_SIMD_AVX2)
+    case Dispatch::kNative256:
+      return fn(IsaNative256{});
+#endif
+#if defined(EECS_SIMD_SSE2) || defined(EECS_SIMD_NEON)
+    case Dispatch::kNative128:
+      return fn(IsaNative128{});
+#endif
+    case Dispatch::kEmul512:
+      return fn(IsaEmul512{});
+    case Dispatch::kEmul256:
+      return fn(IsaEmul256{});
+    case Dispatch::kEmul128:
+    default:
+      return fn(IsaEmul128{});
+  }
+}
+
+/// Invoke fn once per ISA tag available in this binary (every emulation
+/// width plus every compiled native width), regardless of the runtime mode.
+/// Test and verification harnesses sweep kernels across widths with this.
+template <class Fn>
+void for_each_isa(Fn&& fn) {
+  fn(IsaEmul128{});
+  fn(IsaEmul256{});
+  fn(IsaEmul512{});
+#if defined(EECS_SIMD_SSE2) || defined(EECS_SIMD_NEON)
+  fn(IsaNative128{});
+#endif
+#if defined(EECS_SIMD_AVX2)
+  fn(IsaNative256{});
+#endif
+#if defined(EECS_SIMD_AVX512)
+  fn(IsaNative512{});
+#endif
+}
 
 }  // namespace eecs::simd

@@ -8,6 +8,7 @@
 
 #include "common/parallel.hpp"
 #include "common/simd.hpp"
+#include "detect/batch_precompute.hpp"
 #include "detect/frame_cache.hpp"
 #include "features/color_feature.hpp"
 #include "net/messages.hpp"
@@ -292,12 +293,6 @@ FrameOutcome process_camera_frame(const detect::Detector& detector, double thres
   }
   outcome.cpu_joules = models.cpu_model.joules(cost);
   return outcome;
-}
-
-FrameOutcome process_camera_frame(const detect::Detector& detector, double threshold, int camera,
-                                  const imaging::Image& frame, const OfflineOptions& models) {
-  detect::FramePrecompute pre(frame);
-  return process_camera_frame(detector, threshold, camera, pre, models);
 }
 
 /// Assemble the §IV-B assessment sample representation from an outcome,
@@ -999,11 +994,22 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       std::vector<std::vector<FrameOutcome>> outcomes;
       {
         const obs::ScopedSpan span("stage.detect", "stage", st.detect_s, frame.index);
+        // One shared cache slot per camera; with batching on, the whole
+        // round's resize pyramid is prewarmed stage-major (one shared-plan
+        // pass per rung across all assessed cameras) before the fan-out.
+        detect::BatchPrecompute batch(static_cast<std::size_t>(num_cameras));
+        for (int c = 0; c < num_cameras; ++c) {
+          for (const AssessTask& task : tasks[static_cast<std::size_t>(c)]) {
+            batch.plan(static_cast<std::size_t>(c), frame.views[static_cast<std::size_t>(c)],
+                       detector_of(task.algorithm));
+          }
+        }
+        if (config.batch_precompute) batch.prewarm();
         outcomes = common::parallel_map<std::vector<FrameOutcome>>(
             static_cast<std::size_t>(num_cameras), [&](std::size_t c) {
               std::vector<FrameOutcome> out;
               if (tasks[c].empty()) return out;
-              detect::FramePrecompute pre(frame.views[c]);
+              detect::FramePrecompute& pre = batch.at(c);
               out.reserve(tasks[c].size());
               for (const AssessTask& task : tasks[c]) {
                 out.push_back(process_camera_frame(detector_of(task.algorithm), task.threshold,
@@ -1171,11 +1177,18 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       std::vector<FrameOutcome> outcomes;
       {
         const obs::ScopedSpan span("stage.detect", "stage", st.detect_s, frame.index);
+        detect::BatchPrecompute batch(processing.size());
+        for (std::size_t i = 0; i < processing.size(); ++i) {
+          const int c = processing[i];
+          const Effective& eff = effective[static_cast<std::size_t>(c)];
+          batch.plan(i, frame.views[static_cast<std::size_t>(c)], detector_of(eff.algorithm));
+        }
+        if (config.batch_precompute) batch.prewarm();
         outcomes = common::parallel_map<FrameOutcome>(processing.size(), [&](std::size_t i) {
           const int c = processing[i];
           const Effective& eff = effective[static_cast<std::size_t>(c)];
-          return process_camera_frame(detector_of(eff.algorithm), eff.threshold, c,
-                                      frame.views[static_cast<std::size_t>(c)], config.models);
+          return process_camera_frame(detector_of(eff.algorithm), eff.threshold, c, batch.at(i),
+                                      config.models);
         });
       }
       trace_instant("detect.batch", "detect", frame.index,
@@ -1328,11 +1341,19 @@ SimulationResult run_fixed_combo(const DetectorBank& detectors, const OfflineKno
     std::vector<FrameOutcome> outcomes;
     {
       const obs::ScopedSpan span("stage.detect", "stage", st.detect_s, frame.index);
+      // One slot per (camera, algorithm) entry — a camera listed twice keeps
+      // two independent caches, matching the legacy per-entry work profile.
+      detect::BatchPrecompute batch(entries.size());
+      for (std::size_t e = 0; e < entries.size(); ++e) {
+        if (!compute[e]) continue;
+        batch.plan(e, frame.views[static_cast<std::size_t>(entries[e].camera)],
+                   *entries[e].detector);
+      }
+      if (config.batch_precompute) batch.prewarm();
       outcomes = common::parallel_map<FrameOutcome>(entries.size(), [&](std::size_t e) {
         if (!compute[e]) return FrameOutcome{};
         const Entry& entry = entries[e];
-        return process_camera_frame(*entry.detector, entry.threshold, entry.camera,
-                                    frame.views[static_cast<std::size_t>(entry.camera)],
+        return process_camera_frame(*entry.detector, entry.threshold, entry.camera, batch.at(e),
                                     config.models);
       });
     }

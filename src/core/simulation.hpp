@@ -70,10 +70,17 @@ struct EecsSimulationConfig {
   /// bit-identical at every setting (see DESIGN.md "Execution model").
   int threads = 0;
   /// SIMD kernel dispatch. -1 = global default (EECS_SIMD env, else on when a
-  /// native backend was compiled in); 0 = scalar packs; 1 = native packs.
-  /// Results are bit-identical either way (see DESIGN.md "SIMD &
+  /// native backend was compiled in); 0 = scalar packs; 1 = auto-native;
+  /// 128/256/512 pick a lane width (native when available, else its
+  /// bit-identical emulation twin); -128/-256/-512 force the emulation twin.
+  /// Results are bit-identical at every setting (see DESIGN.md "SIMD &
   /// portability").
   int simd = -1;
+  /// Stage-major round precompute: gather every camera's frame and run one
+  /// shared-plan resize pass per pyramid rung across the whole batch before
+  /// the per-camera fan-out (see DESIGN.md "Virtual width & batched
+  /// detection"). Bit-identical either way; off = per-camera on-demand.
+  bool batch_precompute = true;
   SelectionMode mode = SelectionMode::SubsetDowngrade;
   /// Per-frame energy budget B_j (identical cameras); algorithms that do not
   /// fit are not even assessed (§IV).
@@ -209,6 +216,8 @@ struct FixedComboConfig {
   int threads = 0;
   /// SIMD dispatch; see EecsSimulationConfig::simd.
   int simd = -1;
+  /// Stage-major round precompute; see EecsSimulationConfig::batch_precompute.
+  bool batch_precompute = true;
   int start_frame = 1000;
   int end_frame = 2950;
   int gt_frame_step = 1;

@@ -13,27 +13,27 @@ namespace eecs::detect {
 
 namespace {
 
-/// One output row of 4x4 block-averaged color aggregation. kAcfShrink == 4,
-/// so the 16 consecutive source floats of one (dy) row feed exactly 4 output
-/// blocks; a 4x4 transpose turns the four loads into per-lane "one output
-/// each" columns, and the add sequence acc + t0 + t1 + t2 + t3 reproduces the
-/// scalar dx accumulation order per lane. Tail outputs run the scalar chain.
+/// One output row of 4x4 block-averaged color aggregation. Each lane owns
+/// one output block: tap dx of lane k sits at source column 4k + dx, so the
+/// four strided gathers t0..t3 are the dx taps across kLanes outputs, and
+/// the add sequence acc + t0 + t1 + t2 + t3 reproduces the scalar dx
+/// accumulation order per lane at every width. Tail outputs run the scalar
+/// chain.
 template <class F4>
 void acf_color_row(const float* src, int iw, int y, int aw, float* dst) {
   static_assert(kAcfShrink == 4, "lane blocking assumes 4x4 aggregation blocks");
   const F4 area = F4::broadcast(static_cast<float>(kAcfShrink * kAcfShrink));
   int x = 0;
-  for (; x + simd::kF32Lanes <= aw; x += simd::kF32Lanes) {
+  for (; x + F4::kLanes <= aw; x += F4::kLanes) {
     F4 acc = F4::broadcast(0.0f);
     for (int dy = 0; dy < kAcfShrink; ++dy) {
       const float* row = src + static_cast<std::size_t>(y * kAcfShrink + dy) *
                                    static_cast<std::size_t>(iw) +
                          static_cast<std::size_t>(x * kAcfShrink);
-      F4 t0 = F4::load(row);
-      F4 t1 = F4::load(row + 4);
-      F4 t2 = F4::load(row + 8);
-      F4 t3 = F4::load(row + 12);
-      transpose4(t0, t1, t2, t3);
+      const F4 t0 = F4::gather_stride(row + 0, kAcfShrink);
+      const F4 t1 = F4::gather_stride(row + 1, kAcfShrink);
+      const F4 t2 = F4::gather_stride(row + 2, kAcfShrink);
+      const F4 t3 = F4::gather_stride(row + 3, kAcfShrink);
       acc = acc + t0 + t1 + t2 + t3;
     }
     (acc / area).store(dst + y * aw + x);
@@ -51,10 +51,11 @@ void acf_color_row(const float* src, int iw, int y, int aw, float* dst) {
 }
 
 /// One output row of gradient-magnitude + orientation-channel aggregation.
-/// Magnitude sums use the same transpose blocking as the color rows; the
-/// orientation bin of every source pixel is computed lane-blocked (floor +
-/// min are exact), then scattered scalar in (dy, dx) order into each output's
-/// private 6-bin accumulator — the same float order as the scalar loop.
+/// Magnitude sums use the same strided-gather blocking as the color rows (tap
+/// dx across kLanes outputs); the orientation bin of every source pixel is
+/// computed lane-blocked (floor + min are exact), then scattered scalar in
+/// (dy, dx) order into each output's private 6-bin accumulator — the same
+/// float order as the scalar loop at every width.
 template <class F4>
 void acf_gradient_row(const float* mag_src, const float* ori_src, int iw, int y, int aw, int ah,
                       float bin_width, int orientations, float* planes, std::ptrdiff_t plane_stride,
@@ -65,36 +66,35 @@ void acf_gradient_row(const float* mag_src, const float* ori_src, int iw, int y,
   const F4 top_bin = F4::broadcast(static_cast<float>(orientations - 1));
   (void)ah;
   int x = 0;
-  for (; x + simd::kF32Lanes <= aw; x += simd::kF32Lanes) {
+  for (; x + F4::kLanes <= aw; x += F4::kLanes) {
     F4 macc = F4::broadcast(0.0f);
-    float orient_sum[simd::kF32Lanes][8] = {};
+    float orient_sum[F4::kLanes][8] = {};
     for (int dy = 0; dy < kAcfShrink; ++dy) {
       const std::size_t base = static_cast<std::size_t>(y * kAcfShrink + dy) *
                                    static_cast<std::size_t>(iw) +
                                static_cast<std::size_t>(x * kAcfShrink);
-      // Load k covers output x+k's four dx samples (pre-transpose), so bins
-      // and magnitudes extract straight into that output's scatter loop.
-      F4 m[simd::kF32Lanes];
-      F4 bins[simd::kF32Lanes];
-      for (int k = 0; k < simd::kF32Lanes; ++k) {
-        m[k] = F4::load(mag_src + base + static_cast<std::size_t>(4 * k));
-        const F4 o = F4::load(ori_src + base + static_cast<std::size_t>(4 * k));
-        bins[k] = F4::min(top_bin, F4::floor(o / bw));
+      // Gather dx holds tap dx of every output lane; per output the scatter
+      // drains taps in dx order, the scalar chain's order.
+      float mvals[kAcfShrink][F4::kLanes];
+      float bvals[kAcfShrink][F4::kLanes];
+      F4 md[kAcfShrink];
+      for (int dx = 0; dx < kAcfShrink; ++dx) {
+        md[dx] = F4::gather_stride(mag_src + base + static_cast<std::size_t>(dx), kAcfShrink);
+        const F4 o =
+            F4::gather_stride(ori_src + base + static_cast<std::size_t>(dx), kAcfShrink);
+        const F4 bins = F4::min(top_bin, F4::floor(o / bw));
+        md[dx].store(mvals[dx]);
+        bins.store(bvals[dx]);
       }
-      for (int k = 0; k < simd::kF32Lanes; ++k) {
-        for (int j = 0; j < simd::kF32Lanes; ++j) {
-          orient_sum[k][static_cast<int>(bins[k].extract(j))] += m[k].extract(j);
+      for (int k = 0; k < F4::kLanes; ++k) {
+        for (int dx = 0; dx < kAcfShrink; ++dx) {
+          orient_sum[k][static_cast<int>(bvals[dx][k])] += mvals[dx][k];
         }
       }
-      F4 t0 = m[0];
-      F4 t1 = m[1];
-      F4 t2 = m[2];
-      F4 t3 = m[3];
-      transpose4(t0, t1, t2, t3);
-      macc = macc + t0 + t1 + t2 + t3;
+      macc = macc + md[0] + md[1] + md[2] + md[3];
     }
     (macc / area).store(mag_plane + y * aw + x);
-    for (int k = 0; k < simd::kF32Lanes; ++k) {
+    for (int k = 0; k < F4::kLanes; ++k) {
       for (int o = 0; o < orientations; ++o) {
         planes[static_cast<std::ptrdiff_t>(o) * plane_stride + y * aw + x + k] =
             orient_sum[k][o] / (kAcfShrink * kAcfShrink);
@@ -147,18 +147,16 @@ ChannelMap compute_acf_channels(const imaging::Image& img, energy::CostCounter* 
   // aggregation indexes source rows directly; the (dy, dx) sum order matches
   // the clamped-access form this replaces bit for bit.
   const int iw = img.width();
-  const bool vec = simd::enabled();
-  for (int c = 0; c < 3; ++c) {
-    float* dst = plane(c);
-    const float* src = img.plane(img.channels() == 3 ? c : 0).data();
-    for (int y = 0; y < ah; ++y) {
-      if (vec) {
-        acf_color_row<simd::F32x4>(src, iw, y, aw, dst);
-      } else {
-        acf_color_row<simd::F32x4Emul>(src, iw, y, aw, dst);
+  simd::dispatch([&](auto isa) {
+    using F4 = typename decltype(isa)::F32;
+    for (int c = 0; c < 3; ++c) {
+      float* dst = plane(c);
+      const float* src = img.plane(img.channels() == 3 ? c : 0).data();
+      for (int y = 0; y < ah; ++y) {
+        acf_color_row<F4>(src, iw, y, aw, dst);
       }
     }
-  }
+  });
 
   // Gradient magnitude + 6 orientation channels, aggregated.
   const imaging::Gradients grads = imaging::compute_gradients(img);
@@ -168,15 +166,13 @@ ChannelMap compute_acf_channels(const imaging::Image& img, energy::CostCounter* 
   const float* ori_src = grads.orientation.plane(0).data();
   const std::ptrdiff_t plane_stride =
       static_cast<std::ptrdiff_t>(aw) * static_cast<std::ptrdiff_t>(ah);
-  for (int y = 0; y < ah; ++y) {
-    if (vec) {
-      acf_gradient_row<simd::F32x4>(mag_src, ori_src, iw, y, aw, ah, bin_width, kOrientations,
-                                    plane(4), plane_stride, plane(3));
-    } else {
-      acf_gradient_row<simd::F32x4Emul>(mag_src, ori_src, iw, y, aw, ah, bin_width, kOrientations,
-                                        plane(4), plane_stride, plane(3));
+  simd::dispatch([&](auto isa) {
+    using F4 = typename decltype(isa)::F32;
+    for (int y = 0; y < ah; ++y) {
+      acf_gradient_row<F4>(mag_src, ori_src, iw, y, aw, ah, bin_width, kOrientations, plane(4),
+                           plane_stride, plane(3));
     }
-  }
+  });
 
   if (cost != nullptr) {
     // One gradient pass plus one aggregation pass over all pixels.
@@ -254,42 +250,113 @@ std::vector<Detection> AcfDetector::run(FramePrecompute& pre, energy::CostCounte
     }
     const float* map_data = channels.data.data();
     const std::size_t check_every = static_cast<std::size_t>(params_.cascade_check_every);
-    for (int y0 = 0; y0 <= max_y; ++y0) {
-      for (int x0 = 0; x0 <= max_x; ++x0) {
-        // Evaluate stumps directly against the channel map (no feature
-        // materialization), with soft-cascade early rejection: bail out as
-        // soon as the window provably cannot reach an interesting score.
-        const std::size_t window_base =
-            static_cast<std::size_t>(y0) * cw + static_cast<std::size_t>(x0);
-        double s = 0.0;
-        double remaining = total_alpha;
-        std::size_t evaluated = 0;
-        std::size_t until_check = check_every;
-        bool rejected = false;
-        for (std::size_t k = 0; k < model_.stumps.size(); ++k) {
-          const Stump& st = model_.stumps[k];
-          const float v = map_data[stump_off[k] + window_base];
-          s += static_cast<double>(st.alpha) * ((v > st.threshold) ? st.polarity : -st.polarity);
-          remaining -= std::abs(static_cast<double>(st.alpha));
-          ++evaluated;
-          if (--until_check == 0) {
-            until_check = check_every;
-            if (s + remaining < static_cast<double>(params_.cascade_margin) * total_alpha) {
-              rejected = true;
-              break;
-            }
-          }
-        }
-        if (cost != nullptr) cost->add_classifier(2 * evaluated);
-        if (rejected || s <= params_.score_floor) continue;
-        Detection d;
-        d.box = window_to_person_box({x0 * kAcfShrink / scale, y0 * kAcfShrink / scale, kWindowWidth / scale,
-                 kWindowHeight / scale});
-        d.score = s;
-        d.probability = calibrated_probability(s);
-        candidates.push_back(d);
+    const std::size_t n_stumps = model_.stumps.size();
+    // Per-stump constants hoisted out of the scan, in the exact doubles the
+    // per-window loop produced: the signed weight a = double(alpha) *
+    // double(polarity) (its negation is bit-exact because IEEE multiply is
+    // sign-symmetric), the threshold widened (float compare == double compare
+    // of the exact conversions), and the cascade's `remaining` sequence —
+    // identical for every window, built with the same serial subtraction.
+    std::vector<double> stump_a(n_stumps), stump_na(n_stumps), stump_thr(n_stumps);
+    std::vector<double> remaining_after(n_stumps);
+    {
+      double r = total_alpha;
+      for (std::size_t k = 0; k < n_stumps; ++k) {
+        const Stump& st = model_.stumps[k];
+        stump_a[k] = static_cast<double>(st.alpha) * static_cast<double>(st.polarity);
+        stump_na[k] = -stump_a[k];
+        stump_thr[k] = static_cast<double>(st.threshold);
+        r -= std::abs(static_cast<double>(st.alpha));
+        remaining_after[k] = r;
       }
     }
+    const double reject_rhs = static_cast<double>(params_.cascade_margin) * total_alpha;
+    const auto emit = [&](int x0, int y0, double s) {
+      Detection d;
+      d.box = window_to_person_box({x0 * kAcfShrink / scale, y0 * kAcfShrink / scale,
+                                    kWindowWidth / scale, kWindowHeight / scale});
+      d.score = s;
+      d.probability = calibrated_probability(s);
+      candidates.push_back(d);
+    };
+    // Evaluate stumps directly against the channel map (no feature
+    // materialization), with soft-cascade early rejection. Lanes run across
+    // adjacent x0 anchors: window_base steps by 1 per lane, so every stump
+    // reads kLanes contiguous floats. Each lane's score is the same serial
+    // sum_k ±a_k chain as the scalar loop, and each lane freezes its own
+    // `evaluated` count at the first cascade check it fails (the pack keeps
+    // running until all lanes are rejected — extra work, but the per-window
+    // op counts the energy model charges are exact). Emission stays in
+    // (y0, x0) order.
+    simd::dispatch([&](auto isa) {
+      using D2 = typename decltype(isa)::F64;
+      constexpr int K = D2::kLanes;
+      double tmp[K];
+      std::size_t eval[K];
+      bool rejected[K];
+      for (int y0 = 0; y0 <= max_y; ++y0) {
+        int x0 = 0;
+        for (; x0 + K <= max_x + 1; x0 += K) {
+          const std::size_t window_base =
+              static_cast<std::size_t>(y0) * cw + static_cast<std::size_t>(x0);
+          D2 s = D2::broadcast(0.0);
+          for (int l = 0; l < K; ++l) {
+            rejected[l] = false;
+            eval[l] = 0;
+          }
+          int active = K;
+          std::size_t until_check = check_every;
+          for (std::size_t k = 0; k < n_stumps; ++k) {
+            const D2 v = D2::load2f(map_data + stump_off[k] + window_base);
+            s = s + D2::select_gt(v, D2::broadcast(stump_thr[k]), D2::broadcast(stump_a[k]),
+                                  D2::broadcast(stump_na[k]));
+            if (--until_check == 0) {
+              until_check = check_every;
+              s.store(tmp);
+              const double remaining = remaining_after[k];
+              for (int l = 0; l < K; ++l) {
+                if (!rejected[l] && tmp[l] + remaining < reject_rhs) {
+                  rejected[l] = true;
+                  eval[l] = k + 1;
+                  --active;
+                }
+              }
+              if (active == 0) break;
+            }
+          }
+          s.store(tmp);
+          for (int l = 0; l < K; ++l) {
+            const std::size_t evaluated = rejected[l] ? eval[l] : n_stumps;
+            if (cost != nullptr) cost->add_classifier(2 * evaluated);
+            if (rejected[l] || tmp[l] <= params_.score_floor) continue;
+            emit(x0 + l, y0, tmp[l]);
+          }
+        }
+        for (; x0 <= max_x; ++x0) {
+          const std::size_t window_base =
+              static_cast<std::size_t>(y0) * cw + static_cast<std::size_t>(x0);
+          double s = 0.0;
+          std::size_t evaluated = 0;
+          std::size_t until_check = check_every;
+          bool was_rejected = false;
+          for (std::size_t k = 0; k < n_stumps; ++k) {
+            const double v = static_cast<double>(map_data[stump_off[k] + window_base]);
+            s += (v > stump_thr[k]) ? stump_a[k] : stump_na[k];
+            ++evaluated;
+            if (--until_check == 0) {
+              until_check = check_every;
+              if (s + remaining_after[k] < reject_rhs) {
+                was_rejected = true;
+                break;
+              }
+            }
+          }
+          if (cost != nullptr) cost->add_classifier(2 * evaluated);
+          if (was_rejected || s <= params_.score_floor) continue;
+          emit(x0, y0, s);
+        }
+      }
+    });
   }
   return non_max_suppression(std::move(candidates), params_.nms_iou);
 }

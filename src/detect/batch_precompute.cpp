@@ -1,0 +1,50 @@
+#include "detect/batch_precompute.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "detect/detector.hpp"
+#include "imaging/filter.hpp"
+
+namespace eecs::detect {
+
+BatchPrecompute::BatchPrecompute(std::size_t slots)
+    : slots_(slots), frames_(slots, nullptr), requested_(slots) {}
+
+void BatchPrecompute::plan(std::size_t i, const imaging::Image& frame, const Detector& detector) {
+  EECS_EXPECTS(i < slots_.size());
+  EECS_EXPECTS(frames_[i] == nullptr || frames_[i] == &frame);
+  if (slots_[i] == nullptr) {
+    slots_[i] = std::make_unique<FramePrecompute>(frame);
+    frames_[i] = &frame;
+  }
+  for (const auto& [dst_w, dst_h] : detector.precompute_plan(frame.width(), frame.height())) {
+    const GroupKey key{frame.width(), frame.height(), dst_w, dst_h};
+    if (!requested_[i].insert(key).second) continue;  // Dims already planned for this slot.
+    groups_[key].push_back(i);
+  }
+}
+
+void BatchPrecompute::prewarm() {
+  for (auto& [key, members] : groups_) {
+    if (members.empty()) continue;
+    const auto [src_w, src_h, dst_w, dst_h] = key;
+    (void)src_w;
+    (void)src_h;
+    std::vector<const imaging::Image*> batch;
+    batch.reserve(members.size());
+    for (std::size_t i : members) batch.push_back(frames_[i]);
+    std::vector<imaging::Image> resized = imaging::resize_batch(batch, dst_w, dst_h);
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      slots_[members[k]]->adopt_scaled(dst_w, dst_h, std::move(resized[k]));
+    }
+    members.clear();  // Idempotence: a second prewarm() re-resizes nothing.
+  }
+}
+
+FramePrecompute& BatchPrecompute::at(std::size_t i) {
+  EECS_EXPECTS(planned(i));
+  return *slots_[i];
+}
+
+}  // namespace eecs::detect

@@ -1,0 +1,71 @@
+// Round-level structure-of-arrays precompute: one FramePrecompute per slot
+// (camera, or (camera, algorithm) entry), with the resize pyramid prewarmed
+// stage-major across the whole batch. Instead of every camera's task
+// discovering the same scale ladder on demand, the caller registers each
+// slot's frame and detectors up front; prewarm() then groups all requested
+// (source dims -> target dims) pairs and runs one shared-plan resize pass per
+// group (imaging::resize_batch), so the per-column index/weight tables are
+// computed once per ladder rung per round instead of once per camera, and the
+// resize kernels stream over all frames of a rung back to back.
+//
+// Bit-exactness: resize_batch is bit-identical to per-image resize, slots are
+// registered and filled in caller (camera) order, and prewarm only ever
+// front-loads work FramePrecompute would have done lazily — detector outputs
+// and replayed energy charges are unchanged. Skipping prewarm() entirely
+// (the config batch knob off) leaves every slot a plain on-demand cache.
+//
+// Threading: plan()/prewarm() are single-threaded setup; afterwards each slot
+// is an independent FramePrecompute, safe for one parallel task per slot.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "detect/frame_cache.hpp"
+#include "imaging/image.hpp"
+
+namespace eecs::detect {
+
+class Detector;
+
+class BatchPrecompute {
+ public:
+  /// A batch with `slots` addressable slots, all initially unplanned.
+  explicit BatchPrecompute(std::size_t slots);
+
+  BatchPrecompute(const BatchPrecompute&) = delete;
+  BatchPrecompute& operator=(const BatchPrecompute&) = delete;
+
+  /// Register slot `i` over `frame` and record the scaled dims `detector`
+  /// will request (its precompute_plan). May be called repeatedly for one
+  /// slot — the assessment sweep runs several algorithms per camera — but
+  /// always with the same frame. Creates the slot's FramePrecompute.
+  void plan(std::size_t i, const imaging::Image& frame, const Detector& detector);
+
+  /// Stage-major resize prewarm: for every distinct (source dims, target
+  /// dims) group, resize all planned frames through one shared column plan
+  /// and hand the results to the slots in registration order. Idempotent.
+  void prewarm();
+
+  /// The slot's cache; requires a prior plan() for `i`.
+  [[nodiscard]] FramePrecompute& at(std::size_t i);
+
+  [[nodiscard]] bool planned(std::size_t i) const {
+    return i < slots_.size() && slots_[i] != nullptr;
+  }
+
+ private:
+  // (src_w, src_h, dst_w, dst_h) -> slots wanting that resize, camera order.
+  using GroupKey = std::tuple<int, int, int, int>;
+
+  std::vector<std::unique_ptr<FramePrecompute>> slots_;
+  std::vector<const imaging::Image*> frames_;
+  std::map<GroupKey, std::vector<std::size_t>> groups_;
+  std::vector<std::set<GroupKey>> requested_;  ///< Per-slot dedup of group membership.
+};
+
+}  // namespace eecs::detect

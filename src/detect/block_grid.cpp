@@ -10,34 +10,40 @@ namespace eecs::detect {
 namespace {
 
 /// Accumulates one weight block's partial dot products into a row of anchor
-/// accumulators. Lanes run across anchors (independent chains): per weight
-/// index the four anchor samples sit at stride `bd`, gathered two per f64x2.
-/// Each anchor's partial is the same serial sum_i w[i]*b[i] chain as
-/// window_score, so any anchor blocking width is bit-identical.
+/// accumulators, reading the feature-major (transposed) layout: per weight
+/// index i the kLanes anchor samples are contiguous at trow[i * tstride + ax],
+/// so the inner loop issues plain loads instead of stride-block_dim gathers
+/// (the gathers were the score-map bottleneck — latency-bound and
+/// width-insensitive). Lanes run across anchors (independent chains); each
+/// anchor's partial is the same serial sum_i w[i]*b[i] chain as window_score,
+/// so any anchor blocking width is bit-identical.
 template <class D2>
-void accumulate_block_row(const float* w, const float* brow, std::size_t bd, int width,
-                          double* acc) {
+void accumulate_block_row(const float* w, const float* trow, std::size_t bd,
+                          std::size_t tstride, int width, double* acc) {
+  constexpr int K = D2::kLanes;
   int ax = 0;
-  for (; ax + 4 <= width; ax += 4) {
-    const float* b0 = brow + static_cast<std::size_t>(ax) * bd;
-    const float* b2 = b0 + 2 * bd;
+  for (; ax + 2 * K <= width; ax += 2 * K) {
+    const float* t0 = trow + static_cast<std::size_t>(ax);
     D2 p01 = D2::broadcast(0.0);
     D2 p23 = D2::broadcast(0.0);
     for (std::size_t i = 0; i < bd; ++i) {
       const D2 wd = D2::broadcast(static_cast<double>(w[i]));
-      p01 = p01 + wd * D2::gather2f(b0 + i, bd);
-      p23 = p23 + wd * D2::gather2f(b2 + i, bd);
+      const float* ti = t0 + i * tstride;
+      p01 = p01 + wd * D2::load2f(ti);
+      p23 = p23 + wd * D2::load2f(ti + K);
     }
-    acc[ax] += p01.extract(0);
-    acc[ax + 1] += p01.extract(1);
-    acc[ax + 2] += p23.extract(0);
-    acc[ax + 3] += p23.extract(1);
+    double t0s[K];
+    double t1s[K];
+    p01.store(t0s);
+    p23.store(t1s);
+    for (int l = 0; l < K; ++l) acc[ax + l] += t0s[l];
+    for (int l = 0; l < K; ++l) acc[ax + K + l] += t1s[l];
   }
   for (; ax < width; ++ax) {
-    const float* b = brow + static_cast<std::size_t>(ax) * bd;
     double partial = 0.0;
     for (std::size_t i = 0; i < bd; ++i) {
-      partial += static_cast<double>(w[i]) * static_cast<double>(b[i]);
+      partial += static_cast<double>(w[i]) *
+                 static_cast<double>(trow[i * tstride + static_cast<std::size_t>(ax)]);
     }
     acc[ax] += partial;
   }
@@ -83,6 +89,20 @@ BlockGrid::BlockGrid(const imaging::Image& img, const features::HogParams& param
   }
   if (cost != nullptr) {
     cost->add_features(data_.size() * 3);  // Gather + two normalization passes.
+  }
+
+  // Feature-major mirror for score_map: same floats, transposed per block row
+  // so consecutive anchors are contiguous. Pure data movement — charges
+  // nothing and changes no value.
+  data_t_.resize(data_.size());
+  const std::size_t bd = static_cast<std::size_t>(block_dim_);
+  const std::size_t bxs = static_cast<std::size_t>(blocks_x_);
+  for (int by = 0; by < blocks_y_; ++by) {
+    const float* src = data_.data() + static_cast<std::size_t>(by) * bxs * bd;
+    float* dst = data_t_.data() + static_cast<std::size_t>(by) * bd * bxs;
+    for (std::size_t bx = 0; bx < bxs; ++bx) {
+      for (std::size_t i = 0; i < bd; ++i) dst[i * bxs + bx] = src[bx * bd + i];
+    }
   }
 }
 
@@ -144,32 +164,34 @@ ScoreMap BlockGrid::score_map(const LinearModel& model, int window_cells_x,
   // partial per weight block in (by, bx) order — so the final float is
   // bit-identical to the per-window path.
   std::vector<double> acc(static_cast<std::size_t>(map.width));
-  const bool vec = simd::enabled();
-  for (int ay = 0; ay < map.height; ++ay) {
-    std::fill(acc.begin(), acc.end(), static_cast<double>(model.bias));
-    const float* w = model.weights.data();
-    for (int by = 0; by < wby; ++by) {
-      for (int bx = 0; bx < wbx; ++bx) {
-        // Blocks for consecutive anchors ax are contiguous in data_, so each
-        // weight block streams across the row; independent accumulator chains
-        // per step (lane-blocked across anchors) keep the (non-reassociable)
-        // double adds off the critical path without changing any single
-        // chain's order.
-        const float* brow =
-            data_.data() + (static_cast<std::size_t>(ay + by) * static_cast<std::size_t>(blocks_x_) +
-                            static_cast<std::size_t>(bx)) *
-                               bd;
-        if (vec) {
-          accumulate_block_row<simd::F64x2>(w, brow, bd, map.width, acc.data());
-        } else {
-          accumulate_block_row<simd::F64x2Emul>(w, brow, bd, map.width, acc.data());
+  simd::dispatch([&](auto isa) {
+    using D2 = typename decltype(isa)::F64;
+    for (int ay = 0; ay < map.height; ++ay) {
+      std::fill(acc.begin(), acc.end(), static_cast<double>(model.bias));
+      const float* w = model.weights.data();
+      for (int by = 0; by < wby; ++by) {
+        for (int bx = 0; bx < wbx; ++bx) {
+          // Each weight block streams across the anchor row through the
+          // feature-major mirror (consecutive anchors contiguous per weight
+          // index); independent accumulator chains per step (lane-blocked
+          // across anchors) keep the (non-reassociable) double adds off the
+          // critical path without changing any single chain's order.
+          const float* trow = data_t_.data() +
+                              static_cast<std::size_t>(ay + by) * bd *
+                                  static_cast<std::size_t>(blocks_x_) +
+                              static_cast<std::size_t>(bx);
+          accumulate_block_row<D2>(w, trow, bd, static_cast<std::size_t>(blocks_x_),
+                                   map.width, acc.data());
+          w += block_dim_;
         }
-        w += block_dim_;
+      }
+      float* out =
+          map.scores.data() + static_cast<std::size_t>(ay) * static_cast<std::size_t>(map.width);
+      for (int ax = 0; ax < map.width; ++ax) {
+        out[ax] = static_cast<float>(acc[static_cast<std::size_t>(ax)]);
       }
     }
-    float* out = map.scores.data() + static_cast<std::size_t>(ay) * static_cast<std::size_t>(map.width);
-    for (int ax = 0; ax < map.width; ++ax) out[ax] = static_cast<float>(acc[static_cast<std::size_t>(ax)]);
-  }
+  });
   return map;
 }
 

@@ -67,6 +67,12 @@ class BlockGrid {
   int blocks_y_ = 0;
   int block_dim_ = 0;
   std::vector<float> data_;
+  /// Feature-major mirror of data_: element i of block (bx, by) lives at
+  /// data_t_[(by * block_dim_ + i) * blocks_x_ + bx]. score_map streams a row
+  /// of anchors with contiguous loads from this layout instead of stride-
+  /// block_dim_ gathers; the values are the same floats, so scores are
+  /// unchanged bit for bit.
+  std::vector<float> data_t_;
 };
 
 }  // namespace eecs::detect

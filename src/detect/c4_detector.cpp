@@ -132,48 +132,48 @@ void CensusCellGrid::window_scores_row(const LinearModel& model, int cell_x0, in
       static_cast<std::size_t>(kCensusCellsX) * static_cast<std::size_t>(kCensusBins);
   // Lanes run across adjacent windows (independent accumulator chains).
   // Window j+1's histogram row is window j's shifted by one cell (kCensusBins
-  // floats), so the same weight stream feeds all four windows; each window's
-  // raw/sq chain keeps the exact per-window term order of window_score.
-  const auto scores4 = [&]<class D2>(int j, D2*) {
-    D2 r01 = D2::broadcast(0.0);
-    D2 r23 = D2::broadcast(0.0);
-    D2 q01 = D2::broadcast(0.0);
-    D2 q23 = D2::broadcast(0.0);
-    const float* w = model.weights.data();
-    for (int cy = 0; cy < kCensusCellsY; ++cy) {
-      const std::size_t cell0 = static_cast<std::size_t>(cell_y0 + cy) *
-                                    static_cast<std::size_t>(cells_x_) +
-                                static_cast<std::size_t>(cell_x0 + j);
-      const float* h = hist_.data() + cell0 * static_cast<std::size_t>(kCensusBins);
-      constexpr std::size_t kBins = static_cast<std::size_t>(kCensusBins);
-      for (std::size_t i = 0; i < kRowLen; ++i) {
-        const D2 wi = D2::broadcast(static_cast<double>(w[i]));
-        r01 = r01 + wi * D2::gather2f(h + i, kBins);
-        r23 = r23 + wi * D2::gather2f(h + i + 2 * kBins, kBins);
+  // floats), so the same weight stream feeds every window in the block; each
+  // window's raw/sq chain keeps the exact per-window term order of
+  // window_score, so results are bit-identical at every lane width.
+  simd::dispatch([&](auto isa) {
+    using D2 = typename decltype(isa)::F64;
+    constexpr int K = D2::kLanes;
+    const auto scores_block = [&](int j) {
+      D2 r01 = D2::broadcast(0.0);
+      D2 r23 = D2::broadcast(0.0);
+      D2 q01 = D2::broadcast(0.0);
+      D2 q23 = D2::broadcast(0.0);
+      const float* w = model.weights.data();
+      for (int cy = 0; cy < kCensusCellsY; ++cy) {
+        const std::size_t cell0 = static_cast<std::size_t>(cell_y0 + cy) *
+                                      static_cast<std::size_t>(cells_x_) +
+                                  static_cast<std::size_t>(cell_x0 + j);
+        const float* h = hist_.data() + cell0 * static_cast<std::size_t>(kCensusBins);
+        constexpr std::size_t kBins = static_cast<std::size_t>(kCensusBins);
+        for (std::size_t i = 0; i < kRowLen; ++i) {
+          const D2 wi = D2::broadcast(static_cast<double>(w[i]));
+          r01 = r01 + wi * D2::gather2f(h + i, kBins);
+          r23 = r23 + wi * D2::gather2f(h + i + static_cast<std::size_t>(K) * kBins, kBins);
+        }
+        const float* sn = sq_norm_.data() + cell0;
+        for (int cx = 0; cx < kCensusCellsX; ++cx) {
+          q01 = q01 + D2::gather2f(sn + cx, 1);
+          q23 = q23 + D2::gather2f(sn + cx + K, 1);
+        }
+        w += kRowLen;
       }
-      const float* sn = sq_norm_.data() + cell0;
-      for (int cx = 0; cx < kCensusCellsX; ++cx) {
-        q01 = q01 + D2::gather2f(sn + cx, 1);
-        q23 = q23 + D2::gather2f(sn + cx + 2, 1);
+      const double bias = model.bias;
+      for (int l = 0; l < K; ++l) {
+        out[j + l] =
+            static_cast<float>(r01.extract(l) / (std::sqrt(q01.extract(l)) + 1e-9) + bias);
+        out[j + K + l] =
+            static_cast<float>(r23.extract(l) / (std::sqrt(q23.extract(l)) + 1e-9) + bias);
       }
-      w += kRowLen;
-    }
-    const double bias = model.bias;
-    out[j] = static_cast<float>(r01.extract(0) / (std::sqrt(q01.extract(0)) + 1e-9) + bias);
-    out[j + 1] = static_cast<float>(r01.extract(1) / (std::sqrt(q01.extract(1)) + 1e-9) + bias);
-    out[j + 2] = static_cast<float>(r23.extract(0) / (std::sqrt(q23.extract(0)) + 1e-9) + bias);
-    out[j + 3] = static_cast<float>(r23.extract(1) / (std::sqrt(q23.extract(1)) + 1e-9) + bias);
-  };
-  const bool vec = simd::enabled();
-  int j = 0;
-  for (; j + 4 <= count; j += 4) {
-    if (vec) {
-      scores4(j, static_cast<simd::F64x2*>(nullptr));
-    } else {
-      scores4(j, static_cast<simd::F64x2Emul*>(nullptr));
-    }
-  }
-  for (; j < count; ++j) out[j] = window_score(model, cell_x0 + j, cell_y0, nullptr);
+    };
+    int j = 0;
+    for (; j + 2 * K <= count; j += 2 * K) scores_block(j);
+    for (; j < count; ++j) out[j] = window_score(model, cell_x0 + j, cell_y0, nullptr);
+  });
   if (cost != nullptr && count > 0) {
     cost->add_classifier(static_cast<std::uint64_t>(count) *
                          static_cast<std::uint64_t>(kCensusCellsX * kCensusCellsY * kCensusBins));

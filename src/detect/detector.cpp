@@ -1,5 +1,7 @@
 #include "detect/detector.hpp"
 
+#include <cmath>
+
 #include "common/contracts.hpp"
 #include "detect/acf_detector.hpp"
 #include "detect/c4_detector.hpp"
@@ -74,6 +76,21 @@ std::vector<double> pyramid_scales(double min_scale, double max_scale, double fa
   std::vector<double> scales;
   for (double s = max_scale; s >= min_scale * 0.999; s /= factor) scales.push_back(s);
   return scales;
+}
+
+std::vector<std::pair<int, int>> plan_scaled_dims(const std::vector<double>& scales,
+                                                  int frame_width, int frame_height) {
+  std::vector<std::pair<int, int>> dims;
+  dims.reserve(scales.size());
+  for (double scale : scales) {
+    // Same rounding and guard as every detector's scan loop.
+    const int sw = static_cast<int>(std::lround(frame_width * scale));
+    const int sh = static_cast<int>(std::lround(frame_height * scale));
+    if (sw < kWindowWidth || sh < kWindowHeight) continue;
+    if (sw == frame_width && sh == frame_height) continue;
+    dims.emplace_back(sw, sh);
+  }
+  return dims;
 }
 
 imaging::Rect window_to_person_box(const imaging::Rect& window) {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -48,6 +49,17 @@ class Detector {
   [[nodiscard]] std::vector<Detection> detect(FramePrecompute& pre,
                                               energy::CostCounter* cost = nullptr) const;
 
+  /// The scaled-frame dimensions run() will request from a FramePrecompute
+  /// for a frame of the given size — the detector's pyramid geometry with the
+  /// same lround/minimum-window guards as the scan loop, identity dims
+  /// omitted (scaled() returns the frame itself there). BatchPrecompute uses
+  /// this to resize a whole round's frames stage-major before the fan-out.
+  /// Default: empty (no prewarmable resizes; everything stays on demand).
+  [[nodiscard]] virtual std::vector<std::pair<int, int>> precompute_plan(
+      int /*frame_width*/, int /*frame_height*/) const {
+    return {};
+  }
+
  protected:
   /// The actual sliding-window scan; see detect(FramePrecompute&) above.
   [[nodiscard]] virtual std::vector<Detection> run(FramePrecompute& pre,
@@ -77,6 +89,13 @@ class Detector {
 /// Geometric scale ladder [max_scale, ..., >= min_scale], dividing by
 /// `factor` each step. Scales > 1 mean upsampling the frame.
 [[nodiscard]] std::vector<double> pyramid_scales(double min_scale, double max_scale, double factor);
+
+/// Shared precompute_plan implementation: the (lround(w*s), lround(h*s)) dims
+/// of every ladder scale that passes the detectors' common minimum-window
+/// guard, identity dims omitted. All four detectors scan with this exact
+/// geometry, so their precompute_plan overrides delegate here.
+[[nodiscard]] std::vector<std::pair<int, int>> plan_scaled_dims(const std::vector<double>& scales,
+                                                                int frame_width, int frame_height);
 
 /// Convert a raw sliding-window rectangle into the person-extent box it
 /// implies: training patches place the person at ~88% of the window height

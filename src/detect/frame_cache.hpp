@@ -54,6 +54,13 @@ class FramePrecompute {
   /// reproduces every pixel exactly).
   [[nodiscard]] const imaging::Image& scaled(int width, int height);
 
+  /// Hand over a resize computed externally (BatchPrecompute's stage-major
+  /// prewarm). `img` must be bit-identical to resize(frame, width, height);
+  /// counted as the cache miss the on-demand path would have recorded, so the
+  /// later scaled() lookups score as hits. Identity dims and already-cached
+  /// dims are ignored.
+  void adopt_scaled(int width, int height, imaging::Image img);
+
   /// Block-normalized HOG grid of scaled(width, height); shared between the
   /// HOG and LSVM detectors. Charges `cost` what a fresh build would.
   [[nodiscard]] const BlockGrid& block_grid(int width, int height,

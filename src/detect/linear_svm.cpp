@@ -21,12 +21,12 @@ void pegasos_step(float* w, const float* x, std::size_t dim, float decay, bool u
   const F4 sv = F4::broadcast(step);
   std::size_t d = 0;
   if (update) {
-    for (; d + simd::kF32Lanes <= dim; d += simd::kF32Lanes) {
+    for (; d + F4::kLanes <= dim; d += F4::kLanes) {
       (F4::load(w + d) * dv + sv * F4::load(x + d)).store(w + d);
     }
     for (; d < dim; ++d) w[d] = w[d] * decay + step * x[d];
   } else {
-    for (; d + simd::kF32Lanes <= dim; d += simd::kF32Lanes) {
+    for (; d + F4::kLanes <= dim; d += F4::kLanes) {
       (F4::load(w + d) * dv).store(w + d);
     }
     for (; d < dim; ++d) w[d] *= decay;
@@ -60,7 +60,6 @@ LinearModel train_linear_svm(const std::vector<std::vector<float>>& x, const std
   model.weights.assign(dim, 0.0f);
 
   long t = 1;
-  const bool vec = simd::enabled();
   std::vector<int> order(x.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
 
@@ -83,11 +82,10 @@ LinearModel train_linear_svm(const std::vector<std::vector<float>>& x, const std
       const float decay = static_cast<float>(std::max(0.0, 1.0 - eta * options.lambda));
       const bool update = margin < 1.0;
       const float step = update ? static_cast<float>(eta * yi) : 0.0f;
-      if (vec) {
-        pegasos_step<simd::F32x4>(model.weights.data(), xi.data(), dim, decay, update, step);
-      } else {
-        pegasos_step<simd::F32x4Emul>(model.weights.data(), xi.data(), dim, decay, update, step);
-      }
+      simd::dispatch([&](auto isa) {
+        using F4 = typename decltype(isa)::F32;
+        pegasos_step<F4>(model.weights.data(), xi.data(), dim, decay, update, step);
+      });
       ++t;
     }
   }

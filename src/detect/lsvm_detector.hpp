@@ -48,6 +48,11 @@ class LsvmDetector final : public Detector {
   [[nodiscard]] bool trained() const override { return root_.trained(); }
 
  protected:
+  [[nodiscard]] std::vector<std::pair<int, int>> precompute_plan(int frame_width,
+                                                                 int frame_height) const override {
+    return plan_scaled_dims(scales_, frame_width, frame_height);
+  }
+
   [[nodiscard]] std::vector<Detection> run(FramePrecompute& pre,
                                            energy::CostCounter* cost) const override;
 

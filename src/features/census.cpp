@@ -35,7 +35,7 @@ void census_row(const float* row, const float* up, const float* dn, int w, float
   scalar_code(0);
   int x = 1;
   const F4 thr = F4::broadcast(threshold);
-  for (; x + simd::kF32Lanes <= w - 1; x += simd::kF32Lanes) {
+  for (; x + F4::kLanes <= w - 1; x += F4::kLanes) {
     const F4 t = F4::load(row + x) + thr;
     const auto bit = [&](const float* p, std::uint32_t b) {
       return F4::gt(F4::load(p), t) & Mask::broadcast(b);
@@ -43,7 +43,7 @@ void census_row(const float* row, const float* up, const float* dn, int w, float
     const Mask code = bit(up + x - 1, 1u) | bit(up + x, 2u) | bit(up + x + 1, 4u) |
                       bit(row + x - 1, 8u) | bit(row + x + 1, 16u) | bit(dn + x - 1, 32u) |
                       bit(dn + x, 64u) | bit(dn + x + 1, 128u);
-    for (int j = 0; j < simd::kF32Lanes; ++j) {
+    for (int j = 0; j < F4::kLanes; ++j) {
       out[x + j] = static_cast<std::uint8_t>(code.extract(j));
     }
   }
@@ -62,19 +62,18 @@ std::vector<std::uint8_t> census_transform(const imaging::Image& img, energy::Co
   // (-1,1) (0,1) (1,1) — same fixed order as the offset-table form this
   // replaces; each comparison is independent, with edge pixels clamped.
   const float* src = gray.plane(0).data();
-  const bool vec = simd::enabled();
-  for (int y = 0; y < h; ++y) {
-    const float* row = src + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
-    const float* up = src + static_cast<std::size_t>(y > 0 ? y - 1 : 0) * static_cast<std::size_t>(w);
-    const float* dn =
-        src + static_cast<std::size_t>(y + 1 < h ? y + 1 : h - 1) * static_cast<std::size_t>(w);
-    std::uint8_t* out = codes.data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
-    if (vec) {
-      census_row<simd::F32x4>(row, up, dn, w, threshold, out);
-    } else {
-      census_row<simd::F32x4Emul>(row, up, dn, w, threshold, out);
+  simd::dispatch([&](auto isa) {
+    using F4 = typename decltype(isa)::F32;
+    for (int y = 0; y < h; ++y) {
+      const float* row = src + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+      const float* up =
+          src + static_cast<std::size_t>(y > 0 ? y - 1 : 0) * static_cast<std::size_t>(w);
+      const float* dn =
+          src + static_cast<std::size_t>(y + 1 < h ? y + 1 : h - 1) * static_cast<std::size_t>(w);
+      std::uint8_t* out = codes.data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+      census_row<F4>(row, up, dn, w, threshold, out);
     }
-  }
+  });
   if (cost != nullptr) cost->add_pixels(gray.pixel_count() * 8);
   return codes;
 }

@@ -12,40 +12,41 @@ namespace eecs::features {
 
 namespace {
 
-/// Soft-assignment binning of one cell row (`n` contiguous pixels) into
-/// `hist`. The per-pixel bin position arithmetic (divide, floor, fractional
-/// weight) is elementwise, so it runs lane-blocked 4 pixels at a time; the
-/// histogram scatter itself stays scalar IN PIXEL ORDER (lanes drained
-/// left-to-right), so the accumulation order into each bin — and therefore
-/// every float sum — matches the all-scalar loop bit for bit.
+/// Computes the soft-assignment bin positions (pos = theta/bin_width - 0.5)
+/// and their floors for `n` contiguous pixels. Elementwise — per-pixel
+/// results are identical no matter how pixels are grouped into lanes, so the
+/// whole image row vectorizes at full width (a per-cell 8-pixel run would
+/// fall entirely into the scalar tail at 16 lanes) and the pack results are
+/// stored to buffers instead of extracted lane by lane.
 template <class F4>
-void bin_cell_row(const float* mag, const float* theta, int n, float bin_width, int bins,
-                  std::span<float> hist) {
-  const auto scatter = [&](float m, float pos, float fl) {
-    if (m <= 0.0f) return;
-    int b0 = static_cast<int>(fl);
-    const float w1 = pos - fl;
-    int b1 = b0 + 1;
-    if (b0 < 0) b0 += bins;
-    if (b1 >= bins) b1 -= bins;
-    hist[static_cast<std::size_t>(b0)] += m * (1.0f - w1);
-    hist[static_cast<std::size_t>(b1)] += m * w1;
-  };
-  const F4 inv_offset = F4::broadcast(0.5f);
+void bin_row_positions(const float* theta, int n, float bin_width, float* pos, float* fl) {
+  const F4 half = F4::broadcast(0.5f);
   const F4 bw = F4::broadcast(bin_width);
-  int dx = 0;
-  for (; dx + simd::kF32Lanes <= n; dx += simd::kF32Lanes) {
-    const F4 m = F4::load(mag + dx);
-    const F4 pos = F4::load(theta + dx) / bw - inv_offset;
-    const F4 fl = F4::floor(pos);
-    for (int j = 0; j < simd::kF32Lanes; ++j) {
-      scatter(m.extract(j), pos.extract(j), fl.extract(j));
-    }
+  int x = 0;
+  for (; x + F4::kLanes <= n; x += F4::kLanes) {
+    const F4 p = F4::load(theta + x) / bw - half;
+    p.store(pos + x);
+    F4::floor(p).store(fl + x);
   }
-  for (; dx < n; ++dx) {
-    const float pos = theta[dx] / bin_width - 0.5f;
-    scatter(mag[dx], pos, std::floor(pos));
+  for (; x < n; ++x) {
+    pos[x] = theta[x] / bin_width - 0.5f;
+    fl[x] = std::floor(pos[x]);
   }
+}
+
+/// Scatters one pixel's magnitude into its two neighboring orientation bins.
+/// Callers drain pixels of a cell in (dy, dx) order, so the accumulation
+/// order into each histogram — and therefore every float sum — matches the
+/// all-scalar loop bit for bit.
+inline void bin_scatter(float m, float pos, float fl, int bins, std::span<float> hist) {
+  if (m <= 0.0f) return;
+  int b0 = static_cast<int>(fl);
+  const float w1 = pos - fl;
+  int b1 = b0 + 1;
+  if (b0 < 0) b0 += bins;
+  if (b1 >= bins) b1 -= bins;
+  hist[static_cast<std::size_t>(b0)] += m * (1.0f - w1);
+  hist[static_cast<std::size_t>(b1)] += m * w1;
 }
 
 }  // namespace
@@ -93,25 +94,34 @@ HogGrid compute_hog_grid(const imaging::Image& img, const HogParams& params,
   // Cell rows are independent (each cell bins only its own pixels into its
   // own histogram), so they partition across the pool bit-identically. Within
   // a cell the soft-assignment arithmetic is lane-blocked (see bin_cell_row).
-  const bool vec = simd::enabled();
-  common::parallel_for(static_cast<std::size_t>(cells_y), 8, [&](std::size_t cy0, std::size_t cy1) {
-    for (int cy = static_cast<int>(cy0); cy < static_cast<int>(cy1); ++cy) {
-      for (int cx = 0; cx < cells_x; ++cx) {
-        auto hist = grid.cell(cx, cy);
-        for (int dy = 0; dy < params.cell_size; ++dy) {
-          const std::size_t base =
-              static_cast<std::size_t>(cy * params.cell_size + dy) * static_cast<std::size_t>(img_w) +
-              static_cast<std::size_t>(cx * params.cell_size);
-          if (vec) {
-            bin_cell_row<simd::F32x4>(mag_src + base, ori_src + base, params.cell_size, bin_width,
-                                      params.bins, hist);
-          } else {
-            bin_cell_row<simd::F32x4Emul>(mag_src + base, ori_src + base, params.cell_size,
-                                          bin_width, params.bins, hist);
+  simd::dispatch([&](auto isa) {
+    using F4 = typename decltype(isa)::F32;
+    common::parallel_for(
+        static_cast<std::size_t>(cells_y), 8, [&](std::size_t cy0, std::size_t cy1) {
+          // Bin positions are computed a whole image row at a time (full lane
+          // width), then scattered per cell. Interleaving dy across cells is
+          // fine: each cell's histogram still receives its own pixels in
+          // (dy, dx) ascending order, the same sequence the per-cell loop
+          // produced, so every bin sum is bit-identical.
+          const int row_px = cells_x * params.cell_size;
+          std::vector<float> pos(static_cast<std::size_t>(row_px));
+          std::vector<float> fl(static_cast<std::size_t>(row_px));
+          for (int cy = static_cast<int>(cy0); cy < static_cast<int>(cy1); ++cy) {
+            for (int dy = 0; dy < params.cell_size; ++dy) {
+              const std::size_t base = static_cast<std::size_t>(cy * params.cell_size + dy) *
+                                       static_cast<std::size_t>(img_w);
+              bin_row_positions<F4>(ori_src + base, row_px, bin_width, pos.data(), fl.data());
+              for (int cx = 0; cx < cells_x; ++cx) {
+                auto hist = grid.cell(cx, cy);
+                const int x0 = cx * params.cell_size;
+                for (int dx = 0; dx < params.cell_size; ++dx) {
+                  const std::size_t x = static_cast<std::size_t>(x0 + dx);
+                  bin_scatter(mag_src[base + x], pos[x], fl[x], params.bins, hist);
+                }
+              }
+            }
           }
-        }
-      }
-    }
+        });
   });
   if (cost != nullptr) {
     // Gradient pass + binning pass over every pixel.

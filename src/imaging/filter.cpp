@@ -49,7 +49,7 @@ void filter_row_horizontal(const float* row, int w, std::span<const float> kerne
     for (int k = 0; k < taps; ++k) s += kernel[static_cast<std::size_t>(k)] * clamped(x + k - radius);
     dst[x] = s;
   }
-  for (; x + simd::kF32Lanes <= hi; x += simd::kF32Lanes) {
+  for (; x + F4::kLanes <= hi; x += F4::kLanes) {
     F4 acc = F4::broadcast(0.0f);
     const float* base = row + x - radius;
     for (int k = 0; k < taps; ++k) {
@@ -71,7 +71,7 @@ void filter_row_vertical(const float* const* rows, int w, std::span<const float>
                          float* dst) {
   const int taps = static_cast<int>(kernel.size());
   int x = 0;
-  for (; x + simd::kF32Lanes <= w; x += simd::kF32Lanes) {
+  for (; x + F4::kLanes <= w; x += F4::kLanes) {
     F4 acc = F4::broadcast(0.0f);
     for (int k = 0; k < taps; ++k) {
       acc = acc + F4::broadcast(kernel[static_cast<std::size_t>(k)]) * F4::load(rows[k] + x);
@@ -92,30 +92,25 @@ Image separable_filter(const Image& img, std::span<const float> kernel) {
   const int h = img.height();
   Image tmp(w, h, img.channels());
   Image out(w, h, img.channels());
-  const bool vec = simd::enabled();
-  parallel_rows(img.channels(), h, [&](int c, int y) {
-    const float* row = img.plane(c).data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
-    float* dst = tmp.plane(c).data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
-    if (vec) {
-      filter_row_horizontal<simd::F32x4>(row, w, kernel, radius, dst);
-    } else {
-      filter_row_horizontal<simd::F32x4Emul>(row, w, kernel, radius, dst);
-    }
-  });
-  parallel_rows(img.channels(), h, [&](int c, int y) {
-    const float* src = tmp.plane(c).data();
-    std::vector<const float*> rows(kernel.size());
-    for (int k = 0; k < static_cast<int>(kernel.size()); ++k) {
-      const int yy = std::clamp(y + k - radius, 0, h - 1);
-      rows[static_cast<std::size_t>(k)] =
-          src + static_cast<std::size_t>(yy) * static_cast<std::size_t>(w);
-    }
-    float* dst = out.plane(c).data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
-    if (vec) {
-      filter_row_vertical<simd::F32x4>(rows.data(), w, kernel, dst);
-    } else {
-      filter_row_vertical<simd::F32x4Emul>(rows.data(), w, kernel, dst);
-    }
+  simd::dispatch([&](auto isa) {
+    using F4 = typename decltype(isa)::F32;
+    parallel_rows(img.channels(), h, [&](int c, int y) {
+      const float* row =
+          img.plane(c).data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+      float* dst = tmp.plane(c).data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+      filter_row_horizontal<F4>(row, w, kernel, radius, dst);
+    });
+    parallel_rows(img.channels(), h, [&](int c, int y) {
+      const float* src = tmp.plane(c).data();
+      std::vector<const float*> rows(kernel.size());
+      for (int k = 0; k < static_cast<int>(kernel.size()); ++k) {
+        const int yy = std::clamp(y + k - radius, 0, h - 1);
+        rows[static_cast<std::size_t>(k)] =
+            src + static_cast<std::size_t>(yy) * static_cast<std::size_t>(w);
+      }
+      float* dst = out.plane(c).data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+      filter_row_vertical<F4>(rows.data(), w, kernel, dst);
+    });
   });
   return out;
 }
@@ -143,9 +138,18 @@ void gradient_orientation_row(const float* row, const float* up, const float* dn
   const F4 pi = F4::broadcast(kPi);
   const F4 zero = F4::broadcast(0.0f);
   int x = 1;
-  for (; x + simd::kF32Lanes <= w - 1; x += simd::kF32Lanes) {
+  using U = typename F4::Mask;
+  for (; x + F4::kLanes <= w - 1; x += F4::kLanes) {
     const F4 gx = F4::load(row + x + 1) - F4::load(row + x - 1);
     const F4 gy = F4::load(dn + x) - F4::load(up + x);
+    // Flat-region fast path: when every lane has gx = gy = +0.0 (equal
+    // neighbors subtract to +0 in round-to-nearest), atan2f(+0, +0) is +0 and
+    // the [0, pi) fold keeps it — store zeros and skip the polynomial.
+    // Bit-identical, and common in synthetic scenes with flat backgrounds.
+    if (!U::any(F4::to_bits(gx) | F4::to_bits(gy))) {
+      zero.store(orow + x);
+      continue;
+    }
     const F4 theta = simd::atan2f_pack<F4>(gy, gx);
     const F4 shifted = F4::select(F4::lt(theta, zero), theta + pi, theta);
     const F4 wrapped = F4::select(F4::ge(shifted, pi), shifted - pi, shifted);
@@ -169,7 +173,7 @@ void gradient_magnitude_row(const float* row, const float* up, const float* dn, 
   if (w == 0) return;
   scalar_mag(0);
   int x = 1;
-  for (; x + simd::kF32Lanes <= w - 1; x += simd::kF32Lanes) {
+  for (; x + F4::kLanes <= w - 1; x += F4::kLanes) {
     const F4 gx = F4::load(row + x + 1) - F4::load(row + x - 1);
     const F4 gy = F4::load(dn + x) - F4::load(up + x);
     const F4 mag = F4::sqrt(gx * gx + gy * gy);
@@ -189,19 +193,11 @@ void resize_row(const float* r0, const float* r1, const int* col0, const int* co
   const F4 one_m_wyv = F4::broadcast(one_m_wy);
   const F4 onev = F4::broadcast(1.0f);
   int x = 0;
-  for (; x + simd::kF32Lanes <= new_width; x += simd::kF32Lanes) {
-    const int c00 = col0[x];
-    const int c01 = col0[x + 1];
-    const int c02 = col0[x + 2];
-    const int c03 = col0[x + 3];
-    const int c10 = col1[x];
-    const int c11 = col1[x + 1];
-    const int c12 = col1[x + 2];
-    const int c13 = col1[x + 3];
-    const F4 v00 = F4::set(r0[c00], r0[c01], r0[c02], r0[c03]);
-    const F4 v10 = F4::set(r0[c10], r0[c11], r0[c12], r0[c13]);
-    const F4 v01 = F4::set(r1[c00], r1[c01], r1[c02], r1[c03]);
-    const F4 v11 = F4::set(r1[c10], r1[c11], r1[c12], r1[c13]);
+  for (; x + F4::kLanes <= new_width; x += F4::kLanes) {
+    const F4 v00 = F4::gather(r0, col0 + x);
+    const F4 v10 = F4::gather(r0, col1 + x);
+    const F4 v01 = F4::gather(r1, col0 + x);
+    const F4 v11 = F4::gather(r1, col1 + x);
     const F4 wx = F4::load(colw + x);
     const F4 one_m_wx = onev - wx;
     const F4 s = (one_m_wx * one_m_wyv) * v00 + (wx * one_m_wyv) * v10 + (one_m_wx * wyv) * v01 +
@@ -254,66 +250,106 @@ Gradients compute_gradients(const Image& img) {
   const float* src = gray.plane(0).data();
   float* mag = g.magnitude.plane(0).data();
   float* ori = g.orientation.plane(0).data();
-  const bool vec = simd::enabled();
-  parallel_rows(1, h, [&](int, int y) {
-    const float* row = src + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
-    const float* up = src + static_cast<std::size_t>(y > 0 ? y - 1 : 0) * static_cast<std::size_t>(w);
-    const float* dn =
-        src + static_cast<std::size_t>(y + 1 < h ? y + 1 : h - 1) * static_cast<std::size_t>(w);
-    float* mrow = mag + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
-    float* orow = ori + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
-    if (vec) {
-      gradient_magnitude_row<simd::F32x4>(row, up, dn, w, mrow);
-      gradient_orientation_row<simd::F32x4>(row, up, dn, w, orow);
-    } else {
-      gradient_magnitude_row<simd::F32x4Emul>(row, up, dn, w, mrow);
-      gradient_orientation_row<simd::F32x4Emul>(row, up, dn, w, orow);
-    }
+  simd::dispatch([&](auto isa) {
+    using F4 = typename decltype(isa)::F32;
+    parallel_rows(1, h, [&](int, int y) {
+      const float* row = src + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+      const float* up =
+          src + static_cast<std::size_t>(y > 0 ? y - 1 : 0) * static_cast<std::size_t>(w);
+      const float* dn =
+          src + static_cast<std::size_t>(y + 1 < h ? y + 1 : h - 1) * static_cast<std::size_t>(w);
+      float* mrow = mag + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+      float* orow = ori + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+      gradient_magnitude_row<F4>(row, up, dn, w, mrow);
+      gradient_orientation_row<F4>(row, up, dn, w, orow);
+    });
   });
   return g;
 }
 
-Image resize(const Image& img, int new_width, int new_height) {
-  EECS_EXPECTS(new_width >= 1 && new_height >= 1);
-  EECS_EXPECTS(!img.empty());
-  Image out(new_width, new_height, img.channels());
-  const float sx = static_cast<float>(img.width()) / static_cast<float>(new_width);
-  const float sy = static_cast<float>(img.height()) / static_cast<float>(new_height);
+namespace {
+
+/// Per-output-column source indices and blend weights, plus the vertical
+/// scale. A plan depends only on (source dims, target dims), so a batch of
+/// same-sized images shares one plan.
+struct ResizePlan {
+  std::vector<int> col0;
+  std::vector<int> col1;
+  std::vector<float> colw;
+  float sy = 0.0f;
+};
+
+ResizePlan plan_resize(int src_width, int src_height, int new_width, int new_height) {
+  ResizePlan plan;
+  const float sx = static_cast<float>(src_width) / static_cast<float>(new_width);
+  plan.sy = static_cast<float>(src_height) / static_cast<float>(new_height);
   // The horizontal sample position is a pure function of the output column;
   // compute each column's source indices and blend weight once (the same
   // arithmetic the per-pixel form used, so the outputs are bit-identical)
   // instead of per (channel, row, column).
-  std::vector<int> col0(static_cast<std::size_t>(new_width));
-  std::vector<int> col1(static_cast<std::size_t>(new_width));
-  std::vector<float> colw(static_cast<std::size_t>(new_width));
-  const int xlim = img.width() - 1;
+  plan.col0.resize(static_cast<std::size_t>(new_width));
+  plan.col1.resize(static_cast<std::size_t>(new_width));
+  plan.colw.resize(static_cast<std::size_t>(new_width));
+  const int xlim = src_width - 1;
   for (int x = 0; x < new_width; ++x) {
     const float fx = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
     const int x0 = static_cast<int>(std::floor(fx));
-    colw[static_cast<std::size_t>(x)] = fx - static_cast<float>(x0);
-    col0[static_cast<std::size_t>(x)] = std::clamp(x0, 0, xlim);
-    col1[static_cast<std::size_t>(x)] = std::clamp(x0 + 1, 0, xlim);
+    plan.colw[static_cast<std::size_t>(x)] = fx - static_cast<float>(x0);
+    plan.col0[static_cast<std::size_t>(x)] = std::clamp(x0, 0, xlim);
+    plan.col1[static_cast<std::size_t>(x)] = std::clamp(x0 + 1, 0, xlim);
   }
+  return plan;
+}
+
+/// Resize one image through a shared plan (dims already validated).
+Image resize_with_plan(const Image& img, const ResizePlan& plan, int new_width, int new_height) {
+  Image out(new_width, new_height, img.channels());
   const int ylim = img.height() - 1;
-  const bool vec = simd::enabled();
-  parallel_rows(img.channels(), new_height, [&](int c, int y) {
-    const float fy = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
-    const int y0 = static_cast<int>(std::floor(fy));
-    const float wy = fy - static_cast<float>(y0);
-    const float* src = img.plane(c).data();
-    const float* r0 = src + static_cast<std::size_t>(std::clamp(y0, 0, ylim)) *
-                                static_cast<std::size_t>(img.width());
-    const float* r1 = src + static_cast<std::size_t>(std::clamp(y0 + 1, 0, ylim)) *
-                                static_cast<std::size_t>(img.width());
-    float* dst = out.plane(c).data() +
-                 static_cast<std::size_t>(y) * static_cast<std::size_t>(new_width);
-    if (vec) {
-      resize_row<simd::F32x4>(r0, r1, col0.data(), col1.data(), colw.data(), new_width, wy, dst);
-    } else {
-      resize_row<simd::F32x4Emul>(r0, r1, col0.data(), col1.data(), colw.data(), new_width, wy,
-                                  dst);
-    }
+  simd::dispatch([&](auto isa) {
+    using F4 = typename decltype(isa)::F32;
+    parallel_rows(img.channels(), new_height, [&](int c, int y) {
+      const float fy = (static_cast<float>(y) + 0.5f) * plan.sy - 0.5f;
+      const int y0 = static_cast<int>(std::floor(fy));
+      const float wy = fy - static_cast<float>(y0);
+      const float* src = img.plane(c).data();
+      const float* r0 = src + static_cast<std::size_t>(std::clamp(y0, 0, ylim)) *
+                                  static_cast<std::size_t>(img.width());
+      const float* r1 = src + static_cast<std::size_t>(std::clamp(y0 + 1, 0, ylim)) *
+                                  static_cast<std::size_t>(img.width());
+      float* dst = out.plane(c).data() +
+                   static_cast<std::size_t>(y) * static_cast<std::size_t>(new_width);
+      resize_row<F4>(r0, r1, plan.col0.data(), plan.col1.data(), plan.colw.data(), new_width, wy,
+                     dst);
+    });
   });
+  return out;
+}
+
+}  // namespace
+
+Image resize(const Image& img, int new_width, int new_height) {
+  EECS_EXPECTS(new_width >= 1 && new_height >= 1);
+  EECS_EXPECTS(!img.empty());
+  const ResizePlan plan = plan_resize(img.width(), img.height(), new_width, new_height);
+  return resize_with_plan(img, plan, new_width, new_height);
+}
+
+std::vector<Image> resize_batch(std::span<const Image* const> imgs, int new_width,
+                                int new_height) {
+  EECS_EXPECTS(new_width >= 1 && new_height >= 1);
+  std::vector<Image> out;
+  out.reserve(imgs.size());
+  if (imgs.empty()) return out;
+  const Image& first = *imgs.front();
+  EECS_EXPECTS(!first.empty());
+  for (const Image* img : imgs) {
+    EECS_EXPECTS(img != nullptr && img->width() == first.width() &&
+                 img->height() == first.height() && img->channels() == first.channels());
+  }
+  const ResizePlan plan = plan_resize(first.width(), first.height(), new_width, new_height);
+  for (const Image* img : imgs) {
+    out.push_back(resize_with_plan(*img, plan, new_width, new_height));
+  }
   return out;
 }
 

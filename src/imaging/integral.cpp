@@ -18,15 +18,18 @@ template <class D2>
 void prefix_rows(const float* src, int width, std::size_t w1, double* table, std::size_t y0,
                  std::size_t y1) {
   std::size_t y = y0;
-  for (; y + simd::kF64Lanes <= y1; y += simd::kF64Lanes) {
+  for (; y + D2::kLanes <= y1; y += D2::kLanes) {
     D2 row_sum = D2::broadcast(0.0);
     const float* in = src + y * static_cast<std::size_t>(width);
-    double* out0 = table + (y + 1) * w1 + 1;
-    double* out1 = table + (y + 2) * w1 + 1;
+    double* outs[D2::kLanes];
+    for (int l = 0; l < D2::kLanes; ++l) {
+      outs[l] = table + (y + static_cast<std::size_t>(l) + 1) * w1 + 1;
+    }
     for (int x = 0; x < width; ++x) {
       row_sum = row_sum + D2::gather2f(in + x, static_cast<std::size_t>(width));
-      out0[x] = row_sum.extract(0);
-      out1[x] = row_sum.extract(1);
+      double tmp[D2::kLanes];
+      row_sum.store(tmp);
+      for (int l = 0; l < D2::kLanes; ++l) outs[l][x] = tmp[l];
     }
   }
   for (; y < y1; ++y) {
@@ -50,7 +53,7 @@ void accumulate_columns(double* table, int height, std::size_t w1, std::size_t x
     double* cur = table + static_cast<std::size_t>(y + 1) * w1 + 1;
     const double* prev = table + static_cast<std::size_t>(y) * w1 + 1;
     std::size_t x = x0;
-    for (; x + simd::kF64Lanes <= x1; x += simd::kF64Lanes) {
+    for (; x + D2::kLanes <= x1; x += D2::kLanes) {
       (D2::load(cur + x) + D2::load(prev + x)).store(cur + x);
     }
     for (; x < x1; ++x) cur[x] += prev[x];
@@ -70,20 +73,16 @@ IntegralImage::IntegralImage(const Image& img)
   // the identical sequence of double additions as the single-threaded loop.
   const std::size_t w1 = static_cast<std::size_t>(width_ + 1);
   const float* src = img.plane(0).data();
-  const bool vec = simd::enabled();
-  common::parallel_for(static_cast<std::size_t>(height_), 64, [&](std::size_t y0, std::size_t y1) {
-    if (vec) {
-      prefix_rows<simd::F64x2>(src, width_, w1, table_.data(), y0, y1);
-    } else {
-      prefix_rows<simd::F64x2Emul>(src, width_, w1, table_.data(), y0, y1);
-    }
-  });
-  common::parallel_for(static_cast<std::size_t>(width_), 64, [&](std::size_t x0, std::size_t x1) {
-    if (vec) {
-      accumulate_columns<simd::F64x2>(table_.data(), height_, w1, x0, x1);
-    } else {
-      accumulate_columns<simd::F64x2Emul>(table_.data(), height_, w1, x0, x1);
-    }
+  simd::dispatch([&](auto isa) {
+    using D2 = typename decltype(isa)::F64;
+    common::parallel_for(static_cast<std::size_t>(height_), 64,
+                         [&](std::size_t y0, std::size_t y1) {
+                           prefix_rows<D2>(src, width_, w1, table_.data(), y0, y1);
+                         });
+    common::parallel_for(static_cast<std::size_t>(width_), 64,
+                         [&](std::size_t x0, std::size_t x1) {
+                           accumulate_columns<D2>(table_.data(), height_, w1, x0, x1);
+                         });
   });
 }
 

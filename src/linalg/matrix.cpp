@@ -22,7 +22,7 @@ template <class D2>
 void axpy_row(double a, const double* x, double* y, std::size_t n) {
   const D2 av = D2::broadcast(a);
   std::size_t j = 0;
-  for (; j + simd::kF64Lanes <= n; j += simd::kF64Lanes) {
+  for (; j + D2::kLanes <= n; j += D2::kLanes) {
     (D2::load(y + j) + av * D2::load(x + j)).store(y + j);
   }
   for (; j < n; ++j) y[j] += a * x[j];
@@ -146,23 +146,20 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
   EECS_EXPECTS(a.cols() == b.rows());
   Matrix out(a.rows(), b.cols());
   const std::size_t n = static_cast<std::size_t>(b.cols());
-  const bool vec = simd::enabled();
-  common::parallel_for(static_cast<std::size_t>(a.rows()), kRowGrain,
-                       [&](std::size_t i0, std::size_t i1) {
-                         for (int i = static_cast<int>(i0); i < static_cast<int>(i1); ++i) {
-                           double* orow = out.row(i).data();
-                           for (int k = 0; k < a.cols(); ++k) {
-                             const double aik = a(i, k);
-                             if (aik == 0.0) continue;
-                             const double* brow = b.row(k).data();
-                             if (vec) {
-                               axpy_row<simd::F64x2>(aik, brow, orow, n);
-                             } else {
-                               axpy_row<simd::F64x2Emul>(aik, brow, orow, n);
+  simd::dispatch([&](auto isa) {
+    using D2 = typename decltype(isa)::F64;
+    common::parallel_for(static_cast<std::size_t>(a.rows()), kRowGrain,
+                         [&](std::size_t i0, std::size_t i1) {
+                           for (int i = static_cast<int>(i0); i < static_cast<int>(i1); ++i) {
+                             double* orow = out.row(i).data();
+                             for (int k = 0; k < a.cols(); ++k) {
+                               const double aik = a(i, k);
+                               if (aik == 0.0) continue;
+                               axpy_row<D2>(aik, b.row(k).data(), orow, n);
                              }
                            }
-                         }
-                       });
+                         });
+  });
   return out;
 }
 
@@ -173,23 +170,20 @@ Matrix transpose_times(const Matrix& a, const Matrix& b) {
   // k-outer walk, so each task owns its rows; per-entry accumulation still
   // runs in increasing k, matching the serial result bit for bit.
   const std::size_t n = static_cast<std::size_t>(b.cols());
-  const bool vec = simd::enabled();
-  common::parallel_for(static_cast<std::size_t>(a.cols()), kRowGrain,
-                       [&](std::size_t i0, std::size_t i1) {
-                         for (int i = static_cast<int>(i0); i < static_cast<int>(i1); ++i) {
-                           double* orow = out.row(i).data();
-                           for (int k = 0; k < a.rows(); ++k) {
-                             const double aki = a(k, i);
-                             if (aki == 0.0) continue;
-                             const double* brow = b.row(k).data();
-                             if (vec) {
-                               axpy_row<simd::F64x2>(aki, brow, orow, n);
-                             } else {
-                               axpy_row<simd::F64x2Emul>(aki, brow, orow, n);
+  simd::dispatch([&](auto isa) {
+    using D2 = typename decltype(isa)::F64;
+    common::parallel_for(static_cast<std::size_t>(a.cols()), kRowGrain,
+                         [&](std::size_t i0, std::size_t i1) {
+                           for (int i = static_cast<int>(i0); i < static_cast<int>(i1); ++i) {
+                             double* orow = out.row(i).data();
+                             for (int k = 0; k < a.rows(); ++k) {
+                               const double aki = a(k, i);
+                               if (aki == 0.0) continue;
+                               axpy_row<D2>(aki, b.row(k).data(), orow, n);
                              }
                            }
-                         }
-                       });
+                         });
+  });
   return out;
 }
 

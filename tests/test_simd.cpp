@@ -465,11 +465,12 @@ TEST(Atan2Portable, MatchesHostLibmWhenHostIsFdlibm) {
 // The pack kernel must reproduce the scalar replica in every lane, in both
 // the native and emulated backends, including the special-operand fallback.
 template <class F4>
-void expect_pack_matches_scalar() {
-  const auto check4 = [](const float* ys, const float* xs) {
-    float out[simd::kF32Lanes];
+void expect_pack_matches_scalar(int random_iters = 100000) {
+  constexpr int W = F4::kLanes;
+  const auto check = [](const float* ys, const float* xs) {
+    float out[W];
     simd::atan2f_pack<F4>(F4::load(ys), F4::load(xs)).store(out);
-    for (int i = 0; i < simd::kF32Lanes; ++i) {
+    for (int i = 0; i < W; ++i) {
       ASSERT_EQ(std::bit_cast<std::uint32_t>(out[i]),
                 std::bit_cast<std::uint32_t>(simd::atan2f_portable(ys[i], xs[i])))
           << "lane " << i << " y=" << std::hexfloat << ys[i] << " x=" << xs[i];
@@ -483,37 +484,269 @@ void expect_pack_matches_scalar() {
     for (std::uint32_t bx : kAtanSpecialBits) {
       // Specials mixed with random lanes: the fallback must patch exactly
       // the special lanes and leave the vector lanes untouched.
-      const float ys[4] = {std::bit_cast<float>(by), rand_bits(), rand_bits(),
-                           std::bit_cast<float>(by)};
-      const float xs[4] = {std::bit_cast<float>(bx), rand_bits(), rand_bits(),
-                           std::bit_cast<float>(bx)};
-      check4(ys, xs);
+      float ys[W];
+      float xs[W];
+      for (int j = 0; j < W; ++j) {
+        const bool special = j == 0 || j == W - 1;
+        ys[j] = special ? std::bit_cast<float>(by) : rand_bits();
+        xs[j] = special ? std::bit_cast<float>(bx) : rand_bits();
+      }
+      check(ys, xs);
     }
   }
-  for (int i = 0; i < 100000; ++i) {
-    float ys[4];
-    float xs[4];
-    for (int j = 0; j < 4; ++j) {
+  for (int i = 0; i < random_iters; ++i) {
+    float ys[W];
+    float xs[W];
+    for (int j = 0; j < W; ++j) {
       ys[j] = rand_bits();
       xs[j] = rand_bits();
     }
-    check4(ys, xs);
+    check(ys, xs);
   }
   // Gradient-realistic small magnitudes (the hot kernel's actual operands).
-  for (int i = 0; i < 100000; ++i) {
-    float ys[4];
-    float xs[4];
-    for (int j = 0; j < 4; ++j) {
+  for (int i = 0; i < random_iters; ++i) {
+    float ys[W];
+    float xs[W];
+    for (int j = 0; j < W; ++j) {
       ys[j] = static_cast<float>(rng.uniform() * 4.0 - 2.0);
       xs[j] = static_cast<float>(rng.uniform() * 4.0 - 2.0);
     }
-    check4(ys, xs);
+    check(ys, xs);
   }
 }
 
 TEST(Atan2Pack, NativeMatchesScalarReplica) { expect_pack_matches_scalar<simd::F32x4>(); }
 
 TEST(Atan2Pack, EmulationMatchesScalarReplica) { expect_pack_matches_scalar<simd::F32x4Emul>(); }
+
+// Every wider backend (native when compiled in + CPU-supported, and the
+// always-present emulation twins) must agree with the scalar replica on
+// every lane; the 128-bit pair is pinned by the two tests above.
+TEST(Atan2Pack, WidePacksMatchScalarReplica) {
+  simd::for_each_isa([](auto isa) {
+    using F = typename decltype(isa)::F32;
+    if constexpr (F::kLanes > 4) {
+      SCOPED_TRACE(testing::Message() << "lanes=" << F::kLanes
+                                      << " native=" << decltype(isa)::kIsNative);
+      expect_pack_matches_scalar<F>(25000);
+    }
+  });
+}
+
+
+// ---------------------------------------------------------------------------
+// Virtual-width sweep: every mode the EECS_SIMD knob accepts must reproduce
+// the scalar baseline bit for bit — native tiers and their forced-emulation
+// twins alike — on geometries whose tails are odd for 4, 8, AND 16 lanes.
+// ---------------------------------------------------------------------------
+
+TEST(SimdWidths, ModesResolveToDocumentedDispatch) {
+  {
+    const simd::ScopedSimd m(0);
+    EXPECT_STREQ(simd::dispatch_name(), "scalar");
+    EXPECT_EQ(simd::dispatch_width(), 128);
+    EXPECT_FALSE(simd::enabled());
+  }
+  {
+    const simd::ScopedSimd m(-256);
+    EXPECT_STREQ(simd::dispatch_name(), "emul256");
+    EXPECT_EQ(simd::dispatch_width(), 256);
+    EXPECT_FALSE(simd::enabled());
+  }
+  {
+    const simd::ScopedSimd m(-512);
+    EXPECT_STREQ(simd::dispatch_name(), "emul512");
+    EXPECT_EQ(simd::dispatch_width(), 512);
+    EXPECT_FALSE(simd::enabled());
+  }
+  {
+    // Width requests always honour the width; whether the backend is native
+    // depends on what this build + CPU offer.
+    const simd::ScopedSimd m(256);
+    EXPECT_EQ(simd::dispatch_width(), 256);
+  }
+  {
+    const simd::ScopedSimd m(512);
+    EXPECT_EQ(simd::dispatch_width(), 512);
+  }
+}
+
+/// One pass of every lane-blocked kernel on fixed inputs; byte streams are
+/// concatenated so a single bitwise compare covers the whole battery. The
+/// geometries leave non-multiple-of-lane tails at every width (69 = 16*4+5
+/// source columns, aw = 17 aggregated blocks, 7-window census rows).
+struct KernelBattery {
+  std::vector<float> f32;
+  std::vector<double> f64;
+  std::vector<std::uint8_t> u8;
+};
+
+KernelBattery run_kernel_battery() {
+  KernelBattery out;
+  Rng rng(97);
+  const imaging::Image rgb = random_image(69, 43, 3, rng);
+  const imaging::Image gray = random_image(69, 43, 1, rng);
+  const auto take_f32 = [&](std::span<const float> v) {
+    out.f32.insert(out.f32.end(), v.begin(), v.end());
+  };
+
+  const imaging::Image resized = imaging::resize(rgb, 37, 21);
+  take_f32(resized.data());
+  take_f32(imaging::gaussian_blur(gray, 1.3f).data());
+  const imaging::Gradients grads = imaging::compute_gradients(gray);
+  take_f32(grads.magnitude.data());
+  take_f32(grads.orientation.data());
+
+  const std::vector<std::uint8_t> codes = features::census_transform(gray);
+  out.u8.insert(out.u8.end(), codes.begin(), codes.end());
+
+  const detect::ChannelMap acf = detect::compute_acf_channels(rgb);
+  take_f32(acf.data);
+
+  features::HogParams hog_params;
+  hog_params.cell_size = 5;  // 1-pixel lane tail per cell row.
+  const features::HogGrid hog = features::compute_hog_grid(gray, hog_params);
+  for (int cy = 0; cy < hog.cells_y(); ++cy) {
+    for (int cx = 0; cx < hog.cells_x(); ++cx) take_f32(hog.cell(cx, cy));
+  }
+
+  {
+    const features::HogParams params;
+    detect::LinearModel model;
+    const int wbx = 6 - params.block_size + 1;
+    model.weights.resize(static_cast<std::size_t>(wbx * wbx * params.block_size *
+                                                  params.block_size * params.bins));
+    for (float& w : model.weights) w = static_cast<float>(rng.uniform(-1.0, 1.0));
+    model.bias = 0.125f;
+    const detect::BlockGrid grid(gray, params);
+    const detect::ScoreMap map = grid.score_map(model, 6, 6);
+    take_f32(map.scores);
+  }
+  {
+    detect::LinearModel model;
+    model.weights.resize(static_cast<std::size_t>(detect::kCensusCellsX *
+                                                  detect::kCensusCellsY * detect::kCensusBins));
+    for (float& w : model.weights) w = static_cast<float>(rng.uniform(-1.0, 1.0));
+    model.bias = -0.25f;
+    // 30x13 cells: a 25-window row — full blocks plus a tail at every width.
+    const detect::CensusCellGrid grid(random_image(245, 107, 1, rng));
+    const int count = grid.cells_x() - detect::kCensusCellsX + 1;
+    std::vector<float> row(static_cast<std::size_t>(count));
+    grid.window_scores_row(model, 0, 0, count, row.data(), nullptr);
+    take_f32(row);
+  }
+
+  const imaging::IntegralImage integral(gray);
+  for (int x1 : {1, 17, 43, 69}) out.f64.push_back(integral.rect_sum(0, 0, x1, 43));
+
+  linalg::Matrix a(7, 13);
+  linalg::Matrix b(13, 5);
+  for (int i = 0; i < 7; ++i) {
+    for (int j = 0; j < 13; ++j) a(i, j) = rng.uniform(-2.0, 2.0);
+  }
+  for (int i = 0; i < 13; ++i) {
+    for (int j = 0; j < 5; ++j) b(i, j) = rng.uniform(-2.0, 2.0);
+  }
+  const linalg::Matrix prod = a * b;
+  for (int i = 0; i < 7; ++i) {
+    out.f64.insert(out.f64.end(), prod.row(i).begin(), prod.row(i).end());
+  }
+  return out;
+}
+
+TEST(SimdWidths, KernelBatteryBitIdenticalAcrossAllModes) {
+  const KernelBattery ref = with_simd(0, run_kernel_battery);
+  ASSERT_FALSE(ref.f32.empty());
+  for (int mode : {1, 128, 256, 512, -128, -256, -512}) {
+    SCOPED_TRACE(testing::Message() << "mode=" << mode);
+    const KernelBattery got = with_simd(mode, run_kernel_battery);
+    expect_bits_eq<float>(ref.f32, got.f32);
+    expect_bits_eq<double>(ref.f64, got.f64);
+    expect_bits_eq<std::uint8_t>(ref.u8, got.u8);
+  }
+}
+
+TEST(SimdWidths, ResizeBatchBitIdenticalToPerImageResize) {
+  Rng rng(101);
+  const imaging::Image a = random_image(69, 43, 3, rng);
+  const imaging::Image b = random_image(69, 43, 3, rng);
+  const imaging::Image c = random_image(69, 43, 3, rng);
+  for (int mode : {0, 1, -256, -512}) {
+    SCOPED_TRACE(testing::Message() << "mode=" << mode);
+    const simd::ScopedSimd scoped(mode);
+    const imaging::Image* frames[] = {&a, &b, &c};
+    const std::vector<imaging::Image> batch = imaging::resize_batch(frames, 37, 21);
+    ASSERT_EQ(batch.size(), 3u);
+    expect_bits_eq<float>(batch[0].data(), imaging::resize(a, 37, 21).data());
+    expect_bits_eq<float>(batch[1].data(), imaging::resize(b, 37, 21).data());
+    expect_bits_eq<float>(batch[2].data(), imaging::resize(c, 37, 21).data());
+  }
+}
+
+// Pack-level A/B at every width: each available native backend against its
+// same-width emulation twin, on the rounding-edge value grid.
+TEST(SimdPacks, AllIsaF32OpsMatchSameWidthEmulation) {
+  simd::for_each_isa([](auto isa) {
+    using F = typename decltype(isa)::F32;
+    using E = simd::F32xEmul<F::kLanes>;
+    constexpr int W = F::kLanes;
+    SCOPED_TRACE(testing::Message() << "lanes=" << W << " native=" << decltype(isa)::kIsNative);
+    constexpr int N = static_cast<int>(std::size(kTrickyF));
+    for (int base = 0; base < N; ++base) {
+      float va[W];
+      float vb[W];
+      for (int j = 0; j < W; ++j) {
+        va[j] = kTrickyF[(base + j) % N];
+        vb[j] = kTrickyF[(base + 2 * j + 1) % N];
+      }
+      const F na = F::load(va);
+      const F nb = F::load(vb);
+      const E ea = E::load(va);
+      const E eb = E::load(vb);
+      float n[W];
+      float e[W];
+      const auto check = [&](F nv, E ev) {
+        nv.store(n);
+        ev.store(e);
+        expect_bits_eq<float>(n, e);
+      };
+      check(na + nb, ea + eb);
+      check(na - nb, ea - eb);
+      check(na * nb, ea * eb);
+      check(na / nb, ea / eb);
+      check(F::min(na, nb), E::min(ea, eb));
+      check(F::max(na, nb), E::max(ea, eb));
+      check(F::floor(na), E::floor(ea));
+      check(F::abs(na), E::abs(ea));
+      check(F::select(F::gt(na, nb), na, nb), E::select(E::gt(ea, eb), ea, eb));
+      for (int j = 0; j < W; ++j) {
+        EXPECT_EQ(F::gt(na, nb).extract(j), E::gt(ea, eb).extract(j));
+        EXPECT_EQ(F::lt(na, nb).extract(j), E::lt(ea, eb).extract(j));
+        EXPECT_EQ(F::ge(na, nb).extract(j), E::ge(ea, eb).extract(j));
+      }
+    }
+    // Gathers: indexed, strided, and the float->double strided form.
+    float src[4 * W + 3];
+    for (int i = 0; i < 4 * W + 3; ++i) src[i] = kTrickyF[i % N];
+    int idx[W];
+    for (int j = 0; j < W; ++j) idx[j] = (j * 3 + 1) % (4 * W);
+    float n[W];
+    float e[W];
+    F::gather(src, idx).store(n);
+    E::gather(src, idx).store(e);
+    expect_bits_eq<float>(n, e);
+    F::gather_stride(src, 3).store(n);
+    E::gather_stride(src, 3).store(e);
+    expect_bits_eq<float>(n, e);
+    using D = typename decltype(isa)::F64;
+    using ED = simd::F64xEmul<D::kLanes>;
+    double dn[D::kLanes];
+    double de[D::kLanes];
+    D::gather2f(src, 3).store(dn);
+    ED::gather2f(src, 3).store(de);
+    expect_bits_eq<double>(dn, de);
+  });
+}
 
 }  // namespace
 }  // namespace eecs

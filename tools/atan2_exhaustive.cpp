@@ -72,11 +72,12 @@ float libm_atan2f(float y, float x) { return std::atan2(y, x); }
 
 template <class F4>
 long pack_sweep(const char* name) {
+  constexpr int W = F4::kLanes;
   long bad = 0;
   auto batch = [&](const float* ys, const float* xs) {
-    float out[eecs::simd::kF32Lanes];
+    float out[W];
     eecs::simd::atan2f_pack<F4>(F4::load(ys), F4::load(xs)).store(out);
-    for (int i = 0; i < eecs::simd::kF32Lanes; ++i) {
+    for (int i = 0; i < W; ++i) {
       const float want = eecs::simd::atan2f_portable(ys[i], xs[i]);
       if (!bits_equal_or_both_nan_payload(out[i], want)) {
         if (bad < 10) {
@@ -89,21 +90,29 @@ long pack_sweep(const char* name) {
   };
   for (std::uint32_t by : kSpecial) {
     for (std::uint32_t bx : kSpecial) {
-      const float ys[4] = {from_bits(by), from_bits(next32()), from_bits(next32()), from_bits(by)};
-      const float xs[4] = {from_bits(bx), from_bits(next32()), from_bits(next32()), from_bits(bx)};
+      // Specials on the edge lanes, random fill in between: the scalar
+      // fallback must patch exactly the special lanes.
+      float ys[W];
+      float xs[W];
+      for (int j = 0; j < W; ++j) {
+        const bool special = j == 0 || j == W - 1;
+        ys[j] = special ? from_bits(by) : from_bits(next32());
+        xs[j] = special ? from_bits(bx) : from_bits(next32());
+      }
       batch(ys, xs);
     }
   }
-  for (long i = 0; i < 16 * 1000 * 1000; ++i) {
-    float ys[4];
-    float xs[4];
-    for (int j = 0; j < 4; ++j) {
+  for (long i = 0; i < (64 * 1000 * 1000) / W; ++i) {
+    float ys[W];
+    float xs[W];
+    for (int j = 0; j < W; ++j) {
       ys[j] = from_bits(next32());
       xs[j] = from_bits(next32());
     }
     batch(ys, xs);
   }
-  std::printf("pack sweep (%s): %ld mismatches over 64M lanes + special grid\n", name, bad);
+  std::printf("pack sweep (%s, %d lanes): %ld mismatches over 64M lanes + special grid\n", name,
+              W, bad);
   return bad;
 }
 
@@ -127,8 +136,16 @@ int main(int argc, char** argv) {
   std::printf("host libm probe: %s\n", host_is_fdlibm ? "fdlibm-compatible" : "NOT fdlibm");
 
   long bad = 0;
-  bad += pack_sweep<eecs::simd::F32x4>(eecs::simd::isa_name());
-  bad += pack_sweep<eecs::simd::F32x4Emul>("emul");
+  // Every available backend at every width: the 128-bit native/emulation
+  // pair, plus the wider native tiers compiled in and supported by this CPU
+  // and their always-present emulation twins.
+  eecs::simd::for_each_isa([&](auto isa) {
+    using F = typename decltype(isa)::F32;
+    char name[32];
+    std::snprintf(name, sizeof name, "%s%d", decltype(isa)::kIsNative ? "native" : "emul",
+                  F::kLanes * 32);
+    bad += pack_sweep<F>(name);
+  });
 
   if (!replica_only && host_is_fdlibm) {
     long bad_pairs = 0;

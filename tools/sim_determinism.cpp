@@ -199,15 +199,27 @@ int main() {
     rc = 1;
   }
 
-  const std::string scalar = report(bank, knowledge, 1, 0);
-  if (scalar == serial) {
-    std::printf("PASS: SIMD %s and scalar-emulation reports are bit-identical\n",
-                simd::isa_name());
-  } else {
-    std::printf("FAIL: simd=0 diverges from simd=1 (backend %s)\n", simd::isa_name());
-    std::fputs("---- simd=0 report ----\n", stdout);
-    std::fputs(scalar.c_str(), stdout);
-    rc = 1;
+  // Every configured lane width — native tiers (128/256/512, falling back to
+  // emulation where this build/CPU lacks them) and their forced-emulation
+  // twins (-256/-512) — must reproduce the scalar baseline (0) and the
+  // auto-native serial report bit for bit.
+  for (int mode : {0, 128, 256, 512, -128, -256, -512}) {
+    const std::string run = report(bank, knowledge, 1, mode);
+    const char* name;
+    {
+      const simd::ScopedSimd scoped(mode);
+      name = simd::dispatch_name();
+    }
+    if (run == serial) {
+      std::printf("PASS: simd=%d (%s) report is bit-identical to auto-native (%s)\n", mode, name,
+                  simd::isa_name());
+    } else {
+      std::printf("FAIL: simd=%d (%s) diverges from auto-native (backend %s)\n", mode, name,
+                  simd::isa_name());
+      std::printf("---- simd=%d report ----\n", mode);
+      std::fputs(run.c_str(), stdout);
+      rc = 1;
+    }
   }
 
   rc |= check_resume(bank, knowledge, "sim_determinism_resume.snap");
