@@ -1,0 +1,59 @@
+// Minimal JSON value + recursive-descent parser for the repo's own artifacts
+// (flight-recorder dumps, BENCH_*.json baselines). Not a general-purpose
+// library: numbers are doubles, objects preserve insertion order, and inputs
+// are trusted-but-validated — any malformed byte throws JsonError with an
+// offset instead of yielding a partial value.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace eecs::common {
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  /// Parse one complete JSON document; trailing non-whitespace throws.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int64() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Object member that must exist; throws JsonError otherwise.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Escape a string for embedding in JSON output (shared by the writers).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace eecs::common

@@ -12,6 +12,7 @@
 #include "detect/frame_cache.hpp"
 #include "features/color_feature.hpp"
 #include "net/messages.hpp"
+#include "obs/flight.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "runtime/checkpoint.hpp"
@@ -66,6 +67,8 @@ struct SimTelemetry {
         degradation_stepdowns(metrics.counter("runtime.degradation.stepdowns")),
         degradation_stepups(metrics.counter("runtime.degradation.stepups")),
         frames_parked(metrics.counter("battery.frames_parked")),
+        debit_joules(metrics.histogram("energy.debit_joules",
+                                       {0.001, 0.01, 0.1, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0})),
         render_s(metrics.gauge("stage.render_s", obs::Determinism::WallClock)),
         detect_s(metrics.gauge("stage.detect_s", obs::Determinism::WallClock)),
         features_s(metrics.gauge("stage.features_s", obs::Determinism::WallClock)),
@@ -146,6 +149,9 @@ struct SimTelemetry {
   obs::Counter& degradation_stepdowns;
   obs::Counter& degradation_stepups;
   obs::Counter& frames_parked;
+  /// Per-debit battery drain sizes (every camera battery debit across all
+  /// stages); the source of the p50/p99 quantile columns in the report tools.
+  obs::Histogram& debit_joules;
   obs::Gauge& render_s;
   obs::Gauge& detect_s;
   obs::Gauge& features_s;
@@ -425,6 +431,30 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
   obs::Telemetry& telemetry = obs::current();
   SimTelemetry st(telemetry.metrics());
 
+  // ---- Energy audit ledger: every joule debited below is attributed to a
+  // (camera, round, stage, algorithm, cause) key, with running totals that
+  // accumulate the exact same doubles in the same order as the result
+  // accumulators and battery mirrors replaying every drain — so conservation
+  // against the returned result is bit-exact (see obs/ledger.hpp).
+  obs::EnergyLedger& ledger = telemetry.ledger();
+  ledger.begin_run(std::vector<double>(static_cast<std::size_t>(num_cameras),
+                                       config.battery_joules));
+
+  // ---- Anomaly detection + flight recorder (obs/anomaly.hpp, obs/flight.hpp).
+  obs::AnomalyDetector anomaly_detector(config.runtime.anomaly, num_cameras);
+  const bool flight_enabled =
+      obs::kEnabled && !config.runtime.flight_recorder_path.empty();
+  obs::FlightRecorder flight(
+      flight_enabled ? static_cast<std::size_t>(std::max(config.runtime.flight_recorder_rounds, 1))
+                     : 0);
+  obs::Counter* anomaly_counters[obs::kNumAnomalyKinds] = {};
+  if constexpr (obs::kEnabled) {
+    for (int k = 0; k < obs::kNumAnomalyKinds; ++k) {
+      anomaly_counters[k] = &telemetry.metrics().counter(
+          std::string("anomaly.") + obs::to_string(static_cast<obs::Anomaly::Kind>(k)));
+    }
+  }
+
   // Per-camera energy gauges: battery residual mirrored on every drain, CPU
   // joules accumulated at the serial replay points. Registered once here so
   // the per-frame paths never format metric names.
@@ -604,13 +634,14 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       cam.threshold = msg.threshold;
     }
     // Always ack — also for stale duplicates, so retransmissions stop. The
-    // ack rides the link layer (no application radio energy).
+    // ack rides the link layer (no application radio energy); cause-tagged as
+    // heartbeat traffic for the audit counters.
     net::AssignmentAckMsg ack;
     ack.camera_id = camera;
     ack.sequence = msg.sequence;
     st.messages_sent.inc();
     const auto tx = network.send(net_node[static_cast<std::size_t>(camera)], 0, encode(ack),
-                                 net::TxClass::Control);
+                                 net::TxClass::Control, obs::EnergyCause::Heartbeat);
     if (!tx.delivered) st.messages_lost.inc();
   };
 
@@ -631,13 +662,17 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
     }
   };
 
-  const auto send_heartbeat = [&](int c) {
+  const auto send_heartbeat = [&](int c, obs::EnergyStage stage) {
     net::EnergyReportMsg msg;
     msg.camera_id = c;
     msg.residual_joules = cameras[static_cast<std::size_t>(c)].battery.residual();
     st.messages_sent.inc();
     const auto tx = network.send(net_node[static_cast<std::size_t>(c)], 0, encode(msg),
-                                 net::TxClass::Control);
+                                 net::TxClass::Control, obs::EnergyCause::Heartbeat);
+    // Control-class: zero joules today, but the debit records the attempt in
+    // the ledger so heartbeat cost shows up the day the model charges it
+    // (x + 0.0 == x keeps the totals bit-equal to the result meanwhile).
+    ledger.debit_radio(c, stage, -1, obs::EnergyCause::Heartbeat, tx.tx_joules);
     if (!tx.delivered) st.messages_lost.inc();
   };
 
@@ -682,8 +717,9 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
           trace_instant("assignment.retry", "protocol", network.now(),
                         {{"camera", static_cast<double>(camera)},
                          {"attempt", static_cast<double>(entry.attempts + 1)}});
-          const auto tx =
-              network.send(0, net_node[static_cast<std::size_t>(camera)], entry.payload);
+          const auto tx = network.send(0, net_node[static_cast<std::size_t>(camera)],
+                                       entry.payload, net::TxClass::Data,
+                                       obs::EnergyCause::Retry);
           if (!tx.delivered) st.messages_lost.inc();
         },
         [&](int camera, const runtime::AssignmentRetryQueue::Entry& entry) {
@@ -801,6 +837,8 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
     }
     ck.next_sequence = next_sequence;
     ck.network = network.export_state();
+    ck.ledger = ledger.export_state();
+    ck.anomaly = anomaly_detector.export_state();
     return ck;
   };
 
@@ -863,6 +901,14 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
     }
     resumed_faults = unpack_fault_counters(ck.fault_counters);
     rounds_completed = ck.rounds_completed;
+    // Restore the audit ledger and anomaly windows captured with the
+    // snapshot, so the resumed run's conservation check covers the whole run
+    // and the detector replays identical findings. Guarded: a snapshot from
+    // a pre-ledger build simply restarts both empty.
+    if (ck.ledger.mirror_residual.size() == static_cast<std::size_t>(num_cameras)) {
+      ledger.import_state(ck.ledger);
+      anomaly_detector.import_state(ck.anomaly);
+    }
     resumed = true;
     trace_instant("runtime.resume", "runtime", sim.frame_index(),
                   {{"rounds_completed", static_cast<double>(rounds_completed)}});
@@ -923,19 +969,31 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       int attempts = 0;
       do {
         ++attempts;
+        // First attempt is ordinary tx; every further attempt is retry
+        // energy, attributed as such. The result accumulates per attempt so
+        // the ledger total folds in the identical doubles in the same order.
+        const obs::EnergyCause cause =
+            attempts == 1 ? obs::EnergyCause::Tx : obs::EnergyCause::Retry;
         st.messages_sent.inc();
-        tx = network.send(net_node[static_cast<std::size_t>(c)], 0, payload);
+        tx = network.send(net_node[static_cast<std::size_t>(c)], 0, payload,
+                          net::TxClass::Data, cause);
         tx_joules += tx.tx_joules;
+        result.radio_joules += tx.tx_joules;
+        ledger.debit_radio(c, obs::EnergyStage::Registration, -1, cause, tx.tx_joules);
         if (!tx.delivered) st.messages_lost.inc();
       } while (!tx.delivered && attempts <= config.protocol.registration_retries &&
                !network.node_down(net_node[static_cast<std::size_t>(c)]));
       if (!tx.delivered) st.registrations_lost.inc();
       result.cpu_joules += reg.cpu_joules;
-      result.radio_joules += tx_joules;
+      ledger.debit_cpu(c, obs::EnergyStage::Registration, -1, obs::EnergyCause::Features,
+                       reg.cpu_joules);
       if (cpu_gauges[static_cast<std::size_t>(c)] != nullptr) {
         cpu_gauges[static_cast<std::size_t>(c)]->add(reg.cpu_joules);
       }
-      cameras[static_cast<std::size_t>(c)].battery.drain(reg.cpu_joules + tx_joules);
+      const double reg_debit = reg.cpu_joules + tx_joules;
+      cameras[static_cast<std::size_t>(c)].battery.drain(reg_debit);
+      ledger.drain(c, reg_debit);
+      st.debit_joules.observe(reg_debit);
     }
   }
   }
@@ -955,6 +1013,18 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
     // `deadline_gt_frames` ground-truth frames elapse.
     const std::uint64_t round_sent_base = st.messages_sent.value();
     const std::uint64_t round_lost_base = st.messages_lost.value();
+    // Ledger round context plus energy bases, so the flight recorder and the
+    // anomaly detector see this round's deltas at close.
+    ledger.set_round(rounds_completed);
+    const double round_cpu_base = ledger.cpu_total();
+    const double round_radio_base = ledger.radio_total();
+    std::vector<double> round_camera_base;
+    if constexpr (obs::kEnabled) {
+      round_camera_base.resize(static_cast<std::size_t>(num_cameras));
+      for (int c = 0; c < num_cameras; ++c) {
+        round_camera_base[static_cast<std::size_t>(c)] = ledger.camera_joules(c);
+      }
+    }
     if (watchdog.enabled()) {
       std::set<int> expected;
       for (int c : eligible_set()) {
@@ -1029,7 +1099,7 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       const obs::ScopedSpan span("stage.net", "stage", st.net_s, frame.index);
       for (int c = 0; c < num_cameras; ++c) {
         if (!camera_up[static_cast<std::size_t>(c)]) continue;
-        send_heartbeat(c);
+        send_heartbeat(c, obs::EnergyStage::Assessment);
         const auto& camera_tasks = tasks[static_cast<std::size_t>(c)];
         for (std::size_t t = 0; t < camera_tasks.size(); ++t) {
           FrameOutcome& outcome = outcomes[static_cast<std::size_t>(c)][t];
@@ -1038,6 +1108,11 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
           st.messages_sent.inc();
           const auto tx = network.send(net_node[static_cast<std::size_t>(c)], 0, encode(msg),
                                        net::TxClass::Control);
+          // Assessment metadata rides the control plane (zero joules today);
+          // the debit keeps the sample traffic visible in the audit.
+          ledger.debit_radio(c, obs::EnergyStage::Assessment,
+                             static_cast<int>(camera_tasks[t].algorithm),
+                             obs::EnergyCause::Tx, tx.tx_joules);
           if (tx.delivered) {
             in_flight[{c, frame.index, static_cast<int>(camera_tasks[t].algorithm)}] = {
                 f, to_view_detections(c, std::move(outcome))};
@@ -1066,6 +1141,7 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
                      {"strikes", static_cast<double>(miss.strikes)},
                      {"failed", miss.failed ? 1.0 : 0.0}});
     }
+    bool rung_descended = false;
     if (ladder.enabled()) {
       // Fault storm: a large fraction of this round's offered messages were
       // lost (both tallies are deterministic, so the flag is too).
@@ -1081,10 +1157,14 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
         const energy::Battery& battery = cameras[static_cast<std::size_t>(c)].battery;
         const double fraction =
             battery.capacity() > 0.0 ? battery.residual() / battery.capacity() : 0.0;
+        // The advisory is last round's burn-rate finding for this camera
+        // (observed at the previous round close, restored on resume).
         for (const runtime::DegradationLadder::Transition& t :
-             ladder.on_round(c, fraction, missed_this_round.count(c) > 0, storm)) {
+             ladder.on_round(c, fraction, missed_this_round.count(c) > 0, storm,
+                             anomaly_detector.flagged(c))) {
           if (t.to > t.from) {
             st.degradation_stepdowns.inc();
+            rung_descended = true;
           } else {
             st.degradation_stepups.inc();
           }
@@ -1199,7 +1279,7 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       std::size_t next_outcome = 0;
       for (int c = 0; c < num_cameras; ++c) {
         if (acts[static_cast<std::size_t>(c)] == Act::Silent) continue;
-        send_heartbeat(c);
+        send_heartbeat(c, obs::EnergyStage::Operation);
         if (acts[static_cast<std::size_t>(c)] != Act::Process) continue;
         CameraNode& cam = cameras[static_cast<std::size_t>(c)];
         const FrameOutcome& outcome = outcomes[next_outcome++];
@@ -1212,15 +1292,23 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
         const double crop_joules =
             config.models.radio_model.joules_per_byte * static_cast<double>(outcome.comm_bytes);
 
+        const int alg = static_cast<int>(effective[static_cast<std::size_t>(c)].algorithm);
+        const double tx_crop = tx.tx_joules + crop_joules;
         result.cpu_joules += outcome.cpu_joules;
-        result.radio_joules += tx.tx_joules + crop_joules;
+        result.radio_joules += tx_crop;
+        ledger.debit_cpu(c, obs::EnergyStage::Operation, alg, obs::EnergyCause::Detect,
+                         outcome.cpu_joules);
+        ledger.debit_radio(c, obs::EnergyStage::Operation, alg, obs::EnergyCause::Tx, tx_crop);
         if (cpu_gauges[static_cast<std::size_t>(c)] != nullptr) {
           cpu_gauges[static_cast<std::size_t>(c)]->add(outcome.cpu_joules);
         }
-        cam.battery.drain(outcome.cpu_joules + tx.tx_joules + crop_joules);
+        const double debit = outcome.cpu_joules + tx.tx_joules + crop_joules;
+        cam.battery.drain(debit);
+        ledger.drain(c, debit);
+        st.debit_joules.observe(debit);
         trace_instant("battery.debit", "energy", frame.index,
                       {{"camera", static_cast<double>(c)},
-                       {"joules", outcome.cpu_joules + tx.tx_joules + crop_joules},
+                       {"joules", debit},
                        {"residual", cam.battery.residual()}});
 
         if (tx.delivered) {
@@ -1239,6 +1327,63 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       }
       sim.skip(stride - 1);
     }
+
+    // ---- Round close, observability: fold the round into the anomaly
+    // detector (whose burn-rate flags advise next round's ladder pass), then
+    // record it in the flight recorder and dump the black box if the round
+    // tripped a watchdog strike or a ladder descent.
+    int round_anomalies = 0;
+    if constexpr (obs::kEnabled) {
+      obs::RoundObservation ob;
+      ob.round = rounds_completed;
+      ob.messages_sent = st.messages_sent.value() - round_sent_base;
+      ob.messages_lost = st.messages_lost.value() - round_lost_base;
+      ob.deadline_misses = static_cast<std::uint32_t>(missed_this_round.size());
+      ob.camera_joules.resize(static_cast<std::size_t>(num_cameras));
+      for (int c = 0; c < num_cameras; ++c) {
+        ob.camera_joules[static_cast<std::size_t>(c)] =
+            ledger.camera_joules(c) - round_camera_base[static_cast<std::size_t>(c)];
+      }
+      static constexpr const char* kAnomalyEvent[obs::kNumAnomalyKinds] = {
+          "anomaly.burn_rate", "anomaly.loss_rate", "anomaly.latency"};
+      for (const obs::Anomaly& a : anomaly_detector.observe(ob)) {
+        ++round_anomalies;
+        anomaly_counters[static_cast<int>(a.kind)]->inc();
+        trace_instant(kAnomalyEvent[static_cast<int>(a.kind)], "anomaly", sim.frame_index(),
+                      {{"camera", static_cast<double>(a.camera)},
+                       {"round", static_cast<double>(a.round)},
+                       {"value", a.value},
+                       {"threshold", a.threshold}});
+      }
+      if (flight_enabled) {
+        obs::FlightRound fr;
+        fr.round = rounds_completed;
+        fr.sim_time_s = network.now();
+        fr.selected = selection.stats.cameras_active;
+        fr.assignments = static_cast<std::int32_t>(selection.assignments.size());
+        fr.pending = static_cast<std::int32_t>(retry_queue.size());
+        fr.deadline_misses = static_cast<std::int32_t>(missed_this_round.size());
+        for (int c = 0; c < num_cameras; ++c) fr.watchdog_strikes += watchdog.strikes(c);
+        fr.messages_sent = ob.messages_sent;
+        fr.messages_lost = ob.messages_lost;
+        fr.cpu_joules = ledger.cpu_total() - round_cpu_base;
+        fr.radio_joules = ledger.radio_total() - round_radio_base;
+        fr.anomalies = round_anomalies;
+        fr.rungs.reserve(static_cast<std::size_t>(num_cameras));
+        fr.residual_j.reserve(static_cast<std::size_t>(num_cameras));
+        for (int c = 0; c < num_cameras; ++c) {
+          fr.rungs.push_back(static_cast<std::int8_t>(ladder.rung(c)));
+          fr.residual_j.push_back(cameras[static_cast<std::size_t>(c)].battery.residual());
+        }
+        flight.record(fr);
+        if (!missed_this_round.empty()) {
+          (void)flight.dump(config.runtime.flight_recorder_path, "watchdog_strike");
+        } else if (rung_descended) {
+          (void)flight.dump(config.runtime.flight_recorder_path, "ladder_descent");
+        }
+      }
+    }
+
     ++rounds_completed;
     // Round boundary: snapshot every K completed rounds, then honour a
     // simulated-crash stop. Nothing runs between here and the top of the
@@ -1250,9 +1395,15 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       capture_checkpoint().save(config.runtime.checkpoint_path);
       trace_instant("runtime.checkpoint", "runtime", sim.frame_index(),
                     {{"rounds_completed", static_cast<double>(rounds_completed)}});
+      if (flight_enabled) {
+        (void)flight.dump(config.runtime.flight_recorder_path, "checkpoint");
+      }
     }
     if (config.runtime.stop_after_rounds > 0 &&
         rounds_completed >= config.runtime.stop_after_rounds) {
+      if (flight_enabled) {
+        (void)flight.dump(config.runtime.flight_recorder_path, "crash");
+      }
       stopped_early = true;
       break;
     }
@@ -1316,6 +1467,12 @@ SimulationResult run_fixed_combo(const DetectorBank& detectors, const OfflineKno
 
   SimulationResult result;
   SimTelemetry st(obs::current().metrics());
+  // Fixed combos have no rounds or protocol: every joule lands in the
+  // Operation stage under {Detect, Tx}, still subject to the conservation
+  // invariant (ledger totals == result totals, bit-exact).
+  obs::EnergyLedger& ledger = obs::current().ledger();
+  ledger.begin_run(std::vector<double>(static_cast<std::size_t>(num_cameras),
+                                       config.battery_joules));
   sim.skip(config.start_frame);
   while (sim.frame_index() < config.end_frame) {
     const video::MultiViewFrame frame = [&] {
@@ -1371,7 +1528,15 @@ SimulationResult run_fixed_combo(const DetectorBank& detectors, const OfflineKno
       const double radio_joules = config.models.radio_model.tx_joules(outcome.comm_bytes);
       result.cpu_joules += outcome.cpu_joules;
       result.radio_joules += radio_joules;
-      battery.drain(outcome.cpu_joules + radio_joules);
+      ledger.debit_cpu(entry.camera, obs::EnergyStage::Operation,
+                       static_cast<int>(entry.algorithm), obs::EnergyCause::Detect,
+                       outcome.cpu_joules);
+      ledger.debit_radio(entry.camera, obs::EnergyStage::Operation,
+                         static_cast<int>(entry.algorithm), obs::EnergyCause::Tx, radio_joules);
+      const double debit = outcome.cpu_joules + radio_joules;
+      battery.drain(debit);
+      ledger.drain(entry.camera, debit);
+      st.debit_joules.observe(debit);
 
       const MatchResult match = match_detections(
           outcome.detections, frame.truth[static_cast<std::size_t>(entry.camera)]);

@@ -18,6 +18,7 @@
 #include "core/controller.hpp"
 #include "net/fault.hpp"
 #include "net/network.hpp"
+#include "obs/anomaly.hpp"
 #include "runtime/degradation.hpp"
 
 namespace eecs::core {
@@ -59,6 +60,17 @@ struct RuntimeOptions {
   /// Stop (simulated crash) once this many rounds completed; 0 = run to the
   /// end. The partial result covers only the rounds actually run.
   long stop_after_rounds = 0;
+  /// Flight recorder: when `flight_recorder_path` is non-empty the loop keeps
+  /// a bounded ring of per-round summaries and dumps it there as a JSONL
+  /// black box on watchdog strike, ladder descent, or checkpoint write (see
+  /// obs/flight.hpp; replay with tools/eecs_flight). Recording itself never
+  /// alters simulation results. No-op under EECS_OBS_OFF.
+  std::string flight_recorder_path;
+  int flight_recorder_rounds = 64;  ///< Ring capacity (rounds retained).
+  /// Anomaly detection over per-round telemetry (obs/anomaly.hpp). Findings
+  /// are counted and traced; they only feed back into behaviour when
+  /// `degradation.anomaly_advisory` is also set.
+  obs::AnomalyOptions anomaly;
 };
 
 struct EecsSimulationConfig {

@@ -35,6 +35,12 @@ Network::Network(const energy::RadioModel& radio, std::uint64_t seed)
       tx_sent_[k] = &metrics.counter(kSent[k]);
       tx_lost_[k] = &metrics.counter(kLost[k]);
     }
+    for (int c = 0; c < obs::kNumEnergyCauses; ++c) {
+      const std::string base =
+          std::string("net.tx.cause.") + obs::to_string(static_cast<obs::EnergyCause>(c));
+      cause_sent_[c] = &metrics.counter(base + ".sent");
+      cause_lost_[c] = &metrics.counter(base + ".lost");
+    }
     rx_delivered_metric_ = &metrics.counter("net.rx.delivered");
     rx_dropped_metric_ = &metrics.counter("net.rx.dropped");
   }
@@ -48,11 +54,12 @@ int Network::add_node(const LinkQuality& link) {
 }
 
 TxResult Network::send(int from_node, int to_node, std::vector<std::uint8_t> payload,
-                       TxClass tx_class) {
+                       TxClass tx_class, obs::EnergyCause cause) {
   EECS_EXPECTS(from_node >= 0 && from_node < node_count());
   EECS_EXPECTS(to_node >= 0 && to_node < node_count());
   const LinkQuality& link = links_[static_cast<std::size_t>(from_node)];
   const int kind = message_kind(payload);
+  const int cause_slot = static_cast<int>(cause);
 
   TxResult result;
   if (faults_.node_down(from_node, now_)) {
@@ -62,6 +69,7 @@ TxResult Network::send(int from_node, int to_node, std::vector<std::uint8_t> pay
     return result;
   }
   if (tx_sent_[kind] != nullptr) tx_sent_[kind]->inc();
+  if (cause_sent_[cause_slot] != nullptr) cause_sent_[cause_slot]->inc();
 
   result.tx_seconds = static_cast<double>(payload.size()) / link.bandwidth_bytes_per_s;
   if (tx_class == TxClass::Data) {
@@ -76,8 +84,9 @@ TxResult Network::send(int from_node, int to_node, std::vector<std::uint8_t> pay
   if (result.delivered) {
     queue_.push({now_ + result.tx_seconds + link.latency_s, sequence_++, from_node, to_node,
                  std::move(payload)});
-  } else if (tx_lost_[kind] != nullptr) {
-    tx_lost_[kind]->inc();
+  } else {
+    if (tx_lost_[kind] != nullptr) tx_lost_[kind]->inc();
+    if (cause_lost_[cause_slot] != nullptr) cause_lost_[cause_slot]->inc();
   }
   return result;
 }

@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "energy/model.hpp"
 #include "net/fault.hpp"
+#include "obs/ledger.hpp"
 
 namespace eecs::obs {
 class Counter;
@@ -70,8 +71,12 @@ class Network {
   /// message is queued for delivery after the serialization + latency delay.
   /// Lost messages still cost the sender transmit energy. A send from a
   /// crashed node is silently dropped and costs nothing (the radio is off).
+  /// `cause` tags the attempt for the energy-audit cause counters
+  /// (`net.tx.cause.<cause>.sent/.lost`): callers pass Retry for
+  /// re-transmissions and Heartbeat for liveness traffic.
   TxResult send(int from_node, int to_node, std::vector<std::uint8_t> payload,
-                TxClass tx_class = TxClass::Data);
+                TxClass tx_class = TxClass::Data,
+                obs::EnergyCause cause = obs::EnergyCause::Tx);
 
   struct Delivery {
     double time = 0.0;
@@ -145,6 +150,10 @@ class Network {
   /// network stays payload-agnostic and never decodes.
   obs::Counter* tx_sent_[kNumMessageKinds] = {};
   obs::Counter* tx_lost_[kNumMessageKinds] = {};
+  /// Same hoisting, keyed by the caller-declared energy cause of the attempt
+  /// (tx/retry/heartbeat) — the audit-ledger view of the same traffic.
+  obs::Counter* cause_sent_[obs::kNumEnergyCauses] = {};
+  obs::Counter* cause_lost_[obs::kNumEnergyCauses] = {};
   obs::Counter* rx_delivered_metric_ = nullptr;
   obs::Counter* rx_dropped_metric_ = nullptr;
 

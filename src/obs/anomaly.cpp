@@ -1,0 +1,129 @@
+#include "obs/anomaly.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace eecs::obs {
+
+const char* to_string(Anomaly::Kind kind) {
+  switch (kind) {
+    case Anomaly::Kind::BurnRate: return "burn_rate";
+    case Anomaly::Kind::LossRate: return "loss_rate";
+    case Anomaly::Kind::Latency: return "latency";
+  }
+  return "?";
+}
+
+AnomalyDetector::AnomalyDetector(const AnomalyOptions& options, int num_cameras)
+    : options_(options),
+      num_cameras_(num_cameras),
+      last_flags_(static_cast<std::size_t>(num_cameras), 0) {
+  EECS_EXPECTS(num_cameras >= 0);
+  EECS_EXPECTS(options.window_rounds > 0);
+  EECS_EXPECTS(options.latency_miss_rounds >= 0);
+}
+
+bool AnomalyDetector::flagged(int camera) const {
+  if (camera < 0 || camera >= static_cast<int>(last_flags_.size())) return false;
+  return last_flags_[static_cast<std::size_t>(camera)] != 0;
+}
+
+std::vector<Anomaly> AnomalyDetector::observe(const RoundObservation& obs) {
+  std::vector<Anomaly> findings;
+  if constexpr (!kEnabled) return findings;
+  if (!options_.enabled) return findings;
+  EECS_EXPECTS(static_cast<int>(obs.camera_joules.size()) == num_cameras_);
+  std::fill(last_flags_.begin(), last_flags_.end(), std::uint8_t{0});
+
+  const auto window = static_cast<std::size_t>(options_.window_rounds);
+  const std::size_t filled = window_sent_.size();
+
+  // Burn rate: compare this round's per-camera energy against the rolling
+  // mean of the existing window. Cross-multiplied to avoid a division:
+  //   joules * 1000 * n > (burn_rate_milli * window_sum)
+  // Both sides are products of the same deterministic doubles in the same
+  // order everywhere, so the comparison itself is deterministic.
+  if (filled == window) {  // Only judge once a full window of history exists.
+    for (int c = 0; c < num_cameras_; ++c) {
+      double sum = 0.0;
+      for (std::size_t r = 0; r < filled; ++r) {
+        sum += window_joules_[r * static_cast<std::size_t>(num_cameras_) +
+                              static_cast<std::size_t>(c)];
+      }
+      const double joules = obs.camera_joules[static_cast<std::size_t>(c)];
+      if (sum > 0.0 &&
+          joules * 1000.0 * static_cast<double>(filled) >
+              static_cast<double>(options_.burn_rate_milli) * sum) {
+        findings.push_back({Anomaly::Kind::BurnRate, c, obs.round, joules,
+                            static_cast<double>(options_.burn_rate_milli) / 1000.0 * sum /
+                                static_cast<double>(filled)});
+        last_flags_[static_cast<std::size_t>(c)] = 1;
+      }
+    }
+  }
+
+  // Fold this round in before the window-wide rules so a single catastrophic
+  // round can flag immediately rather than one round late.
+  window_sent_.push_back(obs.messages_sent);
+  window_lost_.push_back(obs.messages_lost);
+  window_misses_.push_back(obs.deadline_misses);
+  window_joules_.insert(window_joules_.end(), obs.camera_joules.begin(),
+                        obs.camera_joules.end());
+  if (window_sent_.size() > window) {
+    window_sent_.erase(window_sent_.begin());
+    window_lost_.erase(window_lost_.begin());
+    window_misses_.erase(window_misses_.begin());
+    window_joules_.erase(window_joules_.begin(),
+                         window_joules_.begin() + num_cameras_);
+  }
+  ++rounds_seen_;
+
+  // Loss rate over the window: lost * 1000 > loss_rate_milli * sent, pure
+  // integer arithmetic (u64 counters stay far below the overflow point).
+  std::uint64_t sent = 0;
+  std::uint64_t lost = 0;
+  for (std::size_t r = 0; r < window_sent_.size(); ++r) {
+    sent += window_sent_[r];
+    lost += window_lost_[r];
+  }
+  if (sent >= options_.loss_min_messages &&
+      lost * 1000 > static_cast<std::uint64_t>(options_.loss_rate_milli) * sent) {
+    findings.push_back({Anomaly::Kind::LossRate, -1, obs.round,
+                        static_cast<double>(lost) / static_cast<double>(sent),
+                        static_cast<double>(options_.loss_rate_milli) / 1000.0});
+  }
+
+  // Latency: deadline misses accumulated over the window (integer count).
+  std::uint64_t misses = 0;
+  for (const std::uint32_t m : window_misses_) misses += m;
+  if (misses >= static_cast<std::uint64_t>(options_.latency_miss_rounds)) {
+    findings.push_back({Anomaly::Kind::Latency, -1, obs.round,
+                        static_cast<double>(misses),
+                        static_cast<double>(options_.latency_miss_rounds)});
+  }
+
+  return findings;
+}
+
+AnomalyDetector::State AnomalyDetector::export_state() const {
+  State state;
+  state.window_sent = window_sent_;
+  state.window_lost = window_lost_;
+  state.window_misses = window_misses_;
+  state.window_joules = window_joules_;
+  state.last_flags = last_flags_;
+  state.rounds_seen = rounds_seen_;
+  return state;
+}
+
+void AnomalyDetector::import_state(const State& state) {
+  window_sent_ = state.window_sent;
+  window_lost_ = state.window_lost;
+  window_misses_ = state.window_misses;
+  window_joules_ = state.window_joules;
+  if (state.last_flags.size() == last_flags_.size()) last_flags_ = state.last_flags;
+  rounds_seen_ = state.rounds_seen;
+}
+
+}  // namespace eecs::obs

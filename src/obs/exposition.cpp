@@ -1,0 +1,99 @@
+#include "obs/exposition.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace eecs::obs {
+
+namespace {
+
+std::string format_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+double histogram_quantile(const Histogram& h, double q) {
+  const std::uint64_t total = h.count();
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::vector<double>& bounds = h.bounds();
+  const double rank = q * static_cast<double>(total);
+
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const std::uint64_t in_bucket = h.bucket(i);
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      const double upper = bounds[i];
+      const double lower = (i == 0) ? 0.0 : bounds[i - 1];
+      if (upper <= lower) return upper;  // Degenerate/non-positive first bound.
+      const double within =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * within;
+    }
+    cumulative += in_bucket;
+  }
+  // Rank lands in the overflow (+Inf) bucket: clamp to the highest finite
+  // bound, as PromQL does. With no finite bounds at all there is nothing to
+  // clamp to; report the sum/count mean as the only available estimate.
+  if (!bounds.empty()) return bounds.back();
+  return h.sum() / static_cast<double>(total);
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool valid = (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out.front())) != 0) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, metric] : metrics_) {
+    const std::string prom = prometheus_name(name);
+    switch (metric.kind) {
+      case Kind::Counter:
+        out += "# TYPE " + prom + " counter\n";
+        out += prom + " " + std::to_string(metric.counter->value()) + "\n";
+        break;
+      case Kind::Gauge:
+        out += "# TYPE " + prom + " gauge\n";
+        out += prom + " " + format_double(metric.gauge->value()) + "\n";
+        break;
+      case Kind::Histogram: {
+        const Histogram& h = *metric.histogram;
+        out += "# TYPE " + prom + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.bucket(i);
+          out += prom + "_bucket{le=\"" + format_double(h.bounds()[i]) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        cumulative += h.bucket(h.bounds().size());
+        out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+        out += prom + "_sum " + format_double(h.sum()) + "\n";
+        out += prom + "_count " + std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace eecs::obs

@@ -1,0 +1,30 @@
+// Metrics exposition: Prometheus text format for the registry (so ROADMAP
+// item 1's fleet server can scrape a node) and histogram quantile estimation
+// from the existing cumulative `le` buckets — the same linear interpolation
+// Prometheus' histogram_quantile() applies server-side, available locally so
+// eecs_trace/eecs_loop_report can print p50/p99 columns without a server.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace eecs::obs {
+
+/// Estimate the q-quantile (q in [0, 1]) of a histogram from its buckets.
+///
+/// Semantics match PromQL histogram_quantile: find the first bucket whose
+/// cumulative count reaches rank = q * count, then interpolate linearly
+/// between the bucket's bounds. The overflow bucket has no upper bound, so a
+/// rank landing there returns the highest finite bound (Prometheus' clamp).
+/// An empty histogram returns NaN. A rank landing in the first bucket
+/// interpolates from 0 (Prometheus' lower bound for the first bucket) unless
+/// the bound itself is <= 0, in which case the bound is returned.
+[[nodiscard]] double histogram_quantile(const Histogram& h, double q);
+
+/// Prometheus text-format name: dots and any other invalid characters map to
+/// underscores (`net.tx.sent` -> `net_tx_sent`), a leading digit gains an
+/// underscore prefix.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+}  // namespace eecs::obs

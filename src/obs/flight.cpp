@@ -1,0 +1,152 @@
+#include "obs/flight.hpp"
+
+#include <cstdio>
+
+#include "common/json.hpp"
+
+namespace eecs::obs {
+
+namespace {
+
+void append_g17(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::record(const FlightRound& round) {
+  if (capacity_ == 0) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(round);
+  } else {
+    ring_[next_] = round;
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+void FlightRecorder::clear() {
+  ring_.clear();
+  next_ = 0;
+}
+
+std::vector<FlightRound> FlightRecorder::rounds() const {
+  std::vector<FlightRound> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;  // Ring has not wrapped; insertion order is already oldest-first.
+  } else {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::string FlightRecorder::to_jsonl(std::string_view reason) const {
+  std::string out = "{\"flight\": 1, \"reason\": \"";
+  out += common::json_escape(reason);
+  out += "\", \"capacity\": " + std::to_string(capacity_) +
+         ", \"rounds\": " + std::to_string(ring_.size()) + "}\n";
+  for (const FlightRound& r : rounds()) {
+    out += "{\"round\": " + std::to_string(r.round) + ", \"sim_time_s\": ";
+    append_g17(out, r.sim_time_s);
+    out += ", \"selected\": " + std::to_string(r.selected) +
+           ", \"assignments\": " + std::to_string(r.assignments) +
+           ", \"pending\": " + std::to_string(r.pending) +
+           ", \"deadline_misses\": " + std::to_string(r.deadline_misses) +
+           ", \"watchdog_strikes\": " + std::to_string(r.watchdog_strikes) +
+           ", \"messages_sent\": " + std::to_string(r.messages_sent) +
+           ", \"messages_lost\": " + std::to_string(r.messages_lost) + ", \"cpu_joules\": ";
+    append_g17(out, r.cpu_joules);
+    out += ", \"radio_joules\": ";
+    append_g17(out, r.radio_joules);
+    out += ", \"anomalies\": " + std::to_string(r.anomalies) + ", \"rungs\": [";
+    for (std::size_t i = 0; i < r.rungs.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(static_cast<int>(r.rungs[i]));
+    }
+    out += "], \"residual_j\": [";
+    for (std::size_t i = 0; i < r.residual_j.size(); ++i) {
+      if (i > 0) out += ", ";
+      append_g17(out, r.residual_j[i]);
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+bool FlightRecorder::dump(const std::string& path, std::string_view reason) const {
+  if constexpr (!kEnabled) return false;
+  const std::string body = to_jsonl(reason);
+  // Write to a temp file and rename so a crash mid-dump never leaves a
+  // truncated black box where a complete one is expected.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+FlightDump parse_flight_jsonl(std::string_view text) {
+  FlightDump dump;
+  std::size_t pos = 0;
+  bool saw_header = false;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    const common::JsonValue v = common::JsonValue::parse(line);
+    if (!saw_header) {
+      dump.version = v.at("flight").as_int64();
+      if (dump.version != 1) {
+        throw common::JsonError("flight: unsupported dump version " +
+                                std::to_string(dump.version));
+      }
+      dump.reason = v.at("reason").as_string();
+      dump.capacity = v.at("capacity").as_int64();
+      saw_header = true;
+      continue;
+    }
+    FlightRound r;
+    r.round = v.at("round").as_int64();
+    r.sim_time_s = v.at("sim_time_s").as_double();
+    r.selected = static_cast<std::int32_t>(v.at("selected").as_int64());
+    r.assignments = static_cast<std::int32_t>(v.at("assignments").as_int64());
+    r.pending = static_cast<std::int32_t>(v.at("pending").as_int64());
+    r.deadline_misses = static_cast<std::int32_t>(v.at("deadline_misses").as_int64());
+    r.watchdog_strikes = static_cast<std::int32_t>(v.at("watchdog_strikes").as_int64());
+    r.messages_sent = static_cast<std::uint64_t>(v.at("messages_sent").as_int64());
+    r.messages_lost = static_cast<std::uint64_t>(v.at("messages_lost").as_int64());
+    r.cpu_joules = v.at("cpu_joules").as_double();
+    r.radio_joules = v.at("radio_joules").as_double();
+    r.anomalies = static_cast<std::int32_t>(v.at("anomalies").as_int64());
+    for (const common::JsonValue& rung : v.at("rungs").as_array()) {
+      r.rungs.push_back(static_cast<std::int8_t>(rung.as_int64()));
+    }
+    for (const common::JsonValue& res : v.at("residual_j").as_array()) {
+      r.residual_j.push_back(res.as_double());
+    }
+    dump.rounds.push_back(std::move(r));
+  }
+  if (!saw_header) throw common::JsonError("flight: missing header line");
+  return dump;
+}
+
+}  // namespace eecs::obs

@@ -1,0 +1,84 @@
+// Flight recorder: a bounded ring of per-round loop summaries that the
+// simulation dumps as a self-contained JSONL "black box" whenever something
+// goes wrong (watchdog strike, degradation-ladder descent, chaos-injected
+// crash via checkpoint write) — so a post-mortem can replay the rounds that
+// led up to the event without re-running the simulation. Replay/inspection
+// lives in tools/eecs_flight.
+//
+// The ring holds plain values (no pointers into the loop), so a dump is
+// always internally consistent; recording is O(1) per round and happens on
+// the serial replay path only. Under EECS_OBS_OFF the loop constructs the
+// recorder with capacity 0 (recording disabled, zero cost) and dump() is a
+// compiled-out no-op; record()/to_jsonl() themselves stay functional so
+// tools/eecs_flight can reconstruct dumps in any build.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace eecs::obs {
+
+/// One round of loop history, captured after the round's serial replay.
+struct FlightRound {
+  std::int64_t round = -1;
+  double sim_time_s = 0.0;        ///< Loop sim-clock at round close.
+  std::int32_t selected = 0;      ///< Cameras selected by the controller.
+  std::int32_t assignments = 0;   ///< Operation assignments dispatched.
+  std::int32_t pending = 0;       ///< Assignments queued for retry at close.
+  std::int32_t deadline_misses = 0;  ///< Cameras that missed this round.
+  std::int32_t watchdog_strikes = 0; ///< Cumulative strikes across cameras.
+  std::uint64_t messages_sent = 0;   ///< Round delta.
+  std::uint64_t messages_lost = 0;   ///< Round delta.
+  double cpu_joules = 0.0;           ///< Round delta.
+  double radio_joules = 0.0;         ///< Round delta.
+  std::int32_t anomalies = 0;        ///< Anomaly-detector findings this round.
+  std::vector<std::int8_t> rungs;    ///< Per-camera degradation rung.
+  std::vector<double> residual_j;    ///< Per-camera battery residual at close.
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity` bounds the ring (rounds retained); 0 disables recording.
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+  void record(const FlightRound& round);
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Rounds oldest-first (reassembled from the ring).
+  [[nodiscard]] std::vector<FlightRound> rounds() const;
+
+  /// The black box: header line (format version, dump reason, ring geometry)
+  /// followed by one JSON object per retained round, oldest first.
+  [[nodiscard]] std::string to_jsonl(std::string_view reason) const;
+
+  /// Write to_jsonl(reason) to `path`, overwriting — the latest dump always
+  /// holds the most recent history, which is what a post-mortem wants.
+  /// Returns false (and leaves no partial file behind) on I/O failure.
+  bool dump(const std::string& path, std::string_view reason) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  ///< Ring write cursor.
+  std::vector<FlightRound> ring_;
+};
+
+/// Parsed black box (tools/eecs_flight, chaos smoke validation).
+struct FlightDump {
+  std::int64_t version = 0;
+  std::string reason;
+  std::int64_t capacity = 0;
+  std::vector<FlightRound> rounds;
+};
+
+/// Parse a dump produced by FlightRecorder::to_jsonl. Throws
+/// common::JsonError on malformed input.
+[[nodiscard]] FlightDump parse_flight_jsonl(std::string_view text);
+
+}  // namespace eecs::obs

@@ -182,6 +182,13 @@ std::string MetricsRegistry::to_json() const {
   return out;
 }
 
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.kind != Kind::Histogram) return nullptr;
+  return it->second.histogram.get();
+}
+
 void MetricsRegistry::reset() {
   const std::lock_guard<std::mutex> lock(mutex_);
   metrics_.clear();

@@ -122,6 +122,15 @@ class MetricsRegistry {
   /// metric with kind, determinism class and value(s).
   [[nodiscard]] std::string to_json() const;
 
+  /// Prometheus text exposition format (0.0.4): counters/gauges/histograms
+  /// with `# TYPE` headers, dots mapped to underscores, histograms emitted as
+  /// `_bucket{le=...}`/`_sum`/`_count` series. Defined in exposition.cpp.
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// Histogram lookup by exact registered name; nullptr when the name is
+  /// absent or not a histogram (tools use this to print quantile columns).
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
   /// Drop every metric (registrations and values). Callers holding references
   /// must not use them afterwards; prefer a fresh Telemetry session.
   void reset();

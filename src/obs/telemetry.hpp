@@ -8,6 +8,7 @@
 // mid-flight. Recording into the current session is fully thread-safe.
 #pragma once
 
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -22,16 +23,21 @@ class Telemetry {
 
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] Tracer& tracer() { return tracer_; }
+  /// Energy audit ledger for the session's most recent armed run (the loop
+  /// calls `ledger().begin_run(...)` at the top of every simulation).
+  [[nodiscard]] EnergyLedger& ledger() { return ledger_; }
 
-  /// Drop all metrics and trace events.
+  /// Drop all metrics, trace events and ledger entries.
   void reset() {
     metrics_.reset();
     tracer_.clear();
+    ledger_ = EnergyLedger{};
   }
 
  private:
   MetricsRegistry metrics_;
   Tracer tracer_;
+  EnergyLedger ledger_;
 };
 
 /// The process-global session every instrumented layer records into.

@@ -133,6 +133,40 @@ std::vector<std::uint8_t> SimulationCheckpoint::encode() const {
     write_payload(net_w, msg.payload);
   }
 
+  ByteWriter& led = snapshot.section("obs.ledger");
+  led.write_f64(ledger.cpu_total);
+  led.write_f64(ledger.radio_total);
+  for (std::uint64_t limb : ledger.exact_total.limb) led.write_u64(limb);
+  led.write_u8(ledger.exact_total.inexact ? 1 : 0);
+  led.write_u64(ledger.debits);
+  led.write_f64_vector(ledger.camera_joules);
+  led.write_f64_vector(ledger.mirror_residual);
+  led.write_f64_vector(ledger.mirror_capacity);
+  led.write_u32(static_cast<std::uint32_t>(ledger.entries.size()));
+  for (const auto& [key, entry] : ledger.entries) {
+    led.write_i32(key.camera);
+    led.write_u64(static_cast<std::uint64_t>(key.round));
+    led.write_u8(static_cast<std::uint8_t>(key.stage));
+    led.write_u8(static_cast<std::uint8_t>(key.algorithm));
+    led.write_u8(static_cast<std::uint8_t>(key.cause));
+    led.write_f64(entry.joules);
+    led.write_u64(entry.debits);
+    for (std::uint64_t limb : entry.exact.limb) led.write_u64(limb);
+    led.write_u8(entry.exact.inexact ? 1 : 0);
+  }
+
+  ByteWriter& anom = snapshot.section("obs.anomaly");
+  anom.write_u64(static_cast<std::uint64_t>(anomaly.rounds_seen));
+  anom.write_u32(static_cast<std::uint32_t>(anomaly.window_sent.size()));
+  for (std::uint64_t v : anomaly.window_sent) anom.write_u64(v);
+  anom.write_u32(static_cast<std::uint32_t>(anomaly.window_lost.size()));
+  for (std::uint64_t v : anomaly.window_lost) anom.write_u64(v);
+  anom.write_u32(static_cast<std::uint32_t>(anomaly.window_misses.size()));
+  for (std::uint32_t v : anomaly.window_misses) anom.write_u32(v);
+  anom.write_f64_vector(anomaly.window_joules);
+  anom.write_u32(static_cast<std::uint32_t>(anomaly.last_flags.size()));
+  for (std::uint8_t v : anomaly.last_flags) anom.write_u8(v);
+
   return snapshot.finish();
 }
 
@@ -280,6 +314,53 @@ SimulationCheckpoint SimulationCheckpoint::decode(std::span<const std::uint8_t> 
     if (ck.network.node_radio_joules.size() != num_nodes ||
         ck.network.node_bytes.size() != num_nodes) {
       throw SnapshotError("checkpoint: network node arrays disagree with camera count");
+    }
+
+    // Observability sections: optional so snapshots from builds before the
+    // ledger landed still resume (their ledger simply restarts empty).
+    if (snapshot.has("obs.ledger")) {
+      ByteReader led = snapshot.open("obs.ledger");
+      ck.ledger.cpu_total = led.read_f64();
+      ck.ledger.radio_total = led.read_f64();
+      for (std::uint64_t& limb : ck.ledger.exact_total.limb) limb = led.read_u64();
+      ck.ledger.exact_total.inexact = led.read_u8() != 0;
+      ck.ledger.debits = led.read_u64();
+      ck.ledger.camera_joules = led.read_f64_vector();
+      ck.ledger.mirror_residual = led.read_f64_vector();
+      ck.ledger.mirror_capacity = led.read_f64_vector();
+      const std::uint32_t num_entries = read_count(led, 56);
+      ck.ledger.entries.reserve(num_entries);
+      for (std::uint32_t i = 0; i < num_entries; ++i) {
+        obs::LedgerKey key;
+        key.camera = led.read_i32();
+        key.round = static_cast<std::int64_t>(led.read_u64());
+        key.stage = static_cast<obs::EnergyStage>(led.read_u8());
+        key.algorithm = static_cast<std::int8_t>(led.read_u8());
+        key.cause = static_cast<obs::EnergyCause>(led.read_u8());
+        obs::LedgerEntry entry;
+        entry.joules = led.read_f64();
+        entry.debits = led.read_u64();
+        for (std::uint64_t& limb : entry.exact.limb) limb = led.read_u64();
+        entry.exact.inexact = led.read_u8() != 0;
+        ck.ledger.entries.emplace_back(key, entry);
+      }
+    }
+    if (snapshot.has("obs.anomaly")) {
+      ByteReader anom = snapshot.open("obs.anomaly");
+      ck.anomaly.rounds_seen = static_cast<std::int64_t>(anom.read_u64());
+      const std::uint32_t num_sent = read_count(anom, 8);
+      for (std::uint32_t i = 0; i < num_sent; ++i) ck.anomaly.window_sent.push_back(anom.read_u64());
+      const std::uint32_t num_lost = read_count(anom, 8);
+      for (std::uint32_t i = 0; i < num_lost; ++i) ck.anomaly.window_lost.push_back(anom.read_u64());
+      const std::uint32_t num_miss = read_count(anom, 4);
+      for (std::uint32_t i = 0; i < num_miss; ++i) {
+        ck.anomaly.window_misses.push_back(anom.read_u32());
+      }
+      ck.anomaly.window_joules = anom.read_f64_vector();
+      const std::uint32_t num_flags = read_count(anom, 1);
+      for (std::uint32_t i = 0; i < num_flags; ++i) {
+        ck.anomaly.last_flags.push_back(anom.read_u8());
+      }
     }
 
     return ck;

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "obs/anomaly.hpp"
+#include "obs/ledger.hpp"
 #include "runtime/degradation.hpp"
 #include "runtime/protocol.hpp"
 
@@ -104,6 +106,14 @@ struct SimulationCheckpoint {
 
   // ---- Network substrate.
   net::Network::State network;
+
+  // ---- Observability: energy-audit ledger and anomaly-detector windows, so
+  // a resumed run's ledger conserves bit-exactly against the full run and the
+  // detector replays identical findings. The flight-recorder ring is NOT
+  // checkpointed: dumps written before the crash already persist its history,
+  // and a resumed recorder refills within one window of rounds.
+  obs::EnergyLedger::State ledger;
+  obs::AnomalyDetector::State anomaly;
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   /// Throws SnapshotError on any malformed input (bad framing, CRC mismatch,

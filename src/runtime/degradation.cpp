@@ -39,10 +39,8 @@ DegradationRung DegradationLadder::battery_rung(double battery_fraction) const {
   return DegradationRung::Full;
 }
 
-std::vector<DegradationLadder::Transition> DegradationLadder::on_round(int camera,
-                                                                       double battery_fraction,
-                                                                       bool deadline_miss,
-                                                                       bool fault_storm) {
+std::vector<DegradationLadder::Transition> DegradationLadder::on_round(
+    int camera, double battery_fraction, bool deadline_miss, bool fault_storm, bool anomaly) {
   std::vector<Transition> transitions;
   if (!policy_.enabled) return transitions;
   CameraState& cam = cameras_[static_cast<std::size_t>(camera)];
@@ -75,7 +73,13 @@ std::vector<DegradationLadder::Transition> DegradationLadder::on_round(int camer
       cam.stress_rung = std::min(cam.stress_rung + 1, kNumDegradationRungs - 1);
     });
   }
-  if (deadline_miss || fault_storm) {
+  const bool advisory = anomaly && policy_.anomaly_advisory;
+  if (advisory) {
+    apply(Trigger::Anomaly, [&] {
+      cam.stress_rung = std::min(cam.stress_rung + 1, kNumDegradationRungs - 1);
+    });
+  }
+  if (deadline_miss || fault_storm || advisory) {
     cam.clean_rounds = 0;
   } else {
     ++cam.clean_rounds;

@@ -48,11 +48,15 @@ struct DegradationPolicy {
   long storm_min_messages = 8;
   /// Consecutive clean rounds before one stress rung is recovered.
   int recovery_rounds = 2;
+  /// Feed the obs anomaly detector's advisory into the stress rung: a flagged
+  /// camera takes one stress step down, exactly like a deadline miss. Off by
+  /// default — the advisory is opt-in so existing runs stay bit-identical.
+  bool anomaly_advisory = false;
 };
 
 class DegradationLadder {
  public:
-  enum class Trigger : std::uint8_t { Battery, Deadline, FaultStorm, Recovery };
+  enum class Trigger : std::uint8_t { Battery, Deadline, FaultStorm, Anomaly, Recovery };
 
   struct Transition {
     int camera = 0;
@@ -73,11 +77,13 @@ class DegradationLadder {
   [[nodiscard]] DegradationRung battery_rung(double battery_fraction) const;
 
   /// Round-close update for one camera. Applies the battery floor, then one
-  /// stress step down per trigger (deadline miss first, then storm), or one
-  /// recovery step up after enough clean rounds. Returns every effective-rung
-  /// transition in application order; battery transitions never step up.
+  /// stress step down per trigger (deadline miss first, then storm, then the
+  /// anomaly advisory — the latter only when `policy.anomaly_advisory` is
+  /// set), or one recovery step up after enough clean rounds. Returns every
+  /// effective-rung transition in application order; battery transitions
+  /// never step up.
   std::vector<Transition> on_round(int camera, double battery_fraction, bool deadline_miss,
-                                   bool fault_storm);
+                                   bool fault_storm, bool anomaly = false);
 
   struct CameraState {
     int battery_floor = 0;

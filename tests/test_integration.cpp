@@ -188,6 +188,48 @@ TEST_F(EecsIntegration, FaultAndTimingViewsMatchRegistry) {
   EXPECT_GT(result.faults.messages_sent, 0);  // The run actually exercised the net.
 }
 
+// Property: the energy-audit ledger balances bit-exactly against the result
+// accumulators and battery residuals under heavy fault injection — lossy
+// links, a mid-run blackout, camera crashes — and across a checkpointed
+// crash plus resume (the resumed ledger is restored from the snapshot, so it
+// must still cover the WHOLE run). Conservation is vacuous under
+// EECS_OBS_OFF (check() reports "obs-off" and passes), so this compiles and
+// runs in both build flavours.
+TEST_F(EecsIntegration, LedgerConservationSurvivesFaultsAndResume) {
+  EecsSimulationConfig cfg = config(SelectionMode::AllBest);
+  cfg.uplink.loss_probability = 0.15;
+  cfg.downlink.loss_probability = 0.2;
+  cfg.battery_joules = 120.0;  // Small enough that cameras run dry mid-run.
+  cfg.end_frame = 2200;        // Two rounds, so a round-1 checkpoint resumes mid-run.
+  cfg.faults.add_blackout(1450, 1520);
+  cfg.faults.add_crash(1, 1600, 1750);  // Camera 0 is network node 1.
+  cfg.runtime.round_deadline_gt_frames = 3.0;
+  cfg.runtime.degradation.enabled = true;
+  cfg.runtime.degradation.anomaly_advisory = true;
+
+  const auto conservation_of = [&](const EecsSimulationConfig& run_cfg) {
+    obs::ScopedTelemetry telemetry;
+    const SimulationResult r = run_eecs_simulation(bank(), knowledge(), run_cfg);
+    return telemetry.session().ledger().check(r.cpu_joules, r.radio_joules, r.battery_residual);
+  };
+
+  const auto uninterrupted = conservation_of(cfg);
+  EXPECT_TRUE(uninterrupted.ok) << uninterrupted.detail;
+
+  const std::string snapshot = "test_ledger_conservation.snap";
+  EecsSimulationConfig crash = cfg;
+  crash.runtime.checkpoint_every_rounds = 1;
+  crash.runtime.checkpoint_path = snapshot;
+  crash.runtime.stop_after_rounds = 1;
+  const auto crashed = conservation_of(crash);
+  EXPECT_TRUE(crashed.ok) << crashed.detail;  // Partial run, partial ledger.
+
+  EecsSimulationConfig resume = cfg;
+  resume.runtime.resume_from = snapshot;
+  const auto resumed = conservation_of(resume);
+  EXPECT_TRUE(resumed.ok) << resumed.detail;
+}
+
 TEST_F(EecsIntegration, DeterministicMetricsInvariantAcrossThreadWidths) {
   // Force the lazily-trained fixtures now, so neither scoped session below
   // absorbs the offline-training detector invocations.

@@ -1,11 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/json.hpp"
 #include "common/parallel.hpp"
+#include "obs/anomaly.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
@@ -184,6 +190,303 @@ TEST(Telemetry, ScopedSessionSwapsCurrentAndRestores) {
     EXPECT_EQ(scoped.session().metrics().counter("scoped.count").value(), 1u);
   }
   EXPECT_EQ(&current(), &original);
+}
+
+TEST(Quantile, EmptyHistogramIsNaN) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("q.empty", {1, 2});
+  EXPECT_TRUE(std::isnan(histogram_quantile(h, 0.5)));
+}
+
+TEST(Quantile, ExactBoundaryRankReturnsBucketBound) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("q.boundary", {1, 2, 4});
+  for (int i = 0; i < 4; ++i) h.observe(0.5);  // le_1.
+  for (int i = 0; i < 4; ++i) h.observe(1.5);  // le_2.
+  // rank = 0.5 * 8 = 4, exactly the first bucket's cumulative count: the
+  // interpolation reaches the bucket's upper bound exactly.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.25), 0.5);  // Mid-first-bucket.
+}
+
+TEST(Quantile, SingleBucketInterpolatesFromZero) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("q.single", {10});
+  for (int i = 0; i < 5; ++i) h.observe(3.0);
+  // rank = 2.5 of 5, all in [0, 10): 10 * 2.5/5.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 5.0);
+}
+
+TEST(Quantile, OverflowBucketClampsToHighestFiniteBound) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("q.inf", {1, 2});
+  h.observe(0.5);
+  h.observe(50.0);
+  h.observe(100.0);
+  // p99 rank lands in the +Inf bucket; PromQL clamps to the last bound.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 2.0);
+  // Out-of-range q clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 1.5), 2.0);
+}
+
+TEST(Quantile, NoFiniteBoundsFallsBackToMean) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("q.meanonly", {});
+  h.observe(3.0);
+  h.observe(5.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.9), 4.0);
+}
+
+TEST(Exposition, PrometheusNameSanitization) {
+  EXPECT_EQ(prometheus_name("net.tx.sent"), "net_tx_sent");
+  EXPECT_EQ(prometheus_name("a-b c"), "a_b_c");
+  EXPECT_EQ(prometheus_name("2fast"), "_2fast");
+  EXPECT_EQ(prometheus_name("ns:metric"), "ns:metric");  // Colons are legal.
+}
+
+TEST(Exposition, TextFormatCoversAllKindsCumulatively) {
+  MetricsRegistry registry;
+  registry.counter("net.tx.sent").inc(4);
+  registry.gauge("battery.residual").set(2.5);
+  Histogram& h = registry.histogram("debit.joules", {1, 2});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# TYPE net_tx_sent counter\nnet_tx_sent 4\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE battery_residual gauge\nbattery_residual 2.5\n"),
+            std::string::npos);
+  // Buckets are cumulative and end with the mandatory +Inf bucket == count.
+  EXPECT_NE(text.find("debit_joules_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("debit_joules_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("debit_joules_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("debit_joules_sum 11\n"), std::string::npos);
+  EXPECT_NE(text.find("debit_joules_count 3\n"), std::string::npos);
+}
+
+/// Debit one camera the way the loop does: ledger and the result-style
+/// accumulators see the same doubles in the same order, then the battery
+/// drain mirrors with the summed debit.
+void energy_like_debit(EnergyLedger& ledger, int camera, double cpu_j, double radio_j,
+                       double& cpu_total, double& radio_total) {
+  ledger.debit_cpu(camera, EnergyStage::Operation, 0, EnergyCause::Detect, cpu_j);
+  ledger.debit_radio(camera, EnergyStage::Operation, 0, EnergyCause::Tx, radio_j);
+  cpu_total += cpu_j;
+  radio_total += radio_j;
+  ledger.drain(camera, cpu_j + radio_j);
+}
+
+TEST(Ledger, ExactSumIsOrderIndependent) {
+  const std::vector<double> values = {1.0e-7, 3.25, 0.125, 1.0e6, 2.5e-3, 42.0};
+  ExactJoules forward;
+  for (const double v : values) forward.add(v);
+  ExactJoules backward;
+  for (auto it = values.rbegin(); it != values.rend(); ++it) backward.add(*it);
+  EXPECT_EQ(forward, backward);
+  EXPECT_FALSE(forward.inexact);
+  // Zero adds are identity (the heartbeat/control-plane debits).
+  ExactJoules with_zeros = forward;
+  with_zeros.add(0.0);
+  EXPECT_EQ(with_zeros, forward);
+  // Negative / non-finite values poison the flag, not the sum.
+  ExactJoules bad;
+  bad.add(-1.0);
+  EXPECT_TRUE(bad.inexact);
+}
+
+TEST(Ledger, ConservationHoldsAndFlagsDrift) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "ledger compiled out (EECS_OBS_OFF)";
+  EnergyLedger ledger;
+  ledger.begin_run({10.0, 10.0});
+  ledger.set_round(0);
+  double cpu = 0.0;
+  double radio = 0.0;
+  energy_like_debit(ledger, 0, 1.25, 0.5, cpu, radio);
+  energy_like_debit(ledger, 1, 2.0, 0.25, cpu, radio);
+  std::vector<double> residual = {10.0 - (1.25 + 0.5), 10.0 - (2.0 + 0.25)};
+  EXPECT_TRUE(ledger.check(cpu, radio, residual).ok);
+  // Any drift in any of the three views is reported.
+  const auto drifted = ledger.check(cpu + 1e-9, radio, residual);
+  EXPECT_FALSE(drifted.ok);
+  EXPECT_NE(drifted.detail.find("cpu"), std::string::npos);
+  residual[1] = 0.0;
+  EXPECT_FALSE(ledger.check(cpu, radio, residual).ok);
+}
+
+TEST(Ledger, DrainClampMirrorsBattery) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "ledger compiled out (EECS_OBS_OFF)";
+  EnergyLedger ledger;
+  ledger.begin_run({1.0});
+  ledger.drain(0, 0.75);
+  EXPECT_DOUBLE_EQ(ledger.mirror_residual(0), 0.25);
+  ledger.drain(0, 5.0);  // Over-drain clamps at zero, like energy::Battery.
+  EXPECT_DOUBLE_EQ(ledger.mirror_residual(0), 0.0);
+  ledger.restore_residual(0, 99.0);  // Restore clamps to capacity.
+  EXPECT_DOUBLE_EQ(ledger.mirror_residual(0), 1.0);
+}
+
+TEST(Ledger, ExportImportRoundtripPreservesReport) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "ledger compiled out (EECS_OBS_OFF)";
+  EnergyLedger ledger;
+  ledger.begin_run({5.0});
+  ledger.set_round(2);
+  ledger.debit_cpu(0, EnergyStage::Operation, 1, EnergyCause::Detect, 1.5);
+  ledger.debit_radio(0, EnergyStage::Operation, 1, EnergyCause::Tx, 0.125);
+  ledger.drain(0, 1.625);
+  EnergyLedger restored;
+  restored.import_state(ledger.export_state());
+  EXPECT_EQ(restored.report(), ledger.report());
+  EXPECT_EQ(restored.cpu_total(), ledger.cpu_total());
+  EXPECT_EQ(restored.mirror_residual(0), ledger.mirror_residual(0));
+}
+
+TEST(Flight, RingKeepsNewestRoundsOldestFirst) {
+  FlightRecorder ring(3);
+  for (int i = 0; i < 5; ++i) {
+    FlightRound r;
+    r.round = i;
+    ring.record(r);
+  }
+  const std::vector<FlightRound> rounds = ring.rounds();
+  ASSERT_EQ(rounds.size(), 3u);
+  EXPECT_EQ(rounds[0].round, 2);
+  EXPECT_EQ(rounds[1].round, 3);
+  EXPECT_EQ(rounds[2].round, 4);
+}
+
+TEST(Flight, JsonlRoundtripPreservesEveryField) {
+  FlightRecorder ring(4);
+  FlightRound r;
+  r.round = 7;
+  r.sim_time_s = 1234.5;
+  r.selected = 3;
+  r.assignments = 4;
+  r.pending = 1;
+  r.deadline_misses = 2;
+  r.watchdog_strikes = 5;
+  r.messages_sent = 200;
+  r.messages_lost = 40;
+  r.cpu_joules = 85.035178699999959;  // Full-precision survives %.17g.
+  r.radio_joules = 0.22526239999999992;
+  r.anomalies = 1;
+  r.rungs = {0, 2, 1};
+  r.residual_j = {93.760678967999979, 0.0, 42.5};
+  ring.record(r);
+  const FlightDump dump = parse_flight_jsonl(ring.to_jsonl("watchdog_strike"));
+  EXPECT_EQ(dump.version, 1);
+  EXPECT_EQ(dump.reason, "watchdog_strike");
+  EXPECT_EQ(dump.capacity, 4);
+  ASSERT_EQ(dump.rounds.size(), 1u);
+  const FlightRound& p = dump.rounds[0];
+  EXPECT_EQ(p.round, r.round);
+  EXPECT_EQ(p.sim_time_s, r.sim_time_s);
+  EXPECT_EQ(p.selected, r.selected);
+  EXPECT_EQ(p.assignments, r.assignments);
+  EXPECT_EQ(p.pending, r.pending);
+  EXPECT_EQ(p.deadline_misses, r.deadline_misses);
+  EXPECT_EQ(p.watchdog_strikes, r.watchdog_strikes);
+  EXPECT_EQ(p.messages_sent, r.messages_sent);
+  EXPECT_EQ(p.messages_lost, r.messages_lost);
+  EXPECT_EQ(p.cpu_joules, r.cpu_joules);  // Bit-exact through the JSONL.
+  EXPECT_EQ(p.radio_joules, r.radio_joules);
+  EXPECT_EQ(p.anomalies, r.anomalies);
+  EXPECT_EQ(p.rungs, r.rungs);
+  EXPECT_EQ(p.residual_j, r.residual_j);
+}
+
+TEST(Flight, MalformedDumpThrows) {
+  EXPECT_THROW((void)parse_flight_jsonl(""), common::JsonError);
+  EXPECT_THROW((void)parse_flight_jsonl("{\"not\": \"a header\"}\n"), common::JsonError);
+  EXPECT_THROW(
+      (void)parse_flight_jsonl("{\"flight\": 2, \"reason\": \"x\", \"capacity\": 1, \"rounds\": 0}\n"),
+      common::JsonError);
+}
+
+TEST(Anomaly, BurnRateNeedsFullWindowThenFlags) {
+  if (!kEnabled) GTEST_SKIP() << "detector compiled out (EECS_OBS_OFF)";
+  AnomalyOptions options;
+  options.window_rounds = 2;
+  options.burn_rate_milli = 3000;  // 3x the window mean.
+  AnomalyDetector detector(options, 1);
+  RoundObservation ob;
+  ob.camera_joules = {1.0};
+  ob.round = 0;
+  EXPECT_TRUE(detector.observe(ob).empty());  // Window not full yet.
+  ob.round = 1;
+  EXPECT_TRUE(detector.observe(ob).empty());
+  ob.round = 2;
+  ob.camera_joules = {10.0};  // 10x the mean of {1, 1}.
+  const std::vector<Anomaly> findings = detector.observe(ob);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].kind, Anomaly::Kind::BurnRate);
+  EXPECT_EQ(findings[0].camera, 0);
+  EXPECT_TRUE(detector.flagged(0));
+  // A calm round clears the advisory flag.
+  ob.round = 3;
+  ob.camera_joules = {1.0};
+  (void)detector.observe(ob);
+  EXPECT_FALSE(detector.flagged(0));
+}
+
+TEST(Anomaly, LossRateNeedsMinimumTraffic) {
+  if (!kEnabled) GTEST_SKIP() << "detector compiled out (EECS_OBS_OFF)";
+  AnomalyOptions options;
+  options.loss_rate_milli = 500;
+  options.loss_min_messages = 8;
+  AnomalyDetector detector(options, 0);
+  RoundObservation ob;
+  ob.round = 0;
+  ob.messages_sent = 4;
+  ob.messages_lost = 4;  // 100% loss but below the traffic floor.
+  EXPECT_TRUE(detector.observe(ob).empty());
+  ob.round = 1;
+  ob.messages_sent = 10;
+  ob.messages_lost = 9;  // Window: 13/14 lost, over the floor now.
+  const std::vector<Anomaly> findings = detector.observe(ob);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].kind, Anomaly::Kind::LossRate);
+  EXPECT_EQ(findings[0].camera, -1);  // Network-wide.
+}
+
+TEST(Anomaly, LatencyCountsWindowMisses) {
+  if (!kEnabled) GTEST_SKIP() << "detector compiled out (EECS_OBS_OFF)";
+  AnomalyOptions options;
+  options.latency_miss_rounds = 2;
+  AnomalyDetector detector(options, 0);
+  RoundObservation ob;
+  ob.round = 0;
+  ob.deadline_misses = 1;
+  EXPECT_TRUE(detector.observe(ob).empty());
+  ob.round = 1;
+  const std::vector<Anomaly> findings = detector.observe(ob);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].kind, Anomaly::Kind::Latency);
+  EXPECT_DOUBLE_EQ(findings[0].value, 2.0);
+}
+
+TEST(Anomaly, ExportImportReplaysIdenticalFindings) {
+  if (!kEnabled) GTEST_SKIP() << "detector compiled out (EECS_OBS_OFF)";
+  AnomalyOptions options;
+  options.window_rounds = 2;
+  AnomalyDetector a(options, 1);
+  RoundObservation ob;
+  ob.camera_joules = {1.0};
+  for (int round = 0; round < 2; ++round) {
+    ob.round = round;
+    (void)a.observe(ob);
+  }
+  AnomalyDetector b(options, 1);
+  b.import_state(a.export_state());
+  ob.round = 2;
+  ob.camera_joules = {25.0};
+  const auto from_a = a.observe(ob);
+  const auto from_b = b.observe(ob);
+  ASSERT_EQ(from_a.size(), from_b.size());
+  ASSERT_EQ(from_a.size(), 1u);
+  EXPECT_EQ(from_a[0].value, from_b[0].value);
+  EXPECT_EQ(from_a[0].threshold, from_b[0].threshold);
+  EXPECT_EQ(a.flagged(0), b.flagged(0));
 }
 
 }  // namespace

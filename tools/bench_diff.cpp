@@ -1,0 +1,157 @@
+// Perf-trajectory gate: compare a freshly produced BENCH_*.json (the fig5
+// closed-loop bench format: a "runs" array keyed by regime+mode) against the
+// committed baseline and exit nonzero when the run regressed:
+//
+//   - golden drift: total_joules or humans_detected differ for a matched run
+//     (these are deterministic — ANY drift is a behaviour change, not noise);
+//   - timing regression: detect_s grew by more than --max-regress percent
+//     (default 10) over the baseline for a matched run;
+//   - a baseline run disappeared from the fresh report.
+//
+// New runs only present in the fresh report are listed but never fail — a PR
+// may add regimes. Wall-clock comparisons are machine-sensitive, so CI passes
+// --skip-timings and gates on the deterministic goldens only; the full check
+// is for like-for-like hardware (the perf trajectory recorded in
+// EXPERIMENTS.md).
+//
+//   bench_diff <fresh.json> <baseline.json> [--max-regress PCT] [--skip-timings]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+using eecs::common::JsonError;
+using eecs::common::JsonValue;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff <fresh.json> <baseline.json> [--max-regress PCT] "
+               "[--skip-timings]\n");
+  return 2;
+}
+
+struct BenchRun {
+  std::string key;  ///< "regime | mode"
+  double total_joules = 0.0;
+  long humans_detected = 0;
+  double detect_s = 0.0;
+};
+
+std::vector<BenchRun> load_runs(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw JsonError(std::string("cannot read ") + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  const JsonValue v = JsonValue::parse(text.str());
+  std::vector<BenchRun> runs;
+  for (const JsonValue& run : v.at("runs").as_array()) {
+    BenchRun r;
+    r.key = run.at("regime").as_string() + " | " + run.at("mode").as_string();
+    r.total_joules = run.at("total_joules").as_double();
+    r.humans_detected = static_cast<long>(run.at("humans_detected").as_int64());
+    r.detect_s = run.at("timings").at("detect_s").as_double();
+    runs.push_back(std::move(r));
+  }
+  return runs;
+}
+
+const BenchRun* find(const std::vector<BenchRun>& runs, const std::string& key) {
+  for (const BenchRun& r : runs) {
+    if (r.key == key) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* fresh_path = nullptr;
+  const char* baseline_path = nullptr;
+  double max_regress_pct = 10.0;
+  bool skip_timings = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-regress") == 0) {
+      if (i + 1 >= argc) return usage();
+      char* end = nullptr;
+      max_regress_pct = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || max_regress_pct < 0.0) return usage();
+    } else if (std::strcmp(argv[i], "--skip-timings") == 0) {
+      skip_timings = true;
+    } else if (argv[i][0] == '-') {
+      return usage();  // Unknown flag.
+    } else if (fresh_path == nullptr) {
+      fresh_path = argv[i];
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else {
+      return usage();  // Extra positional.
+    }
+  }
+  if (fresh_path == nullptr || baseline_path == nullptr) return usage();
+
+  std::vector<BenchRun> fresh;
+  std::vector<BenchRun> baseline;
+  try {
+    fresh = load_runs(fresh_path);
+    baseline = load_runs(baseline_path);
+  } catch (const JsonError& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+
+  int failures = 0;
+  for (const BenchRun& base : baseline) {
+    const BenchRun* now = find(fresh, base.key);
+    if (now == nullptr) {
+      std::printf("FAIL [%s]: run missing from fresh report\n", base.key.c_str());
+      ++failures;
+      continue;
+    }
+    // Deterministic goldens: exact match required, any drift is a behaviour
+    // change that must be an intentional, explained baseline update.
+    if (now->total_joules != base.total_joules) {
+      std::printf("FAIL [%s]: total_joules drifted %.6f -> %.6f\n", base.key.c_str(),
+                  base.total_joules, now->total_joules);
+      ++failures;
+    }
+    if (now->humans_detected != base.humans_detected) {
+      std::printf("FAIL [%s]: humans_detected drifted %ld -> %ld\n", base.key.c_str(),
+                  base.humans_detected, now->humans_detected);
+      ++failures;
+    }
+    if (!skip_timings && base.detect_s > 0.0) {
+      const double regress_pct = (now->detect_s / base.detect_s - 1.0) * 100.0;
+      if (regress_pct > max_regress_pct) {
+        std::printf("FAIL [%s]: detect_s regressed %+.1f%% (%.3fs -> %.3fs, limit %.0f%%)\n",
+                    base.key.c_str(), regress_pct, base.detect_s, now->detect_s, max_regress_pct);
+        ++failures;
+      } else {
+        std::printf("ok   [%s]: detect_s %+.1f%% (%.3fs -> %.3fs)\n", base.key.c_str(),
+                    regress_pct, base.detect_s, now->detect_s);
+      }
+    } else {
+      std::printf("ok   [%s]: goldens match (J=%.6f humans=%ld)\n", base.key.c_str(),
+                  base.total_joules, base.humans_detected);
+    }
+  }
+  for (const BenchRun& now : fresh) {
+    if (find(baseline, now.key) == nullptr) {
+      std::printf("new  [%s]: not in baseline (informational)\n", now.key.c_str());
+    }
+  }
+
+  if (failures > 0) {
+    std::printf("BENCH DIFF FAIL: %d regression(s) vs %s\n", failures, baseline_path);
+    return 1;
+  }
+  std::printf("BENCH DIFF PASS: %zu run(s) within limits vs %s\n", baseline.size(),
+              baseline_path);
+  return 0;
+}

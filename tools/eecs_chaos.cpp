@@ -16,7 +16,12 @@
 //     replaced + pending_at_exit;
 //   - ladder sanity: recovery step-ups never exceed step-downs;
 //   - snapshots restorable: B's snapshot file decodes and re-encodes to the
-//     exact bytes on disk.
+//     exact bytes on disk;
+//   - energy audit: the ledger balances bit-exactly against every leg's
+//     result (obs/ledger.hpp conservation check);
+//   - black box: the crash leg leaves a flight dump that parse_flight_jsonl
+//     accepts with at least one recorded round (skipped under EECS_OBS_OFF,
+//     where the recorder compiles out).
 //
 //   eecs_chaos [--scenes N] [--rounds M] [--seed S] [--dataset D]
 //
@@ -29,8 +34,12 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+#include <sstream>
+
 #include "common/stopwatch.hpp"
 #include "core/simulation.hpp"
+#include "obs/flight.hpp"
 #include "obs/telemetry.hpp"
 #include "runtime/chaos.hpp"
 #include "runtime/checkpoint.hpp"
@@ -100,6 +109,44 @@ int check_invariants(int scene, const char* leg, const SimulationResult& r) {
     ++failures;
   }
   return failures;
+}
+
+/// Ledger conservation: the energy audit must balance bit-exactly against
+/// the leg's result accumulators and battery residuals (trivially passes
+/// under EECS_OBS_OFF, where the ledger compiles out).
+int check_conservation(int scene, const char* leg, obs::Telemetry& session,
+                       const SimulationResult& r) {
+  const auto conservation =
+      session.ledger().check(r.cpu_joules, r.radio_joules, r.battery_residual);
+  if (!conservation.ok) {
+    std::printf("FAIL scene=%d leg=%s: ledger conservation violated: %s\n", scene, leg,
+                conservation.detail.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// The crash leg's black box must exist, parse, and hold recorded rounds.
+int check_flight_dump(int scene, const std::string& path) {
+  if constexpr (!obs::kEnabled) return 0;  // Recorder compiled out.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::printf("FAIL scene=%d: no flight dump at %s\n", scene, path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    const obs::FlightDump dump = obs::parse_flight_jsonl(text.str());
+    if (dump.rounds.empty()) {
+      std::printf("FAIL scene=%d: flight dump %s has no rounds\n", scene, path.c_str());
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::printf("FAIL scene=%d: flight dump %s unparsable: %s\n", scene, path.c_str(), e.what());
+    return 1;
+  }
+  return 0;
 }
 
 /// The snapshot on disk must decode and re-encode to the exact same bytes —
@@ -173,6 +220,10 @@ int main(int argc, char** argv) {
     cfg.battery_joules = 60.0 * static_cast<double>(rounds);
     cfg.protocol.retry_jitter_fraction = 0.25;
     cfg.runtime.degradation.enabled = true;
+    // Soak the anomaly-advisory ladder path too: burn-rate findings from the
+    // detector add rung pressure, and resume bit-exactness proves the
+    // advisory replays identically across crash/resume.
+    cfg.runtime.degradation.anomaly_advisory = true;
 
     const runtime::ChaosScenario scenario = runtime::make_chaos_scenario(
         seed, scene, video::kNumCamerasPerDataset, cfg.start_frame + 50.0, cfg.end_frame - 50.0,
@@ -186,23 +237,30 @@ int main(int argc, char** argv) {
       obs::ScopedTelemetry telemetry;
       const SimulationResult r = run_eecs_simulation(bank, knowledge, cfg);
       failures += check_invariants(scene, "reference", r);
+      failures += check_conservation(scene, "reference", telemetry.session(), r);
       return result_report(r);
     }();
 
     if (kill_after >= 1) {
       char path[128];
       std::snprintf(path, sizeof(path), "eecs_chaos_scene%d.snap", scene);
+      char flight_path[128];
+      std::snprintf(flight_path, sizeof(flight_path), "eecs_chaos_scene%d.flight.jsonl", scene);
+      std::remove(flight_path);
 
       EecsSimulationConfig crash = cfg;
       crash.runtime.checkpoint_every_rounds = 1;
       crash.runtime.checkpoint_path = path;
       crash.runtime.stop_after_rounds = kill_after;
+      crash.runtime.flight_recorder_path = flight_path;
       {
         obs::ScopedTelemetry telemetry;
         const SimulationResult r = run_eecs_simulation(bank, knowledge, crash);
         failures += check_invariants(scene, "crash", r);
+        failures += check_conservation(scene, "crash", telemetry.session(), r);
       }
       failures += check_snapshot_roundtrip(scene, path);
+      failures += check_flight_dump(scene, flight_path);
 
       EecsSimulationConfig resume = cfg;
       resume.runtime.resume_from = path;
@@ -210,6 +268,7 @@ int main(int argc, char** argv) {
         obs::ScopedTelemetry telemetry;
         const SimulationResult r = run_eecs_simulation(bank, knowledge, resume);
         failures += check_invariants(scene, "resume", r);
+        failures += check_conservation(scene, "resume", telemetry.session(), r);
         return result_report(r);
       }();
       if (resumed != reference) {

@@ -1,0 +1,103 @@
+// Black-box replay: parse and pretty-print a flight-recorder dump written by
+// the closed loop (obs/flight.hpp) so a post-mortem can read the rounds that
+// led up to a watchdog strike, ladder descent, or chaos crash without
+// re-running the simulation.
+//
+//   eecs_flight <dump.jsonl> [--json]
+//
+//   (no flag)  one table row per retained round, oldest first, plus a header
+//              with the dump reason and ring geometry
+//   --json     re-emit the parsed dump as normalized JSONL (a parse/serialize
+//              round-trip; useful to canonicalize hand-edited dumps)
+//
+// Exits nonzero on a missing file, malformed dump, unknown flag, or missing
+// path — never silently prints an empty report for garbage input.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/flight.hpp"
+
+using namespace eecs;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: eecs_flight <dump.jsonl> [--json]\n");
+  return 2;
+}
+
+/// Normalized JSONL of a parsed dump: the same format FlightRecorder writes,
+/// reconstructed from the parsed rounds.
+void emit_json(const obs::FlightDump& dump) {
+  obs::FlightRecorder ring(dump.rounds.size());
+  for (const obs::FlightRound& round : dump.rounds) ring.record(round);
+  std::fputs(ring.to_jsonl(dump.reason).c_str(), stdout);
+}
+
+void emit_table(const obs::FlightDump& dump) {
+  std::printf("reason=%s capacity=%lld rounds=%zu\n", dump.reason.c_str(),
+              static_cast<long long>(dump.capacity), dump.rounds.size());
+  std::printf("%8s %10s %4s %4s %5s %5s %7s %10s %10s %10s %4s %-10s %s\n", "round", "sim_t",
+              "sel", "pend", "miss", "strk", "sent/lost", "cpu_J", "radio_J", "min_resid", "anom",
+              "rungs", "");
+  for (const obs::FlightRound& r : dump.rounds) {
+    double min_residual = 0.0;
+    for (std::size_t c = 0; c < r.residual_j.size(); ++c) {
+      min_residual = c == 0 ? r.residual_j[c] : std::min(min_residual, r.residual_j[c]);
+    }
+    std::string rungs;
+    for (const std::int8_t rung : r.rungs) {
+      if (!rungs.empty()) rungs += ',';
+      rungs += std::to_string(static_cast<int>(rung));
+    }
+    std::printf("%8lld %10.1f %4d %4d %5d %5d %4llu/%-4llu %10.4f %10.6f %10.3f %4d %-10s\n",
+                static_cast<long long>(r.round), r.sim_time_s, r.selected, r.pending,
+                r.deadline_misses, r.watchdog_strikes,
+                static_cast<unsigned long long>(r.messages_sent),
+                static_cast<unsigned long long>(r.messages_lost), r.cpu_joules, r.radio_joules,
+                min_residual, r.anomalies, rungs.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  bool as_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else if (argv[i][0] == '-' || path != nullptr) {
+      return usage();  // Unknown flag or extra positional.
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) return usage();
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "eecs_flight: cannot read %s\n", path);
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  try {
+    const obs::FlightDump dump = obs::parse_flight_jsonl(text.str());
+    if (as_json) {
+      emit_json(dump);
+    } else {
+      emit_table(dump);
+    }
+  } catch (const common::JsonError& e) {
+    std::fprintf(stderr, "eecs_flight: malformed dump %s: %s\n", path, e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -6,12 +6,15 @@
 // The runtime flags drive the durable-runtime layer: write a snapshot to
 // PATH every K completed rounds, stop early to simulate a crash, and resume
 // a later invocation from the snapshot (bit-identical to the uninterrupted
-// run; see DESIGN.md "Durable runtime").
+// run; see DESIGN.md "Durable runtime"). Unknown flags or a non-numeric
+// dataset are rejected with the usage line and a nonzero exit.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include "common/stopwatch.hpp"
 #include "core/simulation.hpp"
+#include "obs/exposition.hpp"
 #include "obs/telemetry.hpp"
 using namespace eecs;
 using namespace eecs::core;
@@ -42,12 +45,29 @@ void print_metrics_summary(obs::Telemetry& session, const StageTimings& timings)
   std::printf("   stage: render=%.1fs detect=%.1fs features=%.1fs controller=%.2fs net=%.2fs\n",
               timings.render_s, timings.detect_s, timings.features_s, timings.controller_s,
               timings.net_s);
+  // Quantile columns, estimated from le buckets exactly like PromQL's
+  // histogram_quantile (obs/exposition.hpp).
+  const obs::Histogram* debits = session.metrics().find_histogram("energy.debit_joules");
+  if (debits != nullptr && debits->count() > 0) {
+    std::printf("   debits: n=%llu p50=%.3gJ p99=%.3gJ mean=%.3gJ\n",
+                static_cast<unsigned long long>(debits->count()),
+                obs::histogram_quantile(*debits, 0.5), obs::histogram_quantile(*debits, 0.99),
+                debits->sum() / static_cast<double>(debits->count()));
+  }
+}
+
+int usage() {
+  std::printf(
+      "usage: eecs_loop_report [dataset] [--checkpoint-every K] [--checkpoint PATH]\n"
+      "                        [--resume PATH] [--stop-after-rounds N]\n");
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   int ds = 1;
+  bool have_ds = false;
   RuntimeOptions runtime;
   for (int i = 1; i < argc; ++i) {
     const auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
@@ -59,8 +79,13 @@ int main(int argc, char** argv) {
       runtime.resume_from = value();
     } else if (std::strcmp(argv[i], "--stop-after-rounds") == 0) {
       runtime.stop_after_rounds = std::atol(value());
+    } else if (argv[i][0] == '-' || have_ds) {
+      return usage();  // Unknown flag or extra positional.
     } else {
-      ds = std::atoi(argv[i]);
+      char* end = nullptr;
+      ds = static_cast<int>(std::strtol(argv[i], &end, 10));
+      if (end == argv[i] || *end != '\0') return usage();  // Non-numeric dataset.
+      have_ds = true;
     }
   }
   Stopwatch watch;

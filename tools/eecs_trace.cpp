@@ -2,6 +2,8 @@
 // adaptive loop inside an isolated obs session and writes three artifacts:
 //
 //   <out_dir>/metrics.json  - full metrics registry (counters/gauges/histograms)
+//   <out_dir>/metrics.prom  - the same registry in Prometheus text exposition
+//                             format (scrape-ready; see README "Prometheus")
 //   <out_dir>/trace.json    - Chrome trace_event JSON; load in chrome://tracing
 //                             or https://ui.perfetto.dev
 //   <out_dir>/trace.jsonl   - one event object per line, for grep/jq pipelines
@@ -10,6 +12,9 @@
 //   dataset  1 or 2 (default 1)
 //   out_dir  output directory, created if missing (default obs_out)
 //   --fast   small offline models + short test segment; the CI smoke config.
+//
+// Unknown flags or extra positionals are rejected with this usage and a
+// nonzero exit (a typo'd flag must not silently run the full slow config).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +23,7 @@
 #include <string>
 
 #include "core/simulation.hpp"
+#include "obs/exposition.hpp"
 #include "obs/telemetry.hpp"
 
 using namespace eecs;
@@ -35,6 +41,20 @@ void write_file(const std::filesystem::path& path, const std::string& content) {
   std::printf("wrote %s (%zu bytes)\n", path.string().c_str(), content.size());
 }
 
+int usage() {
+  std::fprintf(stderr, "usage: eecs_trace [dataset] [out_dir] [--fast]\n");
+  return 2;
+}
+
+/// p50/p99 columns for a registered histogram (PromQL histogram_quantile
+/// estimation over the le buckets); silent when absent or empty.
+void print_quantiles(const obs::MetricsRegistry& metrics, const char* name) {
+  const obs::Histogram* h = metrics.find_histogram(name);
+  if (h == nullptr || h->count() == 0) return;
+  std::printf("%s: p50=%.3g p99=%.3g (n=%llu)\n", name, obs::histogram_quantile(*h, 0.5),
+              obs::histogram_quantile(*h, 0.99), static_cast<unsigned long long>(h->count()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,10 +67,15 @@ int main(int argc, char** argv) {
       fast = true;
       continue;
     }
+    if (argv[i][0] == '-') return usage();  // Unknown flag.
     if (positional == 0) {
-      dataset = std::atoi(argv[i]);
+      char* end = nullptr;
+      dataset = static_cast<int>(std::strtol(argv[i], &end, 10));
+      if (end == argv[i] || *end != '\0') return usage();  // Non-numeric dataset.
     } else if (positional == 1) {
       out_dir = argv[i];
+    } else {
+      return usage();  // Extra positional.
     }
     ++positional;
   }
@@ -82,9 +107,13 @@ int main(int argc, char** argv) {
               r.total_joules(), r.humans_detected, r.humans_present, r.gt_frames_processed,
               r.rounds.size());
 
+  print_quantiles(telemetry.session().metrics(), "energy.debit_joules");
+  print_quantiles(telemetry.session().metrics(), "detect.detections_per_invocation");
+
   std::filesystem::create_directories(out_dir);
   obs::Telemetry& session = telemetry.session();
   write_file(out_dir / "metrics.json", session.metrics().to_json());
+  write_file(out_dir / "metrics.prom", session.metrics().to_prometheus());
   write_file(out_dir / "trace.json", session.tracer().to_chrome_trace());
   write_file(out_dir / "trace.jsonl", session.tracer().to_jsonl());
   std::printf("trace events: %llu recorded, %llu dropped (capacity %zu)\n",

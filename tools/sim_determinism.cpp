@@ -37,6 +37,29 @@ std::string metric_lines(obs::Telemetry& session) {
   return obs::MetricsRegistry::diff_report({}, session.metrics().deterministic_snapshot());
 }
 
+/// Conservation violations observed across every run; folded into the exit
+/// code so a broken audit fails even when it breaks identically in all modes.
+int g_conservation_failures = 0;
+
+/// Energy-audit lines: the conservation verdict (ledger totals bit-equal the
+/// result accumulators and battery residuals) plus the full %.17g per-entry
+/// ledger report, so a mis-attributed joule diverges the cross-mode diff even
+/// when the totals still balance.
+std::string ledger_lines(obs::Telemetry& session, const SimulationResult& r) {
+  const obs::EnergyLedger& ledger = session.ledger();
+  const auto conservation = ledger.check(r.cpu_joules, r.radio_joules, r.battery_residual);
+  if (!conservation.ok) ++g_conservation_failures;
+  std::string out = "conservation=";
+  out += conservation.ok ? "ok" : "VIOLATED";
+  if (!conservation.detail.empty()) {
+    out += " ";
+    out += conservation.detail;
+  }
+  out += "\n";
+  out += ledger.report();
+  return out;
+}
+
 /// Full %.17g report of every deterministic field (timings are wall-clock
 /// observability and deliberately excluded) for all fixed configs at the
 /// given parallel width and SIMD dispatch mode (1 = native packs, 0 = scalar
@@ -70,6 +93,7 @@ std::string report(const DetectorBank& bank, const OfflineKnowledge& knowledge, 
       append(out, "  battery[%zu]=%.17g\n", c, r.battery_residual[c]);
     }
     out += metric_lines(telemetry.session());
+    out += ledger_lines(telemetry.session(), r);
   }
 
   FixedCombo combo;
@@ -86,6 +110,7 @@ std::string report(const DetectorBank& bank, const OfflineKnowledge& knowledge, 
   append(out, "fixed cpu=%.17g radio=%.17g detected=%d present=%d frames=%d\n", r.cpu_joules,
          r.radio_joules, r.humans_detected, r.humans_present, r.gt_frames_processed);
   out += metric_lines(telemetry.session());
+  out += ledger_lines(telemetry.session(), r);
   return out;
 }
 
@@ -144,7 +169,8 @@ int check_resume(const DetectorBank& bank, const OfflineKnowledge& knowledge,
                  const std::string& snapshot_path) {
   const std::string uninterrupted = [&] {
     obs::ScopedTelemetry telemetry;
-    return result_report(run_eecs_simulation(bank, knowledge, resume_config()));
+    const SimulationResult r = run_eecs_simulation(bank, knowledge, resume_config());
+    return result_report(r) + ledger_lines(telemetry.session(), r);
   }();
 
   {
@@ -153,14 +179,19 @@ int check_resume(const DetectorBank& bank, const OfflineKnowledge& knowledge,
     cfg.runtime.checkpoint_path = snapshot_path;
     cfg.runtime.stop_after_rounds = 1;
     obs::ScopedTelemetry telemetry;
-    (void)run_eecs_simulation(bank, knowledge, cfg);
+    // The crashed segment must balance too (partial result, partial ledger).
+    const SimulationResult r = run_eecs_simulation(bank, knowledge, cfg);
+    (void)ledger_lines(telemetry.session(), r);
   }
 
   const std::string resumed = [&] {
+    // The resumed ledger is restored from the snapshot, so its report covers
+    // the WHOLE run and must match the uninterrupted run entry for entry.
     EecsSimulationConfig cfg = resume_config();
     cfg.runtime.resume_from = snapshot_path;
     obs::ScopedTelemetry telemetry;
-    return result_report(run_eecs_simulation(bank, knowledge, cfg));
+    const SimulationResult r = run_eecs_simulation(bank, knowledge, cfg);
+    return result_report(r) + ledger_lines(telemetry.session(), r);
   }();
 
   if (resumed == uninterrupted) {
@@ -223,5 +254,11 @@ int main() {
   }
 
   rc |= check_resume(bank, knowledge, "sim_determinism_resume.snap");
+  if (g_conservation_failures > 0) {
+    std::printf("FAIL: %d run(s) violated ledger energy conservation\n", g_conservation_failures);
+    rc = 1;
+  } else {
+    std::printf("PASS: ledger energy conservation held in every run\n");
+  }
   return rc;
 }
