@@ -17,6 +17,7 @@
 #include "detect/block_grid.hpp"
 #include "detect/detector.hpp"
 #include "detect/frame_cache.hpp"
+#include "detect/sweep_scheduler.hpp"
 #include "domain/gfk.hpp"
 #include "features/census.hpp"
 #include "features/frame_feature.hpp"
@@ -206,6 +207,77 @@ void BM_BatchedSweep(benchmark::State& state) {
   state.SetLabel(batched ? "batched" : "per-camera");
 }
 BENCHMARK(BM_BatchedSweep)->Arg(0)->Arg(1);
+
+// The scheduler-owned work-list on the same 4-camera fan-out: on-demand =
+// plan() only (each slot computes resize + substrates lazily inside
+// detect()); stage-major = prewarm() drains the work-list rung-major, so
+// same-shape resizes AND feature substrates (block grids, channel maps,
+// census grids) of all cameras run back to back. Bit-identical results; this
+// measures what the cross-frame substrate batching buys over and above the
+// resize-only BatchPrecompute amortization of BM_BatchedSweep.
+void BM_WorkListSweep(benchmark::State& state) {
+  const common::ScopedThreads width(1);
+  const core::DetectorBank& detectors = bank();
+  static const std::vector<imaging::Image> frames = [] {
+    video::SceneSimulator sim(video::dataset1_lab(), 9);
+    std::vector<imaging::Image> views;
+    for (int c = 0; c < 4; ++c) views.push_back(sim.next_frame_single(c));
+    return views;
+  }();
+  const bool stage_major = state.range(0) != 0;
+  for (auto _ : state) {
+    detect::SweepScheduler sched(frames.size());
+    for (std::size_t c = 0; c < frames.size(); ++c) {
+      for (const auto& detector : detectors) sched.plan(c, frames[c], *detector);
+    }
+    if (stage_major) sched.prewarm();
+    for (std::size_t c = 0; c < frames.size(); ++c) {
+      for (const auto& detector : detectors) {
+        benchmark::DoNotOptimize(detector->detect(sched.at(c)));
+      }
+    }
+  }
+  state.SetLabel(stage_major ? "stage-major" : "on-demand");
+}
+BENCHMARK(BM_WorkListSweep)->Arg(0)->Arg(1);
+
+// The context gate on the same fan-out: gate-off sweeps every (scale, row
+// band) tile; gate-on prunes the tiles the cameras' ground-plane calibration
+// rules out before any resize/channel work (round_phase=1, a gated round).
+// Not bit-identical by design — the win is skipped work.
+void BM_ContextGate(benchmark::State& state) {
+  const common::ScopedThreads width(1);
+  const core::DetectorBank& detectors = bank();
+  struct SceneData {
+    std::vector<imaging::Image> frames;
+    std::vector<geometry::PinholeCamera> cameras;
+  };
+  static const SceneData scene = [] {
+    video::SceneSimulator sim(video::dataset1_lab(), 9);
+    SceneData data;
+    for (int c = 0; c < 4; ++c) data.frames.push_back(sim.next_frame_single(c));
+    data.cameras = sim.cameras();
+    return data;
+  }();
+  detect::ContextGateOptions opts;
+  opts.enabled = state.range(0) != 0;
+  for (auto _ : state) {
+    detect::SweepScheduler sched(scene.frames.size(), opts, /*round_phase=*/1);
+    for (std::size_t c = 0; c < scene.frames.size(); ++c) {
+      for (const auto& detector : detectors) {
+        sched.plan(c, scene.frames[c], *detector, &scene.cameras[c]);
+      }
+    }
+    sched.prewarm();
+    for (std::size_t c = 0; c < scene.frames.size(); ++c) {
+      for (const auto& detector : detectors) {
+        benchmark::DoNotOptimize(detector->detect(sched.at(c)));
+      }
+    }
+  }
+  state.SetLabel(opts.enabled ? "gate-on" : "gate-off");
+}
+BENCHMARK(BM_ContextGate)->Arg(0)->Arg(1);
 
 // Width sweep of kernels ported onto the virtual-width lane layer in
 // common/simd.hpp: scalar baseline (0), native tiers at 128/256/512 bits

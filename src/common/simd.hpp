@@ -508,7 +508,15 @@ struct F32x4 {
   }
   [[nodiscard]] static F32x4 select(Mask m, F32x4 a, F32x4 b) {
     const __m128 mm = _mm_castsi128_ps(m.v);
+#if defined(__SSE4_1__)
+    // Masks are full-lane compare results, so sign-bit blendv is exact. One
+    // uop versus the three-op and/andnot/or emulation — atan2f_pack blends
+    // ~26 times per pack, which made emulated select its single biggest
+    // instruction cost on the pre-v2 baseline.
+    return {_mm_blendv_ps(b.v, a.v, mm)};
+#else
     return {_mm_or_ps(_mm_and_ps(mm, a.v), _mm_andnot_ps(mm, b.v))};
+#endif
   }
   [[nodiscard]] static U32x4 to_bits(F32x4 a) { return {_mm_castps_si128(a.v)}; }
   [[nodiscard]] static F32x4 from_bits(U32x4 a) { return {_mm_castsi128_ps(a.v)}; }
@@ -534,7 +542,11 @@ struct F64x2 {
   }
   [[nodiscard]] static F64x2 select_gt(F64x2 v, F64x2 t, F64x2 x, F64x2 y) {
     const __m128d m = _mm_cmpgt_pd(v.v, t.v);
+#if defined(__SSE4_1__)
+    return {_mm_blendv_pd(y.v, x.v, m)};
+#else
     return {_mm_or_pd(_mm_and_pd(m, x.v), _mm_andnot_pd(m, y.v))};
+#endif
   }
   void store(double* p) const { _mm_storeu_pd(p, v); }
   [[nodiscard]] double extract(int i) const {

@@ -8,8 +8,8 @@
 
 #include "common/parallel.hpp"
 #include "common/simd.hpp"
-#include "detect/batch_precompute.hpp"
 #include "detect/frame_cache.hpp"
+#include "detect/sweep_scheduler.hpp"
 #include "features/color_feature.hpp"
 #include "net/messages.hpp"
 #include "obs/flight.hpp"
@@ -67,6 +67,8 @@ struct SimTelemetry {
         degradation_stepdowns(metrics.counter("runtime.degradation.stepdowns")),
         degradation_stepups(metrics.counter("runtime.degradation.stepups")),
         frames_parked(metrics.counter("battery.frames_parked")),
+        windows_evaluated(metrics.counter("detect.windows.evaluated")),
+        windows_pruned(metrics.counter("detect.windows.pruned")),
         debit_joules(metrics.histogram("energy.debit_joules",
                                        {0.001, 0.01, 0.1, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0})),
         render_s(metrics.gauge("stage.render_s", obs::Determinism::WallClock)),
@@ -149,6 +151,11 @@ struct SimTelemetry {
   obs::Counter& degradation_stepdowns;
   obs::Counter& degradation_stepups;
   obs::Counter& frames_parked;
+  /// Sliding-window work accounting (not a FaultCounters field: the result
+  /// accumulates these directly from FrameOutcomes, the counters are
+  /// session-wide telemetry).
+  obs::Counter& windows_evaluated;
+  obs::Counter& windows_pruned;
   /// Per-debit battery drain sizes (every camera battery debit across all
   /// stages); the source of the p50/p99 quantile columns in the report tools.
   obs::Histogram& debit_joules;
@@ -279,6 +286,8 @@ struct FrameOutcome {
   std::vector<std::vector<float>> color_features;    ///< Aligned with detections.
   double cpu_joules = 0.0;
   std::size_t comm_bytes = 0;
+  std::uint64_t windows_evaluated = 0;  ///< Sliding windows actually scored.
+  std::uint64_t windows_pruned = 0;     ///< ... skipped by the context gate.
 };
 
 FrameOutcome process_camera_frame(const detect::Detector& detector, double threshold, int camera,
@@ -287,6 +296,8 @@ FrameOutcome process_camera_frame(const detect::Detector& detector, double thres
   FrameOutcome outcome;
   energy::CostCounter cost;
   auto raw = detector.detect(pre, &cost);
+  outcome.windows_evaluated = cost.windows_evaluated;
+  outcome.windows_pruned = cost.windows_pruned;
   const imaging::Image& frame = pre.frame();
   outcome.detections.reserve(raw.size());
   outcome.color_features.reserve(raw.size());
@@ -407,6 +418,10 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       .gauge("simd.dispatch.native", obs::Determinism::WallClock)
       .set(simd::enabled() && simd::kNativeBackend ? 1.0 : 0.0);
   const DetectorLookup detector_of(detectors);
+  // Context gate: resolved once per run (config knob, EECS_CONTEXT_GATE env
+  // override). The recovery cadence is driven by rounds_completed, which the
+  // checkpoint restores, so gating resumes bit-exactly.
+  const detect::ContextGateOptions gate_opts = detect::resolve_context_gate(config.context_gate);
   video::SceneSimulator sim(video::dataset_by_id(config.dataset), config.seed);
   const int stride = sim.environment().ground_truth_stride * config.gt_frame_step;
   const int num_cameras = static_cast<int>(sim.cameras().size());
@@ -799,6 +814,8 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
     ck.humans_detected = result.humans_detected;
     ck.humans_present = result.humans_present;
     ck.gt_frames_processed = result.gt_frames_processed;
+    ck.windows_evaluated = result.windows_evaluated;
+    ck.windows_pruned = result.windows_pruned;
     ck.rounds.reserve(result.rounds.size());
     for (const RoundLog& round : result.rounds) {
       runtime::SimulationCheckpoint::RoundLogState entry;
@@ -887,6 +904,8 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
     result.humans_detected = ck.humans_detected;
     result.humans_present = ck.humans_present;
     result.gt_frames_processed = ck.gt_frames_processed;
+    result.windows_evaluated = ck.windows_evaluated;
+    result.windows_pruned = ck.windows_pruned;
     for (const auto& entry : ck.rounds) {
       RoundLog round;
       round.start_frame = entry.start_frame;
@@ -1064,14 +1083,17 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       std::vector<std::vector<FrameOutcome>> outcomes;
       {
         const obs::ScopedSpan span("stage.detect", "stage", st.detect_s, frame.index);
-        // One shared cache slot per camera; with batching on, the whole
-        // round's resize pyramid is prewarmed stage-major (one shared-plan
-        // pass per rung across all assessed cameras) before the fan-out.
-        detect::BatchPrecompute batch(static_cast<std::size_t>(num_cameras));
+        // One shared cache slot per camera; with batching on, the scheduler
+        // prewarms the whole round's work-list stage-major (resizes, then
+        // feature substrates, rung-by-rung across all assessed cameras)
+        // before the fan-out. The context gate — when engaged this round —
+        // prunes infeasible (scale, row band) tiles from the list up front.
+        detect::SweepScheduler batch(static_cast<std::size_t>(num_cameras), gate_opts,
+                                     static_cast<std::uint64_t>(rounds_completed));
         for (int c = 0; c < num_cameras; ++c) {
           for (const AssessTask& task : tasks[static_cast<std::size_t>(c)]) {
             batch.plan(static_cast<std::size_t>(c), frame.views[static_cast<std::size_t>(c)],
-                       detector_of(task.algorithm));
+                       detector_of(task.algorithm), &sim.cameras()[static_cast<std::size_t>(c)]);
           }
         }
         if (config.batch_precompute) batch.prewarm();
@@ -1088,11 +1110,24 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
               return out;
             });
       }
+      // Window accounting, serially in camera order (assessment sweeps count
+      // too: the camera really runs them).
+      for (const auto& camera_outcomes : outcomes) {
+        for (const FrameOutcome& outcome : camera_outcomes) {
+          result.windows_evaluated += outcome.windows_evaluated;
+          result.windows_pruned += outcome.windows_pruned;
+          st.windows_evaluated.inc(outcome.windows_evaluated);
+          st.windows_pruned.inc(outcome.windows_pruned);
+        }
+      }
       if constexpr (obs::kEnabled) {
         double assessed = 0.0;
         for (const auto& camera_tasks : tasks) assessed += camera_tasks.empty() ? 0.0 : 1.0;
         trace_instant("detect.batch", "detect", frame.index,
-                      {{"cameras", assessed}, {"assessment", 1.0}});
+                      {{"cameras", assessed},
+                       {"assessment", 1.0},
+                       {"windows_evaluated", static_cast<double>(result.windows_evaluated)},
+                       {"windows_pruned", static_cast<double>(result.windows_pruned)}});
       }
       // Sequential transmission phase, in the exact serial-path order:
       // heartbeat(c), then one metadata message per assessed algorithm.
@@ -1257,11 +1292,13 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
       std::vector<FrameOutcome> outcomes;
       {
         const obs::ScopedSpan span("stage.detect", "stage", st.detect_s, frame.index);
-        detect::BatchPrecompute batch(processing.size());
+        detect::SweepScheduler batch(processing.size(), gate_opts,
+                                     static_cast<std::uint64_t>(rounds_completed));
         for (std::size_t i = 0; i < processing.size(); ++i) {
           const int c = processing[i];
           const Effective& eff = effective[static_cast<std::size_t>(c)];
-          batch.plan(i, frame.views[static_cast<std::size_t>(c)], detector_of(eff.algorithm));
+          batch.plan(i, frame.views[static_cast<std::size_t>(c)], detector_of(eff.algorithm),
+                     &sim.cameras()[static_cast<std::size_t>(c)]);
         }
         if (config.batch_precompute) batch.prewarm();
         outcomes = common::parallel_map<FrameOutcome>(processing.size(), [&](std::size_t i) {
@@ -1271,8 +1308,17 @@ SimulationResult run_eecs_simulation(const DetectorBank& detectors,
                                       config.models);
         });
       }
+      for (const FrameOutcome& outcome : outcomes) {
+        result.windows_evaluated += outcome.windows_evaluated;
+        result.windows_pruned += outcome.windows_pruned;
+        st.windows_evaluated.inc(outcome.windows_evaluated);
+        st.windows_pruned.inc(outcome.windows_pruned);
+      }
       trace_instant("detect.batch", "detect", frame.index,
-                    {{"cameras", static_cast<double>(processing.size())}, {"assessment", 0.0}});
+                    {{"cameras", static_cast<double>(processing.size())},
+                     {"assessment", 0.0},
+                     {"windows_evaluated", static_cast<double>(result.windows_evaluated)},
+                     {"windows_pruned", static_cast<double>(result.windows_pruned)}});
 
       std::set<int> detected;
       const obs::ScopedSpan span("stage.net", "stage", st.net_s, frame.index);
@@ -1439,6 +1485,7 @@ SimulationResult run_fixed_combo(const DetectorBank& detectors, const OfflineKno
       .gauge("simd.dispatch.native", obs::Determinism::WallClock)
       .set(simd::enabled() && simd::kNativeBackend ? 1.0 : 0.0);
   const DetectorLookup detector_of(detectors);
+  const detect::ContextGateOptions gate_opts = detect::resolve_context_gate(config.context_gate);
   video::SceneSimulator sim(video::dataset_by_id(config.dataset), config.seed);
   const int stride = sim.environment().ground_truth_stride * config.gt_frame_step;
   const int num_cameras = static_cast<int>(sim.cameras().size());
@@ -1500,11 +1547,14 @@ SimulationResult run_fixed_combo(const DetectorBank& detectors, const OfflineKno
       const obs::ScopedSpan span("stage.detect", "stage", st.detect_s, frame.index);
       // One slot per (camera, algorithm) entry — a camera listed twice keeps
       // two independent caches, matching the legacy per-entry work profile.
-      detect::BatchPrecompute batch(entries.size());
+      // Fixed combos have no rounds; the recovery cadence ticks per GT frame.
+      detect::SweepScheduler batch(entries.size(), gate_opts,
+                                   static_cast<std::uint64_t>(result.gt_frames_processed));
       for (std::size_t e = 0; e < entries.size(); ++e) {
         if (!compute[e]) continue;
         batch.plan(e, frame.views[static_cast<std::size_t>(entries[e].camera)],
-                   *entries[e].detector);
+                   *entries[e].detector,
+                   &sim.cameras()[static_cast<std::size_t>(entries[e].camera)]);
       }
       if (config.batch_precompute) batch.prewarm();
       outcomes = common::parallel_map<FrameOutcome>(entries.size(), [&](std::size_t e) {
@@ -1513,6 +1563,12 @@ SimulationResult run_fixed_combo(const DetectorBank& detectors, const OfflineKno
         return process_camera_frame(*entry.detector, entry.threshold, entry.camera, batch.at(e),
                                     config.models);
       });
+    }
+    for (const FrameOutcome& outcome : outcomes) {
+      result.windows_evaluated += outcome.windows_evaluated;
+      result.windows_pruned += outcome.windows_pruned;
+      st.windows_evaluated.inc(outcome.windows_evaluated);
+      st.windows_pruned.inc(outcome.windows_pruned);
     }
 
     std::set<int> detected;

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/controller.hpp"
+#include "detect/sweep_scheduler.hpp"
 #include "net/fault.hpp"
 #include "net/network.hpp"
 #include "obs/anomaly.hpp"
@@ -93,6 +94,14 @@ struct EecsSimulationConfig {
   /// the per-camera fan-out (see DESIGN.md "Virtual width & batched
   /// detection"). Bit-identical either way; off = per-camera on-demand.
   bool batch_precompute = true;
+  /// Context-aware scale/region pruning (off by default; overridable with the
+  /// EECS_CONTEXT_GATE env var — see detect::resolve_context_gate). When
+  /// enabled, each camera's ground-plane homography bounds the feasible
+  /// person scales per image row and whole tiles of the sliding-window sweep
+  /// are pruned before any channel work; every `recovery_every`-th round runs
+  /// ungated as a full-sweep recovery pass. Gate-off runs are bit-identical
+  /// to builds without the gate.
+  detect::ContextGateOptions context_gate;
   SelectionMode mode = SelectionMode::SubsetDowngrade;
   /// Per-frame energy budget B_j (identical cameras); algorithms that do not
   /// fit are not even assessed (§IV).
@@ -190,6 +199,12 @@ struct SimulationResult {
   int humans_detected = 0;  ///< Unique (frame, person) pairs detected.
   int humans_present = 0;   ///< Countable (frame, person) pairs in the scene.
   int gt_frames_processed = 0;
+  /// Sliding-window accounting across every operation-phase detect call:
+  /// windows actually scored vs. pruned by the context gate. Their sum is
+  /// invariant under gating (it always equals the full-sweep window count),
+  /// so `windows_evaluated_fraction()` reports the gate's pruning power.
+  std::uint64_t windows_evaluated = 0;
+  std::uint64_t windows_pruned = 0;
   std::vector<RoundLog> rounds;
   FaultCounters faults;
   std::vector<double> battery_residual;  ///< Per camera, at simulation end.
@@ -198,6 +213,10 @@ struct SimulationResult {
   [[nodiscard]] double total_joules() const { return cpu_joules + radio_joules; }
   [[nodiscard]] double detection_rate() const {
     return humans_present > 0 ? static_cast<double>(humans_detected) / humans_present : 0.0;
+  }
+  [[nodiscard]] double windows_evaluated_fraction() const {
+    const std::uint64_t total = windows_evaluated + windows_pruned;
+    return total > 0 ? static_cast<double>(windows_evaluated) / static_cast<double>(total) : 1.0;
   }
 };
 
@@ -230,6 +249,8 @@ struct FixedComboConfig {
   int simd = -1;
   /// Stage-major round precompute; see EecsSimulationConfig::batch_precompute.
   bool batch_precompute = true;
+  /// Context-aware pruning; see EecsSimulationConfig::context_gate.
+  detect::ContextGateOptions context_gate;
   int start_frame = 1000;
   int end_frame = 2950;
   int gt_frame_step = 1;

@@ -7,6 +7,7 @@
 #include "common/simd.hpp"
 #include "detect/frame_cache.hpp"
 #include "detect/nms.hpp"
+#include "detect/sweep_scheduler.hpp"
 #include "imaging/filter.hpp"
 
 namespace eecs::detect {
@@ -216,24 +217,44 @@ void AcfDetector::train(const TrainingSet& training_set, Rng& rng) {
   fit_score_calibration(pos_scores, neg_scores);
 }
 
+void AcfDetector::prewarm_substrates(FramePrecompute& pre, int width, int height) const {
+  (void)pre.acf_channels(width, height, nullptr);
+}
+
 std::vector<Detection> AcfDetector::run(FramePrecompute& pre, energy::CostCounter* cost) const {
   EECS_EXPECTS(trained());
   std::vector<Detection> candidates;
   const imaging::Image& frame = pre.frame();
   const double total_alpha = total_alpha_;
+  const SweepGate* gate = pre.gate();
 
   for (double scale : scales_) {
     const int sw = static_cast<int>(std::lround(frame.width() * scale));
     const int sh = static_cast<int>(std::lround(frame.height() * scale));
     if (sw < kWindowWidth || sh < kWindowHeight) continue;
+    // Anchor geometry from the dims alone (channel maps shrink by
+    // kAcfShrink), so fully pruned scales are accounted before any channel
+    // work happens.
+    const int aw = sw / kAcfShrink;
+    const int ah = sh / kAcfShrink;
+    const int max_x = aw - kAcfWindowX;
+    const int max_y = ah - kAcfWindowY;
+    const auto row_windows = max_x >= 0 ? static_cast<std::uint64_t>(max_x) + 1 : 0;
+    const auto full_rows = max_y >= 0 ? static_cast<std::uint64_t>(max_y) + 1 : 0;
+    const RowInterval anchors = gated_anchor_rows(gate, sw, sh, kAcfShrink, 0, max_y);
+    const auto kept_rows =
+        anchors.empty() ? 0 : static_cast<std::uint64_t>(anchors.hi - anchors.lo) + 1;
+    if (cost != nullptr) {
+      cost->add_windows(row_windows * kept_rows, row_windows * (full_rows - kept_rows));
+    }
+    if (gate != nullptr && anchors.empty()) continue;  // Scale infeasible: no work at all.
     // At scale 1.0 pre.scaled returns the frame itself, matching the old
     // resize-free path; only resized levels are charged as pixel ops.
     const imaging::Image& scaled = pre.scaled(sw, sh);
     if (scale != 1.0 && cost != nullptr) cost->add_pixels(scaled.pixel_count());
 
     const ChannelMap& channels = pre.acf_channels(sw, sh, cost);
-    const int max_x = channels.width - kAcfWindowX;
-    const int max_y = channels.height - kAcfWindowY;
+    EECS_EXPECTS(channels.width == aw && channels.height == ah);
     // Each stump's (channel, cell) coordinates are fixed by its feature
     // index; resolve them to a flat offset into this scale's channel map once
     // instead of div/mod per stump per window.
@@ -294,7 +315,7 @@ std::vector<Detection> AcfDetector::run(FramePrecompute& pre, energy::CostCounte
       double tmp[K];
       std::size_t eval[K];
       bool rejected[K];
-      for (int y0 = 0; y0 <= max_y; ++y0) {
+      for (int y0 = anchors.lo; y0 <= anchors.hi; ++y0) {
         int x0 = 0;
         for (; x0 + K <= max_x + 1; x0 += K) {
           const std::size_t window_base =

@@ -22,6 +22,35 @@ void accumulate_block_row(const float* w, const float* trow, std::size_t bd,
                           std::size_t tstride, int width, double* acc) {
   constexpr int K = D2::kLanes;
   int ax = 0;
+  // Four packs per weight broadcast: the broadcast and the trow pointer
+  // arithmetic amortize over 4K anchors and the 4 independent accumulator
+  // packs overlap the (long-latency) double FMA chains. Grouping width never
+  // touches any single anchor's chain, so this is bit-identical to the
+  // two-pack and scalar forms.
+  for (; ax + 4 * K <= width; ax += 4 * K) {
+    const float* t0 = trow + static_cast<std::size_t>(ax);
+    D2 p0 = D2::broadcast(0.0);
+    D2 p1 = D2::broadcast(0.0);
+    D2 p2 = D2::broadcast(0.0);
+    D2 p3 = D2::broadcast(0.0);
+    for (std::size_t i = 0; i < bd; ++i) {
+      const D2 wd = D2::broadcast(static_cast<double>(w[i]));
+      const float* ti = t0 + i * tstride;
+      p0 = p0 + wd * D2::load2f(ti);
+      p1 = p1 + wd * D2::load2f(ti + K);
+      p2 = p2 + wd * D2::load2f(ti + 2 * K);
+      p3 = p3 + wd * D2::load2f(ti + 3 * K);
+    }
+    double lanes[K];
+    p0.store(lanes);
+    for (int l = 0; l < K; ++l) acc[ax + l] += lanes[l];
+    p1.store(lanes);
+    for (int l = 0; l < K; ++l) acc[ax + K + l] += lanes[l];
+    p2.store(lanes);
+    for (int l = 0; l < K; ++l) acc[ax + 2 * K + l] += lanes[l];
+    p3.store(lanes);
+    for (int l = 0; l < K; ++l) acc[ax + 3 * K + l] += lanes[l];
+  }
   for (; ax + 2 * K <= width; ax += 2 * K) {
     const float* t0 = trow + static_cast<std::size_t>(ax);
     D2 p01 = D2::broadcast(0.0);
@@ -63,46 +92,64 @@ BlockGrid::BlockGrid(const imaging::Image& img, const features::HogParams& param
                    static_cast<std::size_t>(block_dim_),
                0.0f);
 
-  std::vector<float> block(static_cast<std::size_t>(block_dim_));
-  for (int by = 0; by < blocks_y_; ++by) {
-    for (int bx = 0; bx < blocks_x_; ++bx) {
-      std::size_t k = 0;
-      for (int cy = 0; cy < bs; ++cy) {
-        for (int cx = 0; cx < bs; ++cx) {
-          const auto cell = grid.cell(bx + cx, by + cy);
-          for (float v : cell) block[k++] = v;
-        }
-      }
-      auto l2norm = [](std::span<const float> v) {
-        double s = 0.0;
-        for (float x : v) s += static_cast<double>(x) * static_cast<double>(x);
-        return static_cast<float>(std::sqrt(s) + 1e-6);
-      };
-      float n = l2norm(block);
-      for (auto& v : block) v = std::min(v / n, 0.2f);
-      n = l2norm(block);
-      float* dst = data_.data() + (static_cast<std::size_t>(by) * static_cast<std::size_t>(blocks_x_) +
-                                   static_cast<std::size_t>(bx)) *
-                                      static_cast<std::size_t>(block_dim_);
-      for (int i = 0; i < block_dim_; ++i) dst[i] = block[static_cast<std::size_t>(i)] / n;
-    }
-  }
-  if (cost != nullptr) {
-    cost->add_features(data_.size() * 3);  // Gather + two normalization passes.
-  }
-
-  // Feature-major mirror for score_map: same floats, transposed per block row
-  // so consecutive anchors are contiguous. Pure data movement — charges
-  // nothing and changes no value.
+  // Feature-major mirror for score_map is filled alongside data_: same
+  // floats, transposed per block row so consecutive anchors are contiguous.
+  // Pure data movement — charges nothing and changes no value.
   data_t_.resize(data_.size());
   const std::size_t bd = static_cast<std::size_t>(block_dim_);
   const std::size_t bxs = static_cast<std::size_t>(blocks_x_);
-  for (int by = 0; by < blocks_y_; ++by) {
-    const float* src = data_.data() + static_cast<std::size_t>(by) * bxs * bd;
-    float* dst = data_t_.data() + static_cast<std::size_t>(by) * bd * bxs;
-    for (std::size_t bx = 0; bx < bxs; ++bx) {
-      for (std::size_t i = 0; i < bd; ++i) dst[i * bxs + bx] = src[bx * bd + i];
+  std::vector<float> block(bd);
+  simd::dispatch([&](auto isa) {
+    using F4 = typename decltype(isa)::F32;
+    const F4 clip = F4::broadcast(0.2f);
+    // Per-element v/n and min(v/n, 0.2) are elementwise — the same division
+    // and compare the scalar passes issued per value, so lane grouping cannot
+    // change any bit. The l2norm double chains stay serial (order-pinned).
+    const auto l2norm = [](std::span<const float> v) {
+      double s = 0.0;
+      for (float x : v) s += static_cast<double>(x) * static_cast<double>(x);
+      return static_cast<float>(std::sqrt(s) + 1e-6);
+    };
+    for (int by = 0; by < blocks_y_; ++by) {
+      for (int bx = 0; bx < blocks_x_; ++bx) {
+        std::size_t k = 0;
+        for (int cy = 0; cy < bs; ++cy) {
+          for (int cx = 0; cx < bs; ++cx) {
+            const auto cell = grid.cell(bx + cx, by + cy);
+            for (float v : cell) block[k++] = v;
+          }
+        }
+        float n = l2norm(block);
+        {
+          const F4 nn = F4::broadcast(n);
+          std::size_t i = 0;
+          for (; i + F4::kLanes <= bd; i += F4::kLanes) {
+            const F4 q = F4::load(block.data() + i) / nn;
+            // std::min(q, 0.2f): 0.2 wins only when strictly smaller.
+            F4::select(F4::lt(clip, q), clip, q).store(block.data() + i);
+          }
+          for (; i < bd; ++i) block[i] = std::min(block[i] / n, 0.2f);
+        }
+        n = l2norm(block);
+        float* dst = data_.data() + (static_cast<std::size_t>(by) * bxs +
+                                     static_cast<std::size_t>(bx)) *
+                                        bd;
+        {
+          const F4 nn = F4::broadcast(n);
+          std::size_t i = 0;
+          for (; i + F4::kLanes <= bd; i += F4::kLanes) {
+            (F4::load(block.data() + i) / nn).store(dst + i);
+          }
+          for (; i < bd; ++i) dst[i] = block[i] / n;
+        }
+        float* dst_t = data_t_.data() + static_cast<std::size_t>(by) * bd * bxs +
+                       static_cast<std::size_t>(bx);
+        for (std::size_t i = 0; i < bd; ++i) dst_t[i * bxs] = dst[i];
+      }
     }
+  });
+  if (cost != nullptr) {
+    cost->add_features(data_.size() * 3);  // Gather + two normalization passes.
   }
 }
 
@@ -142,53 +189,78 @@ float BlockGrid::window_score(const LinearModel& model, int cell_x0, int cell_y0
 }
 
 ScoreMap BlockGrid::score_map(const LinearModel& model, int window_cells_x,
-                              int window_cells_y) const {
+                              int window_cells_y, int anchor_row_begin,
+                              int anchor_row_end) const {
   const int bs = params_.block_size;
   const int wbx = window_cells_x - bs + 1;
   const int wby = window_cells_y - bs + 1;
   EECS_EXPECTS(static_cast<int>(model.weights.size()) == wbx * wby * block_dim_);
 
+  const int full_height = blocks_y_ - wby + 1;
   ScoreMap map;
   map.width = blocks_x_ - wbx + 1;
-  map.height = blocks_y_ - wby + 1;
+  const int row_begin = std::max(0, anchor_row_begin);
+  const int row_end = anchor_row_end < 0 ? full_height - 1 : std::min(anchor_row_end, full_height - 1);
+  map.height = row_end - row_begin + 1;
+  map.y0 = row_begin;
   if (map.width <= 0 || map.height <= 0) {
     map.width = 0;
     map.height = 0;
+    map.y0 = 0;
     return map;
   }
   map.scores.resize(static_cast<std::size_t>(map.width) * static_cast<std::size_t>(map.height));
 
   const std::size_t bd = static_cast<std::size_t>(block_dim_);
-  // Per-anchor double accumulators for one row of anchors. Each anchor's sum
-  // is built in the same order as window_score — bias first, then one double
-  // partial per weight block in (by, bx) order — so the final float is
-  // bit-identical to the per-window path.
-  std::vector<double> acc(static_cast<std::size_t>(map.width));
+  // Rolling per-anchor-row double accumulators, streamed by ABSOLUTE block
+  // row: anchor row ay reads feature rows ay..ay+wby-1, so sweeping ar over
+  // the grid and applying row ar to every live anchor row (ay = ar - by)
+  // keeps each 6-KB feature-major row cache-hot across all its readers
+  // instead of re-streaming wby rows per anchor row. Each anchor's sum is
+  // still built in the same order as window_score — bias first (when its
+  // by = 0 row arrives), then one double partial per weight block in
+  // (by, bx) ascending order: for fixed ay, ar ascending IS by ascending,
+  // and bx ascends in the inner loop — so the final float is bit-identical
+  // to the per-window path.
+  std::vector<std::vector<double>> acc(
+      static_cast<std::size_t>(wby),
+      std::vector<double>(static_cast<std::size_t>(map.width)));
   simd::dispatch([&](auto isa) {
     using D2 = typename decltype(isa)::F64;
-    for (int ay = 0; ay < map.height; ++ay) {
-      std::fill(acc.begin(), acc.end(), static_cast<double>(model.bias));
-      const float* w = model.weights.data();
-      for (int by = 0; by < wby; ++by) {
+    // Only the feature rows the retained anchor band reads are streamed:
+    // anchor rows [row_begin, row_end] read block rows
+    // [row_begin, row_end + wby - 1].
+    for (int ar = row_begin; ar <= row_end + wby - 1; ++ar) {
+      const float* trow_base =
+          data_t_.data() + static_cast<std::size_t>(ar) * bd * static_cast<std::size_t>(blocks_x_);
+      const int ay_lo = std::max(row_begin, ar - wby + 1);
+      const int ay_hi = std::min(row_end, ar);
+      for (int ay = ay_lo; ay <= ay_hi; ++ay) {
+        const int by = ar - ay;
+        std::vector<double>& row_acc = acc[static_cast<std::size_t>(ay % wby)];
+        if (by == 0) {
+          std::fill(row_acc.begin(), row_acc.end(), static_cast<double>(model.bias));
+        }
+        const float* w = model.weights.data() +
+                         static_cast<std::size_t>(by) * static_cast<std::size_t>(wbx) * bd;
         for (int bx = 0; bx < wbx; ++bx) {
           // Each weight block streams across the anchor row through the
           // feature-major mirror (consecutive anchors contiguous per weight
           // index); independent accumulator chains per step (lane-blocked
           // across anchors) keep the (non-reassociable) double adds off the
           // critical path without changing any single chain's order.
-          const float* trow = data_t_.data() +
-                              static_cast<std::size_t>(ay + by) * bd *
-                                  static_cast<std::size_t>(blocks_x_) +
-                              static_cast<std::size_t>(bx);
-          accumulate_block_row<D2>(w, trow, bd, static_cast<std::size_t>(blocks_x_),
-                                   map.width, acc.data());
+          accumulate_block_row<D2>(w, trow_base + static_cast<std::size_t>(bx), bd,
+                                   static_cast<std::size_t>(blocks_x_), map.width,
+                                   row_acc.data());
           w += block_dim_;
         }
-      }
-      float* out =
-          map.scores.data() + static_cast<std::size_t>(ay) * static_cast<std::size_t>(map.width);
-      for (int ax = 0; ax < map.width; ++ax) {
-        out[ax] = static_cast<float>(acc[static_cast<std::size_t>(ax)]);
+        if (by == wby - 1) {
+          float* out = map.scores.data() + static_cast<std::size_t>(ay - row_begin) *
+                                               static_cast<std::size_t>(map.width);
+          for (int ax = 0; ax < map.width; ++ax) {
+            out[ax] = static_cast<float>(row_acc[static_cast<std::size_t>(ax)]);
+          }
+        }
       }
     }
   });

@@ -16,10 +16,12 @@ namespace eecs::detect {
 /// scale: at(x, y) equals window_score(model, x, y, wcx, wcy) bit-exactly.
 struct ScoreMap {
   int width = 0;   ///< Valid anchors along x: blocks_x - window_blocks_x + 1.
-  int height = 0;  ///< Valid anchors along y.
-  std::vector<float> scores;  ///< Row-major by anchor.
+  int height = 0;  ///< Anchor rows materialized (the requested range).
+  int y0 = 0;      ///< Absolute anchor row of local row 0 (context-gated maps).
+  std::vector<float> scores;  ///< Row-major by local anchor row.
 
   [[nodiscard]] bool empty() const { return width <= 0 || height <= 0; }
+  /// Access by LOCAL row (0 .. height-1); absolute anchor row is y + y0.
   [[nodiscard]] float at(int x, int y) const {
     return scores[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
                   static_cast<std::size_t>(x)];
@@ -53,8 +55,15 @@ class BlockGrid {
   /// matches window_score exactly, making at(x, y) bit-identical to it.
   /// Charges nothing: callers charge per consumed window, preserving the
   /// paper's standalone per-algorithm op model.
+  ///
+  /// `anchor_row_begin`/`anchor_row_end` (inclusive; -1 = last valid row)
+  /// restrict the materialized anchor rows to a context-gated band: only
+  /// feature rows the retained anchors read are streamed, and each retained
+  /// anchor's accumulation chain is untouched, so its score stays
+  /// bit-identical to the full map's. The result's y0 records the offset.
   [[nodiscard]] ScoreMap score_map(const LinearModel& model, int window_cells_x,
-                                   int window_cells_y) const;
+                                   int window_cells_y, int anchor_row_begin = 0,
+                                   int anchor_row_end = -1) const;
 
   /// Materialize the window descriptor (identical layout/values to
   /// features::window_descriptor); used in training and tests.

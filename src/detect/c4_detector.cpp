@@ -6,6 +6,7 @@
 #include "common/simd.hpp"
 #include "detect/frame_cache.hpp"
 #include "detect/nms.hpp"
+#include "detect/sweep_scheduler.hpp"
 #include "features/census.hpp"
 
 namespace eecs::detect {
@@ -200,38 +201,88 @@ void C4Detector::train(const TrainingSet& training_set, Rng& rng) {
   fit_score_calibration(pos_scores, neg_scores);
 }
 
+void C4Detector::prewarm_substrates(FramePrecompute& pre, int width, int height) const {
+  constexpr int kOffsets[4][2] = {{0, 0}, {4, 0}, {0, 4}, {4, 4}};
+  const SweepGate* gate = pre.gate();
+  for (const auto& offset : kOffsets) {
+    const int ox = offset[0];
+    const int oy = offset[1];
+    if (width - ox < kWindowWidth || height - oy < kWindowHeight) continue;
+    if (gate != nullptr) {
+      // Don't build grids run() will skip: the offset's anchor band is empty.
+      const int max_cy = (height - oy) / kCensusCell - kCensusCellsY;
+      if (gated_anchor_rows(gate, width, height, kCensusCell, oy, max_cy).empty()) continue;
+    }
+    (void)pre.census_grid(width, height, ox, oy, nullptr);
+  }
+}
+
 std::vector<Detection> C4Detector::run(FramePrecompute& pre, energy::CostCounter* cost) const {
   EECS_EXPECTS(trained());
   std::vector<Detection> candidates;
   const imaging::Image& frame = pre.frame();
+  const SweepGate* gate = pre.gate();
 
   for (double scale : scales_) {
     const int sw = static_cast<int>(std::lround(frame.width() * scale));
     const int sh = static_cast<int>(std::lround(frame.height() * scale));
     if (sw < kWindowWidth || sh < kWindowHeight) continue;
-    const imaging::Image& scaled = pre.scaled(sw, sh);
-    if (cost != nullptr) cost->add_pixels(scaled.pixel_count());
 
     // C4 scans densely: the 8-pixel cell grid is evaluated at 4 anchor
     // offsets, giving an effective 4-pixel window stride (the original C4
     // slides its contour windows far more densely than HOG does). This is
     // the dominant share of its compute cost.
     constexpr int kOffsets[4][2] = {{0, 0}, {4, 0}, {0, 4}, {4, 4}};
-    for (const auto& offset : kOffsets) {
-      const int ox = offset[0];
-      const int oy = offset[1];
-      if (scaled.width() - ox < kWindowWidth || scaled.height() - oy < kWindowHeight) continue;
+    // Per-offset anchor geometry from the dims alone (census cells over the
+    // offset crop), so pruned offsets — and fully pruned scales — are
+    // accounted before any resize or census work happens.
+    struct OffsetPlan {
+      bool fits = false;
+      int max_cx = -1;
+      RowInterval anchors;
+    };
+    OffsetPlan plans[4];
+    bool any_rows = false;
+    for (int i = 0; i < 4; ++i) {
+      const int ox = kOffsets[i][0];
+      const int oy = kOffsets[i][1];
+      if (sw - ox < kWindowWidth || sh - oy < kWindowHeight) continue;
+      OffsetPlan& p = plans[i];
+      p.fits = true;
+      p.max_cx = (sw - ox) / kCensusCell - kCensusCellsX;
+      const int max_cy = (sh - oy) / kCensusCell - kCensusCellsY;
+      const auto row_windows = p.max_cx >= 0 ? static_cast<std::uint64_t>(p.max_cx) + 1 : 0;
+      const auto full_rows = max_cy >= 0 ? static_cast<std::uint64_t>(max_cy) + 1 : 0;
+      p.anchors = gated_anchor_rows(gate, sw, sh, kCensusCell, oy, max_cy);
+      const auto kept_rows =
+          p.anchors.empty() ? 0 : static_cast<std::uint64_t>(p.anchors.hi - p.anchors.lo) + 1;
+      if (cost != nullptr) {
+        cost->add_windows(row_windows * kept_rows, row_windows * (full_rows - kept_rows));
+      }
+      if (!p.anchors.empty()) any_rows = true;
+    }
+    if (gate != nullptr && !any_rows) continue;  // Scale infeasible: no work at all.
+
+    const imaging::Image& scaled = pre.scaled(sw, sh);
+    if (cost != nullptr) cost->add_pixels(scaled.pixel_count());
+
+    for (int i = 0; i < 4; ++i) {
+      const OffsetPlan& p = plans[i];
+      if (!p.fits) continue;
+      if (gate != nullptr && p.anchors.empty()) continue;  // Offset's band infeasible.
+      const int ox = kOffsets[i][0];
+      const int oy = kOffsets[i][1];
       if ((ox != 0 || oy != 0) && cost != nullptr) {
         cost->add_pixels(static_cast<std::size_t>(scaled.width() - ox) *
                          static_cast<std::size_t>(scaled.height() - oy));
       }
 
       const CensusCellGrid& grid = pre.census_grid(sw, sh, ox, oy, cost);
-      const int max_cx = grid.cells_x() - kCensusCellsX;
-      const int max_cy = grid.cells_y() - kCensusCellsY;
-      if (max_cx < 0 || max_cy < 0) continue;
+      const int max_cx = p.max_cx;
+      EECS_EXPECTS(grid.cells_x() - kCensusCellsX == max_cx);
+      if (max_cx < 0 || p.anchors.empty()) continue;
       std::vector<float> row(static_cast<std::size_t>(max_cx) + 1);
-      for (int cy = 0; cy <= max_cy; ++cy) {
+      for (int cy = p.anchors.lo; cy <= p.anchors.hi; ++cy) {
         if (pre.force_naive()) {
           // Legacy path: one strictly-ordered dot product per window.
           for (int cx = 0; cx <= max_cx; ++cx) {

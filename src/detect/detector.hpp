@@ -60,6 +60,15 @@ class Detector {
     return {};
   }
 
+  /// Build the feature substrates run() would request from `pre` at the
+  /// scaled level (width, height), charging nobody: the cache records each
+  /// fresh build's cost and replays it when run() consumes the entry. The
+  /// SweepScheduler calls this rung-major across a round's cameras so
+  /// gradient and channel passes of the same shape run back to back (SoA
+  /// batching beyond the resize stage). Default: nothing to prewarm.
+  virtual void prewarm_substrates(FramePrecompute& /*pre*/, int /*width*/,
+                                  int /*height*/) const {}
+
  protected:
   /// The actual sliding-window scan; see detect(FramePrecompute&) above.
   [[nodiscard]] virtual std::vector<Detection> run(FramePrecompute& pre,

@@ -32,6 +32,8 @@ class Counter;
 
 namespace eecs::detect {
 
+class SweepGate;
+
 class FramePrecompute {
  public:
   /// `force_naive` is the bit-exactness escape hatch: detectors fall back to
@@ -48,6 +50,12 @@ class FramePrecompute {
 
   [[nodiscard]] const imaging::Image& frame() const { return *frame_; }
   [[nodiscard]] bool force_naive() const { return force_naive_; }
+
+  /// Context gate attached by the SweepScheduler for gated rounds; null (the
+  /// default, and every standalone detect()) means a full ungated sweep.
+  /// Detectors consult it per scale to restrict or skip their anchor loops.
+  void set_gate(const SweepGate* gate) { gate_ = gate; }
+  [[nodiscard]] const SweepGate* gate() const { return gate_; }
 
   /// The frame bilinearly resized to width x height. Requesting the native
   /// dimensions returns the frame itself (bilinear resize at identity scale
@@ -108,6 +116,7 @@ class FramePrecompute {
 
   const imaging::Image* frame_;
   bool force_naive_;
+  const SweepGate* gate_ = nullptr;
   obs::Counter* cache_hit_[kNumSubstrates] = {};
   obs::Counter* cache_miss_[kNumSubstrates] = {};
   // std::map: node-based, so references handed out stay valid across inserts.

@@ -34,6 +34,8 @@ class HogDetector final : public Detector {
     return plan_scaled_dims(scales_, frame_width, frame_height);
   }
 
+  void prewarm_substrates(FramePrecompute& pre, int width, int height) const override;
+
   [[nodiscard]] std::vector<Detection> run(FramePrecompute& pre,
                                            energy::CostCounter* cost) const override;
 

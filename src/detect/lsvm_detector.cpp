@@ -6,6 +6,7 @@
 #include "detect/frame_cache.hpp"
 #include "detect/hog_detector.hpp"
 #include "detect/nms.hpp"
+#include "detect/sweep_scheduler.hpp"
 
 namespace eecs::detect {
 
@@ -98,23 +99,43 @@ float LsvmDetector::window_score(const BlockGrid& grid, int cx, int cy,
   return static_cast<float>(s);
 }
 
+void LsvmDetector::prewarm_substrates(FramePrecompute& pre, int width, int height) const {
+  (void)pre.block_grid(width, height, hog_params_, nullptr);
+}
+
 std::vector<Detection> LsvmDetector::run(FramePrecompute& pre, energy::CostCounter* cost) const {
   EECS_EXPECTS(trained());
   std::vector<Detection> candidates;
   const imaging::Image& frame = pre.frame();
   const int cell = hog_params_.cell_size;
   const int bs = hog_params_.block_size;
+  const SweepGate* gate = pre.gate();
 
   for (double scale : scales_) {
     const int sw = static_cast<int>(std::lround(frame.width() * scale));
     const int sh = static_cast<int>(std::lround(frame.height() * scale));
     if (sw < kWindowWidth || sh < kWindowHeight) continue;
+    // Anchor geometry from the dims alone (same arithmetic as BlockGrid's
+    // construction), so a fully pruned scale is accounted before any resize
+    // or channel work happens. The root shares HOG's window geometry.
+    const int blocks_x = std::max(0, sw / cell - bs + 1);
+    const int blocks_y = std::max(0, sh / cell - bs + 1);
+    const int max_cx = blocks_x - (kWindowCellsX - bs + 1);
+    const int max_cy = blocks_y - (kWindowCellsY - bs + 1);
+    const auto row_windows = max_cx >= 0 ? static_cast<std::uint64_t>(max_cx) + 1 : 0;
+    const auto full_rows = max_cy >= 0 ? static_cast<std::uint64_t>(max_cy) + 1 : 0;
+    const RowInterval anchors = gated_anchor_rows(gate, sw, sh, cell, 0, max_cy);
+    const auto kept_rows =
+        anchors.empty() ? 0 : static_cast<std::uint64_t>(anchors.hi - anchors.lo) + 1;
+    if (cost != nullptr) {
+      cost->add_windows(row_windows * kept_rows, row_windows * (full_rows - kept_rows));
+    }
+    if (gate != nullptr && anchors.empty()) continue;  // Scale infeasible: no work at all.
     const imaging::Image& scaled = pre.scaled(sw, sh);
     if (cost != nullptr) cost->add_pixels(scaled.pixel_count());
 
     const BlockGrid& grid = pre.block_grid(sw, sh, hog_params_, cost);
-    const int max_cx = grid.blocks_x() - (kWindowCellsX - bs + 1);
-    const int max_cy = grid.blocks_y() - (kWindowCellsY - bs + 1);
+    EECS_EXPECTS(grid.blocks_x() == blocks_x && grid.blocks_y() == blocks_y);
 
     auto emit = [&](int cx, int cy, float s) {
       if (s <= params_.score_floor) return;
@@ -126,7 +147,7 @@ std::vector<Detection> LsvmDetector::run(FramePrecompute& pre, energy::CostCount
     };
 
     if (pre.force_naive()) {
-      for (int cy = 0; cy <= max_cy; ++cy) {
+      for (int cy = anchors.lo; cy <= anchors.hi; ++cy) {
         for (int cx = 0; cx <= max_cx; ++cx) emit(cx, cy, window_score(grid, cx, cy, cost));
       }
       continue;
@@ -135,11 +156,18 @@ std::vector<Detection> LsvmDetector::run(FramePrecompute& pre, energy::CostCount
     // Score maps: the root filter once per anchor, and each part filter once
     // per absolute part position — the +/-displacement search means up to
     // (2d+1)^2 root windows share every part evaluation, which is where the
-    // bulk of the naive cost went.
-    const ScoreMap root_map = grid.score_map(root_, kWindowCellsX, kWindowCellsY);
+    // bulk of the naive cost went. Maps are ranged to the retained anchor
+    // band; each part map covers every position its retained roots can reach
+    // (anchor +/- displacement), so lookups below stay in range.
+    const ScoreMap root_map =
+        grid.score_map(root_, kWindowCellsX, kWindowCellsY, anchors.lo, anchors.hi);
     std::array<ScoreMap, kNumParts> part_maps;
     for (int p = 0; p < kNumParts; ++p) {
-      part_maps[static_cast<std::size_t>(p)] = grid.score_map(parts_[static_cast<std::size_t>(p)], kPartCells, kPartCells);
+      const PartSpec& spec = part_layout()[static_cast<std::size_t>(p)];
+      const int p_lo = std::max(0, anchors.lo + spec.anchor_y - params_.displacement);
+      const int p_hi = anchors.hi + spec.anchor_y + params_.displacement;
+      part_maps[static_cast<std::size_t>(p)] =
+          grid.score_map(parts_[static_cast<std::size_t>(p)], kPartCells, kPartCells, p_lo, p_hi);
     }
     const auto root_ops = static_cast<std::uint64_t>(
         (kWindowCellsX - bs + 1) * (kWindowCellsY - bs + 1) * grid.block_dim());
@@ -147,11 +175,11 @@ std::vector<Detection> LsvmDetector::run(FramePrecompute& pre, energy::CostCount
         (kPartCells - bs + 1) * (kPartCells - bs + 1) * grid.block_dim());
 
     const int d = params_.displacement;
-    for (int cy = 0; cy <= max_cy; ++cy) {
+    for (int cy = anchors.lo; cy <= anchors.hi; ++cy) {
       for (int cx = 0; cx <= max_cx; ++cx) {
         // Mirrors window_score exactly: float root score widened to double,
         // per-part best over in-bounds placements, same comparison order.
-        double s = root_map.at(cx, cy);
+        double s = root_map.at(cx, cy - root_map.y0);
         std::uint64_t ops = root_ops;
         for (int p = 0; p < kNumParts; ++p) {
           const PartSpec& spec = part_layout()[static_cast<std::size_t>(p)];
@@ -163,8 +191,8 @@ std::vector<Detection> LsvmDetector::run(FramePrecompute& pre, energy::CostCount
               const int py = cy + spec.anchor_y + dy;
               const int pbx = kPartCells - 1;  // Part spans pbx x pbx blocks (block_size 2).
               if (px < 0 || py < 0 || px + pbx > grid.blocks_x() || py + pbx > grid.blocks_y()) continue;
-              const double score =
-                  pm.at(px, py) - params_.deformation_cost * static_cast<double>(dx * dx + dy * dy);
+              const double score = pm.at(px, py - pm.y0) -
+                                   params_.deformation_cost * static_cast<double>(dx * dx + dy * dy);
               best = std::max(best, score);
               ops += part_ops;
             }

@@ -34,19 +34,41 @@ void bin_row_positions(const float* theta, int n, float bin_width, float* pos, f
   }
 }
 
-/// Scatters one pixel's magnitude into its two neighboring orientation bins.
-/// Callers drain pixels of a cell in (dy, dx) order, so the accumulation
-/// order into each histogram — and therefore every float sum — matches the
-/// all-scalar loop bit for bit.
-inline void bin_scatter(float m, float pos, float fl, int bins, std::span<float> hist) {
+/// Precomputes both scatter addends of every pixel in a row: a0 = m*(1-w1)
+/// and a1 = m*w1 with w1 = pos - fl. Elementwise (each pixel's products are
+/// the exact two the scalar scatter computed), so it lane-blocks at full
+/// width and leaves only the bin-index wrap and the two order-sensitive
+/// histogram adds in the scalar drain loop.
+template <class F4>
+void bin_row_addends(const float* mag, const float* pos, const float* fl, int n, float* a0,
+                     float* a1) {
+  const F4 one = F4::broadcast(1.0f);
+  int x = 0;
+  for (; x + F4::kLanes <= n; x += F4::kLanes) {
+    const F4 m = F4::load(mag + x);
+    const F4 w1 = F4::load(pos + x) - F4::load(fl + x);
+    (m * (one - w1)).store(a0 + x);
+    (m * w1).store(a1 + x);
+  }
+  for (; x < n; ++x) {
+    const float w1 = pos[x] - fl[x];
+    a0[x] = mag[x] * (1.0f - w1);
+    a1[x] = mag[x] * w1;
+  }
+}
+
+/// Scatters one pixel's precomputed addends into its two neighboring
+/// orientation bins. Callers drain pixels of a cell in (dy, dx) order, so the
+/// accumulation order into each histogram — and therefore every float sum —
+/// matches the all-scalar loop bit for bit.
+inline void bin_scatter(float m, float fl, float a0, float a1, int bins, std::span<float> hist) {
   if (m <= 0.0f) return;
   int b0 = static_cast<int>(fl);
-  const float w1 = pos - fl;
   int b1 = b0 + 1;
   if (b0 < 0) b0 += bins;
   if (b1 >= bins) b1 -= bins;
-  hist[static_cast<std::size_t>(b0)] += m * (1.0f - w1);
-  hist[static_cast<std::size_t>(b1)] += m * w1;
+  hist[static_cast<std::size_t>(b0)] += a0;
+  hist[static_cast<std::size_t>(b1)] += a1;
 }
 
 }  // namespace
@@ -82,14 +104,12 @@ std::span<const float> HogGrid::cell(int cx, int cy) const {
 HogGrid compute_hog_grid(const imaging::Image& img, const HogParams& params,
                          energy::CostCounter* cost) {
   EECS_EXPECTS(params.cell_size >= 2 && params.bins >= 2);
-  const imaging::Gradients grads = imaging::compute_gradients(img);
+  const imaging::Image gray = imaging::to_gray(img);
   const int cells_x = img.width() / params.cell_size;
   const int cells_y = img.height() / params.cell_size;
   HogGrid grid(cells_x, cells_y, params.bins);
 
   const float bin_width = std::numbers::pi_v<float> / static_cast<float>(params.bins);
-  const float* mag_src = grads.magnitude.plane(0).data();
-  const float* ori_src = grads.orientation.plane(0).data();
   const int img_w = img.width();
   // Cell rows are independent (each cell bins only its own pixels into its
   // own histogram), so they partition across the pool bit-identically. Within
@@ -98,25 +118,38 @@ HogGrid compute_hog_grid(const imaging::Image& img, const HogParams& params,
     using F4 = typename decltype(isa)::F32;
     common::parallel_for(
         static_cast<std::size_t>(cells_y), 8, [&](std::size_t cy0, std::size_t cy1) {
-          // Bin positions are computed a whole image row at a time (full lane
-          // width), then scattered per cell. Interleaving dy across cells is
-          // fine: each cell's histogram still receives its own pixels in
-          // (dy, dx) ascending order, the same sequence the per-cell loop
-          // produced, so every bin sum is bit-identical.
+          // Gradients are streamed one pixel row at a time through an
+          // L1-resident scratch (imaging::gradient_band) instead of whole
+          // magnitude/orientation planes — per-pixel values are bit-identical
+          // by that function's contract. Bin positions are then computed a
+          // whole image row at a time (full lane width) and scattered per
+          // cell. Interleaving dy across cells is fine: each cell's histogram
+          // still receives its own pixels in (dy, dx) ascending order, the
+          // same sequence the per-cell loop produced, so every bin sum is
+          // bit-identical.
           const int row_px = cells_x * params.cell_size;
+          const std::size_t band = static_cast<std::size_t>(params.cell_size);
+          std::vector<float> mag(band * static_cast<std::size_t>(img_w));
+          std::vector<float> ori(band * static_cast<std::size_t>(img_w));
           std::vector<float> pos(static_cast<std::size_t>(row_px));
           std::vector<float> fl(static_cast<std::size_t>(row_px));
+          std::vector<float> a0(static_cast<std::size_t>(row_px));
+          std::vector<float> a1(static_cast<std::size_t>(row_px));
           for (int cy = static_cast<int>(cy0); cy < static_cast<int>(cy1); ++cy) {
+            const int y0 = cy * params.cell_size;
+            imaging::gradient_band(gray, y0, y0 + params.cell_size, mag.data(), ori.data());
             for (int dy = 0; dy < params.cell_size; ++dy) {
-              const std::size_t base = static_cast<std::size_t>(cy * params.cell_size + dy) *
-                                       static_cast<std::size_t>(img_w);
-              bin_row_positions<F4>(ori_src + base, row_px, bin_width, pos.data(), fl.data());
+              const std::size_t base =
+                  static_cast<std::size_t>(dy) * static_cast<std::size_t>(img_w);
+              bin_row_positions<F4>(ori.data() + base, row_px, bin_width, pos.data(), fl.data());
+              bin_row_addends<F4>(mag.data() + base, pos.data(), fl.data(), row_px, a0.data(),
+                                  a1.data());
               for (int cx = 0; cx < cells_x; ++cx) {
                 auto hist = grid.cell(cx, cy);
                 const int x0 = cx * params.cell_size;
                 for (int dx = 0; dx < params.cell_size; ++dx) {
                   const std::size_t x = static_cast<std::size_t>(x0 + dx);
-                  bin_scatter(mag_src[base + x], pos[x], fl[x], params.bins, hist);
+                  bin_scatter(mag[base + x], fl[x], a0[x], a1[x], params.bins, hist);
                 }
               }
             }

@@ -33,10 +33,13 @@ std::optional<Vec2> PinholeCamera::project(const Vec3& world) const {
               intrinsics_.focal_px * y / z + intrinsics_.cy()};
 }
 
-Homography PinholeCamera::ground_homography() const {
-  // For a ground point (X, Y, 0): camera coords = R * ((X, Y, 0) - C), so the
-  // homogeneous pixel is K [r1 r2 -R C] (X, Y, 1)^T where r1, r2 are the
-  // first two columns of R.
+Homography PinholeCamera::ground_homography() const { return plane_homography(0.0); }
+
+Homography PinholeCamera::plane_homography(double height_m) const {
+  // For a point (X, Y, z) on the plane z = height_m: camera coords =
+  // R * ((X, Y, z) - C), so the homogeneous pixel is
+  // K [r1 r2 (z*r3 - R C)] (X, Y, 1)^T where r1..r3 are the columns of R.
+  // At z = 0 this is the classic ground homography K [r1 r2 -R C].
   const double f = intrinsics_.focal_px;
   const double cx = intrinsics_.cx();
   const double cy = intrinsics_.cy();
@@ -45,7 +48,10 @@ Homography PinholeCamera::ground_homography() const {
   // columns, i.e. the world x and y axes expressed in camera coordinates.
   const Vec3 col_x{right_.x, down_.x, forward_.x};
   const Vec3 col_y{right_.y, down_.y, forward_.y};
-  const Vec3 t{-dot(right_, position_), -dot(down_, position_), -dot(forward_, position_)};
+  const Vec3 col_z{right_.z, down_.z, forward_.z};
+  const Vec3 t{height_m * col_z.x - dot(right_, position_),
+               height_m * col_z.y - dot(down_, position_),
+               height_m * col_z.z - dot(forward_, position_)};
 
   std::array<std::array<double, 3>, 3> h{};
   const Vec3 cols[3] = {col_x, col_y, t};

@@ -43,6 +43,13 @@ class PinholeCamera {
   /// evaluation (§VI, Ground truth information).
   [[nodiscard]] Homography ground_homography() const;
 
+  /// Analytic homography of the horizontal plane z = `height_m`: maps world
+  /// (X, Y) on that plane to pixels. plane_homography(0) == ground_homography.
+  /// The pair (ground plane, head plane) bounds the pixel height of an
+  /// upright person per image row, which is what the detection scheduler's
+  /// context gate uses to rule scales in or out per row band.
+  [[nodiscard]] Homography plane_homography(double height_m) const;
+
   /// True if the pixel is inside the image bounds.
   [[nodiscard]] bool in_image(const Vec2& px) const;
 

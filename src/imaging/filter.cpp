@@ -90,8 +90,8 @@ Image separable_filter(const Image& img, std::span<const float> kernel) {
   const int radius = static_cast<int>(kernel.size()) / 2;
   const int w = img.width();
   const int h = img.height();
-  Image tmp(w, h, img.channels());
-  Image out(w, h, img.channels());
+  Image tmp = Image::uninitialized(w, h, img.channels());
+  Image out = Image::uninitialized(w, h, img.channels());
   simd::dispatch([&](auto isa) {
     using F4 = typename decltype(isa)::F32;
     parallel_rows(img.channels(), h, [&](int c, int y) {
@@ -115,26 +115,29 @@ Image separable_filter(const Image& img, std::span<const float> kernel) {
   return out;
 }
 
-/// Gradient orientation of one row: the vendored fdlibm atan2f (bit-exact
-/// with the libm values the goldens were recorded against, see
-/// common/atan2.hpp) folded into [0, pi) with mask blends. gx/gy recompute
-/// the identical subtractions the magnitude pass uses.
+/// Magnitude and orientation of one row in a single fused pass: the gx/gy
+/// subtractions are computed once and feed both the sqrt chain and the
+/// vendored fdlibm atan2f (bit-exact with the libm values the goldens were
+/// recorded against, see common/atan2.hpp), folded into [0, pi) with mask
+/// blends. Per-pixel values are identical to running the two passes
+/// separately — only the duplicate loads/subtractions are gone.
 template <class F4>
-void gradient_orientation_row(const float* row, const float* up, const float* dn, int w,
-                              float* orow) {
+void gradient_row_fused(const float* row, const float* up, const float* dn, int w, float* mrow,
+                        float* orow) {
   constexpr float kPi = std::numbers::pi_v<float>;
-  const auto scalar_ori = [&](int x) {
+  const auto scalar_px = [&](int x) {
     const int xl = x > 0 ? x - 1 : 0;
     const int xr = x + 1 < w ? x + 1 : w - 1;
     const float gx = row[xr] - row[xl];
     const float gy = dn[x] - up[x];
+    mrow[x] = std::sqrt(gx * gx + gy * gy);
     float theta = simd::atan2f_portable(gy, gx);  // [-pi, pi]
     if (theta < 0.0f) theta += kPi;
     if (theta >= kPi) theta -= kPi;
     orow[x] = theta;
   };
   if (w == 0) return;
-  scalar_ori(0);
+  scalar_px(0);
   const F4 pi = F4::broadcast(kPi);
   const F4 zero = F4::broadcast(0.0f);
   int x = 1;
@@ -143,43 +146,23 @@ void gradient_orientation_row(const float* row, const float* up, const float* dn
     const F4 gx = F4::load(row + x + 1) - F4::load(row + x - 1);
     const F4 gy = F4::load(dn + x) - F4::load(up + x);
     // Flat-region fast path: when every lane has gx = gy = +0.0 (equal
-    // neighbors subtract to +0 in round-to-nearest), atan2f(+0, +0) is +0 and
-    // the [0, pi) fold keeps it — store zeros and skip the polynomial.
-    // Bit-identical, and common in synthetic scenes with flat backgrounds.
+    // neighbors subtract to +0 in round-to-nearest), sqrt(+0) is +0,
+    // atan2f(+0, +0) is +0 and the [0, pi) fold keeps it — store zeros and
+    // skip the polynomial. Bit-identical, and common in synthetic scenes
+    // with flat backgrounds.
     if (!U::any(F4::to_bits(gx) | F4::to_bits(gy))) {
+      zero.store(mrow + x);
       zero.store(orow + x);
       continue;
     }
+    const F4 mag = F4::sqrt(gx * gx + gy * gy);
+    mag.store(mrow + x);
     const F4 theta = simd::atan2f_pack<F4>(gy, gx);
     const F4 shifted = F4::select(F4::lt(theta, zero), theta + pi, theta);
     const F4 wrapped = F4::select(F4::ge(shifted, pi), shifted - pi, shifted);
     wrapped.store(orow + x);
   }
-  for (; x < w; ++x) scalar_ori(x);
-}
-
-/// Gradient magnitude of one row (the sqrt chain per pixel).
-template <class F4>
-void gradient_magnitude_row(const float* row, const float* up, const float* dn, int w,
-                            float* mrow) {
-  // x = 0 and x = w-1 clamp horizontally; the interior is lane-blocked.
-  const auto scalar_mag = [&](int x) {
-    const int xl = x > 0 ? x - 1 : 0;
-    const int xr = x + 1 < w ? x + 1 : w - 1;
-    const float gx = row[xr] - row[xl];
-    const float gy = dn[x] - up[x];
-    mrow[x] = std::sqrt(gx * gx + gy * gy);
-  };
-  if (w == 0) return;
-  scalar_mag(0);
-  int x = 1;
-  for (; x + F4::kLanes <= w - 1; x += F4::kLanes) {
-    const F4 gx = F4::load(row + x + 1) - F4::load(row + x - 1);
-    const F4 gy = F4::load(dn + x) - F4::load(up + x);
-    const F4 mag = F4::sqrt(gx * gx + gy * gy);
-    mag.store(mrow + x);
-  }
-  for (; x < w; ++x) scalar_mag(x);
+  for (; x < w; ++x) scalar_px(x);
 }
 
 /// One output row of the bilinear resize: lanes gather their own four source
@@ -244,7 +227,8 @@ Image gaussian_blur(const Image& img, float sigma) {
 
 Gradients compute_gradients(const Image& img) {
   const Image gray = to_gray(img);
-  Gradients g{Image(gray.width(), gray.height(), 1), Image(gray.width(), gray.height(), 1)};
+  Gradients g{Image::uninitialized(gray.width(), gray.height(), 1),
+              Image::uninitialized(gray.width(), gray.height(), 1)};
   const int w = gray.width();
   const int h = gray.height();
   const float* src = gray.plane(0).data();
@@ -260,11 +244,30 @@ Gradients compute_gradients(const Image& img) {
           src + static_cast<std::size_t>(y + 1 < h ? y + 1 : h - 1) * static_cast<std::size_t>(w);
       float* mrow = mag + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
       float* orow = ori + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
-      gradient_magnitude_row<F4>(row, up, dn, w, mrow);
-      gradient_orientation_row<F4>(row, up, dn, w, orow);
+      gradient_row_fused<F4>(row, up, dn, w, mrow, orow);
     });
   });
   return g;
+}
+
+void gradient_band(const Image& gray, int y0, int y1, float* mag, float* ori) {
+  EECS_EXPECTS(gray.channels() == 1);
+  EECS_EXPECTS(y0 >= 0 && y0 <= y1 && y1 <= gray.height());
+  const int w = gray.width();
+  const int h = gray.height();
+  const float* src = gray.plane(0).data();
+  simd::dispatch([&](auto isa) {
+    using F4 = typename decltype(isa)::F32;
+    for (int y = y0; y < y1; ++y) {
+      const float* row = src + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+      const float* up =
+          src + static_cast<std::size_t>(y > 0 ? y - 1 : 0) * static_cast<std::size_t>(w);
+      const float* dn =
+          src + static_cast<std::size_t>(y + 1 < h ? y + 1 : h - 1) * static_cast<std::size_t>(w);
+      const std::size_t off = static_cast<std::size_t>(y - y0) * static_cast<std::size_t>(w);
+      gradient_row_fused<F4>(row, up, dn, w, mag + off, ori + off);
+    }
+  });
 }
 
 namespace {
@@ -303,7 +306,7 @@ ResizePlan plan_resize(int src_width, int src_height, int new_width, int new_hei
 
 /// Resize one image through a shared plan (dims already validated).
 Image resize_with_plan(const Image& img, const ResizePlan& plan, int new_width, int new_height) {
-  Image out(new_width, new_height, img.channels());
+  Image out = Image::uninitialized(new_width, new_height, img.channels());
   const int ylim = img.height() - 1;
   simd::dispatch([&](auto isa) {
     using F4 = typename decltype(isa)::F32;
@@ -358,7 +361,7 @@ Image block_downsample(const Image& img, int factor) {
   if (factor == 1) return img;
   const int nw = std::max(1, img.width() / factor);
   const int nh = std::max(1, img.height() / factor);
-  Image out(nw, nh, img.channels());
+  Image out = Image::uninitialized(nw, nh, img.channels());
   const float inv = 1.0f / static_cast<float>(factor * factor);
   parallel_rows(img.channels(), nh, [&](int c, int y) {
     for (int x = 0; x < nw; ++x) {

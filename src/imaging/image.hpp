@@ -2,8 +2,8 @@
 // storage keeps per-channel passes (gradients, channel pooling) cache-friendly.
 #pragma once
 
+#include <memory>
 #include <span>
-#include <vector>
 
 #include "common/contracts.hpp"
 
@@ -15,6 +15,20 @@ class Image {
 
   /// Black image of the given size. channels must be 1 or 3.
   Image(int width, int height, int channels);
+
+  /// Same shape, but the pixel storage is left uninitialized. Only for
+  /// producers that provably write every element before the image escapes
+  /// (resize, to_gray, gradients, crop, ...): the zero-fill of the ordinary
+  /// constructor is a full memory pass over buffers those kernels immediately
+  /// overwrite, and on the pyramid-heavy detector paths that pass was pure
+  /// overhead.
+  [[nodiscard]] static Image uninitialized(int width, int height, int channels);
+
+  Image(const Image& other);
+  Image& operator=(const Image& other);
+  Image(Image&&) noexcept = default;
+  Image& operator=(Image&&) noexcept = default;
+  ~Image() = default;
 
   [[nodiscard]] int width() const { return width_; }
   [[nodiscard]] int height() const { return height_; }
@@ -51,10 +65,13 @@ class Image {
   /// Crop to the integer rectangle [x0, x0+w) x [y0, y0+h), clamped to bounds.
   [[nodiscard]] Image crop(int x0, int y0, int w, int h) const;
 
-  [[nodiscard]] std::span<const float> data() const { return data_; }
-  [[nodiscard]] std::span<float> data() { return data_; }
+  [[nodiscard]] std::span<const float> data() const { return {data_.get(), size_}; }
+  [[nodiscard]] std::span<float> data() { return {data_.get(), size_}; }
 
  private:
+  struct Uninit {};
+  Image(int width, int height, int channels, Uninit);
+
   [[nodiscard]] std::size_t index(int x, int y, int c) const {
     return static_cast<std::size_t>(c) * pixel_count() +
            static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
@@ -64,7 +81,8 @@ class Image {
   int width_ = 0;
   int height_ = 0;
   int channels_ = 0;
-  std::vector<float> data_;
+  std::size_t size_ = 0;
+  std::unique_ptr<float[]> data_;
 };
 
 /// Luma conversion (Rec. 601 weights); identity for single-channel input.

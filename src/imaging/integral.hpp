@@ -2,6 +2,8 @@
 // detector (box-filter Hessian) and by fast region statistics.
 #pragma once
 
+#include <vector>
+
 #include "imaging/image.hpp"
 
 namespace eecs::imaging {

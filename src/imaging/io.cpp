@@ -1,5 +1,7 @@
 #include "imaging/io.hpp"
 
+#include <vector>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>

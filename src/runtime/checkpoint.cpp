@@ -56,6 +56,10 @@ std::vector<std::uint8_t> SimulationCheckpoint::encode() const {
   progress.write_i32(humans_present);
   progress.write_i32(gt_frames_processed);
 
+  ByteWriter& gate = snapshot.section("context_gate");
+  gate.write_u64(windows_evaluated);
+  gate.write_u64(windows_pruned);
+
   ByteWriter& rounds_w = snapshot.section("rounds");
   rounds_w.write_u32(static_cast<std::uint32_t>(rounds.size()));
   for (const RoundLogState& round : rounds) {
@@ -199,6 +203,14 @@ SimulationCheckpoint SimulationCheckpoint::decode(std::span<const std::uint8_t> 
     ck.humans_detected = progress.read_i32();
     ck.humans_present = progress.read_i32();
     ck.gt_frames_processed = progress.read_i32();
+
+    // Optional: snapshots from builds before the context gate resume with
+    // zero window accounting.
+    if (snapshot.has("context_gate")) {
+      ByteReader gate = snapshot.open("context_gate");
+      ck.windows_evaluated = gate.read_u64();
+      ck.windows_pruned = gate.read_u64();
+    }
 
     ByteReader rounds_r = snapshot.open("rounds");
     const std::uint32_t num_rounds = read_count(rounds_r, 41);

@@ -54,6 +54,10 @@ struct SimulationCheckpoint {
   std::int32_t humans_detected = 0;
   std::int32_t humans_present = 0;
   std::int32_t gt_frames_processed = 0;
+  /// Sliding-window accounting (context gate); optional "context_gate"
+  /// section so older snapshots (zeros) still resume.
+  std::uint64_t windows_evaluated = 0;
+  std::uint64_t windows_pruned = 0;
 
   struct RoundLogState {
     std::int32_t start_frame = 0;

@@ -14,6 +14,7 @@
 #include "detect/linear_svm.hpp"
 #include "detect/lsvm_detector.hpp"
 #include "detect/nms.hpp"
+#include "detect/sweep_scheduler.hpp"
 #include "video/scene.hpp"
 #include "video/sprite.hpp"
 
@@ -354,6 +355,248 @@ TEST(BatchPrecompute, PrewarmedDetectionsAndCostsMatchOnDemand) {
         EXPECT_EQ(batched[d].box.h, want[d].box.h);
         EXPECT_EQ(batched[d].score, want[d].score);
         EXPECT_EQ(batched[d].probability, want[d].probability);
+      }
+    }
+  }
+}
+
+// --- SweepScheduler: with the gate off, the scheduler-owned work-list is
+// pure reordering — detections and replayed costs must be bit-identical to a
+// cold per-frame cache AND to the legacy per-window path, on awkward frame
+// geometries (odd dims, barely-one-window, census-crop-guard sizes) included.
+
+TEST(SweepScheduler, GateOffMatchesNaivePathOnOddGeometries) {
+  const auto& detectors = trained_bank();
+  video::SceneSimulator sim(video::dataset_by_id(1), 4242);
+  sim.skip(100);
+  const imaging::Image base = sim.next_frame_single(0);
+  const imaging::Image odd = base.crop(7, 5, 177, 143);    // Odd dims, odd origin.
+  const imaging::Image tight = base.crop(0, 0, 49, 97);    // Barely one window.
+  const imaging::Image census = base.crop(3, 1, 51, 99);   // C4 crop-guard edge.
+  const imaging::Image* frames[] = {&base, &odd, &tight, &census};
+
+  SweepScheduler sched(4);
+  EXPECT_FALSE(sched.gating());  // No gate options: never gates.
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (const auto& detector : detectors) sched.plan(i, *frames[i], *detector);
+  }
+  sched.prewarm();
+  sched.prewarm();  // Idempotent.
+  EXPECT_EQ(sched.tiles_pruned(), 0u);
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    SCOPED_TRACE("frame " + std::to_string(i));
+    for (const auto& detector : detectors) {
+      SCOPED_TRACE(to_string(detector->id()));
+      energy::CostCounter sched_cost;
+      const auto got = detector->detect(sched.at(i), &sched_cost);
+      FramePrecompute naive(*frames[i], /*force_naive=*/true);
+      energy::CostCounter naive_cost;
+      const auto want = detector->detect(naive, &naive_cost);
+      EXPECT_TRUE(sched_cost == naive_cost);
+      EXPECT_EQ(sched_cost.windows_pruned, 0u);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t d = 0; d < want.size(); ++d) {
+        EXPECT_EQ(got[d].box.x, want[d].box.x);
+        EXPECT_EQ(got[d].box.y, want[d].box.y);
+        EXPECT_EQ(got[d].box.w, want[d].box.w);
+        EXPECT_EQ(got[d].box.h, want[d].box.h);
+        EXPECT_EQ(got[d].score, want[d].score);
+        EXPECT_EQ(got[d].probability, want[d].probability);
+      }
+    }
+  }
+}
+
+// With the gate on, every pruned window is accounted: evaluated + pruned must
+// equal the ungated evaluated count exactly (the EnergyLedger conservation
+// argument rests on this identity), and the geometric gate must actually
+// engage on a standard scene camera.
+
+TEST(SweepScheduler, ContextGateAccountingClosesExactly) {
+  const auto& detectors = trained_bank();
+  video::SceneSimulator sim(video::dataset_by_id(1), 4242);
+  sim.skip(100);
+  const imaging::Image frame = sim.next_frame_single(0);
+  const geometry::PinholeCamera& camera = sim.cameras()[0];
+
+  ContextGateOptions gate;
+  gate.enabled = true;
+  SweepScheduler sched(1, gate, /*round_phase=*/1);
+  for (const auto& detector : detectors) sched.plan(0, frame, *detector, &camera);
+  sched.prewarm();
+  ASSERT_TRUE(sched.gating());
+  EXPECT_GT(sched.tiles_pruned(), 0u);
+  EXPECT_LT(sched.tiles_pruned(), sched.tiles_planned());
+
+  bool any_pruned = false;
+  for (const auto& detector : detectors) {
+    SCOPED_TRACE(to_string(detector->id()));
+    energy::CostCounter off_cost;
+    FramePrecompute cold(frame);
+    (void)detector->detect(cold, &off_cost);
+    EXPECT_EQ(off_cost.windows_pruned, 0u);
+
+    energy::CostCounter on_cost;
+    (void)detector->detect(sched.at(0), &on_cost);
+    EXPECT_EQ(on_cost.windows_evaluated + on_cost.windows_pruned, off_cost.windows_evaluated);
+    any_pruned = any_pruned || on_cost.windows_pruned > 0;
+  }
+  EXPECT_TRUE(any_pruned);
+}
+
+TEST(SweepScheduler, SingleRowBandsKeepTheAccountingIdentity) {
+  // band_rows=1 is the finest tiling the gate supports — the widen-to-band
+  // rounding disappears and the feasible interval is exact per row.
+  const auto& detectors = trained_bank();
+  video::SceneSimulator sim(video::dataset_by_id(1), 4242);
+  sim.skip(100);
+  const imaging::Image frame = sim.next_frame_single(0);
+  const geometry::PinholeCamera& camera = sim.cameras()[0];
+
+  ContextGateOptions coarse;
+  coarse.enabled = true;
+  ContextGateOptions fine = coarse;
+  fine.band_rows = 1;
+  SweepScheduler sched_coarse(1, coarse, 1);
+  SweepScheduler sched_fine(1, fine, 1);
+  for (const auto& detector : detectors) {
+    sched_coarse.plan(0, frame, *detector, &camera);
+    sched_fine.plan(0, frame, *detector, &camera);
+  }
+  sched_coarse.prewarm();
+  sched_fine.prewarm();
+
+  for (const auto& detector : detectors) {
+    SCOPED_TRACE(to_string(detector->id()));
+    energy::CostCounter off_cost;
+    FramePrecompute cold(frame);
+    (void)detector->detect(cold, &off_cost);
+    energy::CostCounter coarse_cost;
+    (void)detector->detect(sched_coarse.at(0), &coarse_cost);
+    energy::CostCounter fine_cost;
+    (void)detector->detect(sched_fine.at(0), &fine_cost);
+    // Identity holds at both granularities; the fine gate prunes at least as
+    // much as the band-16 gate (its intervals are subsets of the widened ones).
+    EXPECT_EQ(fine_cost.windows_evaluated + fine_cost.windows_pruned,
+              off_cost.windows_evaluated);
+    EXPECT_EQ(coarse_cost.windows_evaluated + coarse_cost.windows_pruned,
+              off_cost.windows_evaluated);
+    EXPECT_GE(fine_cost.windows_pruned, coarse_cost.windows_pruned);
+  }
+}
+
+TEST(SweepScheduler, RecoveryRoundsSweepUngatedBitExactly) {
+  ContextGateOptions gate;
+  gate.enabled = true;
+  gate.recovery_every = 8;
+  // Gated from round 0; every 8th round thereafter is an ungated recovery.
+  EXPECT_TRUE(SweepScheduler(1, gate, 0).gating());
+  EXPECT_TRUE(SweepScheduler(1, gate, 1).gating());
+  EXPECT_TRUE(SweepScheduler(1, gate, 7).gating());
+  EXPECT_FALSE(SweepScheduler(1, gate, 8).gating());
+  EXPECT_TRUE(SweepScheduler(1, gate, 9).gating());
+  EXPECT_FALSE(SweepScheduler(1, gate, 16).gating());
+  ContextGateOptions every_round = gate;
+  every_round.recovery_every = 1;
+  EXPECT_TRUE(SweepScheduler(1, every_round, 8).gating());
+  ContextGateOptions off;
+  EXPECT_FALSE(SweepScheduler(1, off, 1).gating());
+
+  // A recovery-round scheduler with a camera attached behaves exactly like
+  // gate-off: same detections, same costs, nothing pruned.
+  const auto& detectors = trained_bank();
+  video::SceneSimulator sim(video::dataset_by_id(1), 4242);
+  sim.skip(100);
+  const imaging::Image frame = sim.next_frame_single(0);
+  const geometry::PinholeCamera& camera = sim.cameras()[0];
+  SweepScheduler recovery(1, gate, /*round_phase=*/8);
+  for (const auto& detector : detectors) recovery.plan(0, frame, *detector, &camera);
+  recovery.prewarm();
+  EXPECT_EQ(recovery.tiles_pruned(), 0u);
+  for (const auto& detector : detectors) {
+    SCOPED_TRACE(to_string(detector->id()));
+    energy::CostCounter rec_cost;
+    const auto got = detector->detect(recovery.at(0), &rec_cost);
+    FramePrecompute cold(frame);
+    energy::CostCounter cold_cost;
+    const auto want = detector->detect(cold, &cold_cost);
+    EXPECT_TRUE(rec_cost == cold_cost);
+    EXPECT_EQ(rec_cost.windows_pruned, 0u);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t d = 0; d < want.size(); ++d) {
+      EXPECT_EQ(got[d].score, want[d].score);
+      EXPECT_EQ(got[d].box.x, want[d].box.x);
+      EXPECT_EQ(got[d].box.y, want[d].box.y);
+    }
+  }
+}
+
+TEST(SweepGate, FeasibleRowsAreAProperSubrangeOnASceneCamera) {
+  video::SceneSimulator sim(video::dataset_by_id(1), 4242);
+  const geometry::PinholeCamera& camera = sim.cameras()[0];
+  ContextGateOptions opts;
+  opts.enabled = true;
+  const int w = camera.intrinsics().width;
+  const int h = camera.intrinsics().height;
+  const SweepGate gate(camera, opts, w, h);
+  ASSERT_TRUE(gate.valid());
+  // Full resolution: the far-field rows above the feasibility band are cut.
+  const RowInterval full = gate.top_rows(w, h);
+  ASSERT_FALSE(full.empty());
+  EXPECT_GT(full.lo, 0);
+  // A deep pyramid level implies a person too large for any row: all pruned.
+  EXPECT_TRUE(gate.top_rows(w / 3, h / 3).empty());
+  // Band alignment: the interval is widened outward to band_rows boundaries.
+  EXPECT_EQ(full.lo % opts.band_rows, 0);
+}
+
+TEST(SweepGate, NullGateAndDegenerateCalibrationNeverPrune) {
+  // Null gate: the full anchor range, whatever the stride/offset.
+  const RowInterval all = gated_anchor_rows(nullptr, 360, 288, 8, 0, 23);
+  EXPECT_EQ(all.lo, 0);
+  EXPECT_EQ(all.hi, 23);
+  EXPECT_TRUE(gated_anchor_rows(nullptr, 360, 288, 8, 0, -1).empty());
+
+  // A camera mounted ON the ground plane sees it edge-on: the ground
+  // homography collapses to a line, its inverse throws, and the gate must
+  // come out invalid -> full range, never pruning.
+  geometry::CameraIntrinsics intr;
+  const geometry::PinholeCamera grounded({0, 0, 0.0}, {8, 0, 0.5}, intr);
+  ContextGateOptions opts;
+  opts.enabled = true;
+  const SweepGate gate(grounded, opts, intr.width, intr.height);
+  EXPECT_FALSE(gate.valid());
+  const RowInterval rows = gate.top_rows(intr.width, intr.height);
+  EXPECT_EQ(rows.lo, 0);
+  EXPECT_EQ(rows.hi, intr.height - kWindowHeight);
+}
+
+TEST(SweepGate, AnchorConversionRespectsStrideAndOffset) {
+  video::SceneSimulator sim(video::dataset_by_id(1), 4242);
+  const geometry::PinholeCamera& camera = sim.cameras()[0];
+  ContextGateOptions opts;
+  opts.enabled = true;
+  const int w = camera.intrinsics().width;
+  const int h = camera.intrinsics().height;
+  const SweepGate gate(camera, opts, w, h);
+  ASSERT_TRUE(gate.valid());
+  const RowInterval rows = gate.top_rows(w, h);
+  ASSERT_FALSE(rows.empty());
+  for (const int stride : {4, 8}) {
+    for (const int offset : {0, 4}) {
+      const int max_anchor = (h - offset - kWindowHeight) / stride;
+      const RowInterval a = gated_anchor_rows(&gate, w, h, stride, offset, max_anchor);
+      ASSERT_FALSE(a.empty());
+      // Every kept anchor's window top lies inside the feasible interval, and
+      // the anchors just outside fall off it.
+      EXPECT_GE(a.lo * stride + offset, rows.lo);
+      EXPECT_LE(a.hi * stride + offset, rows.hi);
+      if (a.lo > 0) {
+        EXPECT_LT((a.lo - 1) * stride + offset, rows.lo);
+      }
+      if (a.hi < max_anchor) {
+        EXPECT_GT((a.hi + 1) * stride + offset, rows.hi);
       }
     }
   }

@@ -188,6 +188,54 @@ TEST(Camera, GroundHomographyMatchesProjection) {
   }
 }
 
+TEST(Camera, PlaneHomographyMatchesProjectionAtHeight) {
+  CameraIntrinsics intr;
+  intr.focal_px = 320;
+  intr.width = 360;
+  intr.height = 288;
+  const PinholeCamera cam({-1, -1, 2.3}, {4, 4, 0.9}, intr);
+  for (const double z : {0.0, 0.9, 1.6, 1.92}) {
+    const Homography h = cam.plane_homography(z);
+    for (const Vec2 g : {Vec2{2, 3}, Vec2{5, 5}, Vec2{7, 1}}) {
+      const auto direct = cam.project({g.x, g.y, z});
+      const auto via_h = h.apply(g);
+      ASSERT_TRUE(direct && via_h) << "z=" << z;
+      EXPECT_NEAR(via_h->x, direct->x, 1e-6);
+      EXPECT_NEAR(via_h->y, direct->y, 1e-6);
+    }
+  }
+}
+
+TEST(Camera, PlaneHomographyAtZeroEqualsGroundHomography) {
+  const PinholeCamera cam({-1.2, -1.2, 2.3}, {4, 4, 0.9}, {});
+  const Homography ground = cam.ground_homography();
+  const Homography plane0 = cam.plane_homography(0.0);
+  for (const Vec2 g : {Vec2{1, 1}, Vec2{4, 4}, Vec2{6.5, 2.5}}) {
+    const auto a = ground.apply(g);
+    const auto b = plane0.apply(g);
+    ASSERT_TRUE(a && b);
+    EXPECT_NEAR(a->x, b->x, 1e-9);
+    EXPECT_NEAR(a->y, b->y, 1e-9);
+  }
+}
+
+TEST(Camera, HeadPlaneProjectsAboveGroundPlane) {
+  // The (ground, head) plane pair bounds an upright person's pixel height —
+  // the context gate's feasibility oracle. Head pixels must sit above (lower
+  // image y) the foot pixels everywhere both project.
+  CameraIntrinsics intr;
+  intr.focal_px = 320;
+  const PinholeCamera cam({-1.2, -1.2, 2.3}, {4, 4, 0.9}, intr);
+  const Homography feet = cam.plane_homography(0.0);
+  const Homography heads = cam.plane_homography(1.7);
+  for (const Vec2 g : {Vec2{2, 2}, Vec2{4, 4}, Vec2{6, 3}}) {
+    const auto foot = feet.apply(g);
+    const auto head = heads.apply(g);
+    ASSERT_TRUE(foot && head);
+    EXPECT_LT(head->y, foot->y);
+  }
+}
+
 TEST(Camera, CrossCameraGroundTransferIsConsistent) {
   // A ground point seen in camera A maps to the correct pixel in camera B via
   // H_B * H_A^{-1} — the re-identification mechanism of §IV-C.

@@ -102,6 +102,8 @@ SimulationCheckpoint sample_checkpoint() {
   ck.humans_detected = 42;
   ck.humans_present = 50;
   ck.gt_frames_processed = 24;
+  ck.windows_evaluated = 716720;
+  ck.windows_pruned = 348144;
   ck.rounds.push_back({1400, 10.5, 0.9, 10.0, 0.88, 2, "cam0:HOG cam1:ACF", 0});
   ck.fault_counters = {10, 2, 1, 0, 0, 0, 0, 0, 0, 0, 4, 3, 0, 0, 1, 0, 0, 0, 0, 0};
   ck.cameras.push_back({55.0, 1, 1, 0, -1.25, 3, 0, {0, 0, 0}});
@@ -139,6 +141,8 @@ TEST(Checkpoint, EncodeDecodeRoundtripIsLossless) {
   EXPECT_EQ(back.rounds_completed, ck.rounds_completed);
   EXPECT_EQ(back.cpu_joules, ck.cpu_joules);
   EXPECT_EQ(back.radio_joules, ck.radio_joules);
+  EXPECT_EQ(back.windows_evaluated, ck.windows_evaluated);
+  EXPECT_EQ(back.windows_pruned, ck.windows_pruned);
   ASSERT_EQ(back.rounds.size(), 1u);
   EXPECT_EQ(back.rounds[0].summary, "cam0:HOG cam1:ACF");
   EXPECT_EQ(back.fault_counters, ck.fault_counters);

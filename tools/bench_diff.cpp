@@ -6,6 +6,10 @@
 //     (these are deterministic — ANY drift is a behaviour change, not noise);
 //   - timing regression: detect_s grew by more than --max-regress percent
 //     (default 10) over the baseline for a matched run;
+//   - context-gate regression: a run that recorded windows_evaluated_fraction
+//     in the baseline (the gate-on regimes) grew it by more than --max-regress
+//     percent — the gate pruning less is a perf regression even though the
+//     result stays correct. Deterministic, so gated even with --skip-timings;
 //   - a baseline run disappeared from the fresh report.
 //
 // New runs only present in the fresh report are listed but never fail — a PR
@@ -42,6 +46,9 @@ struct BenchRun {
   double total_joules = 0.0;
   long humans_detected = 0;
   double detect_s = 0.0;
+  /// Fraction of sliding windows actually evaluated (context-gate regimes
+  /// record it; < 0 when the run predates the column or ran gate-off).
+  double windows_evaluated_fraction = -1.0;
 };
 
 std::vector<BenchRun> load_runs(const char* path) {
@@ -57,6 +64,9 @@ std::vector<BenchRun> load_runs(const char* path) {
     r.total_joules = run.at("total_joules").as_double();
     r.humans_detected = static_cast<long>(run.at("humans_detected").as_int64());
     r.detect_s = run.at("timings").at("detect_s").as_double();
+    if (const JsonValue* f = run.find("windows_evaluated_fraction")) {
+      r.windows_evaluated_fraction = f->as_double();
+    }
     runs.push_back(std::move(r));
   }
   return runs;
@@ -125,6 +135,31 @@ int main(int argc, char** argv) {
       std::printf("FAIL [%s]: humans_detected drifted %ld -> %ld\n", base.key.c_str(),
                   base.humans_detected, now->humans_detected);
       ++failures;
+    }
+    // Context-gate effectiveness: the fraction of windows evaluated may not
+    // regress (grow) past the limit. Deterministic, so it is gated even under
+    // --skip-timings; a fresh run that dropped the column fails outright.
+    if (base.windows_evaluated_fraction >= 0.0) {
+      if (now->windows_evaluated_fraction < 0.0) {
+        std::printf("FAIL [%s]: windows_evaluated_fraction column disappeared\n",
+                    base.key.c_str());
+        ++failures;
+      } else {
+        const double regress_pct =
+            (now->windows_evaluated_fraction / base.windows_evaluated_fraction - 1.0) * 100.0;
+        if (regress_pct > max_regress_pct) {
+          std::printf(
+              "FAIL [%s]: windows_evaluated_fraction regressed %+.1f%% (%.4f -> %.4f, "
+              "limit %.0f%%)\n",
+              base.key.c_str(), regress_pct, base.windows_evaluated_fraction,
+              now->windows_evaluated_fraction, max_regress_pct);
+          ++failures;
+        } else {
+          std::printf("ok   [%s]: windows_evaluated_fraction %+.1f%% (%.4f -> %.4f)\n",
+                      base.key.c_str(), regress_pct, base.windows_evaluated_fraction,
+                      now->windows_evaluated_fraction);
+        }
+      }
     }
     if (!skip_timings && base.detect_s > 0.0) {
       const double regress_pct = (now->detect_s / base.detect_s - 1.0) * 100.0;

@@ -1,7 +1,7 @@
 // Smoke test of the full EECS closed loop (Fig. 5 prototype).
 //
 //   eecs_loop_report [dataset] [--checkpoint-every K] [--checkpoint PATH]
-//                    [--resume PATH] [--stop-after-rounds N]
+//                    [--resume PATH] [--stop-after-rounds N] [--context-gate]
 //
 // The runtime flags drive the durable-runtime layer: write a snapshot to
 // PATH every K completed rounds, stop early to simulate a crash, and resume
@@ -59,7 +59,7 @@ void print_metrics_summary(obs::Telemetry& session, const StageTimings& timings)
 int usage() {
   std::printf(
       "usage: eecs_loop_report [dataset] [--checkpoint-every K] [--checkpoint PATH]\n"
-      "                        [--resume PATH] [--stop-after-rounds N]\n");
+      "                        [--resume PATH] [--stop-after-rounds N] [--context-gate]\n");
   return 2;
 }
 
@@ -68,10 +68,13 @@ int usage() {
 int main(int argc, char** argv) {
   int ds = 1;
   bool have_ds = false;
+  bool context_gate = false;
   RuntimeOptions runtime;
   for (int i = 1; i < argc; ++i) {
     const auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
-    if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+    if (std::strcmp(argv[i], "--context-gate") == 0) {
+      context_gate = true;
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
       runtime.checkpoint_every_rounds = std::atoi(value());
     } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
       runtime.checkpoint_path = value();
@@ -119,6 +122,7 @@ int main(int argc, char** argv) {
     cfg.end_frame = 2000;  // short smoke run
     cfg.models = opts;
     cfg.runtime = runtime;
+    cfg.context_gate.enabled = context_gate;
     watch.reset();
     obs::ScopedTelemetry telemetry;  // Per-mode metrics; see summary below.
     const SimulationResult r = run_eecs_simulation(bank, knowledge, cfg);
@@ -131,6 +135,10 @@ int main(int argc, char** argv) {
                   round.midround_recovery ? " (recovery)" : "", round.stats.n_star,
                   round.stats.p_star, round.stats.n_est, round.stats.p_est,
                   round.stats.summary.c_str());
+    std::printf("   windows: evaluated=%llu pruned=%llu fraction=%.4f\n",
+                static_cast<unsigned long long>(r.windows_evaluated),
+                static_cast<unsigned long long>(r.windows_pruned),
+                r.windows_evaluated_fraction());
     std::printf("   protocol: sent=%ld lost=%ld retried=%ld abandoned=%ld dead=%d recovered=%d\n",
                 r.faults.messages_sent, r.faults.messages_lost, r.faults.assignments_retried,
                 r.faults.assignments_abandoned, r.faults.cameras_failed,

@@ -7,7 +7,9 @@
 // run executes in a fresh obs session and appends its deterministic metric
 // snapshot (counters, cache hit/miss, per-camera energy gauges — everything
 // but wall-clock), so a metric that diverges between modes fails the same
-// string comparison.
+// string comparison. A second battery repeats the thread/SIMD/resume checks
+// with the context gate on, proving the pruned sweep (and its evaluated/
+// pruned window accounting) is just as deterministic.
 #include <cstdarg>
 #include <cstdio>
 #include <string>
@@ -65,7 +67,7 @@ std::string ledger_lines(obs::Telemetry& session, const SimulationResult& r) {
 /// given parallel width and SIMD dispatch mode (1 = native packs, 0 = scalar
 /// emulation).
 std::string report(const DetectorBank& bank, const OfflineKnowledge& knowledge, int threads,
-                   int simd) {
+                   int simd, bool context_gate = false) {
   std::string out;
   for (auto mode :
        {SelectionMode::AllBest, SelectionMode::SubsetOnly, SelectionMode::SubsetDowngrade}) {
@@ -79,11 +81,15 @@ std::string report(const DetectorBank& bank, const OfflineKnowledge& knowledge, 
     cfg.models.algorithms = cfg.controller.algorithms;
     cfg.models.frames_per_item = 4;
     cfg.end_frame = 2200;
+    cfg.context_gate.enabled = context_gate;
     obs::ScopedTelemetry telemetry;
     const SimulationResult r = run_eecs_simulation(bank, knowledge, cfg);
     append(out, "mode=%d cpu=%.17g radio=%.17g detected=%d present=%d frames=%d rounds=%zu\n",
            static_cast<int>(mode), r.cpu_joules, r.radio_joules, r.humans_detected,
            r.humans_present, r.gt_frames_processed, r.rounds.size());
+    append(out, "  windows evaluated=%llu pruned=%llu\n",
+           static_cast<unsigned long long>(r.windows_evaluated),
+           static_cast<unsigned long long>(r.windows_pruned));
     for (const auto& round : r.rounds) {
       append(out, "  round@%d n*=%.17g p*=%.17g n=%.17g p=%.17g active=%d %s\n",
              round.start_frame, round.stats.n_star, round.stats.p_star, round.stats.n_est,
@@ -105,10 +111,14 @@ std::string report(const DetectorBank& bank, const OfflineKnowledge& knowledge, 
   fixed.models.algorithms = {detect::AlgorithmId::Hog, detect::AlgorithmId::Acf};
   fixed.models.frames_per_item = 4;
   fixed.end_frame = 1400;
+  fixed.context_gate.enabled = context_gate;
   obs::ScopedTelemetry telemetry;
   const SimulationResult r = run_fixed_combo(bank, knowledge, combo, fixed);
   append(out, "fixed cpu=%.17g radio=%.17g detected=%d present=%d frames=%d\n", r.cpu_joules,
          r.radio_joules, r.humans_detected, r.humans_present, r.gt_frames_processed);
+  append(out, "  windows evaluated=%llu pruned=%llu\n",
+         static_cast<unsigned long long>(r.windows_evaluated),
+         static_cast<unsigned long long>(r.windows_pruned));
   out += metric_lines(telemetry.session());
   out += ledger_lines(telemetry.session(), r);
   return out;
@@ -122,6 +132,9 @@ std::string result_report(const SimulationResult& r) {
   append(out, "cpu=%.17g radio=%.17g detected=%d present=%d frames=%d rounds=%zu\n", r.cpu_joules,
          r.radio_joules, r.humans_detected, r.humans_present, r.gt_frames_processed,
          r.rounds.size());
+  append(out, "  windows evaluated=%llu pruned=%llu\n",
+         static_cast<unsigned long long>(r.windows_evaluated),
+         static_cast<unsigned long long>(r.windows_pruned));
   for (const auto& round : r.rounds) {
     append(out, "  round@%d n*=%.17g p*=%.17g n=%.17g p=%.17g active=%d %s\n", round.start_frame,
            round.stats.n_star, round.stats.p_star, round.stats.n_est, round.stats.p_est,
@@ -144,7 +157,7 @@ std::string result_report(const SimulationResult& r) {
 /// Shared config of the checkpoint/resume invariance check: short adaptive
 /// run with lossy links, retry jitter, and a round deadline so the snapshot
 /// has to carry non-trivial protocol and watchdog state.
-EecsSimulationConfig resume_config() {
+EecsSimulationConfig resume_config(bool context_gate) {
   EecsSimulationConfig cfg;
   cfg.dataset = 1;
   cfg.threads = 1;
@@ -158,6 +171,7 @@ EecsSimulationConfig resume_config() {
   cfg.downlink.loss_probability = 0.2;
   cfg.protocol.retry_jitter_fraction = 0.25;
   cfg.runtime.round_deadline_gt_frames = 3.0;
+  cfg.context_gate.enabled = context_gate;
   return cfg;
 }
 
@@ -166,15 +180,16 @@ EecsSimulationConfig resume_config() {
 /// right after the round-1 snapshot, then resume from the snapshot and diff
 /// the %.17g reports.
 int check_resume(const DetectorBank& bank, const OfflineKnowledge& knowledge,
-                 const std::string& snapshot_path) {
+                 const std::string& snapshot_path, bool context_gate) {
+  const char* label = context_gate ? "gate-on" : "gate-off";
   const std::string uninterrupted = [&] {
     obs::ScopedTelemetry telemetry;
-    const SimulationResult r = run_eecs_simulation(bank, knowledge, resume_config());
+    const SimulationResult r = run_eecs_simulation(bank, knowledge, resume_config(context_gate));
     return result_report(r) + ledger_lines(telemetry.session(), r);
   }();
 
   {
-    EecsSimulationConfig cfg = resume_config();
+    EecsSimulationConfig cfg = resume_config(context_gate);
     cfg.runtime.checkpoint_every_rounds = 1;
     cfg.runtime.checkpoint_path = snapshot_path;
     cfg.runtime.stop_after_rounds = 1;
@@ -187,7 +202,7 @@ int check_resume(const DetectorBank& bank, const OfflineKnowledge& knowledge,
   const std::string resumed = [&] {
     // The resumed ledger is restored from the snapshot, so its report covers
     // the WHOLE run and must match the uninterrupted run entry for entry.
-    EecsSimulationConfig cfg = resume_config();
+    EecsSimulationConfig cfg = resume_config(context_gate);
     cfg.runtime.resume_from = snapshot_path;
     obs::ScopedTelemetry telemetry;
     const SimulationResult r = run_eecs_simulation(bank, knowledge, cfg);
@@ -195,10 +210,11 @@ int check_resume(const DetectorBank& bank, const OfflineKnowledge& knowledge,
   }();
 
   if (resumed == uninterrupted) {
-    std::printf("PASS: checkpoint@round1 + resume is bit-identical to an uninterrupted run\n");
+    std::printf("PASS: %s checkpoint@round1 + resume is bit-identical to an uninterrupted run\n",
+                label);
     return 0;
   }
-  std::printf("FAIL: resumed run diverges from the uninterrupted run\n");
+  std::printf("FAIL: %s resumed run diverges from the uninterrupted run\n", label);
   std::fputs("---- uninterrupted ----\n", stdout);
   std::fputs(uninterrupted.c_str(), stdout);
   std::fputs("---- resumed ----\n", stdout);
@@ -208,7 +224,14 @@ int check_resume(const DetectorBank& bank, const OfflineKnowledge& knowledge,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // No flags: every invocation runs the full invariance battery. Anything on
+  // the command line is a mistake; reject it with the usage convention the
+  // other tools follow (usage line + exit 2).
+  if (argc > 1) {
+    std::printf("usage: %s (takes no arguments)\n", argv[0]);
+    return 2;
+  }
   DetectorBank bank = detect::make_trained_detectors(1234);
   OfflineOptions opts;
   opts.algorithms = {detect::AlgorithmId::Hog, detect::AlgorithmId::Acf};
@@ -253,7 +276,35 @@ int main() {
     }
   }
 
-  rc |= check_resume(bank, knowledge, "sim_determinism_resume.snap");
+  // The pruned sweep must be exactly as deterministic as the full one: the
+  // gate-on report (which embeds the windows evaluated/pruned accounting and
+  // every metric) has to reproduce across thread widths and under forced
+  // scalar SIMD emulation, and it must differ from gate-off — a gate that
+  // prunes nothing would pass every invariance check vacuously.
+  const std::string gated = report(bank, knowledge, 1, 1, /*context_gate=*/true);
+  if (gated == serial) {
+    std::printf("FAIL: gate-on report is identical to gate-off (gate never engaged)\n");
+    rc = 1;
+  } else {
+    std::printf("PASS: gate-on report diverges from gate-off (context gate engaged)\n");
+  }
+  const std::string gated_parallel = report(bank, knowledge, wide, 1, /*context_gate=*/true);
+  if (gated_parallel == gated) {
+    std::printf("PASS: gate-on threads=1 and threads=%d reports are bit-identical\n", wide);
+  } else {
+    std::printf("FAIL: gate-on threads=%d diverges from threads=1\n", wide);
+    rc = 1;
+  }
+  const std::string gated_scalar = report(bank, knowledge, 1, 0, /*context_gate=*/true);
+  if (gated_scalar == gated) {
+    std::printf("PASS: gate-on simd=0 (scalar) report is bit-identical to auto-native\n");
+  } else {
+    std::printf("FAIL: gate-on simd=0 diverges from auto-native\n");
+    rc = 1;
+  }
+
+  rc |= check_resume(bank, knowledge, "sim_determinism_resume.snap", /*context_gate=*/false);
+  rc |= check_resume(bank, knowledge, "sim_determinism_resume_gated.snap", /*context_gate=*/true);
   if (g_conservation_failures > 0) {
     std::printf("FAIL: %d run(s) violated ledger energy conservation\n", g_conservation_failures);
     rc = 1;
